@@ -1,0 +1,147 @@
+//! Micro-benchmarks for the core data structures: jump indexes (insert,
+//! lookup, find_geq, across branching factors), the B+ tree baseline, the
+//! GHT baseline, posting encoding, and the LRU cache core.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use tks_btree::{AppendOnlyBPlusTree, BTreeConfig};
+use tks_ght::{GeneralizedHashTree, GhtConfig};
+use tks_jump::{BinaryJumpIndex, BlockJumpIndex, JumpConfig};
+use tks_postings::{decode_posting, encode_posting, DocId, Posting};
+use tks_worm::LruCore;
+
+const N: u64 = 100_000;
+
+fn keys() -> Vec<u64> {
+    // Strictly increasing with a little jitter: step 7 dominates the ±4
+    // residue wobble.
+    (0..N).map(|i| i * 7 + (i % 5)).collect()
+}
+
+fn bench_jump_insert(c: &mut Criterion) {
+    let mut g = c.benchmark_group("jump_insert");
+    for b in [2u32, 32, 64] {
+        g.bench_with_input(BenchmarkId::new("block", b), &b, |bench, &b| {
+            let cfg = JumpConfig::new(8192, b, 1 << 32);
+            let ks = keys();
+            bench.iter(|| {
+                let mut idx: BlockJumpIndex<u64> = BlockJumpIndex::new(cfg);
+                for &k in &ks {
+                    idx.insert(k).unwrap();
+                }
+                black_box(idx.num_blocks())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_jump_queries(c: &mut Criterion) {
+    let mut g = c.benchmark_group("jump_query");
+    for b in [2u32, 32, 64] {
+        let cfg = JumpConfig::new(8192, b, 1 << 32);
+        let mut idx: BlockJumpIndex<u64> = BlockJumpIndex::new(cfg);
+        for k in keys() {
+            idx.insert(k).unwrap();
+        }
+        g.bench_with_input(BenchmarkId::new("lookup", b), &idx, |bench, idx| {
+            let mut probe = 1u64;
+            bench.iter(|| {
+                probe = (probe * 2862933555777941757 + 3037000493) % (N * 3);
+                black_box(idx.lookup(probe).unwrap())
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("find_geq", b), &idx, |bench, idx| {
+            let mut probe = 1u64;
+            bench.iter(|| {
+                probe = (probe * 2862933555777941757 + 3037000493) % (N * 3);
+                black_box(idx.find_geq(probe).unwrap())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_binary_jump(c: &mut Criterion) {
+    let mut idx = BinaryJumpIndex::new(1 << 32);
+    for k in keys() {
+        idx.insert(k).unwrap();
+    }
+    c.bench_function("binary_jump/lookup", |bench| {
+        let mut probe = 1u64;
+        bench.iter(|| {
+            probe = (probe * 6364136223846793005 + 1442695040888963407) % (N * 3);
+            black_box(idx.lookup(probe).unwrap())
+        });
+    });
+}
+
+fn bench_btree(c: &mut Criterion) {
+    let cfg = BTreeConfig::for_block_size(8192);
+    let mut tree = AppendOnlyBPlusTree::new(cfg);
+    for k in keys() {
+        tree.insert(k).unwrap();
+    }
+    c.bench_function("btree/find_geq", |bench| {
+        let mut probe = 1u64;
+        bench.iter(|| {
+            probe = (probe * 6364136223846793005 + 1442695040888963407) % (N * 3);
+            black_box(tree.find_geq(probe, &mut |_| {}))
+        });
+    });
+    c.bench_function("btree/build_100k", |bench| {
+        let ks = keys();
+        bench.iter(|| {
+            let mut t = AppendOnlyBPlusTree::new(cfg);
+            for &k in &ks {
+                t.insert(k).unwrap();
+            }
+            black_box(t.num_nodes())
+        });
+    });
+}
+
+fn bench_ght(c: &mut Criterion) {
+    let mut ght = GeneralizedHashTree::new(GhtConfig::for_block_size(8192, 16));
+    for k in keys() {
+        ght.insert(k);
+    }
+    c.bench_function("ght/contains", |bench| {
+        let mut probe = 1u64;
+        bench.iter(|| {
+            probe = (probe * 6364136223846793005 + 1442695040888963407) % (N * 3);
+            black_box(ght.contains(probe, &mut |_| {}))
+        });
+    });
+}
+
+fn bench_posting_codec(c: &mut Criterion) {
+    c.bench_function("posting/encode_decode", |bench| {
+        let p = Posting::new(DocId(123_456_789), 42, 7);
+        bench.iter(|| black_box(decode_posting(encode_posting(black_box(p)))));
+    });
+}
+
+fn bench_lru(c: &mut Criterion) {
+    c.bench_function("lru/touch_insert_evict", |bench| {
+        let mut lru = LruCore::with_capacity(1024);
+        for i in 0..1024u64 {
+            lru.insert(i);
+        }
+        let mut i = 1024u64;
+        bench.iter(|| {
+            i += 1;
+            lru.insert(i % 4096);
+            if lru.len() > 1024 {
+                black_box(lru.pop_lru());
+            }
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_jump_insert, bench_jump_queries, bench_binary_jump,
+              bench_btree, bench_ght, bench_posting_codec, bench_lru
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Figure 3(a) — distribution of term frequencies: the rank curve of
+//! per-term document frequency `ti` is Zipfian (straight line on the
+//! paper's log-y axis, spanning ~1e3 … 1e6 over the first 25,000 ranks at
+//! full scale).
+
+use serde::Serialize;
+use tks_bench::{print_table, save_json, Scale};
+use tks_corpus::{DocumentGenerator, TermStats};
+
+#[derive(Serialize)]
+struct Point {
+    rank: usize,
+    term_frequency: u64,
+}
+
+fn main() {
+    let scale = Scale::from_args();
+    let gen = DocumentGenerator::new(scale.corpus());
+    let stats = TermStats::collect(&gen, 0..scale.docs);
+    let curve = stats.rank_curve();
+
+    let sample_ranks = [0usize, 10, 100, 1_000, 5_000, 10_000, 25_000, 50_000];
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for &r in &sample_ranks {
+        if r < curve.len() && curve[r] > 0 {
+            rows.push(vec![format!("{r}"), format!("{}", curve[r])]);
+            out.push(Point {
+                rank: r,
+                term_frequency: curve[r],
+            });
+        }
+    }
+    print_table(
+        "Figure 3(a): term-frequency rank curve (ti)",
+        &["rank", "term frequency"],
+        &rows,
+    );
+
+    // Zipf check: fit the log-log slope over the head of the curve.
+    let pairs: Vec<(f64, f64)> = (1..curve.len().min(10_000))
+        .filter(|&r| curve[r] > 0)
+        .map(|r| ((r as f64).ln(), (curve[r] as f64).ln()))
+        .collect();
+    let n = pairs.len() as f64;
+    let (sx, sy): (f64, f64) = pairs
+        .iter()
+        .fold((0.0, 0.0), |(a, b), (x, y)| (a + x, b + y));
+    let sxx: f64 = pairs.iter().map(|(x, _)| x * x).sum();
+    let sxy: f64 = pairs.iter().map(|(x, y)| x * y).sum();
+    let slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+    println!("\nlog-log slope over head ranks: {slope:.2} (paper: Zipfian, slope ≈ -1)");
+    save_json("fig3a", &(&scale, &out, slope));
+}

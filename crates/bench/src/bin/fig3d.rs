@@ -1,0 +1,11 @@
+//! Figure 3(d) — workload-cost ratio vs. cache size with the most
+//! query-frequent terms (0 / 1,000 / 10,000) kept unmerged.
+
+fn main() {
+    tks_bench::merging::run_merge_ratio_figure(
+        "fig3d",
+        "Figure 3(d): popular query terms not merged — Q ratio vs cache size",
+        tks_bench::merging::RankBy::QueryFreq,
+        false,
+    );
+}

@@ -1,0 +1,11 @@
+//! Figure 3(e) — workload-cost ratio vs. cache size with the most
+//! document-frequent terms (0 / 1,000 / 10,000) kept unmerged.
+
+fn main() {
+    tks_bench::merging::run_merge_ratio_figure(
+        "fig3e",
+        "Figure 3(e): popular document terms not merged — Q ratio vs cache size",
+        tks_bench::merging::RankBy::TermFreq,
+        false,
+    );
+}

@@ -1,0 +1,12 @@
+//! Figure 3(f) — Figure 3(d) with the term ranking *learned* from the
+//! first 10% of the query log: "the resulting workload query cost ratio is
+//! almost unchanged", showing query statistics are stable enough to learn.
+
+fn main() {
+    tks_bench::merging::run_merge_ratio_figure(
+        "fig3f",
+        "Figure 3(f): popular query terms not merged, learned from a 10% prefix",
+        tks_bench::merging::RankBy::QueryFreq,
+        true,
+    );
+}

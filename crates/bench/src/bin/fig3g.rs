@@ -1,0 +1,11 @@
+//! Figure 3(g) — Figure 3(e) with the term ranking *learned* from the
+//! first 10% of the documents crawled.
+
+fn main() {
+    tks_bench::merging::run_merge_ratio_figure(
+        "fig3g",
+        "Figure 3(g): popular document terms not merged, learned from a 10% prefix",
+        tks_bench::merging::RankBy::TermFreq,
+        true,
+    );
+}

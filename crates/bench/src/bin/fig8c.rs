@@ -1,0 +1,155 @@
+//! Figure 8(c) — conjunctive-query speedup from jump indexes, as a
+//! function of the number of query keywords (2–7), for B ∈ {2, 32, 64},
+//! with the unmerged-plus-B+-tree ideal as reference.
+//!
+//! Speedup is "the ratio of the number of blocks read when no jump index
+//! is kept (using a sequential scan-merge join) to the number of blocks
+//! read in a zigzag join using the jump index" — i.e. each configuration
+//! is normalised by the scan-merge cost *in its own setting* (merged lists
+//! for the jump curves, unmerged per-term lists for the B+-tree ideal).
+//! Paper shape: ~0.9× for 2-keyword queries (jump-pointer space overhead
+//! makes a scan-like join slightly slower), rising smoothly to ~3× at 7
+//! keywords; the ideal case's speedup factor stays within ~1.4× above the
+//! B = 32 curve.
+
+use serde::Serialize;
+use std::collections::HashSet;
+use tks_bench::{print_table, save_json, Scale};
+use tks_core::engine::EngineConfig;
+use tks_core::merge::MergeAssignment;
+use tks_core::sim::{btree_conjunctive_cost, build_engine, build_term_btrees, scan_merge_blocks};
+use tks_corpus::{DocumentGenerator, QueryGenerator};
+use tks_jump::JumpConfig;
+use tks_postings::TermId;
+
+#[derive(Serialize)]
+struct Row {
+    keywords: usize,
+    speedup_b2: f64,
+    speedup_b32: f64,
+    speedup_b64: f64,
+    speedup_unmerged_btree: f64,
+}
+
+fn main() {
+    let mut scale = Scale::from_args();
+    // The engine path materialises real structures ×4 configurations;
+    // default to a lighter corpus than the simulation-only figures.  The
+    // Zipfian term mix matters here (query terms are head terms with long
+    // per-term lists, which is what zigzag skipping exploits), so unlike
+    // Figure 8(b) this figure keeps the natural corpus shape and maps the
+    // list count through the postings ratio.
+    if scale.is_default_workload() {
+        scale.docs = 20_000;
+    }
+    let gen = DocumentGenerator::new(scale.corpus());
+    let qgen = QueryGenerator::new(scale.query_log());
+
+    let paper_postings = 1_000_000u64 * 500;
+    let our_postings = scale.docs * scale.terms_per_doc as u64;
+    let postings_ratio = (paper_postings as f64 / our_postings as f64).max(1.0);
+    let m = ((32_768f64 / postings_ratio).round() as u32).max(8);
+    eprintln!(
+        "[fig8c] {m} merged lists (~{} postings/list)",
+        our_postings / m as u64
+    );
+    let assignment = MergeAssignment::uniform(m);
+    let block = 8192usize;
+
+    // Queries: `queries_per_len` fixed-length conjunctive queries per
+    // keyword count.
+    let queries_per_len = (scale.queries / 100).clamp(50, 500);
+    let lens: Vec<usize> = (2..=7).collect();
+
+    eprintln!("[fig8c] building engines…");
+    let engines: Vec<(u32, tks_core::engine::SearchEngine)> = [2u32, 32, 64]
+        .into_iter()
+        .map(|b| {
+            let cfg = EngineConfig {
+                assignment: assignment.clone(),
+                jump: Some(JumpConfig::new(block, b, 1 << 32)),
+                block_size: block,
+                ..Default::default()
+            };
+            eprintln!("[fig8c]   B={b}");
+            (b, build_engine(&gen, scale.docs, cfg))
+        })
+        .collect();
+
+    // The ideal baseline needs per-term B+ trees for every queried term.
+    let mut needed: HashSet<TermId> = HashSet::new();
+    for &len in &lens {
+        for i in 0..queries_per_len {
+            needed.extend(qgen.query_of_len(i, len).terms.iter().copied());
+        }
+    }
+    eprintln!("[fig8c] building {} per-term B+ trees…", needed.len());
+    let trees = build_term_btrees(
+        &gen,
+        scale.docs,
+        &needed,
+        tks_btree::BTreeConfig::for_block_size(block),
+    );
+    // Unmerged per-term list sizes, for the ideal curve's own scan-merge
+    // denominator.
+    let ti = tks_corpus::TermStats::collect(&gen, 0..scale.docs).doc_freq;
+    let unmerged_blocks = |terms: &[TermId]| -> u64 {
+        terms
+            .iter()
+            .map(|t| (ti[t.0 as usize] * 8).div_ceil(block as u64).max(1))
+            .sum()
+    };
+
+    let scan_engine = &engines[0].1; // merged lists are identical across B
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for &len in &lens {
+        let mut scan_total = 0u64;
+        let mut jump_total = [0u64; 3];
+        let mut btree_total = 0u64;
+        let mut unmerged_scan_total = 0u64;
+        for i in 0..queries_per_len {
+            let q = qgen.query_of_len(i, len);
+            scan_total += scan_merge_blocks(scan_engine, &q.terms);
+            unmerged_scan_total += unmerged_blocks(&q.terms);
+            for (bi, (_, e)) in engines.iter().enumerate() {
+                let (_, blocks) = e.conjunctive_terms(&q.terms).expect("clean index");
+                jump_total[bi] += blocks;
+            }
+            let (_, blocks) =
+                btree_conjunctive_cost(&trees, &q.terms).expect("trees built for all terms");
+            btree_total += blocks;
+        }
+        let speedup = |j: u64| scan_total as f64 / j.max(1) as f64;
+        let r = Row {
+            keywords: len,
+            speedup_b2: speedup(jump_total[0]),
+            speedup_b32: speedup(jump_total[1]),
+            speedup_b64: speedup(jump_total[2]),
+            speedup_unmerged_btree: unmerged_scan_total as f64 / btree_total.max(1) as f64,
+        };
+        eprintln!(
+            "[fig8c] {len} keywords: B2 {:.2} B32 {:.2} B64 {:.2} ideal {:.2}",
+            r.speedup_b2, r.speedup_b32, r.speedup_b64, r.speedup_unmerged_btree
+        );
+        rows.push(vec![
+            format!("{len}"),
+            format!("{:.2}", r.speedup_b2),
+            format!("{:.2}", r.speedup_b32),
+            format!("{:.2}", r.speedup_b64),
+            format!("{:.2}", r.speedup_unmerged_btree),
+        ]);
+        out.push(r);
+    }
+    print_table(
+        "Figure 8(c): conjunctive-query speedup vs scan-merge (blocks read)",
+        &["keywords", "B=2", "B=32", "B=64", "unmerged+B+tree (ideal)"],
+        &rows,
+    );
+    println!(
+        "\nPaper shape: ≈0.9× at 2 keywords (scan-like joins pay the jump-pointer space\n\
+         overhead), rising with keyword count to ~3× at 7; the unmerged B+-tree ideal\n\
+         stays within ~1.4× of the B=32 curve."
+    );
+    save_json("fig8c", &(&scale, &out));
+}

@@ -1,0 +1,156 @@
+//! Mala's hiding attacks on WORM-resident B+ trees (paper §4, Figure 6).
+//!
+//! Everything here is composed of *legal WORM operations* — allocating new
+//! nodes and appending to nodes with free space — which the threat model
+//! grants the adversary, since she can assume any identity including
+//! superuser.  The attacks demonstrate that WORM residency alone does not
+//! make an index trustworthy; detection requires structural invariants
+//! like the jump index's monotonicity, which a B+ tree does not have.
+
+use crate::tree::{AppendOnlyBPlusTree, NodeId};
+
+/// Outcome of a hiding attack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HidingAttack {
+    /// The spurious subtree root Mala created.
+    pub evil_subtree: NodeId,
+    /// The separator she appended at the root.
+    pub separator: u64,
+    /// Committed keys that became unreachable through `lookup`.
+    pub hidden_keys: Vec<u64>,
+}
+
+/// Execute Figure 6(b): hide every committed key greater than `separator`
+/// by appending a spurious subtree at the root whose decoy keys are
+/// `decoys`.
+///
+/// After the attack, `lookup(k)` for hidden keys is misdirected into the
+/// decoy subtree and returns `false` — *silently*; the committed keys are
+/// still physically on WORM (see
+/// [`leaf_chain_keys`](AppendOnlyBPlusTree::leaf_chain_keys)) but the
+/// index no longer reaches them.
+///
+/// Returns `Err` if the root has no free slot (Mala would then target a
+/// lower internal node on the rightmost path; the paper's example uses the
+/// root for clarity, and so do we).
+pub fn hide_keys_above(
+    tree: &mut AppendOnlyBPlusTree,
+    separator: u64,
+    decoys: &[u64],
+) -> Result<HidingAttack, &'static str> {
+    if tree.root_free_slots() == 0 {
+        return Err("root full; attack would target a lower node");
+    }
+    let committed = tree.leaf_chain_keys();
+    let evil_leaf = tree.adversary_create_leaf(decoys.to_vec());
+    // A one-leaf subtree suffices; for taller trees Mala would build a
+    // deeper spine, which changes nothing about the mechanism.
+    let root = tree.root();
+    tree.adversary_append_entry(root, separator, evil_leaf)?;
+    let hidden_keys = committed
+        .iter()
+        .copied()
+        .filter(|&k| k > separator && !tree.lookup(k, &mut |_| {}))
+        .collect();
+    Ok(HidingAttack {
+        evil_subtree: evil_leaf,
+        separator,
+        hidden_keys,
+    })
+}
+
+/// Binary search over the keys of the leaf chain, as a naive reader might
+/// implement it.  Paper §4: "binary search on the leaves of the tree in
+/// Figure 6(b) would miss 31 because of the malicious entry 30 at the
+/// end" — appending out-of-order keys at the tail breaks the sortedness
+/// assumption binary search relies on.
+pub fn binary_search_leaves(tree: &AppendOnlyBPlusTree, k: u64) -> bool {
+    let keys = tree.leaf_chain_keys();
+    keys.binary_search(&k).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::BTreeConfig;
+
+    fn figure6_tree() -> AppendOnlyBPlusTree {
+        let mut t = AppendOnlyBPlusTree::new(BTreeConfig::tiny(3, 4));
+        for k in [2u64, 4, 7, 11, 13, 19, 23, 29, 31] {
+            t.insert(k).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn figure_6b_hiding_attack_succeeds_silently() {
+        let mut t = figure6_tree();
+        assert!(t.lookup(31, &mut |_| {}), "31 visible before the attack");
+        // Mala: separator 25, decoy subtree containing 25, 26, 30.
+        let attack = hide_keys_above(&mut t, 25, &[25, 26, 30]).unwrap();
+        assert!(attack.hidden_keys.contains(&29));
+        assert!(attack.hidden_keys.contains(&31));
+        // The lookup fails *silently* — no error, no tamper evidence.
+        assert!(!t.lookup(31, &mut |_| {}));
+        assert!(!t.lookup(29, &mut |_| {}));
+        // Keys at or below the separator are untouched.
+        for k in [2u64, 4, 7, 11, 13, 19, 23] {
+            assert!(t.lookup(k, &mut |_| {}), "{k} must survive");
+        }
+        // Mala's decoys are now "in" the index.
+        assert!(t.lookup(26, &mut |_| {}));
+        // The committed bytes are still physically on WORM:
+        assert!(t.leaf_chain_keys().contains(&31));
+    }
+
+    #[test]
+    fn figure_6b_findgeq_returns_wrong_answer() {
+        let mut t = figure6_tree();
+        assert_eq!(t.find_geq(28, &mut |_| {}), Some(29));
+        hide_keys_above(&mut t, 25, &[25, 26, 30]).unwrap();
+        // Paper: "the call FindGeq(28) will return 30 instead of 29."
+        assert_eq!(t.find_geq(28, &mut |_| {}), Some(30));
+    }
+
+    #[test]
+    fn binary_search_attack_on_leaf_tail() {
+        let mut t = AppendOnlyBPlusTree::new(BTreeConfig::tiny(12, 8));
+        for k in [2u64, 4, 7, 11, 13, 19, 23] {
+            t.insert(k).unwrap();
+        }
+        assert!(binary_search_leaves(&t, 23));
+        // Mala appends *smaller* keys at the tail of the last leaf — a
+        // legal append to a non-full WORM block.
+        let leaf = t.rightmost_leaf();
+        t.adversary_append_leaf_keys(leaf, &[3, 3, 3]).unwrap();
+        // Binary search now misses the committed key 23: the probe
+        // sequence 19 → 3 → 3 walks into the unsorted tail.
+        assert!(
+            !binary_search_leaves(&t, 23),
+            "binary search must be fooled"
+        );
+        // The key is still physically present.
+        assert!(t.leaf_chain_keys().contains(&23));
+    }
+
+    #[test]
+    fn attack_requires_root_space() {
+        // Fill the root completely, then the attack as-written fails (Mala
+        // would descend to a lower node; out of scope for the demo).
+        let mut t = AppendOnlyBPlusTree::new(BTreeConfig::tiny(2, 2));
+        for k in 0..32u64 {
+            t.insert(k).unwrap();
+        }
+        if t.root_free_slots() == 0 {
+            assert!(hide_keys_above(&mut t, 10, &[11]).is_err());
+        }
+    }
+
+    #[test]
+    fn attack_with_no_targets_hides_nothing() {
+        let mut t = figure6_tree();
+        let attack = hide_keys_above(&mut t, 40, &[41]).unwrap();
+        assert!(attack.hidden_keys.is_empty());
+        assert!(t.lookup(31, &mut |_| {}));
+    }
+}

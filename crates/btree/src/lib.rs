@@ -1,0 +1,36 @@
+//! # `tks-btree` — the untrustworthy baseline: append-only B+ trees on WORM
+//!
+//! Paper §4 (Figure 6) shows that B+ trees, even when every node lives in
+//! WORM storage and is only ever *appended* to, are **not trustworthy**:
+//!
+//! > "Mala can hide entry 31 by creating a separate subtree that does not
+//! > contain 31, and adding an entry 25 at the root to lead to the new
+//! > subtree.  A subsequent lookup on 31 will be directed to Mala's
+//! > subtree. … Mala's attack works because in a B+ tree, the path taken
+//! > to look up entry 31 depends on entries that were added to the index
+//! > *after* entry 31 was added."
+//!
+//! This crate implements exactly that baseline:
+//!
+//! * [`AppendOnlyBPlusTree`] — a B+ tree built bottom-up over a strictly
+//!   increasing key sequence using only node-create and node-append
+//!   operations (no splits or merges), as described in §4 and used as the
+//!   paper's "ideal" performance baseline in Figure 8(c);
+//! * [`attack`] — Mala's hiding attack (spurious subtree + misdirecting
+//!   separator), plus the binary-search variant ("appending smaller
+//!   numbers at the tail"), both composed solely of legal WORM appends;
+//!   the attack *succeeds silently* here, which is the motivation for jump
+//!   indexes.
+//!
+//! The tree also serves as the performance baseline: `lookup`/`find_geq`
+//! take a visit callback that counts block reads, used by the Figure 8(c)
+//! harness for the "unmerged + B+ tree" ideal curve.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod attack;
+pub mod tree;
+
+pub use attack::{binary_search_leaves, hide_keys_above, HidingAttack};
+pub use tree::{AppendOnlyBPlusTree, BTreeConfig, NodeId};

@@ -1,0 +1,505 @@
+//! Bottom-up append-only B+ tree over a strictly increasing key sequence.
+//!
+//! Paper §4: "One can create a B+ tree for an increasing sequence of
+//! document IDs without any node splits or merges, by building the tree
+//! from the bottom up … New elements are added at the leaf (posting list)
+//! level.  When a leaf node fills up, a new leaf is created and an entry is
+//! added to the parent that points to the new leaf. … When the root fills
+//! up, a new level can be introduced, with a new root.  These steps only
+//! require append and create operations on nodes and can be implemented in
+//! WORM storage."
+//!
+//! Internal nodes hold `(separator, child)` entries where the separator is
+//! the *smallest* key of the child's subtree; a lookup descends to the last
+//! entry whose separator is ≤ the probe — the routing rule that Figure 6's
+//! attack exploits, because a *later-appended* separator can capture probes
+//! for *earlier-committed* keys.
+//!
+//! Every mutating method performs only operations legal on WORM storage:
+//! creating a node, or appending an entry to a node with free space.
+
+/// Identifier of a tree node (one node per disk block).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// Node capacities, derived from the disk block size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BTreeConfig {
+    /// Max keys per leaf node (8-byte postings: `L / 8`).
+    pub leaf_capacity: usize,
+    /// Max `(separator, child)` entries per internal node
+    /// (8-byte key + 4-byte pointer: `L / 12`).
+    pub internal_capacity: usize,
+}
+
+impl BTreeConfig {
+    /// Capacities for a given block size in bytes (the paper uses 8 KB).
+    pub fn for_block_size(block_size: usize) -> Self {
+        Self {
+            leaf_capacity: (block_size / 8).max(2),
+            internal_capacity: (block_size / 12).max(2),
+        }
+    }
+
+    /// Tiny nodes for tests and worked examples.
+    pub fn tiny(leaf: usize, internal: usize) -> Self {
+        assert!(leaf >= 2 && internal >= 2);
+        Self {
+            leaf_capacity: leaf,
+            internal_capacity: internal,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        keys: Vec<u64>,
+        /// Set once, when the successor leaf is created (write-once).
+        next: Option<NodeId>,
+    },
+    Internal {
+        /// `(smallest key of child subtree, child)`, in append order.
+        entries: Vec<(u64, NodeId)>,
+    },
+}
+
+/// Append-only bottom-up B+ tree (see module docs).
+///
+/// # Example
+///
+/// ```
+/// use tks_btree::{AppendOnlyBPlusTree, BTreeConfig};
+///
+/// let mut t = AppendOnlyBPlusTree::new(BTreeConfig::tiny(3, 3));
+/// for k in [2u64, 4, 7, 11, 13, 19, 23, 29, 31] {
+///     t.insert(k).unwrap();
+/// }
+/// assert!(t.lookup(31, &mut |_| {}));
+/// assert_eq!(t.find_geq(28, &mut |_| {}), Some(29));
+/// assert_eq!(t.find_geq(32, &mut |_| {}), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AppendOnlyBPlusTree {
+    cfg: BTreeConfig,
+    nodes: Vec<Node>,
+    root: NodeId,
+    /// Rightmost path from the root (exclusive) down to the current leaf;
+    /// the spine along which bottom-up building appends.
+    last_key: Option<u64>,
+    len: u64,
+}
+
+impl AppendOnlyBPlusTree {
+    /// Create an empty tree.
+    pub fn new(cfg: BTreeConfig) -> Self {
+        let nodes = vec![Node::Leaf {
+            keys: Vec::new(),
+            next: None,
+        }];
+        Self {
+            cfg,
+            nodes,
+            root: NodeId(0),
+            last_key: None,
+            len: 0,
+        }
+    }
+
+    /// Number of keys inserted through the legitimate path.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether no keys have been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of nodes (≈ disk blocks) in the tree.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Tree height (1 = root is a leaf).
+    pub fn height(&self) -> u32 {
+        let mut h = 1;
+        let mut n = self.root;
+        while let Node::Internal { entries } = &self.nodes[n.0 as usize] {
+            n = entries.last().expect("internal nodes are never empty").1;
+            h += 1;
+        }
+        h
+    }
+
+    /// The root node.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Insert the next key of the increasing sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending key if it is not strictly greater than the
+    /// previous one.
+    pub fn insert(&mut self, k: u64) -> Result<(), u64> {
+        if let Some(last) = self.last_key {
+            if k <= last {
+                return Err(k);
+            }
+        }
+        // Find the rightmost leaf by walking last-children.
+        let mut path = Vec::new();
+        let mut n = self.root;
+        while let Node::Internal { entries } = &self.nodes[n.0 as usize] {
+            path.push(n);
+            n = entries.last().expect("internal nodes are never empty").1;
+        }
+        let leaf_cap = self.cfg.leaf_capacity;
+        let leaf_full = match &self.nodes[n.0 as usize] {
+            Node::Leaf { keys, .. } => keys.len() >= leaf_cap,
+            Node::Internal { .. } => unreachable!("walk ends at a leaf"),
+        };
+        if !leaf_full {
+            match &mut self.nodes[n.0 as usize] {
+                Node::Leaf { keys, .. } => keys.push(k), // append to WORM block
+                Node::Internal { .. } => unreachable!(),
+            }
+        } else {
+            // Create a new leaf and link it into the parent chain,
+            // creating new ancestors (and possibly a new root) as needed.
+            let new_leaf = self.alloc(Node::Leaf {
+                keys: vec![k],
+                next: None,
+            });
+            match &mut self.nodes[n.0 as usize] {
+                Node::Leaf { next, .. } => {
+                    debug_assert!(next.is_none(), "next pointer is write-once");
+                    *next = Some(new_leaf); // one-time append of the chain pointer
+                }
+                Node::Internal { .. } => unreachable!(),
+            }
+            self.attach(&path, k, new_leaf);
+        }
+        self.last_key = Some(k);
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Attach `(sep, child)` to the deepest spine node with space,
+    /// creating ancestors/a new root as required.
+    fn attach(&mut self, path: &[NodeId], sep: u64, child: NodeId) {
+        let mut sep = sep;
+        let mut child = child;
+        for &anc in path.iter().rev() {
+            let cap = self.cfg.internal_capacity;
+            match &mut self.nodes[anc.0 as usize] {
+                Node::Internal { entries } => {
+                    if entries.len() < cap {
+                        entries.push((sep, child)); // append to WORM block
+                        return;
+                    }
+                    // Ancestor full: create a sibling internal node holding
+                    // the new entry and propagate upward.
+                    let min = sep;
+                    let sibling = self.alloc(Node::Internal {
+                        entries: vec![(sep, child)],
+                    });
+                    sep = min;
+                    child = sibling;
+                }
+                Node::Leaf { .. } => unreachable!("spine is internal"),
+            }
+        }
+        // Reached above the root: introduce a new root level.
+        let old_root = self.root;
+        let old_min = self.subtree_min(old_root);
+        let new_root = self.alloc(Node::Internal {
+            entries: vec![(old_min, old_root), (sep, child)],
+        });
+        self.root = new_root;
+    }
+
+    fn subtree_min(&self, n: NodeId) -> u64 {
+        match &self.nodes[n.0 as usize] {
+            Node::Leaf { keys, .. } => *keys.first().expect("non-empty leaf"),
+            Node::Internal { entries } => entries.first().expect("non-empty internal").0,
+        }
+    }
+
+    fn alloc(&mut self, node: Node) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(node);
+        id
+    }
+
+    /// Whether `k` is reachable through the tree.  `on_visit` receives
+    /// every node (block) read.
+    ///
+    /// Note the *reachable*: after Figure 6's attack, committed keys stop
+    /// being reachable even though their bytes are still on WORM — the
+    /// vulnerability that motivates jump indexes.
+    pub fn lookup(&self, k: u64, on_visit: &mut dyn FnMut(NodeId)) -> bool {
+        let mut n = self.root;
+        loop {
+            on_visit(n);
+            match &self.nodes[n.0 as usize] {
+                Node::Leaf { keys, .. } => return keys.binary_search(&k).is_ok(),
+                Node::Internal { entries } => {
+                    // Routing rule: last entry with separator ≤ k.  Entries
+                    // are scanned in reverse append order, so an appended
+                    // (malicious) separator takes precedence — exactly the
+                    // behaviour of a B+ tree whose node entries are kept
+                    // sorted by key with later inserts shadowing the range.
+                    match entries.iter().rev().find(|(sep, _)| *sep <= k) {
+                        Some(&(_, child)) => n = child,
+                        None => return false,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Smallest reachable key ≥ `k` (used by zigzag joins).  Subject to the
+    /// same attack as [`lookup`](Self::lookup) — Figure 6: after the
+    /// attack, `find_geq(28)` returns Mala's 30 instead of the committed
+    /// 29.
+    pub fn find_geq(&self, k: u64, on_visit: &mut dyn FnMut(NodeId)) -> Option<u64> {
+        let mut n = self.root;
+        loop {
+            on_visit(n);
+            match &self.nodes[n.0 as usize] {
+                Node::Leaf { keys, next } => {
+                    let i = keys.partition_point(|&key| key < k);
+                    if i < keys.len() {
+                        return Some(keys[i]);
+                    }
+                    // Exhausted this leaf: follow the chain.
+                    let mut cur = *next;
+                    while let Some(nx) = cur {
+                        on_visit(nx);
+                        match &self.nodes[nx.0 as usize] {
+                            Node::Leaf { keys, next } => {
+                                if let Some(&key) = keys.first() {
+                                    if key >= k {
+                                        return Some(key);
+                                    }
+                                    let j = keys.partition_point(|&key| key < k);
+                                    if j < keys.len() {
+                                        return Some(keys[j]);
+                                    }
+                                }
+                                cur = *next;
+                            }
+                            Node::Internal { .. } => return None, // corrupted chain
+                        }
+                    }
+                    return None;
+                }
+                Node::Internal { entries } => {
+                    match entries.iter().rev().find(|(sep, _)| *sep <= k) {
+                        Some(&(_, child)) => n = child,
+                        None => {
+                            // k is below the smallest separator: descend to
+                            // the first child, whose subtree holds the
+                            // smallest keys.
+                            n = entries.first()?.1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// All keys reachable via the leaf chain from the leftmost leaf
+    /// (diagnostics; note that Figure 6's attack does *not* remove keys
+    /// from the chain — it misdirects the *descent*).
+    pub fn leaf_chain_keys(&self) -> Vec<u64> {
+        let mut n = self.root;
+        while let Node::Internal { entries } = &self.nodes[n.0 as usize] {
+            n = entries.first().expect("non-empty internal").1;
+        }
+        let mut out = Vec::new();
+        let mut cur = Some(n);
+        while let Some(id) = cur {
+            match &self.nodes[id.0 as usize] {
+                Node::Leaf { keys, next } => {
+                    out.extend_from_slice(keys);
+                    cur = *next;
+                }
+                Node::Internal { .. } => break,
+            }
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Adversary interface: legal WORM mutations available to Mala.
+    // ------------------------------------------------------------------
+
+    /// Adversarially create a node (a legal WORM block allocation).
+    /// Returns its id.  `keys` need not relate to committed data.
+    pub fn adversary_create_leaf(&mut self, keys: Vec<u64>) -> NodeId {
+        self.alloc(Node::Leaf { keys, next: None })
+    }
+
+    /// Adversarially create an internal node.
+    pub fn adversary_create_internal(&mut self, entries: Vec<(u64, NodeId)>) -> NodeId {
+        self.alloc(Node::Internal { entries })
+    }
+
+    /// Adversarially append `(sep, child)` to an existing internal node —
+    /// a legal WORM append when the node has free space.
+    ///
+    /// # Errors
+    ///
+    /// Fails (like the device would) when the node is full or a leaf.
+    pub fn adversary_append_entry(
+        &mut self,
+        node: NodeId,
+        sep: u64,
+        child: NodeId,
+    ) -> Result<(), &'static str> {
+        let cap = self.cfg.internal_capacity;
+        match &mut self.nodes[node.0 as usize] {
+            Node::Internal { entries } => {
+                if entries.len() >= cap {
+                    Err("node full: WORM refuses the append")
+                } else {
+                    entries.push((sep, child));
+                    Ok(())
+                }
+            }
+            Node::Leaf { .. } => Err("cannot append routing entries to a leaf"),
+        }
+    }
+
+    /// Adversarially append keys to an existing leaf with space (the
+    /// binary-search attack of §4: "appending smaller numbers at the
+    /// tail").
+    pub fn adversary_append_leaf_keys(
+        &mut self,
+        node: NodeId,
+        keys: &[u64],
+    ) -> Result<(), &'static str> {
+        let cap = self.cfg.leaf_capacity;
+        match &mut self.nodes[node.0 as usize] {
+            Node::Leaf { keys: existing, .. } => {
+                if existing.len() + keys.len() > cap {
+                    Err("leaf full: WORM refuses the append")
+                } else {
+                    existing.extend_from_slice(keys);
+                    Ok(())
+                }
+            }
+            Node::Internal { .. } => Err("not a leaf"),
+        }
+    }
+
+    /// The rightmost leaf (where Figure 6's binary-search attack appends).
+    pub fn rightmost_leaf(&self) -> NodeId {
+        let mut n = self.root;
+        while let Node::Internal { entries } = &self.nodes[n.0 as usize] {
+            n = entries.last().expect("non-empty internal").1;
+        }
+        n
+    }
+
+    /// Free routing slots in the root (what Mala needs for her subtree).
+    pub fn root_free_slots(&self) -> usize {
+        match &self.nodes[self.root.0 as usize] {
+            Node::Internal { entries } => self.cfg.internal_capacity - entries.len(),
+            Node::Leaf { keys, .. } => self.cfg.leaf_capacity - keys.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(keys: &[u64], leaf: usize, internal: usize) -> AppendOnlyBPlusTree {
+        let mut t = AppendOnlyBPlusTree::new(BTreeConfig::tiny(leaf, internal));
+        for &k in keys {
+            t.insert(k).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn paper_figure_6a_sequence() {
+        // Figure 6(a): 2, 4, 7, 11, 13, 19, 23, 29, 31 in a small tree.
+        let keys = [2u64, 4, 7, 11, 13, 19, 23, 29, 31];
+        let t = build(&keys, 2, 3);
+        for &k in &keys {
+            assert!(t.lookup(k, &mut |_| {}), "missing {k}");
+        }
+        for miss in [1u64, 3, 12, 24, 32] {
+            assert!(!t.lookup(miss, &mut |_| {}), "phantom {miss}");
+        }
+        assert!(t.height() >= 3, "nine keys with 2-key leaves need 3 levels");
+        assert_eq!(t.leaf_chain_keys(), keys.to_vec());
+    }
+
+    #[test]
+    fn insert_rejects_non_increasing() {
+        let mut t = AppendOnlyBPlusTree::new(BTreeConfig::tiny(2, 2));
+        t.insert(5).unwrap();
+        assert_eq!(t.insert(5), Err(5));
+        assert_eq!(t.insert(4), Err(4));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn find_geq_matches_reference() {
+        let keys: Vec<u64> = (0..500).map(|i| i * 3 + (i % 2)).collect();
+        let t = build(&keys, 4, 4);
+        for probe in 0..1520u64 {
+            let expect = keys.iter().copied().find(|&v| v >= probe);
+            assert_eq!(t.find_geq(probe, &mut |_| {}), expect, "probe {probe}");
+        }
+    }
+
+    #[test]
+    fn lookup_cost_is_logarithmic() {
+        let keys: Vec<u64> = (0..10_000).collect();
+        let t = build(&keys, 64, 64);
+        let mut reads = 0usize;
+        assert!(t.lookup(9_999, &mut |_| reads += 1));
+        assert!(
+            reads <= 3,
+            "expected ≤3 block reads for 10k keys at fanout 64, got {reads}"
+        );
+    }
+
+    #[test]
+    fn large_block_config_shapes() {
+        let cfg = BTreeConfig::for_block_size(8192);
+        assert_eq!(cfg.leaf_capacity, 1024);
+        assert_eq!(cfg.internal_capacity, 682);
+    }
+
+    #[test]
+    fn bottom_up_build_never_overfills_nodes() {
+        let keys: Vec<u64> = (0..2_000).collect();
+        let t = build(&keys, 3, 3);
+        for node in &t.nodes {
+            match node {
+                Node::Leaf { keys, .. } => assert!(keys.len() <= 3),
+                Node::Internal { entries } => assert!(entries.len() <= 3 && !entries.is_empty()),
+            }
+        }
+        assert_eq!(t.leaf_chain_keys().len(), 2_000);
+    }
+
+    #[test]
+    fn single_leaf_tree_works() {
+        let t = build(&[10, 20], 4, 4);
+        assert!(t.lookup(10, &mut |_| {}));
+        assert!(!t.lookup(15, &mut |_| {}));
+        assert_eq!(t.find_geq(11, &mut |_| {}), Some(20));
+        assert_eq!(t.height(), 1);
+        assert_eq!(t.root_free_slots(), 2);
+    }
+}

@@ -1,0 +1,192 @@
+//! Durable archive layout: a directory holding the engine configuration
+//! and the two WORM device images.
+//!
+//! ```text
+//! ARCHIVE/
+//!   config.json    # EngineConfig (assignment, jump geometry, ranking)
+//!   store.worm     # posting lists, tag dictionary, store header
+//!   docs.worm      # record text, term dictionary, document metadata
+//! ```
+//!
+//! `open` always goes through [`SearchEngine::recover`], so every start-up
+//! re-verifies the structural invariants against the raw bytes.
+
+use std::path::Path;
+use tks_core::engine::{EngineConfig, EngineParts, SearchEngine};
+use tks_postings::Timestamp;
+use tks_worm::{load_fs, save_fs};
+
+pub struct Archive {
+    engine: SearchEngine,
+}
+
+impl Archive {
+    /// Create a new archive directory with an empty engine.
+    pub fn init(dir: &Path, config: EngineConfig) -> Result<(), Box<dyn std::error::Error>> {
+        if dir.join("config.json").exists() {
+            return Err(format!("archive already exists at {}", dir.display()).into());
+        }
+        std::fs::create_dir_all(dir)?;
+        let engine = SearchEngine::new(config.clone());
+        std::fs::write(
+            dir.join("config.json"),
+            serde_json::to_string_pretty(&config)?,
+        )?;
+        let archive = Archive { engine };
+        archive.save(dir)
+    }
+
+    /// Load and *recover* an archive: the engine is rebuilt from the raw
+    /// WORM images with full invariant re-verification.
+    pub fn open(dir: &Path) -> Result<Self, Box<dyn std::error::Error>> {
+        let config: EngineConfig =
+            serde_json::from_str(&std::fs::read_to_string(dir.join("config.json"))?)?;
+        let store_fs = load_fs(&std::fs::read(dir.join("store.worm"))?)?;
+        let doc_fs = load_fs(&std::fs::read(dir.join("docs.worm"))?)?;
+        let pos_fs = if config.positional {
+            Some(load_fs(&std::fs::read(dir.join("positions.worm"))?)?)
+        } else {
+            None
+        };
+        let engine = SearchEngine::recover(
+            EngineParts {
+                store_fs,
+                doc_fs,
+                pos_fs,
+            },
+            config,
+        )?;
+        Ok(Archive { engine })
+    }
+
+    /// Persist the WORM images.  Written atomically (temp + rename) so a
+    /// crash mid-save leaves the previous committed image intact.
+    pub fn save(&self, dir: &Path) -> Result<(), Box<dyn std::error::Error>> {
+        let mut images = vec![
+            ("store.worm", save_fs(self.engine.list_store().fs())),
+            ("docs.worm", save_fs(self.engine.doc_fs())),
+        ];
+        if let Some(fs) = self.engine.positions_fs() {
+            images.push(("positions.worm", save_fs(fs)));
+        }
+        for (name, img) in images {
+            let tmp = dir.join(format!("{name}.tmp"));
+            std::fs::write(&tmp, img)?;
+            std::fs::rename(&tmp, dir.join(name))?;
+        }
+        Ok(())
+    }
+
+    pub fn engine(&self) -> &SearchEngine {
+        &self.engine
+    }
+
+    pub fn engine_mut(&mut self) -> &mut SearchEngine {
+        &mut self.engine
+    }
+
+    /// Timestamp of the most recent committed document (floor for new
+    /// commits; backdating is impossible by design).
+    pub fn last_timestamp(&self) -> Timestamp {
+        match self.engine.num_docs() {
+            0 => Timestamp(0),
+            n => self
+                .engine
+                .document_timestamp(tks_postings::DocId(n - 1))
+                .unwrap_or(Timestamp(0)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tks_core::merge::MergeAssignment;
+    use tks_jump::JumpConfig;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("tks-cli-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn config() -> EngineConfig {
+        EngineConfig {
+            assignment: MergeAssignment::uniform(16),
+            jump: Some(JumpConfig::new(2048, 4, 1 << 32)),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn init_add_reopen_search() {
+        let dir = temp_dir("roundtrip");
+        Archive::init(&dir, config()).unwrap();
+        {
+            let mut a = Archive::open(&dir).unwrap();
+            a.engine_mut()
+                .add_document("merger escrow instructions", Timestamp(10))
+                .unwrap();
+            a.engine_mut()
+                .add_document("lunch menu", Timestamp(20))
+                .unwrap();
+            a.save(&dir).unwrap();
+        }
+        // A fresh process: reopen (full recovery) and query.
+        let a = Archive::open(&dir).unwrap();
+        let hits = a.engine().search("merger escrow", 10);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(a.last_timestamp(), Timestamp(20));
+        assert!(a.engine().audit().is_clean());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn double_init_refused() {
+        let dir = temp_dir("double");
+        Archive::init(&dir, config()).unwrap();
+        assert!(Archive::init(&dir, config()).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_image_refused() {
+        let dir = temp_dir("trunc");
+        Archive::init(&dir, config()).unwrap();
+        {
+            let mut a = Archive::open(&dir).unwrap();
+            a.engine_mut()
+                .add_document("evidence record", Timestamp(5))
+                .unwrap();
+            a.save(&dir).unwrap();
+        }
+        let img = std::fs::read(dir.join("store.worm")).unwrap();
+        std::fs::write(dir.join("store.worm"), &img[..img.len() - 5]).unwrap();
+        assert!(Archive::open(&dir).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flipped_posting_byte_refused() {
+        let dir = temp_dir("flip");
+        Archive::init(&dir, config()).unwrap();
+        {
+            let mut a = Archive::open(&dir).unwrap();
+            for i in 0..30u64 {
+                a.engine_mut()
+                    .add_document(&format!("record number {i} compliance"), Timestamp(i))
+                    .unwrap();
+            }
+            a.save(&dir).unwrap();
+        }
+        // Flip one byte near the end of the image (inside posting data).
+        let mut img = std::fs::read(dir.join("store.worm")).unwrap();
+        let n = img.len();
+        img[n - 10] ^= 0x80;
+        std::fs::write(dir.join("store.worm"), &img).unwrap();
+        // Either the image decoder or the structural recovery must refuse;
+        // a silent success would mean a tampered index went live.
+        assert!(Archive::open(&dir).is_err(), "tampered image must not open");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,315 @@
+//! `tks` — a command-line trustworthy record archive.
+//!
+//! Wraps the [`tks_core::SearchEngine`] in a durable on-disk archive: the
+//! two WORM device images plus the engine configuration live in a
+//! directory, and every invocation reloads them through the **full
+//! structural recovery path** (paper §2.3: recovery trusts committed
+//! structures, never markers or logs), so any byte-level tampering with
+//! the images is caught before a single query runs.
+//!
+//! ```text
+//! tks init  ARCHIVE [--lists N] [--jump B] [--block-size L]
+//! tks add   ARCHIVE FILE...            # index text files (mtime = commit time)
+//! tks note  ARCHIVE TS TEXT...         # index an inline note at timestamp TS
+//! tks search ARCHIVE KEYWORD... [--top K]      # ranked disjunctive search
+//! tks all   ARCHIVE KEYWORD...                 # conjunctive (all keywords)
+//! tks range ARCHIVE FROM TO KEYWORD...         # conjunctive within [FROM, TO]
+//! tks audit ARCHIVE                            # structural + deep audit
+//! tks info  ARCHIVE
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use tks_core::engine::{EngineConfig, SearchEngine};
+use tks_core::merge::MergeAssignment;
+use tks_jump::JumpConfig;
+use tks_postings::Timestamp;
+
+mod archive;
+
+use archive::Archive;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  tks init ARCHIVE [--lists N] [--jump B] [--block-size L]\n  \
+         tks add ARCHIVE FILE...\n  tks note ARCHIVE TS TEXT...\n  \
+         tks search ARCHIVE KEYWORD... [--top K]\n  tks all ARCHIVE KEYWORD...\n  \
+         tks phrase ARCHIVE WORD... (positional archives)\n  \
+         tks range ARCHIVE FROM TO KEYWORD...\n  tks audit ARCHIVE\n  tks info ARCHIVE"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    let result = match cmd.as_str() {
+        "init" => cmd_init(&args[1..]),
+        "add" => cmd_add(&args[1..]),
+        "note" => cmd_note(&args[1..]),
+        "search" => cmd_search(&args[1..], false),
+        "phrase" => cmd_phrase(&args[1..]),
+        "all" => cmd_search(&args[1..], true),
+        "range" => cmd_range(&args[1..]),
+        "audit" => cmd_audit(&args[1..]),
+        "info" => cmd_info(&args[1..]),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+fn archive_path(args: &[String]) -> Result<PathBuf, Box<dyn std::error::Error>> {
+    args.first()
+        .map(PathBuf::from)
+        .ok_or_else(|| "missing ARCHIVE argument".into())
+}
+
+fn cmd_init(args: &[String]) -> CliResult {
+    let dir = archive_path(args)?;
+    let mut lists = 1024u32;
+    let mut jump_b: Option<u32> = Some(32);
+    let mut block = 8192usize;
+    let mut positional = false;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--positional" => {
+                positional = true;
+            }
+            "--lists" => {
+                i += 1;
+                lists = args.get(i).ok_or("--lists needs a value")?.parse()?;
+            }
+            "--jump" => {
+                i += 1;
+                let b: u32 = args.get(i).ok_or("--jump needs a value")?.parse()?;
+                jump_b = if b == 0 { None } else { Some(b) };
+            }
+            "--block-size" => {
+                i += 1;
+                block = args.get(i).ok_or("--block-size needs a value")?.parse()?;
+            }
+            other => return Err(format!("unknown flag {other}").into()),
+        }
+        i += 1;
+    }
+    let config = EngineConfig {
+        assignment: MergeAssignment::uniform(lists),
+        jump: jump_b.map(|b| JumpConfig::new(block.max(2048), b, 1 << 32)),
+        block_size: block,
+        positional,
+        ..Default::default()
+    };
+    Archive::init(&dir, config)?;
+    println!("initialized archive at {}", dir.display());
+    Ok(())
+}
+
+fn read_text_file(path: &Path) -> Result<(String, Timestamp), Box<dyn std::error::Error>> {
+    let text = std::fs::read_to_string(path)?;
+    let mtime = std::fs::metadata(path)?
+        .modified()?
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    Ok((text, Timestamp(mtime)))
+}
+
+fn cmd_add(args: &[String]) -> CliResult {
+    let dir = archive_path(args)?;
+    if args.len() < 2 {
+        return Err("add needs at least one FILE".into());
+    }
+    let mut archive = Archive::open(&dir)?;
+    // Commit in mtime order so the monotone commit-time invariant holds.
+    let mut inputs = Vec::new();
+    for f in &args[1..] {
+        let path = PathBuf::from(f);
+        let (text, ts) = read_text_file(&path)?;
+        inputs.push((ts, path, text));
+    }
+    inputs.sort_by_key(|(ts, ..)| *ts);
+    let floor = archive.last_timestamp();
+    for (mut ts, path, text) in inputs {
+        if ts < floor {
+            eprintln!(
+                "note: {} has mtime {} before the archive head {}; committing at the head \
+                 (backdating is impossible by design)",
+                path.display(),
+                ts.0,
+                floor.0
+            );
+            ts = floor;
+        }
+        let doc = archive.engine_mut().add_document(&text, ts)?;
+        println!("committed {} as {doc} @ t={}", path.display(), ts.0);
+    }
+    archive.save(&dir)?;
+    Ok(())
+}
+
+fn cmd_note(args: &[String]) -> CliResult {
+    let dir = archive_path(args)?;
+    let ts: u64 = args.get(1).ok_or("note needs TS")?.parse()?;
+    if args.len() < 3 {
+        return Err("note needs TEXT".into());
+    }
+    let text = args[2..].join(" ");
+    let mut archive = Archive::open(&dir)?;
+    let doc = archive.engine_mut().add_document(&text, Timestamp(ts))?;
+    println!("committed {doc} @ t={ts}");
+    archive.save(&dir)?;
+    Ok(())
+}
+
+fn cmd_search(args: &[String], conjunctive: bool) -> CliResult {
+    let dir = archive_path(args)?;
+    let mut top = 10usize;
+    let mut keywords = Vec::new();
+    let mut i = 1;
+    while i < args.len() {
+        if args[i] == "--top" {
+            i += 1;
+            top = args.get(i).ok_or("--top needs a value")?.parse()?;
+        } else {
+            keywords.push(args[i].clone());
+        }
+        i += 1;
+    }
+    if keywords.is_empty() {
+        return Err("no keywords given".into());
+    }
+    let archive = Archive::open(&dir)?;
+    let engine = archive.engine();
+    let query = keywords.join(" ");
+    if conjunctive {
+        let docs = engine.search_conjunctive(&query)?;
+        println!("{} document(s) contain all of [{query}]:", docs.len());
+        for d in docs {
+            print_doc(engine, d, None);
+        }
+    } else {
+        let hits = engine.search(&query, top);
+        println!("top {} of [{query}]:", hits.len());
+        for h in hits {
+            print_doc(engine, h.doc, Some(h.score));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_phrase(args: &[String]) -> CliResult {
+    let dir = archive_path(args)?;
+    if args.len() < 2 {
+        return Err("phrase needs WORDs".into());
+    }
+    let phrase = args[1..].join(" ");
+    let archive = Archive::open(&dir)?;
+    let engine = archive.engine();
+    let docs = engine.search_phrase(&phrase)?;
+    println!(
+        "{} document(s) contain the exact phrase [{phrase}]:",
+        docs.len()
+    );
+    for d in docs {
+        print_doc(engine, d, None);
+    }
+    Ok(())
+}
+
+fn cmd_range(args: &[String]) -> CliResult {
+    let dir = archive_path(args)?;
+    let from: u64 = args.get(1).ok_or("range needs FROM")?.parse()?;
+    let to: u64 = args.get(2).ok_or("range needs TO")?.parse()?;
+    if args.len() < 4 {
+        return Err("range needs KEYWORDs".into());
+    }
+    let query = args[3..].join(" ");
+    let archive = Archive::open(&dir)?;
+    let engine = archive.engine();
+    let docs = engine.search_conjunctive_in_range(&query, Timestamp(from), Timestamp(to))?;
+    println!(
+        "{} document(s) match [{query}] committed in [{from}, {to}]:",
+        docs.len()
+    );
+    for d in docs {
+        print_doc(engine, d, None);
+    }
+    Ok(())
+}
+
+fn print_doc(engine: &SearchEngine, d: tks_postings::DocId, score: Option<f64>) {
+    let ts = engine.document_timestamp(d).map(|t| t.0).unwrap_or(0);
+    let preview = engine
+        .document_text(d)
+        .map(|t| t.chars().take(70).collect::<String>())
+        .unwrap_or_else(|| "<text not stored>".into());
+    match score {
+        Some(s) => println!("  {d} @ t={ts} (score {s:.3}): {preview}"),
+        None => println!("  {d} @ t={ts}: {preview}"),
+    }
+}
+
+fn cmd_audit(args: &[String]) -> CliResult {
+    let dir = archive_path(args)?;
+    let archive = Archive::open(&dir)?;
+    let (report, phantoms) = archive.engine().audit_deep()?;
+    println!("structural audit:");
+    println!(
+        "  list monotonicity violations: {}",
+        report.list_violations.len()
+    );
+    println!(
+        "  jump-index violations:        {}",
+        report.jump_violations.len()
+    );
+    println!(
+        "  device tamper attempts:       {}",
+        report.device_tamper_attempts
+    );
+    println!("  commit-time index ok:         {}", report.commit_time_ok);
+    println!("posting verification:");
+    println!("  phantom postings:             {}", phantoms.len());
+    for p in phantoms.iter().take(10) {
+        println!(
+            "    {} in {} [{}]: {:?}",
+            p.posting.doc, p.list, p.position, p.reason
+        );
+    }
+    if report.is_clean() && phantoms.is_empty() {
+        println!("VERDICT: clean");
+        Ok(())
+    } else {
+        Err("VERDICT: tamper evidence found".into())
+    }
+}
+
+fn cmd_info(args: &[String]) -> CliResult {
+    let dir = archive_path(args)?;
+    let archive = Archive::open(&dir)?;
+    let e = archive.engine();
+    println!("archive:     {}", dir.display());
+    println!("documents:   {}", e.num_docs());
+    println!("vocabulary:  {} terms", e.vocab_size());
+    println!("lists:       {}", e.config().assignment.num_lists());
+    match &e.config().jump {
+        Some(j) => println!(
+            "jump index:  B={} (block {} B, {} entries/block)",
+            j.branching,
+            j.block_size,
+            j.entries_per_block()
+        ),
+        None => println!("jump index:  disabled"),
+    }
+    Ok(())
+}

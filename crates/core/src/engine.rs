@@ -1,0 +1,1420 @@
+//! The trustworthy search engine.
+//!
+//! [`SearchEngine`] assembles the paper's design into a usable system:
+//!
+//! * **documents on WORM** — record text is committed to an append-only
+//!   WORM file system before the insert call returns;
+//! * **real-time index update** (paper §2.3) — the posting-list appends
+//!   for *every* keyword of a document happen inside the same insert call,
+//!   before control returns to the application.  There is no buffer, no
+//!   recovery log, no time window in which the adversary can suppress an
+//!   index entry;
+//! * **merged posting lists** (paper §3) — the configured
+//!   [`MergeAssignment`] maps terms to physical lists so appends stay
+//!   inside the storage cache; the engine reports every block touch to a
+//!   [`StorageCache`] so experiments can read real I/O counts off a live
+//!   engine (the paper's §3.5 validation);
+//! * **jump indexes** (paper §4, optional) — per-list block jump indexes
+//!   accelerate conjunctive queries via zigzag joins while preserving
+//!   trustworthiness;
+//! * **commit-time jump index** (paper §5) — a jump index over commit
+//!   timestamps supports trustworthy time-range restriction ("Mala must
+//!   not be able to retroactively insert email supposedly committed during
+//!   an earlier period");
+//! * **audits** — every invariant violation detectable from the WORM bytes
+//!   is surfaced as tamper evidence.
+
+use crate::merge::MergeAssignment;
+use crate::ranking::{CollectionStats, RankingModel};
+use crate::tokenizer;
+use crate::zigzag::{zigzag_join_multi, DocCursor, JumpCursor, MemCursor};
+use std::collections::HashMap;
+use tks_jump::block::{BlockJumpIndex, JumpEntry, Touch};
+use tks_jump::{JumpConfig, JumpError, TamperEvidence};
+use tks_postings::list::{ListError, ListStore};
+use tks_postings::{DocId, ListId, Posting, TermId, Timestamp};
+use tks_worm::{
+    AccessKind, BlockId, CacheConfig, IoStats, StorageCache, WormDevice, WormError, WormFs,
+};
+
+/// Engine configuration.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct EngineConfig {
+    /// Disk block size in bytes (paper: 8 KB).
+    pub block_size: usize,
+    /// Storage-server non-volatile cache size in bytes.
+    pub cache_bytes: u64,
+    /// Term → physical-list mapping (paper §3).
+    pub assignment: MergeAssignment,
+    /// Enable per-list jump indexes for conjunctive queries (paper §4).
+    pub jump: Option<JumpConfig>,
+    /// Similarity measure for disjunctive ranking.
+    pub ranking: RankingModel,
+    /// Keep full document text on WORM (disable for corpus-scale
+    /// simulations where only the index matters).
+    pub store_documents: bool,
+    /// Record per-posting token positions (a lockstep WORM sidecar per
+    /// list), enabling exact phrase queries via
+    /// [`SearchEngine::search_phrase`].
+    #[serde(default)]
+    pub positional: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            block_size: 8192,
+            cache_bytes: 4 << 20,
+            assignment: MergeAssignment::uniform(1024),
+            jump: None,
+            ranking: RankingModel::default(),
+            store_documents: true,
+            positional: false,
+        }
+    }
+}
+
+/// Errors surfaced by engine operations.
+#[derive(Debug)]
+pub enum SearchError {
+    /// WORM device/file-system failure.
+    Worm(WormError),
+    /// Posting-list failure (including monotonicity violations).
+    List(ListError),
+    /// Jump-index failure (including tamper evidence).
+    Jump(JumpError),
+    /// Tamper evidence detected at query time.
+    Tamper(TamperEvidence),
+    /// A term falls outside the configured assignment's vocabulary.
+    VocabOverflow {
+        /// The term that did not fit.
+        term: TermId,
+    },
+    /// Phrase queries need a positional engine
+    /// ([`EngineConfig::positional`]).
+    NotPositional,
+    /// Commit timestamps must be non-decreasing.
+    NonMonotonicTimestamp {
+        /// Last committed timestamp.
+        last: Timestamp,
+        /// The offending timestamp.
+        attempted: Timestamp,
+    },
+}
+
+impl std::fmt::Display for SearchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SearchError::Worm(e) => write!(f, "{e}"),
+            SearchError::List(e) => write!(f, "{e}"),
+            SearchError::Jump(e) => write!(f, "{e}"),
+            SearchError::Tamper(t) => write!(f, "{t}"),
+            SearchError::VocabOverflow { term } => {
+                write!(f, "{term} exceeds the merge assignment's vocabulary")
+            }
+            SearchError::NotPositional => {
+                write!(
+                    f,
+                    "phrase queries require a positional engine (EngineConfig::positional)"
+                )
+            }
+            SearchError::NonMonotonicTimestamp { last, attempted } => {
+                write!(f, "commit time {attempted} precedes committed {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SearchError {}
+
+impl From<WormError> for SearchError {
+    fn from(e: WormError) -> Self {
+        SearchError::Worm(e)
+    }
+}
+impl From<ListError> for SearchError {
+    fn from(e: ListError) -> Self {
+        SearchError::List(e)
+    }
+}
+impl From<JumpError> for SearchError {
+    fn from(e: JumpError) -> Self {
+        SearchError::Jump(e)
+    }
+}
+impl From<TamperEvidence> for SearchError {
+    fn from(e: TamperEvidence) -> Self {
+        SearchError::Tamper(e)
+    }
+}
+
+/// A ranked disjunctive-query result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchHit {
+    /// The matching document.
+    pub doc: DocId,
+    /// Similarity score (higher is better).
+    pub score: f64,
+}
+
+/// Commit-time index entry: timestamp (key) + document ID (payload),
+/// packed into the standard 8-byte entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct TimeEntry(u64);
+
+impl TimeEntry {
+    fn new(ts: Timestamp, doc: DocId) -> Self {
+        debug_assert!(ts.0 < (1 << 32), "timestamps are 32-bit seconds");
+        debug_assert!(doc.0 < (1 << 32));
+        Self((ts.0 << 32) | doc.0)
+    }
+    fn doc(self) -> DocId {
+        DocId(self.0 & 0xFFFF_FFFF)
+    }
+}
+
+impl JumpEntry for TimeEntry {
+    fn jump_key(&self) -> u64 {
+        self.0 >> 32
+    }
+    fn to_bytes(&self) -> [u8; 8] {
+        self.0.to_le_bytes()
+    }
+    fn from_bytes(bytes: [u8; 8]) -> Self {
+        Self(u64::from_le_bytes(bytes))
+    }
+}
+
+#[derive(Debug, Clone)]
+struct DocMeta {
+    timestamp: Timestamp,
+    /// Length in tokens (Σ tf), for ranking.
+    len: u64,
+}
+
+/// Engine-wide audit findings (see [`SearchEngine::audit`]).
+#[derive(Debug, Default, Clone)]
+pub struct AuditReport {
+    /// Lists whose raw WORM bytes violate doc-ID monotonicity, with the
+    /// position of the first bad posting.
+    pub list_violations: Vec<(ListId, u64)>,
+    /// Lists whose raw file length differs from the engine's logical
+    /// posting count × 8 — the signature of raw adversarial appends,
+    /// including misaligned garbage that would otherwise shift every
+    /// later decode (found by the adversary fuzz test).  Entries are
+    /// `(list, logical bytes, raw bytes)`.
+    pub length_mismatches: Vec<(ListId, u64, u64)>,
+    /// Jump indexes whose structure fails the full audit.
+    pub jump_violations: Vec<(ListId, String)>,
+    /// Lists whose positional sidecar lost lockstep with the postings.
+    pub position_lockstep_violations: Vec<ListId>,
+    /// Rejected overwrites / early deletes recorded by the WORM devices.
+    pub device_tamper_attempts: usize,
+    /// Whether the commit-time index passes its audit.
+    pub commit_time_ok: bool,
+}
+
+impl AuditReport {
+    /// True when nothing suspicious was found.
+    pub fn is_clean(&self) -> bool {
+        self.list_violations.is_empty()
+            && self.length_mismatches.is_empty()
+            && self.jump_violations.is_empty()
+            && self.position_lockstep_violations.is_empty()
+            && self.device_tamper_attempts == 0
+            && self.commit_time_ok
+    }
+}
+
+/// The trustworthy keyword-search engine (see module docs).
+///
+/// # Example
+///
+/// ```
+/// use tks_core::engine::{EngineConfig, SearchEngine};
+/// use tks_postings::Timestamp;
+///
+/// let mut engine = SearchEngine::new(EngineConfig::default());
+/// let d0 = engine.add_document("quarterly earnings restatement draft", Timestamp(100)).unwrap();
+/// let _d1 = engine.add_document("lunch menu for the cafeteria", Timestamp(101)).unwrap();
+/// let hits = engine.search("earnings restatement", 10);
+/// assert_eq!(hits[0].doc, d0);
+/// ```
+#[derive(Debug)]
+pub struct SearchEngine {
+    config: EngineConfig,
+    dict: HashMap<String, TermId>,
+    term_names: Vec<String>,
+    store: ListStore,
+    cache: StorageCache,
+    /// Per-list jump indexes (empty when disabled).
+    jump: Vec<BlockJumpIndex<Posting>>,
+    doc_fs: WormFs,
+    docs: Vec<DocMeta>,
+    doc_freq: Vec<u64>,
+    commit_times: BlockJumpIndex<TimeEntry>,
+    total_tokens: u64,
+    /// Lockstep positional sidecar (present iff `config.positional`).
+    positions: Option<crate::positions::PositionStore>,
+}
+
+fn recovery_err(msg: &str) -> SearchError {
+    SearchError::List(tks_postings::list::ListError::Recovery(msg.to_string()))
+}
+
+/// Synthetic block-ID namespace for jump-index touches, disjoint from the
+/// list store's device blocks.
+fn jump_block_id(list: ListId, chain_block: u32) -> BlockId {
+    BlockId((1 << 63) | ((list.0 as u64) << 32) | chain_block as u64)
+}
+
+/// Namespace for the commit-time index's blocks.
+fn time_block_id(chain_block: u32) -> BlockId {
+    BlockId((1 << 62) | chain_block as u64)
+}
+
+/// Engine metadata files kept on the document WORM device so the whole
+/// engine is recoverable from raw bytes.
+const TERMS_FILE: &str = "engine/terms";
+const DOCMETA_FILE: &str = "engine/docmeta";
+const DOCMETA_RECORD: usize = 16;
+
+/// The WORM file systems surviving an engine shutdown; everything a
+/// [`SearchEngine::recover`] needs.
+#[derive(Debug)]
+pub struct EngineParts {
+    /// The posting-list store's device (lists, tag dictionary, header).
+    pub store_fs: WormFs,
+    /// The document device (record text, term dictionary, doc metadata).
+    pub doc_fs: WormFs,
+    /// The positional sidecar device, when the engine was positional.
+    pub pos_fs: Option<WormFs>,
+}
+
+impl SearchEngine {
+    /// Create an empty engine.
+    pub fn new(config: EngineConfig) -> Self {
+        let num_lists = config.assignment.num_lists() as usize;
+        let jump = match &config.jump {
+            Some(cfg) => (0..num_lists).map(|_| BlockJumpIndex::new(*cfg)).collect(),
+            None => Vec::new(),
+        };
+        // The commit-time index needs room for its pointer region (B = 32
+        // over 32-bit timestamps needs 868 bytes), so floor its block size.
+        let time_cfg = JumpConfig::new(config.block_size.max(2048), 32, 1 << 32);
+        let mut doc_fs = WormFs::new(WormDevice::new(config.block_size.max(64)));
+        doc_fs.create(TERMS_FILE, u64::MAX).expect("fresh fs");
+        doc_fs.create(DOCMETA_FILE, u64::MAX).expect("fresh fs");
+        Self {
+            cache: StorageCache::new(CacheConfig::new(
+                config.cache_bytes,
+                config.block_size as u32,
+            )),
+            store: ListStore::new(config.block_size, num_lists),
+            jump,
+            doc_fs,
+            docs: Vec::new(),
+            doc_freq: Vec::new(),
+            commit_times: BlockJumpIndex::new(time_cfg),
+            total_tokens: 0,
+            dict: HashMap::new(),
+            term_names: Vec::new(),
+            positions: if config.positional {
+                Some(crate::positions::PositionStore::new(
+                    config.block_size,
+                    num_lists,
+                ))
+            } else {
+                None
+            },
+            config,
+        }
+    }
+
+    /// Shut the engine down, keeping only what a real deployment keeps:
+    /// the WORM devices.
+    pub fn into_parts(self) -> EngineParts {
+        EngineParts {
+            store_fs: self.store.into_fs(),
+            doc_fs: self.doc_fs,
+            pos_fs: self.positions.map(|p| p.into_fs()),
+        }
+    }
+
+    /// Rebuild an engine from raw WORM bytes, re-verifying every
+    /// structural invariant on the way (paper §2.3: recovery cannot trust
+    /// logs or end-of-log markers, only the committed structures).
+    ///
+    /// `config` must describe the engine that wrote the devices (the merge
+    /// assignment in particular); mismatches are detected where possible.
+    pub fn recover(parts: EngineParts, config: EngineConfig) -> Result<Self, SearchError> {
+        let store = ListStore::recover(parts.store_fs)?;
+        if store.num_lists() != config.assignment.num_lists() as usize {
+            return Err(SearchError::List(tks_postings::list::ListError::Recovery(
+                format!(
+                    "store has {} lists but the assignment expects {}",
+                    store.num_lists(),
+                    config.assignment.num_lists()
+                ),
+            )));
+        }
+        let doc_fs = parts.doc_fs;
+
+        // Rebuild the token dictionary.
+        let mut dict = HashMap::new();
+        let mut term_names = Vec::new();
+        let terms_file = doc_fs
+            .open(TERMS_FILE)
+            .map_err(|_| recovery_err("missing term dictionary file"))?;
+        let terms_len = doc_fs.len(terms_file);
+        let mut off = 0u64;
+        while off < terms_len {
+            if off + 2 > terms_len {
+                return Err(recovery_err("truncated term dictionary"));
+            }
+            let len_bytes = doc_fs.read(terms_file, off, 2)?;
+            let len = u16::from_le_bytes(len_bytes[..].try_into().expect("2 bytes")) as u64;
+            off += 2;
+            if off + len > terms_len {
+                return Err(recovery_err("truncated term dictionary entry"));
+            }
+            let name = String::from_utf8(doc_fs.read(terms_file, off, len as usize)?)
+                .map_err(|_| recovery_err("term dictionary entry is not UTF-8"))?;
+            off += len;
+            let id = TermId(term_names.len() as u32);
+            if dict.insert(name.clone(), id).is_some() {
+                return Err(recovery_err("duplicate term in dictionary"));
+            }
+            term_names.push(name);
+        }
+
+        // Rebuild document metadata and the commit-time index.
+        let docmeta_file = doc_fs
+            .open(DOCMETA_FILE)
+            .map_err(|_| recovery_err("missing document metadata file"))?;
+        let meta_len = doc_fs.len(docmeta_file);
+        if !meta_len.is_multiple_of(DOCMETA_RECORD as u64) {
+            return Err(recovery_err("document metadata is not whole records"));
+        }
+        let time_cfg = JumpConfig::new(config.block_size.max(2048), 32, 1 << 32);
+        let mut commit_times = BlockJumpIndex::new(time_cfg);
+        let mut docs = Vec::new();
+        let mut total_tokens = 0u64;
+        for i in 0..(meta_len / DOCMETA_RECORD as u64) {
+            let rec = doc_fs.read(docmeta_file, i * DOCMETA_RECORD as u64, DOCMETA_RECORD)?;
+            let ts = Timestamp(u64::from_le_bytes(rec[0..8].try_into().expect("8 bytes")));
+            let len = u64::from_le_bytes(rec[8..16].try_into().expect("8 bytes"));
+            if let Some(last) = docs.last() {
+                let last: &DocMeta = last;
+                if ts < last.timestamp {
+                    return Err(recovery_err("document metadata timestamps decrease"));
+                }
+            }
+            commit_times.insert(TimeEntry::new(ts, DocId(i)))?;
+            total_tokens += len;
+            docs.push(DocMeta { timestamp: ts, len });
+        }
+
+        // Recompute document frequencies from the recovered lists, and
+        // cross-check postings against the document count.
+        let mut doc_freq = vec![0u64; term_names.len()];
+        for l in 0..store.num_lists() as u32 {
+            let list = ListId(l);
+            for p in store.postings(list)? {
+                if p.doc.0 >= docs.len() as u64 {
+                    return Err(recovery_err(
+                        "posting references a document with no metadata record",
+                    ));
+                }
+                let term = store
+                    .term_of_tag(list, p.term_tag)?
+                    .ok_or_else(|| recovery_err("posting tag has no dictionary entry"))?;
+                if config.assignment.list_of(term) != list {
+                    return Err(recovery_err(
+                        "posting stored in a list its term does not map to",
+                    ));
+                }
+                let slot = term.0 as usize;
+                if slot >= doc_freq.len() {
+                    doc_freq.resize(slot + 1, 0);
+                }
+                doc_freq[slot] += 1;
+            }
+        }
+
+        // Rebuild jump indexes by replaying the recovered lists (entries
+        // are already in key order).
+        let jump = match &config.jump {
+            Some(cfg) => {
+                let mut idxs: Vec<BlockJumpIndex<Posting>> = (0..store.num_lists())
+                    .map(|_| BlockJumpIndex::new(*cfg))
+                    .collect();
+                for l in 0..store.num_lists() as u32 {
+                    for p in store.postings(ListId(l))? {
+                        idxs[l as usize].insert(p)?;
+                    }
+                }
+                idxs
+            }
+            None => Vec::new(),
+        };
+
+        // Rebuild the positional sidecar, verifying lockstep with the
+        // recovered posting counts.
+        let positions = if config.positional {
+            let pos_fs = parts
+                .pos_fs
+                .ok_or_else(|| recovery_err("positional engine but no position device"))?;
+            let counts: Vec<u64> = (0..store.num_lists() as u32)
+                .map(|l| store.len(ListId(l)).unwrap_or(0))
+                .collect();
+            Some(
+                crate::positions::PositionStore::recover(pos_fs, &counts)
+                    .map_err(|e| recovery_err(&e.to_string()))?,
+            )
+        } else {
+            None
+        };
+
+        Ok(Self {
+            cache: StorageCache::new(CacheConfig::new(
+                config.cache_bytes,
+                config.block_size as u32,
+            )),
+            store,
+            jump,
+            doc_fs,
+            docs,
+            doc_freq,
+            commit_times,
+            total_tokens,
+            dict,
+            term_names,
+            positions,
+            config,
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Number of committed documents.
+    pub fn num_docs(&self) -> u64 {
+        self.docs.len() as u64
+    }
+
+    /// Number of distinct terms interned from text.
+    pub fn vocab_size(&self) -> u32 {
+        self.term_names.len() as u32
+    }
+
+    /// Cumulative storage-cache I/O counters.
+    pub fn io_stats(&self) -> IoStats {
+        self.cache.stats()
+    }
+
+    /// The posting-list store (audits, attack harnesses).
+    pub fn list_store(&self) -> &ListStore {
+        &self.store
+    }
+
+    /// Raw mutable access to the posting-list store — the adversary's
+    /// entry point in attack simulations.
+    pub fn list_store_mut(&mut self) -> &mut ListStore {
+        &mut self.store
+    }
+
+    /// The document WORM file system (records, term dictionary, document
+    /// metadata) — for audits, persistence and attack harnesses.
+    pub fn doc_fs(&self) -> &WormFs {
+        &self.doc_fs
+    }
+
+    /// The positional sidecar's file system, when the engine is positional.
+    pub fn positions_fs(&self) -> Option<&WormFs> {
+        self.positions.as_ref().map(|p| p.fs())
+    }
+
+    /// Document frequency of a term (postings in its list).
+    pub fn doc_freq(&self, term: TermId) -> u64 {
+        self.doc_freq.get(term.0 as usize).copied().unwrap_or(0)
+    }
+
+    /// Intern a token, assigning the next dense [`TermId`] and persisting
+    /// the assignment to the WORM term dictionary.
+    pub fn intern(&mut self, token: &str) -> TermId {
+        if let Some(&t) = self.dict.get(token) {
+            return t;
+        }
+        let t = TermId(self.term_names.len() as u32);
+        let file = self.doc_fs.open(TERMS_FILE).expect("created at startup");
+        let bytes = token.as_bytes();
+        let mut rec = Vec::with_capacity(2 + bytes.len());
+        rec.extend_from_slice(&(bytes.len() as u16).to_le_bytes());
+        rec.extend_from_slice(bytes);
+        self.doc_fs
+            .append(file, &rec)
+            .expect("append-only dictionary");
+        self.term_names.push(token.to_string());
+        self.dict.insert(token.to_string(), t);
+        t
+    }
+
+    /// Look up a token without interning.
+    pub fn term_of(&self, token: &str) -> Option<TermId> {
+        self.dict.get(token).copied()
+    }
+
+    /// Commit a text document with the given (non-decreasing) timestamp.
+    /// The document and all of its index entries are durably on WORM when
+    /// this returns — the real-time property of §2.3.
+    pub fn add_document(&mut self, text: &str, ts: Timestamp) -> Result<DocId, SearchError> {
+        let with_positions = tokenizer::term_positions(text);
+        let mut entries: Vec<(TermId, Vec<u32>)> = with_positions
+            .into_iter()
+            .map(|(tok, ps)| (self.intern(&tok), ps))
+            .collect();
+        entries.sort_unstable_by_key(|&(t, _)| t);
+        let terms: Vec<(TermId, u32)> = entries
+            .iter()
+            .map(|(t, ps)| (*t, ps.len() as u32))
+            .collect();
+        let positions: Vec<Vec<u32>> = entries.into_iter().map(|(_, ps)| ps).collect();
+        self.add_document_impl(&terms, ts, Some(text), Some(&positions))
+    }
+
+    /// Commit a pre-tokenised document (the synthetic-corpus path).
+    /// `terms` must be sorted by term ID and duplicate-free.  On a
+    /// positional engine, empty position records keep the sidecar in
+    /// lockstep (such documents never match phrases).
+    pub fn add_document_terms(
+        &mut self,
+        terms: &[(TermId, u32)],
+        ts: Timestamp,
+        raw_text: Option<&str>,
+    ) -> Result<DocId, SearchError> {
+        self.add_document_impl(terms, ts, raw_text, None)
+    }
+
+    fn add_document_impl(
+        &mut self,
+        terms: &[(TermId, u32)],
+        ts: Timestamp,
+        raw_text: Option<&str>,
+        positions: Option<&[Vec<u32>]>,
+    ) -> Result<DocId, SearchError> {
+        if let Some(last) = self.docs.last() {
+            if ts < last.timestamp {
+                return Err(SearchError::NonMonotonicTimestamp {
+                    last: last.timestamp,
+                    attempted: ts,
+                });
+            }
+        }
+        // Validate the whole document against the assignment up front so a
+        // failed insert leaves no partial state.
+        for &(t, _) in terms {
+            let covered = match &self.config.assignment {
+                MergeAssignment::Unmerged { vocab_size } => t.0 < *vocab_size,
+                MergeAssignment::Uniform { .. } => true,
+                MergeAssignment::Table { list_of, .. } => (t.0 as usize) < list_of.len(),
+            };
+            if !covered {
+                return Err(SearchError::VocabOverflow { term: t });
+            }
+        }
+
+        let doc = DocId(self.docs.len() as u64);
+        let len: u64 = terms.iter().map(|&(_, tf)| tf as u64).sum();
+        // 1. The record itself reaches WORM first (we trust the insertion
+        //    application at commit time; see paper §2.1), followed by its
+        //    metadata record, so recovery can never see index entries for
+        //    an unknown document.
+        if self.config.store_documents {
+            if let Some(text) = raw_text {
+                let f = self.doc_fs.create(&format!("docs/{}", doc.0), u64::MAX)?;
+                self.doc_fs.append(f, text.as_bytes())?;
+            }
+        }
+        {
+            let f = self.doc_fs.open(DOCMETA_FILE).expect("created at startup");
+            let mut rec = [0u8; DOCMETA_RECORD];
+            rec[0..8].copy_from_slice(&ts.0.to_le_bytes());
+            rec[8..16].copy_from_slice(&len.to_le_bytes());
+            self.doc_fs.append(f, &rec)?;
+        }
+
+        // 2. Index entries, one per distinct keyword, before returning.
+        let jump_enabled = !self.jump.is_empty();
+        for (i, &(term, tf)) in terms.iter().enumerate() {
+            let list = self.config.assignment.list_of(term);
+            // When jump indexes are enabled the jump blocks *are* the
+            // posting blocks (paper §4.4), so cache accounting comes from
+            // the jump touches; otherwise from the plain list append.
+            let cache = if jump_enabled {
+                None
+            } else {
+                Some(&mut self.cache)
+            };
+            self.store.append(list, term, doc, tf, cache)?;
+            if jump_enabled {
+                let tag = self
+                    .store
+                    .tag_of(list, term)?
+                    .expect("tag allocated by append");
+                let posting = Posting::new(doc, tag, tf);
+                let cache = &mut self.cache;
+                self.jump[list.0 as usize].insert_with(posting, |t| match t {
+                    Touch::Append {
+                        block,
+                        was_empty,
+                        fills,
+                    } => {
+                        cache.access(
+                            jump_block_id(list, block),
+                            AccessKind::Append { was_empty, fills },
+                        );
+                    }
+                    Touch::PointerSet { block, .. } => {
+                        cache.access(jump_block_id(list, block), AccessKind::Update);
+                    }
+                })?;
+            }
+            if let Some(ps) = &mut self.positions {
+                // Lockstep sidecar: one record per appended posting.
+                static EMPTY: &[u32] = &[];
+                let record = positions
+                    .and_then(|p| p.get(i))
+                    .map(|v| &v[..])
+                    .unwrap_or(EMPTY);
+                ps.append(list.0, record)
+                    .map_err(|e| recovery_err(&e.to_string()))?;
+            }
+            let slot = term.0 as usize;
+            if slot >= self.doc_freq.len() {
+                self.doc_freq.resize(slot + 1, 0);
+            }
+            self.doc_freq[slot] += 1;
+        }
+
+        // 3. Commit-time index (paper §5): trustworthy time-range queries.
+        let cache = &mut self.cache;
+        self.commit_times
+            .insert_with(TimeEntry::new(ts, doc), |t| match t {
+                Touch::Append {
+                    block,
+                    was_empty,
+                    fills,
+                } => {
+                    cache.access(
+                        time_block_id(block),
+                        AccessKind::Append { was_empty, fills },
+                    );
+                }
+                Touch::PointerSet { block, .. } => {
+                    cache.access(time_block_id(block), AccessKind::Update);
+                }
+            })?;
+
+        self.total_tokens += len;
+        self.docs.push(DocMeta { timestamp: ts, len });
+        Ok(doc)
+    }
+
+    /// Retrieve a committed document's text.
+    pub fn document_text(&self, doc: DocId) -> Option<String> {
+        let f = self.doc_fs.open(&format!("docs/{}", doc.0)).ok()?;
+        let bytes = self.doc_fs.read(f, 0, self.doc_fs.len(f) as usize).ok()?;
+        String::from_utf8(bytes).ok()
+    }
+
+    /// Commit timestamp of a document.
+    pub fn document_timestamp(&self, doc: DocId) -> Option<Timestamp> {
+        self.docs.get(doc.0 as usize).map(|m| m.timestamp)
+    }
+
+    fn collection_stats(&self) -> CollectionStats {
+        let n = self.docs.len() as u64;
+        CollectionStats {
+            num_docs: n,
+            avg_doc_len: if n == 0 {
+                0.0
+            } else {
+                self.total_tokens as f64 / n as f64
+            },
+        }
+    }
+
+    /// Ranked disjunctive search over a text query (documents containing
+    /// *any* query keyword, best `top_k` by the configured ranking model).
+    pub fn search(&self, query: &str, top_k: usize) -> Vec<SearchHit> {
+        let mut terms: Vec<TermId> = tokenizer::tokenize(query)
+            .iter()
+            .filter_map(|t| self.term_of(t))
+            .collect();
+        terms.sort_unstable();
+        terms.dedup();
+        self.search_terms(&terms, top_k)
+    }
+
+    /// Ranked disjunctive search over term IDs.
+    pub fn search_terms(&self, terms: &[TermId], top_k: usize) -> Vec<SearchHit> {
+        let stats = self.collection_stats();
+        let mut scores: HashMap<DocId, f64> = HashMap::new();
+        for &term in terms {
+            let list = self.config.assignment.list_of(term);
+            let df = self.doc_freq(term);
+            let Ok(postings) = self.store.postings_for_term(list, term) else {
+                continue;
+            };
+            for p in postings {
+                let doc_len = self.docs.get(p.doc.0 as usize).map(|m| m.len).unwrap_or(1);
+                let s = self
+                    .config
+                    .ranking
+                    .score_term(p.tf as u32, doc_len, df, stats);
+                *scores.entry(p.doc).or_insert(0.0) += s;
+            }
+        }
+        let mut hits: Vec<SearchHit> = scores
+            .into_iter()
+            .map(|(doc, score)| SearchHit { doc, score })
+            .collect();
+        hits.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.doc.cmp(&b.doc))
+        });
+        hits.truncate(top_k);
+        hits
+    }
+
+    /// Conjunctive search over a text query (documents containing *all*
+    /// keywords).  Unknown keywords make the result empty, as no document
+    /// can contain them.
+    pub fn search_conjunctive(&self, query: &str) -> Result<Vec<DocId>, SearchError> {
+        let toks = tokenizer::tokenize(query);
+        let mut terms = Vec::with_capacity(toks.len());
+        for t in &toks {
+            match self.term_of(t) {
+                Some(id) => terms.push(id),
+                None => return Ok(Vec::new()),
+            }
+        }
+        terms.sort_unstable();
+        terms.dedup();
+        Ok(self.conjunctive_terms(&terms)?.0)
+    }
+
+    /// Conjunctive search over term IDs, returning the matching documents
+    /// and the distinct index blocks read (the Figure 8(c) cost unit).
+    /// Uses zigzag joins over jump indexes when enabled, else scan-merge.
+    pub fn conjunctive_terms(&self, terms: &[TermId]) -> Result<(Vec<DocId>, u64), SearchError> {
+        if terms.is_empty() {
+            return Ok((Vec::new(), 0));
+        }
+        if !self.jump.is_empty() {
+            let mut cursors: Vec<Box<dyn DocCursor + '_>> = Vec::with_capacity(terms.len());
+            for &term in terms {
+                let list = self.config.assignment.list_of(term);
+                let tag = self.store.tag_of(list, term)?;
+                let Some(tag) = tag else {
+                    return Ok((Vec::new(), 0));
+                };
+                cursors.push(Box::new(JumpCursor::new(
+                    &self.jump[list.0 as usize],
+                    Some(tag),
+                    self.doc_freq(term),
+                )));
+            }
+            return Ok(zigzag_join_multi(cursors));
+        }
+        // Scan-merge fallback: materialise each term's docs (cost = whole
+        // merged lists) and intersect in memory.
+        let mut blocks = 0u64;
+        let mut runs: Vec<Vec<DocId>> = Vec::with_capacity(terms.len());
+        let mut scanned: std::collections::HashSet<u32> = std::collections::HashSet::new();
+        for &term in terms {
+            let list = self.config.assignment.list_of(term);
+            if scanned.insert(list.0) {
+                blocks += self.store.num_blocks(list)?;
+            }
+            let docs: Vec<DocId> = self
+                .store
+                .postings_for_term(list, term)?
+                .map(|p| p.doc)
+                .collect();
+            runs.push(docs);
+        }
+        runs.sort_by_key(|r| r.len());
+        let mut iter = runs.into_iter();
+        let mut acc = iter.next().unwrap_or_default();
+        for run in iter {
+            let next = {
+                let mut a = MemCursor::new(&acc);
+                let mut b = MemCursor::new(&run);
+                crate::zigzag::zigzag_join(&mut a, &mut b)
+            };
+            acc = next;
+            if acc.is_empty() {
+                break;
+            }
+        }
+        Ok((acc, blocks))
+    }
+
+    /// Documents committed in `[from, to]`, answered from the trustworthy
+    /// commit-time jump index (paper §5).
+    pub fn docs_in_time_range(
+        &self,
+        from: Timestamp,
+        to: Timestamp,
+    ) -> Result<Vec<DocId>, SearchError> {
+        if from > to {
+            return Ok(Vec::new());
+        }
+        let mut out = Vec::new();
+        if let Some(pos) = self.commit_times.find_geq(from.0)? {
+            for e in self.commit_times.iter_from(pos) {
+                if e.jump_key() > to.0 {
+                    break;
+                }
+                out.push(e.doc());
+            }
+        }
+        Ok(out)
+    }
+
+    /// Conjunctive search restricted to a commit-time range — the §5
+    /// investigator workflow ("[Stewart Waksal ImClone], Nov.–Dec. 2001").
+    pub fn search_conjunctive_in_range(
+        &self,
+        query: &str,
+        from: Timestamp,
+        to: Timestamp,
+    ) -> Result<Vec<DocId>, SearchError> {
+        let matches = self.search_conjunctive(query)?;
+        let in_range = self.docs_in_time_range(from, to)?;
+        let set: std::collections::HashSet<DocId> = in_range.into_iter().collect();
+        Ok(matches.into_iter().filter(|d| set.contains(d)).collect())
+    }
+
+    /// Exact phrase search (positional engines only): documents in which
+    /// the phrase's tokens occur at consecutive positions.  Unknown tokens
+    /// make the result empty.
+    ///
+    /// Completeness note: candidates come from the trustworthy conjunctive
+    /// join, so a committed phrase occurrence can only be missed if the
+    /// positional sidecar is tampered with — which the position reader and
+    /// the lockstep audit surface as evidence.
+    pub fn search_phrase(&self, phrase: &str) -> Result<Vec<DocId>, SearchError> {
+        let Some(positions) = &self.positions else {
+            return Err(SearchError::NotPositional);
+        };
+        let tokens = tokenizer::tokenize(phrase);
+        if tokens.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut terms = Vec::with_capacity(tokens.len());
+        for t in &tokens {
+            match self.term_of(t) {
+                Some(id) => terms.push(id),
+                None => return Ok(Vec::new()),
+            }
+        }
+        let mut distinct = terms.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        let (candidates, _) = self.conjunctive_terms(&distinct)?;
+        let mut out = Vec::new();
+        'docs: for doc in candidates {
+            let mut tok_pos = Vec::with_capacity(terms.len());
+            for &term in &terms {
+                let list = self.config.assignment.list_of(term);
+                let Some(ord) = self.store.posting_ordinal(list, term, doc)? else {
+                    continue 'docs;
+                };
+                let ps = positions.read(list.0, ord as usize).map_err(|e| {
+                    SearchError::Tamper(TamperEvidence {
+                        invariant: "position-sidecar",
+                        detail: e.to_string(),
+                    })
+                })?;
+                tok_pos.push(ps);
+            }
+            if crate::positions::phrase_match(&tok_pos) {
+                out.push(doc);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Deep audit: everything [`audit`](Self::audit) checks, plus
+    /// posting-vs-document verification (the §5 countermeasure) — every
+    /// posting must reference a committed document that actually contains
+    /// the keyword.  Requires stored documents; O(total postings).
+    pub fn audit_deep(
+        &self,
+    ) -> Result<(AuditReport, Vec<crate::rank_attack::PhantomPosting>), SearchError> {
+        let report = self.audit();
+        let phantoms = crate::rank_attack::detect_phantom_postings(self)?;
+        Ok((report, phantoms))
+    }
+
+    /// Full audit: posting-list monotonicity, jump-index structure,
+    /// commit-time index structure, and device tamper logs.
+    pub fn audit(&self) -> AuditReport {
+        let mut report = AuditReport {
+            commit_time_ok: true,
+            ..AuditReport::default()
+        };
+        for l in 0..self.store.num_lists() as u32 {
+            let list = ListId(l);
+            if let Ok(Some(pos)) = self.store.audit_monotonic(list) {
+                report.list_violations.push((list, pos));
+            }
+            if let (Ok(count), Ok(raw)) = (self.store.len(list), self.store.raw_len(list)) {
+                let logical = count * tks_postings::POSTING_SIZE as u64;
+                if logical != raw {
+                    report.length_mismatches.push((list, logical, raw));
+                }
+            }
+            if let (Some(ps), Ok(count)) = (&self.positions, self.store.len(list)) {
+                if ps.num_records(l) as u64 != count {
+                    report.position_lockstep_violations.push(list);
+                }
+            }
+        }
+        for (l, idx) in self.jump.iter().enumerate() {
+            if let Err(t) = idx.audit() {
+                report
+                    .jump_violations
+                    .push((ListId(l as u32), t.to_string()));
+            }
+        }
+        if self.commit_times.audit().is_err() {
+            report.commit_time_ok = false;
+        }
+        report.device_tamper_attempts =
+            self.store.fs().device().tamper_log().len() + self.doc_fs.device().tamper_log().len();
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> SearchEngine {
+        SearchEngine::new(EngineConfig {
+            assignment: MergeAssignment::uniform(8),
+            cache_bytes: 1 << 20,
+            block_size: 512,
+            ..Default::default()
+        })
+    }
+
+    fn engine_with_jump() -> SearchEngine {
+        SearchEngine::new(EngineConfig {
+            assignment: MergeAssignment::uniform(8),
+            cache_bytes: 1 << 20,
+            block_size: 1024,
+            jump: Some(JumpConfig::new(1024, 4, 1 << 32)),
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn index_and_disjunctive_search() {
+        let mut e = engine();
+        let d0 = e.add_document("the quick brown fox", Timestamp(1)).unwrap();
+        let d1 = e.add_document("the lazy dog sleeps", Timestamp(2)).unwrap();
+        let d2 = e
+            .add_document("quick quick quick dog", Timestamp(3))
+            .unwrap();
+        let hits = e.search("quick", 10);
+        let docs: Vec<DocId> = hits.iter().map(|h| h.doc).collect();
+        assert!(docs.contains(&d0) && docs.contains(&d2) && !docs.contains(&d1));
+        // d2 mentions "quick" three times → ranks above d0.
+        assert_eq!(hits[0].doc, d2);
+    }
+
+    #[test]
+    fn conjunctive_search_scan_and_jump_agree() {
+        let mut plain = engine();
+        let mut jumped = engine_with_jump();
+        let docs = [
+            "alpha beta gamma",
+            "alpha beta",
+            "beta gamma delta",
+            "alpha gamma",
+            "alpha beta gamma delta",
+        ];
+        for (i, d) in docs.iter().enumerate() {
+            plain.add_document(d, Timestamp(i as u64)).unwrap();
+            jumped.add_document(d, Timestamp(i as u64)).unwrap();
+        }
+        let a = plain.search_conjunctive("alpha beta gamma").unwrap();
+        let b = jumped.search_conjunctive("alpha beta gamma").unwrap();
+        assert_eq!(a, vec![DocId(0), DocId(4)]);
+        assert_eq!(a, b);
+        // Unknown keyword → empty.
+        assert!(plain.search_conjunctive("alpha zeta").unwrap().is_empty());
+        assert!(jumped.search_conjunctive("alpha zeta").unwrap().is_empty());
+    }
+
+    #[test]
+    fn document_text_roundtrip() {
+        let mut e = engine();
+        let d = e.add_document("retain this record", Timestamp(5)).unwrap();
+        assert_eq!(e.document_text(d).unwrap(), "retain this record");
+        assert_eq!(e.document_timestamp(d), Some(Timestamp(5)));
+        assert_eq!(e.document_text(DocId(99)), None);
+    }
+
+    #[test]
+    fn timestamps_must_be_non_decreasing() {
+        let mut e = engine();
+        e.add_document("a", Timestamp(10)).unwrap();
+        let err = e.add_document("b", Timestamp(9)).unwrap_err();
+        assert!(matches!(err, SearchError::NonMonotonicTimestamp { .. }));
+        // Equal timestamps are fine (same-second commits).
+        e.add_document("c", Timestamp(10)).unwrap();
+        assert_eq!(e.num_docs(), 2);
+    }
+
+    #[test]
+    fn time_range_queries() {
+        let mut e = engine();
+        for i in 0..10u64 {
+            e.add_document(&format!("memo number {i}"), Timestamp(100 + i * 10))
+                .unwrap();
+        }
+        let docs = e
+            .docs_in_time_range(Timestamp(120), Timestamp(150))
+            .unwrap();
+        assert_eq!(docs, vec![DocId(2), DocId(3), DocId(4), DocId(5)]);
+        assert!(e
+            .docs_in_time_range(Timestamp(500), Timestamp(600))
+            .unwrap()
+            .is_empty());
+        assert!(e
+            .docs_in_time_range(Timestamp(150), Timestamp(120))
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn conjunctive_in_time_range() {
+        let mut e = engine();
+        e.add_document("stewart waksal imclone trade", Timestamp(1000))
+            .unwrap();
+        e.add_document("unrelated waksal note", Timestamp(1500))
+            .unwrap();
+        e.add_document("stewart waksal imclone memo", Timestamp(2000))
+            .unwrap();
+        let hits = e
+            .search_conjunctive_in_range("stewart waksal imclone", Timestamp(900), Timestamp(1500))
+            .unwrap();
+        assert_eq!(hits, vec![DocId(0)]);
+    }
+
+    #[test]
+    fn audit_clean_engine() {
+        let mut e = engine_with_jump();
+        for i in 0..30u64 {
+            e.add_document(&format!("record {i} compliance text"), Timestamp(i))
+                .unwrap();
+        }
+        let report = e.audit();
+        assert!(report.is_clean(), "{report:?}");
+    }
+
+    #[test]
+    fn audit_detects_raw_list_tampering() {
+        let mut e = engine();
+        e.add_document("target evidence document", Timestamp(1))
+            .unwrap();
+        // A later document containing the same keyword guarantees the
+        // keyword's list ends at a doc ID greater than the forged one.
+        e.add_document("more evidence material", Timestamp(2))
+            .unwrap();
+        // Mala appends an out-of-order posting to some list's raw file.
+        let term = e.term_of("evidence").unwrap();
+        let list = e.config().assignment.list_of(term);
+        let name = format!("lists/{}", list.0);
+        let evil = tks_postings::encode_posting(Posting::new(DocId(0), 0, 1));
+        let file = e.list_store().fs().open(&name).unwrap();
+        e.list_store_mut().fs_mut().append(file, &evil).unwrap();
+        // The raw append is on WORM now — but the audit flags the list.
+        let report = e.audit();
+        assert!(report.list_violations.iter().any(|&(l, _)| l == list));
+    }
+
+    #[test]
+    fn io_stats_accumulate_and_merging_reduces_io() {
+        // Unmerged vs merged: with a tiny cache, per-term lists miss
+        // constantly; a merged assignment with as many lists as cache
+        // blocks stays hot.
+        let mk = |assignment: MergeAssignment| {
+            SearchEngine::new(EngineConfig {
+                assignment,
+                cache_bytes: 16 * 512, // 16 blocks
+                block_size: 512,
+                store_documents: false,
+                ..Default::default()
+            })
+        };
+        let mut unmerged = mk(MergeAssignment::unmerged(4096));
+        let mut merged = mk(MergeAssignment::uniform(16));
+        // Synthetic docs with many distinct terms each.
+        for doc in 0..200u64 {
+            let terms: Vec<(TermId, u32)> = (0..40)
+                .map(|j| (TermId((doc as u32 * 7 + j * 13) % 4000), 1))
+                .collect();
+            let mut sorted = terms.clone();
+            sorted.sort_unstable_by_key(|&(t, _)| t);
+            sorted.dedup_by_key(|&mut (t, _)| t);
+            unmerged
+                .add_document_terms(&sorted, Timestamp(doc), None)
+                .unwrap();
+            merged
+                .add_document_terms(&sorted, Timestamp(doc), None)
+                .unwrap();
+        }
+        let u = unmerged.io_stats().total_ios();
+        let m = merged.io_stats().total_ios();
+        assert!(
+            m * 3 < u,
+            "merged {m} I/Os should be far below unmerged {u}"
+        );
+    }
+
+    #[test]
+    fn vocab_overflow_rejected_atomically() {
+        let mut e = SearchEngine::new(EngineConfig {
+            assignment: MergeAssignment::unmerged(4),
+            ..Default::default()
+        });
+        let ok = [(TermId(0), 1), (TermId(3), 1)];
+        e.add_document_terms(&ok, Timestamp(1), None).unwrap();
+        let bad = [(TermId(1), 1), (TermId(9), 1)];
+        let err = e.add_document_terms(&bad, Timestamp(2), None).unwrap_err();
+        assert!(matches!(
+            err,
+            SearchError::VocabOverflow { term: TermId(9) }
+        ));
+        // Nothing from the failed document reached the index.
+        assert_eq!(e.doc_freq(TermId(1)), 0);
+        assert_eq!(e.num_docs(), 1);
+    }
+
+    fn positional_engine() -> SearchEngine {
+        SearchEngine::new(EngineConfig {
+            assignment: MergeAssignment::uniform(8),
+            positional: true,
+            block_size: 512,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn phrase_search_requires_adjacency() {
+        let mut e = positional_engine();
+        let hit = e
+            .add_document(
+                "board approved the earnings restatement draft",
+                Timestamp(1),
+            )
+            .unwrap();
+        let near_miss = e
+            .add_document(
+                "earnings were strong; restatement of goals followed",
+                Timestamp(2),
+            )
+            .unwrap();
+        let phrase = e.search_phrase("earnings restatement").unwrap();
+        assert_eq!(phrase, vec![hit]);
+        // The conjunctive query still finds both.
+        let conj = e.search_conjunctive("earnings restatement").unwrap();
+        assert_eq!(conj, vec![hit, near_miss]);
+        // Longer phrase, repeated words, and misses.
+        assert_eq!(
+            e.search_phrase("the earnings restatement draft").unwrap(),
+            vec![hit]
+        );
+        assert!(e.search_phrase("restatement earnings").unwrap().is_empty());
+        assert!(e
+            .search_phrase("unknown words entirely")
+            .unwrap()
+            .is_empty());
+        assert!(e.search_phrase("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn phrase_search_with_repeated_tokens() {
+        let mut e = positional_engine();
+        let d = e
+            .add_document("buffalo buffalo buffalo graze", Timestamp(1))
+            .unwrap();
+        assert_eq!(e.search_phrase("buffalo buffalo buffalo").unwrap(), vec![d]);
+        assert!(e.search_phrase("buffalo graze buffalo").unwrap().is_empty());
+    }
+
+    #[test]
+    fn phrase_on_non_positional_engine_errors() {
+        let mut e = engine();
+        e.add_document("a b", Timestamp(1)).unwrap();
+        assert!(matches!(
+            e.search_phrase("a b"),
+            Err(SearchError::NotPositional)
+        ));
+    }
+
+    #[test]
+    fn positional_engine_survives_recovery() {
+        let mut e = positional_engine();
+        let hit = e
+            .add_document("exact phrase match here", Timestamp(1))
+            .unwrap();
+        e.add_document("phrase exact no match", Timestamp(2))
+            .unwrap();
+        // Pre-tokenised docs on a positional engine get empty records and
+        // never match phrases, but keep lockstep.
+        e.add_document_terms(&[(TermId(0), 1)], Timestamp(3), None)
+            .unwrap();
+        let config = e.config().clone();
+        assert!(e.audit().is_clean());
+        let r = SearchEngine::recover(e.into_parts(), config).unwrap();
+        assert_eq!(r.search_phrase("exact phrase").unwrap(), vec![hit]);
+        assert!(r.audit().is_clean());
+    }
+
+    #[test]
+    fn positional_lockstep_tampering_detected() {
+        let mut e = positional_engine();
+        e.add_document("target evidence record", Timestamp(1))
+            .unwrap();
+        e.add_document("more evidence here", Timestamp(2)).unwrap();
+        // Mala appends a raw posting without a position record.
+        let term = e.term_of("evidence").unwrap();
+        let list = e.config().assignment.list_of(term);
+        let evil = tks_postings::encode_posting(Posting::new(DocId(1), 0, 1));
+        let f = e
+            .list_store()
+            .fs()
+            .open(&format!("lists/{}", list.0))
+            .unwrap();
+        e.list_store_mut().fs_mut().append(f, &evil).unwrap();
+        let report = e.audit();
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn recovery_roundtrip_preserves_search_results() {
+        let mut e = engine_with_jump();
+        let docs = [
+            "alpha beta gamma compliance",
+            "beta gamma delta records",
+            "alpha gamma retention",
+            "alpha beta gamma delta audit",
+        ];
+        for (i, d) in docs.iter().enumerate() {
+            e.add_document(d, Timestamp(100 + i as u64)).unwrap();
+        }
+        let config = e.config().clone();
+        let disjunctive_before = e.search("alpha gamma", 10);
+        let conjunctive_before = e.search_conjunctive("alpha beta gamma").unwrap();
+        let range_before = e
+            .docs_in_time_range(Timestamp(101), Timestamp(102))
+            .unwrap();
+
+        let r = SearchEngine::recover(e.into_parts(), config).unwrap();
+        assert_eq!(r.num_docs(), 4);
+        assert_eq!(r.vocab_size(), 8);
+        assert_eq!(r.search("alpha gamma", 10), disjunctive_before);
+        assert_eq!(
+            r.search_conjunctive("alpha beta gamma").unwrap(),
+            conjunctive_before
+        );
+        assert_eq!(
+            r.docs_in_time_range(Timestamp(101), Timestamp(102))
+                .unwrap(),
+            range_before
+        );
+        assert_eq!(r.document_text(DocId(0)).unwrap(), docs[0]);
+        assert!(r.audit().is_clean());
+        // The recovered engine keeps working.
+        let mut r = r;
+        let d = r
+            .add_document("alpha epsilon new record", Timestamp(200))
+            .unwrap();
+        assert_eq!(d, DocId(4));
+        assert!(r.search_conjunctive("alpha epsilon").unwrap().contains(&d));
+    }
+
+    #[test]
+    fn recovery_refuses_tampered_lists() {
+        let mut e = engine();
+        e.add_document("evidence one", Timestamp(1)).unwrap();
+        e.add_document("evidence two", Timestamp(2)).unwrap();
+        let config = e.config().clone();
+        let term = e.term_of("evidence").unwrap();
+        let list = config.assignment.list_of(term);
+        let name = format!("lists/{}", list.0);
+        let evil = tks_postings::encode_posting(Posting::new(DocId(0), 0, 1));
+        let f = e.list_store().fs().open(&name).unwrap();
+        e.list_store_mut().fs_mut().append(f, &evil).unwrap();
+        let err = SearchEngine::recover(e.into_parts(), config).unwrap_err();
+        assert!(err.to_string().contains("recovery refused"), "{err}");
+    }
+
+    #[test]
+    fn recovery_refuses_phantom_doc_postings() {
+        let mut e = engine();
+        e.add_document("ledger entry", Timestamp(1)).unwrap();
+        let config = e.config().clone();
+        let term = e.term_of("ledger").unwrap();
+        let list = config.assignment.list_of(term);
+        // A forged posting for a document that was never committed —
+        // monotone, registered tag, but no metadata record.
+        let evil = tks_postings::encode_posting(Posting::new(DocId(50), 0, 1));
+        let f = e
+            .list_store()
+            .fs()
+            .open(&format!("lists/{}", list.0))
+            .unwrap();
+        e.list_store_mut().fs_mut().append(f, &evil).unwrap();
+        let err = SearchEngine::recover(e.into_parts(), config).unwrap_err();
+        assert!(err.to_string().contains("no metadata record"), "{err}");
+    }
+
+    #[test]
+    fn recovery_refuses_wrong_assignment() {
+        let mut e = engine();
+        e.add_document("some text", Timestamp(1)).unwrap();
+        let err = SearchEngine::recover(
+            e.into_parts(),
+            EngineConfig {
+                assignment: MergeAssignment::uniform(99),
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("recovery refused"), "{err}");
+    }
+
+    #[test]
+    fn empty_queries_and_empty_engine() {
+        let e = engine();
+        assert!(e.search("anything", 5).is_empty());
+        assert!(e.search_conjunctive("anything").unwrap().is_empty());
+        let mut e = engine();
+        e.add_document("something", Timestamp(0)).unwrap();
+        assert!(e.search("", 5).is_empty());
+        assert_eq!(e.conjunctive_terms(&[]).unwrap().0, Vec::<DocId>::new());
+    }
+}

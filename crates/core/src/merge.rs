@@ -1,0 +1,219 @@
+//! Posting-list merge assignments (paper §3).
+//!
+//! Appending one posting per term per document to per-term lists costs a
+//! random I/O per append once the storage cache is exhausted — ~500 I/Os
+//! per document, or ~21 even with a 4 GB cache (paper Figure 2).  Merging
+//! the `n` term lists into `M` physical lists, where `M` is the number of
+//! cache blocks, makes *every* append a cache hit: ~1 I/O per document.
+//!
+//! Choosing the merge sets `A₁ … A_M` to minimise the Eq. 1 workload cost
+//! is NP-complete (reduction from minimum sum of squares), so the paper
+//! evaluates heuristics:
+//!
+//! * **uniform** — hash every term into one of `M` lists ("straightforward
+//!   to implement … likely to be the method of choice in practice");
+//! * **popular query terms unmerged** — the `u` most query-frequent terms
+//!   keep private lists, the rest are hashed into the remaining `M − u`;
+//! * **popular document terms unmerged** — ditto by document frequency;
+//! * **learned** variants of either, ranking terms by statistics gathered
+//!   from a 10% prefix of the workload (Figures 3(f)–3(g)) — expressed
+//!   here by simply passing prefix-derived rankings to the same builders.
+
+use serde::{Deserialize, Serialize};
+use tks_postings::{ListId, TermId};
+
+/// Maps every term to the physical posting list that stores its postings.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MergeAssignment {
+    /// One private list per term (the unmerged baseline): term `t` uses
+    /// list `t`.
+    Unmerged {
+        /// Vocabulary size (= number of lists).
+        vocab_size: u32,
+    },
+    /// Every term hashed uniformly into `num_lists` lists.
+    Uniform {
+        /// Number of physical lists `M` (= cache blocks).
+        num_lists: u32,
+    },
+    /// Explicit per-term table (used by the popular-terms-unmerged and
+    /// learned strategies).
+    Table {
+        /// `list_of[t]` = physical list of term `t`.
+        list_of: Vec<u32>,
+        /// Number of physical lists.
+        num_lists: u32,
+    },
+}
+
+/// Multiplicative hash with good avalanche on the low bits (Fibonacci
+/// hashing); deterministic so experiments replay exactly.
+fn hash_term(t: TermId) -> u64 {
+    (t.0 as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .rotate_left(31)
+}
+
+impl MergeAssignment {
+    /// The unmerged baseline over `vocab_size` terms.
+    pub fn unmerged(vocab_size: u32) -> Self {
+        MergeAssignment::Unmerged { vocab_size }
+    }
+
+    /// Uniform hashing into `num_lists` lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_lists == 0`.
+    pub fn uniform(num_lists: u32) -> Self {
+        assert!(num_lists > 0, "need at least one list");
+        MergeAssignment::Uniform { num_lists }
+    }
+
+    /// The paper's popular-terms-unmerged heuristic: the first
+    /// `num_unmerged` terms of `ranked` (descending popularity — by `qi`
+    /// for Figure 3(d), by `ti` for Figure 3(e), or by prefix-learned
+    /// statistics for Figures 3(f)–3(g)) receive private lists; every
+    /// other term is hashed uniformly into the remaining
+    /// `num_lists − num_unmerged` lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `num_unmerged < num_lists` and `ranked` covers at
+    /// least `num_unmerged` terms.
+    pub fn popular_unmerged(
+        ranked: &[TermId],
+        num_unmerged: usize,
+        num_lists: u32,
+        vocab_size: u32,
+    ) -> Self {
+        assert!(
+            (num_unmerged as u32) < num_lists,
+            "unmerged terms must leave room for merged lists"
+        );
+        assert!(
+            ranked.len() >= num_unmerged,
+            "ranking does not cover the unmerged terms"
+        );
+        let merged_lists = num_lists - num_unmerged as u32;
+        let mut list_of: Vec<u32> = (0..vocab_size)
+            .map(|t| num_unmerged as u32 + (hash_term(TermId(t)) % merged_lists as u64) as u32)
+            .collect();
+        for (i, t) in ranked[..num_unmerged].iter().enumerate() {
+            list_of[t.0 as usize] = i as u32;
+        }
+        MergeAssignment::Table { list_of, num_lists }
+    }
+
+    /// The physical list for `term`.
+    pub fn list_of(&self, term: TermId) -> ListId {
+        match self {
+            MergeAssignment::Unmerged { .. } => ListId(term.0),
+            MergeAssignment::Uniform { num_lists } => {
+                ListId((hash_term(term) % *num_lists as u64) as u32)
+            }
+            MergeAssignment::Table { list_of, .. } => ListId(list_of[term.0 as usize]),
+        }
+    }
+
+    /// Number of physical lists.
+    pub fn num_lists(&self) -> u32 {
+        match self {
+            MergeAssignment::Unmerged { vocab_size } => *vocab_size,
+            MergeAssignment::Uniform { num_lists } => *num_lists,
+            MergeAssignment::Table { num_lists, .. } => *num_lists,
+        }
+    }
+
+    /// Group the vocabulary `0..vocab_size` into per-list term sets (the
+    /// paper's `A₁ … A_M`), for cost evaluation.
+    pub fn groups(&self, vocab_size: u32) -> Vec<Vec<TermId>> {
+        let mut groups = vec![Vec::new(); self.num_lists() as usize];
+        for t in 0..vocab_size {
+            let term = TermId(t);
+            groups[self.list_of(term).0 as usize].push(term);
+        }
+        groups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unmerged_is_identity() {
+        let a = MergeAssignment::unmerged(100);
+        assert_eq!(a.list_of(TermId(42)), ListId(42));
+        assert_eq!(a.num_lists(), 100);
+    }
+
+    #[test]
+    fn uniform_is_deterministic_and_in_range() {
+        let a = MergeAssignment::uniform(64);
+        for t in 0..10_000u32 {
+            let l = a.list_of(TermId(t));
+            assert!(l.0 < 64);
+            assert_eq!(l, a.list_of(TermId(t)));
+        }
+    }
+
+    #[test]
+    fn uniform_is_balanced() {
+        let a = MergeAssignment::uniform(32);
+        let mut counts = [0u32; 32];
+        for t in 0..32_000u32 {
+            counts[a.list_of(TermId(t)).0 as usize] += 1;
+        }
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        // 1000 expected per list; hashing should stay within ±25%.
+        assert!(
+            *min > 750 && *max < 1250,
+            "imbalanced: min {min}, max {max}"
+        );
+    }
+
+    #[test]
+    fn popular_unmerged_gives_private_lists() {
+        let ranked: Vec<TermId> = (0..10).map(TermId).collect();
+        let a = MergeAssignment::popular_unmerged(&ranked, 4, 20, 1_000);
+        // The top 4 terms occupy lists 0..4, alone.
+        let groups = a.groups(1_000);
+        for (i, group) in groups.iter().enumerate().take(4) {
+            assert_eq!(group, &vec![TermId(i as u32)]);
+        }
+        // Every other term lands in lists 4..20.
+        for t in 10..1_000u32 {
+            let l = a.list_of(TermId(t)).0;
+            assert!((4..20).contains(&l));
+        }
+        assert_eq!(a.num_lists(), 20);
+    }
+
+    #[test]
+    fn groups_partition_the_vocabulary() {
+        for a in [
+            MergeAssignment::uniform(7),
+            MergeAssignment::unmerged(500),
+            MergeAssignment::popular_unmerged(&(0..5).map(TermId).collect::<Vec<_>>(), 3, 7, 500),
+        ] {
+            let groups = a.groups(500);
+            let total: usize = groups.iter().map(|g| g.len()).sum();
+            assert_eq!(total, 500, "groups must partition the vocabulary");
+            let mut seen = vec![false; 500];
+            for g in &groups {
+                for t in g {
+                    assert!(!seen[t.0 as usize], "term assigned twice");
+                    seen[t.0 as usize] = true;
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "room for merged lists")]
+    fn popular_unmerged_rejects_no_merged_room() {
+        let ranked: Vec<TermId> = (0..10).map(TermId).collect();
+        let _ = MergeAssignment::popular_unmerged(&ranked, 10, 10, 100);
+    }
+}

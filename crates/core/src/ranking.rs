@@ -1,0 +1,142 @@
+//! Document scoring for disjunctive queries.
+//!
+//! Paper §3.1: "The documents in the posting lists are assigned scores
+//! based on similarity measures like cosine \[28\] or Okapi BM-25 \[25\].  The
+//! scores are used to rank the documents."  Both measures are provided;
+//! BM25 is the default.
+//!
+//! Ranking is also the attack surface of §5: scores depend on collection
+//! statistics that an adversary can inflate by stuffing posting lists.
+//! The scorers here recompute statistics from the index itself, and the
+//! [`rank_attack`](crate::rank_attack) module provides the detection
+//! countermeasures.
+
+use serde::{Deserialize, Serialize};
+
+/// Which similarity measure ranks disjunctive query results.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RankingModel {
+    /// Okapi BM25 with the usual free parameters.
+    Bm25 {
+        /// Term-frequency saturation (typical 1.2).
+        k1: f64,
+        /// Length normalisation (typical 0.75).
+        b: f64,
+    },
+    /// Cosine similarity with log-weighted tf·idf components.
+    Cosine,
+}
+
+impl Default for RankingModel {
+    fn default() -> Self {
+        RankingModel::Bm25 { k1: 1.2, b: 0.75 }
+    }
+}
+
+/// Collection-level statistics needed by the scorers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CollectionStats {
+    /// Number of documents in the collection.
+    pub num_docs: u64,
+    /// Mean document length in tokens.
+    pub avg_doc_len: f64,
+}
+
+impl RankingModel {
+    /// Contribution of one query term to one document's score.
+    ///
+    /// * `tf` — the term's frequency in the document;
+    /// * `doc_len` — the document's length in tokens;
+    /// * `doc_freq` — the number of documents containing the term.
+    pub fn score_term(&self, tf: u32, doc_len: u64, doc_freq: u64, stats: CollectionStats) -> f64 {
+        if tf == 0 || doc_freq == 0 || stats.num_docs == 0 {
+            return 0.0;
+        }
+        let tf = tf as f64;
+        let n = stats.num_docs as f64;
+        let df = doc_freq as f64;
+        match *self {
+            RankingModel::Bm25 { k1, b } => {
+                // Robertson–Spärck Jones idf, floored at 0 via the +1 form.
+                let idf = ((n - df + 0.5) / (df + 0.5) + 1.0).ln();
+                let norm = k1 * (1.0 - b + b * doc_len as f64 / stats.avg_doc_len.max(1.0));
+                idf * tf * (k1 + 1.0) / (tf + norm)
+            }
+            RankingModel::Cosine => {
+                let w_tf = 1.0 + tf.ln();
+                let idf = (1.0 + n / df).ln();
+                // Document-length normalisation by √len approximates the
+                // vector norm without a second pass over the document.
+                w_tf * idf / (doc_len as f64).sqrt().max(1.0)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const STATS: CollectionStats = CollectionStats {
+        num_docs: 1_000,
+        avg_doc_len: 100.0,
+    };
+
+    #[test]
+    fn rarer_terms_score_higher() {
+        for model in [RankingModel::default(), RankingModel::Cosine] {
+            let rare = model.score_term(1, 100, 5, STATS);
+            let common = model.score_term(1, 100, 900, STATS);
+            assert!(rare > common, "{model:?}: rare {rare} vs common {common}");
+        }
+    }
+
+    #[test]
+    fn higher_tf_scores_higher_but_saturates() {
+        let m = RankingModel::default();
+        let s1 = m.score_term(1, 100, 50, STATS);
+        let s2 = m.score_term(2, 100, 50, STATS);
+        let s20 = m.score_term(20, 100, 50, STATS);
+        let s40 = m.score_term(40, 100, 50, STATS);
+        assert!(s2 > s1);
+        assert!(s40 > s20);
+        // BM25 saturation: doubling a large tf gains less than doubling a
+        // small one.
+        assert!(s40 - s20 < s2 - s1);
+    }
+
+    #[test]
+    fn longer_docs_penalised() {
+        for model in [RankingModel::default(), RankingModel::Cosine] {
+            let short = model.score_term(3, 50, 50, STATS);
+            let long = model.score_term(3, 500, 50, STATS);
+            assert!(short > long, "{model:?}");
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_are_zero() {
+        let m = RankingModel::default();
+        assert_eq!(m.score_term(0, 100, 50, STATS), 0.0);
+        assert_eq!(m.score_term(3, 100, 0, STATS), 0.0);
+        assert_eq!(
+            m.score_term(
+                3,
+                100,
+                50,
+                CollectionStats {
+                    num_docs: 0,
+                    avg_doc_len: 0.0
+                }
+            ),
+            0.0
+        );
+    }
+
+    #[test]
+    fn bm25_idf_stays_positive_even_for_ubiquitous_terms() {
+        let m = RankingModel::default();
+        let s = m.score_term(1, 100, 1_000, STATS);
+        assert!(s > 0.0, "the +1 idf form must not go negative, got {s}");
+    }
+}

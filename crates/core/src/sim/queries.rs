@@ -1,0 +1,170 @@
+//! Query-cost simulation helpers (Figures 4 and 8(c)).
+//!
+//! Figure 8(c) compares, by blocks read per conjunctive query:
+//!
+//! * zigzag joins over merged lists **with jump indexes** (B ∈ {2,32,64});
+//! * sequential **scan-merge** joins over the same merged lists (no jump
+//!   index) — the "no jump index" denominator of the speedup;
+//! * the ideal **unmerged + per-term B+ tree** baseline.
+//!
+//! The first two run on a real [`SearchEngine`]; the baseline builds
+//! actual [`AppendOnlyBPlusTree`]s for the queried terms.
+
+use crate::engine::{EngineConfig, SearchEngine};
+use crate::zigzag::{zigzag_join_multi, BTreeCursor, DocCursor};
+use std::collections::{HashMap, HashSet};
+use tks_btree::{AppendOnlyBPlusTree, BTreeConfig};
+use tks_corpus::DocumentGenerator;
+use tks_postings::{DocId, TermId};
+
+/// Ingest documents `0..num_docs` from the generator into a fresh engine
+/// with the given configuration (document text is not stored).
+pub fn build_engine(
+    gen: &DocumentGenerator,
+    num_docs: u64,
+    mut config: EngineConfig,
+) -> SearchEngine {
+    config.store_documents = false;
+    let mut engine = SearchEngine::new(config);
+    for doc in gen.docs(0..num_docs) {
+        engine
+            .add_document_terms(&doc.terms, doc.timestamp, None)
+            .expect("synthetic corpus is well-formed");
+    }
+    engine
+}
+
+/// Blocks a sequential scan-merge join reads: every block of every
+/// distinct merged list the query's terms map to.
+pub fn scan_merge_blocks(engine: &SearchEngine, terms: &[TermId]) -> u64 {
+    let mut lists: Vec<u32> = terms
+        .iter()
+        .map(|&t| engine.config().assignment.list_of(t).0)
+        .collect();
+    lists.sort_unstable();
+    lists.dedup();
+    lists
+        .into_iter()
+        .map(|l| {
+            engine
+                .list_store()
+                .num_blocks(tks_postings::ListId(l))
+                .unwrap_or(0)
+        })
+        .sum()
+}
+
+/// Build one append-only B+ tree per term in `needed`, from a single scan
+/// of the corpus — the paper's ideal unmerged baseline.
+pub fn build_term_btrees(
+    gen: &DocumentGenerator,
+    num_docs: u64,
+    needed: &HashSet<TermId>,
+    cfg: BTreeConfig,
+) -> HashMap<TermId, AppendOnlyBPlusTree> {
+    let mut trees: HashMap<TermId, AppendOnlyBPlusTree> = needed
+        .iter()
+        .map(|&t| (t, AppendOnlyBPlusTree::new(cfg)))
+        .collect();
+    for doc in gen.docs(0..num_docs) {
+        for &(t, _) in &doc.terms {
+            if let Some(tree) = trees.get_mut(&t) {
+                tree.insert(doc.id.0)
+                    .expect("doc ids are strictly increasing");
+            }
+        }
+    }
+    trees
+}
+
+/// Conjunctive query over per-term B+ trees via zigzag join; returns the
+/// matches and distinct blocks read, or `None` if a term has no tree.
+pub fn btree_conjunctive_cost(
+    trees: &HashMap<TermId, AppendOnlyBPlusTree>,
+    terms: &[TermId],
+) -> Option<(Vec<DocId>, u64)> {
+    let mut cursors: Vec<Box<dyn DocCursor + '_>> = Vec::with_capacity(terms.len());
+    for t in terms {
+        cursors.push(Box::new(BTreeCursor::new(trees.get(t)?)));
+    }
+    Some(zigzag_join_multi(cursors))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::merge::MergeAssignment;
+    use tks_corpus::CorpusConfig;
+    use tks_jump::JumpConfig;
+
+    fn gen() -> DocumentGenerator {
+        DocumentGenerator::new(CorpusConfig {
+            num_docs: 400,
+            vocab_size: 800,
+            mean_distinct_terms: 25,
+            ..Default::default()
+        })
+    }
+
+    fn reference_conjunction(
+        gen: &DocumentGenerator,
+        num_docs: u64,
+        terms: &[TermId],
+    ) -> Vec<DocId> {
+        gen.docs(0..num_docs)
+            .filter(|d| {
+                terms
+                    .iter()
+                    .all(|t| d.terms.iter().any(|&(dt, _)| dt == *t))
+            })
+            .map(|d| d.id)
+            .collect()
+    }
+
+    #[test]
+    fn engine_paths_and_btree_baseline_agree() {
+        let g = gen();
+        let terms = vec![TermId(0), TermId(1), TermId(3)];
+        let expect = reference_conjunction(&g, 400, &terms);
+        assert!(!expect.is_empty(), "head terms must co-occur at this scale");
+
+        let merged = MergeAssignment::uniform(16);
+        let jump_cfg = JumpConfig::new(2048, 4, 1 << 32);
+        let with_jump = build_engine(
+            &g,
+            400,
+            EngineConfig {
+                assignment: merged.clone(),
+                jump: Some(jump_cfg),
+                ..Default::default()
+            },
+        );
+        let without = build_engine(
+            &g,
+            400,
+            EngineConfig {
+                assignment: merged,
+                jump: None,
+                ..Default::default()
+            },
+        );
+        let (a, jump_blocks) = with_jump.conjunctive_terms(&terms).unwrap();
+        let (b, scan_blocks) = without.conjunctive_terms(&terms).unwrap();
+        assert_eq!(a, expect);
+        assert_eq!(b, expect);
+        assert_eq!(scan_blocks, scan_merge_blocks(&without, &terms));
+        assert!(jump_blocks > 0 && scan_blocks > 0);
+
+        let needed: HashSet<TermId> = terms.iter().copied().collect();
+        let trees = build_term_btrees(&g, 400, &needed, BTreeConfig::tiny(32, 32));
+        let (c, btree_blocks) = btree_conjunctive_cost(&trees, &terms).unwrap();
+        assert_eq!(c, expect);
+        assert!(btree_blocks > 0);
+    }
+
+    #[test]
+    fn missing_term_tree_is_none() {
+        let trees = HashMap::new();
+        assert!(btree_conjunctive_cost(&trees, &[TermId(9)]).is_none());
+    }
+}

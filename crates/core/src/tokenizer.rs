@@ -1,0 +1,122 @@
+//! Keyword extraction for record text.
+//!
+//! Compliance search must be *complete* — the paper rejects heuristic
+//! techniques that "can omit relevant documents" (§3.1 footnote) — so the
+//! tokenizer is deliberately conservative: it lowercases, splits on
+//! non-alphanumeric characters, and keeps *every* token, including
+//! stopwords (a regulator may search for any term; dropping one would hide
+//! records).
+
+/// Lowercased alphanumeric tokens of `text`, in order, with duplicates.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut cur = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            cur.extend(ch.to_lowercase());
+        } else if !cur.is_empty() {
+            tokens.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        tokens.push(cur);
+    }
+    tokens
+}
+
+/// Distinct tokens of `text` with their in-document frequency, sorted by
+/// token (the bag-of-words a document contributes to the index).
+pub fn term_counts(text: &str) -> Vec<(String, u32)> {
+    let mut counts = std::collections::BTreeMap::new();
+    for t in tokenize(text) {
+        *counts.entry(t).or_insert(0u32) += 1;
+    }
+    counts.into_iter().collect()
+}
+
+/// Distinct tokens of `text` with the (0-based, strictly increasing) token
+/// positions at which each occurs, sorted by token — the input for
+/// positional indexing and phrase queries.
+pub fn term_positions(text: &str) -> Vec<(String, Vec<u32>)> {
+    let mut map: std::collections::BTreeMap<String, Vec<u32>> = std::collections::BTreeMap::new();
+    for (i, tok) in tokenize(text).into_iter().enumerate() {
+        map.entry(tok).or_default().push(i as u32);
+    }
+    map.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_and_lowercases() {
+        assert_eq!(
+            tokenize("Hello, World! HELLO?"),
+            vec![
+                "hello".to_string(),
+                "world".to_string(),
+                "hello".to_string()
+            ]
+        );
+    }
+
+    #[test]
+    fn keeps_digits_and_mixed_tokens() {
+        assert_eq!(tokenize("SEC Rule 17a-4"), vec!["sec", "rule", "17a", "4"]);
+    }
+
+    #[test]
+    fn empty_and_symbol_only_input() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("!!! --- ###").is_empty());
+    }
+
+    #[test]
+    fn unicode_handled() {
+        let toks = tokenize("Çalışma RÉSUMÉ");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1], "résumé");
+    }
+
+    #[test]
+    fn term_counts_aggregates() {
+        let counts = term_counts("to be or not to be");
+        assert_eq!(
+            counts,
+            vec![
+                ("be".to_string(), 2),
+                ("not".to_string(), 1),
+                ("or".to_string(), 1),
+                ("to".to_string(), 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_track_token_order() {
+        let pos = term_positions("to be or not to be");
+        let find = |t: &str| pos.iter().find(|(tok, _)| tok == t).unwrap().1.clone();
+        assert_eq!(find("to"), vec![0, 4]);
+        assert_eq!(find("be"), vec![1, 5]);
+        assert_eq!(find("or"), vec![2]);
+        assert_eq!(find("not"), vec![3]);
+        // Agreement with term_counts.
+        for (tok, ps) in &pos {
+            let tf = term_counts("to be or not to be")
+                .iter()
+                .find(|(t, _)| t == tok)
+                .unwrap()
+                .1;
+            assert_eq!(ps.len() as u32, tf);
+        }
+    }
+
+    #[test]
+    fn stopwords_are_kept() {
+        // Completeness: every token is indexable.
+        assert!(term_counts("the the the")
+            .iter()
+            .any(|(t, c)| t == "the" && *c == 3));
+    }
+}

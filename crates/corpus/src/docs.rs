@@ -1,0 +1,302 @@
+//! Deterministic synthetic document stream.
+//!
+//! Documents mimic the paper's IBM intranet crawl: each document contains
+//! a Zipf-distributed bag of keywords with a configurable mean number of
+//! *distinct* terms (the paper's corpus averages ~500, i.e. "500 8-byte
+//! postings per document"), document IDs come from a strictly increasing
+//! counter, and commit timestamps are non-decreasing.
+//!
+//! Document `i` is a pure function of `(seed, i)`, so experiments can
+//! re-stream the corpus per parameter setting instead of materialising
+//! hundreds of millions of postings.
+
+use crate::zipf::ZipfSampler;
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use tks_postings::{DocId, TermId, Timestamp};
+
+/// Shape parameters of the synthetic corpus.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CorpusConfig {
+    /// Number of documents (the paper: 1,000,000).
+    pub num_docs: u64,
+    /// Vocabulary size (the paper: "more than 1,000,000 terms").
+    pub vocab_size: u32,
+    /// Zipf exponent of term selection (θ ≈ 1 for natural language).
+    pub zipf_exponent: f64,
+    /// Target mean number of *distinct* terms per document (the paper:
+    /// ~500).
+    pub mean_distinct_terms: u32,
+    /// Log-normal spread (σ of the underlying normal) of per-document
+    /// length; 0 makes every document the same length.
+    pub doc_len_sigma: f64,
+    /// Base RNG seed; the corpus is a pure function of this.
+    pub seed: u64,
+    /// Commit timestamp of document 0.
+    pub base_timestamp: u64,
+    /// Timestamp increment per document (commit times are non-decreasing).
+    pub timestamp_step: u64,
+}
+
+impl Default for CorpusConfig {
+    /// A laptop-sized default; the figure harnesses scale it up or down
+    /// with command-line flags (see `tks-bench`).
+    fn default() -> Self {
+        Self {
+            num_docs: 10_000,
+            vocab_size: 50_000,
+            zipf_exponent: 1.0,
+            mean_distinct_terms: 100,
+            doc_len_sigma: 0.4,
+            seed: 0xC0FFEE,
+            base_timestamp: 1_100_000_000, // ~Nov 2004, arbitrary
+            timestamp_step: 60,
+        }
+    }
+}
+
+impl CorpusConfig {
+    /// The paper's full-scale evaluation corpus: 1M documents, ~500
+    /// distinct terms each, >1M-term vocabulary.  Streaming it is feasible
+    /// (nothing is materialised) but takes a while; the default scaled
+    /// corpus preserves the distributional shape.
+    pub fn paper_scale() -> Self {
+        Self {
+            num_docs: 1_000_000,
+            vocab_size: 1_200_000,
+            mean_distinct_terms: 500,
+            ..Self::default()
+        }
+    }
+}
+
+/// One synthetic document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Document {
+    /// Strictly increasing document ID (commit order).
+    pub id: DocId,
+    /// Non-decreasing commit timestamp.
+    pub timestamp: Timestamp,
+    /// Distinct terms with in-document frequency, sorted by term ID.
+    pub terms: Vec<(TermId, u32)>,
+}
+
+impl Document {
+    /// Number of distinct terms (= postings this document contributes).
+    pub fn num_distinct_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Total token count (sum of term frequencies).
+    pub fn num_tokens(&self) -> u64 {
+        self.terms.iter().map(|&(_, tf)| tf as u64).sum()
+    }
+
+    /// Render the document as whitespace-separated synthetic tokens
+    /// (`kw<N>`), for feeding text-oriented APIs.
+    pub fn text(&self) -> String {
+        let mut out = String::with_capacity(self.num_tokens() as usize * 8);
+        for &(t, tf) in &self.terms {
+            for _ in 0..tf {
+                out.push_str("kw");
+                out.push_str(&t.0.to_string());
+                out.push(' ');
+            }
+        }
+        out
+    }
+}
+
+/// Deterministic document generator (see module docs).
+///
+/// # Example
+///
+/// ```
+/// use tks_corpus::{CorpusConfig, DocumentGenerator};
+///
+/// let gen = DocumentGenerator::new(CorpusConfig { num_docs: 100, ..Default::default() });
+/// let d0 = gen.doc(0);
+/// let d0_again = gen.doc(0);
+/// assert_eq!(d0, d0_again, "documents are pure functions of (seed, id)");
+/// assert!(d0.num_distinct_terms() > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DocumentGenerator {
+    config: CorpusConfig,
+    zipf: ZipfSampler,
+}
+
+impl DocumentGenerator {
+    /// Build a generator; the Zipf CDF over the vocabulary is precomputed
+    /// once (O(vocab) memory).
+    pub fn new(config: CorpusConfig) -> Self {
+        assert!(config.num_docs >= 1);
+        assert!(config.vocab_size >= 1);
+        assert!(config.mean_distinct_terms >= 1);
+        let zipf = ZipfSampler::new(config.vocab_size as usize, config.zipf_exponent);
+        Self { config, zipf }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CorpusConfig {
+        &self.config
+    }
+
+    /// Generate document `id` (0-based; must be `< num_docs`).
+    pub fn doc(&self, id: u64) -> Document {
+        assert!(id < self.config.num_docs, "document id out of range");
+        let mut rng = SmallRng::seed_from_u64(crate::item_seed(self.config.seed, id));
+        let target = self.sample_target_distinct(&mut rng);
+        let mut counts: HashMap<u32, u32> = HashMap::with_capacity(target * 2);
+        // Draw until `target` distinct terms accumulate; cap total draws so
+        // a target close to the vocabulary size cannot stall on the
+        // coupon-collector tail.
+        let max_draws = target as u64 * 20 + 64;
+        let mut draws = 0u64;
+        while counts.len() < target && draws < max_draws {
+            let term = self.zipf.sample(&mut rng) as u32;
+            *counts.entry(term).or_insert(0) += 1;
+            draws += 1;
+        }
+        let mut terms: Vec<(TermId, u32)> =
+            counts.into_iter().map(|(t, c)| (TermId(t), c)).collect();
+        terms.sort_unstable_by_key(|&(t, _)| t);
+        Document {
+            id: DocId(id),
+            timestamp: Timestamp(self.config.base_timestamp + id * self.config.timestamp_step),
+            terms,
+        }
+    }
+
+    /// Iterate documents `range` in commit order.
+    pub fn docs(&self, range: std::ops::Range<u64>) -> impl Iterator<Item = Document> + '_ {
+        range.map(move |id| self.doc(id))
+    }
+
+    fn sample_target_distinct(&self, rng: &mut SmallRng) -> usize {
+        let mean = self.config.mean_distinct_terms as f64;
+        let sigma = self.config.doc_len_sigma;
+        let target = if sigma <= 0.0 {
+            mean
+        } else {
+            // Log-normal with the requested mean: E[e^(μ+σZ)] = e^(μ+σ²/2).
+            let mu = mean.ln() - sigma * sigma / 2.0;
+            let z: f64 = sample_standard_normal(rng);
+            (mu + sigma * z).exp()
+        };
+        (target.round() as usize).clamp(1, self.config.vocab_size as usize)
+    }
+}
+
+/// Standard normal via Box–Muller (avoids a rand_distr dependency).
+fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CorpusConfig {
+        CorpusConfig {
+            num_docs: 500,
+            vocab_size: 2_000,
+            mean_distinct_terms: 40,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn deterministic_per_id() {
+        let g = DocumentGenerator::new(small());
+        assert_eq!(g.doc(7), g.doc(7));
+        assert_ne!(g.doc(7), g.doc(8));
+    }
+
+    #[test]
+    fn ids_and_timestamps_monotone() {
+        let g = DocumentGenerator::new(small());
+        let mut prev: Option<Document> = None;
+        for d in g.docs(0..50) {
+            if let Some(p) = &prev {
+                assert!(d.id > p.id);
+                assert!(d.timestamp >= p.timestamp);
+            }
+            prev = Some(d);
+        }
+    }
+
+    #[test]
+    fn terms_sorted_distinct_in_vocab() {
+        let g = DocumentGenerator::new(small());
+        for d in g.docs(0..50) {
+            for w in d.terms.windows(2) {
+                assert!(w[0].0 < w[1].0, "terms must be sorted and distinct");
+            }
+            for &(t, tf) in &d.terms {
+                assert!(t.0 < 2_000);
+                assert!(tf >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn mean_length_near_target() {
+        let g = DocumentGenerator::new(small());
+        let total: usize = g.docs(0..300).map(|d| d.num_distinct_terms()).sum();
+        let mean = total as f64 / 300.0;
+        assert!(
+            (25.0..=55.0).contains(&mean),
+            "mean distinct terms {mean} too far from target 40"
+        );
+    }
+
+    #[test]
+    fn head_terms_dominate() {
+        // Term 0 (rank 0) should appear in far more documents than a deep
+        // tail term — the Zipf shape Figure 3(a) plots.
+        let g = DocumentGenerator::new(small());
+        let mut df0 = 0;
+        let mut df_tail = 0;
+        for d in g.docs(0..300) {
+            if d.terms.iter().any(|&(t, _)| t.0 == 0) {
+                df0 += 1;
+            }
+            if d.terms.iter().any(|&(t, _)| t.0 == 1_900) {
+                df_tail += 1;
+            }
+        }
+        assert!(
+            df0 > 250,
+            "rank-0 term should be near-ubiquitous, got {df0}"
+        );
+        assert!(df_tail < 30, "deep-tail term should be rare, got {df_tail}");
+    }
+
+    #[test]
+    fn fixed_length_when_sigma_zero() {
+        let g = DocumentGenerator::new(CorpusConfig {
+            doc_len_sigma: 0.0,
+            mean_distinct_terms: 25,
+            ..small()
+        });
+        for d in g.docs(0..20) {
+            // Draw cap can fall slightly short on unlucky dedup streaks,
+            // but with a 20× cap that is vanishingly rare at this size.
+            assert_eq!(d.num_distinct_terms(), 25);
+        }
+    }
+
+    #[test]
+    fn text_rendering_roundtrips_tokens() {
+        let g = DocumentGenerator::new(small());
+        let d = g.doc(3);
+        let text = d.text();
+        let tokens: Vec<&str> = text.split_whitespace().collect();
+        assert_eq!(tokens.len() as u64, d.num_tokens());
+        assert!(tokens.iter().all(|t| t.starts_with("kw")));
+    }
+}

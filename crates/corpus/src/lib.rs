@@ -1,0 +1,50 @@
+//! # `tks-corpus` — synthetic workload calibrated to the paper's data set
+//!
+//! The paper evaluates on one million documents crawled by an IBM intranet
+//! search engine (~500 keywords per document on average, Zipfian term
+//! distribution, >10⁶ distinct terms) and 300,000 logged user queries whose
+//! term popularity correlates with document popularity — except for terms
+//! like *following* that are "common in documents but rarely queried"
+//! (§3.2–§3.3).  Those data are proprietary; this crate generates a
+//! synthetic equivalent whose *statistical shape* — the only thing the
+//! paper's results depend on — matches:
+//!
+//! * [`ZipfSampler`] — a rank-frequency Zipf(θ) sampler (Figure 3(a));
+//! * [`DocumentGenerator`] — documents with a configurable mean number of
+//!   distinct terms, Zipf-distributed term choices, strictly increasing
+//!   document IDs and non-decreasing commit timestamps;
+//! * [`QueryGenerator`] — a query log whose per-term query frequency is a
+//!   jittered power law over document rank with a configurable fraction of
+//!   "muted" terms (document-popular but query-rare), reproducing the
+//!   qi/ti relationship of Figures 3(b)–3(c);
+//! * [`stats`] — collectors for term frequency `ti` (posting-list length),
+//!   query frequency `qi`, and rank curves.
+//!
+//! Generation is **deterministic and replayable**: document `i` and query
+//! `j` are pure functions of `(seed, i)` / `(seed, j)`, so corpus-scale
+//! experiments can stream documents repeatedly (for each cache size, say)
+//! without storing the corpus.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod docs;
+pub mod email;
+pub mod queries;
+pub mod stats;
+pub mod zipf;
+
+pub use docs::{CorpusConfig, Document, DocumentGenerator};
+pub use queries::{Query, QueryConfig, QueryGenerator};
+pub use stats::{QueryTermStats, TermStats};
+pub use zipf::ZipfSampler;
+
+use std::hash::{Hash, Hasher};
+
+/// Derive a per-item RNG seed from a base seed and an item id, so that
+/// item `i` is a pure function of `(seed, i)`.
+pub(crate) fn item_seed(seed: u64, id: u64) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    (seed, id, 0x5eed_c0de_u64).hash(&mut h);
+    h.finish()
+}

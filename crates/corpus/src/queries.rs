@@ -1,0 +1,299 @@
+//! Deterministic synthetic query log.
+//!
+//! The paper's 300,000 logged intranet queries have three properties the
+//! experiments depend on (§3.3, Figures 3(b)–3(c)):
+//!
+//! 1. per-term query frequency `qi` is itself heavy-tailed;
+//! 2. "the most common terms in the queries (high qi) are also very
+//!    common in the documents (high ti) … people generally query on terms
+//!    that they know about";
+//! 3. "some terms (like 'following') are common in documents but rarely
+//!    queried" — the reason the TF-ranked cumulative cost curve of
+//!    Figure 3(c) peaks more slowly than the QF-ranked one.
+//!
+//! [`QueryGenerator`] models this by giving term `t` (document rank `t`)
+//! the query weight `(t+1)^(−θ_q) · jitter`, where `jitter` is log-normal
+//! (property 2 with noise), and *muting* a random fraction of terms by a
+//! large factor (property 3).  Query lengths follow a short-query
+//! distribution (mean ≈ 2.3 terms, as in web/intranet logs — the paper
+//! cites Silverstein et al.).  Query `j` is a pure function of
+//! `(seed, j)`.
+
+use rand::{rngs::SmallRng, Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use tks_postings::TermId;
+
+/// Shape parameters of the synthetic query log.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryConfig {
+    /// Number of queries (the paper: 300,000).
+    pub num_queries: u64,
+    /// Terms eligible to appear in queries: the `query_vocab` most
+    /// document-frequent terms (users query words they know).
+    pub query_vocab: u32,
+    /// Zipf exponent of query-term popularity.
+    pub zipf_exponent: f64,
+    /// σ of the log-normal jitter decorrelating query rank from document
+    /// rank.
+    pub jitter_sigma: f64,
+    /// Fraction of terms that are document-popular but query-rare
+    /// (the paper's 'following' effect).
+    pub muted_fraction: f64,
+    /// Weight multiplier applied to muted terms (≪ 1).
+    pub mute_factor: f64,
+    /// Probability of each query length 1, 2, 3, … (normalised
+    /// internally).
+    pub len_weights: Vec<f64>,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for QueryConfig {
+    fn default() -> Self {
+        Self {
+            num_queries: 10_000,
+            query_vocab: 10_000,
+            zipf_exponent: 1.0,
+            jitter_sigma: 1.0,
+            muted_fraction: 0.10,
+            mute_factor: 1e-3,
+            // Mean ≈ 2.3 terms/query, like intranet/web logs.
+            len_weights: vec![0.28, 0.36, 0.20, 0.09, 0.04, 0.02, 0.01],
+            seed: 0xBEEF,
+        }
+    }
+}
+
+impl QueryConfig {
+    /// The paper's full-scale query log: 300,000 queries over the head of
+    /// a >1M-term vocabulary.
+    pub fn paper_scale() -> Self {
+        Self {
+            num_queries: 300_000,
+            query_vocab: 60_000,
+            ..Self::default()
+        }
+    }
+}
+
+/// One multi-keyword query (distinct terms).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Query {
+    /// 0-based position in the log.
+    pub id: u64,
+    /// Distinct query terms.
+    pub terms: Vec<TermId>,
+}
+
+/// Deterministic query-log generator (see module docs).
+///
+/// # Example
+///
+/// ```
+/// use tks_corpus::{QueryConfig, QueryGenerator};
+///
+/// let gen = QueryGenerator::new(QueryConfig::default());
+/// let q = gen.query(42);
+/// assert!(!q.terms.is_empty() && q.terms.len() <= 7);
+/// assert_eq!(q, gen.query(42), "queries are pure functions of (seed, id)");
+/// ```
+#[derive(Debug, Clone)]
+pub struct QueryGenerator {
+    config: QueryConfig,
+    /// CDF over the query vocabulary (term id = index).
+    cdf: Vec<f64>,
+    len_cdf: Vec<f64>,
+}
+
+impl QueryGenerator {
+    /// Build the generator: term weights (power law × jitter × muting) are
+    /// drawn once from `seed`, then normalised into a CDF.
+    pub fn new(config: QueryConfig) -> Self {
+        assert!(config.num_queries >= 1);
+        assert!(config.query_vocab >= 1);
+        assert!(!config.len_weights.is_empty());
+        let mut rng = SmallRng::seed_from_u64(crate::item_seed(config.seed, u64::MAX));
+        let mut cdf = Vec::with_capacity(config.query_vocab as usize);
+        let mut acc = 0.0f64;
+        for t in 0..config.query_vocab as usize {
+            let base = ((t + 1) as f64).powf(-config.zipf_exponent);
+            let jitter = if config.jitter_sigma > 0.0 {
+                let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                let u2: f64 = rng.gen();
+                let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                (config.jitter_sigma * z).exp()
+            } else {
+                1.0
+            };
+            let mute = if rng.gen::<f64>() < config.muted_fraction {
+                config.mute_factor
+            } else {
+                1.0
+            };
+            acc += base * jitter * mute;
+            cdf.push(acc);
+        }
+        for v in &mut cdf {
+            *v /= acc;
+        }
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        let mut len_cdf = Vec::with_capacity(config.len_weights.len());
+        let mut lacc = 0.0;
+        for &w in &config.len_weights {
+            assert!(w >= 0.0);
+            lacc += w;
+            len_cdf.push(lacc);
+        }
+        for v in &mut len_cdf {
+            *v /= lacc;
+        }
+        if let Some(last) = len_cdf.last_mut() {
+            *last = 1.0;
+        }
+        Self {
+            config,
+            cdf,
+            len_cdf,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &QueryConfig {
+        &self.config
+    }
+
+    /// Generate query `id` with a sampled length.
+    pub fn query(&self, id: u64) -> Query {
+        let mut rng = SmallRng::seed_from_u64(crate::item_seed(self.config.seed, id));
+        let u: f64 = rng.gen();
+        let len = self.len_cdf.partition_point(|&c| c < u) + 1;
+        self.query_of_len(id, len)
+    }
+
+    /// Generate query `id` with exactly `len` distinct terms (used by the
+    /// Figure 8(c) harness, which sweeps query length 2–7).
+    pub fn query_of_len(&self, id: u64, len: usize) -> Query {
+        let len = len.min(self.config.query_vocab as usize);
+        let mut rng = SmallRng::seed_from_u64(crate::item_seed(self.config.seed ^ 0xA11CE, id));
+        let mut terms: Vec<TermId> = Vec::with_capacity(len);
+        let mut guard = 0;
+        while terms.len() < len && guard < len * 100 + 100 {
+            let u: f64 = rng.gen();
+            let t = TermId(self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1) as u32);
+            if !terms.contains(&t) {
+                terms.push(t);
+            }
+            guard += 1;
+        }
+        // Pathological configs (vocab smaller than len) fall back to the
+        // first few terms to stay total.
+        let mut fill = 0u32;
+        while terms.len() < len {
+            let t = TermId(fill);
+            if !terms.contains(&t) {
+                terms.push(t);
+            }
+            fill += 1;
+        }
+        Query { id, terms }
+    }
+
+    /// Iterate queries `range` in log order.
+    pub fn queries(&self, range: std::ops::Range<u64>) -> impl Iterator<Item = Query> + '_ {
+        range.map(move |id| self.query(id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen() -> QueryGenerator {
+        QueryGenerator::new(QueryConfig {
+            query_vocab: 2_000,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn deterministic_and_distinct_terms() {
+        let g = gen();
+        for id in 0..50 {
+            let q = g.query(id);
+            assert_eq!(q, g.query(id));
+            let mut t = q.terms.clone();
+            t.sort_unstable();
+            t.dedup();
+            assert_eq!(t.len(), q.terms.len(), "terms must be distinct");
+        }
+    }
+
+    #[test]
+    fn lengths_follow_configured_support() {
+        let g = gen();
+        let max_len = g.config().len_weights.len();
+        let mut seen = vec![0u64; max_len + 1];
+        for q in g.queries(0..3_000) {
+            assert!((1..=max_len).contains(&q.terms.len()));
+            seen[q.terms.len()] += 1;
+        }
+        // One- and two-term queries dominate.
+        assert!(seen[1] + seen[2] > seen[3..].iter().sum::<u64>());
+    }
+
+    #[test]
+    fn fixed_length_queries() {
+        let g = gen();
+        for len in 2..=7 {
+            let q = g.query_of_len(5, len);
+            assert_eq!(q.terms.len(), len);
+        }
+    }
+
+    #[test]
+    fn popular_terms_queried_more() {
+        let g = gen();
+        let mut counts = vec![0u64; 2_000];
+        for q in g.queries(0..20_000) {
+            for t in &q.terms {
+                counts[t.0 as usize] += 1;
+            }
+        }
+        let head: u64 = counts[..20].iter().sum();
+        let tail: u64 = counts[1_900..].iter().sum();
+        assert!(head > tail * 5, "head {head} should dominate tail {tail}");
+    }
+
+    #[test]
+    fn muting_creates_doc_popular_query_rare_terms() {
+        // With heavy muting, some of the top-50 document-rank terms must
+        // be queried (almost) never — the 'following' effect.
+        let g = QueryGenerator::new(QueryConfig {
+            query_vocab: 500,
+            muted_fraction: 0.3,
+            mute_factor: 1e-6,
+            ..Default::default()
+        });
+        let mut counts = vec![0u64; 500];
+        for q in g.queries(0..30_000) {
+            for t in &q.terms {
+                counts[t.0 as usize] += 1;
+            }
+        }
+        let median_head = {
+            let mut head: Vec<u64> = counts[..50].to_vec();
+            head.sort_unstable();
+            head[25]
+        };
+        let muted_in_head = counts[..50]
+            .iter()
+            .filter(|&&c| (c as f64) < median_head as f64 * 0.01)
+            .count();
+        assert!(
+            muted_in_head >= 5,
+            "expected several muted head terms, got {muted_in_head} (median {median_head})"
+        );
+    }
+}

@@ -1,0 +1,212 @@
+//! Workload statistics: term frequency `ti`, query frequency `qi`, and
+//! rank curves.
+//!
+//! In the paper's notation (§3.1): `ti` is the length of term *i*'s
+//! unmerged posting list (the number of documents containing the term) and
+//! `qi` is the number of queries containing the term.  These two vectors
+//! drive everything in Section 3: the workload-cost model (Eq. 1), the
+//! merging heuristics ("popular terms unmerged"), and the learned variants
+//! that estimate the statistics from a 10% prefix (Figures 3(f)–3(g)).
+
+use crate::docs::DocumentGenerator;
+use crate::queries::QueryGenerator;
+use serde::{Deserialize, Serialize};
+use tks_postings::TermId;
+
+/// Per-term document frequency: `ti` in the paper.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TermStats {
+    /// `doc_freq[t]` = number of documents containing term `t`.
+    pub doc_freq: Vec<u64>,
+    /// Documents scanned.
+    pub num_docs: u64,
+    /// Total postings (Σ ti).
+    pub total_postings: u64,
+}
+
+impl TermStats {
+    /// Scan documents `range` from the generator and count document
+    /// frequencies.
+    pub fn collect(gen: &DocumentGenerator, range: std::ops::Range<u64>) -> Self {
+        let mut doc_freq = vec![0u64; gen.config().vocab_size as usize];
+        let mut total = 0u64;
+        let num_docs = range.end - range.start;
+        for doc in gen.docs(range) {
+            for &(t, _) in &doc.terms {
+                doc_freq[t.0 as usize] += 1;
+                total += 1;
+            }
+        }
+        Self {
+            doc_freq,
+            num_docs,
+            total_postings: total,
+        }
+    }
+
+    /// `ti` for one term.
+    pub fn ti(&self, t: TermId) -> u64 {
+        self.doc_freq.get(t.0 as usize).copied().unwrap_or(0)
+    }
+
+    /// Term IDs sorted by decreasing document frequency (rank order for
+    /// Figure 3(a) and the "popular document terms" merging heuristic).
+    pub fn terms_by_rank(&self) -> Vec<TermId> {
+        let mut ids: Vec<TermId> = (0..self.doc_freq.len() as u32).map(TermId).collect();
+        ids.sort_by_key(|t| std::cmp::Reverse(self.doc_freq[t.0 as usize]));
+        ids
+    }
+
+    /// The rank curve (frequencies sorted descending) — Figure 3(a)'s
+    /// y-values.
+    pub fn rank_curve(&self) -> Vec<u64> {
+        let mut f = self.doc_freq.clone();
+        f.sort_unstable_by(|a, b| b.cmp(a));
+        f
+    }
+
+    /// Scale `ti` estimates from a prefix sample up to a full corpus of
+    /// `full_docs` documents (used by the learned merging strategies).
+    pub fn extrapolate(&self, full_docs: u64) -> Vec<f64> {
+        let factor = full_docs as f64 / self.num_docs.max(1) as f64;
+        self.doc_freq.iter().map(|&f| f as f64 * factor).collect()
+    }
+}
+
+/// Per-term query frequency: `qi` in the paper.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueryTermStats {
+    /// `query_freq[t]` = number of queries containing term `t`.
+    pub query_freq: Vec<u64>,
+    /// Queries scanned.
+    pub num_queries: u64,
+}
+
+impl QueryTermStats {
+    /// Scan queries `range` from the generator and count query
+    /// frequencies over a vocabulary of `vocab_size` terms.
+    pub fn collect(gen: &QueryGenerator, range: std::ops::Range<u64>, vocab_size: u32) -> Self {
+        let mut query_freq = vec![0u64; vocab_size as usize];
+        let num_queries = range.end - range.start;
+        for q in gen.queries(range) {
+            for t in &q.terms {
+                if let Some(slot) = query_freq.get_mut(t.0 as usize) {
+                    *slot += 1;
+                }
+            }
+        }
+        Self {
+            query_freq,
+            num_queries,
+        }
+    }
+
+    /// `qi` for one term.
+    pub fn qi(&self, t: TermId) -> u64 {
+        self.query_freq.get(t.0 as usize).copied().unwrap_or(0)
+    }
+
+    /// Term IDs sorted by decreasing query frequency ("popular query
+    /// terms" heuristic).
+    pub fn terms_by_rank(&self) -> Vec<TermId> {
+        let mut ids: Vec<TermId> = (0..self.query_freq.len() as u32).map(TermId).collect();
+        ids.sort_by_key(|t| std::cmp::Reverse(self.query_freq[t.0 as usize]));
+        ids
+    }
+
+    /// The rank curve — Figure 3(b)'s y-values.
+    pub fn rank_curve(&self) -> Vec<u64> {
+        let mut f = self.query_freq.clone();
+        f.sort_unstable_by(|a, b| b.cmp(a));
+        f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::docs::CorpusConfig;
+    use crate::queries::QueryConfig;
+
+    fn doc_gen() -> DocumentGenerator {
+        DocumentGenerator::new(CorpusConfig {
+            num_docs: 400,
+            vocab_size: 1_000,
+            mean_distinct_terms: 30,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn term_stats_consistency() {
+        let g = doc_gen();
+        let s = TermStats::collect(&g, 0..400);
+        assert_eq!(s.num_docs, 400);
+        assert_eq!(s.total_postings, s.doc_freq.iter().sum::<u64>());
+        // No term can appear in more documents than exist.
+        assert!(s.doc_freq.iter().all(|&f| f <= 400));
+        // Rank curve is sorted.
+        let rc = s.rank_curve();
+        assert!(rc.windows(2).all(|w| w[0] >= w[1]));
+        assert_eq!(rc[0], *s.doc_freq.iter().max().unwrap());
+    }
+
+    #[test]
+    fn term_rank_order_matches_freq() {
+        let g = doc_gen();
+        let s = TermStats::collect(&g, 0..400);
+        let ranked = s.terms_by_rank();
+        for w in ranked.windows(2) {
+            assert!(s.ti(w[0]) >= s.ti(w[1]));
+        }
+        // Zipf: low term IDs (head ranks) should top the ranking.
+        assert!(ranked[0].0 < 20);
+    }
+
+    #[test]
+    fn prefix_stats_extrapolate_close_to_full() {
+        // The §3.3 learning experiment: statistics from the first 10% of
+        // documents predict the full corpus well for head terms.
+        let g = doc_gen();
+        let prefix = TermStats::collect(&g, 0..40);
+        let full = TermStats::collect(&g, 0..400);
+        let est = prefix.extrapolate(400);
+        for t in 0..10u32 {
+            let e = est[t as usize];
+            let f = full.doc_freq[t as usize] as f64;
+            assert!(
+                (e - f).abs() / f.max(1.0) < 0.35,
+                "head term {t}: estimated {e:.0} vs actual {f:.0}"
+            );
+        }
+    }
+
+    #[test]
+    fn query_stats_consistency() {
+        let qg = QueryGenerator::new(QueryConfig {
+            query_vocab: 1_000,
+            ..Default::default()
+        });
+        let s = QueryTermStats::collect(&qg, 0..2_000, 1_000);
+        assert_eq!(s.num_queries, 2_000);
+        let total: u64 = s.query_freq.iter().sum();
+        assert!(total >= 2_000, "each query has ≥1 term");
+        let ranked = s.terms_by_rank();
+        for w in ranked.windows(2) {
+            assert!(s.qi(w[0]) >= s.qi(w[1]));
+        }
+    }
+
+    #[test]
+    fn qi_out_of_vocab_terms_ignored() {
+        // Queries can reference terms ≥ vocab_size if the caller passes a
+        // smaller vocabulary; those are counted nowhere but must not panic.
+        let qg = QueryGenerator::new(QueryConfig {
+            query_vocab: 1_000,
+            ..Default::default()
+        });
+        let s = QueryTermStats::collect(&qg, 0..100, 10);
+        assert_eq!(s.query_freq.len(), 10);
+        assert_eq!(s.qi(TermId(5_000)), 0);
+    }
+}

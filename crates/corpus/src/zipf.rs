@@ -1,0 +1,174 @@
+//! Rank-frequency Zipf sampling.
+//!
+//! The paper (citing Zipf \[30\]) relies on the Zipfian distribution of
+//! keywords in document databases: "most words occur in very few
+//! documents" (§3), which is why caching alone cannot make unmerged
+//! posting-list updates cheap (Figure 2) and why uniform merging works so
+//! well (§3.4).
+//!
+//! [`ZipfSampler`] samples ranks `0..n` with `P(rank r) ∝ (r+1)^(−θ)` via
+//! a precomputed CDF and binary search — O(n) memory, O(log n) per draw,
+//! deterministic given the caller's RNG.
+
+use rand::Rng;
+
+/// Sampler for the Zipf(θ) distribution over ranks `0..n`.
+///
+/// # Example
+///
+/// ```
+/// use rand::{rngs::SmallRng, SeedableRng};
+/// use tks_corpus::ZipfSampler;
+///
+/// let z = ZipfSampler::new(1000, 1.0);
+/// let mut rng = SmallRng::seed_from_u64(7);
+/// let r = z.sample(&mut rng);
+/// assert!(r < 1000);
+/// // Rank 0 is the most likely outcome.
+/// assert!(z.pmf(0) > z.pmf(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+    exponent: f64,
+}
+
+impl ZipfSampler {
+    /// Build a sampler over `n` ranks with exponent `exponent` (θ ≈ 1 for
+    /// natural-language vocabularies).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `exponent` is not finite and non-negative.
+    pub fn new(n: usize, exponent: f64) -> Self {
+        assert!(n > 0, "need at least one rank");
+        assert!(
+            exponent.is_finite() && exponent >= 0.0,
+            "exponent must be finite and ≥ 0"
+        );
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for r in 0..n {
+            acc += ((r + 1) as f64).powf(-exponent);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        // Guard against floating-point shortfall at the top.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Self { cdf, exponent }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the sampler has zero ranks (never true — see `new`).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// The configured exponent θ.
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    /// Probability of drawing `rank`.
+    pub fn pmf(&self, rank: usize) -> f64 {
+        let hi = self.cdf[rank];
+        let lo = if rank == 0 { 0.0 } else { self.cdf[rank - 1] };
+        hi - lo
+    }
+
+    /// Draw a rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Expected number of *distinct* ranks seen in `draws` independent
+    /// draws (used to calibrate document length targets):
+    /// `Σ_r (1 − (1 − p_r)^draws)`.
+    pub fn expected_distinct(&self, draws: u64) -> f64 {
+        (0..self.len())
+            .map(|r| 1.0 - (1.0 - self.pmf(r)).powi(draws as i32))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::SmallRng, SeedableRng};
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = ZipfSampler::new(500, 1.0);
+        let total: f64 = (0..500).map(|r| z.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pmf_is_monotone_decreasing() {
+        let z = ZipfSampler::new(100, 1.2);
+        for r in 1..100 {
+            assert!(z.pmf(r) < z.pmf(r - 1));
+        }
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform() {
+        let z = ZipfSampler::new(10, 0.0);
+        for r in 0..10 {
+            assert!((z.pmf(r) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empirical_frequencies_match_pmf() {
+        let z = ZipfSampler::new(50, 1.0);
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mut counts = vec![0u64; 50];
+        let n = 200_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for (r, &count) in counts.iter().enumerate().take(10) {
+            let emp = count as f64 / n as f64;
+            let exp = z.pmf(r);
+            assert!(
+                (emp - exp).abs() < 0.01,
+                "rank {r}: empirical {emp:.4} vs pmf {exp:.4}"
+            );
+        }
+        // Head dominates: rank 0 drawn far more than rank 49.
+        assert!(counts[0] > counts[49] * 10);
+    }
+
+    #[test]
+    fn sample_never_out_of_range() {
+        let z = ZipfSampler::new(3, 2.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 3);
+        }
+    }
+
+    #[test]
+    fn expected_distinct_is_sane() {
+        let z = ZipfSampler::new(1000, 1.0);
+        let d1 = z.expected_distinct(10);
+        let d2 = z.expected_distinct(100);
+        let d3 = z.expected_distinct(10_000);
+        assert!(d1 < d2 && d2 < d3);
+        assert!(d1 <= 10.0 + 1e-9);
+        assert!(d3 <= 1000.0 + 1e-9);
+        // With vastly more draws than ranks, nearly all ranks appear.
+        assert!(d3 > 900.0);
+    }
+}

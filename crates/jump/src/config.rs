@@ -1,0 +1,224 @@
+//! Jump-index sizing: block geometry and the space-overhead model of
+//! Figure 8(a).
+
+/// Geometry of a block jump index (paper §4.4/§4.5).
+///
+/// The constraint the paper states for a block of size `L` holding `p`
+/// 8-byte posting entries and `(B−1)·⌈log_B N⌉` 4-byte jump pointers is
+///
+/// ```text
+/// 8·p + 4·(B−1)·⌈log_B N⌉ ≤ L
+/// ```
+///
+/// `JumpConfig` solves for the largest such `p`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct JumpConfig {
+    /// Block size `L` in bytes (the paper evaluates 4–32 KB, mainly 8 KB).
+    pub block_size: usize,
+    /// Branching factor `B ≥ 2` (powers of two from 2 to 64 in the paper;
+    /// `B = 32` is the paper's recommended tradeoff).
+    pub branching: u32,
+    /// Largest key the index must accommodate; the paper sets `N = 2³²`.
+    pub max_key: u64,
+}
+
+impl Default for JumpConfig {
+    /// The paper's primary configuration: `L = 8 KB`, `B = 32`, `N = 2³²`.
+    fn default() -> Self {
+        Self {
+            block_size: 8192,
+            branching: 32,
+            max_key: 1 << 32,
+        }
+    }
+}
+
+impl JumpConfig {
+    /// Create a configuration, validating the parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `branching ≥ 2`, `max_key ≥ 2`, and the block is large
+    /// enough to hold at least one entry alongside its pointer region.
+    pub fn new(block_size: usize, branching: u32, max_key: u64) -> Self {
+        assert!(branching >= 2, "branching factor must be at least 2");
+        assert!(max_key >= 2, "max_key must be at least 2");
+        let cfg = Self {
+            block_size,
+            branching,
+            max_key,
+        };
+        assert!(
+            cfg.entries_per_block() >= 1,
+            "block size {block_size} too small for pointer region of {} bytes",
+            cfg.pointer_region_bytes()
+        );
+        cfg
+    }
+
+    /// Number of jump levels `⌈log_B N⌉`: the number of distinct exponents
+    /// `i` with `0 ≤ i < log_B N`.
+    pub fn levels(&self) -> u32 {
+        let b = self.branching as u128;
+        let n = self.max_key as u128;
+        let mut levels = 0u32;
+        let mut reach = 1u128;
+        while reach < n {
+            reach *= b;
+            levels += 1;
+        }
+        levels.max(1)
+    }
+
+    /// Number of pointer slots per block: `(B−1)·levels`.
+    pub fn pointer_slots(&self) -> u32 {
+        (self.branching - 1) * self.levels()
+    }
+
+    /// Bytes reserved for jump pointers per block (4 bytes per slot, the
+    /// paper's accounting).
+    pub fn pointer_region_bytes(&self) -> usize {
+        4 * self.pointer_slots() as usize
+    }
+
+    /// Entries per block: `p = (L − 4·(B−1)·⌈log_B N⌉) / 8`.
+    pub fn entries_per_block(&self) -> usize {
+        self.block_size.saturating_sub(self.pointer_region_bytes()) / 8
+    }
+
+    /// The flat slot number of pointer `(i, j)`, ordering slots by
+    /// increasing jump range: `(0,1), (0,2), …, (0,B−1), (1,1), …`.
+    ///
+    /// Ranges are contiguous: slot `(i, j)` covers keys in
+    /// `[n_b + j·Bⁱ, n_b + (j+1)·Bⁱ)`, and for `j = B−1` the next slot
+    /// `(i+1, 1)` starts exactly at `n_b + B^{i+1}`.
+    pub fn flat_slot(&self, i: u32, j: u32) -> u32 {
+        debug_assert!(j >= 1 && j < self.branching);
+        i * (self.branching - 1) + (j - 1)
+    }
+
+    /// Inverse of [`flat_slot`](Self::flat_slot).
+    pub fn slot_ij(&self, flat: u32) -> (u32, u32) {
+        let i = flat / (self.branching - 1);
+        let j = flat % (self.branching - 1) + 1;
+        (i, j)
+    }
+
+    /// The pointer `(i, j)` responsible for a key at distance
+    /// `delta = k − n_b ≥ 1` from a block's largest key: the unique pair
+    /// with `j·Bⁱ ≤ delta < (j+1)·Bⁱ`, `1 ≤ j < B`.
+    pub fn slot_for_delta(&self, delta: u64) -> (u32, u32) {
+        debug_assert!(delta >= 1);
+        let b = self.branching as u64;
+        let mut i = 0u32;
+        let mut power = 1u64;
+        // Find i with B^i ≤ delta < B^(i+1).
+        while delta / power >= b {
+            power *= b;
+            i += 1;
+        }
+        let j = (delta / power) as u32;
+        debug_assert!(j >= 1 && j < self.branching);
+        (i, j)
+    }
+}
+
+/// Space overhead of a jump index (Figure 8(a)): the ratio of bytes
+/// allocated for pointers to bytes occupied by posting entries,
+/// `4·(B−1)·⌈log_B N⌉ / (8·p)`, as a fraction (multiply by 100 for the
+/// paper's percentage axis).
+pub fn space_overhead(block_size: usize, branching: u32, max_key: u64) -> f64 {
+    let cfg = JumpConfig::new(block_size, branching, max_key);
+    cfg.pointer_region_bytes() as f64 / (8.0 * cfg.entries_per_block() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_for_paper_parameters() {
+        // N = 2^32: log2 = 32 levels; log32 = 6.4 → 7 levels.
+        assert_eq!(JumpConfig::new(8192, 2, 1 << 32).levels(), 32);
+        assert_eq!(JumpConfig::new(8192, 32, 1 << 32).levels(), 7);
+        assert_eq!(JumpConfig::new(8192, 64, 1 << 32).levels(), 6);
+        // Exact power: log_4(2^32) = 16.
+        assert_eq!(JumpConfig::new(8192, 4, 1 << 32).levels(), 16);
+    }
+
+    #[test]
+    fn entries_per_block_respects_paper_constraint() {
+        for &b in &[2u32, 4, 8, 16, 32, 64, 128] {
+            for &l in &[4096usize, 8192, 16384, 32768] {
+                let cfg = JumpConfig::new(l, b, 1 << 32);
+                let p = cfg.entries_per_block();
+                assert!(8 * p + cfg.pointer_region_bytes() <= l);
+                // p is maximal: adding one more entry would overflow.
+                assert!(8 * (p + 1) + cfg.pointer_region_bytes() > l);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_headline_overhead_b32_l8k_is_about_11_percent() {
+        let oh = space_overhead(8192, 32, 1 << 32);
+        assert!((0.10..=0.13).contains(&oh), "got {oh}");
+    }
+
+    #[test]
+    fn overhead_for_b2_l8k_is_small() {
+        // §4.5: "the slowdown is 1.5% and 11% for B = 2 and B = 32 … for
+        // 8 KB blocks" — slowdown equals the space overhead.
+        let oh = space_overhead(8192, 2, 1 << 32);
+        assert!((0.01..=0.02).contains(&oh), "got {oh}");
+    }
+
+    #[test]
+    fn overhead_decreases_with_block_size() {
+        let o4 = space_overhead(4096, 32, 1 << 32);
+        let o32 = space_overhead(32768, 32, 1 << 32);
+        assert!(o4 > o32);
+    }
+
+    #[test]
+    fn flat_slot_roundtrip_and_ordering() {
+        let cfg = JumpConfig::new(8192, 32, 1 << 32);
+        let mut prev = None;
+        for i in 0..cfg.levels() {
+            for j in 1..cfg.branching {
+                let f = cfg.flat_slot(i, j);
+                assert_eq!(cfg.slot_ij(f), (i, j));
+                if let Some(p) = prev {
+                    assert_eq!(f, p + 1, "flat slots must be dense and ordered");
+                }
+                prev = Some(f);
+            }
+        }
+    }
+
+    #[test]
+    fn slot_for_delta_covers_contract() {
+        let cfg = JumpConfig::new(8192, 3, 1 << 20);
+        for delta in 1u64..2000 {
+            let (i, j) = cfg.slot_for_delta(delta);
+            let p = (cfg.branching as u64).pow(i);
+            assert!(
+                j as u64 * p <= delta && delta < (j as u64 + 1) * p,
+                "delta={delta} i={i} j={j}"
+            );
+            assert!(j >= 1 && j < cfg.branching);
+        }
+    }
+
+    #[test]
+    fn slot_for_delta_binary() {
+        let cfg = JumpConfig::new(8192, 2, 1 << 32);
+        // For B = 2, j is always 1 and i = floor(log2(delta)).
+        assert_eq!(cfg.slot_for_delta(1), (0, 1));
+        assert_eq!(cfg.slot_for_delta(2), (1, 1));
+        assert_eq!(cfg.slot_for_delta(3), (1, 1));
+        assert_eq!(cfg.slot_for_delta(4), (2, 1));
+        assert_eq!(cfg.slot_for_delta(1023), (9, 1));
+        assert_eq!(cfg.slot_for_delta(1024), (10, 1));
+    }
+}

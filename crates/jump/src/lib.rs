@@ -1,0 +1,131 @@
+//! # `tks-jump` — trustworthy jump indexes (paper §4)
+//!
+//! A **jump index** is a fossilized (append-only, tamper-evident) access
+//! structure over a *strictly monotonically increasing* sequence of keys —
+//! in the paper, the document IDs of a posting list.  It supports
+//! `Insert(k)`, `Lookup(k)` and `FindGeq(k)` in `O(log N)` pointer follows,
+//! where `N` is the largest key that will ever be indexed (the number of
+//! documents, since IDs come from an increasing counter).
+//!
+//! The critical property — unavailable from B+ trees, even on WORM — is
+//! that **the path taken to look up an entry never depends on entries added
+//! later**.  A B+ tree on WORM can be subverted by appending a spurious
+//! subtree and a new root entry (paper Figure 6); a jump index cannot,
+//! because the pointer set followed by `Lookup(k)` is exactly the pointer
+//! set written by `Insert(k)`, and WORM storage guarantees those pointers
+//! are immutable once written.  The paper states this as:
+//!
+//! * **Proposition 1** — the jump exponents selected by `Lookup` strictly
+//!   decrease, bounding the path by `⌊log₂ k⌋ + 1` follows;
+//! * **Proposition 2** — once inserted, an ID can always be looked up;
+//! * **Proposition 3** — `FindGeq(k)` never returns a value greater than
+//!   any indexed `v ≥ k`, so zigzag joins can never be tricked into
+//!   skipping a committed document.
+//!
+//! All three are enforced as property tests in this crate, and the inline
+//! `assert` checks of the paper's pseudocode are realised as
+//! [`TamperEvidence`] errors rather than panics: a violated invariant is
+//! evidence of attempted malicious activity, to be reported, not a crash.
+//!
+//! Two variants are provided:
+//!
+//! * [`BinaryJumpIndex`] — the per-entry, powers-of-two index of §4.1/§4.2
+//!   (one node per key, `log₂ N` jump pointers per node);
+//! * [`BlockJumpIndex`] — the block-structured index of §4.4 (p entries
+//!   per block of size L, `(B−1)·log_B N` pointers per block, jumps in
+//!   powers of B), which is what a deployment actually stores: the blocks
+//!   *are* the posting-list blocks, with the pointer region reserved at the
+//!   end of each block.
+//!
+//! [`persist::WormJumpIndex`] mirrors a block jump index onto a WORM device
+//! using only append operations, supports recovery from the raw device
+//! bytes, and audits the recovered structure for tampering.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod binary;
+pub mod block;
+pub mod config;
+pub mod persist;
+
+pub use binary::BinaryJumpIndex;
+pub use block::{BlockJumpIndex, Position};
+pub use config::{space_overhead, JumpConfig};
+pub use persist::WormJumpIndex;
+
+/// Evidence of attempted malicious activity detected by an invariant check.
+///
+/// The paper: "The pseudocode includes assert checks, violations of which
+/// should trigger a report of attempted malicious activity."  We surface
+/// them as values so the search engine can alert the investigator instead
+/// of crashing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TamperEvidence {
+    /// Which invariant was violated.
+    pub invariant: &'static str,
+    /// Human-readable description for the audit report.
+    pub detail: String,
+}
+
+impl std::fmt::Display for TamperEvidence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tamper evidence ({}): {}", self.invariant, self.detail)
+    }
+}
+
+impl std::error::Error for TamperEvidence {}
+
+/// Errors from jump-index operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JumpError {
+    /// Keys must be strictly increasing; equal or smaller keys are refused.
+    /// (Merged posting lists with several terms per document insert each
+    /// distinct doc ID once; duplicates are the caller's to skip.)
+    NonMonotonicInsert {
+        /// Largest key already in the index.
+        last: u64,
+        /// The offending key.
+        attempted: u64,
+    },
+    /// The key exceeds the `N` the index was sized for.
+    KeyTooLarge {
+        /// The offending key.
+        key: u64,
+        /// Configured maximum.
+        max: u64,
+    },
+    /// An invariant check failed — attempted tampering.
+    Tamper(TamperEvidence),
+    /// WORM persistence failure.
+    Worm(tks_worm::WormError),
+}
+
+impl std::fmt::Display for JumpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JumpError::NonMonotonicInsert { last, attempted } => {
+                write!(f, "non-monotonic insert: {attempted} after {last}")
+            }
+            JumpError::KeyTooLarge { key, max } => {
+                write!(f, "key {key} exceeds configured maximum {max}")
+            }
+            JumpError::Tamper(t) => write!(f, "{t}"),
+            JumpError::Worm(e) => write!(f, "worm error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for JumpError {}
+
+impl From<TamperEvidence> for JumpError {
+    fn from(t: TamperEvidence) -> Self {
+        JumpError::Tamper(t)
+    }
+}
+
+impl From<tks_worm::WormError> for JumpError {
+    fn from(e: tks_worm::WormError) -> Self {
+        JumpError::Worm(e)
+    }
+}

@@ -1,0 +1,819 @@
+//! WORM-backed posting-list storage.
+//!
+//! A [`ListStore`] owns one append-only WORM file per *physical* posting
+//! list.  Under merging, several terms map to the same [`ListId`]; each
+//! appended posting carries a per-list term tag (allocated densely by a
+//! [`crate::codec::TagAllocator`] entries) so that query-time readers
+//! can eliminate false positives exactly (paper §3, Figure 1(b)).
+//!
+//! The store enforces the monotonicity invariant that underpins every
+//! trustworthiness argument in the paper: document IDs appended to a list
+//! never decrease (and are strictly increasing per term).  A violated
+//! append is refused and surfaces as a tamper attempt, because only an
+//! adversary replaying old IDs can produce one.
+//!
+//! I/O accounting: every append reports the touched tail block to an
+//! optional [`StorageCache`], with `was_empty` / `fills` computed from the
+//! file geometry, reproducing the paper's cache-simulation accounting.
+
+use crate::codec::{decode_posting, encode_posting, Posting, TagAllocator, POSTING_SIZE};
+use crate::types::{DocId, ListId, TermId};
+use tks_worm::{AccessKind, StorageCache, WormDevice, WormFs};
+
+/// Error type for posting-list operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ListError {
+    /// Underlying WORM failure.
+    Worm(tks_worm::WormError),
+    /// An append would break the non-decreasing document-ID invariant —
+    /// evidence of adversarial replay, never of legitimate operation.
+    NonMonotonicAppend {
+        /// Target list.
+        list: ListId,
+        /// Last committed document ID in the list.
+        last: DocId,
+        /// The offending document ID.
+        attempted: DocId,
+    },
+    /// Same `(term, doc)` pair appended twice.
+    DuplicateTermDoc {
+        /// Target list.
+        list: ListId,
+        /// The duplicated document ID.
+        doc: DocId,
+    },
+    /// List ID out of range.
+    NoSuchList(ListId),
+    /// Recovery from raw WORM bytes found an inconsistency — evidence of
+    /// tampering or corruption, never of legitimate operation.
+    Recovery(String),
+}
+
+impl std::fmt::Display for ListError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ListError::Worm(e) => write!(f, "worm error: {e}"),
+            ListError::NonMonotonicAppend {
+                list,
+                last,
+                attempted,
+            } => write!(
+                f,
+                "non-monotonic append to {list}: {attempted} after {last} (possible tampering)"
+            ),
+            ListError::DuplicateTermDoc { list, doc } => {
+                write!(f, "duplicate (term, {doc}) append to {list}")
+            }
+            ListError::NoSuchList(l) => write!(f, "no such list: {l}"),
+            ListError::Recovery(msg) => write!(f, "recovery refused: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ListError {}
+
+impl From<tks_worm::WormError> for ListError {
+    fn from(e: tks_worm::WormError) -> Self {
+        ListError::Worm(e)
+    }
+}
+
+#[derive(Debug)]
+struct ListMeta {
+    file: Option<tks_worm::FileHandle>,
+    count: u64,
+    last_doc: Option<DocId>,
+    /// Tag of the last appended posting, used to reject duplicate
+    /// `(term, doc)` pairs cheaply (only the latest doc can collide because
+    /// doc IDs never decrease).
+    last_tags: Vec<u32>,
+    tags: TagAllocator,
+}
+
+impl ListMeta {
+    fn new() -> Self {
+        Self {
+            file: None,
+            count: 0,
+            last_doc: None,
+            last_tags: Vec::new(),
+            tags: TagAllocator::new(),
+        }
+    }
+}
+
+/// Size of one on-WORM tag-dictionary record: `(list, term, tag)`.
+const DICT_RECORD: usize = 12;
+/// Size of the on-WORM store header: `(block_size, num_lists)`.
+const META_RECORD: usize = 12;
+
+/// A set of WORM-backed posting lists addressed by [`ListId`].
+///
+/// # Example
+///
+/// ```
+/// use tks_postings::{DocId, ListId, ListStore, TermId};
+///
+/// let mut store = ListStore::new(8192, 4);
+/// let list = ListId(2);
+/// store.append(list, TermId(10), DocId(1), 3, None).unwrap();
+/// store.append(list, TermId(11), DocId(1), 1, None).unwrap(); // merged neighbour
+/// store.append(list, TermId(10), DocId(5), 2, None).unwrap();
+/// assert_eq!(store.len(list).unwrap(), 3);
+/// let docs: Vec<_> = store.postings_for_term(list, TermId(10)).unwrap()
+///     .map(|p| p.doc).collect();
+/// assert_eq!(docs, vec![DocId(1), DocId(5)]);
+/// ```
+#[derive(Debug)]
+pub struct ListStore {
+    fs: WormFs,
+    lists: Vec<ListMeta>,
+    block_size: usize,
+    dict_file: tks_worm::FileHandle,
+}
+
+impl ListStore {
+    /// Create a store with `num_lists` (initially empty) posting lists over
+    /// a fresh WORM device with `block_size`-byte blocks.
+    ///
+    /// Alongside the lists, the store maintains two append-only metadata
+    /// files on the same device so that the *entire* store is recoverable
+    /// from raw WORM bytes (see [`ListStore::recover`]):
+    ///
+    /// * `meta` — a write-once header `(version, block_size, num_lists)`;
+    /// * `tags` — one `(list, term, tag)` record per first use of a term
+    ///   in a list, in allocation order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size` is not a positive multiple of the 8-byte
+    /// posting size (so postings never straddle blocks, as in the paper's
+    /// accounting).
+    pub fn new(block_size: usize, num_lists: usize) -> Self {
+        assert!(
+            block_size >= POSTING_SIZE && block_size.is_multiple_of(POSTING_SIZE),
+            "block size must be a positive multiple of the posting size"
+        );
+        let mut fs = WormFs::new(WormDevice::new(block_size));
+        let meta_file = fs.create("meta", u64::MAX).expect("fresh fs");
+        let mut header = [0u8; META_RECORD];
+        header[0..4].copy_from_slice(&1u32.to_le_bytes()); // format version
+        header[4..8].copy_from_slice(&(block_size as u32).to_le_bytes());
+        header[8..12].copy_from_slice(&(num_lists as u32).to_le_bytes());
+        fs.append(meta_file, &header).expect("fresh fs");
+        let dict_file = fs.create("tags", u64::MAX).expect("fresh fs");
+        // Create every list file eagerly: if files were created lazily on
+        // first append, an adversary could pre-create a list's file and
+        // make later *legitimate* appends fail — a denial-of-service the
+        // threat model must not allow (found by the adversary fuzz test).
+        let lists = (0..num_lists)
+            .map(|l| {
+                let mut meta = ListMeta::new();
+                meta.file = Some(
+                    fs.create(&format!("lists/{l}"), u64::MAX)
+                        .expect("fresh fs"),
+                );
+                meta
+            })
+            .collect();
+        Self {
+            fs,
+            lists,
+            block_size,
+            dict_file,
+        }
+    }
+
+    /// Rebuild a store from the raw WORM bytes of a previous instance's
+    /// file system.
+    ///
+    /// Recovery trusts *only* the committed bytes — not any in-memory
+    /// state and not end-of-log markers (which the paper's §2.3 shows are
+    /// forgeable).  Every structural invariant is re-verified:
+    ///
+    /// * the header is well-formed and matches the device geometry;
+    /// * tag records are dense, in order, and never reassigned;
+    /// * every list file decodes to whole postings with non-decreasing
+    ///   document IDs, no duplicate `(term, doc)` pairs, and no tag that
+    ///   lacks a dictionary record.
+    ///
+    /// Any violation yields [`ListError::Recovery`] — the adversary can
+    /// corrupt availability (by appending garbage) but never silently
+    /// alter what a recovered store serves.
+    pub fn recover(fs: WormFs) -> Result<Self, ListError> {
+        let meta_file = fs
+            .open("meta")
+            .map_err(|_| ListError::Recovery("missing meta header".into()))?;
+        if fs.len(meta_file) != META_RECORD as u64 {
+            return Err(ListError::Recovery(format!(
+                "meta header has {} bytes, expected {META_RECORD}",
+                fs.len(meta_file)
+            )));
+        }
+        let header = fs.read(meta_file, 0, META_RECORD)?;
+        let version = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+        let block_size = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes")) as usize;
+        let num_lists = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes")) as usize;
+        if version != 1 {
+            return Err(ListError::Recovery(format!(
+                "unknown format version {version}"
+            )));
+        }
+        if block_size != fs.device().block_size() {
+            return Err(ListError::Recovery(format!(
+                "header block size {block_size} != device block size {}",
+                fs.device().block_size()
+            )));
+        }
+        let dict_file = fs
+            .open("tags")
+            .map_err(|_| ListError::Recovery("missing tag dictionary".into()))?;
+
+        let mut store = ListStore {
+            fs,
+            lists: (0..num_lists).map(|_| ListMeta::new()).collect(),
+            block_size,
+            dict_file,
+        };
+
+        // Replay the tag dictionary, enforcing dense in-order allocation.
+        let dict_len = store.fs.len(store.dict_file);
+        if !dict_len.is_multiple_of(DICT_RECORD as u64) {
+            return Err(ListError::Recovery(format!(
+                "tag dictionary length {dict_len} is not a multiple of {DICT_RECORD}"
+            )));
+        }
+        for r in 0..(dict_len / DICT_RECORD as u64) {
+            let rec = store
+                .fs
+                .read(store.dict_file, r * DICT_RECORD as u64, DICT_RECORD)?;
+            let list = u32::from_le_bytes(rec[0..4].try_into().expect("4 bytes"));
+            let term = u32::from_le_bytes(rec[4..8].try_into().expect("4 bytes"));
+            let tag = u32::from_le_bytes(rec[8..12].try_into().expect("4 bytes"));
+            let meta = store
+                .lists
+                .get_mut(list as usize)
+                .ok_or_else(|| ListError::Recovery(format!("tag record for bad list {list}")))?;
+            if meta.tags.get(TermId(term)).is_some() {
+                return Err(ListError::Recovery(format!(
+                    "term {term} assigned a tag twice in list {list}"
+                )));
+            }
+            let allocated = meta.tags.tag_for(TermId(term));
+            if allocated != tag {
+                return Err(ListError::Recovery(format!(
+                    "tag record out of order in list {list}: expected {allocated}, found {tag}"
+                )));
+            }
+        }
+
+        // Replay every list file, re-deriving counts and re-checking the
+        // monotonicity and tag invariants.
+        for l in 0..num_lists as u32 {
+            let name = format!("lists/{l}");
+            let Ok(file) = store.fs.open(&name) else {
+                continue;
+            };
+            let len = store.fs.len(file);
+            if !len.is_multiple_of(POSTING_SIZE as u64) {
+                return Err(ListError::Recovery(format!(
+                    "list {l} has {len} bytes, not a multiple of {POSTING_SIZE}"
+                )));
+            }
+            let count = len / POSTING_SIZE as u64;
+            let known_tags = store.lists[l as usize].tags.distinct_terms() as u32;
+            let mut last_doc: Option<DocId> = None;
+            let mut last_tags: Vec<u32> = Vec::new();
+            for i in 0..count {
+                let bytes = store.fs.read(file, i * POSTING_SIZE as u64, POSTING_SIZE)?;
+                let mut buf = [0u8; POSTING_SIZE];
+                buf.copy_from_slice(&bytes);
+                let p = decode_posting(buf);
+                if p.term_tag >= known_tags {
+                    return Err(ListError::Recovery(format!(
+                        "list {l} posting {i} uses tag {} with no dictionary record",
+                        p.term_tag
+                    )));
+                }
+                match last_doc {
+                    Some(d) if p.doc < d => {
+                        return Err(ListError::Recovery(format!(
+                            "list {l} posting {i}: doc {} after {} breaks monotonicity",
+                            p.doc, d
+                        )));
+                    }
+                    Some(d) if p.doc == d => {
+                        if last_tags.contains(&p.term_tag) {
+                            return Err(ListError::Recovery(format!(
+                                "list {l} posting {i}: duplicate (term, {}) pair",
+                                p.doc
+                            )));
+                        }
+                        last_tags.push(p.term_tag);
+                    }
+                    _ => {
+                        last_tags.clear();
+                        last_tags.push(p.term_tag);
+                    }
+                }
+                last_doc = Some(p.doc);
+            }
+            let meta = &mut store.lists[l as usize];
+            meta.file = Some(file);
+            meta.count = count;
+            meta.last_doc = last_doc;
+            meta.last_tags = last_tags;
+        }
+        Ok(store)
+    }
+
+    /// Consume the store, returning the WORM file system (simulating a
+    /// shutdown whose only survivor is the storage device).
+    pub fn into_fs(self) -> WormFs {
+        self.fs
+    }
+
+    /// Number of lists (fixed at construction; merging determines how many
+    /// terms share each).
+    pub fn num_lists(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Disk block size in bytes.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// The underlying WORM file system (for audits and attack harnesses).
+    pub fn fs(&self) -> &WormFs {
+        &self.fs
+    }
+
+    /// Mutable access to the underlying file system — the adversary's raw
+    /// append path, used by attack simulations.
+    pub fn fs_mut(&mut self) -> &mut WormFs {
+        &mut self.fs
+    }
+
+    /// Postings committed to `list`.
+    pub fn len(&self, list: ListId) -> Result<u64, ListError> {
+        Ok(self.meta(list)?.count)
+    }
+
+    /// Whether `list` holds no postings.
+    pub fn is_empty(&self, list: ListId) -> Result<bool, ListError> {
+        Ok(self.meta(list)?.count == 0)
+    }
+
+    /// Last (largest) document ID committed to `list`.
+    pub fn last_doc(&self, list: ListId) -> Result<Option<DocId>, ListError> {
+        Ok(self.meta(list)?.last_doc)
+    }
+
+    /// Number of distinct terms that have appended to `list`.
+    pub fn distinct_terms(&self, list: ListId) -> Result<usize, ListError> {
+        Ok(self.meta(list)?.tags.distinct_terms())
+    }
+
+    /// Number of disk blocks occupied by `list` (the paper's query-cost
+    /// unit).
+    pub fn num_blocks(&self, list: ListId) -> Result<u64, ListError> {
+        let bytes = self.meta(list)?.count * POSTING_SIZE as u64;
+        Ok(bytes.div_ceil(self.block_size as u64))
+    }
+
+    /// Append a posting for `(term, doc)` with in-document frequency `tf`.
+    ///
+    /// Enforces non-decreasing doc IDs per list and strictly increasing doc
+    /// IDs per term.  If `cache` is given, the touched tail block is
+    /// reported with the paper's accounting (`was_empty` for fresh blocks,
+    /// `fills` when the append completes a block).
+    pub fn append(
+        &mut self,
+        list: ListId,
+        term: TermId,
+        doc: DocId,
+        tf: u32,
+        cache: Option<&mut StorageCache>,
+    ) -> Result<(), ListError> {
+        let block_size = self.block_size;
+        let dict_file = self.dict_file;
+        let meta = self.meta_mut(list)?;
+        if let Some(last) = meta.last_doc {
+            if doc < last {
+                return Err(ListError::NonMonotonicAppend {
+                    list,
+                    last,
+                    attempted: doc,
+                });
+            }
+        }
+        let is_new_tag = meta.tags.get(term).is_none();
+        let tag = meta.tags.tag_for(term);
+        if is_new_tag {
+            // Persist the allocation *before* any posting can use it, so
+            // recovery never sees a tag without a dictionary record.
+            let mut rec = [0u8; DICT_RECORD];
+            rec[0..4].copy_from_slice(&list.0.to_le_bytes());
+            rec[4..8].copy_from_slice(&term.0.to_le_bytes());
+            rec[8..12].copy_from_slice(&tag.to_le_bytes());
+            self.fs.append(dict_file, &rec)?;
+        }
+        let meta = self.meta_mut(list)?;
+        if meta.last_doc == Some(doc) {
+            if meta.last_tags.contains(&tag) {
+                return Err(ListError::DuplicateTermDoc { list, doc });
+            }
+            meta.last_tags.push(tag);
+        } else {
+            meta.last_tags.clear();
+            meta.last_tags.push(tag);
+        }
+
+        // Geometry before the append, for cache accounting.
+        let bytes_before = meta.count * POSTING_SIZE as u64;
+        let offset_in_block = (bytes_before % block_size as u64) as usize;
+        let was_empty = offset_in_block == 0;
+        let fills = offset_in_block + POSTING_SIZE == block_size;
+
+        let file = meta.file.expect("list files are created at construction");
+        let posting = Posting::new(doc, tag, tf);
+        self.fs.append(file, &encode_posting(posting))?;
+        let meta = &mut self.lists[list.0 as usize];
+        meta.count += 1;
+        meta.last_doc = Some(doc);
+
+        if let Some(cache) = cache {
+            let tail = self.fs.blocks(file)[(bytes_before / block_size as u64) as usize];
+            cache.access(tail, AccessKind::Append { was_empty, fills });
+        }
+        Ok(())
+    }
+
+    /// Decode all postings of `list` in commit order.
+    pub fn postings(&self, list: ListId) -> Result<PostingListReader<'_>, ListError> {
+        let meta = self.meta(list)?;
+        Ok(PostingListReader {
+            store: self,
+            file: meta.file,
+            next: 0,
+            count: meta.count,
+        })
+    }
+
+    /// Decode the postings of `list` that belong to `term` (exact
+    /// false-positive elimination via the per-list tag).
+    pub fn postings_for_term(
+        &self,
+        list: ListId,
+        term: TermId,
+    ) -> Result<impl Iterator<Item = Posting> + '_, ListError> {
+        let meta = self.meta(list)?;
+        let tag = meta.tags.get(term);
+        let reader = self.postings(list)?;
+        Ok(reader.filter(move |p| Some(p.term_tag) == tag))
+    }
+
+    /// The per-list tag for `term`, if the term has ever been appended.
+    pub fn tag_of(&self, list: ListId, term: TermId) -> Result<Option<u32>, ListError> {
+        Ok(self.meta(list)?.tags.get(term))
+    }
+
+    /// The term behind a dense per-list tag (inverse of
+    /// [`tag_of`](Self::tag_of)), used by recovery and verification.
+    pub fn term_of_tag(&self, list: ListId, tag: u32) -> Result<Option<TermId>, ListError> {
+        Ok(self.meta(list)?.tags.term_of(tag))
+    }
+
+    /// The ordinal (0-based index within the list's full posting
+    /// sequence, foreign terms included) of the posting for
+    /// `(term, doc)`, used to address lockstep sidecar records such as
+    /// positional data.
+    pub fn posting_ordinal(
+        &self,
+        list: ListId,
+        term: TermId,
+        doc: DocId,
+    ) -> Result<Option<u64>, ListError> {
+        let Some(tag) = self.meta(list)?.tags.get(term) else {
+            return Ok(None);
+        };
+        for (i, p) in self.postings(list)?.enumerate() {
+            if p.doc == doc && p.term_tag == tag {
+                return Ok(Some(i as u64));
+            }
+            if p.doc > doc {
+                return Ok(None);
+            }
+        }
+        Ok(None)
+    }
+
+    /// Raw committed byte length of the list file (0 when never written).
+    /// A live store can cross-check this against its logical posting count
+    /// (`len(list) * 8`): any excess means raw adversarial appends, and a
+    /// misaligned excess additionally shifts every later decode — which is
+    /// why the engine audit treats *any* mismatch as tamper evidence.
+    pub fn raw_len(&self, list: ListId) -> Result<u64, ListError> {
+        let meta = self.meta(list)?;
+        Ok(meta.file.map(|f| self.fs.len(f)).unwrap_or(0))
+    }
+
+    /// Audit `list`: re-scan the raw WORM bytes and verify the
+    /// non-decreasing doc-ID invariant, returning the position of the first
+    /// violation if any.  An adversary cannot *remove* postings (WORM), so
+    /// the only corruption she can cause via raw device appends is a
+    /// monotonicity break — which this audit surfaces.
+    pub fn audit_monotonic(&self, list: ListId) -> Result<Option<u64>, ListError> {
+        let mut last: Option<DocId> = None;
+        for (i, p) in self.raw_scan(list)?.enumerate() {
+            if let Some(l) = last {
+                if p.doc < l {
+                    return Ok(Some(i as u64));
+                }
+            }
+            last = Some(p.doc);
+        }
+        Ok(None)
+    }
+
+    /// Scan the *raw committed bytes* of the list file (possibly longer
+    /// than the store's own count, if an adversary appended directly to the
+    /// device).  Used by audits.
+    pub fn raw_scan(&self, list: ListId) -> Result<impl Iterator<Item = Posting> + '_, ListError> {
+        let meta = self.meta(list)?;
+        let (file, raw_len) = match meta.file {
+            Some(f) => (Some(f), self.fs.len(f)),
+            None => (None, 0),
+        };
+        let count = raw_len / POSTING_SIZE as u64;
+        Ok(PostingListReader {
+            store: self,
+            file,
+            next: 0,
+            count,
+        })
+    }
+
+    fn meta(&self, list: ListId) -> Result<&ListMeta, ListError> {
+        self.lists
+            .get(list.0 as usize)
+            .ok_or(ListError::NoSuchList(list))
+    }
+
+    fn meta_mut(&mut self, list: ListId) -> Result<&mut ListMeta, ListError> {
+        self.lists
+            .get_mut(list.0 as usize)
+            .ok_or(ListError::NoSuchList(list))
+    }
+}
+
+/// Iterator over the committed postings of one list.
+#[derive(Debug)]
+pub struct PostingListReader<'a> {
+    store: &'a ListStore,
+    file: Option<tks_worm::FileHandle>,
+    next: u64,
+    count: u64,
+}
+
+impl Iterator for PostingListReader<'_> {
+    type Item = Posting;
+
+    fn next(&mut self) -> Option<Posting> {
+        if self.next >= self.count {
+            return None;
+        }
+        let file = self.file?;
+        let off = self.next * POSTING_SIZE as u64;
+        self.next += 1;
+        let bytes = self.store.fs.read(file, off, POSTING_SIZE).ok()?;
+        let mut buf = [0u8; POSTING_SIZE];
+        buf.copy_from_slice(&bytes);
+        Some(decode_posting(buf))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = (self.count - self.next) as usize;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for PostingListReader<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tks_worm::CacheConfig;
+
+    fn store() -> ListStore {
+        ListStore::new(64, 4) // 8 postings per block
+    }
+
+    #[test]
+    fn append_and_read_back() {
+        let mut s = store();
+        for d in [1u64, 4, 9, 16] {
+            s.append(ListId(0), TermId(5), DocId(d), 1, None).unwrap();
+        }
+        let docs: Vec<_> = s.postings(ListId(0)).unwrap().map(|p| p.doc.0).collect();
+        assert_eq!(docs, vec![1, 4, 9, 16]);
+        assert_eq!(s.len(ListId(0)).unwrap(), 4);
+        assert_eq!(s.last_doc(ListId(0)).unwrap(), Some(DocId(16)));
+    }
+
+    #[test]
+    fn merged_list_filters_by_term() {
+        let mut s = store();
+        let l = ListId(1);
+        s.append(l, TermId(1), DocId(1), 1, None).unwrap();
+        s.append(l, TermId(2), DocId(1), 1, None).unwrap();
+        s.append(l, TermId(1), DocId(3), 1, None).unwrap();
+        s.append(l, TermId(2), DocId(4), 1, None).unwrap();
+        let t1: Vec<_> = s
+            .postings_for_term(l, TermId(1))
+            .unwrap()
+            .map(|p| p.doc.0)
+            .collect();
+        let t2: Vec<_> = s
+            .postings_for_term(l, TermId(2))
+            .unwrap()
+            .map(|p| p.doc.0)
+            .collect();
+        assert_eq!(t1, vec![1, 3]);
+        assert_eq!(t2, vec![1, 4]);
+        assert_eq!(s.distinct_terms(l).unwrap(), 2);
+        // Unknown term yields nothing.
+        assert_eq!(s.postings_for_term(l, TermId(99)).unwrap().count(), 0);
+    }
+
+    #[test]
+    fn non_monotonic_append_rejected() {
+        let mut s = store();
+        s.append(ListId(0), TermId(1), DocId(10), 1, None).unwrap();
+        let err = s
+            .append(ListId(0), TermId(1), DocId(9), 1, None)
+            .unwrap_err();
+        assert!(matches!(err, ListError::NonMonotonicAppend { .. }));
+        // Equal doc for a *different* term is legal (merged lists).
+        s.append(ListId(0), TermId(2), DocId(10), 1, None).unwrap();
+        // Equal doc for the *same* term is a duplicate.
+        let err = s
+            .append(ListId(0), TermId(2), DocId(10), 1, None)
+            .unwrap_err();
+        assert!(matches!(err, ListError::DuplicateTermDoc { .. }));
+    }
+
+    #[test]
+    fn block_count_matches_geometry() {
+        let mut s = store(); // 8 postings/block
+        let l = ListId(0);
+        for d in 0..9 {
+            s.append(l, TermId(0), DocId(d), 1, None).unwrap();
+        }
+        assert_eq!(s.num_blocks(l).unwrap(), 2);
+    }
+
+    #[test]
+    fn cache_accounting_counts_fill_writes() {
+        let mut s = store(); // 8 postings/block
+        let mut cache = StorageCache::new(CacheConfig::new(64 * 100, 64));
+        let l = ListId(0);
+        for d in 0..8 {
+            s.append(l, TermId(0), DocId(d), 1, Some(&mut cache))
+                .unwrap();
+        }
+        // Exactly one write I/O: the block filled on the 8th append.
+        assert_eq!(cache.stats().write_ios, 1);
+        assert_eq!(cache.stats().read_ios, 0);
+        // Next append opens a fresh block: no I/O.
+        s.append(l, TermId(0), DocId(8), 1, Some(&mut cache))
+            .unwrap();
+        assert_eq!(cache.stats().total_ios(), 1);
+    }
+
+    #[test]
+    fn audit_detects_adversarial_raw_append() {
+        let mut s = store();
+        let l = ListId(0);
+        s.append(l, TermId(0), DocId(5), 1, None).unwrap();
+        s.append(l, TermId(0), DocId(9), 1, None).unwrap();
+        assert_eq!(s.audit_monotonic(l).unwrap(), None);
+        // Mala appends a smaller doc id directly to the WORM file,
+        // bypassing the store (she has superuser access to the device).
+        let file = s.fs().open("lists/0").unwrap();
+        let evil = encode_posting(Posting::new(DocId(2), 0, 1));
+        s.fs_mut().append(file, &evil).unwrap();
+        // The entry is now on WORM (cannot be removed) but the audit
+        // flags it.
+        assert_eq!(s.audit_monotonic(l).unwrap(), Some(2));
+    }
+
+    #[test]
+    fn empty_and_missing_lists() {
+        let s = store();
+        assert!(s.is_empty(ListId(0)).unwrap());
+        assert_eq!(s.postings(ListId(0)).unwrap().count(), 0);
+        assert!(matches!(s.len(ListId(9)), Err(ListError::NoSuchList(_))));
+    }
+
+    #[test]
+    fn recovery_roundtrip_preserves_everything() {
+        let mut s = store();
+        for d in 0..20u64 {
+            s.append(ListId(0), TermId(d as u32 % 3), DocId(d), 1, None)
+                .unwrap();
+            s.append(ListId(2), TermId(7), DocId(d), 2, None).unwrap();
+        }
+        let before: Vec<Vec<Posting>> = (0..4)
+            .map(|l| s.postings(ListId(l)).unwrap().collect())
+            .collect();
+        let tags_before: Vec<_> = (0..3u32)
+            .map(|t| s.tag_of(ListId(0), TermId(t)).unwrap())
+            .collect();
+        let r = ListStore::recover(s.into_fs()).unwrap();
+        for l in 0..4u32 {
+            let after: Vec<Posting> = r.postings(ListId(l)).unwrap().collect();
+            assert_eq!(after, before[l as usize], "list {l}");
+        }
+        for t in 0..3u32 {
+            assert_eq!(
+                r.tag_of(ListId(0), TermId(t)).unwrap(),
+                tags_before[t as usize]
+            );
+        }
+        assert_eq!(r.last_doc(ListId(2)).unwrap(), Some(DocId(19)));
+        assert_eq!(r.num_lists(), 4);
+        // The recovered store keeps accepting appends with correct
+        // invariants.
+        let mut r = r;
+        assert!(r.append(ListId(2), TermId(7), DocId(5), 1, None).is_err());
+        r.append(ListId(2), TermId(7), DocId(25), 1, None).unwrap();
+    }
+
+    #[test]
+    fn recovery_refuses_truncated_list_bytes() {
+        let mut s = store();
+        s.append(ListId(0), TermId(0), DocId(1), 1, None).unwrap();
+        let f = s.fs().open("lists/0").unwrap();
+        s.fs_mut().append(f, &[0xDE, 0xAD]).unwrap();
+        let err = ListStore::recover(s.into_fs()).unwrap_err();
+        assert!(matches!(err, ListError::Recovery(_)), "{err}");
+    }
+
+    #[test]
+    fn recovery_refuses_out_of_order_postings() {
+        let mut s = store();
+        s.append(ListId(0), TermId(0), DocId(5), 1, None).unwrap();
+        s.append(ListId(0), TermId(0), DocId(9), 1, None).unwrap();
+        let f = s.fs().open("lists/0").unwrap();
+        let evil = encode_posting(Posting::new(DocId(2), 0, 1));
+        s.fs_mut().append(f, &evil).unwrap();
+        let err = ListStore::recover(s.into_fs()).unwrap_err();
+        assert!(err.to_string().contains("monotonicity"), "{err}");
+    }
+
+    #[test]
+    fn recovery_refuses_postings_with_unregistered_tags() {
+        let mut s = store();
+        s.append(ListId(0), TermId(0), DocId(5), 1, None).unwrap();
+        // A forged posting with a tag that has no dictionary record.
+        let f = s.fs().open("lists/0").unwrap();
+        let evil = encode_posting(Posting::new(DocId(9), 7, 1));
+        s.fs_mut().append(f, &evil).unwrap();
+        let err = ListStore::recover(s.into_fs()).unwrap_err();
+        assert!(err.to_string().contains("no dictionary record"), "{err}");
+    }
+
+    #[test]
+    fn recovery_refuses_double_tag_assignment() {
+        let mut s = store();
+        s.append(ListId(0), TermId(3), DocId(1), 1, None).unwrap();
+        // Mala appends a second dictionary record re-binding term 3.
+        let dict = s.fs().open("tags").unwrap();
+        let mut rec = [0u8; 12];
+        rec[0..4].copy_from_slice(&0u32.to_le_bytes());
+        rec[4..8].copy_from_slice(&3u32.to_le_bytes());
+        rec[8..12].copy_from_slice(&1u32.to_le_bytes());
+        s.fs_mut().append(dict, &rec).unwrap();
+        let err = ListStore::recover(s.into_fs()).unwrap_err();
+        assert!(err.to_string().contains("twice"), "{err}");
+    }
+
+    #[test]
+    fn recovery_refuses_missing_header() {
+        let fs = WormFs::new(WormDevice::new(64));
+        let err = ListStore::recover(fs).unwrap_err();
+        assert!(matches!(err, ListError::Recovery(_)));
+    }
+
+    #[test]
+    fn reader_size_hint_exact() {
+        let mut s = store();
+        for d in 0..5 {
+            s.append(ListId(0), TermId(0), DocId(d), 1, None).unwrap();
+        }
+        let r = s.postings(ListId(0)).unwrap();
+        assert_eq!(r.len(), 5);
+    }
+}

@@ -1,0 +1,100 @@
+//! Core identifier types shared across the system.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a committed document (record).
+///
+/// Document IDs are assigned by a strictly increasing counter at commit
+/// time (paper §4.1: "document IDs are assigned through an increasing
+/// counter"), which makes every posting list a strictly monotonically
+/// increasing sequence — the invariant on which jump indexes and their
+/// trustworthiness guarantees rest.
+///
+/// The paper sizes indexes for N = 2³² documents, so a `u32` payload is
+/// faithful; we use `u64` internally and enforce the 2³² ceiling in the
+/// 8-byte posting codec.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct DocId(pub u64);
+
+impl DocId {
+    /// The next document ID in commit order.
+    pub fn next(self) -> DocId {
+        DocId(self.0 + 1)
+    }
+}
+
+impl fmt::Display for DocId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "doc#{}", self.0)
+    }
+}
+
+/// Identifier of a distinct keyword (term) in the vocabulary.
+///
+/// Term IDs are dense.  By convention in the synthetic corpus, term IDs are
+/// assigned in descending document-frequency order (term 0 is the most
+/// common word), which makes rank computations trivial; nothing else
+/// depends on that convention.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct TermId(pub u32);
+
+impl fmt::Display for TermId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "term#{}", self.0)
+    }
+}
+
+/// Identifier of a physical posting list.
+///
+/// Under merging (paper §3) several terms share one list, so `ListId` and
+/// [`TermId`] are distinct notions: a *merge assignment* maps each term to
+/// the list that stores its postings.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct ListId(pub u32);
+
+impl fmt::Display for ListId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "list#{}", self.0)
+    }
+}
+
+/// A logical commit timestamp (e.g. seconds since an epoch).
+///
+/// Commit timestamps are non-decreasing in commit order, so a jump index
+/// over them supports trustworthy time-range restriction (paper §5).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct Timestamp(pub u64);
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doc_id_ordering_and_next() {
+        assert!(DocId(3) < DocId(4));
+        assert_eq!(DocId(3).next(), DocId(4));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(DocId(7).to_string(), "doc#7");
+        assert_eq!(TermId(7).to_string(), "term#7");
+        assert_eq!(ListId(7).to_string(), "list#7");
+        assert_eq!(Timestamp(7).to_string(), "t=7");
+    }
+}

@@ -1,0 +1,400 @@
+//! Append-only file layer over the WORM block device.
+//!
+//! Commercial WORM boxes expose "a file-system-like (or object) interface …
+//! with file modification and premature deletion operations disallowed"
+//! (paper §2.2).  [`WormFs`] provides that interface, extended — per the
+//! paper's proposal — with the ability to *append* to committed files, which
+//! is what posting lists require.
+//!
+//! Each file is a chain of device blocks.  Appends fill the tail block and
+//! allocate a new one when it is exactly full, so a file of length `L` with
+//! block size `S` occupies `ceil(L / S)` blocks (the tail possibly partial).
+//! Files carry a retention period; deletion before expiry is refused and
+//! logged as a tamper attempt.
+
+use crate::device::{BlockId, TamperAttempt, TamperKind, WormDevice, WormError};
+use std::collections::HashMap;
+
+/// Handle to an open append-only file (an index into the fs file table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FileHandle(pub u32);
+
+/// A file-table entry in serializable form (see
+/// [`persist`](crate::persist)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExportedFile {
+    /// File name.
+    pub name: String,
+    /// Backing blocks, in order.
+    pub blocks: Vec<BlockId>,
+    /// Committed length in bytes.
+    pub len: u64,
+    /// Logical time after which deletion is legal.
+    pub retention_expires_at: u64,
+    /// Whether the file was (legally) deleted.
+    pub deleted: bool,
+}
+
+#[derive(Debug, Clone)]
+struct FileMeta {
+    name: String,
+    blocks: Vec<BlockId>,
+    len: u64,
+    /// Logical time after which the file may be deleted; `u64::MAX` means
+    /// "retain forever".
+    retention_expires_at: u64,
+    deleted: bool,
+}
+
+/// An append-only, retention-enforcing file system over a [`WormDevice`].
+///
+/// # Example
+///
+/// ```
+/// use tks_worm::{WormDevice, WormFs};
+///
+/// let mut fs = WormFs::new(WormDevice::new(8));
+/// let f = fs.create("postings/term-42", u64::MAX).unwrap();
+/// fs.append(f, b"0123456789").unwrap(); // spans two 8-byte blocks
+/// assert_eq!(fs.len(f), 10);
+/// assert_eq!(fs.read(f, 6, 4).unwrap(), b"6789");
+/// ```
+#[derive(Debug)]
+pub struct WormFs {
+    device: WormDevice,
+    files: Vec<FileMeta>,
+    by_name: HashMap<String, FileHandle>,
+}
+
+impl WormFs {
+    /// Wrap a device in a fresh, empty file system.
+    pub fn new(device: WormDevice) -> Self {
+        Self {
+            device,
+            files: Vec::new(),
+            by_name: HashMap::new(),
+        }
+    }
+
+    /// The underlying device (read-only access, e.g. for audits).
+    pub fn device(&self) -> &WormDevice {
+        &self.device
+    }
+
+    /// Mutable access to the underlying device.
+    ///
+    /// Exposed because the threat model explicitly grants the adversary raw
+    /// device access (she can bypass the file-system layer entirely); tests
+    /// and attack harnesses use this.
+    pub fn device_mut(&mut self) -> &mut WormDevice {
+        &mut self.device
+    }
+
+    /// Create an empty file retained until logical time
+    /// `retention_expires_at` (use `u64::MAX` for indefinite retention).
+    pub fn create(&mut self, name: &str, retention_expires_at: u64) -> crate::Result<FileHandle> {
+        if self.by_name.contains_key(name) {
+            return Err(WormError::FileExists(name.to_string()));
+        }
+        let handle = FileHandle(self.files.len() as u32);
+        self.files.push(FileMeta {
+            name: name.to_string(),
+            blocks: Vec::new(),
+            len: 0,
+            retention_expires_at,
+            deleted: false,
+        });
+        self.by_name.insert(name.to_string(), handle);
+        Ok(handle)
+    }
+
+    /// Look up a file by name.
+    pub fn open(&self, name: &str) -> crate::Result<FileHandle> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| WormError::NoSuchFile(name.to_string()))
+    }
+
+    /// Committed length of the file in bytes.
+    pub fn len(&self, f: FileHandle) -> u64 {
+        self.files[f.0 as usize].len
+    }
+
+    /// Whether the file is empty.
+    pub fn is_empty(&self, f: FileHandle) -> bool {
+        self.len(f) == 0
+    }
+
+    /// The device blocks backing the file, in order.
+    pub fn blocks(&self, f: FileHandle) -> &[BlockId] {
+        &self.files[f.0 as usize].blocks
+    }
+
+    /// The block currently accepting appends, if any bytes were written.
+    pub fn tail_block(&self, f: FileHandle) -> Option<BlockId> {
+        self.files[f.0 as usize].blocks.last().copied()
+    }
+
+    /// Append bytes to the end of the file, allocating blocks as needed.
+    ///
+    /// Returns the file offset at which the bytes begin.  Per the WORM
+    /// append extension, this is legal on committed files; it can never
+    /// disturb previously committed bytes.
+    pub fn append(&mut self, f: FileHandle, mut bytes: &[u8]) -> crate::Result<u64> {
+        let start = self.files[f.0 as usize].len;
+        let block_size = self.device.block_size();
+        while !bytes.is_empty() {
+            let meta = &self.files[f.0 as usize];
+            let tail = match meta.blocks.last() {
+                Some(&b) if self.device.remaining(b)? > 0 => b,
+                _ => {
+                    let b = self.device.alloc_block();
+                    self.files[f.0 as usize].blocks.push(b);
+                    b
+                }
+            };
+            let room = self.device.remaining(tail)?;
+            debug_assert!(room > 0 && room <= block_size);
+            let take = room.min(bytes.len());
+            self.device.append(tail, &bytes[..take])?;
+            self.files[f.0 as usize].len += take as u64;
+            bytes = &bytes[take..];
+        }
+        Ok(start)
+    }
+
+    /// Read `len` bytes at `offset`, crossing block boundaries as needed.
+    pub fn read(&self, f: FileHandle, offset: u64, len: usize) -> crate::Result<Vec<u8>> {
+        let meta = &self.files[f.0 as usize];
+        let end = offset + len as u64;
+        if end > meta.len {
+            return Err(WormError::ReadPastEof {
+                name: meta.name.clone(),
+                end,
+                len: meta.len,
+            });
+        }
+        let block_size = self.device.block_size() as u64;
+        let mut out = Vec::with_capacity(len);
+        let mut pos = offset;
+        while pos < end {
+            let bi = (pos / block_size) as usize;
+            let in_block = (pos % block_size) as usize;
+            let take = ((end - pos) as usize).min(block_size as usize - in_block);
+            out.extend_from_slice(self.device.read(meta.blocks[bi], in_block, take)?);
+            pos += take as u64;
+        }
+        Ok(out)
+    }
+
+    /// Attempt to delete the file at logical time `now`.
+    ///
+    /// Deletion succeeds only once the retention period has expired;
+    /// premature attempts are refused and recorded in the device tamper log
+    /// (this mirrors the appliance behaviour the paper assumes).
+    pub fn delete(&mut self, f: FileHandle, now: u64) -> crate::Result<()> {
+        let meta = &self.files[f.0 as usize];
+        if now < meta.retention_expires_at {
+            let name = meta.name.clone();
+            let expires_at = meta.retention_expires_at;
+            self.device.report_tamper(TamperAttempt {
+                kind: TamperKind::EarlyDelete,
+                block: None,
+                file: Some(name.clone()),
+                detail: format!("early delete of '{name}' at t={now} (expires t={expires_at})"),
+            });
+            return Err(WormError::RetentionNotExpired {
+                name,
+                expires_at,
+                now,
+            });
+        }
+        let name = self.files[f.0 as usize].name.clone();
+        self.files[f.0 as usize].deleted = true;
+        self.by_name.remove(&name);
+        Ok(())
+    }
+
+    /// Whether the file has been (legally) deleted.
+    pub fn is_deleted(&self, f: FileHandle) -> bool {
+        self.files[f.0 as usize].deleted
+    }
+
+    /// Iterate over the names of all live files.
+    pub fn file_names(&self) -> impl Iterator<Item = &str> {
+        self.by_name.keys().map(|s| s.as_str())
+    }
+
+    /// Export the file table for serialization (see
+    /// [`persist`](crate::persist)).
+    pub fn export_file_table(&self) -> Vec<ExportedFile> {
+        self.files
+            .iter()
+            .map(|f| ExportedFile {
+                name: f.name.clone(),
+                blocks: f.blocks.clone(),
+                len: f.len,
+                retention_expires_at: f.retention_expires_at,
+                deleted: f.deleted,
+            })
+            .collect()
+    }
+
+    /// Rebuild a file system from a device and an exported file table,
+    /// validating that every file's length is exactly the bytes committed
+    /// in its blocks.  Returns a description of the first inconsistency.
+    pub fn import(device: WormDevice, table: Vec<ExportedFile>) -> Result<Self, String> {
+        let block_size = device.block_size() as u64;
+        let mut files = Vec::with_capacity(table.len());
+        let mut by_name = HashMap::new();
+        for (i, f) in table.into_iter().enumerate() {
+            let committed: u64 = f
+                .blocks
+                .iter()
+                .map(|&b| device.committed_len(b).map(|l| l as u64))
+                .sum::<Result<u64, _>>()
+                .map_err(|e| format!("file '{}': {e}", f.name))?;
+            if committed != f.len {
+                return Err(format!(
+                    "file '{}': length {} but {} bytes committed in its blocks",
+                    f.name, f.len, committed
+                ));
+            }
+            if f.len.div_ceil(block_size) != f.blocks.len() as u64 {
+                return Err(format!(
+                    "file '{}': {} bytes cannot occupy {} blocks of {}",
+                    f.name,
+                    f.len,
+                    f.blocks.len(),
+                    block_size
+                ));
+            }
+            if !f.deleted
+                && by_name
+                    .insert(f.name.clone(), FileHandle(i as u32))
+                    .is_some()
+            {
+                return Err(format!("duplicate live file name '{}'", f.name));
+            }
+            files.push(FileMeta {
+                name: f.name,
+                blocks: f.blocks,
+                len: f.len,
+                retention_expires_at: f.retention_expires_at,
+                deleted: f.deleted,
+            });
+        }
+        Ok(Self {
+            device,
+            files,
+            by_name,
+        })
+    }
+
+    /// Number of live (non-deleted) files.
+    pub fn num_files(&self) -> usize {
+        self.by_name.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fs(block: usize) -> WormFs {
+        WormFs::new(WormDevice::new(block))
+    }
+
+    #[test]
+    fn create_open_roundtrip() {
+        let mut fs = fs(16);
+        let f = fs.create("a", u64::MAX).unwrap();
+        assert_eq!(fs.open("a").unwrap(), f);
+        assert!(matches!(fs.open("b"), Err(WormError::NoSuchFile(_))));
+        assert!(matches!(fs.create("a", 0), Err(WormError::FileExists(_))));
+    }
+
+    #[test]
+    fn append_spans_blocks() {
+        let mut fs = fs(4);
+        let f = fs.create("a", u64::MAX).unwrap();
+        assert_eq!(fs.append(f, b"0123456789").unwrap(), 0);
+        assert_eq!(fs.len(f), 10);
+        assert_eq!(fs.blocks(f).len(), 3); // 4 + 4 + 2
+        assert_eq!(fs.read(f, 0, 10).unwrap(), b"0123456789");
+        // Reads crossing block boundaries:
+        assert_eq!(fs.read(f, 3, 4).unwrap(), b"3456");
+        // Further appends return increasing offsets:
+        assert_eq!(fs.append(f, b"ab").unwrap(), 10);
+        assert_eq!(fs.read(f, 8, 4).unwrap(), b"89ab");
+    }
+
+    #[test]
+    fn append_fills_partial_tail_first() {
+        let mut fs = fs(8);
+        let f = fs.create("a", u64::MAX).unwrap();
+        fs.append(f, b"abc").unwrap();
+        fs.append(f, b"de").unwrap();
+        assert_eq!(fs.blocks(f).len(), 1, "partial tail must be reused");
+        fs.append(f, b"fghij").unwrap();
+        assert_eq!(fs.blocks(f).len(), 2);
+        assert_eq!(fs.read(f, 0, 10).unwrap(), b"abcdefghij");
+    }
+
+    #[test]
+    fn read_past_eof_rejected() {
+        let mut fs = fs(8);
+        let f = fs.create("a", u64::MAX).unwrap();
+        fs.append(f, b"abc").unwrap();
+        assert!(matches!(
+            fs.read(f, 2, 2),
+            Err(WormError::ReadPastEof { .. })
+        ));
+        assert!(fs.read(f, 3, 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn early_delete_refused_and_logged() {
+        let mut fs = fs(8);
+        let f = fs.create("email-2001-11", 1000).unwrap();
+        let err = fs.delete(f, 999).unwrap_err();
+        assert!(matches!(err, WormError::RetentionNotExpired { .. }));
+        assert!(!fs.is_deleted(f));
+        assert_eq!(fs.device().tamper_log().len(), 1);
+        assert_eq!(fs.device().tamper_log()[0].kind, TamperKind::EarlyDelete);
+        // After expiry the delete is legal and not logged.
+        fs.delete(f, 1000).unwrap();
+        assert!(fs.is_deleted(f));
+        assert_eq!(fs.device().tamper_log().len(), 1);
+        assert!(matches!(
+            fs.open("email-2001-11"),
+            Err(WormError::NoSuchFile(_))
+        ));
+    }
+
+    #[test]
+    fn tail_block_tracks_growth() {
+        let mut fs = fs(4);
+        let f = fs.create("a", u64::MAX).unwrap();
+        assert_eq!(fs.tail_block(f), None);
+        fs.append(f, b"abcd").unwrap();
+        let t1 = fs.tail_block(f).unwrap();
+        fs.append(f, b"e").unwrap();
+        let t2 = fs.tail_block(f).unwrap();
+        assert_ne!(t1, t2, "full tail forces a new block");
+    }
+
+    #[test]
+    fn many_files_unique_blocks() {
+        let mut fs = fs(8);
+        let f1 = fs.create("f1", u64::MAX).unwrap();
+        let f2 = fs.create("f2", u64::MAX).unwrap();
+        fs.append(f1, b"xxxx").unwrap();
+        fs.append(f2, b"yyyy").unwrap();
+        assert_ne!(fs.blocks(f1)[0], fs.blocks(f2)[0]);
+        assert_eq!(fs.num_files(), 2);
+        assert_eq!(fs.read(f1, 0, 4).unwrap(), b"xxxx");
+        assert_eq!(fs.read(f2, 0, 4).unwrap(), b"yyyy");
+    }
+}

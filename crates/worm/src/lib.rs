@@ -1,0 +1,61 @@
+//! # `tks-worm` — WORM storage model for trustworthy record retention
+//!
+//! This crate models the storage substrate assumed by *Mitra, Hsu & Winslett,
+//! "Trustworthy Keyword Search for Regulatory-Compliant Records Retention"
+//! (VLDB 2006)*, Section 2.2:
+//!
+//! * a **WORM block device** built on rewritable magnetic media with
+//!   write-once semantics enforced in software ([`WormDevice`]).  Committed
+//!   bytes can never be overwritten; attempted overwrites fail and are
+//!   recorded in a tamper-attempt log;
+//! * the paper's proposed **append extension**: new bytes may be appended to
+//!   otherwise-immutable, partially-written blocks and files — the primitive
+//!   that makes incremental posting-list and jump-index maintenance possible;
+//! * an **append-only file system layer** ([`WormFs`]) offering the
+//!   "file-system-like interface" of commercial compliance appliances, with
+//!   retention periods and no premature deletion;
+//! * the **non-volatile storage cache** of the storage server
+//!   ([`StorageCache`]), simulated at disk-block granularity exactly as in
+//!   the paper's Section 3 experiments: data in the NV cache counts as
+//!   committed; a dirty block evicted from the cache costs one random write
+//!   I/O; a miss on a previously-written block costs one random read I/O.
+//!
+//! ## Threat model
+//!
+//! Following the paper, the adversary ("Mala") may issue *any* legal
+//! operation — including appends to any block or file — because she can
+//! assume the identity of any user or superuser.  The only guarantees come
+//! from the device itself: committed bytes are immutable and files cannot be
+//! deleted before their retention period expires.  [`WormDevice::tamper_log`]
+//! records every rejected overwrite/early-delete so that audits (run by the
+//! trusted investigator "Bob") can surface cover-up attempts.
+//!
+//! ## Crate map
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`device`] | [`BlockId`], [`WormDevice`]: append-only blocks |
+//! | [`fs`] | [`WormFs`]: append-only files with retention, over a device |
+//! | [`lru`] | [`LruCore`]: O(1) intrusive LRU used by the cache |
+//! | [`cache`] | [`StorageCache`]: NV-cache I/O accounting simulator |
+//! | [`stats`] | [`IoStats`]: random-I/O counters |
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod device;
+pub mod fs;
+pub mod lru;
+pub mod persist;
+pub mod stats;
+
+pub use cache::{AccessKind, CacheConfig, StorageCache};
+pub use device::{BlockId, TamperAttempt, TamperKind, WormDevice, WormError};
+pub use fs::{ExportedFile, FileHandle, WormFs};
+pub use lru::LruCore;
+pub use persist::{load_fs, save_fs, PersistError};
+pub use stats::IoStats;
+
+/// Result alias for WORM-device operations.
+pub type Result<T> = std::result::Result<T, WormError>;

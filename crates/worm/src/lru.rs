@@ -1,0 +1,333 @@
+//! An O(1) least-recently-used tracker used by the storage-cache simulator.
+//!
+//! Implemented as a slab-allocated doubly linked list plus a hash map, so
+//! that `touch`, `insert`, `remove` and `pop_lru` are all O(1).  Keys are
+//! generic so the same core serves block IDs in the cache simulator and any
+//! other recency-ordered structure.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug, Clone)]
+struct Node<K> {
+    key: K,
+    prev: usize,
+    next: usize,
+}
+
+/// O(1) LRU ordering over a set of keys.
+///
+/// The most recently used key is at the *front*; [`LruCore::pop_lru`]
+/// removes and returns the key at the *back*.  `LruCore` tracks ordering
+/// only — capacity policy (when to evict) belongs to the caller.
+///
+/// # Example
+///
+/// ```
+/// use tks_worm::LruCore;
+///
+/// let mut lru = LruCore::new();
+/// lru.insert(1);
+/// lru.insert(2);
+/// lru.insert(3);
+/// lru.touch(&1); // 1 becomes most recent
+/// assert_eq!(lru.pop_lru(), Some(2));
+/// assert_eq!(lru.pop_lru(), Some(3));
+/// assert_eq!(lru.pop_lru(), Some(1));
+/// assert_eq!(lru.pop_lru(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LruCore<K: Eq + Hash + Clone> {
+    map: HashMap<K, usize>,
+    nodes: Vec<Node<K>>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+}
+
+impl<K: Eq + Hash + Clone> Default for LruCore<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Eq + Hash + Clone> LruCore<K> {
+    /// Create an empty tracker.
+    pub fn new() -> Self {
+        Self {
+            map: HashMap::new(),
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    /// Create an empty tracker with pre-allocated space for `cap` keys.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            map: HashMap::with_capacity(cap),
+            nodes: Vec::with_capacity(cap),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    /// Number of tracked keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no keys are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Whether `key` is tracked.
+    pub fn contains(&self, key: &K) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Mark `key` as most recently used.  Returns `true` if the key was
+    /// present (and has been moved to the front), `false` otherwise.
+    pub fn touch(&mut self, key: &K) -> bool {
+        match self.map.get(key).copied() {
+            Some(idx) => {
+                self.unlink(idx);
+                self.push_front(idx);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Insert `key` as most recently used.  Returns `false` if the key was
+    /// already present (in which case it is simply touched).
+    pub fn insert(&mut self, key: K) -> bool {
+        if self.touch(&key) {
+            return false;
+        }
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.nodes[i] = Node {
+                    key: key.clone(),
+                    prev: NIL,
+                    next: NIL,
+                };
+                i
+            }
+            None => {
+                self.nodes.push(Node {
+                    key: key.clone(),
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.nodes.len() - 1
+            }
+        };
+        self.map.insert(key, idx);
+        self.push_front(idx);
+        true
+    }
+
+    /// Remove `key` from the tracker.  Returns `true` if it was present.
+    pub fn remove(&mut self, key: &K) -> bool {
+        match self.map.remove(key) {
+            Some(idx) => {
+                self.unlink(idx);
+                self.free.push(idx);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Remove and return the least recently used key.
+    pub fn pop_lru(&mut self) -> Option<K> {
+        if self.tail == NIL {
+            return None;
+        }
+        let idx = self.tail;
+        let key = self.nodes[idx].key.clone();
+        self.unlink(idx);
+        self.free.push(idx);
+        self.map.remove(&key);
+        Some(key)
+    }
+
+    /// Peek at the least recently used key without removing it.
+    pub fn peek_lru(&self) -> Option<&K> {
+        if self.tail == NIL {
+            None
+        } else {
+            Some(&self.nodes[self.tail].key)
+        }
+    }
+
+    /// Iterate keys from most to least recently used.
+    pub fn iter_mru(&self) -> impl Iterator<Item = &K> {
+        let mut cur = self.head;
+        std::iter::from_fn(move || {
+            if cur == NIL {
+                None
+            } else {
+                let node = &self.nodes[cur];
+                cur = node.next;
+                Some(&node.key)
+            }
+        })
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.nodes[idx].prev = NIL;
+        self.nodes[idx].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.nodes[idx].prev, self.nodes[idx].next);
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.nodes[idx].prev = NIL;
+        self.nodes[idx].next = NIL;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_orders_mru_first() {
+        let mut lru = LruCore::new();
+        assert!(lru.insert("a"));
+        assert!(lru.insert("b"));
+        assert!(lru.insert("c"));
+        let order: Vec<_> = lru.iter_mru().copied().collect();
+        assert_eq!(order, vec!["c", "b", "a"]);
+        assert_eq!(lru.peek_lru(), Some(&"a"));
+    }
+
+    #[test]
+    fn reinsert_touches() {
+        let mut lru = LruCore::new();
+        lru.insert(1);
+        lru.insert(2);
+        assert!(!lru.insert(1)); // already present
+        assert_eq!(lru.pop_lru(), Some(2));
+    }
+
+    #[test]
+    fn touch_missing_is_false() {
+        let mut lru: LruCore<u32> = LruCore::new();
+        assert!(!lru.touch(&7));
+    }
+
+    #[test]
+    fn remove_middle_front_back() {
+        let mut lru = LruCore::new();
+        for i in 0..5 {
+            lru.insert(i);
+        }
+        assert!(lru.remove(&2)); // middle
+        assert!(lru.remove(&4)); // front (MRU)
+        assert!(lru.remove(&0)); // back (LRU)
+        assert!(!lru.remove(&9));
+        let order: Vec<_> = lru.iter_mru().copied().collect();
+        assert_eq!(order, vec![3, 1]);
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn slab_reuse_after_remove() {
+        let mut lru = LruCore::new();
+        lru.insert(1);
+        lru.insert(2);
+        lru.remove(&1);
+        lru.insert(3);
+        lru.insert(4);
+        let order: Vec<_> = lru.iter_mru().copied().collect();
+        assert_eq!(order, vec![4, 3, 2]);
+    }
+
+    #[test]
+    fn pop_until_empty_then_reuse() {
+        let mut lru = LruCore::new();
+        lru.insert('x');
+        lru.insert('y');
+        assert_eq!(lru.pop_lru(), Some('x'));
+        assert_eq!(lru.pop_lru(), Some('y'));
+        assert_eq!(lru.pop_lru(), None);
+        assert!(lru.is_empty());
+        lru.insert('z');
+        assert_eq!(lru.peek_lru(), Some(&'z'));
+        assert_eq!(lru.len(), 1);
+    }
+
+    #[test]
+    fn randomized_against_reference_model() {
+        use std::collections::VecDeque;
+        // Reference: VecDeque with front = MRU (O(n) ops, but obviously
+        // correct).
+        let mut model: VecDeque<u16> = VecDeque::new();
+        let mut lru = LruCore::new();
+        // Simple deterministic LCG so the test needs no rand dependency here.
+        let mut state = 0x2545F491u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        for _ in 0..10_000 {
+            let op = next() % 4;
+            let key = (next() % 50) as u16;
+            match op {
+                0 => {
+                    let inserted = lru.insert(key);
+                    let was_there = model.contains(&key);
+                    assert_eq!(inserted, !was_there);
+                    model.retain(|&k| k != key);
+                    model.push_front(key);
+                }
+                1 => {
+                    let touched = lru.touch(&key);
+                    assert_eq!(touched, model.contains(&key));
+                    if touched {
+                        model.retain(|&k| k != key);
+                        model.push_front(key);
+                    }
+                }
+                2 => {
+                    let removed = lru.remove(&key);
+                    assert_eq!(removed, model.contains(&key));
+                    model.retain(|&k| k != key);
+                }
+                _ => {
+                    assert_eq!(lru.pop_lru(), model.pop_back());
+                }
+            }
+            assert_eq!(lru.len(), model.len());
+        }
+        let order: Vec<_> = lru.iter_mru().copied().collect();
+        let model_order: Vec<_> = model.iter().copied().collect();
+        assert_eq!(order, model_order);
+    }
+}

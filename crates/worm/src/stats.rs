@@ -1,0 +1,172 @@
+//! Random-I/O accounting shared by the storage cache and the experiment
+//! harnesses.
+//!
+//! The paper's evaluation (Figures 2, 4 and 8(b)) measures *random I/Os per
+//! inserted document* and *blocks read per query*; [`IoStats`] is the single
+//! counter type all layers report into so figure harnesses can diff
+//! before/after snapshots.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters for random I/Os observed at the storage device.
+///
+/// A "random I/O" here follows the paper's accounting: any block read from
+/// the platter, and any block written to the platter (including a partially
+/// filled block evicted from the non-volatile cache), costs exactly one
+/// random I/O.  Sequential transfer within a block is free.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IoStats {
+    /// Random read I/Os (block fetched from disk into the cache).
+    pub read_ios: u64,
+    /// Random write I/Os (block written out to disk, full or partial).
+    pub write_ios: u64,
+    /// Cache hits (no I/O incurred).
+    pub hits: u64,
+    /// Cache misses (at least one I/O incurred).
+    pub misses: u64,
+}
+
+impl IoStats {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total random I/Os (reads + writes).
+    pub fn total_ios(&self) -> u64 {
+        self.read_ios + self.write_ios
+    }
+
+    /// Counter-wise difference `self - earlier`, used to attribute I/Os to a
+    /// phase of an experiment (e.g. per-document insertion cost).
+    pub fn since(&self, earlier: &IoStats) -> IoStats {
+        IoStats {
+            read_ios: self.read_ios - earlier.read_ios,
+            write_ios: self.write_ios - earlier.write_ios,
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+        }
+    }
+
+    /// Cache hit rate in `[0, 1]`; `1.0` when no accesses were made.
+    pub fn hit_rate(&self) -> f64 {
+        let accesses = self.hits + self.misses;
+        if accesses == 0 {
+            1.0
+        } else {
+            self.hits as f64 / accesses as f64
+        }
+    }
+
+    /// Estimated wall-clock seconds for these I/Os at a given per-random-
+    /// I/O latency.  The paper's §2.3 back-of-envelope uses 2 ms: "If each
+    /// append incurs a 2 msec random I/O, it would take 1 second to index
+    /// a document."
+    pub fn estimated_seconds(&self, seconds_per_io: f64) -> f64 {
+        self.total_ios() as f64 * seconds_per_io
+    }
+}
+
+/// The paper's §2.3 random-I/O latency assumption: 2 ms.
+pub const PAPER_RANDOM_IO_SECONDS: f64 = 0.002;
+
+impl std::ops::Add for IoStats {
+    type Output = IoStats;
+    fn add(self, rhs: IoStats) -> IoStats {
+        IoStats {
+            read_ios: self.read_ios + rhs.read_ios,
+            write_ios: self.write_ios + rhs.write_ios,
+            hits: self.hits + rhs.hits,
+            misses: self.misses + rhs.misses,
+        }
+    }
+}
+
+impl std::ops::AddAssign for IoStats {
+    fn add_assign(&mut self, rhs: IoStats) {
+        *self = *self + rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_and_since() {
+        let a = IoStats {
+            read_ios: 3,
+            write_ios: 5,
+            hits: 10,
+            misses: 8,
+        };
+        let b = IoStats {
+            read_ios: 1,
+            write_ios: 2,
+            hits: 4,
+            misses: 3,
+        };
+        assert_eq!(a.total_ios(), 8);
+        let d = a.since(&b);
+        assert_eq!(
+            d,
+            IoStats {
+                read_ios: 2,
+                write_ios: 3,
+                hits: 6,
+                misses: 5
+            }
+        );
+    }
+
+    #[test]
+    fn hit_rate_empty_is_one() {
+        assert_eq!(IoStats::new().hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn hit_rate_mixed() {
+        let s = IoStats {
+            hits: 3,
+            misses: 1,
+            ..IoStats::default()
+        };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimated_seconds_uses_total() {
+        let s = IoStats {
+            read_ios: 250,
+            write_ios: 250,
+            ..IoStats::default()
+        };
+        // 500 I/Os at 2 ms ≈ the paper's "1 second to index a document".
+        assert!((s.estimated_seconds(PAPER_RANDOM_IO_SECONDS) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut a = IoStats {
+            read_ios: 1,
+            write_ios: 1,
+            hits: 1,
+            misses: 1,
+        };
+        a += IoStats {
+            read_ios: 2,
+            write_ios: 3,
+            hits: 4,
+            misses: 5,
+        };
+        assert_eq!(
+            a,
+            IoStats {
+                read_ios: 3,
+                write_ios: 4,
+                hits: 5,
+                misses: 6
+            }
+        );
+    }
+}

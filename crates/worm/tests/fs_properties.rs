@@ -1,0 +1,81 @@
+//! Property tests for the WORM file layer: an append-only file must
+//! behave exactly like an ever-growing byte vector, for any sequence of
+//! appends and reads, at any block size — and committed bytes must be
+//! bit-stable across later operations.
+
+use proptest::prelude::*;
+use tks_worm::{WormDevice, WormFs};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn file_matches_reference_vector(
+        block_size in 1usize..64,
+        chunks in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..40), 0..25),
+        read_probes in proptest::collection::vec((0u64..500, 0usize..60), 0..20),
+    ) {
+        let mut fs = WormFs::new(WormDevice::new(block_size));
+        let f = fs.create("f", u64::MAX).unwrap();
+        let mut model: Vec<u8> = Vec::new();
+        for chunk in &chunks {
+            let off = fs.append(f, chunk).unwrap();
+            prop_assert_eq!(off, model.len() as u64);
+            model.extend_from_slice(chunk);
+            prop_assert_eq!(fs.len(f), model.len() as u64);
+            // The whole committed prefix is always intact.
+            prop_assert_eq!(fs.read(f, 0, model.len()).unwrap(), model.clone());
+        }
+        for &(off, len) in &read_probes {
+            let in_range = off + len as u64 <= model.len() as u64;
+            match fs.read(f, off, len) {
+                Ok(bytes) => {
+                    prop_assert!(in_range);
+                    prop_assert_eq!(bytes, model[off as usize..off as usize + len].to_vec());
+                }
+                Err(_) => prop_assert!(!in_range),
+            }
+        }
+        // Block accounting matches the model.
+        let expect_blocks = model.len().div_ceil(block_size);
+        prop_assert_eq!(fs.blocks(f).len(), expect_blocks);
+    }
+
+    #[test]
+    fn interleaved_files_do_not_interfere(
+        ops in proptest::collection::vec((0usize..3, proptest::collection::vec(any::<u8>(), 1..16)), 1..40),
+    ) {
+        let mut fs = WormFs::new(WormDevice::new(8));
+        let handles = [
+            fs.create("a", u64::MAX).unwrap(),
+            fs.create("b", u64::MAX).unwrap(),
+            fs.create("c", u64::MAX).unwrap(),
+        ];
+        let mut models: [Vec<u8>; 3] = Default::default();
+        for (which, bytes) in &ops {
+            fs.append(handles[*which], bytes).unwrap();
+            models[*which].extend_from_slice(bytes);
+        }
+        for i in 0..3 {
+            prop_assert_eq!(
+                fs.read(handles[i], 0, models[i].len()).unwrap(),
+                models[i].clone()
+            );
+        }
+    }
+
+    #[test]
+    fn overwrites_never_change_committed_bytes(
+        data in proptest::collection::vec(any::<u8>(), 1..64),
+        attempts in proptest::collection::vec((0usize..64, any::<u8>()), 1..20),
+    ) {
+        let mut dev = WormDevice::new(64);
+        let b = dev.alloc_block();
+        dev.append(b, &data).unwrap();
+        for &(off, byte) in &attempts {
+            let _ = dev.try_overwrite(b, off % data.len(), &[byte]);
+        }
+        prop_assert_eq!(dev.read_all(b).unwrap(), &data[..]);
+        prop_assert_eq!(dev.tamper_log().len(), attempts.len());
+    }
+}

@@ -1,0 +1,82 @@
+//! # trustworthy-search
+//!
+//! A production-quality Rust reproduction of **Mitra, Hsu & Winslett,
+//! "Trustworthy Keyword Search for Regulatory-Compliant Records
+//! Retention", VLDB 2006** — a keyword-search engine over WORM
+//! (write-once-read-many) storage whose *index* is as tamper-resistant as
+//! the records themselves.
+//!
+//! Simply storing records on WORM is not enough: if the index an
+//! investigator searches through can be manipulated, a record can be
+//! hidden without touching its bytes.  This crate family provides:
+//!
+//! * [`worm`] — the WORM storage model: append-only blocks/files,
+//!   retention enforcement, tamper-attempt logging, and the storage-cache
+//!   simulator used by the paper's experiments;
+//! * [`postings`] — document/term identifiers and WORM-backed posting
+//!   lists with merged-list term tags;
+//! * [`jump`] — **jump indexes**: fossilized `O(log N)`
+//!   `Insert`/`Lookup`/`FindGeq` structures over monotone document IDs
+//!   whose lookup paths can never be subverted by later writes;
+//! * [`btree`] — the untrustworthy baseline: an append-only B+ tree plus
+//!   the paper's Figure 6 hiding attack, demonstrating *why* jump indexes
+//!   exist;
+//! * [`ght`] — the Generalized Hash Tree exact-match baseline;
+//! * [`corpus`] — synthetic corpus & query-log generators calibrated to
+//!   the paper's IBM intranet workload;
+//! * [`core`] — the assembled engine: merged posting lists with real-time
+//!   index update, ranked disjunctive search (BM25/cosine), conjunctive
+//!   zigzag joins over jump indexes, trustworthy commit-time ranges,
+//!   epoch-based statistics learning, ranking-attack countermeasures, and
+//!   the simulation drivers behind every figure of the paper.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use trustworthy_search::prelude::*;
+//!
+//! // An engine with 64 merged posting lists and jump indexes (B = 32).
+//! let mut engine = SearchEngine::new(EngineConfig {
+//!     assignment: MergeAssignment::uniform(64),
+//!     jump: Some(JumpConfig::new(8192, 32, 1 << 32)),
+//!     ..Default::default()
+//! });
+//!
+//! // Committing a record indexes it *before* the call returns — there is
+//! // no window in which an insider can suppress the index entry.
+//! let doc = engine
+//!     .add_document("quarterly earnings restatement draft", Timestamp(1_700_000_000))
+//!     .unwrap();
+//!
+//! let hits = engine.search("earnings restatement", 10);
+//! assert_eq!(hits[0].doc, doc);
+//!
+//! let exact = engine.search_conjunctive("quarterly earnings").unwrap();
+//! assert_eq!(exact, vec![doc]);
+//!
+//! // Audits surface any tampering detectable from the WORM bytes.
+//! assert!(engine.audit().is_clean());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use tks_btree as btree;
+pub use tks_core as core;
+pub use tks_corpus as corpus;
+pub use tks_ght as ght;
+pub use tks_jump as jump;
+pub use tks_postings as postings;
+pub use tks_worm as worm;
+
+/// The most commonly used types, re-exported for `use
+/// trustworthy_search::prelude::*`.
+pub mod prelude {
+    pub use tks_core::engine::{AuditReport, EngineConfig, SearchEngine, SearchHit};
+    pub use tks_core::epoch::{EpochConfig, EpochManager};
+    pub use tks_core::merge::MergeAssignment;
+    pub use tks_core::ranking::RankingModel;
+    pub use tks_jump::JumpConfig;
+    pub use tks_postings::{DocId, ListId, TermId, Timestamp};
+    pub use tks_worm::{IoStats, WormDevice, WormFs};
+}

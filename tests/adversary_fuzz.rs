@@ -1,0 +1,192 @@
+//! Randomized adversary integration test: interleave legitimate engine
+//! operation with every raw WORM mutation Mala can make, then check the
+//! system's global guarantee — **every committed document is either still
+//! correctly retrievable, or the audit pipeline reports tamper evidence.**
+//! Silent loss is the one outcome that must never occur.
+
+use proptest::prelude::*;
+use trustworthy_search::core::engine::{EngineConfig, SearchEngine};
+use trustworthy_search::core::merge::MergeAssignment;
+use trustworthy_search::core::rank_attack::detect_phantom_postings;
+use trustworthy_search::jump::JumpConfig;
+use trustworthy_search::postings::{encode_posting, DocId, ListId, Posting, TermId, Timestamp};
+
+/// One step of the interleaved workload.
+#[derive(Debug, Clone)]
+enum Step {
+    /// Legitimate: commit a document with these (small) term ids.
+    Commit(Vec<u8>),
+    /// Mala: append a raw posting (doc, tag, tf) to a list file.
+    RawPosting { list: u8, doc: u16, tag: u8 },
+    /// Mala: append raw garbage bytes to a list file.
+    RawGarbage { list: u8, bytes: Vec<u8> },
+    /// Mala: attempt to overwrite a committed byte (always refused).
+    Overwrite { block: u8, offset: u8 },
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        4 => proptest::collection::vec(0u8..20, 1..6).prop_map(Step::Commit),
+        2 => (0u8..4, 0u16..200, 0u8..6)
+            .prop_map(|(list, doc, tag)| Step::RawPosting { list, doc, tag }),
+        1 => (0u8..4, proptest::collection::vec(any::<u8>(), 1..7))
+            .prop_map(|(list, bytes)| Step::RawGarbage { list, bytes }),
+        1 => (any::<u8>(), any::<u8>()).prop_map(|(block, offset)| Step::Overwrite { block, offset }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn committed_documents_never_vanish_silently(steps in proptest::collection::vec(step_strategy(), 1..60)) {
+        let mut engine = SearchEngine::new(EngineConfig {
+            assignment: MergeAssignment::uniform(4),
+            jump: Some(JumpConfig::new(1024, 4, 1 << 32)),
+            store_documents: false,
+            ..Default::default()
+        });
+        // (doc, terms) pairs committed through the legitimate path.
+        let mut committed: Vec<(DocId, Vec<TermId>)> = Vec::new();
+        let mut mala_acted = false;
+
+        for (i, step) in steps.iter().enumerate() {
+            match step {
+                Step::Commit(raw_terms) => {
+                    let mut terms: Vec<(TermId, u32)> =
+                        raw_terms.iter().map(|&t| (TermId(t as u32), 1)).collect();
+                    terms.sort_unstable_by_key(|&(t, _)| t);
+                    terms.dedup_by_key(|&mut (t, _)| t);
+                    let doc = engine
+                        .add_document_terms(&terms, Timestamp(i as u64), None)
+                        .expect("legitimate commits always succeed");
+                    committed.push((doc, terms.into_iter().map(|(t, _)| t).collect()));
+                }
+                Step::RawPosting { list, doc, tag } => {
+                    let name = format!("lists/{list}");
+                    let store = engine.list_store_mut();
+                    let file = match store.fs().open(&name) {
+                        Ok(f) => f,
+                        Err(_) => store.fs_mut().create(&name, u64::MAX).expect("fresh file"),
+                    };
+                    let bytes =
+                        encode_posting(Posting::new(DocId(*doc as u64), *tag as u32, 99));
+                    store.fs_mut().append(file, &bytes).expect("raw appends are legal");
+                    mala_acted = true;
+                }
+                Step::RawGarbage { list, bytes } => {
+                    let name = format!("lists/{list}");
+                    let store = engine.list_store_mut();
+                    let file = match store.fs().open(&name) {
+                        Ok(f) => f,
+                        Err(_) => store.fs_mut().create(&name, u64::MAX).expect("fresh file"),
+                    };
+                    store.fs_mut().append(file, bytes).expect("raw appends are legal");
+                    mala_acted = true;
+                }
+                Step::Overwrite { block, offset } => {
+                    let dev = engine.list_store_mut().fs_mut().device_mut();
+                    if (*block as u64) < dev.num_blocks() as u64 {
+                        // Always refused — and logged.
+                        prop_assert!(dev
+                            .try_overwrite(
+                                trustworthy_search::worm::BlockId(*block as u64),
+                                *offset as usize,
+                                b"X"
+                            )
+                            .is_err());
+                        mala_acted = true;
+                    }
+                }
+            }
+        }
+
+        // The guarantee: every committed document is still retrievable
+        // through every query path, or tamper evidence exists.
+        let audit = engine.audit();
+        let phantoms = detect_phantom_postings(&engine).unwrap_or_default();
+        let evidence = !audit.is_clean() || !phantoms.is_empty();
+
+        for (doc, terms) in &committed {
+            // Disjunctive: the document scores for each of its terms.
+            for &t in terms {
+                let found = engine
+                    .search_terms(&[t], usize::MAX)
+                    .iter()
+                    .any(|h| h.doc == *doc);
+                prop_assert!(
+                    found || evidence,
+                    "{doc} silently missing from disjunctive results for {t} \
+                     (mala acted: {mala_acted})"
+                );
+            }
+            // Conjunctive over all its terms.
+            match engine.conjunctive_terms(terms) {
+                Ok((docs, _)) => prop_assert!(
+                    docs.contains(doc) || evidence,
+                    "{doc} silently missing from conjunctive results"
+                ),
+                // A query-time tamper report is acceptable evidence too.
+                Err(_) => prop_assert!(mala_acted),
+            }
+        }
+
+        // And the flip side: evidence never appears without a cause.
+        if !mala_acted {
+            prop_assert!(!evidence, "clean runs must audit clean: {audit:?} {phantoms:?}");
+            // Clean stores must also recover cleanly.
+            let config = engine.config().clone();
+            let recovered = SearchEngine::recover(engine.into_parts(), config);
+            prop_assert!(recovered.is_ok());
+        }
+    }
+}
+
+#[test]
+fn raw_list_tampering_is_always_evident() {
+    // Deterministic companion: any raw posting Mala appends is caught by
+    // monotonicity, tag-dictionary, phantom-doc checks — or recovery.
+    for doc in [0u64, 5, 1_000] {
+        for tag in [0u32, 9] {
+            let mut e = SearchEngine::new(EngineConfig {
+                assignment: MergeAssignment::uniform(2),
+                ..Default::default()
+            });
+            e.add_document("alpha beta", Timestamp(1)).unwrap();
+            e.add_document("alpha gamma", Timestamp(2)).unwrap();
+            let config = e.config().clone();
+            let store = e.list_store_mut();
+            let file = store.fs().open("lists/0").unwrap();
+            let evil = encode_posting(Posting::new(DocId(doc), tag, 42));
+            store.fs_mut().append(file, &evil).unwrap();
+
+            let audit = e.audit();
+            let phantoms = detect_phantom_postings(&e).unwrap_or_default();
+            let live_evidence = !audit.list_violations.is_empty() || !phantoms.is_empty();
+            let recovery_refuses = SearchEngine::recover(e.into_parts(), config).is_err();
+            assert!(
+                live_evidence || recovery_refuses,
+                "raw posting (doc {doc}, tag {tag}) left no evidence anywhere"
+            );
+        }
+    }
+}
+
+#[test]
+fn audit_identifies_the_specific_list() {
+    let mut e = SearchEngine::new(EngineConfig {
+        assignment: MergeAssignment::uniform(3),
+        ..Default::default()
+    });
+    for i in 0..12u64 {
+        e.add_document(&format!("word{i} shared filler"), Timestamp(i))
+            .unwrap();
+    }
+    let victim = ListId(1);
+    let file = e.list_store().fs().open("lists/1").unwrap();
+    let evil = encode_posting(Posting::new(DocId(0), 0, 1));
+    e.list_store_mut().fs_mut().append(file, &evil).unwrap();
+    let report = e.audit();
+    assert_eq!(report.list_violations.len(), 1);
+    assert_eq!(report.list_violations[0].0, victim);
+}

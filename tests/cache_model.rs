@@ -1,0 +1,128 @@
+//! The storage-cache simulator validated against a brute-force reference
+//! implementation of the paper's §3 policy, over randomized workloads.
+//!
+//! The reference keeps an explicit recency-ordered `Vec` and recomputes
+//! everything naively; the production simulator must agree on every
+//! counter after every access, for any interleaving of appends, updates,
+//! reads, fills and fresh blocks, at any capacity.
+
+use proptest::prelude::*;
+use trustworthy_search::worm::{AccessKind, BlockId, CacheConfig, StorageCache};
+
+/// Naive reference model of the §3 cache policy.
+struct RefCache {
+    capacity: u64,
+    /// Front = most recent.  (id, dirty)
+    resident: Vec<(u64, bool)>,
+    reads: u64,
+    writes: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl RefCache {
+    fn new(capacity: u64) -> Self {
+        Self { capacity, resident: Vec::new(), reads: 0, writes: 0, hits: 0, misses: 0 }
+    }
+
+    fn touch_front(&mut self, id: u64) -> bool {
+        if let Some(i) = self.resident.iter().position(|&(b, _)| b == id) {
+            let e = self.resident.remove(i);
+            self.resident.insert(0, e);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn access(&mut self, id: u64, kind: AccessKind) {
+        let hit = self.touch_front(id);
+        if hit {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+            if self.capacity == 0 {
+                match kind {
+                    AccessKind::Append { .. } | AccessKind::Update => self.writes += 1,
+                    AccessKind::Read => self.reads += 1,
+                }
+                return;
+            }
+            if self.resident.len() as u64 >= self.capacity {
+                if let Some((_, dirty)) = self.resident.pop() {
+                    if dirty {
+                        self.writes += 1;
+                    }
+                }
+            }
+            let needs_read = match kind {
+                AccessKind::Append { was_empty, .. } => !was_empty,
+                AccessKind::Update | AccessKind::Read => true,
+            };
+            if needs_read {
+                self.reads += 1;
+            }
+            self.resident.insert(0, (id, false));
+        }
+        match kind {
+            AccessKind::Append { fills, .. } => {
+                if fills {
+                    self.writes += 1;
+                    self.resident.retain(|&(b, _)| b != id);
+                } else {
+                    self.resident[0].1 = true;
+                }
+            }
+            AccessKind::Update => {
+                self.resident[0].1 = true;
+            }
+            AccessKind::Read => {
+                // Dirtiness unchanged; the entry is at the front either
+                // way (insert or touch).
+            }
+        }
+    }
+}
+
+fn kind_strategy() -> impl Strategy<Value = AccessKind> {
+    prop_oneof![
+        (any::<bool>(), any::<bool>()).prop_map(|(was_empty, fills)| AccessKind::Append {
+            was_empty,
+            fills
+        }),
+        Just(AccessKind::Update),
+        Just(AccessKind::Read),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn simulator_matches_reference_model(
+        capacity in 0u64..12,
+        ops in proptest::collection::vec((0u64..20, kind_strategy()), 1..300),
+    ) {
+        let block = 64u32;
+        let mut sim = StorageCache::new(CacheConfig::new(capacity * block as u64, block));
+        let mut reference = RefCache::new(capacity);
+        for (i, &(id, kind)) in ops.iter().enumerate() {
+            sim.access(BlockId(id), kind);
+            reference.access(id, kind);
+            let s = sim.stats();
+            prop_assert_eq!(s.read_ios, reference.reads, "reads diverged at op {}", i);
+            prop_assert_eq!(s.write_ios, reference.writes, "writes diverged at op {}", i);
+            prop_assert_eq!(s.hits, reference.hits, "hits diverged at op {}", i);
+            prop_assert_eq!(s.misses, reference.misses, "misses diverged at op {}", i);
+            prop_assert_eq!(
+                sim.resident_blocks(),
+                reference.resident.len(),
+                "residency diverged at op {}",
+                i
+            );
+        }
+        // Flushing writes out exactly the dirty residents.
+        let dirty = reference.resident.iter().filter(|&&(_, d)| d).count() as u64;
+        prop_assert_eq!(sim.flush(), dirty);
+    }
+}
