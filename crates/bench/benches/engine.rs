@@ -6,6 +6,7 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use tks_core::buffered::BufferedIndex;
 use tks_core::engine::{EngineConfig, SearchEngine};
 use tks_core::merge::MergeAssignment;
+use tks_core::query::Query;
 use tks_core::sim::build_engine;
 use tks_corpus::{CorpusConfig, DocumentGenerator, QueryConfig, QueryGenerator};
 use tks_jump::JumpConfig;
@@ -79,7 +80,11 @@ fn bench_search(c: &mut Criterion) {
                 let mut i = 0;
                 bench.iter(|| {
                     i = (i + 1) % qs.len();
-                    black_box(e.search_terms(&qs[i].terms, 10))
+                    black_box(
+                        e.execute(&Query::disjunctive(&qs[i].terms[..], 10))
+                            .unwrap()
+                            .hits,
+                    )
                 });
             },
         );

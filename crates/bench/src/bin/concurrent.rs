@@ -1,0 +1,184 @@
+//! Concurrent query throughput: ranked disjunctive queries executed
+//! through cloned [`Searcher`](tks_core::service::Searcher) handles at
+//! 1/2/4/8 reader threads, **while an [`IndexWriter`](tks_core::service::IndexWriter)
+//! keeps committing documents** — the deployment shape of a compliance
+//! archive that must stay searchable during ingestion.
+//!
+//! Results land in `results/concurrent.json` and `BENCH_concurrent.json`.
+//!
+//! ```text
+//! cargo run --release -p tks-bench --bin concurrent
+//! ```
+
+use serde::Serialize;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+use tks_bench::{print_table, save_json, Scale};
+use tks_core::engine::EngineConfig;
+use tks_core::merge::MergeAssignment;
+use tks_core::query::Query;
+use tks_core::service::service;
+use tks_core::sim::build_engine;
+use tks_corpus::{DocumentGenerator, QueryGenerator};
+use tks_jump::JumpConfig;
+
+const READER_THREADS: [usize; 4] = [1, 2, 4, 8];
+const QUERY_SAMPLE: u64 = 2_000;
+/// Commit budget for the live writer in each measured round.  Capped so
+/// every round runs against the same document range (fresh engine + at
+/// most this much growth), keeping the thread counts comparable.
+const WRITER_DOCS: u64 = 1_000;
+
+#[derive(Serialize)]
+struct Row {
+    reader_threads: usize,
+    queries: u64,
+    wall_secs: f64,
+    queries_per_sec: f64,
+    speedup_vs_1: f64,
+    docs_committed_during_run: u64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    scale: Scale,
+    /// Hardware threads available to this process — speedup saturates
+    /// here; on a single-core machine the curve is flat by construction.
+    available_parallelism: usize,
+    rows: Vec<Row>,
+}
+
+fn main() {
+    let mut scale = Scale::from_args();
+    // The default figure workload (50k docs) is bigger than this
+    // experiment needs; shrink it unless the user asked for a size.
+    if scale.is_default_workload() {
+        scale.docs = 10_000;
+        scale.vocab = 20_000;
+        scale.terms_per_doc = 60;
+        scale.query_vocab = 5_000;
+    }
+    let mut corpus = scale.corpus();
+    corpus.num_docs += WRITER_DOCS;
+    let gen = DocumentGenerator::new(corpus);
+    let qgen = QueryGenerator::new(scale.query_log());
+    let queries: Vec<Query> = qgen
+        .queries(0..QUERY_SAMPLE.min(scale.queries))
+        .map(|q| Query::disjunctive(&q.terms[..], 10))
+        .collect();
+
+    // Documents for the live writer to commit during each round.
+    let extra: Vec<_> = gen.docs(scale.docs..scale.docs + WRITER_DOCS).collect();
+
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    let mut baseline_qps = 0.0f64;
+    let mut last_searcher = None;
+    for threads in READER_THREADS {
+        // A fresh engine per round: every thread count queries the same
+        // initial index while a live writer commits the same extra docs.
+        eprintln!(
+            "[concurrent] ingesting {} docs for {threads} reader(s)…",
+            scale.docs
+        );
+        let engine = build_engine(
+            &gen,
+            scale.docs,
+            EngineConfig {
+                assignment: MergeAssignment::uniform(256),
+                jump: Some(JumpConfig::new(8192, 32, 1 << 32)),
+                store_documents: false,
+                ..Default::default()
+            },
+        );
+        let (mut writer, searcher) = service(engine);
+        let stop = AtomicBool::new(false);
+        let before = writer.committed_docs();
+        let mut elapsed = 0.0f64;
+        std::thread::scope(|scope| {
+            let stop = &stop;
+            let writer = &mut writer;
+            let extra = &extra;
+            let ingest = scope.spawn(move || {
+                // The live writer: commit until the budget runs out or the
+                // readers finish, yielding so the RwLock stays fair.
+                for d in extra {
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    writer
+                        .commit_terms(&d.terms, d.timestamp, None)
+                        .expect("valid doc");
+                    std::thread::yield_now();
+                }
+            });
+            let t0 = Instant::now();
+            let results = searcher.execute_many(queries.clone(), threads);
+            elapsed = t0.elapsed().as_secs_f64();
+            stop.store(true, Ordering::Release);
+            assert!(results.iter().all(|r| r.is_ok()), "query failed mid-run");
+            ingest.join().expect("ingest thread");
+        });
+        let committed = writer.committed_docs() - before;
+        let qps = queries.len() as f64 / elapsed.max(1e-9);
+        if threads == 1 {
+            baseline_qps = qps;
+        }
+        let row = Row {
+            reader_threads: threads,
+            queries: queries.len() as u64,
+            wall_secs: elapsed,
+            queries_per_sec: qps,
+            speedup_vs_1: qps / baseline_qps.max(1e-9),
+            docs_committed_during_run: committed,
+        };
+        rows.push(vec![
+            format!("{threads}"),
+            format!("{}", row.queries),
+            format!("{:.2}", row.wall_secs),
+            format!("{:.0}", row.queries_per_sec),
+            format!("{:.2}x", row.speedup_vs_1),
+            format!("{committed}"),
+        ]);
+        out.push(row);
+        last_searcher = Some(searcher);
+    }
+
+    print_table(
+        "Concurrent query throughput (live writer, shared Searcher handles)",
+        &[
+            "reader threads",
+            "queries",
+            "wall (s)",
+            "queries/s",
+            "speedup",
+            "docs committed during run",
+        ],
+        &rows,
+    );
+    if let Some(searcher) = last_searcher {
+        println!(
+            "\nLast round query-path I/O: {:?}\nindex size: {} docs; audit clean: {}",
+            searcher.query_io_stats(),
+            searcher.visible_docs(),
+            searcher.audit().is_clean()
+        );
+    }
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("hardware threads available: {cores} (speedup saturates here)");
+    let report = Report {
+        scale,
+        available_parallelism: cores,
+        rows: out,
+    };
+    save_json("concurrent", &report);
+    match serde_json::to_string_pretty(&report) {
+        Ok(body) => match std::fs::write("BENCH_concurrent.json", body) {
+            Ok(()) => eprintln!("[saved BENCH_concurrent.json]"),
+            Err(e) => eprintln!("[warn] could not save BENCH_concurrent.json: {e}"),
+        },
+        Err(e) => eprintln!("[warn] could not serialize results: {e}"),
+    }
+}

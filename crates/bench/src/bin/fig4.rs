@@ -16,6 +16,7 @@ use tks_bench::{print_table, save_json, Scale};
 use tks_core::cost::{list_lengths, query_cost, unmerged_query_cost};
 use tks_core::engine::EngineConfig;
 use tks_core::merge::MergeAssignment;
+use tks_core::query::Query;
 use tks_core::sim::build_engine;
 use tks_corpus::{DocumentGenerator, QueryGenerator, TermStats};
 
@@ -52,7 +53,10 @@ fn main() {
     let t0 = Instant::now();
     let mut unmerged_hits = 0usize;
     for q in &sample {
-        unmerged_hits += unmerged.search_terms(&q.terms, 10).len();
+        unmerged_hits += unmerged
+            .execute(&Query::disjunctive(&q.terms[..], 10))
+            .map(|r| r.hits.len())
+            .unwrap_or(0);
     }
     let unmerged_time = t0.elapsed().as_secs_f64();
 
@@ -74,7 +78,10 @@ fn main() {
         let t0 = Instant::now();
         let mut merged_hits = 0usize;
         for q in &sample {
-            merged_hits += merged.search_terms(&q.terms, 10).len();
+            merged_hits += merged
+                .execute(&Query::disjunctive(&q.terms[..], 10))
+                .map(|r| r.hits.len())
+                .unwrap_or(0);
         }
         let merged_time = t0.elapsed().as_secs_f64();
         // Ranked retrieval must agree on hit counts regardless of merging.

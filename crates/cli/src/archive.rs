@@ -134,7 +134,11 @@ mod tests {
         }
         // A fresh process: reopen (full recovery) and query.
         let a = Archive::open(&dir).unwrap();
-        let hits = a.engine().search("merger escrow", 10);
+        let hits = a
+            .engine()
+            .execute(&tks_core::query::Query::disjunctive("merger escrow", 10))
+            .unwrap()
+            .hits;
         assert_eq!(hits.len(), 1);
         assert_eq!(a.last_timestamp(), Timestamp(20));
         assert!(a.engine().audit().is_clean());

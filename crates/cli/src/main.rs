@@ -22,6 +22,7 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use tks_core::engine::{EngineConfig, SearchEngine};
 use tks_core::merge::MergeAssignment;
+use tks_core::query::{Query, QueryResponse};
 use tks_jump::JumpConfig;
 use tks_postings::Timestamp;
 
@@ -103,13 +104,24 @@ fn cmd_init(args: &[String]) -> CliResult {
         }
         i += 1;
     }
-    let config = EngineConfig {
-        assignment: MergeAssignment::uniform(lists),
-        jump: jump_b.map(|b| JumpConfig::new(block.max(2048), b, 1 << 32)),
-        block_size: block,
-        positional,
-        ..Default::default()
-    };
+    // The validating builder turns bad flag combinations (tiny blocks,
+    // --jump 1, ...) into errors instead of panics deep in the engine.
+    // MergeAssignment::uniform asserts on 0, so guard it before building.
+    if lists == 0 {
+        return Err("--lists must be at least 1".into());
+    }
+    let mut builder = EngineConfig::builder()
+        .block_size(block)
+        .assignment(MergeAssignment::uniform(lists))
+        .positional(positional);
+    if let Some(b) = jump_b {
+        builder = builder.jump(JumpConfig {
+            block_size: block.max(2048),
+            branching: b,
+            max_key: 1 << 32,
+        });
+    }
+    let config = builder.build()?;
     Archive::init(&dir, config)?;
     println!("initialized archive at {}", dir.display());
     Ok(())
@@ -193,17 +205,19 @@ fn cmd_search(args: &[String], conjunctive: bool) -> CliResult {
     let engine = archive.engine();
     let query = keywords.join(" ");
     if conjunctive {
-        let docs = engine.search_conjunctive(&query)?;
-        println!("{} document(s) contain all of [{query}]:", docs.len());
-        for d in docs {
+        let resp = engine.execute(&Query::conjunctive(query.as_str()))?;
+        println!("{} document(s) contain all of [{query}]:", resp.hits.len());
+        for d in resp.docs() {
             print_doc(engine, d, None);
         }
+        print_trust(&resp);
     } else {
-        let hits = engine.search(&query, top);
-        println!("top {} of [{query}]:", hits.len());
-        for h in hits {
+        let resp = engine.execute(&Query::disjunctive(query.as_str(), top))?;
+        println!("top {} of [{query}]:", resp.hits.len());
+        for h in &resp.hits {
             print_doc(engine, h.doc, Some(h.score));
         }
+        print_trust(&resp);
     }
     Ok(())
 }
@@ -216,14 +230,15 @@ fn cmd_phrase(args: &[String]) -> CliResult {
     let phrase = args[1..].join(" ");
     let archive = Archive::open(&dir)?;
     let engine = archive.engine();
-    let docs = engine.search_phrase(&phrase)?;
+    let resp = engine.execute(&Query::phrase(phrase.as_str()))?;
     println!(
         "{} document(s) contain the exact phrase [{phrase}]:",
-        docs.len()
+        resp.hits.len()
     );
-    for d in docs {
+    for d in resp.docs() {
         print_doc(engine, d, None);
     }
+    print_trust(&resp);
     Ok(())
 }
 
@@ -237,15 +252,34 @@ fn cmd_range(args: &[String]) -> CliResult {
     let query = args[3..].join(" ");
     let archive = Archive::open(&dir)?;
     let engine = archive.engine();
-    let docs = engine.search_conjunctive_in_range(&query, Timestamp(from), Timestamp(to))?;
+    let resp = engine.execute(&Query::conjunctive_in_range(
+        query.as_str(),
+        Timestamp(from),
+        Timestamp(to),
+    ))?;
     println!(
         "{} document(s) match [{query}] committed in [{from}, {to}]:",
-        docs.len()
+        resp.hits.len()
     );
-    for d in docs {
+    for d in resp.docs() {
         print_doc(engine, d, None);
     }
+    print_trust(&resp);
     Ok(())
+}
+
+/// One line of per-query trust/cost metadata after every result list.
+fn print_trust(resp: &QueryResponse) {
+    println!(
+        "  [{} block read(s); {} docs visible; {}]",
+        resp.blocks_read,
+        resp.visible_docs,
+        if resp.trusted {
+            "devices clean"
+        } else {
+            "DEVICES REPORT TAMPER ATTEMPTS — run `tks audit`"
+        }
+    );
 }
 
 fn print_doc(engine: &SearchEngine, d: tks_postings::DocId, score: Option<f64>) {

@@ -25,6 +25,7 @@
 //!   is surfaced as tamper evidence.
 
 use crate::merge::MergeAssignment;
+use crate::query::{Query, QueryResponse, TermSelector};
 use crate::ranking::{CollectionStats, RankingModel};
 use crate::tokenizer;
 use crate::zigzag::{zigzag_join_multi, DocCursor, JumpCursor, MemCursor};
@@ -74,6 +75,184 @@ impl Default for EngineConfig {
     }
 }
 
+impl EngineConfig {
+    /// Start building a validated configuration.  Unlike constructing the
+    /// struct literally, [`EngineConfigBuilder::build`] rejects
+    /// inconsistent settings up front instead of panicking deep inside
+    /// [`SearchEngine::new`] or silently behaving like a different
+    /// configuration.
+    pub fn builder() -> EngineConfigBuilder {
+        EngineConfigBuilder::default()
+    }
+}
+
+/// A rejected [`EngineConfigBuilder`] combination.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError(String);
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid engine configuration: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Validating builder for [`EngineConfig`] (see [`EngineConfig::builder`]).
+///
+/// ```
+/// use tks_core::engine::EngineConfig;
+/// use tks_core::merge::MergeAssignment;
+///
+/// let config = EngineConfig::builder()
+///     .block_size(8192)
+///     .cache_blocks(512)
+///     .assignment(MergeAssignment::uniform(512))
+///     .build()
+///     .unwrap();
+/// assert_eq!(config.cache_bytes, 512 * 8192);
+///
+/// // A cache smaller than one block cannot hold anything: rejected.
+/// assert!(EngineConfig::builder().cache_bytes(100).build().is_err());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EngineConfigBuilder {
+    block_size: Option<usize>,
+    cache_bytes: Option<u64>,
+    cache_blocks: Option<u64>,
+    assignment: Option<MergeAssignment>,
+    jump: Option<JumpConfig>,
+    ranking: Option<RankingModel>,
+    store_documents: Option<bool>,
+    positional: Option<bool>,
+}
+
+impl EngineConfigBuilder {
+    /// Disk block size in bytes (default 8192).
+    pub fn block_size(mut self, bytes: usize) -> Self {
+        self.block_size = Some(bytes);
+        self
+    }
+
+    /// Storage-cache size in bytes (default 4 MB).  `0` explicitly models
+    /// an uncached device.  Mutually exclusive with
+    /// [`cache_blocks`](Self::cache_blocks).
+    pub fn cache_bytes(mut self, bytes: u64) -> Self {
+        self.cache_bytes = Some(bytes);
+        self
+    }
+
+    /// Storage-cache size in whole blocks (the paper's natural unit —
+    /// `M` lists want `M` cache blocks).  Mutually exclusive with
+    /// [`cache_bytes`](Self::cache_bytes).
+    pub fn cache_blocks(mut self, blocks: u64) -> Self {
+        self.cache_blocks = Some(blocks);
+        self
+    }
+
+    /// Term → physical-list merge assignment (default: uniform over 1024
+    /// lists).
+    pub fn assignment(mut self, assignment: MergeAssignment) -> Self {
+        self.assignment = Some(assignment);
+        self
+    }
+
+    /// Enable per-list jump indexes with this configuration.
+    pub fn jump(mut self, jump: JumpConfig) -> Self {
+        self.jump = Some(jump);
+        self
+    }
+
+    /// Ranking model for disjunctive queries.
+    pub fn ranking(mut self, ranking: RankingModel) -> Self {
+        self.ranking = Some(ranking);
+        self
+    }
+
+    /// Keep full document text on WORM (default true).
+    pub fn store_documents(mut self, yes: bool) -> Self {
+        self.store_documents = Some(yes);
+        self
+    }
+
+    /// Record per-posting token positions, enabling phrase queries
+    /// (default false).
+    pub fn positional(mut self, yes: bool) -> Self {
+        self.positional = Some(yes);
+        self
+    }
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> Result<EngineConfig, ConfigError> {
+        let defaults = EngineConfig::default();
+        let block_size = self.block_size.unwrap_or(defaults.block_size);
+        if block_size < 64 {
+            return Err(ConfigError(format!(
+                "block size {block_size} is below the 64-byte minimum"
+            )));
+        }
+        if !block_size.is_multiple_of(tks_postings::POSTING_SIZE) {
+            return Err(ConfigError(format!(
+                "block size {block_size} is not a multiple of the {}-byte posting",
+                tks_postings::POSTING_SIZE
+            )));
+        }
+        let cache_bytes = match (self.cache_bytes, self.cache_blocks) {
+            (Some(_), Some(_)) => {
+                return Err(ConfigError(
+                    "cache_bytes and cache_blocks are mutually exclusive".to_string(),
+                ))
+            }
+            (Some(bytes), None) => bytes,
+            (None, Some(blocks)) => blocks * block_size as u64,
+            (None, None) => defaults.cache_bytes,
+        };
+        if cache_bytes > 0 && cache_bytes < block_size as u64 {
+            return Err(ConfigError(format!(
+                "cache of {cache_bytes} bytes cannot hold even one {block_size}-byte \
+                 block (use 0 for an explicitly uncached device)"
+            )));
+        }
+        let assignment = self.assignment.unwrap_or(defaults.assignment);
+        if assignment.num_lists() == 0 {
+            return Err(ConfigError(
+                "merge assignment maps terms to zero lists (M = 0)".to_string(),
+            ));
+        }
+        if let Some(jump) = &self.jump {
+            // JumpConfig::new panics on these; a builder reports instead.
+            if jump.branching < 2 {
+                return Err(ConfigError(format!(
+                    "jump branching factor {} is below the minimum of 2",
+                    jump.branching
+                )));
+            }
+            if jump.max_key < 2 {
+                return Err(ConfigError(format!(
+                    "jump key space {} is below the minimum of 2",
+                    jump.max_key
+                )));
+            }
+            if jump.entries_per_block() < 1 {
+                return Err(ConfigError(format!(
+                    "jump block size {} cannot hold one entry beside its \
+                     pointer region",
+                    jump.block_size
+                )));
+            }
+        }
+        Ok(EngineConfig {
+            block_size,
+            cache_bytes,
+            assignment,
+            jump: self.jump,
+            ranking: self.ranking.unwrap_or(defaults.ranking),
+            store_documents: self.store_documents.unwrap_or(defaults.store_documents),
+            positional: self.positional.unwrap_or(defaults.positional),
+        })
+    }
+}
+
 /// Errors surfaced by engine operations.
 #[derive(Debug)]
 pub enum SearchError {
@@ -100,6 +279,8 @@ pub enum SearchError {
         /// The offending timestamp.
         attempted: Timestamp,
     },
+    /// The engine configuration was rejected (see [`EngineConfig::builder`]).
+    Config(ConfigError),
 }
 
 impl std::fmt::Display for SearchError {
@@ -121,6 +302,7 @@ impl std::fmt::Display for SearchError {
             SearchError::NonMonotonicTimestamp { last, attempted } => {
                 write!(f, "commit time {attempted} precedes committed {last}")
             }
+            SearchError::Config(e) => write!(f, "{e}"),
         }
     }
 }
@@ -145,6 +327,11 @@ impl From<JumpError> for SearchError {
 impl From<TamperEvidence> for SearchError {
     fn from(e: TamperEvidence) -> Self {
         SearchError::Tamper(e)
+    }
+}
+impl From<ConfigError> for SearchError {
+    fn from(e: ConfigError) -> Self {
+        SearchError::Config(e)
     }
 }
 
@@ -260,6 +447,13 @@ pub struct SearchEngine {
 
 fn recovery_err(msg: &str) -> SearchError {
     SearchError::List(tks_postings::list::ListError::Recovery(msg.to_string()))
+}
+
+/// Boolean query shapes report hits with a zero score.
+fn unranked_hits(docs: Vec<DocId>) -> Vec<SearchHit> {
+    docs.into_iter()
+        .map(|doc| SearchHit { doc, score: 0.0 })
+        .collect()
 }
 
 /// Synthetic block-ID namespace for jump-index touches, disjoint from the
@@ -747,29 +941,134 @@ impl SearchEngine {
         }
     }
 
-    /// Ranked disjunctive search over a text query (documents containing
-    /// *any* query keyword, best `top_k` by the configured ranking model).
-    pub fn search(&self, query: &str, top_k: usize) -> Vec<SearchHit> {
-        let mut terms: Vec<TermId> = tokenizer::tokenize(query)
-            .iter()
-            .filter_map(|t| self.term_of(t))
-            .collect();
-        terms.sort_unstable();
-        terms.dedup();
-        self.search_terms(&terms, top_k)
+    /// Execute a [`Query`] against the full committed state.
+    ///
+    /// This is the single read entry point: every query shape — ranked
+    /// disjunctive, conjunctive (optionally time-restricted), phrase, and
+    /// commit-time range — is implemented exactly once behind it.  The
+    /// response carries per-query I/O cost and trust metadata alongside
+    /// the hits.
+    pub fn execute(&self, query: &Query) -> Result<QueryResponse, SearchError> {
+        self.execute_bounded(query, self.num_docs())
     }
 
-    /// Ranked disjunctive search over term IDs.
-    pub fn search_terms(&self, terms: &[TermId], top_k: usize) -> Vec<SearchHit> {
+    /// Execute a [`Query`] against a snapshot: only documents with
+    /// `doc.0 < visible` can appear in the results.  Concurrent services
+    /// ([`Searcher`](crate::service::Searcher)) pass a published
+    /// watermark here so readers see a stable prefix of the commit
+    /// sequence regardless of writer progress.
+    ///
+    /// Ranking statistics (document frequencies, collection averages)
+    /// reflect the live collection; the result *set* respects the
+    /// watermark.
+    pub fn execute_bounded(
+        &self,
+        query: &Query,
+        visible: u64,
+    ) -> Result<QueryResponse, SearchError> {
+        let visible = visible.min(self.num_docs());
+        let (hits, blocks) = match query {
+            Query::Disjunctive { terms, top_k } => {
+                let ids = self.resolve_any(terms);
+                self.disjunctive_ranked(&ids, *top_k, visible)
+            }
+            Query::Conjunctive { terms, range } => match self.resolve_all(terms) {
+                None => (Vec::new(), 0),
+                Some(ids) => {
+                    let (mut docs, blocks) = self.conjunctive_terms(&ids)?;
+                    docs.retain(|d| d.0 < visible);
+                    if let Some(r) = range {
+                        let set: std::collections::HashSet<DocId> =
+                            self.docs_in_time_range(r.from, r.to)?.into_iter().collect();
+                        docs.retain(|d| set.contains(d));
+                    }
+                    (unranked_hits(docs), blocks)
+                }
+            },
+            Query::Phrase { text } => {
+                let (docs, blocks) = self.phrase_docs(text, visible)?;
+                (unranked_hits(docs), blocks)
+            }
+            Query::TimeRange(r) => {
+                let mut docs = self.docs_in_time_range(r.from, r.to)?;
+                docs.retain(|d| d.0 < visible);
+                // Entries sit contiguously in the commit-time index.
+                let per_block = self.commit_times.config().entries_per_block() as u64;
+                let blocks = (docs.len() as u64).div_ceil(per_block.max(1));
+                (unranked_hits(docs), blocks)
+            }
+        };
+        Ok(QueryResponse {
+            hits,
+            blocks_read: blocks,
+            io: IoStats {
+                read_ios: blocks,
+                misses: blocks,
+                ..IoStats::default()
+            },
+            visible_docs: visible,
+            trusted: self.tamper_logs_clean(),
+        })
+    }
+
+    /// Resolve a disjunctive selector: unknown text tokens are dropped.
+    fn resolve_any(&self, terms: &TermSelector) -> Vec<TermId> {
+        let mut ids = match terms {
+            TermSelector::Text(text) => tokenizer::tokenize(text)
+                .iter()
+                .filter_map(|t| self.term_of(t))
+                .collect(),
+            TermSelector::Ids(ids) => ids.clone(),
+        };
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Resolve a conjunctive selector: `None` when a text token is
+    /// unknown (no document can contain it, so the result is empty).
+    fn resolve_all(&self, terms: &TermSelector) -> Option<Vec<TermId>> {
+        let mut ids = match terms {
+            TermSelector::Text(text) => {
+                let toks = tokenizer::tokenize(text);
+                let mut ids = Vec::with_capacity(toks.len());
+                for t in &toks {
+                    ids.push(self.term_of(t)?);
+                }
+                ids
+            }
+            TermSelector::Ids(ids) => ids.clone(),
+        };
+        ids.sort_unstable();
+        ids.dedup();
+        Some(ids)
+    }
+
+    /// The one implementation of ranked disjunctive search.  Returns the
+    /// hits and the distinct posting-list blocks scanned.
+    fn disjunctive_ranked(
+        &self,
+        terms: &[TermId],
+        top_k: usize,
+        visible: u64,
+    ) -> (Vec<SearchHit>, u64) {
         let stats = self.collection_stats();
         let mut scores: HashMap<DocId, f64> = HashMap::new();
+        let mut blocks = 0u64;
+        let mut scanned: std::collections::HashSet<u32> = std::collections::HashSet::new();
         for &term in terms {
             let list = self.config.assignment.list_of(term);
+            if scanned.insert(list.0) {
+                blocks += self.store.num_blocks(list).unwrap_or(0);
+            }
             let df = self.doc_freq(term);
             let Ok(postings) = self.store.postings_for_term(list, term) else {
                 continue;
             };
             for p in postings {
+                if p.doc.0 >= visible {
+                    continue;
+                }
                 let doc_len = self.docs.get(p.doc.0 as usize).map(|m| m.len).unwrap_or(1);
                 let s = self
                     .config
@@ -789,24 +1088,48 @@ impl SearchEngine {
                 .then(a.doc.cmp(&b.doc))
         });
         hits.truncate(top_k);
-        hits
+        (hits, blocks)
+    }
+
+    /// Whether every WORM device's tamper log is empty.
+    fn tamper_logs_clean(&self) -> bool {
+        self.store.fs().device().tamper_log().is_empty()
+            && self.doc_fs.device().tamper_log().is_empty()
+            && self
+                .positions
+                .as_ref()
+                .is_none_or(|p| p.fs().device().tamper_log().is_empty())
+    }
+
+    /// Ranked disjunctive search over a text query (documents containing
+    /// *any* query keyword, best `top_k` by the configured ranking model).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use execute(&Query::disjunctive(text, top_k))"
+    )]
+    pub fn search(&self, query: &str, top_k: usize) -> Vec<SearchHit> {
+        self.execute(&Query::disjunctive(query, top_k))
+            .map(|r| r.hits)
+            .unwrap_or_default()
+    }
+
+    /// Ranked disjunctive search over term IDs.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use execute(&Query::disjunctive(terms, top_k))"
+    )]
+    pub fn search_terms(&self, terms: &[TermId], top_k: usize) -> Vec<SearchHit> {
+        self.execute(&Query::disjunctive(terms, top_k))
+            .map(|r| r.hits)
+            .unwrap_or_default()
     }
 
     /// Conjunctive search over a text query (documents containing *all*
     /// keywords).  Unknown keywords make the result empty, as no document
     /// can contain them.
+    #[deprecated(since = "0.1.0", note = "use execute(&Query::conjunctive(text))")]
     pub fn search_conjunctive(&self, query: &str) -> Result<Vec<DocId>, SearchError> {
-        let toks = tokenizer::tokenize(query);
-        let mut terms = Vec::with_capacity(toks.len());
-        for t in &toks {
-            match self.term_of(t) {
-                Some(id) => terms.push(id),
-                None => return Ok(Vec::new()),
-            }
-        }
-        terms.sort_unstable();
-        terms.dedup();
-        Ok(self.conjunctive_terms(&terms)?.0)
+        Ok(self.execute(&Query::conjunctive(query))?.docs())
     }
 
     /// Conjunctive search over term IDs, returning the matching documents
@@ -890,47 +1213,61 @@ impl SearchEngine {
 
     /// Conjunctive search restricted to a commit-time range — the §5
     /// investigator workflow ("[Stewart Waksal ImClone], Nov.–Dec. 2001").
+    #[deprecated(
+        since = "0.1.0",
+        note = "use execute(&Query::conjunctive_in_range(text, from, to))"
+    )]
     pub fn search_conjunctive_in_range(
         &self,
         query: &str,
         from: Timestamp,
         to: Timestamp,
     ) -> Result<Vec<DocId>, SearchError> {
-        let matches = self.search_conjunctive(query)?;
-        let in_range = self.docs_in_time_range(from, to)?;
-        let set: std::collections::HashSet<DocId> = in_range.into_iter().collect();
-        Ok(matches.into_iter().filter(|d| set.contains(d)).collect())
+        Ok(self
+            .execute(&Query::conjunctive_in_range(query, from, to))?
+            .docs())
     }
 
     /// Exact phrase search (positional engines only): documents in which
     /// the phrase's tokens occur at consecutive positions.  Unknown tokens
     /// make the result empty.
+    #[deprecated(since = "0.1.0", note = "use execute(&Query::phrase(text))")]
+    pub fn search_phrase(&self, phrase: &str) -> Result<Vec<DocId>, SearchError> {
+        Ok(self.execute(&Query::phrase(phrase))?.docs())
+    }
+
+    /// The one implementation of phrase matching.  Returns the matching
+    /// documents (ascending) and the blocks read: the conjunctive
+    /// candidate join's blocks plus one read per position record fetched.
     ///
     /// Completeness note: candidates come from the trustworthy conjunctive
     /// join, so a committed phrase occurrence can only be missed if the
     /// positional sidecar is tampered with — which the position reader and
     /// the lockstep audit surface as evidence.
-    pub fn search_phrase(&self, phrase: &str) -> Result<Vec<DocId>, SearchError> {
+    fn phrase_docs(&self, phrase: &str, visible: u64) -> Result<(Vec<DocId>, u64), SearchError> {
         let Some(positions) = &self.positions else {
             return Err(SearchError::NotPositional);
         };
         let tokens = tokenizer::tokenize(phrase);
         if tokens.is_empty() {
-            return Ok(Vec::new());
+            return Ok((Vec::new(), 0));
         }
         let mut terms = Vec::with_capacity(tokens.len());
         for t in &tokens {
             match self.term_of(t) {
                 Some(id) => terms.push(id),
-                None => return Ok(Vec::new()),
+                None => return Ok((Vec::new(), 0)),
             }
         }
         let mut distinct = terms.clone();
         distinct.sort_unstable();
         distinct.dedup();
-        let (candidates, _) = self.conjunctive_terms(&distinct)?;
+        let (candidates, mut blocks) = self.conjunctive_terms(&distinct)?;
         let mut out = Vec::new();
         'docs: for doc in candidates {
+            if doc.0 >= visible {
+                continue;
+            }
             let mut tok_pos = Vec::with_capacity(terms.len());
             for &term in &terms {
                 let list = self.config.assignment.list_of(term);
@@ -943,13 +1280,14 @@ impl SearchEngine {
                         detail: e.to_string(),
                     })
                 })?;
+                blocks += 1;
                 tok_pos.push(ps);
             }
             if crate::positions::phrase_match(&tok_pos) {
                 out.push(doc);
             }
         }
-        Ok(out)
+        Ok((out, blocks))
     }
 
     /// Deep audit: everything [`audit`](Self::audit) checks, plus
@@ -1004,6 +1342,10 @@ impl SearchEngine {
     }
 }
 
+// The deprecated per-shape methods are exercised on purpose: they are thin
+// shims over `execute`, so these tests cover both the legacy surface and
+// the unified query path at once.
+#[allow(deprecated)]
 #[cfg(test)]
 mod tests {
     use super::*;

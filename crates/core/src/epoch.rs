@@ -241,7 +241,12 @@ impl EpochManager {
         self.query_shape.0 += 1;
         let mut hits: Vec<SearchHit> = Vec::new();
         for e in &self.epochs {
-            for h in e.engine.search_terms(terms, top_k) {
+            let epoch_hits = e
+                .engine
+                .execute(&crate::query::Query::disjunctive(terms, top_k))
+                .map(|r| r.hits)
+                .unwrap_or_default();
+            for h in epoch_hits {
                 hits.push(SearchHit {
                     doc: DocId(e.first_doc + h.doc.0),
                     score: h.score,

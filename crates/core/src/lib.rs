@@ -33,13 +33,17 @@ pub mod engine;
 pub mod epoch;
 pub mod merge;
 pub mod positions;
+pub mod query;
 pub mod rank_attack;
 pub mod ranking;
+pub mod service;
 pub mod sim;
 pub mod tokenizer;
 pub mod zigzag;
 
 pub use cost::{cumulative_workload_curve, unmerged_workload_cost, workload_cost};
-pub use engine::{EngineConfig, SearchEngine, SearchError};
+pub use engine::{ConfigError, EngineConfig, SearchEngine, SearchError};
 pub use merge::MergeAssignment;
+pub use query::{Query, QueryResponse, TermSelector, TimeRange};
 pub use ranking::RankingModel;
+pub use service::{service, IndexWriter, Searcher};

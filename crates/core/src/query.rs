@@ -1,0 +1,234 @@
+//! The unified query model.
+//!
+//! Every read path of the engine — ranked disjunctive search, conjunctive
+//! search (optionally time-restricted), exact phrase search, and pure
+//! commit-time range retrieval — is expressed as one [`Query`] value and
+//! executed through a single entry point
+//! ([`SearchEngine::execute`](crate::engine::SearchEngine::execute) or, in
+//! concurrent deployments, [`Searcher::execute`](crate::service::Searcher)).
+//! The response carries the hits *and* the trust metadata the paper cares
+//! about: per-query I/O cost (the Figure 8(c) unit) and tamper-evidence
+//! flags.
+//!
+//! The legacy per-shape methods (`search`, `search_terms`,
+//! `search_conjunctive`, `search_conjunctive_in_range`, `search_phrase`)
+//! remain as deprecated shims that build a [`Query`] and delegate here, so
+//! there is exactly one implementation of each access path.
+
+use crate::engine::SearchHit;
+use tks_postings::{DocId, TermId, Timestamp};
+use tks_worm::IoStats;
+
+/// An inclusive commit-time interval `[from, to]` (paper §5: "trustworthy
+/// time-range restriction").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct TimeRange {
+    /// Earliest commit timestamp included.
+    pub from: Timestamp,
+    /// Latest commit timestamp included.
+    pub to: Timestamp,
+}
+
+impl TimeRange {
+    /// The interval `[from, to]`; empty when `from > to`.
+    pub fn new(from: Timestamp, to: Timestamp) -> Self {
+        Self { from, to }
+    }
+
+    /// Whether the interval contains no timestamps at all.
+    pub fn is_empty(&self) -> bool {
+        self.from > self.to
+    }
+}
+
+/// How a query names its terms: raw text (tokenised and looked up in the
+/// engine's dictionary) or pre-resolved term IDs (the synthetic-corpus and
+/// harness path).
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum TermSelector {
+    /// Free text; tokenised with the engine's tokenizer, then each token
+    /// resolved against the term dictionary.
+    Text(String),
+    /// Already-resolved term IDs.
+    Ids(Vec<TermId>),
+}
+
+impl From<&str> for TermSelector {
+    fn from(s: &str) -> Self {
+        TermSelector::Text(s.to_string())
+    }
+}
+
+impl From<String> for TermSelector {
+    fn from(s: String) -> Self {
+        TermSelector::Text(s)
+    }
+}
+
+impl From<Vec<TermId>> for TermSelector {
+    fn from(ids: Vec<TermId>) -> Self {
+        TermSelector::Ids(ids)
+    }
+}
+
+impl From<&[TermId]> for TermSelector {
+    fn from(ids: &[TermId]) -> Self {
+        TermSelector::Ids(ids.to_vec())
+    }
+}
+
+/// One read request against the engine.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum Query {
+    /// Ranked OR-query: documents containing *any* of the terms, the best
+    /// `top_k` by the engine's ranking model.  Unknown text tokens are
+    /// dropped (they cannot contribute score).
+    Disjunctive {
+        /// The query terms.
+        terms: TermSelector,
+        /// Result-list cutoff.
+        top_k: usize,
+    },
+    /// AND-query: documents containing *all* terms, optionally restricted
+    /// to a commit-time range (the §5 investigator workflow).  An unknown
+    /// text token makes the result empty, as no document can contain it.
+    Conjunctive {
+        /// The query terms.
+        terms: TermSelector,
+        /// Optional trustworthy commit-time restriction.
+        range: Option<TimeRange>,
+    },
+    /// Exact phrase query (requires a positional engine).
+    Phrase {
+        /// The phrase, as raw text.
+        text: String,
+    },
+    /// All documents committed inside the range, answered from the
+    /// commit-time jump index alone.
+    TimeRange(TimeRange),
+}
+
+impl Query {
+    /// Convenience: ranked disjunctive query.
+    pub fn disjunctive(terms: impl Into<TermSelector>, top_k: usize) -> Self {
+        Query::Disjunctive {
+            terms: terms.into(),
+            top_k,
+        }
+    }
+
+    /// Convenience: conjunctive query without time restriction.
+    pub fn conjunctive(terms: impl Into<TermSelector>) -> Self {
+        Query::Conjunctive {
+            terms: terms.into(),
+            range: None,
+        }
+    }
+
+    /// Convenience: conjunctive query restricted to `[from, to]`.
+    pub fn conjunctive_in_range(
+        terms: impl Into<TermSelector>,
+        from: Timestamp,
+        to: Timestamp,
+    ) -> Self {
+        Query::Conjunctive {
+            terms: terms.into(),
+            range: Some(TimeRange::new(from, to)),
+        }
+    }
+
+    /// Convenience: exact phrase query.
+    pub fn phrase(text: impl Into<String>) -> Self {
+        Query::Phrase { text: text.into() }
+    }
+
+    /// Convenience: pure commit-time range query.
+    pub fn time_range(from: Timestamp, to: Timestamp) -> Self {
+        Query::TimeRange(TimeRange::new(from, to))
+    }
+}
+
+/// The outcome of executing one [`Query`].
+///
+/// Result rows are [`SearchHit`]s: disjunctive queries rank by `score`;
+/// the boolean shapes report `score == 0.0` with hits in ascending
+/// document order.
+#[derive(Debug, Clone)]
+pub struct QueryResponse {
+    /// Matching documents (ranked for disjunctive queries, ascending doc
+    /// order otherwise).
+    pub hits: Vec<SearchHit>,
+    /// Distinct index blocks this query read — the paper's query cost
+    /// unit (Figure 8(c)).  For disjunctive queries this counts the
+    /// blocks of every scanned posting list; for phrase queries it adds
+    /// one read per position record fetched.
+    pub blocks_read: u64,
+    /// The same cost as an [`IoStats`] delta attributable to this query
+    /// alone, so harnesses can accumulate per-thread or per-tenant I/O
+    /// without diffing engine-global counters.
+    pub io: IoStats,
+    /// Documents visible to this execution: the snapshot watermark.  Hits
+    /// only reference documents with `doc.0 < visible_docs`.
+    pub visible_docs: u64,
+    /// No tamper evidence was encountered while executing *and* the WORM
+    /// devices' tamper logs were empty at snapshot time.  Structural
+    /// tampering discovered mid-query surfaces as an `Err` instead, so a
+    /// response with `trusted == false` means the devices logged rejected
+    /// overwrite/early-delete attempts.
+    pub trusted: bool,
+}
+
+impl QueryResponse {
+    /// Just the document IDs, in result order.
+    pub fn docs(&self) -> Vec<DocId> {
+        self.hits.iter().map(|h| h.doc).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_build_expected_shapes() {
+        assert_eq!(
+            Query::disjunctive("alpha beta", 5),
+            Query::Disjunctive {
+                terms: TermSelector::Text("alpha beta".into()),
+                top_k: 5
+            }
+        );
+        assert_eq!(
+            Query::conjunctive(vec![TermId(1), TermId(2)]),
+            Query::Conjunctive {
+                terms: TermSelector::Ids(vec![TermId(1), TermId(2)]),
+                range: None
+            }
+        );
+        assert_eq!(
+            Query::conjunctive_in_range("x", Timestamp(3), Timestamp(9)),
+            Query::Conjunctive {
+                terms: TermSelector::Text("x".into()),
+                range: Some(TimeRange::new(Timestamp(3), Timestamp(9)))
+            }
+        );
+        assert_eq!(
+            Query::time_range(Timestamp(1), Timestamp(2)),
+            Query::TimeRange(TimeRange::new(Timestamp(1), Timestamp(2)))
+        );
+    }
+
+    #[test]
+    fn time_range_emptiness() {
+        assert!(TimeRange::new(Timestamp(5), Timestamp(4)).is_empty());
+        assert!(!TimeRange::new(Timestamp(5), Timestamp(5)).is_empty());
+    }
+
+    #[test]
+    fn term_selector_conversions() {
+        let t: TermSelector = "hello".into();
+        assert_eq!(t, TermSelector::Text("hello".into()));
+        let ids: TermSelector = (&[TermId(7)][..]).into();
+        assert_eq!(ids, TermSelector::Ids(vec![TermId(7)]));
+    }
+}

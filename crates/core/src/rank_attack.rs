@@ -102,7 +102,9 @@ pub fn stuff_phantom_postings(
 /// in the top `depth`.
 pub fn rank_of(engine: &SearchEngine, query: &str, doc: DocId, depth: usize) -> Option<usize> {
     engine
-        .search(query, depth)
+        .execute(&crate::query::Query::disjunctive(query, depth))
+        .map(|r| r.hits)
+        .unwrap_or_default()
         .iter()
         .position(|h| h.doc == doc)
         .map(|p| p + 1)
@@ -183,7 +185,10 @@ mod tests {
         assert!(rank > 1, "decoys must dilute the target's rank, got {rank}");
         // Survivability: the target is still *in* the results — Bob, who
         // examines everything, will find it.
-        let all = e.search("waksal imclone", 1_000);
+        let all = e
+            .execute(&crate::query::Query::disjunctive("waksal imclone", 1_000))
+            .unwrap()
+            .hits;
         assert!(all.iter().any(|h| h.doc == target));
         // And the decoys pass posting verification (they are real
         // documents), so this attack is fought by human review, not by

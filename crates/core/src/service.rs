@@ -1,0 +1,436 @@
+//! Concurrent query service: one writer, many readers.
+//!
+//! The paper's engine commits every index entry *inside* the insert call
+//! (§2.3 real-time update), which makes the write path inherently serial —
+//! but queries only ever take `&self`.  This module splits the two roles:
+//!
+//! * [`IndexWriter`] — the exclusive commit path.  It is deliberately not
+//!   `Clone`: one writer exists per engine, matching the single
+//!   append-only commit sequence of the WORM model.
+//! * [`Searcher`] — a cheaply cloneable, `Send + Sync` read handle.  Any
+//!   number of threads execute [`Query`]s through it concurrently with an
+//!   active writer.
+//!
+//! Consistency model: the writer publishes a **document-count watermark**
+//! after each commit (or batch).  A searcher executes against the
+//! watermark it observes at call time, so a query sees a stable prefix of
+//! the commit sequence — never a half-committed document, even though the
+//! writer may be appending concurrently.  [`Searcher::pin`] freezes the
+//! watermark for repeatable reads across several queries.
+//!
+//! I/O accounting is thread-safe: each [`QueryResponse`] carries its own
+//! per-query [`IoStats`] delta, and the service accumulates them into a
+//! shared [`AtomicIoStats`] readable without taking the engine lock.
+
+use crate::engine::{SearchEngine, SearchError};
+use crate::query::{Query, QueryResponse};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock, RwLockReadGuard};
+use tks_postings::{DocId, TermId, Timestamp};
+use tks_worm::{AtomicIoStats, IoStats};
+
+/// State shared between the writer and all searchers.
+#[derive(Debug)]
+struct Shared {
+    engine: RwLock<SearchEngine>,
+    /// Number of fully committed documents, published with `Release`
+    /// ordering after the engine lock is dropped.
+    watermark: AtomicU64,
+    /// Aggregate I/O charged to the query path across all searchers.
+    query_stats: AtomicIoStats,
+}
+
+/// Split an engine into its exclusive write handle and a shareable read
+/// handle.
+///
+/// ```
+/// use tks_core::engine::{EngineConfig, SearchEngine};
+/// use tks_core::query::Query;
+/// use tks_core::service::service;
+/// use tks_postings::Timestamp;
+///
+/// let (mut writer, searcher) = service(SearchEngine::new(EngineConfig::default()));
+/// writer.commit("quarterly earnings restatement", Timestamp(100)).unwrap();
+/// let resp = searcher.execute(Query::disjunctive("earnings", 10)).unwrap();
+/// assert_eq!(resp.hits.len(), 1);
+/// ```
+pub fn service(engine: SearchEngine) -> (IndexWriter, Searcher) {
+    let shared = Arc::new(Shared {
+        watermark: AtomicU64::new(engine.num_docs()),
+        engine: RwLock::new(engine),
+        query_stats: AtomicIoStats::new(),
+    });
+    (
+        IndexWriter {
+            shared: Arc::clone(&shared),
+        },
+        Searcher {
+            shared,
+            pinned: None,
+        },
+    )
+}
+
+/// The exclusive real-time commit path (see module docs).
+#[derive(Debug)]
+pub struct IndexWriter {
+    shared: Arc<Shared>,
+}
+
+impl IndexWriter {
+    /// Commit one text document.  When this returns, the document and all
+    /// of its index entries are durably on WORM *and* visible to every
+    /// searcher.
+    pub fn commit(&mut self, text: &str, ts: Timestamp) -> Result<DocId, SearchError> {
+        self.commit_with(|engine| engine.add_document(text, ts))
+    }
+
+    /// Commit one pre-tokenised document (the synthetic-corpus path; see
+    /// [`SearchEngine::add_document_terms`]).
+    pub fn commit_terms(
+        &mut self,
+        terms: &[(TermId, u32)],
+        ts: Timestamp,
+        raw_text: Option<&str>,
+    ) -> Result<DocId, SearchError> {
+        self.commit_with(|engine| engine.add_document_terms(terms, ts, raw_text))
+    }
+
+    /// Commit a batch of text documents under a single engine lock
+    /// acquisition, publishing the watermark once at the end.  Readers
+    /// see either none or all of the batch.
+    ///
+    /// On error the documents committed before the failing one remain
+    /// committed (WORM writes cannot be undone) and *are* published, so
+    /// no committed document is ever hidden; the error reports how far
+    /// the batch got.
+    pub fn commit_batch<'a, I>(&mut self, docs: I) -> Result<Vec<DocId>, BatchError>
+    where
+        I: IntoIterator<Item = (&'a str, Timestamp)>,
+    {
+        let mut engine = self.shared.engine.write().expect("engine lock poisoned");
+        let mut committed = Vec::new();
+        let mut failure = None;
+        for (text, ts) in docs {
+            match engine.add_document(text, ts) {
+                Ok(doc) => committed.push(doc),
+                Err(e) => {
+                    failure = Some(e);
+                    break;
+                }
+            }
+        }
+        let visible = engine.num_docs();
+        drop(engine);
+        self.shared.watermark.store(visible, Ordering::Release);
+        match failure {
+            None => Ok(committed),
+            Some(error) => Err(BatchError { committed, error }),
+        }
+    }
+
+    /// Run one exclusive operation against the engine and publish the new
+    /// watermark afterwards.
+    fn commit_with<R>(
+        &mut self,
+        op: impl FnOnce(&mut SearchEngine) -> Result<R, SearchError>,
+    ) -> Result<R, SearchError> {
+        let mut engine = self.shared.engine.write().expect("engine lock poisoned");
+        let result = op(&mut engine);
+        let visible = engine.num_docs();
+        drop(engine);
+        // Publish even on error: a failed insert leaves no partial state,
+        // and an earlier batch member may have advanced the count.
+        self.shared.watermark.store(visible, Ordering::Release);
+        result
+    }
+
+    /// Exclusive access to the engine for maintenance that is not a
+    /// document commit (audits, attack harnesses, recovery drills).  The
+    /// watermark is re-published afterwards.
+    pub fn with_engine<R>(&mut self, f: impl FnOnce(&mut SearchEngine) -> R) -> R {
+        let mut engine = self.shared.engine.write().expect("engine lock poisoned");
+        let result = f(&mut engine);
+        let visible = engine.num_docs();
+        drop(engine);
+        self.shared.watermark.store(visible, Ordering::Release);
+        result
+    }
+
+    /// A new read handle onto the same engine.
+    pub fn searcher(&self) -> Searcher {
+        Searcher {
+            shared: Arc::clone(&self.shared),
+            pinned: None,
+        }
+    }
+
+    /// Documents committed and visible so far.
+    pub fn committed_docs(&self) -> u64 {
+        self.shared.watermark.load(Ordering::Acquire)
+    }
+
+    /// Tear the service down and return the engine, if no searcher
+    /// handles remain.  Otherwise `Err(self)` (the searchers would be
+    /// left dangling).
+    pub fn try_into_engine(self) -> Result<SearchEngine, IndexWriter> {
+        match Arc::try_unwrap(self.shared) {
+            Ok(shared) => Ok(shared.engine.into_inner().expect("engine lock poisoned")),
+            Err(shared) => Err(IndexWriter { shared }),
+        }
+    }
+}
+
+/// A batch commit that failed part-way (see [`IndexWriter::commit_batch`]).
+#[derive(Debug)]
+pub struct BatchError {
+    /// Documents that did commit (and are published) before the failure.
+    pub committed: Vec<DocId>,
+    /// Why the batch stopped.
+    pub error: SearchError,
+}
+
+impl std::fmt::Display for BatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "batch stopped after {} documents: {}",
+            self.committed.len(),
+            self.error
+        )
+    }
+}
+
+impl std::error::Error for BatchError {}
+
+/// A shareable, `Send + Sync` read handle (see module docs).
+///
+/// Cloning is cheap (one `Arc` bump).  All methods take `&self`.
+#[derive(Debug, Clone)]
+pub struct Searcher {
+    shared: Arc<Shared>,
+    /// `Some(w)` = snapshot handle pinned at watermark `w`.
+    pinned: Option<u64>,
+}
+
+impl Searcher {
+    /// Execute one query against the currently visible snapshot (or the
+    /// pinned one, for handles from [`pin`](Self::pin)).
+    pub fn execute(&self, query: Query) -> Result<QueryResponse, SearchError> {
+        let visible = self
+            .pinned
+            .unwrap_or_else(|| self.shared.watermark.load(Ordering::Acquire));
+        let engine = self.read_engine();
+        let response = engine.execute_bounded(&query, visible)?;
+        drop(engine);
+        self.shared.query_stats.record(response.io);
+        Ok(response)
+    }
+
+    /// Execute many queries across `threads` OS threads, preserving input
+    /// order in the output.  Queries are dealt round-robin; every thread
+    /// shares this searcher's snapshot semantics (a pinned handle pins
+    /// all of them).
+    pub fn execute_many(
+        &self,
+        queries: Vec<Query>,
+        threads: usize,
+    ) -> Vec<Result<QueryResponse, SearchError>> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let threads = threads.max(1).min(queries.len());
+        let indexed: Vec<(usize, Query)> = queries.into_iter().enumerate().collect();
+        let mut slots: Vec<Option<Result<QueryResponse, SearchError>>> =
+            (0..indexed.len()).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let work: Vec<(usize, Query)> = indexed
+                        .iter()
+                        .skip(t)
+                        .step_by(threads)
+                        .map(|(i, q)| (*i, q.clone()))
+                        .collect();
+                    scope.spawn(move || {
+                        work.into_iter()
+                            .map(|(i, q)| (i, self.execute(q)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (i, r) in h.join().expect("query thread panicked") {
+                    slots[i] = Some(r);
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.expect("every slot filled"))
+            .collect()
+    }
+
+    /// A handle pinned to the snapshot visible right now: every query
+    /// through it sees exactly the documents committed at this moment,
+    /// regardless of later writer progress (repeatable reads).
+    pub fn pin(&self) -> Searcher {
+        Searcher {
+            shared: Arc::clone(&self.shared),
+            pinned: Some(self.visible_docs()),
+        }
+    }
+
+    /// The watermark this handle executes against.
+    pub fn visible_docs(&self) -> u64 {
+        self.pinned
+            .unwrap_or_else(|| self.shared.watermark.load(Ordering::Acquire))
+    }
+
+    /// Aggregate I/O charged to the query path across *all* searchers of
+    /// this service (lock-free).
+    pub fn query_io_stats(&self) -> IoStats {
+        self.shared.query_stats.snapshot()
+    }
+
+    /// Run a full audit against the live engine (takes the read lock).
+    pub fn audit(&self) -> crate::engine::AuditReport {
+        self.read_engine().audit()
+    }
+
+    /// Read-only access to the engine for inspection helpers that need
+    /// more than [`execute`](Self::execute) (e.g. document text lookups).
+    /// Holding the guard blocks the writer; keep it short.
+    pub fn engine(&self) -> RwLockReadGuard<'_, SearchEngine> {
+        self.read_engine()
+    }
+
+    fn read_engine(&self) -> RwLockReadGuard<'_, SearchEngine> {
+        self.shared.engine.read().expect("engine lock poisoned")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use crate::merge::MergeAssignment;
+
+    fn small_service() -> (IndexWriter, Searcher) {
+        service(SearchEngine::new(EngineConfig {
+            assignment: MergeAssignment::uniform(8),
+            block_size: 512,
+            cache_bytes: 1 << 20,
+            ..Default::default()
+        }))
+    }
+
+    #[test]
+    fn searcher_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Searcher>();
+        assert_send_sync::<IndexWriter>();
+    }
+
+    #[test]
+    fn commits_become_visible_to_existing_searchers() {
+        let (mut writer, searcher) = small_service();
+        assert_eq!(searcher.visible_docs(), 0);
+        let d0 = writer.commit("alpha beta", Timestamp(1)).unwrap();
+        assert_eq!(searcher.visible_docs(), 1);
+        let resp = searcher.execute(Query::disjunctive("alpha", 10)).unwrap();
+        assert_eq!(resp.docs(), vec![d0]);
+        assert!(resp.trusted);
+    }
+
+    #[test]
+    fn pinned_searcher_ignores_later_commits() {
+        let (mut writer, searcher) = small_service();
+        writer.commit("alpha", Timestamp(1)).unwrap();
+        let pinned = searcher.pin();
+        writer.commit("alpha again", Timestamp(2)).unwrap();
+        let live = searcher.execute(Query::disjunctive("alpha", 10)).unwrap();
+        let old = pinned.execute(Query::disjunctive("alpha", 10)).unwrap();
+        assert_eq!(live.hits.len(), 2);
+        assert_eq!(old.hits.len(), 1);
+        assert_eq!(old.visible_docs, 1);
+        // A fresh pin of the live handle sees everything again.
+        assert_eq!(pinned.pin().visible_docs(), 1);
+        assert_eq!(searcher.pin().visible_docs(), 2);
+    }
+
+    #[test]
+    fn commit_batch_publishes_once_and_reports_partial_failure() {
+        let (mut writer, searcher) = small_service();
+        let docs = writer
+            .commit_batch([("a b", Timestamp(1)), ("b c", Timestamp(2))])
+            .unwrap();
+        assert_eq!(docs.len(), 2);
+        assert_eq!(searcher.visible_docs(), 2);
+
+        // Second batch fails on a non-monotonic timestamp after one
+        // success: the successful prefix stays visible.
+        let err = writer
+            .commit_batch([("d", Timestamp(3)), ("e", Timestamp(0))])
+            .unwrap_err();
+        assert_eq!(err.committed.len(), 1);
+        assert!(matches!(
+            err.error,
+            SearchError::NonMonotonicTimestamp { .. }
+        ));
+        assert_eq!(searcher.visible_docs(), 3);
+    }
+
+    #[test]
+    fn execute_many_preserves_order() {
+        let (mut writer, searcher) = small_service();
+        writer.commit("alpha beta", Timestamp(1)).unwrap();
+        writer.commit("beta gamma", Timestamp(2)).unwrap();
+        let queries = vec![
+            Query::disjunctive("alpha", 10),
+            Query::disjunctive("beta", 10),
+            Query::conjunctive("beta gamma"),
+            Query::time_range(Timestamp(0), Timestamp(1)),
+            Query::disjunctive("gamma", 10),
+        ];
+        let sequential: Vec<Vec<DocId>> = queries
+            .iter()
+            .map(|q| searcher.execute(q.clone()).unwrap().docs())
+            .collect();
+        for threads in [1, 2, 4, 8] {
+            let parallel: Vec<Vec<DocId>> = searcher
+                .execute_many(queries.clone(), threads)
+                .into_iter()
+                .map(|r| r.unwrap().docs())
+                .collect();
+            assert_eq!(parallel, sequential, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn query_io_accumulates_across_searchers() {
+        let (mut writer, searcher) = small_service();
+        for i in 0..50u64 {
+            writer
+                .commit(&format!("common word{i}"), Timestamp(i))
+                .unwrap();
+        }
+        let other = searcher.clone();
+        let a = searcher.execute(Query::conjunctive("common")).unwrap();
+        let b = other.execute(Query::conjunctive("common")).unwrap();
+        assert!(a.blocks_read > 0);
+        assert_eq!(
+            searcher.query_io_stats().read_ios,
+            a.io.read_ios + b.io.read_ios
+        );
+    }
+
+    #[test]
+    fn try_into_engine_requires_sole_ownership() {
+        let (writer, searcher) = small_service();
+        let writer = writer.try_into_engine().unwrap_err();
+        drop(searcher);
+        let engine = writer.try_into_engine().unwrap();
+        assert_eq!(engine.num_docs(), 0);
+    }
+}

@@ -171,14 +171,26 @@ mod tests {
         let prefix = TermStats::collect(&g, 0..40);
         let full = TermStats::collect(&g, 0..400);
         let est = prefix.extrapolate(400);
+        // A 40-document prefix gives each head-term count a relative
+        // standard error around 20%, so individual terms can legitimately
+        // deviate well past 35% — bound each term loosely and the mean
+        // across the head tightly instead.
+        let mut total_err = 0.0;
         for t in 0..10u32 {
             let e = est[t as usize];
             let f = full.doc_freq[t as usize] as f64;
+            let err = (e - f).abs() / f.max(1.0);
             assert!(
-                (e - f).abs() / f.max(1.0) < 0.35,
+                err < 0.6,
                 "head term {t}: estimated {e:.0} vs actual {f:.0}"
             );
+            total_err += err;
         }
+        assert!(
+            total_err / 10.0 < 0.25,
+            "mean head-term extrapolation error too large: {:.3}",
+            total_err / 10.0
+        );
     }
 
     #[test]

@@ -22,8 +22,9 @@
 
 use crate::device::BlockId;
 use crate::lru::LruCore;
-use crate::stats::IoStats;
+use crate::stats::{AtomicIoStats, IoStats};
 use std::collections::HashSet;
+use std::sync::Arc;
 
 /// Sizing parameters for a [`StorageCache`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,12 +95,29 @@ pub enum AccessKind {
 /// assert_eq!(cache.stats().write_ios, 1);
 /// assert_eq!(cache.stats().read_ios, 0); // all appends were to fresh blocks
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct StorageCache {
     config: CacheConfig,
     lru: LruCore<BlockId>,
     dirty: HashSet<BlockId>,
-    stats: IoStats,
+    /// Counters live behind an [`Arc`] so observers (concurrent query
+    /// services, monitors) can read them lock-free via
+    /// [`stats_handle`](Self::stats_handle) while the owner mutates the
+    /// cache.
+    stats: Arc<AtomicIoStats>,
+}
+
+impl Clone for StorageCache {
+    fn clone(&self) -> Self {
+        Self {
+            config: self.config,
+            lru: self.lru.clone(),
+            dirty: self.dirty.clone(),
+            // A clone accounts independently: fresh counters seeded from
+            // the current snapshot, not a shared handle.
+            stats: Arc::new(self.stats.as_ref().clone()),
+        }
+    }
 }
 
 impl StorageCache {
@@ -110,7 +128,7 @@ impl StorageCache {
             config,
             lru: LruCore::with_capacity(cap.min(1 << 22)),
             dirty: HashSet::new(),
-            stats: IoStats::new(),
+            stats: Arc::new(AtomicIoStats::new()),
         }
     }
 
@@ -121,7 +139,13 @@ impl StorageCache {
 
     /// Accumulated I/O counters.
     pub fn stats(&self) -> IoStats {
-        self.stats
+        self.stats.snapshot()
+    }
+
+    /// A shared handle onto the counters, readable from other threads
+    /// without locking the cache's owner.
+    pub fn stats_handle(&self) -> Arc<AtomicIoStats> {
+        Arc::clone(&self.stats)
     }
 
     /// Number of blocks currently resident.
@@ -137,28 +161,32 @@ impl StorageCache {
     /// Record an access to `block` and charge I/Os per the paper's policy.
     /// Returns the I/Os incurred by this access alone.
     pub fn access(&mut self, block: BlockId, kind: AccessKind) -> IoStats {
-        let before = self.stats;
+        // The delta is computed locally and published with one atomic
+        // record, so concurrent snapshot readers never see a half-counted
+        // access.
+        let mut delta = IoStats::new();
         let capacity = self.config.capacity_blocks();
 
         let hit = self.lru.touch(&block);
         if hit {
-            self.stats.hits += 1;
+            delta.hits += 1;
         } else {
-            self.stats.misses += 1;
+            delta.misses += 1;
             if capacity == 0 {
                 // Degenerate uncached device: every access is a direct
                 // random I/O against the platter.
                 match kind {
-                    AccessKind::Append { .. } | AccessKind::Update => self.stats.write_ios += 1,
-                    AccessKind::Read => self.stats.read_ios += 1,
+                    AccessKind::Append { .. } | AccessKind::Update => delta.write_ios += 1,
+                    AccessKind::Read => delta.read_ios += 1,
                 }
-                return self.stats.since(&before);
+                self.stats.record(delta);
+                return delta;
             }
             // Make room: write out the least recently used block if dirty.
             if self.lru.len() as u64 >= capacity {
                 if let Some(victim) = self.lru.pop_lru() {
                     if self.dirty.remove(&victim) {
-                        self.stats.write_ios += 1;
+                        delta.write_ios += 1;
                     }
                 }
             }
@@ -168,7 +196,7 @@ impl StorageCache {
                 AccessKind::Update | AccessKind::Read => true,
             };
             if needs_read {
-                self.stats.read_ios += 1;
+                delta.read_ios += 1;
             }
             self.lru.insert(block);
         }
@@ -177,7 +205,7 @@ impl StorageCache {
             AccessKind::Append { fills, .. } => {
                 if fills {
                     // Full block is written out and leaves the cache.
-                    self.stats.write_ios += 1;
+                    delta.write_ios += 1;
                     self.lru.remove(&block);
                     self.dirty.remove(&block);
                 } else {
@@ -189,7 +217,8 @@ impl StorageCache {
             }
             AccessKind::Read => {}
         }
-        self.stats.since(&before)
+        self.stats.record(delta);
+        delta
     }
 
     /// Write out every dirty resident block (end-of-run accounting).
@@ -198,17 +227,20 @@ impl StorageCache {
         let mut writes = 0;
         while let Some(victim) = self.lru.pop_lru() {
             if self.dirty.remove(&victim) {
-                self.stats.write_ios += 1;
                 writes += 1;
             }
         }
         debug_assert!(self.dirty.is_empty());
+        self.stats.record(IoStats {
+            write_ios: writes,
+            ..IoStats::default()
+        });
         writes
     }
 
     /// Reset counters (resident set is preserved).
     pub fn reset_stats(&mut self) {
-        self.stats = IoStats::new();
+        self.stats.reset();
     }
 }
 

@@ -55,7 +55,7 @@ pub use device::{BlockId, TamperAttempt, TamperKind, WormDevice, WormError};
 pub use fs::{ExportedFile, FileHandle, WormFs};
 pub use lru::LruCore;
 pub use persist::{load_fs, save_fs, PersistError};
-pub use stats::IoStats;
+pub use stats::{AtomicIoStats, IoStats};
 
 /// Result alias for WORM-device operations.
 pub type Result<T> = std::result::Result<T, WormError>;

@@ -7,6 +7,7 @@
 //! before/after snapshots.
 
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Counters for random I/Os observed at the storage device.
 ///
@@ -69,6 +70,75 @@ impl IoStats {
 
 /// The paper's §2.3 random-I/O latency assumption: 2 ms.
 pub const PAPER_RANDOM_IO_SECONDS: f64 = 0.002;
+
+/// Thread-safe I/O counters: the lock-free accumulation point behind
+/// shared-engine deployments (many reader threads, one writer).
+///
+/// Each counter is an independent [`AtomicU64`] accumulated with relaxed
+/// ordering — the counters are statistics, not synchronisation; readers
+/// that need a consistent picture take a [`snapshot`](Self::snapshot)
+/// (counter-wise, not globally atomic, which is fine for monotone
+/// counters).
+#[derive(Debug, Default)]
+pub struct AtomicIoStats {
+    read_ios: AtomicU64,
+    write_ios: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl AtomicIoStats {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A counter set starting from `initial` (used when converting an
+    /// accumulated [`IoStats`] into a shared atomic one).
+    pub fn with_initial(initial: IoStats) -> Self {
+        let s = Self::new();
+        s.record(initial);
+        s
+    }
+
+    /// Add a delta to the counters.
+    pub fn record(&self, delta: IoStats) {
+        self.read_ios.fetch_add(delta.read_ios, Ordering::Relaxed);
+        self.write_ios.fetch_add(delta.write_ios, Ordering::Relaxed);
+        self.hits.fetch_add(delta.hits, Ordering::Relaxed);
+        self.misses.fetch_add(delta.misses, Ordering::Relaxed);
+    }
+
+    /// Current counter values as a plain [`IoStats`].
+    pub fn snapshot(&self) -> IoStats {
+        IoStats {
+            read_ios: self.read_ios.load(Ordering::Relaxed),
+            write_ios: self.write_ios.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zero every counter.
+    pub fn reset(&self) {
+        self.read_ios.store(0, Ordering::Relaxed);
+        self.write_ios.store(0, Ordering::Relaxed);
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Clone for AtomicIoStats {
+    fn clone(&self) -> Self {
+        Self::with_initial(self.snapshot())
+    }
+}
+
+impl From<IoStats> for AtomicIoStats {
+    fn from(s: IoStats) -> Self {
+        Self::with_initial(s)
+    }
+}
 
 impl std::ops::Add for IoStats {
     type Output = IoStats;
@@ -143,6 +213,60 @@ mod tests {
         };
         // 500 I/Os at 2 ms ≈ the paper's "1 second to index a document".
         assert!((s.estimated_seconds(PAPER_RANDOM_IO_SECONDS) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn atomic_stats_record_and_snapshot() {
+        let a = AtomicIoStats::new();
+        a.record(IoStats {
+            read_ios: 1,
+            write_ios: 2,
+            hits: 3,
+            misses: 4,
+        });
+        a.record(IoStats {
+            read_ios: 10,
+            ..IoStats::default()
+        });
+        assert_eq!(
+            a.snapshot(),
+            IoStats {
+                read_ios: 11,
+                write_ios: 2,
+                hits: 3,
+                misses: 4
+            }
+        );
+        let b = a.clone();
+        a.reset();
+        assert_eq!(a.snapshot(), IoStats::new());
+        // The clone keeps an independent copy of the counters.
+        assert_eq!(b.snapshot().read_ios, 11);
+    }
+
+    #[test]
+    fn atomic_stats_concurrent_accumulation() {
+        let shared = std::sync::Arc::new(AtomicIoStats::new());
+        let delta = IoStats {
+            read_ios: 1,
+            write_ios: 1,
+            hits: 1,
+            misses: 1,
+        };
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let shared = std::sync::Arc::clone(&shared);
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        shared.record(delta);
+                    }
+                });
+            }
+        });
+        let got = shared.snapshot();
+        assert_eq!(got.read_ios, 8000);
+        assert_eq!(got.total_ios(), 16000);
+        assert_eq!(got.hits + got.misses, 16000);
     }
 
     #[test]

@@ -1,7 +1,8 @@
-//! Concurrent ingest pipeline: document producers feed a single indexing
-//! writer over a bounded channel, and a checker thread verifies the
-//! paper's *real-time indexing* property from the outside — every
-//! document is searchable the instant its insert call returns.
+//! Concurrent ingest pipeline: document producers feed the exclusive
+//! [`IndexWriter`] over a bounded channel, and a checker thread holding a
+//! cloned [`Searcher`] verifies the paper's *real-time indexing* property
+//! from the outside — every document is searchable the instant its commit
+//! call returns.
 //!
 //! (The index itself is single-writer, as in the paper: document IDs come
 //! from one increasing commit counter.  Concurrency lives around it —
@@ -12,9 +13,7 @@
 //! cargo run --release --example concurrent_ingest
 //! ```
 
-use crossbeam::channel;
-use parking_lot::RwLock;
-use std::sync::Arc;
+use std::sync::mpsc;
 use std::time::Instant;
 use trustworthy_search::corpus::{CorpusConfig, DocumentGenerator};
 use trustworthy_search::prelude::*;
@@ -22,15 +21,16 @@ use trustworthy_search::prelude::*;
 const DOCS: u64 = 5_000;
 
 fn main() {
-    let engine = Arc::new(RwLock::new(SearchEngine::new(EngineConfig {
-        assignment: MergeAssignment::uniform(256),
-        jump: Some(JumpConfig::new(8192, 32, 1 << 32)),
-        store_documents: false,
-        ..Default::default()
-    })));
+    let config = EngineConfig::builder()
+        .assignment(MergeAssignment::uniform(256))
+        .jump(JumpConfig::new(8192, 32, 1 << 32))
+        .store_documents(false)
+        .build()
+        .expect("valid configuration");
+    let (mut writer, searcher) = service(SearchEngine::new(config));
 
-    let (tx, rx) = channel::bounded::<(u64, Vec<(TermId, u32)>, Timestamp)>(64);
-    let (committed_tx, committed_rx) = channel::bounded::<(DocId, TermId)>(64);
+    let (tx, rx) = mpsc::sync_channel::<(u64, Vec<(TermId, u32)>, Timestamp)>(64);
+    let (committed_tx, committed_rx) = mpsc::sync_channel::<(DocId, TermId)>(64);
 
     // Producer: generates and tokenizes documents off the writer's thread.
     let producer = std::thread::spawn(move || {
@@ -48,15 +48,17 @@ fn main() {
 
     // Checker: the moment a commit is acknowledged, the document must be
     // visible to a conjunctive query for one of its terms — no buffering
-    // window, ever.
-    let checker_engine = Arc::clone(&engine);
+    // window, ever.  The Searcher handle reads concurrently with the
+    // active writer.
+    let checker_searcher = searcher.clone();
     let checker = std::thread::spawn(move || {
         let mut checked = 0u64;
         while let Ok((doc, term)) = committed_rx.recv() {
-            let guard = checker_engine.read();
-            let (hits, _) = guard.conjunctive_terms(&[term]).expect("clean index");
+            let resp = checker_searcher
+                .execute(Query::conjunctive(vec![term]))
+                .expect("clean index");
             assert!(
-                hits.contains(&doc),
+                resp.docs().contains(&doc),
                 "{doc} not visible immediately after commit ack — buffering window!"
             );
             checked += 1;
@@ -64,19 +66,16 @@ fn main() {
         checked
     });
 
-    // Writer: the single indexing thread.
+    // Writer: the single indexing thread, owning the IndexWriter.
     let start = Instant::now();
-    let writer_engine = Arc::clone(&engine);
-    let writer = std::thread::spawn(move || {
+    let writer_thread = std::thread::spawn(move || {
         let mut postings = 0u64;
         while let Ok((_, terms, ts)) = rx.recv() {
-            let mut guard = writer_engine.write();
-            let doc = guard
-                .add_document_terms(&terms, ts, None)
-                .expect("valid doc");
+            // commit_terms returns with the index fully updated and the
+            // watermark published — the commit is acknowledged.
+            let doc = writer.commit_terms(&terms, ts, None).expect("valid doc");
             postings += terms.len() as u64;
-            drop(guard); // commit acknowledged; index is already updated
-                         // Sample 1 in 16 commits for external verification.
+            // Sample 1 in 16 commits for external verification.
             if doc.0 % 16 == 0 {
                 committed_tx.send((doc, terms[0].0)).expect("checker alive");
             }
@@ -85,16 +84,16 @@ fn main() {
     });
 
     producer.join().expect("producer");
-    let postings = writer.join().expect("writer");
+    let postings = writer_thread.join().expect("writer");
     let checked = checker.join().expect("checker");
     let secs = start.elapsed().as_secs_f64();
 
-    let guard = engine.read();
     println!(
         "indexed {DOCS} documents ({postings} postings) in {secs:.2}s — {:.0} docs/s",
         DOCS as f64 / secs
     );
     println!("real-time visibility verified on {checked} sampled commits");
-    println!("storage cache I/O: {:?}", guard.io_stats());
-    println!("audit clean: {}", guard.audit().is_clean());
+    println!("query-path I/O: {:?}", searcher.query_io_stats());
+    println!("storage cache I/O: {:?}", searcher.engine().io_stats());
+    println!("audit clean: {}", searcher.audit().is_clean());
 }

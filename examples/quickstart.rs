@@ -1,5 +1,5 @@
 //! Quickstart: build a trustworthy search engine, commit records, query
-//! them, and audit the index.
+//! them through the unified [`Query`] API, and audit the index.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -9,13 +9,16 @@ use trustworthy_search::prelude::*;
 
 fn main() {
     // 64 merged posting lists (one per storage-cache block) and jump
-    // indexes with the paper's recommended branching factor B = 32.
-    let mut engine = SearchEngine::new(EngineConfig {
-        assignment: MergeAssignment::uniform(64),
-        jump: Some(JumpConfig::new(8192, 32, 1 << 32)),
-        positional: true, // enables exact phrase queries
-        ..Default::default()
-    });
+    // indexes with the paper's recommended branching factor B = 32.  The
+    // validating builder rejects inconsistent settings up front instead
+    // of panicking deep inside the engine.
+    let config = EngineConfig::builder()
+        .assignment(MergeAssignment::uniform(64))
+        .jump(JumpConfig::new(8192, 32, 1 << 32))
+        .positional(true) // enables exact phrase queries
+        .build()
+        .expect("valid configuration");
+    let mut engine = SearchEngine::new(config);
 
     // Commit some business records.  Each call writes the record to WORM
     // *and* updates every posting list before returning — the real-time
@@ -35,10 +38,14 @@ fn main() {
         println!("committed {doc}: {text:?}");
     }
 
-    // Ranked disjunctive search: documents containing ANY keyword,
-    // scored by Okapi BM25.
-    println!("\nsearch(\"earnings restatement\"):");
-    for hit in engine.search("earnings restatement", 10) {
+    // Every read is one `Query` through one entry point.  Ranked
+    // disjunctive search: documents containing ANY keyword, scored by
+    // Okapi BM25.
+    println!("\nQuery::disjunctive(\"earnings restatement\", 10):");
+    let resp = engine
+        .execute(&Query::disjunctive("earnings restatement", 10))
+        .unwrap();
+    for hit in &resp.hits {
         println!(
             "  {} (score {:.3}): {:?}",
             hit.doc,
@@ -46,27 +53,42 @@ fn main() {
             engine.document_text(hit.doc).unwrap()
         );
     }
+    // Each response carries its own I/O cost and trust metadata.
+    println!(
+        "  [{} block read(s), trusted: {}]",
+        resp.blocks_read, resp.trusted
+    );
 
     // Conjunctive search: documents containing ALL keywords, answered by
     // a zigzag join over the jump indexes.
-    println!("\nsearch_conjunctive(\"earnings restatement\"):");
-    for doc in engine.search_conjunctive("earnings restatement").unwrap() {
+    println!("\nQuery::conjunctive(\"earnings restatement\"):");
+    let resp = engine
+        .execute(&Query::conjunctive("earnings restatement"))
+        .unwrap();
+    for doc in resp.docs() {
         println!("  {doc}: {:?}", engine.document_text(doc).unwrap());
     }
 
     // Exact phrase search over the positional index.
-    println!("\nsearch_phrase(\"earnings restatement\"):");
-    for doc in engine.search_phrase("earnings restatement").unwrap() {
+    println!("\nQuery::phrase(\"earnings restatement\"):");
+    let resp = engine
+        .execute(&Query::phrase("earnings restatement"))
+        .unwrap();
+    for doc in resp.docs() {
         println!("  {doc}: {:?}", engine.document_text(doc).unwrap());
     }
 
     // Time-restricted investigation (paper §5): only records committed in
     // [105, 125], via the trustworthy commit-time jump index.
-    println!("\nconjunctive \"earnings\" within commit time [105, 125]:");
-    for doc in engine
-        .search_conjunctive_in_range("earnings", Timestamp(105), Timestamp(125))
-        .unwrap()
-    {
+    println!("\nQuery::conjunctive_in_range(\"earnings\", 105, 125):");
+    let resp = engine
+        .execute(&Query::conjunctive_in_range(
+            "earnings",
+            Timestamp(105),
+            Timestamp(125),
+        ))
+        .unwrap();
+    for doc in resp.docs() {
         println!("  {doc} @ {}", engine.document_timestamp(doc).unwrap());
     }
 

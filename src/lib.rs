@@ -35,12 +35,14 @@
 //! ```
 //! use trustworthy_search::prelude::*;
 //!
-//! // An engine with 64 merged posting lists and jump indexes (B = 32).
-//! let mut engine = SearchEngine::new(EngineConfig {
-//!     assignment: MergeAssignment::uniform(64),
-//!     jump: Some(JumpConfig::new(8192, 32, 1 << 32)),
-//!     ..Default::default()
-//! });
+//! // An engine with 64 merged posting lists and jump indexes (B = 32),
+//! // via the validating configuration builder.
+//! let config = EngineConfig::builder()
+//!     .assignment(MergeAssignment::uniform(64))
+//!     .jump(JumpConfig::new(8192, 32, 1 << 32))
+//!     .build()
+//!     .unwrap();
+//! let mut engine = SearchEngine::new(config);
 //!
 //! // Committing a record indexes it *before* the call returns — there is
 //! // no window in which an insider can suppress the index entry.
@@ -48,14 +50,34 @@
 //!     .add_document("quarterly earnings restatement draft", Timestamp(1_700_000_000))
 //!     .unwrap();
 //!
-//! let hits = engine.search("earnings restatement", 10);
-//! assert_eq!(hits[0].doc, doc);
+//! // Every read is one Query through one entry point; the response
+//! // carries the hits plus per-query I/O cost and trust metadata.
+//! let ranked = engine.execute(&Query::disjunctive("earnings restatement", 10)).unwrap();
+//! assert_eq!(ranked.hits[0].doc, doc);
+//! assert!(ranked.trusted);
 //!
-//! let exact = engine.search_conjunctive("quarterly earnings").unwrap();
-//! assert_eq!(exact, vec![doc]);
+//! let exact = engine.execute(&Query::conjunctive("quarterly earnings")).unwrap();
+//! assert_eq!(exact.docs(), vec![doc]);
 //!
 //! // Audits surface any tampering detectable from the WORM bytes.
 //! assert!(engine.audit().is_clean());
+//! ```
+//!
+//! ## Concurrent deployments
+//!
+//! Split the engine into an exclusive [`IndexWriter`](core::service::IndexWriter)
+//! and cheaply cloneable [`Searcher`](core::service::Searcher) handles to
+//! serve queries from many threads while documents are being committed:
+//!
+//! ```
+//! use trustworthy_search::prelude::*;
+//!
+//! let (mut writer, searcher) = service(SearchEngine::new(EngineConfig::default()));
+//! writer.commit("board meeting minutes", Timestamp(100)).unwrap();
+//!
+//! let handle = searcher.clone(); // Send + Sync: share freely across threads
+//! let resp = handle.execute(Query::disjunctive("board minutes", 10)).unwrap();
+//! assert_eq!(resp.hits.len(), 1);
 //! ```
 
 #![warn(missing_docs)]
@@ -72,11 +94,13 @@ pub use tks_worm as worm;
 /// The most commonly used types, re-exported for `use
 /// trustworthy_search::prelude::*`.
 pub mod prelude {
-    pub use tks_core::engine::{AuditReport, EngineConfig, SearchEngine, SearchHit};
+    pub use tks_core::engine::{AuditReport, ConfigError, EngineConfig, SearchEngine, SearchHit};
     pub use tks_core::epoch::{EpochConfig, EpochManager};
     pub use tks_core::merge::MergeAssignment;
+    pub use tks_core::query::{Query, QueryResponse, TermSelector, TimeRange};
     pub use tks_core::ranking::RankingModel;
+    pub use tks_core::service::{service, IndexWriter, Searcher};
     pub use tks_jump::JumpConfig;
     pub use tks_postings::{DocId, ListId, TermId, Timestamp};
-    pub use tks_worm::{IoStats, WormDevice, WormFs};
+    pub use tks_worm::{AtomicIoStats, IoStats, WormDevice, WormFs};
 }

@@ -7,6 +7,7 @@
 use proptest::prelude::*;
 use trustworthy_search::core::engine::{EngineConfig, SearchEngine};
 use trustworthy_search::core::merge::MergeAssignment;
+use trustworthy_search::core::query::Query;
 use trustworthy_search::core::rank_attack::detect_phantom_postings;
 use trustworthy_search::jump::JumpConfig;
 use trustworthy_search::postings::{encode_posting, DocId, ListId, Posting, TermId, Timestamp};
@@ -35,111 +36,157 @@ fn step_strategy() -> impl Strategy<Value = Step> {
     ]
 }
 
+/// Run one interleaved workload and check the global guarantee with plain
+/// panics. Shared by the property test and the deterministic regression
+/// replays below.
+fn run_workload(steps: &[Step]) {
+    let mut engine = SearchEngine::new(EngineConfig {
+        assignment: MergeAssignment::uniform(4),
+        jump: Some(JumpConfig::new(1024, 4, 1 << 32)),
+        store_documents: false,
+        ..Default::default()
+    });
+    // (doc, terms) pairs committed through the legitimate path.
+    let mut committed: Vec<(DocId, Vec<TermId>)> = Vec::new();
+    let mut mala_acted = false;
+
+    for (i, step) in steps.iter().enumerate() {
+        match step {
+            Step::Commit(raw_terms) => {
+                let mut terms: Vec<(TermId, u32)> =
+                    raw_terms.iter().map(|&t| (TermId(t as u32), 1)).collect();
+                terms.sort_unstable_by_key(|&(t, _)| t);
+                terms.dedup_by_key(|&mut (t, _)| t);
+                let doc = engine
+                    .add_document_terms(&terms, Timestamp(i as u64), None)
+                    .expect("legitimate commits always succeed");
+                committed.push((doc, terms.into_iter().map(|(t, _)| t).collect()));
+            }
+            Step::RawPosting { list, doc, tag } => {
+                let name = format!("lists/{list}");
+                let store = engine.list_store_mut();
+                let file = match store.fs().open(&name) {
+                    Ok(f) => f,
+                    Err(_) => store.fs_mut().create(&name, u64::MAX).expect("fresh file"),
+                };
+                let bytes = encode_posting(Posting::new(DocId(*doc as u64), *tag as u32, 99));
+                store
+                    .fs_mut()
+                    .append(file, &bytes)
+                    .expect("raw appends are legal");
+                mala_acted = true;
+            }
+            Step::RawGarbage { list, bytes } => {
+                let name = format!("lists/{list}");
+                let store = engine.list_store_mut();
+                let file = match store.fs().open(&name) {
+                    Ok(f) => f,
+                    Err(_) => store.fs_mut().create(&name, u64::MAX).expect("fresh file"),
+                };
+                store
+                    .fs_mut()
+                    .append(file, bytes)
+                    .expect("raw appends are legal");
+                mala_acted = true;
+            }
+            Step::Overwrite { block, offset } => {
+                let dev = engine.list_store_mut().fs_mut().device_mut();
+                if (*block as u64) < dev.num_blocks() as u64 {
+                    // Always refused — and logged.
+                    assert!(dev
+                        .try_overwrite(
+                            trustworthy_search::worm::BlockId(*block as u64),
+                            *offset as usize,
+                            b"X"
+                        )
+                        .is_err());
+                    mala_acted = true;
+                }
+            }
+        }
+    }
+
+    // The guarantee: every committed document is still retrievable
+    // through every query path, or tamper evidence exists.
+    let audit = engine.audit();
+    let phantoms = detect_phantom_postings(&engine).unwrap_or_default();
+    let evidence = !audit.is_clean() || !phantoms.is_empty();
+
+    for (doc, terms) in &committed {
+        // Disjunctive: the document scores for each of its terms.
+        for &t in terms {
+            let found = engine
+                .execute(&Query::disjunctive(vec![t], usize::MAX))
+                .map(|r| r.hits.iter().any(|h| h.doc == *doc))
+                .unwrap_or(false);
+            assert!(
+                found || evidence,
+                "{doc} silently missing from disjunctive results for {t} \
+                 (mala acted: {mala_acted})"
+            );
+        }
+        // Conjunctive over all its terms.
+        match engine.conjunctive_terms(terms) {
+            Ok((docs, _)) => assert!(
+                docs.contains(doc) || evidence,
+                "{doc} silently missing from conjunctive results"
+            ),
+            // A query-time tamper report is acceptable evidence too.
+            Err(_) => assert!(mala_acted),
+        }
+    }
+
+    // And the flip side: evidence never appears without a cause.
+    if !mala_acted {
+        assert!(
+            !evidence,
+            "clean runs must audit clean: {audit:?} {phantoms:?}"
+        );
+        // Clean stores must also recover cleanly.
+        let config = engine.config().clone();
+        let recovered = SearchEngine::recover(engine.into_parts(), config);
+        assert!(recovered.is_ok());
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     #[test]
     fn committed_documents_never_vanish_silently(steps in proptest::collection::vec(step_strategy(), 1..60)) {
-        let mut engine = SearchEngine::new(EngineConfig {
-            assignment: MergeAssignment::uniform(4),
-            jump: Some(JumpConfig::new(1024, 4, 1 << 32)),
-            store_documents: false,
-            ..Default::default()
-        });
-        // (doc, terms) pairs committed through the legitimate path.
-        let mut committed: Vec<(DocId, Vec<TermId>)> = Vec::new();
-        let mut mala_acted = false;
-
-        for (i, step) in steps.iter().enumerate() {
-            match step {
-                Step::Commit(raw_terms) => {
-                    let mut terms: Vec<(TermId, u32)> =
-                        raw_terms.iter().map(|&t| (TermId(t as u32), 1)).collect();
-                    terms.sort_unstable_by_key(|&(t, _)| t);
-                    terms.dedup_by_key(|&mut (t, _)| t);
-                    let doc = engine
-                        .add_document_terms(&terms, Timestamp(i as u64), None)
-                        .expect("legitimate commits always succeed");
-                    committed.push((doc, terms.into_iter().map(|(t, _)| t).collect()));
-                }
-                Step::RawPosting { list, doc, tag } => {
-                    let name = format!("lists/{list}");
-                    let store = engine.list_store_mut();
-                    let file = match store.fs().open(&name) {
-                        Ok(f) => f,
-                        Err(_) => store.fs_mut().create(&name, u64::MAX).expect("fresh file"),
-                    };
-                    let bytes =
-                        encode_posting(Posting::new(DocId(*doc as u64), *tag as u32, 99));
-                    store.fs_mut().append(file, &bytes).expect("raw appends are legal");
-                    mala_acted = true;
-                }
-                Step::RawGarbage { list, bytes } => {
-                    let name = format!("lists/{list}");
-                    let store = engine.list_store_mut();
-                    let file = match store.fs().open(&name) {
-                        Ok(f) => f,
-                        Err(_) => store.fs_mut().create(&name, u64::MAX).expect("fresh file"),
-                    };
-                    store.fs_mut().append(file, bytes).expect("raw appends are legal");
-                    mala_acted = true;
-                }
-                Step::Overwrite { block, offset } => {
-                    let dev = engine.list_store_mut().fs_mut().device_mut();
-                    if (*block as u64) < dev.num_blocks() as u64 {
-                        // Always refused — and logged.
-                        prop_assert!(dev
-                            .try_overwrite(
-                                trustworthy_search::worm::BlockId(*block as u64),
-                                *offset as usize,
-                                b"X"
-                            )
-                            .is_err());
-                        mala_acted = true;
-                    }
-                }
-            }
-        }
-
-        // The guarantee: every committed document is still retrievable
-        // through every query path, or tamper evidence exists.
-        let audit = engine.audit();
-        let phantoms = detect_phantom_postings(&engine).unwrap_or_default();
-        let evidence = !audit.is_clean() || !phantoms.is_empty();
-
-        for (doc, terms) in &committed {
-            // Disjunctive: the document scores for each of its terms.
-            for &t in terms {
-                let found = engine
-                    .search_terms(&[t], usize::MAX)
-                    .iter()
-                    .any(|h| h.doc == *doc);
-                prop_assert!(
-                    found || evidence,
-                    "{doc} silently missing from disjunctive results for {t} \
-                     (mala acted: {mala_acted})"
-                );
-            }
-            // Conjunctive over all its terms.
-            match engine.conjunctive_terms(terms) {
-                Ok((docs, _)) => prop_assert!(
-                    docs.contains(doc) || evidence,
-                    "{doc} silently missing from conjunctive results"
-                ),
-                // A query-time tamper report is acceptable evidence too.
-                Err(_) => prop_assert!(mala_acted),
-            }
-        }
-
-        // And the flip side: evidence never appears without a cause.
-        if !mala_acted {
-            prop_assert!(!evidence, "clean runs must audit clean: {audit:?} {phantoms:?}");
-            // Clean stores must also recover cleanly.
-            let config = engine.config().clone();
-            let recovered = SearchEngine::recover(engine.into_parts(), config);
-            prop_assert!(recovered.is_ok());
-        }
+        run_workload(&steps);
     }
+}
+
+// Deterministic replays of the minimized cases recorded in
+// `adversary_fuzz.proptest-regressions`. Both originally exposed phantom
+// postings slipping past the audit when Mala wrote to a list *between*
+// two legitimate commits; they are kept as explicit tests so the cases
+// run on every `cargo test` regardless of the property-test runner in
+// use (the vendored proptest stand-in does not replay `cc` seed files).
+#[test]
+fn regression_raw_posting_between_commits() {
+    run_workload(&[
+        Step::Commit(vec![3]),
+        Step::RawPosting {
+            list: 1,
+            doc: 0,
+            tag: 0,
+        },
+        Step::Commit(vec![7]),
+    ]);
+}
+
+#[test]
+fn regression_raw_garbage_before_commits() {
+    run_workload(&[
+        Step::RawGarbage {
+            list: 3,
+            bytes: vec![0, 0, 0, 1],
+        },
+        Step::Commit(vec![0]),
+        Step::Commit(vec![15]),
+    ]);
 }
 
 #[test]

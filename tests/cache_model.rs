@@ -22,7 +22,14 @@ struct RefCache {
 
 impl RefCache {
     fn new(capacity: u64) -> Self {
-        Self { capacity, resident: Vec::new(), reads: 0, writes: 0, hits: 0, misses: 0 }
+        Self {
+            capacity,
+            resident: Vec::new(),
+            reads: 0,
+            writes: 0,
+            hits: 0,
+            misses: 0,
+        }
     }
 
     fn touch_front(&mut self, id: u64) -> bool {
@@ -86,10 +93,8 @@ impl RefCache {
 
 fn kind_strategy() -> impl Strategy<Value = AccessKind> {
     prop_oneof![
-        (any::<bool>(), any::<bool>()).prop_map(|(was_empty, fills)| AccessKind::Append {
-            was_empty,
-            fills
-        }),
+        (any::<bool>(), any::<bool>())
+            .prop_map(|(was_empty, fills)| AccessKind::Append { was_empty, fills }),
         Just(AccessKind::Update),
         Just(AccessKind::Read),
     ]

@@ -43,7 +43,10 @@ fn all_emails_from_x_to_y() {
     let (engine, gen) = archive();
     let (x, y) = busiest_pair(&gen);
     // Conjunctive [x y]: every email between the two, either direction.
-    let both_ways = engine.search_conjunctive(&format!("{x} {y}")).unwrap();
+    let both_ways = engine
+        .execute(&Query::conjunctive(format!("{x} {y}")))
+        .unwrap()
+        .docs();
     let expect_both: Vec<u64> = gen
         .emails(0..EMAILS)
         .filter(|m| (m.from == x && m.to == y) || (m.from == y && m.to == x))
@@ -54,7 +57,10 @@ fn all_emails_from_x_to_y() {
     assert!(!got.is_empty());
 
     // Phrase "from x to y": direction-exact, thanks to positions.
-    let directed = engine.search_phrase(&format!("from {x} to {y}")).unwrap();
+    let directed = engine
+        .execute(&Query::phrase(format!("from {x} to {y}")))
+        .unwrap()
+        .docs();
     let expect_directed: Vec<u64> = gen
         .emails(0..EMAILS)
         .filter(|m| m.from == x && m.to == y)
@@ -75,13 +81,17 @@ fn investigation_with_time_window() {
     let from = gen.email(EMAILS / 3).timestamp;
     let to = gen.email(2 * EMAILS / 3).timestamp;
     let hits = engine
-        .search_conjunctive_in_range(&format!("{x} {y}"), from, to)
-        .unwrap();
+        .execute(&Query::conjunctive_in_range(format!("{x} {y}"), from, to))
+        .unwrap()
+        .docs();
     for d in &hits {
         let ts = engine.document_timestamp(*d).unwrap();
         assert!(ts >= from && ts <= to);
     }
-    let unrestricted = engine.search_conjunctive(&format!("{x} {y}")).unwrap();
+    let unrestricted = engine
+        .execute(&Query::conjunctive(format!("{x} {y}")))
+        .unwrap()
+        .docs();
     assert!(hits.len() <= unrestricted.len());
 }
 
@@ -90,12 +100,10 @@ fn archive_audits_clean_and_survives_recovery() {
     let (engine, gen) = archive();
     assert!(engine.audit().is_clean());
     let (x, y) = busiest_pair(&gen);
-    let before = engine.search_conjunctive(&format!("{x} {y}")).unwrap();
+    let query = Query::conjunctive(format!("{x} {y}"));
+    let before = engine.execute(&query).unwrap().docs();
     let config = engine.config().clone();
     let recovered = SearchEngine::recover(engine.into_parts(), config).unwrap();
-    assert_eq!(
-        recovered.search_conjunctive(&format!("{x} {y}")).unwrap(),
-        before
-    );
+    assert_eq!(recovered.execute(&query).unwrap().docs(), before);
     assert!(recovered.audit().is_clean());
 }

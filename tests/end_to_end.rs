@@ -126,7 +126,9 @@ fn disjunctive_result_sets_match_reference_across_configurations() {
         expect.sort_unstable();
         for (name, e) in &engines {
             let mut got: Vec<DocId> = e
-                .search_terms(&q.terms, usize::MAX)
+                .execute(&Query::disjunctive(&q.terms[..], usize::MAX))
+                .unwrap()
+                .hits
                 .iter()
                 .map(|h| h.doc)
                 .collect();
@@ -147,9 +149,16 @@ fn rankings_are_identical_regardless_of_merging() {
     let engines = engines();
     for qid in 0..25u64 {
         let q = qgen.query(qid);
-        let baseline = engines[0].1.search_terms(&q.terms, 20);
+        let baseline = engines[0]
+            .1
+            .execute(&Query::disjunctive(&q.terms[..], 20))
+            .unwrap()
+            .hits;
         for (name, e) in &engines[1..] {
-            let hits = e.search_terms(&q.terms, 20);
+            let hits = e
+                .execute(&Query::disjunctive(&q.terms[..], 20))
+                .unwrap()
+                .hits;
             assert_eq!(hits.len(), baseline.len(), "config {name}");
             for (a, b) in hits.iter().zip(&baseline) {
                 assert_eq!(a.doc, b.doc, "config {name}, query {qid}");

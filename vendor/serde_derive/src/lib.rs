@@ -1,0 +1,440 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal `serde` data model (see `vendor/serde`) and this
+//! proc-macro crate derives its `Serialize` / `Deserialize` traits for
+//! the item shapes the workspace actually uses:
+//!
+//! * structs with named fields (honouring `#[serde(default)]`),
+//! * tuple structs (newtype and general),
+//! * enums with unit, tuple and struct variants (externally tagged,
+//!   matching real serde's JSON representation).
+//!
+//! Generic items are intentionally unsupported — none of the workspace's
+//! serialized types are generic, and failing loudly beats silently
+//! producing wrong impls.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated impl parses")
+}
+
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: substitute `Default::default()` when missing.
+    default: bool,
+}
+
+enum Shape {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Tokens of one `#[...]` attribute; returns true if it is `#[serde(default)]`.
+fn attr_is_serde_default(group: &TokenStream) -> bool {
+    let mut toks = group.clone().into_iter();
+    match (toks.next(), toks.next()) {
+        (Some(TokenTree::Ident(i)), Some(TokenTree::Group(g))) => {
+            i.to_string() == "serde" && g.stream().to_string().contains("default")
+        }
+        _ => false,
+    }
+}
+
+/// Skip attributes at `toks[*i]`, returning whether any was `#[serde(default)]`.
+fn skip_attrs(toks: &[TokenTree], i: &mut usize) -> bool {
+    let mut default = false;
+    while *i + 1 < toks.len() {
+        match (&toks[*i], &toks[*i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                if attr_is_serde_default(&g.stream()) {
+                    default = true;
+                }
+                *i += 2;
+            }
+            _ => break,
+        }
+    }
+    default
+}
+
+fn skip_vis(toks: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = toks.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Skip a type at `toks[*i]` up to a top-level comma (or the end).
+fn skip_type(toks: &[TokenTree], i: &mut usize) {
+    let mut angle = 0i32;
+    while let Some(t) = toks.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        let default = skip_attrs(&toks, &mut i);
+        skip_vis(&toks, &mut i);
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected field name, found {other:?}"),
+        };
+        i += 1;
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected ':' after field `{name}`, found {other:?}"),
+        }
+        skip_type(&toks, &mut i);
+        i += 1; // consume the comma, if any
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.clone().into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut i = 0;
+    let mut count = 0;
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        skip_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        skip_type(&toks, &mut i);
+        i += 1; // comma
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("expected variant name, found {other:?}"),
+        };
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Consume a trailing discriminant (`= expr`) — not used by any
+        // serialized type, but cheap to tolerate — then the comma.
+        while let Some(t) = toks.get(i) {
+            if let TokenTree::Punct(p) = t {
+                if p.as_char() == ',' {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&toks, &mut i);
+    skip_vis(&toks, &mut i);
+    let keyword = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected struct/enum, found {other:?}"),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name, found {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            panic!("derive(Serialize/Deserialize) stub does not support generic type `{name}`");
+        }
+    }
+    let shape = match keyword.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("expected enum body for `{name}`, found {other:?}"),
+        },
+        other => panic!("cannot derive for `{other} {name}`"),
+    };
+    Item { name, shape }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{n}\"), ::serde::Serialize::serialize(&self.{n}))",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::Tuple(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| match &v.kind {
+                    VariantKind::Unit => format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\")),",
+                        v = v.name
+                    ),
+                    VariantKind::Tuple(1) => format!(
+                        "{name}::{v}(__f0) => ::serde::Value::Map(::std::vec![(::std::string::String::from(\"{v}\"), ::serde::Serialize::serialize(__f0))]),",
+                        v = v.name
+                    ),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let sers: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::serialize(__f{i})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({binds}) => ::serde::Value::Map(::std::vec![(::std::string::String::from(\"{v}\"), ::serde::Value::Seq(::std::vec![{sers}]))]),",
+                            v = v.name,
+                            binds = binds.join(", "),
+                            sers = sers.join(", ")
+                        )
+                    }
+                    VariantKind::Named(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{n}\"), ::serde::Serialize::serialize({n}))",
+                                    n = f.name
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Value::Map(::std::vec![(::std::string::String::from(\"{v}\"), ::serde::Value::Map(::std::vec![{entries}]))]),",
+                            v = v.name,
+                            binds = binds.join(", "),
+                            entries = entries.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join("\n"))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_named_field_inits(fields: &[Field], map_var: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            if f.default {
+                format!(
+                    "{n}: match ::serde::map_get({m}, \"{n}\") {{ \
+                         ::std::option::Option::Some(__x) => ::serde::Deserialize::deserialize(__x)?, \
+                         ::std::option::Option::None => ::std::default::Default::default() }},",
+                    n = f.name,
+                    m = map_var
+                )
+            } else {
+                format!(
+                    "{n}: ::serde::Deserialize::deserialize(\
+                         ::serde::map_get({m}, \"{n}\").unwrap_or(&::serde::Value::Null))?,",
+                    n = f.name,
+                    m = map_var
+                )
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => format!(
+            "let __m = __v.as_map().ok_or_else(|| ::serde::Error::custom(\"expected map for {name}\"))?;\n\
+             ::std::result::Result::Ok({name} {{ {inits} }})",
+            inits = gen_named_field_inits(fields, "__m")
+        ),
+        Shape::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(__v)?))")
+        }
+        Shape::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::deserialize(__s.get({i}).unwrap_or(&::serde::Value::Null))?"
+                    )
+                })
+                .collect();
+            format!(
+                "let __s = __v.as_seq().ok_or_else(|| ::serde::Error::custom(\"expected sequence for {name}\"))?;\n\
+                 ::std::result::Result::Ok({name}({inits}))",
+                inits = inits.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{v}\" => return ::std::result::Result::Ok({name}::{v}),",
+                        v = v.name
+                    )
+                })
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| match &v.kind {
+                    VariantKind::Unit => None,
+                    VariantKind::Tuple(1) => Some(format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}(::serde::Deserialize::deserialize(__inner)?)),",
+                        v = v.name
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|i| format!(
+                                "::serde::Deserialize::deserialize(__s.get({i}).unwrap_or(&::serde::Value::Null))?"
+                            ))
+                            .collect();
+                        Some(format!(
+                            "\"{v}\" => {{ let __s = __inner.as_seq().ok_or_else(|| ::serde::Error::custom(\"expected sequence for {name}::{v}\"))?; \
+                             ::std::result::Result::Ok({name}::{v}({inits})) }},",
+                            v = v.name,
+                            inits = inits.join(", ")
+                        ))
+                    }
+                    VariantKind::Named(fields) => Some(format!(
+                        "\"{v}\" => {{ let __m2 = __inner.as_map().ok_or_else(|| ::serde::Error::custom(\"expected map for {name}::{v}\"))?; \
+                         ::std::result::Result::Ok({name}::{v} {{ {inits} }}) }},",
+                        v = v.name,
+                        inits = gen_named_field_inits(fields, "__m2")
+                    )),
+                })
+                .collect();
+            format!(
+                "if let ::serde::Value::Str(__s) = __v {{\n\
+                     match __s.as_str() {{\n\
+                         {unit_arms}\n\
+                         __other => return ::std::result::Result::Err(::serde::Error::custom(\
+                             ::std::format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+                     }}\n\
+                 }}\n\
+                 let __m = __v.as_map().ok_or_else(|| ::serde::Error::custom(\"expected map for {name}\"))?;\n\
+                 let (__tag, __inner) = __m.first().ok_or_else(|| ::serde::Error::custom(\"empty map for {name}\"))?;\n\
+                 match __tag.as_str() {{\n\
+                     {tagged_arms}\n\
+                     __other => ::std::result::Result::Err(::serde::Error::custom(\
+                         ::std::format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+                 }}",
+                unit_arms = unit_arms.join("\n"),
+                tagged_arms = tagged_arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
