@@ -43,7 +43,8 @@ fn bench_insert(c: &mut Criterion) {
                     jump,
                     store_documents: false,
                     ..Default::default()
-                });
+                })
+                .unwrap();
                 for d in &docs {
                     e.add_document_terms(&d.terms, d.timestamp, None).unwrap();
                 }
@@ -72,7 +73,8 @@ fn bench_search(c: &mut Criterion) {
                 jump,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         g.bench_with_input(
             BenchmarkId::new("disjunctive_top10", name),
             &engine,
@@ -108,7 +110,8 @@ fn bench_text_path(c: &mut Criterion) {
         let mut e = SearchEngine::new(EngineConfig {
             assignment: MergeAssignment::uniform(64),
             ..Default::default()
-        });
+        })
+        .unwrap();
         let mut i = 0u64;
         bench.iter(|| {
             i += 1;
@@ -132,7 +135,8 @@ fn bench_buffered_vs_realtime(c: &mut Criterion) {
                 assignment: MergeAssignment::uniform(128),
                 store_documents: false,
                 ..Default::default()
-            });
+            })
+            .unwrap();
             for d in &docs {
                 e.add_document_terms(&d.terms, d.timestamp, None).unwrap();
             }
@@ -141,7 +145,7 @@ fn bench_buffered_vs_realtime(c: &mut Criterion) {
     });
     g.bench_function("buffered_flush_500", |bench| {
         bench.iter(|| {
-            let mut idx = BufferedIndex::new(MergeAssignment::uniform(128), 8192, 500);
+            let mut idx = BufferedIndex::new(MergeAssignment::uniform(128), 8192, 500).unwrap();
             for d in &docs {
                 idx.add_document_terms(&d.terms, None).unwrap();
             }

@@ -10,6 +10,10 @@
 //! cargo run --release -p tks-bench --bin concurrent
 //! ```
 
+// Experiment binary: expect() on malformed synthetic input is acceptable
+// (the production no-panic surface is gated by clippy + `cargo xtask audit`).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use serde::Serialize;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
@@ -90,7 +94,8 @@ fn main() {
                 store_documents: false,
                 ..Default::default()
             },
-        );
+        )
+        .expect("well-formed synthetic corpus");
         let (mut writer, searcher) = service(engine);
         let stop = AtomicBool::new(false);
         let before = writer.committed_docs();

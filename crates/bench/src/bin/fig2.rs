@@ -10,6 +10,10 @@
 //! Cache sizes are the paper's 4 MB – 64 GB sweep, mapped through the
 //! vocabulary ratio (see `tks-bench` crate docs).
 
+// Experiment binary: expect() on malformed synthetic input is acceptable
+// (the production no-panic surface is gated by clippy + `cargo xtask audit`).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use serde::Serialize;
 use tks_bench::{fmt_bytes, print_table, save_json, Scale};
 use tks_core::merge::MergeAssignment;

@@ -2,6 +2,10 @@
 //! per-term query frequency `qi` over the query log (heavy-tailed,
 //! spanning ~1e0 … 1e5 at the paper's scale).
 
+// Experiment binary: expect() on malformed synthetic input is acceptable
+// (the production no-panic surface is gated by clippy + `cargo xtask audit`).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use serde::Serialize;
 use tks_bench::{print_table, save_json, Scale};
 use tks_corpus::{QueryGenerator, QueryTermStats};

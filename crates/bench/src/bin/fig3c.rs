@@ -7,6 +7,10 @@
 //! slowly, compared to the query-popularity curve, due to terms that occur
 //! in many documents but few queries".
 
+// Experiment binary: expect() on malformed synthetic input is acceptable
+// (the production no-panic surface is gated by clippy + `cargo xtask audit`).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use serde::Serialize;
 use tks_bench::{print_table, save_json, Scale};
 use tks_core::cost::cumulative_workload_curve;

@@ -5,6 +5,10 @@
 //! axis is log scale), while the long running queries are comparatively
 //! unaffected."
 
+// Experiment binary: expect() on malformed synthetic input is acceptable
+// (the production no-panic surface is gated by clippy + `cargo xtask audit`).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use serde::Serialize;
 use tks_bench::{print_table, save_json, Scale};
 use tks_core::cost::{list_lengths, query_cost, unmerged_query_cost};

@@ -5,6 +5,10 @@
 //! visible slowdown on average, and the next longest-running 30% of the
 //! queries are 25% slower on average"; the shortest 20% slow down ~4×.
 
+// Experiment binary: expect() on malformed synthetic input is acceptable
+// (the production no-panic surface is gated by clippy + `cargo xtask audit`).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use serde::Serialize;
 use tks_bench::{print_table, save_json, Scale};
 use tks_core::cost::{list_lengths, query_cost, unmerged_query_cost};

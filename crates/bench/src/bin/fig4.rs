@@ -10,6 +10,10 @@
 //! sample against both, and report both wall-clock and postings-scanned
 //! ratios.
 
+// Experiment binary: expect() on malformed synthetic input is acceptable
+// (the production no-panic surface is gated by clippy + `cargo xtask audit`).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use serde::Serialize;
 use std::time::Instant;
 use tks_bench::{print_table, save_json, Scale};
@@ -49,7 +53,8 @@ fn main() {
             cache_bytes: 0,
             ..Default::default()
         },
-    );
+    )
+    .expect("well-formed synthetic corpus");
     let t0 = Instant::now();
     let mut unmerged_hits = 0usize;
     for q in &sample {
@@ -74,7 +79,8 @@ fn main() {
                 cache_bytes: 0,
                 ..Default::default()
             },
-        );
+        )
+        .expect("well-formed synthetic corpus");
         let t0 = Instant::now();
         let mut merged_hits = 0usize;
         for q in &sample {

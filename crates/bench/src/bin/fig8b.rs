@@ -12,6 +12,10 @@
 //! through the postings ratio (paper postings / simulated postings),
 //! keeping ~15k postings per merged list.
 
+// Experiment binary: expect() on malformed synthetic input is acceptable
+// (the production no-panic surface is gated by clippy + `cargo xtask audit`).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use serde::Serialize;
 use tks_bench::{fmt_bytes, print_table, save_json, Scale};
 use tks_core::merge::MergeAssignment;
@@ -59,7 +63,8 @@ fn main() {
         let cache = m as u64 * block as u64 * mb / 128;
         let mut ios = Vec::new();
         for (name, cfg) in &configs {
-            let (r, ptrs) = jump_insertion_ios(&gen, &assignment, *cfg, scale.docs, cache);
+            let (r, ptrs) = jump_insertion_ios(&gen, &assignment, *cfg, scale.docs, cache)
+                .expect("well-formed synthetic corpus");
             eprintln!(
                 "[fig8b] {mb} MB {name}: {:.2} I/Os/doc ({ptrs} pointers set)",
                 r.ios_per_doc()

@@ -12,6 +12,10 @@
 //! keywords; the ideal case's speedup factor stays within ~1.4× above the
 //! B = 32 curve.
 
+// Experiment binary: expect() on malformed synthetic input is acceptable
+// (the production no-panic surface is gated by clippy + `cargo xtask audit`).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use serde::Serialize;
 use std::collections::HashSet;
 use tks_bench::{print_table, save_json, Scale};
@@ -72,7 +76,10 @@ fn main() {
                 ..Default::default()
             };
             eprintln!("[fig8c]   B={b}");
-            (b, build_engine(&gen, scale.docs, cfg))
+            (
+                b,
+                build_engine(&gen, scale.docs, cfg).expect("well-formed synthetic corpus"),
+            )
         })
         .collect();
 
@@ -89,7 +96,8 @@ fn main() {
         scale.docs,
         &needed,
         tks_btree::BTreeConfig::for_block_size(block),
-    );
+    )
+    .expect("well-formed synthetic corpus");
     // Unmerged per-term list sizes, for the ideal curve's own scan-merge
     // denominator.
     let ti = tks_corpus::TermStats::collect(&gen, 0..scale.docs).doc_freq;

@@ -28,6 +28,10 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+// tks-btree models the paper's *vulnerable baseline* index (Figure 6), not
+// the production no-panic surface: structural invariants may use expect.
+// The four production crates are gated by clippy + `cargo xtask audit`.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 pub mod attack;
 pub mod tree;

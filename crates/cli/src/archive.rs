@@ -27,7 +27,7 @@ impl Archive {
             return Err(format!("archive already exists at {}", dir.display()).into());
         }
         std::fs::create_dir_all(dir)?;
-        let engine = SearchEngine::new(config.clone());
+        let engine = SearchEngine::new(config.clone())?;
         std::fs::write(
             dir.join("config.json"),
             serde_json::to_string_pretty(&config)?,
@@ -63,11 +63,11 @@ impl Archive {
     /// crash mid-save leaves the previous committed image intact.
     pub fn save(&self, dir: &Path) -> Result<(), Box<dyn std::error::Error>> {
         let mut images = vec![
-            ("store.worm", save_fs(self.engine.list_store().fs())),
-            ("docs.worm", save_fs(self.engine.doc_fs())),
+            ("store.worm", save_fs(self.engine.list_store().fs())?),
+            ("docs.worm", save_fs(self.engine.doc_fs())?),
         ];
         if let Some(fs) = self.engine.positions_fs() {
-            images.push(("positions.worm", save_fs(fs)));
+            images.push(("positions.worm", save_fs(fs)?));
         }
         for (name, img) in images {
             let tmp = dir.join(format!("{name}.tmp"));

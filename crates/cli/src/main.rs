@@ -18,6 +18,10 @@
 //! tks info  ARCHIVE
 //! ```
 
+// Experiment binary: expect() on malformed synthetic input is acceptable
+// (the production no-panic surface is gated by clippy + `cargo xtask audit`).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use tks_core::engine::{EngineConfig, SearchEngine};

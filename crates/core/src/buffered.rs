@@ -54,17 +54,21 @@ impl BufferedIndex {
     /// Create a buffered index that flushes every `flush_every` documents
     /// (the paper cites systems needing >100,000 buffered documents to
     /// reach 2 docs/sec).
-    pub fn new(assignment: MergeAssignment, block_size: usize, flush_every: u64) -> Self {
+    pub fn new(
+        assignment: MergeAssignment,
+        block_size: usize,
+        flush_every: u64,
+    ) -> Result<Self, ListError> {
         assert!(flush_every >= 1);
         let num_lists = assignment.num_lists() as usize;
-        Self {
+        Ok(Self {
             assignment,
-            store: ListStore::new(block_size, num_lists),
+            store: ListStore::new(block_size, num_lists)?,
             buffer: Vec::new(),
             flush_every,
             docs_since_flush: 0,
             next_doc: DocId(0),
-        }
+        })
     }
 
     /// Add a document's postings.  Returns its ID.  The postings sit in
@@ -170,7 +174,7 @@ mod tests {
 
     #[test]
     fn buffered_index_works_when_unattacked() {
-        let mut idx = BufferedIndex::new(MergeAssignment::uniform(4), 64, 3);
+        let mut idx = BufferedIndex::new(MergeAssignment::uniform(4), 64, 3).unwrap();
         let d0 = idx.add_document_terms(&doc(&[1, 2]), None).unwrap();
         let d1 = idx.add_document_terms(&doc(&[1]), None).unwrap();
         assert_eq!(idx.search_term(TermId(1)).unwrap(), vec![d0, d1]);
@@ -182,7 +186,7 @@ mod tests {
 
     #[test]
     fn scrub_attack_silently_hides_a_buffered_document() {
-        let mut idx = BufferedIndex::new(MergeAssignment::uniform(4), 64, 100);
+        let mut idx = BufferedIndex::new(MergeAssignment::uniform(4), 64, 100).unwrap();
         let _other = idx.add_document_terms(&doc(&[1]), None).unwrap();
         let victim = idx.add_document_terms(&doc(&[1, 2, 3]), None).unwrap();
         assert!(idx.search_term(TermId(2)).unwrap().contains(&victim));
@@ -199,7 +203,7 @@ mod tests {
 
     #[test]
     fn crash_attack_loses_every_buffered_posting() {
-        let mut idx = BufferedIndex::new(MergeAssignment::uniform(4), 64, 1_000);
+        let mut idx = BufferedIndex::new(MergeAssignment::uniform(4), 64, 1_000).unwrap();
         for i in 0..50u32 {
             idx.add_document_terms(&doc(&[i % 7]), None).unwrap();
         }
@@ -221,7 +225,7 @@ mod tests {
         let assignment = MergeAssignment::unmerged(512);
         let run = |flush_every: u64| -> IoStats {
             let mut cache = StorageCache::new(CacheConfig::new(4 * 64, 64));
-            let mut idx = BufferedIndex::new(assignment.clone(), 64, flush_every);
+            let mut idx = BufferedIndex::new(assignment.clone(), 64, flush_every).unwrap();
             for i in 0..200u32 {
                 let terms: Vec<u32> = (0..8).map(|j| (i * 13 + j * 29) % 500).collect();
                 let mut t = doc(&terms);
@@ -245,7 +249,7 @@ mod tests {
     #[test]
     fn flush_preserves_per_list_monotonicity() {
         // Batch-sorted flushes never violate the store's invariants.
-        let mut idx = BufferedIndex::new(MergeAssignment::uniform(2), 64, 7);
+        let mut idx = BufferedIndex::new(MergeAssignment::uniform(2), 64, 7).unwrap();
         for i in 0..40u32 {
             idx.add_document_terms(&doc(&[i % 5, 5 + i % 3]), None)
                 .unwrap();

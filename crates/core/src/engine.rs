@@ -84,6 +84,24 @@ impl EngineConfig {
     pub fn builder() -> EngineConfigBuilder {
         EngineConfigBuilder::default()
     }
+
+    /// Check an already-constructed configuration (the struct's fields are
+    /// public, so literals can bypass the builder).  [`SearchEngine::new`]
+    /// runs this, so an adversarial configuration is rejected with a
+    /// [`ConfigError`] instead of overflowing geometry arithmetic deep in
+    /// a storage layer.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        EngineConfig::builder()
+            .block_size(self.block_size)
+            .cache_bytes(self.cache_bytes)
+            .assignment(self.assignment.clone())
+            .ranking(self.ranking)
+            .store_documents(self.store_documents)
+            .positional(self.positional)
+            .maybe_jump(self.jump)
+            .build()
+            .map(|_| ())
+    }
 }
 
 /// A rejected [`EngineConfigBuilder`] combination.
@@ -163,6 +181,12 @@ impl EngineConfigBuilder {
         self
     }
 
+    /// Set or clear the jump-index configuration (re-validation path).
+    pub fn maybe_jump(mut self, jump: Option<JumpConfig>) -> Self {
+        self.jump = jump;
+        self
+    }
+
     /// Ranking model for disjunctive queries.
     pub fn ranking(mut self, ranking: RankingModel) -> Self {
         self.ranking = Some(ranking);
@@ -204,7 +228,11 @@ impl EngineConfigBuilder {
                 ))
             }
             (Some(bytes), None) => bytes,
-            (None, Some(blocks)) => blocks * block_size as u64,
+            (None, Some(blocks)) => blocks.checked_mul(block_size as u64).ok_or_else(|| {
+                ConfigError(format!(
+                    "cache of {blocks} blocks of {block_size} bytes overflows u64"
+                ))
+            })?,
             (None, None) => defaults.cache_bytes,
         };
         if cache_bytes > 0 && cache_bytes < block_size as u64 {
@@ -281,6 +309,11 @@ pub enum SearchError {
     },
     /// The engine configuration was rejected (see [`EngineConfig::builder`]).
     Config(ConfigError),
+    /// An internal invariant failed in a way that is neither tamper
+    /// evidence nor caller error — reported instead of aborting, because a
+    /// crash during a compliance lookup is indistinguishable from a hidden
+    /// record.
+    Internal(String),
 }
 
 impl std::fmt::Display for SearchError {
@@ -303,6 +336,7 @@ impl std::fmt::Display for SearchError {
                 write!(f, "commit time {attempted} precedes committed {last}")
             }
             SearchError::Config(e) => write!(f, "{e}"),
+            SearchError::Internal(msg) => write!(f, "internal invariant failure: {msg}"),
         }
     }
 }
@@ -322,6 +356,11 @@ impl From<ListError> for SearchError {
 impl From<JumpError> for SearchError {
     fn from(e: JumpError) -> Self {
         SearchError::Jump(e)
+    }
+}
+impl From<crate::positions::PositionError> for SearchError {
+    fn from(e: crate::positions::PositionError) -> Self {
+        SearchError::Internal(format!("positional sidecar: {e}"))
     }
 }
 impl From<TamperEvidence> for SearchError {
@@ -419,12 +458,13 @@ impl AuditReport {
 ///
 /// ```
 /// use tks_core::engine::{EngineConfig, SearchEngine};
+/// use tks_core::Query;
 /// use tks_postings::Timestamp;
 ///
-/// let mut engine = SearchEngine::new(EngineConfig::default());
+/// let mut engine = SearchEngine::new(EngineConfig::default()).unwrap();
 /// let d0 = engine.add_document("quarterly earnings restatement draft", Timestamp(100)).unwrap();
 /// let _d1 = engine.add_document("lunch menu for the cafeteria", Timestamp(101)).unwrap();
-/// let hits = engine.search("earnings restatement", 10);
+/// let hits = engine.execute(&Query::disjunctive("earnings restatement", 10)).unwrap().hits;
 /// assert_eq!(hits[0].doc, d0);
 /// ```
 #[derive(Debug)]
@@ -487,7 +527,12 @@ pub struct EngineParts {
 
 impl SearchEngine {
     /// Create an empty engine.
-    pub fn new(config: EngineConfig) -> Self {
+    ///
+    /// The configuration is re-validated (see [`EngineConfig::validate`]);
+    /// a rejected configuration surfaces as [`SearchError::Config`] here
+    /// instead of panicking inside a storage layer.
+    pub fn new(config: EngineConfig) -> Result<Self, SearchError> {
+        config.validate().map_err(SearchError::Config)?;
         let num_lists = config.assignment.num_lists() as usize;
         let jump = match &config.jump {
             Some(cfg) => (0..num_lists).map(|_| BlockJumpIndex::new(*cfg)).collect(),
@@ -495,16 +540,16 @@ impl SearchEngine {
         };
         // The commit-time index needs room for its pointer region (B = 32
         // over 32-bit timestamps needs 868 bytes), so floor its block size.
-        let time_cfg = JumpConfig::new(config.block_size.max(2048), 32, 1 << 32);
+        let time_cfg = JumpConfig::try_new(config.block_size.max(2048), 32, 1 << 32)?;
         let mut doc_fs = WormFs::new(WormDevice::new(config.block_size.max(64)));
-        doc_fs.create(TERMS_FILE, u64::MAX).expect("fresh fs");
-        doc_fs.create(DOCMETA_FILE, u64::MAX).expect("fresh fs");
-        Self {
+        doc_fs.create(TERMS_FILE, u64::MAX)?;
+        doc_fs.create(DOCMETA_FILE, u64::MAX)?;
+        Ok(Self {
             cache: StorageCache::new(CacheConfig::new(
                 config.cache_bytes,
                 config.block_size as u32,
             )),
-            store: ListStore::new(config.block_size, num_lists),
+            store: ListStore::new(config.block_size, num_lists)?,
             jump,
             doc_fs,
             docs: Vec::new(),
@@ -517,12 +562,12 @@ impl SearchEngine {
                 Some(crate::positions::PositionStore::new(
                     config.block_size,
                     num_lists,
-                ))
+                )?)
             } else {
                 None
             },
             config,
-        }
+        })
     }
 
     /// Shut the engine down, keeping only what a real deployment keeps:
@@ -567,7 +612,10 @@ impl SearchEngine {
                 return Err(recovery_err("truncated term dictionary"));
             }
             let len_bytes = doc_fs.read(terms_file, off, 2)?;
-            let len = u16::from_le_bytes(len_bytes[..].try_into().expect("2 bytes")) as u64;
+            let len = u16::from_le_bytes(
+                <[u8; 2]>::try_from(&len_bytes[..])
+                    .map_err(|_| recovery_err("short term dictionary length"))?,
+            ) as u64;
             off += 2;
             if off + len > terms_len {
                 return Err(recovery_err("truncated term dictionary entry"));
@@ -590,14 +638,20 @@ impl SearchEngine {
         if !meta_len.is_multiple_of(DOCMETA_RECORD as u64) {
             return Err(recovery_err("document metadata is not whole records"));
         }
-        let time_cfg = JumpConfig::new(config.block_size.max(2048), 32, 1 << 32);
+        let time_cfg = JumpConfig::try_new(config.block_size.max(2048), 32, 1 << 32)?;
         let mut commit_times = BlockJumpIndex::new(time_cfg);
         let mut docs = Vec::new();
         let mut total_tokens = 0u64;
         for i in 0..(meta_len / DOCMETA_RECORD as u64) {
             let rec = doc_fs.read(docmeta_file, i * DOCMETA_RECORD as u64, DOCMETA_RECORD)?;
-            let ts = Timestamp(u64::from_le_bytes(rec[0..8].try_into().expect("8 bytes")));
-            let len = u64::from_le_bytes(rec[8..16].try_into().expect("8 bytes"));
+            let ts = Timestamp(u64::from_le_bytes(
+                <[u8; 8]>::try_from(&rec[0..8])
+                    .map_err(|_| recovery_err("short document metadata record"))?,
+            ));
+            let len = u64::from_le_bytes(
+                <[u8; 8]>::try_from(&rec[8..16])
+                    .map_err(|_| recovery_err("short document metadata record"))?,
+            );
             if let Some(last) = docs.last() {
                 let last: &DocMeta = last;
                 if ts < last.timestamp {
@@ -738,22 +792,23 @@ impl SearchEngine {
 
     /// Intern a token, assigning the next dense [`TermId`] and persisting
     /// the assignment to the WORM term dictionary.
-    pub fn intern(&mut self, token: &str) -> TermId {
+    ///
+    /// Fails only on a WORM fault while appending the dictionary record
+    /// (the dictionary file is created at engine construction).
+    pub fn intern(&mut self, token: &str) -> Result<TermId, SearchError> {
         if let Some(&t) = self.dict.get(token) {
-            return t;
+            return Ok(t);
         }
         let t = TermId(self.term_names.len() as u32);
-        let file = self.doc_fs.open(TERMS_FILE).expect("created at startup");
+        let file = self.doc_fs.open(TERMS_FILE)?;
         let bytes = token.as_bytes();
         let mut rec = Vec::with_capacity(2 + bytes.len());
         rec.extend_from_slice(&(bytes.len() as u16).to_le_bytes());
         rec.extend_from_slice(bytes);
-        self.doc_fs
-            .append(file, &rec)
-            .expect("append-only dictionary");
+        self.doc_fs.append(file, &rec)?;
         self.term_names.push(token.to_string());
         self.dict.insert(token.to_string(), t);
-        t
+        Ok(t)
     }
 
     /// Look up a token without interning.
@@ -766,10 +821,10 @@ impl SearchEngine {
     /// this returns — the real-time property of §2.3.
     pub fn add_document(&mut self, text: &str, ts: Timestamp) -> Result<DocId, SearchError> {
         let with_positions = tokenizer::term_positions(text);
-        let mut entries: Vec<(TermId, Vec<u32>)> = with_positions
-            .into_iter()
-            .map(|(tok, ps)| (self.intern(&tok), ps))
-            .collect();
+        let mut entries: Vec<(TermId, Vec<u32>)> = Vec::with_capacity(with_positions.len());
+        for (tok, ps) in with_positions {
+            entries.push((self.intern(&tok)?, ps));
+        }
         entries.sort_unstable_by_key(|&(t, _)| t);
         let terms: Vec<(TermId, u32)> = entries
             .iter()
@@ -833,7 +888,7 @@ impl SearchEngine {
             }
         }
         {
-            let f = self.doc_fs.open(DOCMETA_FILE).expect("created at startup");
+            let f = self.doc_fs.open(DOCMETA_FILE)?;
             let mut rec = [0u8; DOCMETA_RECORD];
             rec[0..8].copy_from_slice(&ts.0.to_le_bytes());
             rec[8..16].copy_from_slice(&len.to_le_bytes());
@@ -854,10 +909,9 @@ impl SearchEngine {
             };
             self.store.append(list, term, doc, tf, cache)?;
             if jump_enabled {
-                let tag = self
-                    .store
-                    .tag_of(list, term)?
-                    .expect("tag allocated by append");
+                let tag = self.store.tag_of(list, term)?.ok_or_else(|| {
+                    SearchError::Internal(format!("tag for {term} in {list} missing after append"))
+                })?;
                 let posting = Posting::new(doc, tag, tf);
                 let cache = &mut self.cache;
                 self.jump[list.0 as usize].insert_with(posting, |t| match t {
@@ -1342,10 +1396,9 @@ impl SearchEngine {
     }
 }
 
-// The deprecated per-shape methods are exercised on purpose: they are thin
-// shims over `execute`, so these tests cover both the legacy surface and
-// the unified query path at once.
-#[allow(deprecated)]
+// All tests go through the unified `execute` path; the deprecated
+// per-shape shims keep their own round-trip coverage in
+// tests/concurrent_search.rs.
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1357,6 +1410,7 @@ mod tests {
             block_size: 512,
             ..Default::default()
         })
+        .unwrap()
     }
 
     fn engine_with_jump() -> SearchEngine {
@@ -1367,6 +1421,7 @@ mod tests {
             jump: Some(JumpConfig::new(1024, 4, 1 << 32)),
             ..Default::default()
         })
+        .unwrap()
     }
 
     #[test]
@@ -1377,7 +1432,10 @@ mod tests {
         let d2 = e
             .add_document("quick quick quick dog", Timestamp(3))
             .unwrap();
-        let hits = e.search("quick", 10);
+        let hits = e
+            .execute(&Query::disjunctive("quick", 10))
+            .map(|r| r.hits)
+            .unwrap_or_default();
         let docs: Vec<DocId> = hits.iter().map(|h| h.doc).collect();
         assert!(docs.contains(&d0) && docs.contains(&d2) && !docs.contains(&d1));
         // d2 mentions "quick" three times → ranks above d0.
@@ -1399,13 +1457,27 @@ mod tests {
             plain.add_document(d, Timestamp(i as u64)).unwrap();
             jumped.add_document(d, Timestamp(i as u64)).unwrap();
         }
-        let a = plain.search_conjunctive("alpha beta gamma").unwrap();
-        let b = jumped.search_conjunctive("alpha beta gamma").unwrap();
+        let a = plain
+            .execute(&Query::conjunctive("alpha beta gamma"))
+            .map(|r| r.docs())
+            .unwrap();
+        let b = jumped
+            .execute(&Query::conjunctive("alpha beta gamma"))
+            .map(|r| r.docs())
+            .unwrap();
         assert_eq!(a, vec![DocId(0), DocId(4)]);
         assert_eq!(a, b);
         // Unknown keyword → empty.
-        assert!(plain.search_conjunctive("alpha zeta").unwrap().is_empty());
-        assert!(jumped.search_conjunctive("alpha zeta").unwrap().is_empty());
+        assert!(plain
+            .execute(&Query::conjunctive("alpha zeta"))
+            .map(|r| r.docs())
+            .unwrap()
+            .is_empty());
+        assert!(jumped
+            .execute(&Query::conjunctive("alpha zeta"))
+            .map(|r| r.docs())
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -1459,7 +1531,12 @@ mod tests {
         e.add_document("stewart waksal imclone memo", Timestamp(2000))
             .unwrap();
         let hits = e
-            .search_conjunctive_in_range("stewart waksal imclone", Timestamp(900), Timestamp(1500))
+            .execute(&Query::conjunctive_in_range(
+                "stewart waksal imclone",
+                Timestamp(900),
+                Timestamp(1500),
+            ))
+            .map(|r| r.docs())
             .unwrap();
         assert_eq!(hits, vec![DocId(0)]);
     }
@@ -1509,6 +1586,7 @@ mod tests {
                 store_documents: false,
                 ..Default::default()
             })
+            .unwrap()
         };
         let mut unmerged = mk(MergeAssignment::unmerged(4096));
         let mut merged = mk(MergeAssignment::uniform(16));
@@ -1540,7 +1618,8 @@ mod tests {
         let mut e = SearchEngine::new(EngineConfig {
             assignment: MergeAssignment::unmerged(4),
             ..Default::default()
-        });
+        })
+        .unwrap();
         let ok = [(TermId(0), 1), (TermId(3), 1)];
         e.add_document_terms(&ok, Timestamp(1), None).unwrap();
         let bad = [(TermId(1), 1), (TermId(9), 1)];
@@ -1561,6 +1640,7 @@ mod tests {
             block_size: 512,
             ..Default::default()
         })
+        .unwrap()
     }
 
     #[test]
@@ -1578,22 +1658,39 @@ mod tests {
                 Timestamp(2),
             )
             .unwrap();
-        let phrase = e.search_phrase("earnings restatement").unwrap();
+        let phrase = e
+            .execute(&Query::phrase("earnings restatement"))
+            .map(|r| r.docs())
+            .unwrap();
         assert_eq!(phrase, vec![hit]);
         // The conjunctive query still finds both.
-        let conj = e.search_conjunctive("earnings restatement").unwrap();
+        let conj = e
+            .execute(&Query::conjunctive("earnings restatement"))
+            .map(|r| r.docs())
+            .unwrap();
         assert_eq!(conj, vec![hit, near_miss]);
         // Longer phrase, repeated words, and misses.
         assert_eq!(
-            e.search_phrase("the earnings restatement draft").unwrap(),
+            e.execute(&Query::phrase("the earnings restatement draft"))
+                .map(|r| r.docs())
+                .unwrap(),
             vec![hit]
         );
-        assert!(e.search_phrase("restatement earnings").unwrap().is_empty());
         assert!(e
-            .search_phrase("unknown words entirely")
+            .execute(&Query::phrase("restatement earnings"))
+            .map(|r| r.docs())
             .unwrap()
             .is_empty());
-        assert!(e.search_phrase("").unwrap().is_empty());
+        assert!(e
+            .execute(&Query::phrase("unknown words entirely"))
+            .map(|r| r.docs())
+            .unwrap()
+            .is_empty());
+        assert!(e
+            .execute(&Query::phrase(""))
+            .map(|r| r.docs())
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -1602,8 +1699,17 @@ mod tests {
         let d = e
             .add_document("buffalo buffalo buffalo graze", Timestamp(1))
             .unwrap();
-        assert_eq!(e.search_phrase("buffalo buffalo buffalo").unwrap(), vec![d]);
-        assert!(e.search_phrase("buffalo graze buffalo").unwrap().is_empty());
+        assert_eq!(
+            e.execute(&Query::phrase("buffalo buffalo buffalo"))
+                .map(|r| r.docs())
+                .unwrap(),
+            vec![d]
+        );
+        assert!(e
+            .execute(&Query::phrase("buffalo graze buffalo"))
+            .map(|r| r.docs())
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -1611,7 +1717,7 @@ mod tests {
         let mut e = engine();
         e.add_document("a b", Timestamp(1)).unwrap();
         assert!(matches!(
-            e.search_phrase("a b"),
+            e.execute(&Query::phrase("a b")).map(|r| r.docs()),
             Err(SearchError::NotPositional)
         ));
     }
@@ -1631,7 +1737,12 @@ mod tests {
         let config = e.config().clone();
         assert!(e.audit().is_clean());
         let r = SearchEngine::recover(e.into_parts(), config).unwrap();
-        assert_eq!(r.search_phrase("exact phrase").unwrap(), vec![hit]);
+        assert_eq!(
+            r.execute(&Query::phrase("exact phrase"))
+                .map(|r| r.docs())
+                .unwrap(),
+            vec![hit]
+        );
         assert!(r.audit().is_clean());
     }
 
@@ -1668,8 +1779,14 @@ mod tests {
             e.add_document(d, Timestamp(100 + i as u64)).unwrap();
         }
         let config = e.config().clone();
-        let disjunctive_before = e.search("alpha gamma", 10);
-        let conjunctive_before = e.search_conjunctive("alpha beta gamma").unwrap();
+        let disjunctive_before = e
+            .execute(&Query::disjunctive("alpha gamma", 10))
+            .map(|r| r.hits)
+            .unwrap_or_default();
+        let conjunctive_before = e
+            .execute(&Query::conjunctive("alpha beta gamma"))
+            .map(|r| r.docs())
+            .unwrap();
         let range_before = e
             .docs_in_time_range(Timestamp(101), Timestamp(102))
             .unwrap();
@@ -1677,9 +1794,16 @@ mod tests {
         let r = SearchEngine::recover(e.into_parts(), config).unwrap();
         assert_eq!(r.num_docs(), 4);
         assert_eq!(r.vocab_size(), 8);
-        assert_eq!(r.search("alpha gamma", 10), disjunctive_before);
         assert_eq!(
-            r.search_conjunctive("alpha beta gamma").unwrap(),
+            r.execute(&Query::disjunctive("alpha gamma", 10))
+                .map(|r| r.hits)
+                .unwrap_or_default(),
+            disjunctive_before
+        );
+        assert_eq!(
+            r.execute(&Query::conjunctive("alpha beta gamma"))
+                .map(|r| r.docs())
+                .unwrap(),
             conjunctive_before
         );
         assert_eq!(
@@ -1695,7 +1819,11 @@ mod tests {
             .add_document("alpha epsilon new record", Timestamp(200))
             .unwrap();
         assert_eq!(d, DocId(4));
-        assert!(r.search_conjunctive("alpha epsilon").unwrap().contains(&d));
+        assert!(r
+            .execute(&Query::conjunctive("alpha epsilon"))
+            .map(|r| r.docs())
+            .unwrap()
+            .contains(&d));
     }
 
     #[test]
@@ -1752,11 +1880,23 @@ mod tests {
     #[test]
     fn empty_queries_and_empty_engine() {
         let e = engine();
-        assert!(e.search("anything", 5).is_empty());
-        assert!(e.search_conjunctive("anything").unwrap().is_empty());
+        assert!(e
+            .execute(&Query::disjunctive("anything", 5))
+            .map(|r| r.hits)
+            .unwrap_or_default()
+            .is_empty());
+        assert!(e
+            .execute(&Query::conjunctive("anything"))
+            .map(|r| r.docs())
+            .unwrap()
+            .is_empty());
         let mut e = engine();
         e.add_document("something", Timestamp(0)).unwrap();
-        assert!(e.search("", 5).is_empty());
+        assert!(e
+            .execute(&Query::disjunctive("", 5))
+            .map(|r| r.hits)
+            .unwrap_or_default()
+            .is_empty());
         assert_eq!(e.conjunctive_terms(&[]).unwrap().0, Vec::<DocId>::new());
     }
 }

@@ -170,7 +170,7 @@ impl EpochManager {
         }
     }
 
-    fn roll_epoch(&mut self, ts: Timestamp) {
+    fn roll_epoch(&mut self, ts: Timestamp) -> Result<(), SearchError> {
         // Freeze the closing epoch's statistics for the next one.
         if !self.epochs.is_empty() {
             self.prev_doc_counts = Some(std::mem::replace(
@@ -189,13 +189,14 @@ impl EpochManager {
             assignment,
             jump,
             ..self.config.engine.clone()
-        });
+        })?;
         self.epochs.push(Epoch {
             engine,
             first_doc: self.total_docs,
             start_ts: ts,
             end_ts: ts,
         });
+        Ok(())
     }
 
     /// Whether the current epoch runs with a jump index (diagnostics).
@@ -214,9 +215,11 @@ impl EpochManager {
             Some(e) => e.engine.num_docs() >= self.config.docs_per_epoch,
         };
         if needs_new {
-            self.roll_epoch(ts);
+            self.roll_epoch(ts)?;
         }
-        let epoch = self.epochs.last_mut().expect("epoch opened");
+        let Some(epoch) = self.epochs.last_mut() else {
+            return Err(SearchError::Internal("no epoch open after roll".into()));
+        };
         epoch.engine.add_document_terms(terms, ts, None)?;
         epoch.end_ts = ts;
         for &(t, _) in terms {
@@ -299,7 +302,9 @@ impl EpochManager {
             let (docs, _) = e.engine.conjunctive_terms(terms)?;
             for d in docs {
                 let global = DocId(e.first_doc + d.0);
-                let ts = e.engine.document_timestamp(d).expect("committed doc");
+                let ts = e.engine.document_timestamp(d).ok_or_else(|| {
+                    SearchError::Internal(format!("epoch-local {d} has no timestamp"))
+                })?;
                 if ts >= from && ts <= to {
                     out.push(global);
                 }

@@ -1,0 +1,159 @@
+//! The workspace error taxonomy.
+//!
+//! Every fallible operation in the production crates returns a typed
+//! error, and every such error converts into [`TksError`] via `From`, so
+//! callers at any layer can hold one error type without losing the
+//! structure underneath.  The design follows the paper's stance on
+//! invariant violations: a failed check during a compliance lookup is
+//! *evidence* to report to the investigator, never a reason to abort —
+//! a crash mid-query is indistinguishable from a hidden record, so the
+//! production crates contain no `panic!`/`unwrap`/`expect` outside test
+//! code (enforced by `cargo xtask audit`, rule `no-panic-in-prod`).
+//!
+//! Layering (each layer's error converts into the one above):
+//!
+//! ```text
+//! TksError (this module)
+//! ├── SearchError        — engine, service, epoch layers (tks-core)
+//! │   ├── WormError      — device/file-system faults (tks-worm)
+//! │   ├── ListError      — posting-list store (tks-postings)
+//! │   ├── JumpError      — jump indexes (tks-jump)
+//! │   ├── TamperEvidence — violated trust invariants (tks-jump)
+//! │   └── ConfigError    — rejected engine configurations
+//! ├── CodecError         — posting/tag encodings (tks-postings)
+//! ├── PositionError      — positional sidecar (tks-core)
+//! └── PersistError       — serialized WORM images (tks-worm)
+//! ```
+
+use crate::engine::{ConfigError, SearchError};
+use crate::positions::PositionError;
+use tks_jump::{JumpError, TamperEvidence};
+use tks_postings::list::ListError;
+use tks_postings::CodecError;
+use tks_worm::{PersistError, WormError};
+
+/// Top of the workspace error taxonomy: any error a trustworthy-search
+/// deployment can surface.
+///
+/// All production-crate error types convert in via `From`, so `?` works
+/// from any layer:
+///
+/// ```
+/// use tks_core::{EngineConfig, SearchEngine, TksError};
+///
+/// fn build() -> Result<SearchEngine, TksError> {
+///     Ok(SearchEngine::new(EngineConfig::default())?)
+/// }
+/// assert!(build().is_ok());
+/// ```
+#[derive(Debug)]
+pub enum TksError {
+    /// Engine/query-layer failure (itself a taxonomy over the storage
+    /// layers — see [`SearchError`]).
+    Search(SearchError),
+    /// Posting or tag-code encoding failure.
+    Codec(CodecError),
+    /// Positional-sidecar failure.
+    Position(PositionError),
+    /// Serialized WORM image failure.
+    Persist(PersistError),
+}
+
+impl std::fmt::Display for TksError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TksError::Search(e) => write!(f, "{e}"),
+            TksError::Codec(e) => write!(f, "{e}"),
+            TksError::Position(e) => write!(f, "{e}"),
+            TksError::Persist(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for TksError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TksError::Search(e) => Some(e),
+            TksError::Codec(e) => Some(e),
+            TksError::Position(e) => Some(e),
+            TksError::Persist(e) => Some(e),
+        }
+    }
+}
+
+impl From<SearchError> for TksError {
+    fn from(e: SearchError) -> Self {
+        TksError::Search(e)
+    }
+}
+impl From<CodecError> for TksError {
+    fn from(e: CodecError) -> Self {
+        TksError::Codec(e)
+    }
+}
+impl From<PositionError> for TksError {
+    fn from(e: PositionError) -> Self {
+        TksError::Position(e)
+    }
+}
+impl From<PersistError> for TksError {
+    fn from(e: PersistError) -> Self {
+        TksError::Persist(e)
+    }
+}
+impl From<WormError> for TksError {
+    fn from(e: WormError) -> Self {
+        TksError::Search(SearchError::Worm(e))
+    }
+}
+impl From<ListError> for TksError {
+    fn from(e: ListError) -> Self {
+        TksError::Search(SearchError::List(e))
+    }
+}
+impl From<JumpError> for TksError {
+    fn from(e: JumpError) -> Self {
+        TksError::Search(SearchError::Jump(e))
+    }
+}
+impl From<TamperEvidence> for TksError {
+    fn from(e: TamperEvidence) -> Self {
+        TksError::Search(SearchError::Tamper(e))
+    }
+}
+impl From<ConfigError> for TksError {
+    fn from(e: ConfigError) -> Self {
+        TksError::Search(SearchError::Config(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_layer_converts_in() {
+        let worm: TksError = WormError::NoSuchBlock(tks_worm::BlockId(7)).into();
+        assert!(matches!(worm, TksError::Search(SearchError::Worm(_))));
+
+        let codec: TksError = CodecError::EmptyCodebook.into();
+        assert!(matches!(codec, TksError::Codec(_)));
+
+        let tamper: TksError = TamperEvidence {
+            invariant: "t",
+            detail: "d".into(),
+        }
+        .into();
+        assert!(matches!(tamper, TksError::Search(SearchError::Tamper(_))));
+
+        let persist: TksError = PersistError("short".into()).into();
+        assert!(matches!(persist, TksError::Persist(_)));
+    }
+
+    #[test]
+    fn display_and_source_chain() {
+        let e: TksError = CodecError::TagOverflow { tag: 1 << 25 }.into();
+        assert!(e.to_string().contains("24-bit"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -31,11 +31,13 @@ pub mod buffered;
 pub mod cost;
 pub mod engine;
 pub mod epoch;
+pub mod error;
 pub mod merge;
 pub mod positions;
 pub mod query;
 pub mod rank_attack;
 pub mod ranking;
+pub mod sched;
 pub mod service;
 pub mod sim;
 pub mod tokenizer;
@@ -43,6 +45,7 @@ pub mod zigzag;
 
 pub use cost::{cumulative_workload_curve, unmerged_workload_cost, workload_cost};
 pub use engine::{ConfigError, EngineConfig, SearchEngine, SearchError};
+pub use error::TksError;
 pub use merge::MergeAssignment;
 pub use query::{Query, QueryResponse, TermSelector, TimeRange};
 pub use ranking::RankingModel;

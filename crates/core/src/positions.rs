@@ -92,7 +92,7 @@ struct PerList {
 /// ```
 /// use tks_core::positions::PositionStore;
 ///
-/// let mut store = PositionStore::new(4096, 2);
+/// let mut store = PositionStore::new(4096, 2).unwrap();
 /// store.append(0, &[3, 17, 40]).unwrap();   // record 0 of list 0
 /// store.append(0, &[5]).unwrap();           // record 1 of list 0
 /// assert_eq!(store.read(0, 0).unwrap(), vec![3, 17, 40]);
@@ -107,17 +107,16 @@ pub struct PositionStore {
 impl PositionStore {
     /// Create an empty store for `num_lists` posting lists (eager file
     /// creation, for the same adversarial reason as the list store).
-    pub fn new(block_size: usize, num_lists: usize) -> Self {
+    pub fn new(block_size: usize, num_lists: usize) -> Result<Self, PositionError> {
         let mut fs = WormFs::new(WormDevice::new(block_size.max(64)));
-        let lists = (0..num_lists)
-            .map(|l| PerList {
-                file: fs
-                    .create(&format!("positions/{l}"), u64::MAX)
-                    .expect("fresh fs"),
+        let mut lists = Vec::with_capacity(num_lists);
+        for l in 0..num_lists {
+            lists.push(PerList {
+                file: fs.create(&format!("positions/{l}"), u64::MAX)?,
                 offsets: Vec::new(),
-            })
-            .collect();
-        Self { fs, lists }
+            });
+        }
+        Ok(Self { fs, lists })
     }
 
     /// Number of lists.
@@ -260,7 +259,7 @@ mod tests {
 
     #[test]
     fn append_read_across_lists() {
-        let mut s = PositionStore::new(64, 3);
+        let mut s = PositionStore::new(64, 3).unwrap();
         s.append(0, &[1, 5, 9]).unwrap();
         s.append(2, &[0]).unwrap();
         s.append(0, &[200, 1_000_000]).unwrap();
@@ -273,14 +272,14 @@ mod tests {
 
     #[test]
     fn empty_position_records_allowed() {
-        let mut s = PositionStore::new(64, 1);
+        let mut s = PositionStore::new(64, 1).unwrap();
         s.append(0, &[]).unwrap();
         assert_eq!(s.read(0, 0).unwrap(), Vec::<u32>::new());
     }
 
     #[test]
     fn recovery_roundtrip_and_lockstep_check() {
-        let mut s = PositionStore::new(64, 2);
+        let mut s = PositionStore::new(64, 2).unwrap();
         s.append(0, &[3, 8]).unwrap();
         s.append(0, &[2]).unwrap();
         s.append(1, &[7, 9, 11]).unwrap();
@@ -288,14 +287,14 @@ mod tests {
         assert_eq!(r.read(0, 0).unwrap(), vec![3, 8]);
         assert_eq!(r.read(1, 0).unwrap(), vec![7, 9, 11]);
         // Lockstep mismatch refused.
-        let mut s = PositionStore::new(64, 1);
+        let mut s = PositionStore::new(64, 1).unwrap();
         s.append(0, &[1]).unwrap();
         assert!(PositionStore::recover(s.into_fs(), &[2]).is_err());
     }
 
     #[test]
     fn recovery_refuses_garbage() {
-        let mut s = PositionStore::new(64, 1);
+        let mut s = PositionStore::new(64, 1).unwrap();
         s.append(0, &[1, 2]).unwrap();
         let f = s.fs.open("positions/0").unwrap();
         s.fs.append(f, &[0xFF]).unwrap(); // dangling continuation bit
@@ -321,7 +320,7 @@ mod tests {
         #[test]
         fn prop_store_roundtrip(records in proptest::collection::vec(
             proptest::collection::btree_set(0u32..100_000, 0..20), 1..30)) {
-            let mut s = PositionStore::new(64, 1);
+            let mut s = PositionStore::new(64, 1).unwrap();
             let records: Vec<Vec<u32>> =
                 records.into_iter().map(|set| set.into_iter().collect()).collect();
             for r in &records {

@@ -171,6 +171,7 @@ mod tests {
             block_size: 512,
             ..Default::default()
         })
+        .unwrap()
     }
 
     #[test]

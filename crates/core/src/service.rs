@@ -49,7 +49,7 @@ struct Shared {
 /// use tks_core::service::service;
 /// use tks_postings::Timestamp;
 ///
-/// let (mut writer, searcher) = service(SearchEngine::new(EngineConfig::default()));
+/// let (mut writer, searcher) = service(SearchEngine::new(EngineConfig::default()).unwrap());
 /// writer.commit("quarterly earnings restatement", Timestamp(100)).unwrap();
 /// let resp = searcher.execute(Query::disjunctive("earnings", 10)).unwrap();
 /// assert_eq!(resp.hits.len(), 1);
@@ -108,7 +108,11 @@ impl IndexWriter {
     where
         I: IntoIterator<Item = (&'a str, Timestamp)>,
     {
-        let mut engine = self.shared.engine.write().expect("engine lock poisoned");
+        let mut engine = self
+            .shared
+            .engine
+            .write()
+            .unwrap_or_else(|p| p.into_inner());
         let mut committed = Vec::new();
         let mut failure = None;
         for (text, ts) in docs {
@@ -135,7 +139,11 @@ impl IndexWriter {
         &mut self,
         op: impl FnOnce(&mut SearchEngine) -> Result<R, SearchError>,
     ) -> Result<R, SearchError> {
-        let mut engine = self.shared.engine.write().expect("engine lock poisoned");
+        let mut engine = self
+            .shared
+            .engine
+            .write()
+            .unwrap_or_else(|p| p.into_inner());
         let result = op(&mut engine);
         let visible = engine.num_docs();
         drop(engine);
@@ -149,7 +157,11 @@ impl IndexWriter {
     /// document commit (audits, attack harnesses, recovery drills).  The
     /// watermark is re-published afterwards.
     pub fn with_engine<R>(&mut self, f: impl FnOnce(&mut SearchEngine) -> R) -> R {
-        let mut engine = self.shared.engine.write().expect("engine lock poisoned");
+        let mut engine = self
+            .shared
+            .engine
+            .write()
+            .unwrap_or_else(|p| p.into_inner());
         let result = f(&mut engine);
         let visible = engine.num_docs();
         drop(engine);
@@ -173,9 +185,13 @@ impl IndexWriter {
     /// Tear the service down and return the engine, if no searcher
     /// handles remain.  Otherwise `Err(self)` (the searchers would be
     /// left dangling).
+    // audit:allow(error-taxonomy) — try_unwrap idiom: Err hands `self` back.
     pub fn try_into_engine(self) -> Result<SearchEngine, IndexWriter> {
         match Arc::try_unwrap(self.shared) {
-            Ok(shared) => Ok(shared.engine.into_inner().expect("engine lock poisoned")),
+            Ok(shared) => Ok(shared
+                .engine
+                .into_inner()
+                .unwrap_or_else(|p| p.into_inner())),
             Err(shared) => Err(IndexWriter { shared }),
         }
     }
@@ -243,6 +259,7 @@ impl Searcher {
         let indexed: Vec<(usize, Query)> = queries.into_iter().enumerate().collect();
         let mut slots: Vec<Option<Result<QueryResponse, SearchError>>> =
             (0..indexed.len()).map(|_| None).collect();
+        let mut panicked = false;
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|t| {
@@ -260,14 +277,29 @@ impl Searcher {
                 })
                 .collect();
             for h in handles {
-                for (i, r) in h.join().expect("query thread panicked") {
-                    slots[i] = Some(r);
+                match h.join() {
+                    Ok(results) => {
+                        for (i, r) in results {
+                            slots[i] = Some(r);
+                        }
+                    }
+                    // A panicking query thread must not take the service
+                    // down with it; its queries report the failure instead.
+                    Err(_) => panicked = true,
                 }
             }
         });
         slots
             .into_iter()
-            .map(|s| s.expect("every slot filled"))
+            .map(|s| {
+                s.unwrap_or_else(|| {
+                    Err(SearchError::Internal(if panicked {
+                        "query thread panicked before filling its slots".into()
+                    } else {
+                        "query slot left unfilled".into()
+                    }))
+                })
+            })
             .collect()
     }
 
@@ -306,7 +338,7 @@ impl Searcher {
     }
 
     fn read_engine(&self) -> RwLockReadGuard<'_, SearchEngine> {
-        self.shared.engine.read().expect("engine lock poisoned")
+        self.shared.engine.read().unwrap_or_else(|p| p.into_inner())
     }
 }
 
@@ -317,12 +349,15 @@ mod tests {
     use crate::merge::MergeAssignment;
 
     fn small_service() -> (IndexWriter, Searcher) {
-        service(SearchEngine::new(EngineConfig {
-            assignment: MergeAssignment::uniform(8),
-            block_size: 512,
-            cache_bytes: 1 << 20,
-            ..Default::default()
-        }))
+        service(
+            SearchEngine::new(EngineConfig {
+                assignment: MergeAssignment::uniform(8),
+                block_size: 512,
+                cache_bytes: 1 << 20,
+                ..Default::default()
+            })
+            .unwrap(),
+        )
     }
 
     #[test]

@@ -104,7 +104,7 @@ pub fn jump_insertion_ios(
     jump: JumpConfig,
     num_docs: u64,
     cache_bytes: u64,
-) -> (InsertionSimResult, u64) {
+) -> Result<(InsertionSimResult, u64), tks_jump::JumpError> {
     let mut cache = StorageCache::new(CacheConfig::new(cache_bytes, jump.block_size as u32));
     let mut lists: Vec<BlockJumpIndex<u64>> = (0..assignment.num_lists())
         .map(|_| BlockJumpIndex::new(jump))
@@ -114,35 +114,33 @@ pub fn jump_insertion_ios(
         for &(term, _tf) in &doc.terms {
             let l = assignment.list_of(term).0;
             let cache = &mut cache;
-            lists[l as usize]
-                .insert_with(doc.id.0, |t| match t {
-                    Touch::Append {
-                        block,
-                        was_empty,
-                        fills,
-                    } => {
-                        cache.access(
-                            jump_block(l, block),
-                            AccessKind::Append { was_empty, fills },
-                        );
-                    }
-                    Touch::PointerSet { block, .. } => {
-                        cache.access(jump_block(l, block), AccessKind::Update);
-                    }
-                })
-                .expect("doc ids are monotone");
+            lists[l as usize].insert_with(doc.id.0, |t| match t {
+                Touch::Append {
+                    block,
+                    was_empty,
+                    fills,
+                } => {
+                    cache.access(
+                        jump_block(l, block),
+                        AccessKind::Append { was_empty, fills },
+                    );
+                }
+                Touch::PointerSet { block, .. } => {
+                    cache.access(jump_block(l, block), AccessKind::Update);
+                }
+            })?;
             postings += 1;
         }
     }
     let pointers_set = lists.iter().map(|x| x.stats().pointers_set).sum();
-    (
+    Ok((
         InsertionSimResult {
             docs: num_docs,
             postings,
             stats: cache.stats(),
         },
         pointers_set,
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -202,8 +200,10 @@ mod tests {
         let jump = JumpConfig::new(1024, 32, 1 << 32);
         let assignment = MergeAssignment::uniform(m);
         let plain = insertion_ios(&g, &assignment, 300, m as u64 * 1024, 1024);
-        let (small_cache, ptrs) = jump_insertion_ios(&g, &assignment, jump, 300, m as u64 * 1024);
-        let (big_cache, _) = jump_insertion_ios(&g, &assignment, jump, 300, 8 * m as u64 * 1024);
+        let (small_cache, ptrs) =
+            jump_insertion_ios(&g, &assignment, jump, 300, m as u64 * 1024).unwrap();
+        let (big_cache, _) =
+            jump_insertion_ios(&g, &assignment, jump, 300, 8 * m as u64 * 1024).unwrap();
         assert!(ptrs > 0, "multi-block lists must set pointers");
         // Jump maintenance adds I/O at tight cache sizes…
         assert!(small_cache.stats.total_ios() >= plain.stats.total_ios());

@@ -10,6 +10,7 @@
 //! The first two run on a real [`SearchEngine`]; the baseline builds
 //! actual [`AppendOnlyBPlusTree`]s for the queried terms.
 
+use crate::engine::SearchError;
 use crate::engine::{EngineConfig, SearchEngine};
 use crate::zigzag::{zigzag_join_multi, BTreeCursor, DocCursor};
 use std::collections::{HashMap, HashSet};
@@ -23,15 +24,13 @@ pub fn build_engine(
     gen: &DocumentGenerator,
     num_docs: u64,
     mut config: EngineConfig,
-) -> SearchEngine {
+) -> Result<SearchEngine, SearchError> {
     config.store_documents = false;
-    let mut engine = SearchEngine::new(config);
+    let mut engine = SearchEngine::new(config)?;
     for doc in gen.docs(0..num_docs) {
-        engine
-            .add_document_terms(&doc.terms, doc.timestamp, None)
-            .expect("synthetic corpus is well-formed");
+        engine.add_document_terms(&doc.terms, doc.timestamp, None)?;
     }
-    engine
+    Ok(engine)
 }
 
 /// Blocks a sequential scan-merge join reads: every block of every
@@ -61,7 +60,7 @@ pub fn build_term_btrees(
     num_docs: u64,
     needed: &HashSet<TermId>,
     cfg: BTreeConfig,
-) -> HashMap<TermId, AppendOnlyBPlusTree> {
+) -> Result<HashMap<TermId, AppendOnlyBPlusTree>, SearchError> {
     let mut trees: HashMap<TermId, AppendOnlyBPlusTree> = needed
         .iter()
         .map(|&t| (t, AppendOnlyBPlusTree::new(cfg)))
@@ -69,12 +68,15 @@ pub fn build_term_btrees(
     for doc in gen.docs(0..num_docs) {
         for &(t, _) in &doc.terms {
             if let Some(tree) = trees.get_mut(&t) {
-                tree.insert(doc.id.0)
-                    .expect("doc ids are strictly increasing");
+                tree.insert(doc.id.0).map_err(|k| {
+                    SearchError::Internal(format!(
+                        "generator emitted non-increasing doc id {k} for {t}"
+                    ))
+                })?;
             }
         }
     }
-    trees
+    Ok(trees)
 }
 
 /// Conjunctive query over per-term B+ trees via zigzag join; returns the
@@ -138,7 +140,8 @@ mod tests {
                 jump: Some(jump_cfg),
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         let without = build_engine(
             &g,
             400,
@@ -147,7 +150,8 @@ mod tests {
                 jump: None,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         let (a, jump_blocks) = with_jump.conjunctive_terms(&terms).unwrap();
         let (b, scan_blocks) = without.conjunctive_terms(&terms).unwrap();
         assert_eq!(a, expect);
@@ -156,7 +160,7 @@ mod tests {
         assert!(jump_blocks > 0 && scan_blocks > 0);
 
         let needed: HashSet<TermId> = terms.iter().copied().collect();
-        let trees = build_term_btrees(&g, 400, &needed, BTreeConfig::tiny(32, 32));
+        let trees = build_term_btrees(&g, 400, &needed, BTreeConfig::tiny(32, 32)).unwrap();
         let (c, btree_blocks) = btree_conjunctive_cost(&trees, &terms).unwrap();
         assert_eq!(c, expect);
         assert!(btree_blocks > 0);

@@ -86,7 +86,9 @@ pub fn zigzag_join_multi(mut cursors: Vec<Box<dyn DocCursor + '_>>) -> (Vec<DocI
     let mut blocks = 0u64;
     if cursors.len() == 1 {
         // Degenerate conjunction: stream the single list.
-        let mut c = cursors.pop().expect("one cursor");
+        let Some(mut c) = cursors.pop() else {
+            return (Vec::new(), 0);
+        };
         let mut out = Vec::new();
         let mut cur = c.start();
         while let Some(d) = cur {
@@ -96,8 +98,9 @@ pub fn zigzag_join_multi(mut cursors: Vec<Box<dyn DocCursor + '_>>) -> (Vec<DocI
         return (out, c.blocks_read());
     }
     let mut iter = cursors.into_iter();
-    let mut a = iter.next().expect("≥2 cursors");
-    let mut b = iter.next().expect("≥2 cursors");
+    let (Some(mut a), Some(mut b)) = (iter.next(), iter.next()) else {
+        return (Vec::new(), blocks);
+    };
     let mut partial = zigzag_join(a.as_mut(), b.as_mut());
     blocks += a.blocks_read() + b.blocks_read();
     for mut c in iter {

@@ -109,11 +109,20 @@ struct JBlock<E> {
 }
 
 impl<E: JumpEntry> JBlock<E> {
-    fn largest(&self) -> u64 {
-        self.entries
-            .last()
-            .expect("blocks are created non-empty")
-            .jump_key()
+    /// Largest key in the block; `None` only for an empty block, which
+    /// legitimate operation never produces (blocks are created non-empty)
+    /// and which callers therefore treat as tamper evidence.
+    fn largest(&self) -> Option<u64> {
+        self.entries.last().map(|e| e.jump_key())
+    }
+}
+
+/// Tamper evidence for an empty block encountered mid-walk: legitimate
+/// operation creates every block with at least one entry.
+fn empty_block_evidence(invariant: &'static str, b: u32) -> TamperEvidence {
+    TamperEvidence {
+        invariant,
+        detail: format!("block {b} holds no entries"),
     }
 }
 
@@ -237,7 +246,11 @@ impl<E: JumpEntry> BlockJumpIndex<E> {
             self.stats.blocks_allocated += 1;
         }
         let tail_idx = self.blocks.len() as u32 - 1;
-        let tail = self.blocks.last_mut().expect("tail exists");
+        let Some(tail) = self.blocks.last_mut() else {
+            return Err(JumpError::Internal(
+                "tail block missing after allocation".into(),
+            ));
+        };
         let was_empty = tail.entries.is_empty();
         tail.entries.push(entry);
         let fills = tail.entries.len() >= p;
@@ -264,7 +277,9 @@ impl<E: JumpEntry> BlockJumpIndex<E> {
             if b == tail_idx {
                 return Ok(());
             }
-            let nb = self.blocks[b as usize].largest();
+            let Some(nb) = self.blocks[b as usize].largest() else {
+                return Err(JumpError::Tamper(empty_block_evidence("insert-walk", b)));
+            };
             // Step 10 assert.
             if nb >= k {
                 return Err(JumpError::Tamper(TamperEvidence {
@@ -303,7 +318,9 @@ impl<E: JumpEntry> BlockJumpIndex<E> {
         loop {
             on_visit(b);
             let blk = &self.blocks[b as usize];
-            let nb = blk.largest();
+            let Some(nb) = blk.largest() else {
+                return Err(empty_block_evidence("lookup-walk", b));
+            };
             if k <= nb {
                 // Step 5: search within the block.
                 return Ok(blk.entries.iter().any(|e| e.jump_key() == k));
@@ -360,7 +377,9 @@ impl<E: JumpEntry> BlockJumpIndex<E> {
     ) -> Result<Option<Position>, TamperEvidence> {
         on_visit(b);
         let blk = &self.blocks[b as usize];
-        let nb = blk.largest();
+        let Some(nb) = blk.largest() else {
+            return Err(empty_block_evidence("find-geq-walk", b));
+        };
         if k <= nb {
             // Blocks hold contiguous runs of the global sequence, so the
             // first in-block entry ≥ k is the global successor.
@@ -380,7 +399,7 @@ impl<E: JumpEntry> BlockJumpIndex<E> {
             // structural tampering is caught by `audit` and the per-jump
             // order check in `lookup_with` instead.
             if let Some(pos) = self.find_geq_rec(target, k, on_visit)? {
-                debug_assert!(self.entry_at(pos).expect("valid position").jump_key() >= k);
+                debug_assert!(self.entry_at(pos).is_some_and(|e| e.jump_key() >= k));
                 return Ok(Some(pos));
             }
         }
@@ -469,7 +488,9 @@ impl<E: JumpEntry> BlockJumpIndex<E> {
             }
         }
         for (bi, blk) in self.blocks.iter().enumerate() {
-            let nb = blk.largest();
+            let Some(nb) = blk.largest() else {
+                return Err(empty_block_evidence("audit-empty-block", bi as u32));
+            };
             for flat in 0..self.cfg.pointer_slots() {
                 let t = blk.ptrs[flat as usize];
                 if t == NULL {

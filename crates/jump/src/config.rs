@@ -56,6 +56,41 @@ impl JumpConfig {
         cfg
     }
 
+    /// Fallible variant of [`JumpConfig::new`] for configurations that
+    /// originate outside the program text (e.g. an [`EngineConfig`]
+    /// deserialized from an untrusted source): returns
+    /// [`crate::JumpError::Geometry`] instead of panicking.
+    ///
+    /// [`EngineConfig`]: https://docs.rs/tks-core
+    pub fn try_new(
+        block_size: usize,
+        branching: u32,
+        max_key: u64,
+    ) -> Result<Self, crate::JumpError> {
+        if branching < 2 {
+            return Err(crate::JumpError::Geometry(format!(
+                "branching factor {branching} must be at least 2"
+            )));
+        }
+        if max_key < 2 {
+            return Err(crate::JumpError::Geometry(format!(
+                "max_key {max_key} must be at least 2"
+            )));
+        }
+        let cfg = Self {
+            block_size,
+            branching,
+            max_key,
+        };
+        if cfg.entries_per_block() < 1 {
+            return Err(crate::JumpError::Geometry(format!(
+                "block size {block_size} too small for pointer region of {} bytes",
+                cfg.pointer_region_bytes()
+            )));
+        }
+        Ok(cfg)
+    }
+
     /// Number of jump levels `⌈log_B N⌉`: the number of distinct exponents
     /// `i` with `0 ≤ i < log_B N`.
     pub fn levels(&self) -> u32 {
@@ -70,9 +105,14 @@ impl JumpConfig {
         levels.max(1)
     }
 
-    /// Number of pointer slots per block: `(B−1)·levels`.
+    /// Number of pointer slots per block: `(B−1)·levels`, saturated at
+    /// `u32::MAX` (an adversarial branching factor must not wrap the slot
+    /// arithmetic — it merely produces a geometry no block can hold, which
+    /// [`JumpConfig::try_new`] then rejects).
     pub fn pointer_slots(&self) -> u32 {
-        (self.branching - 1) * self.levels()
+        (self.branching.saturating_sub(1) as u64)
+            .saturating_mul(self.levels() as u64)
+            .min(u32::MAX as u64) as u32
     }
 
     /// Bytes reserved for jump pointers per block (4 bytes per slot, the

@@ -99,6 +99,12 @@ pub enum JumpError {
     Tamper(TamperEvidence),
     /// WORM persistence failure.
     Worm(tks_worm::WormError),
+    /// The requested geometry cannot hold a single entry per block, or a
+    /// parameter is out of range (see [`JumpConfig::try_new`]).
+    Geometry(String),
+    /// An internal structural invariant failed in a way that is neither
+    /// tamper evidence nor caller error — reported instead of aborting.
+    Internal(String),
 }
 
 impl std::fmt::Display for JumpError {
@@ -112,6 +118,8 @@ impl std::fmt::Display for JumpError {
             }
             JumpError::Tamper(t) => write!(f, "{t}"),
             JumpError::Worm(e) => write!(f, "worm error: {e}"),
+            JumpError::Geometry(msg) => write!(f, "invalid jump geometry: {msg}"),
+            JumpError::Internal(msg) => write!(f, "internal invariant failure: {msg}"),
         }
     }
 }

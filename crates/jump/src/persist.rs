@@ -33,6 +33,22 @@ use tks_worm::{FileHandle, WormFs};
 const NULL: u32 = u32::MAX;
 const PTR_RECORD: usize = 12;
 
+/// Decode one little-endian `u32` field of a pointer record.  A short
+/// record is tamper evidence (the length check above guarantees whole
+/// records, so this cannot fire in legitimate operation) — refused, not
+/// panicked on.
+fn ptr_field(rec: &[u8], off: usize) -> Result<u32, JumpError> {
+    rec.get(off..off + 4)
+        .and_then(|s| <[u8; 4]>::try_from(s).ok())
+        .map(u32::from_le_bytes)
+        .ok_or_else(|| {
+            JumpError::Tamper(TamperEvidence {
+                invariant: "recover-ptr-record",
+                detail: format!("pointer record too short for field at offset {off}"),
+            })
+        })
+}
+
 /// A [`BlockJumpIndex`] durably mirrored onto WORM storage.
 ///
 /// # Example
@@ -172,9 +188,9 @@ impl<E: JumpEntry> WormJumpIndex<E> {
             let rec = recovered
                 .fs
                 .read(recovered.ptrs, r * PTR_RECORD as u64, PTR_RECORD)?;
-            let block = u32::from_le_bytes(rec[0..4].try_into().expect("4 bytes"));
-            let flat = u32::from_le_bytes(rec[4..8].try_into().expect("4 bytes"));
-            let target = u32::from_le_bytes(rec[8..12].try_into().expect("4 bytes"));
+            let block = ptr_field(&rec, 0)?;
+            let flat = ptr_field(&rec, 4)?;
+            let target = ptr_field(&rec, 8)?;
             recovered.idx.apply_recovered_pointer(block, flat, target)?;
         }
 

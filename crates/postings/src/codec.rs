@@ -48,6 +48,44 @@ pub struct Posting {
     pub tf: u8,
 }
 
+/// Errors from the posting/tag codec layer.
+///
+/// Part of the workspace error taxonomy: `tks_core::TksError` absorbs
+/// this type via `From`, so codec failures propagate as typed errors
+/// instead of panics anywhere on the investigator-facing read path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodecError {
+    /// A document ID exceeds the paper's `N = 2³²` sizing and cannot be
+    /// represented in the 8-byte posting.
+    DocIdOverflow {
+        /// The offending document ID.
+        doc: u64,
+    },
+    /// A term tag exceeds the 24-bit tag field.
+    TagOverflow {
+        /// The offending tag.
+        tag: u32,
+    },
+    /// A tag code was requested over an empty tag universe.
+    EmptyCodebook,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::DocIdOverflow { doc } => {
+                write!(f, "document id {doc} exceeds the 2^32 posting sizing")
+            }
+            CodecError::TagOverflow { tag } => {
+                write!(f, "term tag {tag} exceeds the 24-bit tag field")
+            }
+            CodecError::EmptyCodebook => write!(f, "tag code requested over zero tags"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
 impl Posting {
     /// Construct a posting, saturating `tf` and checking ranges in debug
     /// builds.
@@ -59,6 +97,19 @@ impl Posting {
             term_tag,
             tf: tf.min(255) as u8,
         }
+    }
+
+    /// Range-checked construction: rejects IDs and tags that the 8-byte
+    /// encoding cannot represent instead of silently truncating them in
+    /// release builds.
+    pub fn try_new(doc: DocId, term_tag: u32, tf: u32) -> Result<Self, CodecError> {
+        if doc.0 > MAX_DOC_ID {
+            return Err(CodecError::DocIdOverflow { doc: doc.0 });
+        }
+        if term_tag > MAX_TERM_TAG {
+            return Err(CodecError::TagOverflow { tag: term_tag });
+        }
+        Ok(Self::new(doc, term_tag, tf))
     }
 }
 

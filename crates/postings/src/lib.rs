@@ -29,6 +29,6 @@ pub mod list;
 pub mod tagcode;
 pub mod types;
 
-pub use codec::{decode_posting, encode_posting, Posting, POSTING_SIZE};
+pub use codec::{decode_posting, encode_posting, CodecError, Posting, POSTING_SIZE};
 pub use list::{ListStore, PostingListReader};
 pub use types::{DocId, ListId, TermId, Timestamp};

@@ -44,6 +44,8 @@ pub enum ListError {
     },
     /// List ID out of range.
     NoSuchList(ListId),
+    /// The store geometry (block size vs. posting size) is invalid.
+    Geometry(String),
     /// Recovery from raw WORM bytes found an inconsistency — evidence of
     /// tampering or corruption, never of legitimate operation.
     Recovery(String),
@@ -65,6 +67,7 @@ impl std::fmt::Display for ListError {
                 write!(f, "duplicate (term, {doc}) append to {list}")
             }
             ListError::NoSuchList(l) => write!(f, "no such list: {l}"),
+            ListError::Geometry(msg) => write!(f, "invalid store geometry: {msg}"),
             ListError::Recovery(msg) => write!(f, "recovery refused: {msg}"),
         }
     }
@@ -104,6 +107,16 @@ impl ListMeta {
 
 /// Size of one on-WORM tag-dictionary record: `(list, term, tag)`.
 const DICT_RECORD: usize = 12;
+
+/// Decode a little-endian `u32` at `off` in `rec`, refusing short records
+/// as recovery evidence instead of panicking (the investigator-facing
+/// read path must never abort).
+fn u32_at(rec: &[u8], off: usize) -> Result<u32, ListError> {
+    rec.get(off..off + 4)
+        .and_then(|s| <[u8; 4]>::try_from(s).ok())
+        .map(u32::from_le_bytes)
+        .ok_or_else(|| ListError::Recovery(format!("record too short for u32 at offset {off}")))
+}
 /// Size of the on-WORM store header: `(block_size, num_lists)`.
 const META_RECORD: usize = 12;
 
@@ -114,7 +127,7 @@ const META_RECORD: usize = 12;
 /// ```
 /// use tks_postings::{DocId, ListId, ListStore, TermId};
 ///
-/// let mut store = ListStore::new(8192, 4);
+/// let mut store = ListStore::new(8192, 4).unwrap();
 /// let list = ListId(2);
 /// store.append(list, TermId(10), DocId(1), 3, None).unwrap();
 /// store.append(list, TermId(11), DocId(1), 1, None).unwrap(); // merged neighbour
@@ -144,44 +157,40 @@ impl ListStore {
     /// * `tags` — one `(list, term, tag)` record per first use of a term
     ///   in a list, in allocation order.
     ///
-    /// # Panics
-    ///
-    /// Panics if `block_size` is not a positive multiple of the 8-byte
-    /// posting size (so postings never straddle blocks, as in the paper's
-    /// accounting).
-    pub fn new(block_size: usize, num_lists: usize) -> Self {
-        assert!(
-            block_size >= POSTING_SIZE && block_size.is_multiple_of(POSTING_SIZE),
-            "block size must be a positive multiple of the posting size"
-        );
+    /// Rejects a `block_size` that is not a positive multiple of the
+    /// 8-byte posting size (postings must never straddle blocks, as in the
+    /// paper's accounting) with [`ListError::Geometry`].
+    pub fn new(block_size: usize, num_lists: usize) -> Result<Self, ListError> {
+        if block_size < POSTING_SIZE || !block_size.is_multiple_of(POSTING_SIZE) {
+            return Err(ListError::Geometry(format!(
+                "block size {block_size} is not a positive multiple of the \
+                 {POSTING_SIZE}-byte posting"
+            )));
+        }
         let mut fs = WormFs::new(WormDevice::new(block_size));
-        let meta_file = fs.create("meta", u64::MAX).expect("fresh fs");
+        let meta_file = fs.create("meta", u64::MAX)?;
         let mut header = [0u8; META_RECORD];
         header[0..4].copy_from_slice(&1u32.to_le_bytes()); // format version
         header[4..8].copy_from_slice(&(block_size as u32).to_le_bytes());
         header[8..12].copy_from_slice(&(num_lists as u32).to_le_bytes());
-        fs.append(meta_file, &header).expect("fresh fs");
-        let dict_file = fs.create("tags", u64::MAX).expect("fresh fs");
+        fs.append(meta_file, &header)?;
+        let dict_file = fs.create("tags", u64::MAX)?;
         // Create every list file eagerly: if files were created lazily on
         // first append, an adversary could pre-create a list's file and
         // make later *legitimate* appends fail — a denial-of-service the
         // threat model must not allow (found by the adversary fuzz test).
-        let lists = (0..num_lists)
-            .map(|l| {
-                let mut meta = ListMeta::new();
-                meta.file = Some(
-                    fs.create(&format!("lists/{l}"), u64::MAX)
-                        .expect("fresh fs"),
-                );
-                meta
-            })
-            .collect();
-        Self {
+        let mut lists = Vec::with_capacity(num_lists);
+        for l in 0..num_lists {
+            let mut meta = ListMeta::new();
+            meta.file = Some(fs.create(&format!("lists/{l}"), u64::MAX)?);
+            lists.push(meta);
+        }
+        Ok(Self {
             fs,
             lists,
             block_size,
             dict_file,
-        }
+        })
     }
 
     /// Rebuild a store from the raw WORM bytes of a previous instance's
@@ -211,9 +220,9 @@ impl ListStore {
             )));
         }
         let header = fs.read(meta_file, 0, META_RECORD)?;
-        let version = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
-        let block_size = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes")) as usize;
-        let num_lists = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes")) as usize;
+        let version = u32_at(&header, 0)?;
+        let block_size = u32_at(&header, 4)? as usize;
+        let num_lists = u32_at(&header, 8)? as usize;
         if version != 1 {
             return Err(ListError::Recovery(format!(
                 "unknown format version {version}"
@@ -247,9 +256,9 @@ impl ListStore {
             let rec = store
                 .fs
                 .read(store.dict_file, r * DICT_RECORD as u64, DICT_RECORD)?;
-            let list = u32::from_le_bytes(rec[0..4].try_into().expect("4 bytes"));
-            let term = u32::from_le_bytes(rec[4..8].try_into().expect("4 bytes"));
-            let tag = u32::from_le_bytes(rec[8..12].try_into().expect("4 bytes"));
+            let list = u32_at(&rec, 0)?;
+            let term = u32_at(&rec, 4)?;
+            let tag = u32_at(&rec, 8)?;
             let meta = store
                 .lists
                 .get_mut(list as usize)
@@ -436,7 +445,13 @@ impl ListStore {
         let was_empty = offset_in_block == 0;
         let fills = offset_in_block + POSTING_SIZE == block_size;
 
-        let file = meta.file.expect("list files are created at construction");
+        let Some(file) = meta.file else {
+            // Only reachable on a recovered store whose list file vanished
+            // from the device — refuse, rather than abort, mid-append.
+            return Err(ListError::Recovery(format!(
+                "{list} has no backing WORM file"
+            )));
+        };
         let posting = Posting::new(doc, tag, tf);
         self.fs.append(file, &encode_posting(posting))?;
         let meta = &mut self.lists[list.0 as usize];
@@ -607,7 +622,7 @@ mod tests {
     use tks_worm::CacheConfig;
 
     fn store() -> ListStore {
-        ListStore::new(64, 4) // 8 postings per block
+        ListStore::new(64, 4).unwrap() // 8 postings per block
     }
 
     #[test]

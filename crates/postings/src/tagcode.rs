@@ -68,9 +68,27 @@ impl HuffmanTagCode {
     ///
     /// # Panics
     ///
-    /// Panics if `freqs` is empty.
+    /// Panics (via `assert!`) if `freqs` is empty; use
+    /// [`try_from_frequencies`](Self::try_from_frequencies) to get a typed
+    /// error instead.
     pub fn from_frequencies(freqs: &[u64]) -> Self {
         assert!(!freqs.is_empty(), "need at least one tag");
+        Self::build(freqs)
+    }
+
+    /// Fallible variant of [`from_frequencies`](Self::from_frequencies):
+    /// an empty tag universe yields [`CodecError::EmptyCodebook`] instead
+    /// of a panic.
+    pub fn try_from_frequencies(freqs: &[u64]) -> Result<Self, crate::codec::CodecError> {
+        if freqs.is_empty() {
+            return Err(crate::codec::CodecError::EmptyCodebook);
+        }
+        Ok(Self::build(freqs))
+    }
+
+    /// The one implementation behind both constructors; `freqs` is
+    /// non-empty here.
+    fn build(freqs: &[u64]) -> Self {
         let n = freqs.len();
         // Degenerate single-tag case: zero bits per posting.
         if n == 1 {
@@ -111,8 +129,9 @@ impl HuffmanTagCode {
         let mut parent = vec![usize::MAX; 2 * n - 1];
         let mut next_id = n;
         while heap.len() > 1 {
-            let a = heap.pop().expect("len > 1");
-            let b = heap.pop().expect("len > 1");
+            let (Some(a), Some(b)) = (heap.pop(), heap.pop()) else {
+                break; // unreachable: the loop guard holds ≥ 2 nodes
+            };
             parent[a.id] = next_id;
             parent[b.id] = next_id;
             heap.push(Node {
@@ -136,7 +155,7 @@ impl HuffmanTagCode {
 
     /// Build the canonical code tables from per-tag lengths.
     fn from_lengths(lengths: Vec<u8>) -> Self {
-        let max_len = *lengths.iter().max().expect("non-empty");
+        let max_len = lengths.iter().copied().max().unwrap_or(0);
         let mut sorted_tags: Vec<u32> = (0..lengths.len() as u32).collect();
         sorted_tags.sort_by_key(|&t| (lengths[t as usize], t));
         let mut codes = vec![0u32; lengths.len()];

@@ -47,8 +47,14 @@ impl CacheConfig {
     }
 
     /// Capacity in whole blocks: `cache_bytes / block_size`.
+    ///
+    /// A zero `block_size` (constructible via the public fields, bypassing
+    /// [`CacheConfig::new`]) yields zero capacity — an uncached
+    /// configuration — instead of dividing by zero.
     pub fn capacity_blocks(&self) -> u64 {
-        self.cache_bytes / self.block_size as u64
+        self.cache_bytes
+            .checked_div(self.block_size as u64)
+            .unwrap_or(0)
     }
 }
 

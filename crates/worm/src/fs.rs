@@ -13,6 +13,7 @@
 //! logged as a tamper attempt.
 
 use crate::device::{BlockId, TamperAttempt, TamperKind, WormDevice, WormError};
+use crate::persist::PersistError;
 use std::collections::HashMap;
 
 /// Handle to an open append-only file (an index into the fs file table).
@@ -243,8 +244,9 @@ impl WormFs {
 
     /// Rebuild a file system from a device and an exported file table,
     /// validating that every file's length is exactly the bytes committed
-    /// in its blocks.  Returns a description of the first inconsistency.
-    pub fn import(device: WormDevice, table: Vec<ExportedFile>) -> Result<Self, String> {
+    /// in its blocks.  Returns a [`PersistError`] describing the first
+    /// inconsistency.
+    pub fn import(device: WormDevice, table: Vec<ExportedFile>) -> Result<Self, PersistError> {
         let block_size = device.block_size() as u64;
         let mut files = Vec::with_capacity(table.len());
         let mut by_name = HashMap::new();
@@ -254,28 +256,31 @@ impl WormFs {
                 .iter()
                 .map(|&b| device.committed_len(b).map(|l| l as u64))
                 .sum::<Result<u64, _>>()
-                .map_err(|e| format!("file '{}': {e}", f.name))?;
+                .map_err(|e| PersistError(format!("file '{}': {e}", f.name)))?;
             if committed != f.len {
-                return Err(format!(
+                return Err(PersistError(format!(
                     "file '{}': length {} but {} bytes committed in its blocks",
                     f.name, f.len, committed
-                ));
+                )));
             }
             if f.len.div_ceil(block_size) != f.blocks.len() as u64 {
-                return Err(format!(
+                return Err(PersistError(format!(
                     "file '{}': {} bytes cannot occupy {} blocks of {}",
                     f.name,
                     f.len,
                     f.blocks.len(),
                     block_size
-                ));
+                )));
             }
             if !f.deleted
                 && by_name
                     .insert(f.name.clone(), FileHandle(i as u32))
                     .is_some()
             {
-                return Err(format!("duplicate live file name '{}'", f.name));
+                return Err(PersistError(format!(
+                    "duplicate live file name '{}'",
+                    f.name
+                )));
             }
             files.push(FileMeta {
                 name: f.name,

@@ -72,23 +72,21 @@ impl<'a> Reader<'a> {
         self.pos += n;
         Ok(out)
     }
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], PersistError> {
+        <[u8; N]>::try_from(self.take(N)?)
+            .map_err(|_| PersistError(format!("short read of {N} bytes")))
+    }
     fn u8(&mut self) -> Result<u8, PersistError> {
         Ok(self.take(1)?[0])
     }
     fn u16(&mut self) -> Result<u16, PersistError> {
-        Ok(u16::from_le_bytes(
-            self.take(2)?.try_into().expect("2 bytes"),
-        ))
+        Ok(u16::from_le_bytes(self.array()?))
     }
     fn u32(&mut self) -> Result<u32, PersistError> {
-        Ok(u32::from_le_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
+        Ok(u32::from_le_bytes(self.array()?))
     }
     fn u64(&mut self) -> Result<u64, PersistError> {
-        Ok(u64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
+        Ok(u64::from_le_bytes(self.array()?))
     }
     fn string(&mut self, len: usize) -> Result<String, PersistError> {
         String::from_utf8(self.take(len)?.to_vec())
@@ -97,7 +95,11 @@ impl<'a> Reader<'a> {
 }
 
 /// Serialize a [`WormFs`] (and its device) into a byte image.
-pub fn save_fs(fs: &WormFs) -> Vec<u8> {
+///
+/// Fails only if the device's block table is internally inconsistent
+/// (a dense block ID that cannot be read back) — evidence of in-memory
+/// corruption that must surface as an error, not an abort.
+pub fn save_fs(fs: &WormFs) -> Result<Vec<u8>, PersistError> {
     let dev = fs.device();
     let mut out = Vec::new();
     out.extend_from_slice(MAGIC);
@@ -105,7 +107,9 @@ pub fn save_fs(fs: &WormFs) -> Vec<u8> {
 
     out.extend_from_slice(&(dev.num_blocks() as u32).to_le_bytes());
     for b in 0..dev.num_blocks() as u64 {
-        let data = dev.read_all(BlockId(b)).expect("dense block ids");
+        let data = dev
+            .read_all(BlockId(b))
+            .map_err(|e| PersistError(format!("block {b} unreadable during save: {e}")))?;
         out.extend_from_slice(&(data.len() as u32).to_le_bytes());
         out.extend_from_slice(data);
     }
@@ -151,7 +155,7 @@ pub fn save_fs(fs: &WormFs) -> Vec<u8> {
     }
     let checksum = fnv1a(&out);
     out.extend_from_slice(&checksum.to_le_bytes());
-    out
+    Ok(out)
 }
 
 /// Deserialize a [`WormFs`] from a byte image produced by [`save_fs`].
@@ -160,7 +164,9 @@ pub fn load_fs(bytes: &[u8]) -> Result<WormFs, PersistError> {
         return Err(PersistError("image too short for checksum".into()));
     }
     let (body, footer) = bytes.split_at(bytes.len() - 8);
-    let stored = u64::from_le_bytes(footer.try_into().expect("8 bytes"));
+    let stored = u64::from_le_bytes(
+        <[u8; 8]>::try_from(footer).map_err(|_| PersistError("short checksum footer".into()))?,
+    );
     let actual = fnv1a(body);
     if stored != actual {
         return Err(PersistError(format!(
@@ -252,7 +258,7 @@ pub fn load_fs(bytes: &[u8]) -> Result<WormFs, PersistError> {
         )));
     }
 
-    WormFs::import(dev, table).map_err(PersistError)
+    WormFs::import(dev, table)
 }
 
 #[cfg(test)]
@@ -277,7 +283,7 @@ mod tests {
     #[test]
     fn roundtrip_preserves_everything() {
         let fs = sample_fs();
-        let img = save_fs(&fs);
+        let img = save_fs(&fs).unwrap();
         let loaded = load_fs(&img).unwrap();
         let a = loaded.open("alpha").unwrap();
         assert_eq!(
@@ -297,7 +303,7 @@ mod tests {
 
     #[test]
     fn loaded_fs_still_append_only() {
-        let img = save_fs(&sample_fs());
+        let img = save_fs(&sample_fs()).unwrap();
         let mut loaded = load_fs(&img).unwrap();
         let a = loaded.open("alpha").unwrap();
         let before = loaded.len(a);
@@ -313,7 +319,7 @@ mod tests {
 
     #[test]
     fn corrupt_images_rejected() {
-        let img = save_fs(&sample_fs());
+        let img = save_fs(&sample_fs()).unwrap();
         // Truncated.
         assert!(load_fs(&img[..img.len() - 3]).is_err());
         // Bad magic.
@@ -328,7 +334,7 @@ mod tests {
 
     #[test]
     fn every_single_byte_flip_is_detected() {
-        let img = save_fs(&sample_fs());
+        let img = save_fs(&sample_fs()).unwrap();
         for i in 0..img.len() {
             let mut bad = img.clone();
             bad[i] ^= 0x01;
@@ -339,7 +345,7 @@ mod tests {
     #[test]
     fn empty_fs_roundtrip() {
         let fs = WormFs::new(WormDevice::new(64));
-        let loaded = load_fs(&save_fs(&fs)).unwrap();
+        let loaded = load_fs(&save_fs(&fs).unwrap()).unwrap();
         assert_eq!(loaded.num_files(), 0);
         assert_eq!(loaded.device().num_blocks(), 0);
     }

@@ -1,0 +1,65 @@
+//! # `xtask` — workspace automation
+//!
+//! `cargo xtask audit` runs a dependency-free static-analysis pass over the
+//! workspace, enforcing the disciplines the paper's threat model rests on:
+//!
+//! * **`no-panic-in-prod`** — non-test code in the production crates
+//!   (`core`, `worm`, `jump`, `postings`) must not `unwrap`/`expect` or use
+//!   panicking macros: invariant violations surface as typed errors
+//!   (`TamperEvidence`, `TksError`), never crashes.  Slice indexing is
+//!   reported at warn severity.
+//! * **`worm-append-only`** — only `crates/worm` may name
+//!   truncation/overwrite APIs; committed extents are immutable.
+//! * **`forbid-unsafe`** — no `unsafe` anywhere; library roots must carry
+//!   `#![forbid(unsafe_code)]`.
+//! * **`error-taxonomy`** — public fallible APIs in production crates
+//!   return `Result<_, E>` where `E` implements `std::error::Error`.
+//!
+//! The pass is lexical (comments and string literals are blanked before
+//! matching, `#[cfg(test)]` regions are masked) and produces both
+//! compiler-style human diagnostics and a JSON report; it exits nonzero on
+//! any deny-severity finding.  Suppress an individual finding with an
+//! `audit:allow(<rule>)` comment on or above the offending line.
+
+#![forbid(unsafe_code)]
+// Developer tooling, not part of the production no-panic surface it gates:
+// terse panics on impossible states are fine here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+pub mod report;
+pub mod rules;
+pub mod scan;
+
+pub use report::{Finding, Report, Severity};
+
+use std::io;
+use std::path::Path;
+
+/// Directories under the workspace root that the audit scans.
+const SCAN_DIRS: [&str; 4] = ["crates", "src", "examples", "tests"];
+
+/// Run every rule over the workspace rooted at `root` and return the
+/// combined report (findings sorted by file/line/column).
+pub fn audit_workspace(root: &Path) -> io::Result<Report> {
+    let mut files = Vec::new();
+    for dir in SCAN_DIRS {
+        let d = root.join(dir);
+        if d.is_dir() {
+            for path in scan::walk_rs_files(&d)? {
+                files.push(scan::SourceFile::load(root, path)?);
+            }
+        }
+    }
+    let mut report = Report {
+        files_scanned: files.len(),
+        ..Default::default()
+    };
+    rules::no_panic_in_prod(&files, &mut report);
+    rules::worm_append_only(&files, &mut report);
+    rules::forbid_unsafe(&files, &mut report);
+    rules::error_taxonomy(&files, &mut report);
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+    Ok(report)
+}

@@ -1,0 +1,88 @@
+//! CLI entry point: `cargo xtask audit [--json]`.
+
+#![forbid(unsafe_code)]
+// Developer tooling, not part of the production no-panic surface it gates:
+// terse panics on impossible states are fine here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+xtask — workspace automation
+
+USAGE:
+    cargo xtask audit [--json] [--root <path>]
+
+COMMANDS:
+    audit    Run the WORM-discipline static-analysis pass.
+             Exits nonzero on any deny-severity finding.
+
+OPTIONS:
+    --json           Emit the report as JSON instead of human diagnostics.
+    --root <path>    Audit a different workspace root (default: this one).
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("audit") => {
+            let mut json = false;
+            let mut root: Option<PathBuf> = None;
+            let mut it = args.iter().skip(1);
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--json" => json = true,
+                    "--root" => match it.next() {
+                        Some(p) => root = Some(PathBuf::from(p)),
+                        None => {
+                            eprintln!("error: --root requires a path");
+                            return ExitCode::from(2);
+                        }
+                    },
+                    other => {
+                        eprintln!("error: unknown argument `{other}`\n\n{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            let root = root.unwrap_or_else(workspace_root);
+            match xtask::audit_workspace(&root) {
+                Ok(report) => {
+                    if json {
+                        print!("{}", report.render_json());
+                    } else {
+                        print!("{}", report.render_human());
+                    }
+                    if report.deny_count() == 0 {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::FAILURE
+                    }
+                }
+                Err(e) => {
+                    eprintln!("error: audit failed to read sources: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("error: unknown command `{other}`\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// The workspace root is two levels above this crate's manifest.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .unwrap_or(manifest)
+}

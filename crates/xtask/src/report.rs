@@ -1,0 +1,220 @@
+//! Diagnostics: findings, human-readable rendering, and a hand-rolled JSON
+//! encoder (the vendored `serde_json` stub has no `Value`, so the audit
+//! writes its machine-readable output directly).
+
+/// How a finding affects the exit status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Fails the audit (nonzero exit).
+    Deny,
+    /// Reported but does not fail the audit.
+    Warn,
+}
+
+impl Severity {
+    /// Lowercase label used in both output formats.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Deny => "deny",
+            Severity::Warn => "warn",
+        }
+    }
+}
+
+/// One rule violation at a specific source location.
+#[derive(Debug)]
+pub struct Finding {
+    /// Rule identifier, e.g. `no-panic-in-prod`.
+    pub rule: &'static str,
+    /// Whether this finding fails the audit.
+    pub severity: Severity,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column of the offending token.
+    pub col: usize,
+    /// What went wrong and why the rule cares.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+/// The result of an audit run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings, ordered by (file, line).
+    pub findings: Vec<Finding>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+    /// Findings suppressed by `audit:allow(...)` directives or rule
+    /// allowlists.
+    pub suppressed: usize,
+}
+
+impl Report {
+    /// Number of deny-severity findings; the audit exits nonzero iff > 0.
+    pub fn deny_count(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Deny)
+            .count()
+    }
+
+    /// Number of warn-severity findings.
+    pub fn warn_count(&self) -> usize {
+        self.findings.len() - self.deny_count()
+    }
+
+    /// Render compiler-style human diagnostics plus a summary line.
+    ///
+    /// Deny findings are always printed in full.  Warn findings are printed
+    /// in full only when there are few of them; a large warn set (e.g. the
+    /// indexing heuristic over a whole crate) is summarised per file so the
+    /// deny findings stay visible.  The JSON output always carries
+    /// everything.
+    pub fn render_human(&self) -> String {
+        const WARN_DETAIL_LIMIT: usize = 25;
+        let mut out = String::new();
+        for f in &self.findings {
+            if f.severity == Severity::Warn && self.warn_count() > WARN_DETAIL_LIMIT {
+                continue;
+            }
+            out.push_str(&format!(
+                "{}:{}:{}: {}[{}]: {}\n    {}\n",
+                f.file,
+                f.line,
+                f.col,
+                f.severity.label(),
+                f.rule,
+                f.message,
+                f.snippet
+            ));
+        }
+        if self.warn_count() > WARN_DETAIL_LIMIT {
+            let mut per_file: Vec<(&str, usize)> = Vec::new();
+            for f in &self.findings {
+                if f.severity != Severity::Warn {
+                    continue;
+                }
+                match per_file.last_mut() {
+                    Some((file, n)) if *file == f.file => *n += 1,
+                    _ => per_file.push((&f.file, 1)),
+                }
+            }
+            for (file, n) in per_file {
+                out.push_str(&format!(
+                    "{file}: {n} warn finding(s) (use --json for detail)\n"
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "audit: {} file(s) scanned, {} deny, {} warn, {} suppressed — {}\n",
+            self.files_scanned,
+            self.deny_count(),
+            self.warn_count(),
+            self.suppressed,
+            if self.deny_count() == 0 {
+                "PASS"
+            } else {
+                "FAIL"
+            }
+        ));
+        out
+    }
+
+    /// Render the report as a single JSON object.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"rule\": \"{}\", \"severity\": \"{}\", \"file\": \"{}\", \
+                 \"line\": {}, \"col\": {}, \"message\": \"{}\", \"snippet\": \"{}\"}}",
+                json_escape(f.rule),
+                f.severity.label(),
+                json_escape(&f.file),
+                f.line,
+                f.col,
+                json_escape(&f.message),
+                json_escape(&f.snippet)
+            ));
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str(&format!(
+            "],\n  \"files_scanned\": {},\n  \"deny\": {},\n  \"warn\": {},\n  \
+             \"suppressed\": {},\n  \"pass\": {}\n}}\n",
+            self.files_scanned,
+            self.deny_count(),
+            self.warn_count(),
+            self.suppressed,
+            self.deny_count() == 0
+        ));
+        out
+    }
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report {
+            findings: vec![Finding {
+                rule: "no-panic-in-prod",
+                severity: Severity::Deny,
+                file: "crates/core/src/engine.rs".into(),
+                line: 10,
+                col: 5,
+                message: "`unwrap()` in production code".into(),
+                snippet: "let x = y.unwrap();".into(),
+            }],
+            files_scanned: 3,
+            suppressed: 1,
+        }
+    }
+
+    #[test]
+    fn human_output_has_location_and_verdict() {
+        let r = sample().render_human();
+        assert!(r.contains("crates/core/src/engine.rs:10:5"));
+        assert!(r.contains("deny[no-panic-in-prod]"));
+        assert!(r.contains("FAIL"));
+    }
+
+    #[test]
+    fn json_escapes_quotes() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn empty_report_passes() {
+        let r = Report {
+            files_scanned: 1,
+            ..Default::default()
+        };
+        assert_eq!(r.deny_count(), 0);
+        assert!(r.render_json().contains("\"pass\": true"));
+    }
+}

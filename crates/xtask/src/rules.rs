@@ -1,0 +1,535 @@
+//! The audit rules.
+//!
+//! Each rule walks the pre-processed [`SourceFile`]s (comments and string
+//! literals already blanked, `#[cfg(test)]` lines masked) and emits
+//! [`Finding`]s.  Findings can be suppressed two ways:
+//!
+//! * a **rule allowlist** of path prefixes (e.g. `crates/worm/` may name
+//!   overwrite APIs — it implements the WORM device and must reject them);
+//! * an **inline directive**: a comment containing `audit:allow(<rule>)`
+//!   on the offending line or the line above.
+//!
+//! Suppressed findings are counted in [`Report::suppressed`] so a clean run
+//! still shows how many exceptions are in play.
+
+use crate::report::{Finding, Report, Severity};
+use crate::scan::SourceFile;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Production crates subject to the panic and taxonomy rules: the storage
+/// and query layers whose failures must surface as typed errors (a crash
+/// during a compliance lookup is indistinguishable from a hidden record).
+pub const PROD_PREFIXES: [&str; 4] = [
+    "crates/core/src/",
+    "crates/worm/src/",
+    "crates/jump/src/",
+    "crates/postings/src/",
+];
+
+/// Path prefixes exempt from `worm-append-only`: the WORM layer itself
+/// (it names overwrite APIs in order to reject them) and this audit tool
+/// (it names them as patterns).
+const WORM_RULE_ALLOW: [&str; 2] = ["crates/worm/", "crates/xtask/"];
+
+/// Panicking constructs denied in production code.
+const PANIC_METHODS: [&str; 2] = ["unwrap", "expect"];
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// API names that truncate or overwrite storage.  Nothing outside the WORM
+/// layer may even name them: committed extents are immutable, and the only
+/// mutation path is `WormDevice::try_overwrite`, which exists to *reject*
+/// tampering and log a `TamperAttempt`.
+const OVERWRITE_APIS: [&str; 7] = [
+    "try_overwrite",
+    "device_mut",
+    "set_len",
+    "ftruncate",
+    "truncate_file",
+    "remove_file",
+    "OpenOptions",
+];
+
+/// Does `raw` (or the preceding raw line) carry an `audit:allow(rule)`
+/// directive?
+fn allowed_inline(file: &SourceFile, line_no: usize, rule: &str) -> bool {
+    let needle = format!("audit:allow({rule})");
+    let raws: Vec<&str> = file.raw.lines().collect();
+    let here = raws.get(line_no - 1).copied().unwrap_or("");
+    let above = if line_no >= 2 {
+        raws.get(line_no - 2).copied().unwrap_or("")
+    } else {
+        ""
+    };
+    here.contains(&needle) || above.contains(&needle)
+}
+
+fn under_any(rel: &str, prefixes: &[&str]) -> bool {
+    prefixes.iter().any(|p| rel.starts_with(p))
+}
+
+/// Iterate identifiers in a stripped line as `(column0, ident)`.
+fn idents(line: &str) -> Vec<(usize, &str)> {
+    let b = line.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let start = i;
+            while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                i += 1;
+            }
+            out.push((start, &line[start..i]));
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+fn next_non_ws(line: &str, from: usize) -> Option<u8> {
+    line.as_bytes()[from..]
+        .iter()
+        .copied()
+        .find(|c| !c.is_ascii_whitespace())
+}
+
+struct Sink<'a> {
+    report: &'a mut Report,
+}
+
+impl Sink<'_> {
+    fn emit(
+        &mut self,
+        file: &SourceFile,
+        rule: &'static str,
+        severity: Severity,
+        line_no: usize,
+        col0: usize,
+        message: String,
+    ) {
+        if allowed_inline(file, line_no, rule) {
+            self.report.suppressed += 1;
+            return;
+        }
+        let snippet = file
+            .raw
+            .lines()
+            .nth(line_no - 1)
+            .unwrap_or("")
+            .trim()
+            .to_string();
+        self.report.findings.push(Finding {
+            rule,
+            severity,
+            file: file.rel.clone(),
+            line: line_no,
+            col: col0 + 1,
+            message,
+            snippet,
+        });
+    }
+}
+
+/// Rule `no-panic-in-prod`: no `unwrap`/`expect` calls and no
+/// `panic!`/`unreachable!`/`todo!`/`unimplemented!` macros in non-test code
+/// of the production crates (deny); slice/array indexing is flagged at warn
+/// severity since `get(..)` with a typed error is preferred but indexing a
+/// just-validated range is acceptable.
+pub fn no_panic_in_prod(files: &[SourceFile], report: &mut Report) {
+    let mut sink = Sink { report };
+    for file in files.iter().filter(|f| under_any(&f.rel, &PROD_PREFIXES)) {
+        for line in file.lines() {
+            if line.in_test {
+                continue;
+            }
+            for (col, id) in idents(line.code) {
+                let after = col + id.len();
+                if PANIC_METHODS.contains(&id) && next_non_ws(line.code, after) == Some(b'(') {
+                    sink.emit(
+                        file,
+                        "no-panic-in-prod",
+                        Severity::Deny,
+                        line.number,
+                        col,
+                        format!(
+                            "`{id}(…)` can panic; production code must return a typed \
+                             error from the workspace taxonomy instead"
+                        ),
+                    );
+                }
+                if PANIC_MACROS.contains(&id) && next_non_ws(line.code, after) == Some(b'!') {
+                    sink.emit(
+                        file,
+                        "no-panic-in-prod",
+                        Severity::Deny,
+                        line.number,
+                        col,
+                        format!(
+                            "`{id}!` aborts the process; a crash during a compliance \
+                             lookup is indistinguishable from a hidden record"
+                        ),
+                    );
+                }
+            }
+            // Warn-level: indexing expressions `expr[…]` (an out-of-range
+            // index panics).  Heuristic: `[` directly preceded by an
+            // identifier character, `)`, or `]`.  Attribute lines are
+            // skipped (`#[cfg(...)]`).
+            if line.code.trim_start().starts_with('#') {
+                continue;
+            }
+            let b = line.code.as_bytes();
+            for i in 1..b.len() {
+                if b[i] == b'['
+                    && (b[i - 1].is_ascii_alphanumeric()
+                        || b[i - 1] == b'_'
+                        || b[i - 1] == b')'
+                        || b[i - 1] == b']')
+                {
+                    sink.emit(
+                        file,
+                        "no-panic-in-prod",
+                        Severity::Warn,
+                        line.number,
+                        i,
+                        "indexing can panic on out-of-range; prefer `get(..)` with a \
+                         typed error unless the range was just validated"
+                            .to_string(),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Rule `worm-append-only`: outside the WORM layer, no non-test code may
+/// name a truncation/overwrite API.  Committed extents are write-once; the
+/// append-only discipline is what makes the index trustworthy, so the
+/// compiler-visible surface of every other crate must not even mention the
+/// escape hatches.
+pub fn worm_append_only(files: &[SourceFile], report: &mut Report) {
+    let mut sink = Sink { report };
+    for file in files
+        .iter()
+        .filter(|f| !under_any(&f.rel, &WORM_RULE_ALLOW))
+    {
+        // Scope: crate sources and the facade crate, not tests/examples
+        // (adversary simulations legitimately attempt overwrites there).
+        let in_scope = (file.rel.starts_with("crates/") && file.rel.contains("/src/"))
+            || file.rel.starts_with("src/");
+        if !in_scope {
+            continue;
+        }
+        for line in file.lines() {
+            if line.in_test {
+                continue;
+            }
+            for (col, id) in idents(line.code) {
+                if OVERWRITE_APIS.contains(&id) {
+                    sink.emit(
+                        file,
+                        "worm-append-only",
+                        Severity::Deny,
+                        line.number,
+                        col,
+                        format!(
+                            "`{id}` is a truncation/overwrite API; only crates/worm may \
+                             name it (committed WORM extents are immutable)"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Rule `forbid-unsafe`: no `unsafe` anywhere in the workspace (tests
+/// included), and every library crate root must carry
+/// `#![forbid(unsafe_code)]` so the compiler enforces it too.
+pub fn forbid_unsafe(files: &[SourceFile], report: &mut Report) {
+    let mut sink = Sink { report };
+    for file in files {
+        for line in file.lines() {
+            for (col, id) in idents(line.code) {
+                if id == "unsafe" {
+                    sink.emit(
+                        file,
+                        "forbid-unsafe",
+                        Severity::Deny,
+                        line.number,
+                        col,
+                        "`unsafe` is banned workspace-wide; the index must be \
+                         auditable without trusting hand-checked invariants"
+                            .to_string(),
+                    );
+                }
+            }
+        }
+        let is_lib_root = file.rel == "src/lib.rs"
+            || (file.rel.starts_with("crates/") && file.rel.ends_with("/src/lib.rs"));
+        if is_lib_root && !file.raw.contains("#![forbid(unsafe_code)]") {
+            sink.emit(
+                file,
+                "forbid-unsafe",
+                Severity::Deny,
+                1,
+                0,
+                "library crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+            );
+        }
+    }
+}
+
+/// Rule `error-taxonomy`: every `pub fn` in a production crate that returns
+/// `Result<_, E>` must use an `E` that implements `std::error::Error`
+/// (membership is established by scanning the workspace for
+/// `impl std::error::Error for …`).  `String`, integers, and other ad-hoc
+/// error payloads are denied — they cannot carry a source chain and do not
+/// compose under the `TksError` umbrella.
+pub fn error_taxonomy(files: &[SourceFile], report: &mut Report) {
+    // Pass 1: collect types with an Error impl, plus per-crate `Result`
+    // aliases (e.g. tks-worm's `pub type Result<T> = Result<T, WormError>`).
+    let mut error_types: BTreeSet<String> = BTreeSet::new();
+    error_types.insert("Error".to_string()); // std::io::Error et al.
+    let mut aliases: BTreeMap<String, String> = BTreeMap::new();
+    for file in files {
+        for line in file.code.lines() {
+            if let Some(pos) = line.find("Error for ") {
+                if line[..pos].contains("impl") {
+                    let rest = &line[pos + "Error for ".len()..];
+                    let name: String = rest
+                        .chars()
+                        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                        .collect();
+                    if !name.is_empty() {
+                        error_types.insert(name);
+                    }
+                }
+            }
+            if let (Some(tp), Some(eq)) = (line.find("type Result<"), line.find('=')) {
+                if tp < eq {
+                    if let Some(err) = second_generic_arg(&line[eq..]) {
+                        if let Some(krate) = crate_prefix(&file.rel) {
+                            aliases.insert(krate.to_string(), last_segment(&err));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Pass 2: check public fallible signatures in production code.
+    let mut sink = Sink { report };
+    for file in files.iter().filter(|f| under_any(&f.rel, &PROD_PREFIXES)) {
+        for (line_no, sig) in pub_fn_signatures(file) {
+            let Some(ret) = return_type(&sig) else {
+                continue;
+            };
+            let Some(idx) = find_result(&ret) else {
+                continue;
+            };
+            let before = &ret[..idx];
+            let err = match second_generic_arg(&ret[idx..]) {
+                Some(e) => last_segment(&e),
+                None => {
+                    // Single-argument `Result<T>`: an alias.  `io::Result`
+                    // means `io::Error`; otherwise resolve the crate alias.
+                    if before.contains("io::") {
+                        "Error".to_string()
+                    } else {
+                        crate_prefix(&file.rel)
+                            .and_then(|k| aliases.get(k).cloned())
+                            .unwrap_or_default()
+                    }
+                }
+            };
+            let ok =
+                error_types.contains(&err) || err.starts_with("Box<dyn") || ret.contains("Box<dyn");
+            if !ok {
+                sink.emit(
+                    file,
+                    "error-taxonomy",
+                    Severity::Deny,
+                    line_no,
+                    0,
+                    format!(
+                        "public fallible API returns `Result<_, {}>` but `{}` has no \
+                         `std::error::Error` impl in the workspace taxonomy",
+                        if err.is_empty() { "?" } else { &err },
+                        if err.is_empty() {
+                            "the error type"
+                        } else {
+                            &err
+                        },
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// `crates/<name>/…` → `crates/<name>/`.
+fn crate_prefix(rel: &str) -> Option<&str> {
+    if let Some(rest) = rel.strip_prefix("crates/") {
+        let end = rest.find('/')?;
+        return Some(&rel[..("crates/".len() + end + 1)]);
+    }
+    if rel.starts_with("src/") {
+        return Some("src/");
+    }
+    None
+}
+
+fn last_segment(ty: &str) -> String {
+    let t = ty.trim().trim_start_matches('&').trim();
+    let t = t.split('<').next().unwrap_or(t).trim();
+    t.rsplit("::").next().unwrap_or(t).trim().to_string()
+}
+
+/// Find `Result<` as a path segment (not e.g. `MyResult<`).
+fn find_result(ret: &str) -> Option<usize> {
+    let b = ret.as_bytes();
+    let mut from = 0;
+    while let Some(p) = ret[from..].find("Result<") {
+        let i = from + p;
+        let prev_ok = i == 0 || !(b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_');
+        if prev_ok {
+            return Some(i);
+        }
+        from = i + 1;
+    }
+    None
+}
+
+/// Given text starting at/containing `…<A, B, …>`, return the second
+/// top-level generic argument, if any.
+fn second_generic_arg(s: &str) -> Option<String> {
+    let open = s.find('<')?;
+    let mut depth = 0i32;
+    let mut args: Vec<String> = vec![String::new()];
+    for c in s[open..].chars() {
+        match c {
+            '<' | '(' | '[' => {
+                depth += 1;
+                if depth > 1 {
+                    args.last_mut()?.push(c);
+                }
+            }
+            '>' | ')' | ']' => {
+                depth -= 1;
+                if depth == 0 && c == '>' {
+                    break;
+                }
+                args.last_mut()?.push(c);
+            }
+            ',' if depth == 1 => args.push(String::new()),
+            _ if depth >= 1 => args.last_mut()?.push(c),
+            _ => {}
+        }
+    }
+    args.get(1).map(|a| a.trim().to_string())
+}
+
+/// Extract `(line_number, signature_text)` for every `pub fn` in non-test
+/// code.  The signature runs from `fn` to the first `{` or `;`.
+fn pub_fn_signatures(file: &SourceFile) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    let lines: Vec<&str> = file.code.lines().collect();
+    for (i, line) in lines.iter().enumerate() {
+        if file.test_mask.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        let toks = idents(line);
+        let mut found = None;
+        for w in toks.windows(2) {
+            if w[0].1 == "pub" && (w[1].1 == "fn" || w[1].1 == "const" || w[1].1 == "async") {
+                // `pub fn`, `pub const fn`, `pub async fn` — find the `fn`.
+                if let Some((col, _)) = toks.iter().find(|(c, id)| *id == "fn" && *c >= w[0].0) {
+                    found = Some(*col);
+                }
+                break;
+            }
+        }
+        let Some(fn_col) = found else { continue };
+        // Accumulate until `{` or `;`.
+        let mut sig = String::new();
+        let mut j = i;
+        let mut rest = &lines[i][fn_col..];
+        loop {
+            if let Some(p) = rest.find(['{', ';']) {
+                sig.push_str(&rest[..p]);
+                break;
+            }
+            sig.push_str(rest);
+            sig.push(' ');
+            j += 1;
+            match lines.get(j) {
+                Some(l) => rest = l,
+                None => break,
+            }
+        }
+        out.push((i + 1, sig));
+    }
+    out
+}
+
+/// Return-type text of a signature: everything after the `->` that sits at
+/// parenthesis depth zero (so `fn(f: impl Fn(u32) -> u64) -> …` finds the
+/// outer arrow).
+fn return_type(sig: &str) -> Option<String> {
+    let b = sig.as_bytes();
+    let mut depth = 0i32;
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'(' => depth += 1,
+            b')' => depth -= 1,
+            b'-' if depth == 0 && b.get(i + 1) == Some(&b'>') => {
+                let ret = sig[i + 2..].trim();
+                // Trim a trailing where-clause.
+                let ret = match ret.find(" where ") {
+                    Some(w) => &ret[..w],
+                    None => ret,
+                };
+                return Some(ret.trim().to_string());
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generic_args_split_at_top_level() {
+        assert_eq!(
+            second_generic_arg("Result<Vec<(u32, u64)>, ListError>").as_deref(),
+            Some("ListError")
+        );
+        assert_eq!(second_generic_arg("Result<T>"), None);
+    }
+
+    #[test]
+    fn return_type_skips_closure_arrows() {
+        let sig = "fn apply(f: impl Fn(u32) -> u64) -> Result<u64, JumpError>";
+        assert_eq!(return_type(sig).as_deref(), Some("Result<u64, JumpError>"));
+    }
+
+    #[test]
+    fn last_segment_strips_paths_and_generics() {
+        assert_eq!(last_segment("crate::persist::PersistError"), "PersistError");
+        assert_eq!(last_segment("&JumpError"), "JumpError");
+        assert_eq!(last_segment("PhantomData<T>"), "PhantomData");
+    }
+
+    #[test]
+    fn find_result_requires_segment_boundary() {
+        assert_eq!(find_result("MyResult<u8>"), None);
+        assert_eq!(find_result("std::result::Result<u8, E>"), Some(13));
+    }
+}

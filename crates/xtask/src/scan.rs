@@ -1,0 +1,340 @@
+//! Source model for the audit: load `.rs` files, blank out comments and
+//! string/char literals (so pattern rules never fire inside them), and mark
+//! which lines belong to `#[cfg(test)]`-gated items.
+//!
+//! The scanner is deliberately lexical, not syntactic: it never parses Rust,
+//! it only tracks enough state (comment nesting, string kinds, brace depth)
+//! to answer "is this byte code, and is it test-only code?".  That keeps the
+//! tool dependency-free and fast, at the cost of a few documented
+//! heuristics (see [`strip_code`] and [`test_line_mask`]).
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A loaded source file with its derived views.
+pub struct SourceFile {
+    /// Absolute path on disk.
+    pub path: PathBuf,
+    /// Path relative to the workspace root, with `/` separators.
+    pub rel: String,
+    /// Raw file contents (used for allow-directive comments and snippets).
+    pub raw: String,
+    /// Contents with comments and string/char literal bodies blanked to
+    /// spaces.  Same length and line structure as `raw`.
+    pub code: String,
+    /// `mask[i]` is true when line `i` (0-based) is inside a
+    /// `#[cfg(test)]`-gated item.
+    pub test_mask: Vec<bool>,
+}
+
+impl SourceFile {
+    /// Load and pre-process one file.
+    pub fn load(root: &Path, path: PathBuf) -> io::Result<Self> {
+        let raw = fs::read_to_string(&path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let code = strip_code(&raw);
+        let test_mask = test_line_mask(&code);
+        Ok(Self {
+            path,
+            rel,
+            raw,
+            code,
+            test_mask,
+        })
+    }
+
+    /// Lines of the stripped view, zipped with 1-based line numbers, raw
+    /// text, and the test mask.
+    pub fn lines(&self) -> impl Iterator<Item = LineView<'_>> {
+        self.code
+            .lines()
+            .zip(self.raw.lines())
+            .enumerate()
+            .map(|(i, (code, raw))| LineView {
+                number: i + 1,
+                code,
+                raw,
+                in_test: self.test_mask.get(i).copied().unwrap_or(false),
+            })
+    }
+}
+
+/// One line of a [`SourceFile`], in both views.
+pub struct LineView<'a> {
+    /// 1-based line number.
+    pub number: usize,
+    /// Stripped view (comments/literals blanked).
+    pub code: &'a str,
+    /// Raw view (for snippets and allow directives).
+    pub raw: &'a str,
+    /// Whether the line is inside a `#[cfg(test)]` item.
+    pub in_test: bool,
+}
+
+/// Recursively collect `.rs` files under `dir`, skipping `target/`,
+/// `vendor/`, and hidden directories.  Results are sorted for
+/// deterministic reports.
+pub fn walk_rs_files(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    walk_into(dir, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn walk_into(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "vendor" || name.starts_with('.') {
+                continue;
+            }
+            walk_into(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Blank comments and string/char literal bodies to spaces, preserving
+/// newlines and byte offsets.
+///
+/// Handles line comments, nested block comments, `"…"` and `b"…"` strings
+/// with escapes, raw strings `r"…"` / `r#"…"#` (any hash count), and char
+/// literals.  A `'` is treated as a char literal only when it closes within
+/// a few bytes (`'x'`, `'\n'`, `'\u{..}'`); otherwise it is a lifetime and
+/// left alone.  This is the standard lexical heuristic and is exact for
+/// rustfmt-formatted sources.
+pub fn strip_code(raw: &str) -> String {
+    let b = raw.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(b.len());
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        // Line comment.
+        if c == b'/' && b.get(i + 1) == Some(&b'/') {
+            while i < b.len() && b[i] != b'\n' {
+                out.push(b' ');
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment (nested).
+        if c == b'/' && b.get(i + 1) == Some(&b'*') {
+            let mut depth = 0usize;
+            while i < b.len() {
+                if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                    depth += 1;
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                    depth -= 1;
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw string r"…" / r#"…"# (optionally b-prefixed).
+        let (raw_start, raw_prefix) = if c == b'r' {
+            (true, 1)
+        } else if c == b'b' && b.get(i + 1) == Some(&b'r') {
+            (true, 2)
+        } else {
+            (false, 0)
+        };
+        if raw_start && !prev_is_ident(&out) {
+            let mut j = i + raw_prefix;
+            let mut hashes = 0usize;
+            while b.get(j) == Some(&b'#') {
+                hashes += 1;
+                j += 1;
+            }
+            if b.get(j) == Some(&b'"') {
+                // Emit the opener verbatim-length as spaces, then blank to
+                // the matching closer `"###…`.
+                out.resize(out.len() + (j - i + 1), b' ');
+                i = j + 1;
+                'raw: while i < b.len() {
+                    if b[i] == b'"' {
+                        let mut k = 0;
+                        while k < hashes && b.get(i + 1 + k) == Some(&b'#') {
+                            k += 1;
+                        }
+                        if k == hashes {
+                            out.resize(out.len() + hashes + 1, b' ');
+                            i += 1 + hashes;
+                            break 'raw;
+                        }
+                    }
+                    out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        // Ordinary string (optionally b-prefixed).
+        if c == b'"' || (c == b'b' && b.get(i + 1) == Some(&b'"') && !prev_is_ident(&out)) {
+            let skip = if c == b'b' { 2 } else { 1 };
+            out.resize(out.len() + skip, b' ');
+            i += skip;
+            while i < b.len() {
+                if b[i] == b'\\' {
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                    continue;
+                }
+                if b[i] == b'"' {
+                    out.push(b' ');
+                    i += 1;
+                    break;
+                }
+                out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
+                i += 1;
+            }
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == b'\'' {
+            let closes = if b.get(i + 1) == Some(&b'\\') {
+                // Escaped char: find the closing quote within a small window
+                // (covers '\n', '\u{10FFFF}').
+                (i + 2..(i + 12).min(b.len())).find(|&k| b[k] == b'\'')
+            } else if b.get(i + 2) == Some(&b'\'') && b.get(i + 1) != Some(&b'\'') {
+                Some(i + 2)
+            } else {
+                // Multi-byte UTF-8 scalar like 'é': closing quote within 5.
+                (i + 2..(i + 6).min(b.len()))
+                    .find(|&k| b[k] == b'\'')
+                    .filter(|_| b.get(i + 1).is_some_and(|&x| x >= 0x80))
+            };
+            if let Some(end) = closes {
+                for &byte in b.iter().take(end + 1).skip(i) {
+                    out.push(if byte == b'\n' { b'\n' } else { b' ' });
+                }
+                i = end + 1;
+                continue;
+            }
+            // Lifetime: emit the quote, keep going.
+            out.push(c);
+            i += 1;
+            continue;
+        }
+        out.push(c);
+        i += 1;
+    }
+    // strip_code operates on bytes but only ever replaces bytes with spaces,
+    // so the result is valid UTF-8 whenever the input was.
+    String::from_utf8(out).unwrap_or_default()
+}
+
+fn prev_is_ident(out: &[u8]) -> bool {
+    out.last()
+        .is_some_and(|&c| c.is_ascii_alphanumeric() || c == b'_')
+}
+
+/// Mark lines covered by `#[cfg(test)]`-gated items.
+///
+/// Tracks brace depth over the stripped source; when a `#[cfg(test)]`
+/// attribute is seen, the next `{` opens a test region that closes when the
+/// depth returns to its opening value.  Attribute lines between the cfg and
+/// the item body (e.g. an `#[allow(…)]` stack) are included.  A `;` before
+/// any `{` cancels the pending attribute (covers `#[cfg(test)] use …;`).
+pub fn test_line_mask(code: &str) -> Vec<bool> {
+    let mut mask = Vec::new();
+    let mut depth: usize = 0;
+    let mut regions: Vec<usize> = Vec::new();
+    let mut pending = false;
+    for line in code.lines() {
+        let compact: String = line.chars().filter(|c| !c.is_whitespace()).collect();
+        let attr_here = compact.contains("#[cfg(test)]");
+        if attr_here {
+            pending = true;
+        }
+        mask.push(!regions.is_empty() || pending);
+        for ch in line.chars() {
+            match ch {
+                '{' => {
+                    if pending {
+                        regions.push(depth);
+                        pending = false;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    if regions.last() == Some(&depth) {
+                        regions.pop();
+                    }
+                }
+                ';' if pending && !attr_here => pending = false,
+                _ => {}
+            }
+        }
+        // `#[cfg(test)] use foo;` on one line: the `;` handler above skips
+        // same-line cancellation, so handle it here.
+        if attr_here && pending && compact.ends_with(';') {
+            pending = false;
+        }
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_comments_and_strings() {
+        let src = "let x = \"unwrap()\"; // unwrap()\nlet y = 1; /* panic! */\n";
+        let s = strip_code(src);
+        assert!(!s.contains("unwrap"));
+        assert!(!s.contains("panic"));
+        assert!(s.contains("let x ="));
+        assert_eq!(s.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn strips_raw_strings_and_keeps_lifetimes() {
+        let src = "let s = r#\"panic!(\"x\")\"#; fn f<'a>(x: &'a str) {}";
+        let s = strip_code(src);
+        assert!(!s.contains("panic"));
+        assert!(s.contains("<'a>"));
+    }
+
+    #[test]
+    fn char_literals_blanked() {
+        let src = "let c = '\\n'; let q = '\"'; let s = \"after\";";
+        let s = strip_code(src);
+        assert!(!s.contains("after"));
+        assert!(!s.contains('"'));
+    }
+
+    #[test]
+    fn test_mask_covers_cfg_test_mod() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n";
+        let mask = test_line_mask(&strip_code(src));
+        assert_eq!(mask, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn test_mask_handles_attr_stack_and_use() {
+        let src = "#[cfg(test)]\n#[allow(deprecated)]\nmod tests {\n    fn t() {}\n}\n#[cfg(test)] use x;\nfn prod() {}\n";
+        let mask = test_line_mask(&strip_code(src));
+        assert_eq!(mask, vec![true, true, true, true, true, true, false]);
+    }
+}

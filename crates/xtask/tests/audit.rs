@@ -1,0 +1,274 @@
+//! End-to-end tests for `cargo xtask audit`: seeded violation fixtures per
+//! rule, allowlist suppression, a JSON snapshot, and a check that the real
+//! workspace is clean.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use xtask::{audit_workspace, Report, Severity};
+
+static FIXTURE_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+/// Materialize a throwaway workspace with the given `(relative path,
+/// contents)` files and audit it.
+fn audit_fixture(files: &[(&str, &str)]) -> (Report, PathBuf) {
+    let n = FIXTURE_SEQ.fetch_add(1, Ordering::Relaxed);
+    let root = std::env::temp_dir().join(format!("xtask-audit-fixture-{}-{n}", std::process::id()));
+    for (rel, contents) in files {
+        let path = root.join(rel);
+        fs::create_dir_all(path.parent().expect("fixture path has a parent"))
+            .expect("create fixture dirs");
+        fs::write(&path, contents).expect("write fixture file");
+    }
+    let report = audit_workspace(&root).expect("audit fixture");
+    (report, root)
+}
+
+fn cleanup(root: PathBuf) {
+    let _ = fs::remove_dir_all(root);
+}
+
+fn rules_of(report: &Report, rule: &str) -> Vec<String> {
+    report
+        .findings
+        .iter()
+        .filter(|f| f.rule == rule)
+        .map(|f| format!("{}:{} {}", f.file, f.line, f.severity.label()))
+        .collect()
+}
+
+#[test]
+fn no_panic_rule_fires_on_unwrap_and_macros_but_not_tests() {
+    let (report, root) = audit_fixture(&[(
+        "crates/core/src/lib.rs",
+        r##"#![forbid(unsafe_code)]
+pub fn prod(x: Option<u8>) -> u8 {
+    x.unwrap()
+}
+pub fn prod2() {
+    panic!("boom");
+}
+pub fn fine(x: Option<u8>) -> u8 {
+    x.unwrap_or(0)
+}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        Some(1u8).unwrap();
+        todo!();
+    }
+}
+"##,
+    )]);
+    let hits = rules_of(&report, "no-panic-in-prod");
+    assert_eq!(
+        hits,
+        vec![
+            "crates/core/src/lib.rs:3 deny",
+            "crates/core/src/lib.rs:6 deny"
+        ],
+        "unwrap_or must not match; cfg(test) code must be masked"
+    );
+    assert_eq!(report.deny_count(), 2);
+    cleanup(root);
+}
+
+#[test]
+fn no_panic_rule_ignores_comments_and_strings() {
+    let (report, root) = audit_fixture(&[(
+        "crates/jump/src/lib.rs",
+        r##"#![forbid(unsafe_code)]
+// a comment may say unwrap() or panic!
+pub fn msg() -> &'static str {
+    "this string says unwrap() and panic!(now)"
+}
+"##,
+    )]);
+    assert!(rules_of(&report, "no-panic-in-prod").is_empty());
+    cleanup(root);
+}
+
+#[test]
+fn indexing_is_warn_severity_only() {
+    let (report, root) = audit_fixture(&[(
+        "crates/postings/src/lib.rs",
+        r##"#![forbid(unsafe_code)]
+pub fn first(xs: &[u8]) -> u8 {
+    xs[0]
+}
+"##,
+    )]);
+    let hits = rules_of(&report, "no-panic-in-prod");
+    assert_eq!(hits, vec!["crates/postings/src/lib.rs:3 warn"]);
+    assert_eq!(
+        report.deny_count(),
+        0,
+        "warn findings must not fail the audit"
+    );
+    assert_eq!(report.warn_count(), 1);
+    cleanup(root);
+}
+
+#[test]
+fn worm_append_only_exempts_the_worm_crate() {
+    let shared = r##"#![forbid(unsafe_code)]
+pub fn shrink(f: &mut std::fs::File) {
+    let _ = f.set_len(0);
+}
+"##;
+    let (report, root) = audit_fixture(&[
+        ("crates/jump/src/lib.rs", shared),
+        ("crates/worm/src/lib.rs", shared),
+    ]);
+    let hits = rules_of(&report, "worm-append-only");
+    assert_eq!(
+        hits,
+        vec!["crates/jump/src/lib.rs:3 deny"],
+        "only the non-worm crate may be flagged"
+    );
+    cleanup(root);
+}
+
+#[test]
+fn forbid_unsafe_flags_blocks_and_missing_attr() {
+    let (report, root) = audit_fixture(&[(
+        "crates/ght/src/lib.rs",
+        r##"pub fn evil(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+"##,
+    )]);
+    let hits = rules_of(&report, "forbid-unsafe");
+    assert_eq!(
+        hits,
+        vec![
+            "crates/ght/src/lib.rs:1 deny",
+            "crates/ght/src/lib.rs:2 deny"
+        ],
+        "expect one finding for the missing attribute, one for the block"
+    );
+    cleanup(root);
+}
+
+#[test]
+fn error_taxonomy_rejects_string_errors_and_accepts_taxonomy_types() {
+    let (report, root) = audit_fixture(&[(
+        "crates/core/src/lib.rs",
+        r##"#![forbid(unsafe_code)]
+#[derive(Debug)]
+pub struct GoodError;
+impl std::fmt::Display for GoodError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "good")
+    }
+}
+impl std::error::Error for GoodError {}
+
+pub fn bad() -> Result<u8, String> {
+    Ok(1)
+}
+pub fn worse() -> Result<u8, u64> {
+    Ok(1)
+}
+pub fn good() -> Result<u8, GoodError> {
+    Ok(1)
+}
+pub fn infallible() -> u8 {
+    1
+}
+"##,
+    )]);
+    let hits = rules_of(&report, "error-taxonomy");
+    assert_eq!(
+        hits,
+        vec![
+            "crates/core/src/lib.rs:11 deny",
+            "crates/core/src/lib.rs:14 deny"
+        ]
+    );
+    cleanup(root);
+}
+
+#[test]
+fn inline_allow_directive_suppresses_and_is_counted() {
+    let (report, root) = audit_fixture(&[(
+        "crates/core/src/lib.rs",
+        r##"#![forbid(unsafe_code)]
+pub fn prod(x: Option<u8>) -> u8 {
+    // audit:allow(no-panic-in-prod) — fixture exception
+    x.unwrap()
+}
+"##,
+    )]);
+    assert!(rules_of(&report, "no-panic-in-prod").is_empty());
+    assert_eq!(report.suppressed, 1);
+    assert_eq!(report.deny_count(), 0);
+    cleanup(root);
+}
+
+#[test]
+fn allow_directive_for_one_rule_does_not_mute_others() {
+    let (report, root) = audit_fixture(&[(
+        "crates/core/src/lib.rs",
+        r##"#![forbid(unsafe_code)]
+pub fn prod(x: Option<u8>) -> u8 {
+    // audit:allow(worm-append-only) — wrong rule name on purpose
+    x.unwrap()
+}
+"##,
+    )]);
+    assert_eq!(
+        rules_of(&report, "no-panic-in-prod"),
+        vec!["crates/core/src/lib.rs:4 deny"]
+    );
+    assert_eq!(report.suppressed, 0);
+    cleanup(root);
+}
+
+#[test]
+fn json_report_snapshot() {
+    let (report, root) = audit_fixture(&[(
+        "crates/worm/src/lib.rs",
+        r##"#![forbid(unsafe_code)]
+pub fn prod() {
+    panic!("boom");
+}
+"##,
+    )]);
+    let expected = r##"{
+  "findings": [
+    {"rule": "no-panic-in-prod", "severity": "deny", "file": "crates/worm/src/lib.rs", "line": 3, "col": 5, "message": "`panic!` aborts the process; a crash during a compliance lookup is indistinguishable from a hidden record", "snippet": "panic!(\"boom\");"}
+  ],
+  "files_scanned": 1,
+  "deny": 1,
+  "warn": 0,
+  "suppressed": 0,
+  "pass": false
+}
+"##;
+    assert_eq!(report.render_json(), expected);
+    cleanup(root);
+}
+
+#[test]
+fn the_real_workspace_is_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("workspace root")
+        .to_path_buf();
+    let report = audit_workspace(&root).expect("audit workspace");
+    let denies: Vec<String> = report
+        .findings
+        .iter()
+        .filter(|f| f.severity == Severity::Deny)
+        .map(|f| format!("{}:{} [{}] {}", f.file, f.line, f.rule, f.message))
+        .collect();
+    assert!(
+        denies.is_empty(),
+        "the workspace must audit clean:\n{}",
+        denies.join("\n")
+    );
+}

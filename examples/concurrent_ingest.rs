@@ -27,7 +27,7 @@ fn main() {
         .store_documents(false)
         .build()
         .expect("valid configuration");
-    let (mut writer, searcher) = service(SearchEngine::new(config));
+    let (mut writer, searcher) = service(SearchEngine::new(config).unwrap());
 
     let (tx, rx) = mpsc::sync_channel::<(u64, Vec<(TermId, u32)>, Timestamp)>(64);
     let (committed_tx, committed_rx) = mpsc::sync_channel::<(DocId, TermId)>(64);

@@ -93,7 +93,8 @@ fn main() {
     let mut engine = SearchEngine::new(EngineConfig {
         assignment: MergeAssignment::uniform(8),
         ..Default::default()
-    });
+    })
+    .unwrap();
     let target = engine
         .add_document(
             "stewart waksal imclone insider sale evidence",

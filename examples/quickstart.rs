@@ -18,7 +18,7 @@ fn main() {
         .positional(true) // enables exact phrase queries
         .build()
         .expect("valid configuration");
-    let mut engine = SearchEngine::new(config);
+    let mut engine = SearchEngine::new(config).unwrap();
 
     // Commit some business records.  Each call writes the record to WORM
     // *and* updates every posting list before returning — the real-time

@@ -42,7 +42,7 @@
 //!     .jump(JumpConfig::new(8192, 32, 1 << 32))
 //!     .build()
 //!     .unwrap();
-//! let mut engine = SearchEngine::new(config);
+//! let mut engine = SearchEngine::new(config).unwrap();
 //!
 //! // Committing a record indexes it *before* the call returns — there is
 //! // no window in which an insider can suppress the index entry.
@@ -72,7 +72,7 @@
 //! ```
 //! use trustworthy_search::prelude::*;
 //!
-//! let (mut writer, searcher) = service(SearchEngine::new(EngineConfig::default()));
+//! let (mut writer, searcher) = service(SearchEngine::new(EngineConfig::default()).unwrap());
 //! writer.commit("board meeting minutes", Timestamp(100)).unwrap();
 //!
 //! let handle = searcher.clone(); // Send + Sync: share freely across threads
@@ -82,6 +82,9 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+// Facade crate: re-exports only; outside the production no-panic surface
+// gated by clippy + `cargo xtask audit`.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 pub use tks_btree as btree;
 pub use tks_core as core;

@@ -5,7 +5,7 @@
 //! Silent loss is the one outcome that must never occur.
 
 use proptest::prelude::*;
-use trustworthy_search::core::engine::{EngineConfig, SearchEngine};
+use trustworthy_search::core::engine::{EngineConfig, SearchEngine, SearchError};
 use trustworthy_search::core::merge::MergeAssignment;
 use trustworthy_search::core::query::Query;
 use trustworthy_search::core::rank_attack::detect_phantom_postings;
@@ -45,7 +45,8 @@ fn run_workload(steps: &[Step]) {
         jump: Some(JumpConfig::new(1024, 4, 1 << 32)),
         store_documents: false,
         ..Default::default()
-    });
+    })
+    .unwrap();
     // (doc, terms) pairs committed through the legitimate path.
     let mut committed: Vec<(DocId, Vec<TermId>)> = Vec::new();
     let mut mala_acted = false;
@@ -198,7 +199,8 @@ fn raw_list_tampering_is_always_evident() {
             let mut e = SearchEngine::new(EngineConfig {
                 assignment: MergeAssignment::uniform(2),
                 ..Default::default()
-            });
+            })
+            .unwrap();
             e.add_document("alpha beta", Timestamp(1)).unwrap();
             e.add_document("alpha gamma", Timestamp(2)).unwrap();
             let config = e.config().clone();
@@ -224,7 +226,8 @@ fn audit_identifies_the_specific_list() {
     let mut e = SearchEngine::new(EngineConfig {
         assignment: MergeAssignment::uniform(3),
         ..Default::default()
-    });
+    })
+    .unwrap();
     for i in 0..12u64 {
         e.add_document(&format!("word{i} shared filler"), Timestamp(i))
             .unwrap();
@@ -236,4 +239,100 @@ fn audit_identifies_the_specific_list() {
     let report = e.audit();
     assert_eq!(report.list_violations.len(), 1);
     assert_eq!(report.list_violations[0].0, victim);
+}
+
+/// Adversarial *configurations*: the `EngineConfig` fields are public, so a
+/// hostile caller can hand `SearchEngine::new` geometry that would overflow
+/// or divide by zero if it reached the storage layers.  Every such config
+/// must come back as a typed `SearchError::Config`, never a panic.
+#[test]
+fn hostile_configs_are_rejected_with_typed_errors() {
+    let hostile: Vec<(&str, EngineConfig)> = vec![
+        (
+            "zero block size",
+            EngineConfig {
+                block_size: 0,
+                ..EngineConfig::default()
+            },
+        ),
+        (
+            "block size below minimum",
+            EngineConfig {
+                block_size: 3,
+                ..EngineConfig::default()
+            },
+        ),
+        (
+            "block size not a posting multiple",
+            EngineConfig {
+                block_size: 129,
+                ..EngineConfig::default()
+            },
+        ),
+        (
+            "block size larger than the cache",
+            EngineConfig {
+                block_size: usize::MAX & !7,
+                ..EngineConfig::default()
+            },
+        ),
+        (
+            "cache smaller than one block",
+            EngineConfig {
+                cache_bytes: 1,
+                ..EngineConfig::default()
+            },
+        ),
+        (
+            "degenerate jump branching",
+            EngineConfig {
+                jump: Some(JumpConfig {
+                    block_size: 8192,
+                    branching: 1,
+                    max_key: 1 << 32,
+                }),
+                ..EngineConfig::default()
+            },
+        ),
+        (
+            "degenerate jump key space",
+            EngineConfig {
+                jump: Some(JumpConfig {
+                    block_size: 8192,
+                    branching: 4,
+                    max_key: 0,
+                }),
+                ..EngineConfig::default()
+            },
+        ),
+        (
+            "jump block too small for one entry",
+            EngineConfig {
+                jump: Some(JumpConfig {
+                    block_size: 8,
+                    branching: 64,
+                    max_key: 1 << 32,
+                }),
+                ..EngineConfig::default()
+            },
+        ),
+    ];
+    for (what, config) in hostile {
+        match SearchEngine::new(config) {
+            Err(SearchError::Config(e)) => {
+                assert!(
+                    !e.to_string().is_empty(),
+                    "{what}: config error must explain itself"
+                );
+            }
+            Err(other) => panic!("{what}: expected SearchError::Config, got {other}"),
+            Ok(_) => panic!("{what}: hostile config was accepted"),
+        }
+    }
+    // An explicitly uncached device (cache_bytes = 0) stays legal.
+    assert!(SearchEngine::new(EngineConfig {
+        cache_bytes: 0,
+        ..EngineConfig::default()
+    })
+    .is_ok());
 }

@@ -25,7 +25,7 @@ fn small_config() -> EngineConfig {
 fn readers_never_miss_published_commits() {
     const DOCS: u64 = 200;
     const READERS: usize = 4;
-    let (mut writer, searcher) = service(SearchEngine::new(small_config()));
+    let (mut writer, searcher) = service(SearchEngine::new(small_config()).unwrap());
     let published = AtomicU64::new(0);
     let done = AtomicBool::new(false);
 
@@ -77,7 +77,7 @@ fn readers_never_miss_published_commits() {
 /// byte-identical no matter how much the writer commits concurrently.
 #[test]
 fn pinned_snapshot_is_stable_under_concurrent_writes() {
-    let (mut writer, searcher) = service(SearchEngine::new(small_config()));
+    let (mut writer, searcher) = service(SearchEngine::new(small_config()).unwrap());
     for i in 0..20u64 {
         writer
             .commit(&format!("alpha doc{i}"), Timestamp(i))
@@ -121,13 +121,16 @@ fn pinned_snapshot_is_stable_under_concurrent_writes() {
 /// results identical to the sequential order.
 #[test]
 fn multi_query_driver_matches_sequential_across_thread_counts() {
-    let (mut writer, searcher) = service(SearchEngine::new(
-        EngineConfig::builder()
-            .assignment(MergeAssignment::uniform(16))
-            .positional(true)
-            .build()
-            .unwrap(),
-    ));
+    let (mut writer, searcher) = service(
+        SearchEngine::new(
+            EngineConfig::builder()
+                .assignment(MergeAssignment::uniform(16))
+                .positional(true)
+                .build()
+                .unwrap(),
+        )
+        .unwrap(),
+    );
     let texts = [
         "merger escrow wire instructions",
         "quarterly earnings restatement draft",
@@ -172,7 +175,8 @@ fn query_api_round_trips_against_legacy_methods() {
             .positional(true)
             .build()
             .unwrap(),
-    );
+    )
+    .unwrap();
     let texts = [
         "alpha beta gamma",
         "beta gamma delta",

@@ -18,7 +18,8 @@ fn archive() -> (SearchEngine, EmailGenerator) {
         jump: Some(JumpConfig::new(4096, 32, 1 << 32)),
         positional: true,
         ..Default::default()
-    });
+    })
+    .unwrap();
     for m in gen.emails(0..EMAILS) {
         engine.add_document(&m.text(), m.timestamp).unwrap();
     }

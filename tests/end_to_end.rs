@@ -54,7 +54,8 @@ fn engines() -> Vec<(&'static str, SearchEngine)> {
                     assignment: MergeAssignment::unmerged(1_500),
                     ..Default::default()
                 },
-            ),
+            )
+            .unwrap(),
         ),
         (
             "uniform-32",
@@ -65,7 +66,8 @@ fn engines() -> Vec<(&'static str, SearchEngine)> {
                     assignment: MergeAssignment::uniform(32),
                     ..Default::default()
                 },
-            ),
+            )
+            .unwrap(),
         ),
         (
             "uniform-32+jump-b4",
@@ -77,7 +79,8 @@ fn engines() -> Vec<(&'static str, SearchEngine)> {
                     jump: Some(JumpConfig::new(2048, 4, 1 << 32)),
                     ..Default::default()
                 },
-            ),
+            )
+            .unwrap(),
         ),
         (
             "uniform-32+jump-b32",
@@ -89,7 +92,8 @@ fn engines() -> Vec<(&'static str, SearchEngine)> {
                     jump: Some(JumpConfig::new(8192, 32, 1 << 32)),
                     ..Default::default()
                 },
-            ),
+            )
+            .unwrap(),
         ),
     ]
 }
@@ -181,7 +185,8 @@ fn time_range_queries_match_reference() {
             assignment: MergeAssignment::uniform(16),
             ..Default::default()
         },
-    );
+    )
+    .unwrap();
     let ts = |d: u64| gen.doc(d).timestamp;
     let (from, to) = (ts(100), ts(399));
     let got = e.docs_in_time_range(from, to).unwrap();
@@ -210,8 +215,8 @@ fn io_accounting_is_deterministic() {
         store_documents: false,
         ..Default::default()
     };
-    let a = build_engine(&gen, DOCS, cfg());
-    let b = build_engine(&gen, DOCS, cfg());
+    let a = build_engine(&gen, DOCS, cfg()).unwrap();
+    let b = build_engine(&gen, DOCS, cfg()).unwrap();
     assert_eq!(a.io_stats(), b.io_stats());
     assert!(a.io_stats().total_ios() > 0 || a.io_stats().hits > 0);
 }

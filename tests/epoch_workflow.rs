@@ -52,7 +52,8 @@ fn epoch_results_match_single_engine_reference() {
         assignment: MergeAssignment::uniform(32),
         store_documents: false,
         ..Default::default()
-    });
+    })
+    .unwrap();
     for d in gen.docs(0..DOCS) {
         flat.add_document_terms(&d.terms, d.timestamp, None)
             .unwrap();

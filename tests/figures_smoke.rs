@@ -139,8 +139,8 @@ fn fig8b_shape_jump_update_cost_converges_with_cache() {
     let m = 32;
     let assignment = MergeAssignment::uniform(m);
     let jump = JumpConfig::new(1024, 32, 1 << 32);
-    let (tight, _) = jump_insertion_ios(&gen, &assignment, jump, 600, m as u64 * 1024);
-    let (roomy, _) = jump_insertion_ios(&gen, &assignment, jump, 600, 1 << 30);
+    let (tight, _) = jump_insertion_ios(&gen, &assignment, jump, 600, m as u64 * 1024).unwrap();
+    let (roomy, _) = jump_insertion_ios(&gen, &assignment, jump, 600, 1 << 30).unwrap();
     assert!(tight.ios_per_doc() >= roomy.ios_per_doc());
     // With a cache holding the whole working set, the cost per document
     // approaches the geometric floor: one block-fill write per p postings
@@ -173,7 +173,8 @@ fn fig8c_shape_speedup_grows_with_keywords() {
             block_size: 2048,
             ..Default::default()
         },
-    );
+    )
+    .unwrap();
     let ratio_for = |len: usize| {
         let (mut scan, mut jump) = (0u64, 0u64);
         for i in 0..40 {
@@ -206,7 +207,8 @@ fn btree_ideal_baseline_agrees_with_engine_results() {
             assignment: MergeAssignment::uniform(16),
             ..Default::default()
         },
-    );
+    )
+    .unwrap();
     let mut needed: HashSet<TermId> = HashSet::new();
     let queries: Vec<Vec<TermId>> = (0..20).map(|i| qgen.query_of_len(i, 3).terms).collect();
     for q in &queries {
@@ -217,7 +219,8 @@ fn btree_ideal_baseline_agrees_with_engine_results() {
         1_500,
         &needed,
         trustworthy_search::btree::BTreeConfig::tiny(64, 64),
-    );
+    )
+    .unwrap();
     for q in &queries {
         let (a, _) = engine.conjunctive_terms(q).unwrap();
         let (b, _) = btree_conjunctive_cost(&trees, q).unwrap();

@@ -1,0 +1,309 @@
+//! Deterministic schedule-permutation race tests ("loom-lite").
+//!
+//! Each test drives the real concurrency types — [`AtomicIoStats`] and the
+//! `IndexWriter`/`Searcher` service — through hundreds of seeded
+//! interleavings of virtual-thread operations (see `tks_core::sched`).
+//! Any violated invariant reports the exact seed, so a failure here is
+//! reproducible by construction: re-run the test and the same seed fails
+//! the same way.
+
+use tks_core::sched::{explore, interleave, Step};
+use tks_core::{service, EngineConfig, IndexWriter, Query, SearchEngine, Searcher};
+use tks_postings::types::Timestamp;
+use tks_worm::{AtomicIoStats, IoStats};
+
+const SCHEDULES: u64 = 160;
+
+fn small_engine() -> SearchEngine {
+    SearchEngine::new(EngineConfig::default()).expect("default config is valid")
+}
+
+// ---------------------------------------------------------------------------
+// AtomicIoStats: record / snapshot / reset under every interleaving.
+// ---------------------------------------------------------------------------
+
+struct StatsState {
+    shared: AtomicIoStats,
+    /// What the counters must read right now, updated in lockstep by every
+    /// mutating op.
+    model: IoStats,
+    violations: Vec<String>,
+}
+
+fn delta(read_ios: u64, write_ios: u64, hits: u64, misses: u64) -> IoStats {
+    IoStats {
+        read_ios,
+        write_ios,
+        hits,
+        misses,
+    }
+}
+
+/// Two recorders, one snapshotter, one resetter.  The snapshot must always
+/// equal the model exactly (ops are atomic at schedule granularity), which
+/// pins down that `record` adds to every counter, `reset` zeroes every
+/// counter, and `snapshot` reads them coherently.
+fn stats_threads(with_reset: bool) -> (StatsState, Vec<Vec<Step<'static, StatsState>>>) {
+    let state = StatsState {
+        shared: AtomicIoStats::new(),
+        model: IoStats::new(),
+        violations: Vec::new(),
+    };
+    let recorder = |scale: u64| -> Vec<Step<'static, StatsState>> {
+        (1..=5u64)
+            .map(|i| {
+                let d = delta(i * scale, i, i + scale, i % 2);
+                Box::new(move |s: &mut StatsState| {
+                    s.shared.record(d);
+                    s.model += d;
+                }) as Step<'static, StatsState>
+            })
+            .collect()
+    };
+    let snapshotter: Vec<Step<'static, StatsState>> = (0..5)
+        .map(|_| {
+            Box::new(|s: &mut StatsState| {
+                let got = s.shared.snapshot();
+                if got != s.model {
+                    s.violations
+                        .push(format!("snapshot {got:?} != model {:?}", s.model));
+                }
+            }) as Step<'static, StatsState>
+        })
+        .collect();
+    let mut threads = vec![recorder(1), recorder(10), snapshotter];
+    if with_reset {
+        threads.push(
+            (0..2)
+                .map(|_| {
+                    Box::new(|s: &mut StatsState| {
+                        s.shared.reset();
+                        s.model = IoStats::new();
+                    }) as Step<'static, StatsState>
+                })
+                .collect(),
+        );
+    }
+    (state, threads)
+}
+
+#[test]
+fn stats_snapshots_agree_with_model_under_all_schedules() {
+    let clean = explore(0xA11CE, SCHEDULES, |seed| {
+        let (mut state, mut threads) = stats_threads(false);
+        interleave(seed, &mut state, &mut threads);
+        // Quiescent equality: once every op has run, the counters hold
+        // exactly the sum of all recorded deltas.
+        let end = state.shared.snapshot();
+        if end != state.model {
+            state
+                .violations
+                .push(format!("quiescent {end:?} != model {:?}", state.model));
+        }
+        if state.violations.is_empty() {
+            Ok(())
+        } else {
+            Err(state.violations.join("; "))
+        }
+    })
+    .unwrap_or_else(|f| panic!("{f}"));
+    assert_eq!(clean, SCHEDULES);
+}
+
+#[test]
+fn stats_reset_is_total_under_all_schedules() {
+    explore(0xBEEF, SCHEDULES, |seed| {
+        let (mut state, mut threads) = stats_threads(true);
+        interleave(seed, &mut state, &mut threads);
+        let end = state.shared.snapshot();
+        if end != state.model {
+            state
+                .violations
+                .push(format!("quiescent {end:?} != model {:?}", state.model));
+        }
+        if state.violations.is_empty() {
+            Ok(())
+        } else {
+            Err(state.violations.join("; "))
+        }
+    })
+    .unwrap_or_else(|f| panic!("{f}"));
+}
+
+#[test]
+fn stats_snapshots_are_monotone_without_reset() {
+    explore(0xCAFE, SCHEDULES, |seed| {
+        let (mut state, mut threads) = stats_threads(false);
+        let mut last = IoStats::new();
+        // Append a monotonicity checker interleaved as a fourth thread.
+        threads.push(
+            (0..4)
+                .map(|_| {
+                    Box::new(move |s: &mut StatsState| {
+                        let got = s.shared.snapshot();
+                        if got.read_ios < last.read_ios
+                            || got.write_ios < last.write_ios
+                            || got.hits < last.hits
+                            || got.misses < last.misses
+                        {
+                            s.violations
+                                .push(format!("snapshot {got:?} went backwards from {last:?}"));
+                        }
+                        last = got;
+                    }) as Step<'_, StatsState>
+                })
+                .collect(),
+        );
+        interleave(seed, &mut state, &mut threads);
+        if state.violations.is_empty() {
+            Ok(())
+        } else {
+            Err(state.violations.join("; "))
+        }
+    })
+    .unwrap_or_else(|f| panic!("{f}"));
+}
+
+// ---------------------------------------------------------------------------
+// Watermark publication: IndexWriter commits vs Searcher reads.
+// ---------------------------------------------------------------------------
+
+struct WmState {
+    writer: IndexWriter,
+    searcher: Searcher,
+    /// Documents committed so far (the model the watermark must track).
+    committed: u64,
+    /// Watermark seen by the previous reader op.
+    last_seen: u64,
+    /// `(watermark, handle)` captured by the pinning op.
+    pinned: Option<(u64, Searcher)>,
+    violations: Vec<String>,
+}
+
+impl WmState {
+    fn check(&mut self, what: &str, cond: bool, detail: String) {
+        if !cond {
+            self.violations.push(format!("{what}: {detail}"));
+        }
+    }
+}
+
+const DOCS: u64 = 5;
+
+fn wm_threads() -> (WmState, Vec<Vec<Step<'static, WmState>>>) {
+    let (writer, searcher) = service(small_engine());
+    let state = WmState {
+        writer,
+        searcher,
+        committed: 0,
+        last_seen: 0,
+        pinned: None,
+        violations: Vec::new(),
+    };
+    // Writer: commit DOCS documents that all contain the term "common".
+    let writer_ops: Vec<Step<'static, WmState>> = (0..DOCS)
+        .map(|i| {
+            Box::new(move |s: &mut WmState| {
+                match s
+                    .writer
+                    .commit(&format!("common record{i}"), Timestamp(1_000 + i))
+                {
+                    Ok(_) => s.committed += 1,
+                    Err(e) => s.violations.push(format!("commit {i} failed: {e}")),
+                }
+            }) as Step<'static, WmState>
+        })
+        .collect();
+    // Reader: watermark exactness + monotonicity + prefix visibility.
+    let reader_ops: Vec<Step<'static, WmState>> = (0..6)
+        .map(|_| {
+            Box::new(|s: &mut WmState| {
+                let seen = s.searcher.visible_docs();
+                let (committed, last) = (s.committed, s.last_seen);
+                s.check(
+                    "watermark-exact",
+                    seen == committed,
+                    format!("visible {seen} but {committed} committed"),
+                );
+                s.check(
+                    "watermark-monotone",
+                    seen >= last,
+                    format!("visible {seen} after seeing {last}"),
+                );
+                s.last_seen = seen;
+                match s.searcher.execute(Query::disjunctive("common", usize::MAX)) {
+                    Ok(resp) => {
+                        let hits = resp.hits.len() as u64;
+                        s.check(
+                            "prefix-visibility",
+                            hits == seen,
+                            format!("{hits} hits at watermark {seen}"),
+                        );
+                    }
+                    Err(e) => s.violations.push(format!("query failed: {e}")),
+                }
+            }) as Step<'static, WmState>
+        })
+        .collect();
+    // Pinner: one op takes a pinned snapshot, later ops require it stable.
+    let mut pin_ops: Vec<Step<'static, WmState>> = vec![Box::new(|s: &mut WmState| {
+        let handle = s.searcher.pin();
+        s.pinned = Some((handle.visible_docs(), handle));
+    })];
+    for _ in 0..3 {
+        pin_ops.push(Box::new(|s: &mut WmState| {
+            let Some((at, handle)) = s.pinned.take() else {
+                return;
+            };
+            let now = handle.visible_docs();
+            let hits = match handle.execute(Query::disjunctive("common", usize::MAX)) {
+                Ok(resp) => resp.hits.len() as u64,
+                Err(e) => {
+                    s.violations.push(format!("pinned query failed: {e}"));
+                    at
+                }
+            };
+            s.check(
+                "pin-stability",
+                now == at && hits == at,
+                format!("pinned at {at} but sees watermark {now} / {hits} hits"),
+            );
+            s.pinned = Some((at, handle));
+        }));
+    }
+    (state, vec![writer_ops, reader_ops, pin_ops])
+}
+
+#[test]
+fn watermark_invariants_hold_under_all_schedules() {
+    let clean = explore(0xD0C5, SCHEDULES, |seed| {
+        let (mut state, mut threads) = wm_threads();
+        interleave(seed, &mut state, &mut threads);
+        // Quiescent: every commit published, the full corpus visible.
+        let end = state.searcher.visible_docs();
+        if end != DOCS {
+            state
+                .violations
+                .push(format!("quiescent watermark {end}, expected {DOCS}"));
+        }
+        if state.violations.is_empty() {
+            Ok(())
+        } else {
+            Err(state.violations.join("; "))
+        }
+    })
+    .unwrap_or_else(|f| panic!("{f}"));
+    assert_eq!(clean, SCHEDULES);
+}
+
+#[test]
+fn schedules_are_reproducible_given_a_seed() {
+    let run = |seed: u64| {
+        let (mut state, mut threads) = wm_threads();
+        let trace = interleave(seed, &mut state, &mut threads);
+        (trace, state.committed, state.last_seen)
+    };
+    for seed in [0u64, 1, 0xD0C5, u64::MAX] {
+        assert_eq!(run(seed), run(seed), "seed {seed} must replay identically");
+    }
+}

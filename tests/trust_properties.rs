@@ -71,7 +71,8 @@ fn engine_audit_catches_raw_posting_tampering() {
     let mut e = SearchEngine::new(EngineConfig {
         assignment: MergeAssignment::uniform(4),
         ..Default::default()
-    });
+    })
+    .unwrap();
     for i in 0..10u64 {
         e.add_document(
             &format!("record {i} fraud investigation material"),
@@ -104,7 +105,8 @@ fn phantom_postings_detected_even_when_monotone() {
     let mut e = SearchEngine::new(EngineConfig {
         assignment: MergeAssignment::uniform(4),
         ..Default::default()
-    });
+    })
+    .unwrap();
     e.add_document("incriminating ledger entry", Timestamp(5))
         .unwrap();
     let term = e.term_of("ledger").unwrap();
@@ -137,7 +139,7 @@ fn retention_periods_are_enforced() {
 fn commit_time_index_rejects_backdating() {
     // §5: "Mala must not be able to retroactively insert email supposedly
     // committed during an earlier period."
-    let mut e = SearchEngine::new(EngineConfig::default());
+    let mut e = SearchEngine::new(EngineConfig::default()).unwrap();
     e.add_document("genuine november record", Timestamp(2_000))
         .unwrap();
     let err = e
@@ -188,7 +190,7 @@ proptest! {
             jump: Some(JumpConfig::new(1024, 4, 1 << 32)),
             store_documents: false,
             ..Default::default()
-        });
+        }).unwrap();
         let a = TermId(1);
         let b = TermId(2);
         e.add_document_terms(&[(a, 1), (b, 1)], Timestamp(0), None).unwrap();
