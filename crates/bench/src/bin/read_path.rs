@@ -1,0 +1,308 @@
+//! Read-path throughput: the per-posting baseline (one 8-byte
+//! `WormFs` read per posting — the call pattern the reader used before
+//! the block-granular rewrite) against the batched path (whole-block
+//! reads decoded through the decoded-block LRU), on a single merged
+//! list of ≥100k postings.
+//!
+//! A second section replays a Figure 8(c)-style conjunctive workload and
+//! asserts the streaming scan-merge intersection is observationally
+//! identical to a materializing reference join: same result documents
+//! *and* the same block counts (the paper's query-cost unit — the I/O
+//! batching must not change the accounting).
+//!
+//! Results land in `results/read_path.json` and `BENCH_read_path.json`.
+//!
+//! ```text
+//! cargo run --release -p tks-bench --bin read_path
+//! ```
+
+// Experiment binary: expect() on malformed synthetic input is acceptable
+// (the production no-panic surface is gated by clippy + `cargo xtask audit`).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use serde::Serialize;
+use std::time::Instant;
+use tks_bench::{print_table, save_json, Scale};
+use tks_core::engine::{EngineConfig, SearchEngine};
+use tks_core::merge::MergeAssignment;
+use tks_core::sim::{build_engine, scan_merge_blocks};
+use tks_corpus::{DocumentGenerator, QueryGenerator};
+use tks_postings::{decode_posting, DocId, ListId, ListStore, TermId, POSTING_SIZE};
+
+/// Postings in the scanned list (the acceptance floor is 100k).
+const SCAN_POSTINGS: u64 = 120_000;
+/// Distinct terms interleaved in the merged list.
+const SCAN_TERMS: u32 = 16;
+/// Timed full scans per strategy (first pass warms the decoded cache;
+/// per-pass numbers are averaged).
+const SCAN_PASSES: u32 = 5;
+/// Disk block size for both sections (the paper's query-cost unit).
+const BLOCK: usize = 8192;
+/// Conjunctive queries replayed in the equivalence section.
+const EQUIV_QUERIES: usize = 300;
+
+#[derive(Serialize)]
+struct ScanReport {
+    postings: u64,
+    blocks_per_scan: u64,
+    passes: u32,
+    per_posting_postings_per_sec: f64,
+    reader_postings_per_sec: f64,
+    block_slices_postings_per_sec: f64,
+    /// The acceptance headline: the block-granular scan (decoded-block
+    /// slices, the primitive the streaming intersection consumes) vs the
+    /// per-posting baseline.
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct EquivalenceReport {
+    queries: usize,
+    total_matches: u64,
+    streaming_blocks: u64,
+    reference_blocks: u64,
+    docs_identical: bool,
+    blocks_identical: bool,
+}
+
+#[derive(Serialize)]
+struct Report {
+    scale: Scale,
+    scan: ScanReport,
+    equivalence: EquivalenceReport,
+}
+
+/// Checksum sink so the scan loops cannot be optimized away.
+#[inline]
+fn fold(sum: u64, doc: DocId, tf: u8) -> u64 {
+    sum.wrapping_mul(31).wrapping_add(doc.0 ^ tf as u64)
+}
+
+fn build_scan_store() -> ListStore {
+    let mut store = ListStore::new(BLOCK, 1).expect("valid geometry");
+    for i in 0..SCAN_POSTINGS {
+        store
+            .append(
+                ListId(0),
+                TermId(i as u32 % SCAN_TERMS),
+                DocId(i),
+                (i % 7 + 1) as u32,
+                None,
+            )
+            .expect("monotone synthetic appends");
+    }
+    store
+}
+
+/// The pre-batching read path: one bounds-checked `WormFs::read` of
+/// `POSTING_SIZE` bytes per posting, copied out and decoded one at a time.
+fn scan_per_posting(store: &ListStore) -> u64 {
+    let fs = store.fs();
+    let file = fs.open("lists/0").expect("list file exists");
+    let count = store.len(ListId(0)).expect("list exists");
+    let mut sum = 0u64;
+    for i in 0..count {
+        let bytes = fs
+            .read(file, i * POSTING_SIZE as u64, POSTING_SIZE)
+            .expect("in-bounds");
+        let mut buf = [0u8; POSTING_SIZE];
+        buf.copy_from_slice(&bytes);
+        let p = decode_posting(buf);
+        sum = fold(sum, p.doc, p.tf);
+    }
+    sum
+}
+
+/// The batched path as queries see it: `PostingListReader` over decoded
+/// blocks.
+fn scan_reader(store: &ListStore) -> u64 {
+    let mut sum = 0u64;
+    for p in store.postings(ListId(0)).expect("list exists") {
+        sum = fold(sum, p.doc, p.tf);
+    }
+    sum
+}
+
+/// The batched path with slice-granular iteration: `BlockReader` yielding
+/// whole decoded blocks.
+fn scan_block_slices(store: &ListStore) -> u64 {
+    let mut sum = 0u64;
+    for block in store.block_reader(ListId(0)).expect("list exists") {
+        for p in block.iter() {
+            sum = fold(sum, p.doc, p.tf);
+        }
+    }
+    sum
+}
+
+fn time_scans(label: &str, passes: u32, expect: u64, f: impl Fn() -> u64) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..passes {
+        assert_eq!(f(), expect, "{label}: scan checksum diverged");
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    (SCAN_POSTINGS * passes as u64) as f64 / elapsed.max(1e-9)
+}
+
+/// Materializing reference join: collect every term's full doc vector,
+/// then intersect — the shape of the scan-merge fallback before the
+/// streaming rewrite.
+fn materialized_conjunction(engine: &SearchEngine, terms: &[TermId]) -> Vec<DocId> {
+    let mut acc: Option<Vec<DocId>> = None;
+    for &t in terms {
+        let list = engine.config().assignment.list_of(t);
+        let docs: Vec<DocId> = engine
+            .list_store()
+            .postings_for_term(list, t)
+            .expect("list in range")
+            .map(|p| p.doc)
+            .collect();
+        acc = Some(match acc {
+            None => docs,
+            Some(prev) => prev
+                .into_iter()
+                .filter(|d| docs.binary_search(d).is_ok())
+                .collect(),
+        });
+    }
+    acc.unwrap_or_default()
+}
+
+fn main() {
+    let mut scale = Scale::from_args();
+    // The default figure workload (50k docs) is bigger than the
+    // equivalence replay needs; shrink it unless the user asked for a
+    // size.  The geometry keeps ~30 terms per merged list so scan-merge
+    // joins read multi-block lists.
+    if scale.is_default_workload() {
+        scale.docs = 6_000;
+        scale.vocab = 2_000;
+        scale.terms_per_doc = 80;
+        scale.query_vocab = 800;
+    }
+
+    // ---- 1. Scan throughput: per-posting vs batched. -------------------
+    eprintln!("[read_path] building {SCAN_POSTINGS}-posting list…");
+    let store = build_scan_store();
+    let blocks_per_scan = store.num_blocks(ListId(0)).expect("list exists");
+    let expect = scan_per_posting(&store);
+    eprintln!("[read_path] timing {SCAN_PASSES} passes per strategy…");
+    let per_posting = time_scans("per-posting", SCAN_PASSES, expect, || {
+        scan_per_posting(&store)
+    });
+    let reader = time_scans("reader", SCAN_PASSES, expect, || scan_reader(&store));
+    let slices = time_scans("block-slices", SCAN_PASSES, expect, || {
+        scan_block_slices(&store)
+    });
+    let speedup = slices / per_posting.max(1e-9);
+    let cache = store.decoded_cache_stats();
+
+    // ---- 2. Fig 8(c)-style equivalence: streaming == materialized. -----
+    eprintln!(
+        "[read_path] equivalence replay: ingesting {} docs…",
+        scale.docs
+    );
+    let gen = DocumentGenerator::new(scale.corpus());
+    let qgen = QueryGenerator::new(scale.query_log());
+    let engine = build_engine(
+        &gen,
+        scale.docs,
+        EngineConfig {
+            assignment: MergeAssignment::uniform(scale.merged_lists_for_join()),
+            jump: None, // force the scan-merge fallback under test
+            block_size: BLOCK,
+            ..Default::default()
+        },
+    )
+    .expect("well-formed synthetic corpus");
+    let queries: Vec<Vec<TermId>> = qgen
+        .queries(0..scale.queries)
+        .filter(|q| q.terms.len() >= 2)
+        .take(EQUIV_QUERIES)
+        .map(|q| q.terms)
+        .collect();
+    let (mut matches, mut streaming_blocks, mut reference_blocks) = (0u64, 0u64, 0u64);
+    let (mut docs_identical, mut blocks_identical) = (true, true);
+    for q in &queries {
+        let (docs, blocks) = engine.conjunctive_terms(q).expect("clean index");
+        let reference = materialized_conjunction(&engine, q);
+        let expect_blocks = scan_merge_blocks(&engine, q);
+        docs_identical &= docs == reference;
+        blocks_identical &= blocks == expect_blocks;
+        matches += docs.len() as u64;
+        streaming_blocks += blocks;
+        reference_blocks += expect_blocks;
+    }
+    assert!(
+        docs_identical,
+        "streaming scan-merge changed query results vs the materializing join"
+    );
+    assert!(
+        blocks_identical,
+        "streaming scan-merge changed the Figure 8(c) block accounting"
+    );
+
+    let scan = ScanReport {
+        postings: SCAN_POSTINGS,
+        blocks_per_scan,
+        passes: SCAN_PASSES,
+        per_posting_postings_per_sec: per_posting,
+        reader_postings_per_sec: reader,
+        block_slices_postings_per_sec: slices,
+        speedup,
+    };
+    let equivalence = EquivalenceReport {
+        queries: queries.len(),
+        total_matches: matches,
+        streaming_blocks,
+        reference_blocks,
+        docs_identical,
+        blocks_identical,
+    };
+
+    print_table(
+        "Read-path scan throughput (single merged list)",
+        &["strategy", "postings/s", "vs per-posting"],
+        &[
+            vec![
+                "per-posting WormFs::read".into(),
+                format!("{per_posting:.0}"),
+                "1.00x".into(),
+            ],
+            vec![
+                "PostingListReader (decoded blocks)".into(),
+                format!("{reader:.0}"),
+                format!("{:.2}x", reader / per_posting.max(1e-9)),
+            ],
+            vec![
+                "BlockReader slices".into(),
+                format!("{slices:.0}"),
+                format!("{speedup:.2}x"),
+            ],
+        ],
+    );
+    println!(
+        "\nblocks per scan: {blocks_per_scan}; decoded-cache stats after timing: {cache:?}\n\
+         equivalence: {} conjunctive queries, {} total matches, \
+         {streaming_blocks} blocks (reference {reference_blocks}) — identical",
+        queries.len(),
+        matches
+    );
+    if speedup < 5.0 {
+        eprintln!("[warn] batched/baseline speedup {speedup:.2}x is below the 5x target");
+    }
+
+    let report = Report {
+        scale,
+        scan,
+        equivalence,
+    };
+    save_json("read_path", &report);
+    match serde_json::to_string_pretty(&report) {
+        Ok(body) => match std::fs::write("BENCH_read_path.json", body) {
+            Ok(()) => eprintln!("[saved BENCH_read_path.json]"),
+            Err(e) => eprintln!("[warn] could not save BENCH_read_path.json: {e}"),
+        },
+        Err(e) => eprintln!("[warn] could not serialize results: {e}"),
+    }
+}

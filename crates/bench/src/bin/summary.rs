@@ -15,7 +15,7 @@
 // (the production no-panic surface is gated by clippy + `cargo xtask audit`).
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use tks_bench::{print_table, save_json, Scale};
 use tks_core::cost::{list_lengths, query_cost, unmerged_query_cost};
 use tks_core::engine::EngineConfig;
@@ -34,6 +34,20 @@ struct Summary {
     disjunctive_slowdown_b32: f64,
     conjunctive_jump_vs_nojump: f64,
     conjunctive_jump_vs_baseline: f64,
+    /// Block-granular scan vs per-posting reads, from the `read_path`
+    /// binary's saved results (`None` until it has been run).
+    read_path_scan_speedup: Option<f64>,
+}
+
+/// The slice of `results/read_path.json` the summary folds in.
+#[derive(Deserialize)]
+struct ReadPathScan {
+    speedup: f64,
+}
+
+#[derive(Deserialize)]
+struct ReadPathResults {
+    scan: ReadPathScan,
 }
 
 fn main() {
@@ -140,14 +154,24 @@ fn main() {
     let conj_vs_nojump = jump_blocks as f64 / scan_blocks_plain;
     let conj_vs_baseline = jump_blocks as f64 / btree_blocks.max(1) as f64;
 
+    // ---- 4. Read-path scan throughput (implementation headline). -------
+    // Not a paper number: the block-granular read path must not change
+    // any block count, only the wall-clock cost per block.  Folded in
+    // from the `read_path` binary's saved results when available.
+    let read_path_speedup = std::fs::read_to_string("results/read_path.json")
+        .ok()
+        .and_then(|s| serde_json::from_str::<ReadPathResults>(&s).ok())
+        .map(|r| r.scan.speedup);
+
     let s = Summary {
         insert_speedup,
         disjunctive_slowdown_no_jump: disjunctive_slowdown,
         disjunctive_slowdown_b32: disjunctive_b32,
         conjunctive_jump_vs_nojump: conj_vs_nojump,
         conjunctive_jump_vs_baseline: conj_vs_baseline,
+        read_path_scan_speedup: read_path_speedup,
     };
-    let rows = vec![
+    let mut rows = vec![
         vec![
             "insertion speedup (merged 128MB vs unmerged 4GB)".into(),
             format!("{insert_speedup:.1}×"),
@@ -174,6 +198,15 @@ fn main() {
             "30% slower".into(),
         ],
     ];
+    if let Some(speedup) = read_path_speedup {
+        rows.push(vec![
+            "block-granular scan vs per-posting reads (read_path)".into(),
+            format!("{speedup:.1}×"),
+            "n/a (impl)".into(),
+        ]);
+    } else {
+        eprintln!("[summary] results/read_path.json not found — run `--bin read_path` to fold in the read-path headline");
+    }
     print_table(
         "Section 6 headline comparison (measured vs paper)",
         &["quantity", "measured", "paper"],

@@ -28,7 +28,7 @@ use crate::merge::MergeAssignment;
 use crate::query::{Query, QueryResponse, TermSelector};
 use crate::ranking::{CollectionStats, RankingModel};
 use crate::tokenizer;
-use crate::zigzag::{zigzag_join_multi, DocCursor, JumpCursor, MemCursor};
+use crate::zigzag::{zigzag_join_multi, DocCursor, JumpCursor};
 use std::collections::HashMap;
 use tks_jump::block::{BlockJumpIndex, JumpEntry, Touch};
 use tks_jump::{JumpConfig, JumpError, TamperEvidence};
@@ -611,6 +611,8 @@ impl SearchEngine {
             if off + 2 > terms_len {
                 return Err(recovery_err("truncated term dictionary"));
             }
+            // audit:allow(hot-path-io) — length-prefixed dictionary replay,
+            // once per recovery.
             let len_bytes = doc_fs.read(terms_file, off, 2)?;
             let len = u16::from_le_bytes(
                 <[u8; 2]>::try_from(&len_bytes[..])
@@ -643,6 +645,8 @@ impl SearchEngine {
         let mut docs = Vec::new();
         let mut total_tokens = 0u64;
         for i in 0..(meta_len / DOCMETA_RECORD as u64) {
+            // audit:allow(hot-path-io) — fixed-width metadata replay, once
+            // per recovery.
             let rec = doc_fs.read(docmeta_file, i * DOCMETA_RECORD as u64, DOCMETA_RECORD)?;
             let ts = Timestamp(u64::from_le_bytes(
                 <[u8; 8]>::try_from(&rec[0..8])
@@ -761,6 +765,12 @@ impl SearchEngine {
     /// Cumulative storage-cache I/O counters.
     pub fn io_stats(&self) -> IoStats {
         self.cache.stats()
+    }
+
+    /// Counters of the decoded-block LRU shared by this engine's readers
+    /// (the level *above* the storage cache in the two-level read path).
+    pub fn decoded_cache_stats(&self) -> tks_postings::DecodedCacheStats {
+        self.store.decoded_cache_stats()
     }
 
     /// The posting-list store (audits, attack harnesses).
@@ -1209,36 +1219,62 @@ impl SearchEngine {
             }
             return Ok(zigzag_join_multi(cursors));
         }
-        // Scan-merge fallback: materialise each term's docs (cost = whole
-        // merged lists) and intersect in memory.
+        // Scan-merge fallback.  The cost is whole merged lists, charged up
+        // front for every distinct list exactly as materialising scans
+        // would (Figure 8(c) accounting is unchanged by the streaming
+        // rewrite below).
         let mut blocks = 0u64;
-        let mut runs: Vec<Vec<DocId>> = Vec::with_capacity(terms.len());
         let mut scanned: std::collections::HashSet<u32> = std::collections::HashSet::new();
         for &term in terms {
             let list = self.config.assignment.list_of(term);
             if scanned.insert(list.0) {
                 blocks += self.store.num_blocks(list)?;
             }
-            let docs: Vec<DocId> = self
-                .store
-                .postings_for_term(list, term)?
-                .map(|p| p.doc)
-                .collect();
-            runs.push(docs);
         }
-        runs.sort_by_key(|r| r.len());
-        let mut iter = runs.into_iter();
-        let mut acc = iter.next().unwrap_or_default();
-        for run in iter {
-            let next = {
-                let mut a = MemCursor::new(&acc);
-                let mut b = MemCursor::new(&run);
-                crate::zigzag::zigzag_join(&mut a, &mut b)
-            };
-            acc = next;
+        // Seed the accumulator from the rarest term, then intersect the
+        // remaining terms' lists into it one decoded block at a time —
+        // never materialising another term's full doc vector.  Each term's
+        // docs are strictly increasing, so this is a sorted-set
+        // intersection and the result is independent of term order.
+        let mut order: Vec<TermId> = terms.to_vec();
+        order.sort_by_key(|&t| self.doc_freq(t));
+        let Some((&rarest, rest)) = order.split_first() else {
+            return Ok((Vec::new(), blocks));
+        };
+        let rarest_list = self.config.assignment.list_of(rarest);
+        let mut acc: Vec<DocId> = self
+            .store
+            .postings_for_term(rarest_list, rarest)?
+            .map(|p| p.doc)
+            .collect();
+        for &term in rest {
             if acc.is_empty() {
                 break;
             }
+            let list = self.config.assignment.list_of(term);
+            let Some(tag) = self.store.tag_of(list, term)? else {
+                return Ok((Vec::new(), blocks));
+            };
+            let mut next: Vec<DocId> = Vec::with_capacity(acc.len());
+            let mut ai = 0usize;
+            'scan: for block in self.store.block_reader(list)? {
+                for p in block.iter().filter(|p| p.term_tag == tag) {
+                    // Gallop the (short) accumulator forward to this doc.
+                    ai += acc
+                        .get(ai..)
+                        .map(|rest| rest.partition_point(|&d| d < p.doc))
+                        .unwrap_or(0);
+                    match acc.get(ai) {
+                        Some(&d) if d == p.doc => {
+                            next.push(d);
+                            ai += 1;
+                        }
+                        Some(_) => {}
+                        None => break 'scan,
+                    }
+                }
+            }
+            acc = next;
         }
         Ok((acc, blocks))
     }

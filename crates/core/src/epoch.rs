@@ -128,6 +128,21 @@ impl EpochManager {
         self.epochs.last().map(|e| &e.engine.config().assignment)
     }
 
+    /// Decoded-block cache counters summed across every epoch's engine —
+    /// a cross-epoch query touches each epoch's store, so the aggregate is
+    /// the number the whole read path sees.
+    pub fn decoded_cache_stats(&self) -> tks_postings::DecodedCacheStats {
+        let mut total = tks_postings::DecodedCacheStats::default();
+        for e in &self.epochs {
+            let s = e.engine.decoded_cache_stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.invalidations += s.invalidations;
+            total.resident += s.resident;
+        }
+        total
+    }
+
     fn next_assignment(&self) -> MergeAssignment {
         let ranked_source = if self.config.rank_by_query_freq {
             self.prev_query_counts

@@ -325,6 +325,14 @@ impl Searcher {
         self.shared.query_stats.snapshot()
     }
 
+    /// Counters of the decoded-block LRU shared by every searcher of this
+    /// service (briefly takes the engine read lock).  The cache sits above
+    /// the WORM storage cache, so its hits are block decodes avoided —
+    /// they never change query results or reported block counts.
+    pub fn decoded_cache_stats(&self) -> tks_postings::DecodedCacheStats {
+        self.read_engine().decoded_cache_stats()
+    }
+
     /// Run a full audit against the live engine (takes the read lock).
     pub fn audit(&self) -> crate::engine::AuditReport {
         self.read_engine().audit()
@@ -458,6 +466,27 @@ mod tests {
             searcher.query_io_stats().read_ios,
             a.io.read_ios + b.io.read_ios
         );
+    }
+
+    #[test]
+    fn decoded_cache_is_shared_across_searchers() {
+        let (mut writer, searcher) = small_service();
+        for i in 0..50u64 {
+            writer
+                .commit(&format!("common word{i}"), Timestamp(i))
+                .unwrap();
+        }
+        let other = searcher.clone();
+        let a = searcher.execute(Query::conjunctive("common")).unwrap();
+        let b = other.execute(Query::conjunctive("common")).unwrap();
+        assert_eq!(a.docs(), b.docs());
+        let stats = searcher.decoded_cache_stats();
+        assert!(stats.misses > 0, "first scan decodes blocks");
+        assert!(
+            stats.hits > 0,
+            "the second searcher must reuse the first's decoded blocks"
+        );
+        assert_eq!(stats, other.decoded_cache_stats());
     }
 
     #[test]

@@ -143,8 +143,29 @@ impl DocCursor for MemCursor<'_> {
     }
 
     fn find_geq(&mut self, k: DocId) -> Option<DocId> {
-        // Monotone access pattern: advance from the current position.
-        self.pos += self.docs[self.pos..].partition_point(|&d| d < k);
+        // Monotone access pattern: gallop from the current position.  A
+        // zigzag join between lists of very different sizes advances the
+        // long cursor by small hops, so probing 1, 2, 4, … from `pos`
+        // costs O(log(step)) instead of O(log(remaining)) per call.
+        let rest = self.docs.get(self.pos..).unwrap_or(&[]);
+        if rest.first().is_none_or(|&d| d >= k) {
+            return rest.first().copied();
+        }
+        // Invariant: rest[lo] < k; probe until rest[lo + step] >= k or
+        // the run ends.
+        let mut lo = 0usize;
+        let mut step = 1usize;
+        while let Some(&d) = rest.get(lo + step) {
+            if d < k {
+                lo += step;
+                step <<= 1;
+            } else {
+                break;
+            }
+        }
+        let hi = rest.len().min(lo + step + 1);
+        let tail = rest.get(lo + 1..hi).unwrap_or(&[]);
+        self.pos += lo + 1 + tail.partition_point(|&d| d < k);
         self.docs.get(self.pos).copied()
     }
 
@@ -287,6 +308,31 @@ mod tests {
         let mut ca = MemCursor::new(&a);
         let mut cb = MemCursor::new(&b);
         assert_eq!(zigzag_join(&mut ca, &mut cb), mem(&[3, 9, 11]));
+    }
+
+    #[test]
+    fn galloping_find_geq_matches_binary_search() {
+        // Deterministic skewed run; compare the galloping cursor against a
+        // plain partition_point over the remaining suffix for a monotone
+        // probe sequence.
+        let docs: Vec<DocId> = (0..500u64).map(|i| DocId(i * i % 7 + 11 * i)).collect();
+        let mut sorted = docs.clone();
+        sorted.sort();
+        sorted.dedup();
+        let mut cur = MemCursor::new(&sorted);
+        assert_eq!(cur.start(), sorted.first().copied());
+        let mut reference = 0usize;
+        for probe in (0..6000u64).step_by(7).map(DocId) {
+            reference += sorted[reference..].partition_point(|&d| d < probe);
+            assert_eq!(
+                cur.find_geq(probe),
+                sorted.get(reference).copied(),
+                "find_geq({probe}) diverged from binary search"
+            );
+        }
+        // Past the end: stays exhausted.
+        assert_eq!(cur.find_geq(DocId(u64::MAX)), None);
+        assert_eq!(cur.find_geq(DocId(u64::MAX)), None);
     }
 
     #[test]

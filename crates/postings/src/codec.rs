@@ -129,6 +129,23 @@ pub fn decode_posting(bytes: [u8; POSTING_SIZE]) -> Posting {
     }
 }
 
+/// Decode a block's worth of committed postings into `out`, which is
+/// cleared first so callers can reuse one buffer across blocks.
+///
+/// Trailing bytes that do not form a whole 8-byte posting are ignored,
+/// matching the floor semantics of raw scans (`raw_len / POSTING_SIZE`).
+/// This is the batch unit of the block-granular read path: one call
+/// decodes every posting of a block with no per-posting array copies.
+pub fn decode_block(bytes: &[u8], out: &mut Vec<Posting>) {
+    out.clear();
+    out.reserve(bytes.len() / POSTING_SIZE);
+    for chunk in bytes.chunks_exact(POSTING_SIZE) {
+        if let Ok(arr) = <[u8; POSTING_SIZE]>::try_from(chunk) {
+            out.push(decode_posting(arr));
+        }
+    }
+}
+
 /// Number of bits the paper charges for the keyword encoding in a merged
 /// list of `q` terms: ⌈log₂(q)⌉ ("The encoding can be stored in log(q)
 /// bits").  Returns 0 for unmerged lists (q ≤ 1).
@@ -236,6 +253,21 @@ mod tests {
         assert_eq!(a.get(TermId(7)), Some(1));
         assert_eq!(a.get(TermId(8)), None);
         assert_eq!(a.distinct_terms(), 2);
+    }
+
+    #[test]
+    fn decode_block_reuses_buffer_and_floors_partial_tail() {
+        let a = Posting::new(DocId(1), 0, 1);
+        let b = Posting::new(DocId(2), 3, 9);
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&encode_posting(a));
+        bytes.extend_from_slice(&encode_posting(b));
+        bytes.extend_from_slice(&[0xDE, 0xAD]); // partial trailing posting
+        let mut out = vec![Posting::new(DocId(99), 0, 0)]; // stale content
+        decode_block(&bytes, &mut out);
+        assert_eq!(out, vec![a, b]);
+        decode_block(&[], &mut out);
+        assert!(out.is_empty());
     }
 
     proptest! {

@@ -24,11 +24,13 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod block_reader;
 pub mod codec;
 pub mod list;
 pub mod tagcode;
 pub mod types;
 
-pub use codec::{decode_posting, encode_posting, CodecError, Posting, POSTING_SIZE};
+pub use block_reader::{BlockReader, DecodedBlockCache, DecodedCacheStats};
+pub use codec::{decode_block, decode_posting, encode_posting, CodecError, Posting, POSTING_SIZE};
 pub use list::{ListStore, PostingListReader};
 pub use types::{DocId, ListId, TermId, Timestamp};

@@ -16,8 +16,12 @@
 //! optional [`StorageCache`], with `was_empty` / `fills` computed from the
 //! file geometry, reproducing the paper's cache-simulation accounting.
 
-use crate::codec::{decode_posting, encode_posting, Posting, TagAllocator, POSTING_SIZE};
+use crate::block_reader::{BlockReader, DecodedBlockCache, DecodedCacheStats};
+use crate::codec::{
+    decode_block, decode_posting, encode_posting, Posting, TagAllocator, POSTING_SIZE,
+};
 use crate::types::{DocId, ListId, TermId};
+use std::sync::Arc;
 use tks_worm::{AccessKind, StorageCache, WormDevice, WormFs};
 
 /// Error type for posting-list operations.
@@ -143,6 +147,10 @@ pub struct ListStore {
     lists: Vec<ListMeta>,
     block_size: usize,
     dict_file: tks_worm::FileHandle,
+    /// Decoded-block LRU shared by every reader of this store (interior
+    /// mutability: readers hold `&ListStore`).  See
+    /// [`crate::block_reader`] for the coherence argument.
+    decoded: DecodedBlockCache,
 }
 
 impl ListStore {
@@ -190,6 +198,7 @@ impl ListStore {
             lists,
             block_size,
             dict_file,
+            decoded: DecodedBlockCache::default(),
         })
     }
 
@@ -219,6 +228,7 @@ impl ListStore {
                 fs.len(meta_file)
             )));
         }
+        // audit:allow(hot-path-io) — one 12-byte header read per recovery.
         let header = fs.read(meta_file, 0, META_RECORD)?;
         let version = u32_at(&header, 0)?;
         let block_size = u32_at(&header, 4)? as usize;
@@ -243,6 +253,7 @@ impl ListStore {
             lists: (0..num_lists).map(|_| ListMeta::new()).collect(),
             block_size,
             dict_file,
+            decoded: DecodedBlockCache::default(),
         };
 
         // Replay the tag dictionary, enforcing dense in-order allocation.
@@ -252,13 +263,14 @@ impl ListStore {
                 "tag dictionary length {dict_len} is not a multiple of {DICT_RECORD}"
             )));
         }
-        for r in 0..(dict_len / DICT_RECORD as u64) {
-            let rec = store
-                .fs
-                .read(store.dict_file, r * DICT_RECORD as u64, DICT_RECORD)?;
-            let list = u32_at(&rec, 0)?;
-            let term = u32_at(&rec, 4)?;
-            let tag = u32_at(&rec, 8)?;
+        // One batched read: the dictionary is metadata on the same order of
+        // size as the allocators it rebuilds, so whole-file granularity
+        // replaces one tiny read per record.
+        let dict_bytes = store.fs.read(store.dict_file, 0, dict_len as usize)?;
+        for rec in dict_bytes.chunks_exact(DICT_RECORD) {
+            let list = u32_at(rec, 0)?;
+            let term = u32_at(rec, 4)?;
+            let tag = u32_at(rec, 8)?;
             let meta = store
                 .lists
                 .get_mut(list as usize)
@@ -276,8 +288,10 @@ impl ListStore {
             }
         }
 
-        // Replay every list file, re-deriving counts and re-checking the
+        // Replay every list file block by block (one batched read and one
+        // buffer decode per block), re-deriving counts and re-checking the
         // monotonicity and tag invariants.
+        let mut block_buf: Vec<Posting> = Vec::new();
         for l in 0..num_lists as u32 {
             let name = format!("lists/{l}");
             let Ok(file) = store.fs.open(&name) else {
@@ -293,39 +307,41 @@ impl ListStore {
             let known_tags = store.lists[l as usize].tags.distinct_terms() as u32;
             let mut last_doc: Option<DocId> = None;
             let mut last_tags: Vec<u32> = Vec::new();
-            for i in 0..count {
-                let bytes = store.fs.read(file, i * POSTING_SIZE as u64, POSTING_SIZE)?;
-                let mut buf = [0u8; POSTING_SIZE];
-                buf.copy_from_slice(&bytes);
-                let p = decode_posting(buf);
-                if p.term_tag >= known_tags {
-                    return Err(ListError::Recovery(format!(
-                        "list {l} posting {i} uses tag {} with no dictionary record",
-                        p.term_tag
-                    )));
-                }
-                match last_doc {
-                    Some(d) if p.doc < d => {
+            let mut i = 0u64;
+            for b in 0..store.fs.num_blocks(file) {
+                let bytes = store.fs.read_block(file, b)?;
+                decode_block(bytes, &mut block_buf);
+                for &p in &block_buf {
+                    if p.term_tag >= known_tags {
                         return Err(ListError::Recovery(format!(
-                            "list {l} posting {i}: doc {} after {} breaks monotonicity",
-                            p.doc, d
+                            "list {l} posting {i} uses tag {} with no dictionary record",
+                            p.term_tag
                         )));
                     }
-                    Some(d) if p.doc == d => {
-                        if last_tags.contains(&p.term_tag) {
+                    match last_doc {
+                        Some(d) if p.doc < d => {
                             return Err(ListError::Recovery(format!(
-                                "list {l} posting {i}: duplicate (term, {}) pair",
-                                p.doc
+                                "list {l} posting {i}: doc {} after {} breaks monotonicity",
+                                p.doc, d
                             )));
                         }
-                        last_tags.push(p.term_tag);
+                        Some(d) if p.doc == d => {
+                            if last_tags.contains(&p.term_tag) {
+                                return Err(ListError::Recovery(format!(
+                                    "list {l} posting {i}: duplicate (term, {}) pair",
+                                    p.doc
+                                )));
+                            }
+                            last_tags.push(p.term_tag);
+                        }
+                        _ => {
+                            last_tags.clear();
+                            last_tags.push(p.term_tag);
+                        }
                     }
-                    _ => {
-                        last_tags.clear();
-                        last_tags.push(p.term_tag);
-                    }
+                    last_doc = Some(p.doc);
+                    i += 1;
                 }
-                last_doc = Some(p.doc);
             }
             let meta = &mut store.lists[l as usize];
             meta.file = Some(file);
@@ -465,14 +481,85 @@ impl ListStore {
         Ok(())
     }
 
+    /// Number of whole postings per disk block (geometry guarantees the
+    /// block size is a positive multiple of the posting size).
+    pub fn postings_per_block(&self) -> u64 {
+        (self.block_size / POSTING_SIZE) as u64
+    }
+
+    /// The decoded postings of the `block_no`-th block of `list`, served
+    /// from the decoded-block LRU when possible.
+    ///
+    /// Only postings the store itself committed are decoded (`count`-based,
+    /// never raw file length), so adversarial raw appends can never enter
+    /// the cache.  A cached tail block that the list has since grown past
+    /// is invalidated by its length and re-decoded — see
+    /// [`crate::block_reader`].
+    pub fn decoded_block(&self, list: ListId, block_no: u64) -> Result<Arc<[Posting]>, ListError> {
+        let ppb = self.postings_per_block();
+        let meta = self.meta(list)?;
+        let start = block_no.saturating_mul(ppb);
+        if start >= meta.count {
+            return Ok(Vec::new().into());
+        }
+        let expected = (meta.count - start).min(ppb) as usize;
+        if let Some(hit) = self.decoded.get(list, block_no, expected) {
+            return Ok(hit);
+        }
+        let Some(file) = meta.file else {
+            return Err(ListError::Recovery(format!(
+                "{list} has no backing WORM file"
+            )));
+        };
+        let bytes = self.fs.read_block(file, block_no)?;
+        let mut out = Vec::with_capacity(expected);
+        // The block may hold raw bytes past the store's own count (an
+        // adversary can append to the device directly); decode only the
+        // committed prefix.
+        decode_block(
+            bytes.get(..expected * POSTING_SIZE).unwrap_or(bytes),
+            &mut out,
+        );
+        let arc: Arc<[Posting]> = out.into();
+        self.decoded.insert(list, block_no, Arc::clone(&arc));
+        Ok(arc)
+    }
+
+    /// Stream `list` one decoded block at a time (slice-based iteration).
+    pub fn block_reader(&self, list: ListId) -> Result<BlockReader<'_>, ListError> {
+        BlockReader::new(self, list)
+    }
+
+    /// Counters of the decoded-block LRU shared by this store's readers.
+    pub fn decoded_cache_stats(&self) -> DecodedCacheStats {
+        self.decoded.stats()
+    }
+
+    /// Read and decode the single posting at `ordinal` in `file` — the one
+    /// shared single-posting read path (raw audits and tests; the query
+    /// scan path goes through [`decoded_block`](Self::decoded_block)
+    /// instead).
+    pub fn read_posting_at(
+        &self,
+        file: tks_worm::FileHandle,
+        ordinal: u64,
+    ) -> Result<Posting, ListError> {
+        let mut buf = [0u8; POSTING_SIZE];
+        self.fs
+            .read_exact_at(file, ordinal * POSTING_SIZE as u64, &mut buf)?;
+        Ok(decode_posting(buf))
+    }
+
     /// Decode all postings of `list` in commit order.
     pub fn postings(&self, list: ListId) -> Result<PostingListReader<'_>, ListError> {
         let meta = self.meta(list)?;
         Ok(PostingListReader {
             store: self,
-            file: meta.file,
+            list,
             next: 0,
             count: meta.count,
+            idx: 0,
+            block: None,
         })
     }
 
@@ -555,19 +642,17 @@ impl ListStore {
     /// Scan the *raw committed bytes* of the list file (possibly longer
     /// than the store's own count, if an adversary appended directly to the
     /// device).  Used by audits.
+    ///
+    /// Deliberately bypasses the decoded-block cache: audits must see
+    /// exactly the device bytes, including postings the store never
+    /// committed.
     pub fn raw_scan(&self, list: ListId) -> Result<impl Iterator<Item = Posting> + '_, ListError> {
         let meta = self.meta(list)?;
-        let (file, raw_len) = match meta.file {
-            Some(f) => (Some(f), self.fs.len(f)),
-            None => (None, 0),
-        };
-        let count = raw_len / POSTING_SIZE as u64;
-        Ok(PostingListReader {
-            store: self,
-            file,
-            next: 0,
-            count,
-        })
+        let file = meta.file;
+        let count = file
+            .map(|f| self.fs.len(f) / POSTING_SIZE as u64)
+            .unwrap_or(0);
+        Ok((0..count).map_while(move |i| self.read_posting_at(file?, i).ok()))
     }
 
     fn meta(&self, list: ListId) -> Result<&ListMeta, ListError> {
@@ -584,12 +669,21 @@ impl ListStore {
 }
 
 /// Iterator over the committed postings of one list.
+///
+/// Serves postings from whole decoded blocks: one batched block read (and
+/// one storage-cache touch) per block instead of one tiny `WormFs::read`
+/// per posting, with decodes shared across readers via the store's
+/// [`DecodedBlockCache`].
 #[derive(Debug)]
 pub struct PostingListReader<'a> {
     store: &'a ListStore,
-    file: Option<tks_worm::FileHandle>,
+    list: ListId,
     next: u64,
     count: u64,
+    /// Position within `block` of the posting `next` refers to.
+    idx: usize,
+    /// Decoded postings of the block containing `next`, once fetched.
+    block: Option<Arc<[Posting]>>,
 }
 
 impl Iterator for PostingListReader<'_> {
@@ -599,13 +693,26 @@ impl Iterator for PostingListReader<'_> {
         if self.next >= self.count {
             return None;
         }
-        let file = self.file?;
-        let off = self.next * POSTING_SIZE as u64;
-        self.next += 1;
-        let bytes = self.store.fs.read(file, off, POSTING_SIZE).ok()?;
-        let mut buf = [0u8; POSTING_SIZE];
-        buf.copy_from_slice(&bytes);
-        Some(decode_posting(buf))
+        // Hot path: serve straight from the cached slice — no division,
+        // no block-number comparison per posting.
+        if let Some(&p) = self.block.as_ref().and_then(|b| b.get(self.idx)) {
+            self.idx += 1;
+            self.next += 1;
+            return Some(p);
+        }
+        // Exhausted (or never fetched) the current block: fetch the one
+        // containing `next`.  A tail block an earlier pass cached short is
+        // re-decoded at its grown length by `decoded_block`.
+        let ppb = self.store.postings_per_block();
+        let decoded = self.store.decoded_block(self.list, self.next / ppb).ok()?;
+        self.idx = (self.next % ppb) as usize;
+        let p = decoded.get(self.idx).copied();
+        self.block = Some(decoded);
+        if p.is_some() {
+            self.idx += 1;
+            self.next += 1;
+        }
+        p
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {

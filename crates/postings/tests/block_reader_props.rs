@@ -1,0 +1,93 @@
+//! Property tests for the block-granular read path.
+//!
+//! The decoded-block cache and `BlockReader` must be observationally
+//! invisible: for any append sequence and any block geometry, block-wise
+//! iteration, posting-wise iteration, and single-posting reads all yield
+//! exactly the same sequence — and rescans interleaved with appends always
+//! reflect the store's current contents (cached tail decodes are
+//! invalidated by growth, never served stale).
+
+use proptest::prelude::*;
+use tks_postings::{DocId, ListId, ListStore, Posting, TermId, POSTING_SIZE};
+
+const NUM_LISTS: u32 = 3;
+
+proptest! {
+    /// `BlockReader` concatenation == `PostingListReader` == per-posting
+    /// `read_posting_at`, for arbitrary append sequences and block sizes.
+    #[test]
+    fn block_iteration_equals_posting_iteration(
+        ppb in 1usize..=13,
+        ops in proptest::collection::vec(
+            (0u32..NUM_LISTS, 0u32..4, 0u64..3, 1u32..5),
+            0..120,
+        ),
+    ) {
+        let mut store = ListStore::new(ppb * POSTING_SIZE, NUM_LISTS as usize).unwrap();
+        let mut model: Vec<Vec<Posting>> = vec![Vec::new(); NUM_LISTS as usize];
+        for (list, term, gap, tf) in ops {
+            let last = store
+                .last_doc(ListId(list))
+                .unwrap()
+                .map(|d| d.0)
+                .unwrap_or(0);
+            let doc = DocId(last + gap);
+            // Duplicate (term, doc) appends are rejected by the store;
+            // the model tracks only what actually committed.
+            if store.append(ListId(list), TermId(term), doc, tf, None).is_ok() {
+                let tag = store.tag_of(ListId(list), TermId(term)).unwrap().unwrap();
+                model[list as usize].push(Posting::new(doc, tag, tf));
+            }
+        }
+        for l in 0..NUM_LISTS {
+            let expect = &model[l as usize];
+            let via_reader: Vec<Posting> = store.postings(ListId(l)).unwrap().collect();
+            prop_assert_eq!(&via_reader, expect, "posting reader, list {}", l);
+            let via_blocks: Vec<Posting> = store
+                .block_reader(ListId(l))
+                .unwrap()
+                .flat_map(|b| b.to_vec())
+                .collect();
+            prop_assert_eq!(&via_blocks, expect, "block reader, list {}", l);
+            let file = store.fs().open(&format!("lists/{l}")).unwrap();
+            let via_single: Vec<Posting> = (0..expect.len() as u64)
+                .map(|i| store.read_posting_at(file, i).unwrap())
+                .collect();
+            prop_assert_eq!(&via_single, expect, "single-posting reads, list {}", l);
+        }
+    }
+
+    /// Rescans interleaved with appends always see the full committed
+    /// prefix: a tail block cached by an earlier scan must be invalidated
+    /// by its length once the list grows into it.
+    #[test]
+    fn rescans_stay_exact_as_the_list_grows(
+        ppb in 1usize..=8,
+        batches in proptest::collection::vec(1u64..6, 1..12),
+    ) {
+        let mut store = ListStore::new(ppb * POSTING_SIZE, 1).unwrap();
+        let mut next = 0u64;
+        let mut model: Vec<u64> = Vec::new();
+        for batch in batches {
+            for _ in 0..batch {
+                store
+                    .append(ListId(0), TermId(0), DocId(next), 1, None)
+                    .unwrap();
+                model.push(next);
+                next += 1;
+            }
+            let docs: Vec<u64> = store
+                .postings(ListId(0))
+                .unwrap()
+                .map(|p| p.doc.0)
+                .collect();
+            prop_assert_eq!(&docs, &model, "scan after growing to {} postings", next);
+        }
+        let stats = store.decoded_cache_stats();
+        prop_assert!(
+            stats.misses > 0,
+            "scans must have gone through the decoded cache: {:?}",
+            stats
+        );
+    }
+}

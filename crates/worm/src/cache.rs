@@ -227,6 +227,17 @@ impl StorageCache {
         delta
     }
 
+    /// Query-time read of one whole block: a single logical access charged
+    /// per the paper's read policy (hit is free, miss costs one read I/O
+    /// plus any eviction write).
+    ///
+    /// This is the cache half of the block-granular read path: callers that
+    /// previously touched the cache once per record now touch it once per
+    /// block, which is also the unit the paper's figures count in.
+    pub fn read_block(&mut self, block: BlockId) -> IoStats {
+        self.access(block, AccessKind::Read)
+    }
+
     /// Write out every dirty resident block (end-of-run accounting).
     /// Returns the number of write I/Os charged.
     pub fn flush(&mut self) -> u64 {
@@ -335,6 +346,18 @@ mod tests {
         let io = c.access(BlockId(1), AccessKind::Read); // evicts clean 0: no write
         assert_eq!(io.write_ios, 0);
         assert_eq!(io.read_ios, 1);
+    }
+
+    #[test]
+    fn read_block_is_one_logical_read_access() {
+        let mut c = cache(2);
+        let io = c.read_block(BlockId(7)); // miss: one read I/O
+        assert_eq!(io.read_ios, 1);
+        assert_eq!(io.write_ios, 0);
+        let io = c.read_block(BlockId(7)); // hit: free
+        assert_eq!(io.total_ios(), 0);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
     }
 
     #[test]

@@ -189,6 +189,73 @@ impl WormFs {
         Ok(out)
     }
 
+    /// Read exactly `buf.len()` bytes at `offset` into a caller-provided
+    /// buffer, crossing block boundaries as needed.
+    ///
+    /// Same EOF contract as [`read`](Self::read), but without allocating a
+    /// `Vec` per call — hot read paths reuse one buffer across many reads.
+    pub fn read_exact_at(&self, f: FileHandle, offset: u64, buf: &mut [u8]) -> crate::Result<()> {
+        let meta = &self.files[f.0 as usize];
+        let end = offset + buf.len() as u64;
+        if end > meta.len {
+            return Err(WormError::ReadPastEof {
+                name: meta.name.clone(),
+                end,
+                len: meta.len,
+            });
+        }
+        let block_size = self.device.block_size() as u64;
+        let mut pos = offset;
+        let mut filled = 0usize;
+        while pos < end {
+            let bi = (pos / block_size) as usize;
+            let in_block = (pos % block_size) as usize;
+            let take = ((end - pos) as usize).min(block_size as usize - in_block);
+            let src = self.device.read(meta.blocks[bi], in_block, take)?;
+            if let Some(dst) = buf.get_mut(filled..filled + take) {
+                dst.copy_from_slice(src);
+            }
+            filled += take;
+            pos += take as u64;
+        }
+        Ok(())
+    }
+
+    /// Borrow the committed bytes of the file's `block_no`-th block (0-based
+    /// file-relative index) in a single call.
+    ///
+    /// The returned slice holds every committed byte of that block: a full
+    /// `block_size` bytes for interior blocks, possibly fewer for the tail.
+    /// This is the batch unit of the block-granular read path — one call,
+    /// one logical block, no per-record allocation.
+    pub fn read_block(&self, f: FileHandle, block_no: u64) -> crate::Result<&[u8]> {
+        let meta = &self.files[f.0 as usize];
+        let block_size = self.device.block_size() as u64;
+        let start = block_no.saturating_mul(block_size);
+        if start >= meta.len {
+            return Err(WormError::ReadPastEof {
+                name: meta.name.clone(),
+                end: start.saturating_add(1),
+                len: meta.len,
+            });
+        }
+        let len = (meta.len - start).min(block_size) as usize;
+        match meta.blocks.get(block_no as usize) {
+            Some(&b) => self.device.read(b, 0, len),
+            None => Err(WormError::ReadPastEof {
+                name: meta.name.clone(),
+                end: start.saturating_add(len as u64),
+                len: meta.len,
+            }),
+        }
+    }
+
+    /// Number of device blocks the file's committed bytes occupy
+    /// (`ceil(len / block_size)`).
+    pub fn num_blocks(&self, f: FileHandle) -> u64 {
+        self.len(f).div_ceil(self.device.block_size() as u64)
+    }
+
     /// Attempt to delete the file at logical time `now`.
     ///
     /// Deletion succeeds only once the retention period has expired;
@@ -388,6 +455,40 @@ mod tests {
         fs.append(f, b"e").unwrap();
         let t2 = fs.tail_block(f).unwrap();
         assert_ne!(t1, t2, "full tail forces a new block");
+    }
+
+    #[test]
+    fn read_exact_at_matches_read() {
+        let mut fs = fs(4);
+        let f = fs.create("a", u64::MAX).unwrap();
+        fs.append(f, b"0123456789").unwrap();
+        let mut buf = [0u8; 4];
+        fs.read_exact_at(f, 3, &mut buf).unwrap();
+        assert_eq!(&buf, b"3456", "must cross the 4-byte block boundary");
+        assert!(matches!(
+            fs.read_exact_at(f, 8, &mut buf),
+            Err(WormError::ReadPastEof { .. })
+        ));
+        let mut empty: [u8; 0] = [];
+        fs.read_exact_at(f, 10, &mut empty).unwrap();
+    }
+
+    #[test]
+    fn read_block_returns_committed_bytes_per_block() {
+        let mut fs = fs(4);
+        let f = fs.create("a", u64::MAX).unwrap();
+        fs.append(f, b"0123456789").unwrap();
+        assert_eq!(fs.num_blocks(f), 3);
+        assert_eq!(fs.read_block(f, 0).unwrap(), b"0123");
+        assert_eq!(fs.read_block(f, 1).unwrap(), b"4567");
+        assert_eq!(fs.read_block(f, 2).unwrap(), b"89", "partial tail");
+        assert!(matches!(
+            fs.read_block(f, 3),
+            Err(WormError::ReadPastEof { .. })
+        ));
+        // The tail block grows as the file does.
+        fs.append(f, b"ab").unwrap();
+        assert_eq!(fs.read_block(f, 2).unwrap(), b"89ab");
     }
 
     #[test]

@@ -14,6 +14,10 @@
 //!   `#![forbid(unsafe_code)]`.
 //! * **`error-taxonomy`** — public fallible APIs in production crates
 //!   return `Result<_, E>` where `E` implements `std::error::Error`.
+//! * **`hot-path-io`** (warn) — constant-length `fs.read(…, N)` calls in
+//!   the postings/core read paths are per-record reads; batch through
+//!   `WormFs::read_block` / `read_exact_at` instead (metadata readers
+//!   opt out inline).
 //!
 //! The pass is lexical (comments and string literals are blanked before
 //! matching, `#[cfg(test)]` regions are masked) and produces both
@@ -58,6 +62,7 @@ pub fn audit_workspace(root: &Path) -> io::Result<Report> {
     rules::worm_append_only(&files, &mut report);
     rules::forbid_unsafe(&files, &mut report);
     rules::error_taxonomy(&files, &mut report);
+    rules::hot_path_io(&files, &mut report);
     report
         .findings
         .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));

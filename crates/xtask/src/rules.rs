@@ -31,6 +31,11 @@ pub const PROD_PREFIXES: [&str; 4] = [
 /// (it names them as patterns).
 const WORM_RULE_ALLOW: [&str; 2] = ["crates/worm/", "crates/xtask/"];
 
+/// Path prefixes subject to `hot-path-io`: the crates whose read paths
+/// are supposed to be block-granular (`read_block` / `read_exact_at`
+/// batched reads, decoded a block at a time).
+const HOT_PATH_PREFIXES: [&str; 2] = ["crates/postings/src/", "crates/core/src/"];
+
 /// Panicking constructs denied in production code.
 const PANIC_METHODS: [&str; 2] = ["unwrap", "expect"];
 const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
@@ -242,6 +247,131 @@ pub fn worm_append_only(files: &[SourceFile], report: &mut Report) {
             }
         }
     }
+}
+
+/// Rule `hot-path-io` (warn): a `…fs.read(…)` call whose length argument
+/// is a small constant — an integer literal or an ALL-CAPS const like
+/// `META_RECORD` — inside the postings/core read paths is a per-record
+/// read: it pays call overhead and a storage-cache traversal for every
+/// few bytes.  Batch through `WormFs::read_block` / `read_exact_at` and
+/// decode whole blocks instead.  One-off metadata readers (recovery
+/// headers, per-document records) may opt out with
+/// `audit:allow(hot-path-io)`.
+pub fn hot_path_io(files: &[SourceFile], report: &mut Report) {
+    let mut sink = Sink { report };
+    for file in files
+        .iter()
+        .filter(|f| under_any(&f.rel, &HOT_PATH_PREFIXES))
+    {
+        let lines: Vec<&str> = file.code.lines().collect();
+        for (idx, line) in lines.iter().enumerate() {
+            if file.test_mask.get(idx).copied().unwrap_or(false) {
+                continue;
+            }
+            let mut from = 0;
+            while let Some(p) = line.get(from..).and_then(|s| s.find(".read(")) {
+                let i = from + p;
+                from = i + ".read(".len();
+                if !receiver_ends_with_fs(line, i) {
+                    continue;
+                }
+                let Some(args) = call_args(&lines, idx, i + ".read(".len()) else {
+                    continue;
+                };
+                let Some(len_arg) = last_top_level_arg(&args) else {
+                    continue;
+                };
+                if is_const_len(&len_arg) {
+                    sink.emit(
+                        file,
+                        "hot-path-io",
+                        Severity::Warn,
+                        idx + 1,
+                        i,
+                        format!(
+                            "constant-length `fs.read(…, {len_arg})` is a per-record read on \
+                             the block-granular read path; batch via `read_block`/`read_exact_at` \
+                             (metadata readers may `audit:allow(hot-path-io)`)"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Is the identifier immediately before the `.` at `dot` an `fs`-suffixed
+/// receiver (`fs`, `self.fs`, `doc_fs`, …)?
+fn receiver_ends_with_fs(line: &str, dot: usize) -> bool {
+    let b = line.as_bytes();
+    let mut s = dot;
+    while s > 0 && (b[s - 1].is_ascii_alphanumeric() || b[s - 1] == b'_') {
+        s -= 1;
+    }
+    line.get(s..dot).is_some_and(|id| id.ends_with("fs"))
+}
+
+/// The argument text of a call whose opening paren sits just before
+/// `lines[idx][start..]`, spanning at most a few lines.
+fn call_args(lines: &[&str], idx: usize, start: usize) -> Option<String> {
+    let mut out = String::new();
+    let mut depth = 1i32;
+    let mut j = idx;
+    let mut rest: &str = lines.get(j)?.get(start..)?;
+    loop {
+        for (k, c) in rest.char_indices() {
+            match c {
+                '(' | '[' => depth += 1,
+                ')' | ']' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        out.push_str(rest.get(..k).unwrap_or(""));
+                        return Some(out);
+                    }
+                }
+                _ => {}
+            }
+        }
+        out.push_str(rest);
+        out.push(' ');
+        j += 1;
+        if j > idx + 4 {
+            return None;
+        }
+        rest = lines.get(j)?;
+    }
+}
+
+/// The last top-level comma-separated argument of `args`.
+fn last_top_level_arg(args: &str) -> Option<String> {
+    let mut depth = 0i32;
+    let mut last_start = 0usize;
+    for (k, c) in args.char_indices() {
+        match c {
+            '(' | '[' => depth += 1,
+            ')' | ']' => depth -= 1,
+            ',' if depth == 0 => last_start = k + 1,
+            _ => {}
+        }
+    }
+    let a = args.get(last_start..)?.trim();
+    (!a.is_empty()).then(|| a.to_string())
+}
+
+/// A compile-time-constant length: an integer literal (`2`, `8_192`,
+/// `0x10`, `8usize`) or an ALL-CAPS const path (`META_RECORD`,
+/// `codec::POSTING_SIZE`), optionally with a trailing cast.
+fn is_const_len(arg: &str) -> bool {
+    let a = arg.split(" as ").next().unwrap_or(arg).trim();
+    if a.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        return true;
+    }
+    let last_seg = a.rsplit("::").next().unwrap_or(a).trim();
+    !last_seg.is_empty()
+        && last_seg
+            .chars()
+            .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_')
+        && last_seg.chars().any(|c| c.is_ascii_uppercase())
 }
 
 /// Rule `forbid-unsafe`: no `unsafe` anywhere in the workspace (tests

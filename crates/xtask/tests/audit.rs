@@ -192,6 +192,61 @@ pub fn infallible() -> u8 {
 }
 
 #[test]
+fn hot_path_io_flags_constant_small_reads_only_in_read_path_crates() {
+    let shared = r##"#![forbid(unsafe_code)]
+pub const REC: usize = 12;
+pub fn replay(fs: &Fs, f: File, n: u64, len: usize) -> Vec<u8> {
+    let mut out = Vec::new();
+    for i in 0..n {
+        out.extend(fs.read(f, i * 8, 8));
+        out.extend(fs.read(f, i * 12, REC));
+    }
+    out.extend(fs.read(f, 0, len));
+    out
+}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t(fs: &Fs, f: File) {
+        let _ = fs.read(f, 0, 2);
+    }
+}
+"##;
+    let (report, root) = audit_fixture(&[
+        ("crates/postings/src/lib.rs", shared),
+        ("crates/worm/src/lib.rs", shared),
+    ]);
+    let hits = rules_of(&report, "hot-path-io");
+    assert_eq!(
+        hits,
+        vec![
+            "crates/postings/src/lib.rs:6 warn",
+            "crates/postings/src/lib.rs:7 warn"
+        ],
+        "literal and const lengths flag in postings; runtime lengths, \
+         cfg(test) code, and the worm crate itself do not"
+    );
+    assert_eq!(report.deny_count(), 0, "hot-path-io is warn severity");
+    cleanup(root);
+}
+
+#[test]
+fn hot_path_io_allows_metadata_readers_inline() {
+    let (report, root) = audit_fixture(&[(
+        "crates/core/src/lib.rs",
+        r##"#![forbid(unsafe_code)]
+pub fn header(fs: &Fs, f: File) -> Vec<u8> {
+    // audit:allow(hot-path-io) — one-off metadata header
+    fs.read(f, 0, 16)
+}
+"##,
+    )]);
+    assert!(rules_of(&report, "hot-path-io").is_empty());
+    assert_eq!(report.suppressed, 1);
+    cleanup(root);
+}
+
+#[test]
 fn inline_allow_directive_suppresses_and_is_counted() {
     let (report, root) = audit_fixture(&[(
         "crates/core/src/lib.rs",

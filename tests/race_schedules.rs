@@ -296,6 +296,125 @@ fn watermark_invariants_hold_under_all_schedules() {
     assert_eq!(clean, SCHEDULES);
 }
 
+// ---------------------------------------------------------------------------
+// Decoded-block cache: cache hits must never change results across writer
+// appends (tail-block growth invalidates by length, no writer → reader
+// signalling).
+// ---------------------------------------------------------------------------
+
+struct CacheState {
+    writer: IndexWriter,
+    searcher: Searcher,
+    committed: u64,
+    violations: Vec<String>,
+}
+
+fn cache_threads() -> (CacheState, Vec<Vec<Step<'static, CacheState>>>) {
+    let (writer, searcher) = service(small_engine());
+    let state = CacheState {
+        writer,
+        searcher,
+        committed: 0,
+        violations: Vec::new(),
+    };
+    // Writer: every document matches the conjunctive query below, so the
+    // correct answer at any point is exactly the committed prefix.
+    let writer_ops: Vec<Step<'static, CacheState>> = (0..DOCS)
+        .map(|i| {
+            Box::new(move |s: &mut CacheState| {
+                match s
+                    .writer
+                    .commit(&format!("common beta filler{i}"), Timestamp(3_000 + i))
+                {
+                    Ok(_) => s.committed += 1,
+                    Err(e) => s.violations.push(format!("commit {i} failed: {e}")),
+                }
+            }) as Step<'static, CacheState>
+        })
+        .collect();
+    // Reader: a conjunctive query runs the scan-merge path through the
+    // decoded-block cache.  Each op executes it twice back to back — the
+    // second run is served from blocks the first just decoded — and both
+    // must agree with the committed prefix exactly.
+    let reader_ops: Vec<Step<'static, CacheState>> = (0..6)
+        .map(|_| {
+            Box::new(|s: &mut CacheState| {
+                let committed = s.committed;
+                let cold = s.searcher.execute(Query::conjunctive("common beta"));
+                let warm = s.searcher.execute(Query::conjunctive("common beta"));
+                match (cold, warm) {
+                    (Ok(a), Ok(b)) => {
+                        if a.docs().len() as u64 != committed {
+                            s.violations.push(format!(
+                                "conjunctive saw {} docs with {committed} committed",
+                                a.docs().len()
+                            ));
+                        }
+                        if a.docs() != b.docs() {
+                            s.violations
+                                .push("cache-served re-execution changed the result".into());
+                        }
+                    }
+                    (Err(e), _) | (_, Err(e)) => {
+                        s.violations.push(format!("conjunctive failed: {e}"))
+                    }
+                }
+            }) as Step<'static, CacheState>
+        })
+        .collect();
+    (state, vec![writer_ops, reader_ops])
+}
+
+#[test]
+fn decoded_cache_results_track_appends_under_all_schedules() {
+    let clean = explore(0xB10C, SCHEDULES, |seed| {
+        let (mut state, mut threads) = cache_threads();
+        interleave(seed, &mut state, &mut threads);
+        // Quiescent: the full corpus matches.
+        match state.searcher.execute(Query::conjunctive("common beta")) {
+            Ok(resp) if resp.docs().len() as u64 == DOCS => {}
+            Ok(resp) => state.violations.push(format!(
+                "quiescent saw {} docs, expected {DOCS}",
+                resp.docs().len()
+            )),
+            Err(e) => state
+                .violations
+                .push(format!("quiescent query failed: {e}")),
+        }
+        if state.violations.is_empty() {
+            Ok(())
+        } else {
+            Err(state.violations.join("; "))
+        }
+    })
+    .unwrap_or_else(|f| panic!("{f}"));
+    assert_eq!(clean, SCHEDULES);
+}
+
+#[test]
+fn decoded_cache_invalidates_grown_tail_blocks() {
+    // Deterministic interleaving: read, append, read again.  The second
+    // read must observe the new posting (length-based invalidation of the
+    // cached tail decode) and the cache must record both the reuse and the
+    // invalidation.
+    let (mut writer, searcher) = service(small_engine());
+    writer.commit("common one", Timestamp(1)).unwrap();
+    let first = searcher.execute(Query::conjunctive("common")).unwrap();
+    assert_eq!(first.docs().len(), 1);
+    writer.commit("common two", Timestamp(2)).unwrap();
+    let second = searcher.execute(Query::conjunctive("common")).unwrap();
+    assert_eq!(
+        second.docs().len(),
+        2,
+        "stale cached tail block served after append"
+    );
+    let stats = searcher.decoded_cache_stats();
+    assert!(
+        stats.invalidations >= 1,
+        "tail growth must invalidate, got {stats:?}"
+    );
+}
+
 #[test]
 fn schedules_are_reproducible_given_a_seed() {
     let run = |seed: u64| {
