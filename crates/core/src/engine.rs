@@ -307,6 +307,17 @@ pub enum SearchError {
         /// The offending timestamp.
         attempted: Timestamp,
     },
+    /// A commit collided with quarantined crash residue: a torn commit's
+    /// orphan document text already occupies the next document's WORM
+    /// file.  WORM cannot truncate, and the engine refuses to guess
+    /// whether the residue happens to equal the new document's text, so
+    /// ingest must resume on a fresh device.
+    QuarantinedResidue {
+        /// The WORM file occupied by crash residue.
+        file: String,
+        /// Residue bytes in the way.
+        bytes: u64,
+    },
     /// The engine configuration was rejected (see [`EngineConfig::builder`]).
     Config(ConfigError),
     /// An internal invariant failed in a way that is neither tamper
@@ -334,6 +345,12 @@ impl std::fmt::Display for SearchError {
             }
             SearchError::NonMonotonicTimestamp { last, attempted } => {
                 write!(f, "commit time {attempted} precedes committed {last}")
+            }
+            SearchError::QuarantinedResidue { file, bytes } => {
+                write!(
+                    f,
+                    "commit collides with {bytes} byte(s) of quarantined crash residue at {file}"
+                )
             }
             SearchError::Config(e) => write!(f, "{e}"),
             SearchError::Internal(msg) => write!(f, "internal invariant failure: {msg}"),
@@ -452,6 +469,53 @@ impl AuditReport {
     }
 }
 
+/// What [`SearchEngine::recover`] quarantined: torn-commit residue left
+/// by a crash mid-document.
+///
+/// The DOCMETA record is the commit point — it is the *last* WORM append
+/// of a document, so everything on the devices past the last whole
+/// DOCMETA record belongs to a document that never committed.  WORM
+/// media cannot be truncated, so recovery walls the residue off
+/// (quarantines it) and reports the byte counts here as evidence.
+/// Anomalies a single torn append cannot produce — interior garbage,
+/// out-of-order postings, postings referencing documents beyond the next
+/// one — still fail recovery with a typed error.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Per-list quarantined posting-store bytes: a torn partial posting
+    /// and/or whole postings of the uncommitted document.
+    pub list_bytes: Vec<(ListId, u64)>,
+    /// Partial tag-dictionary record bytes in the posting store.
+    pub dict_tail_bytes: u64,
+    /// Partial term-dictionary record bytes on the document device.
+    pub terms_tail_bytes: u64,
+    /// Partial DOCMETA record bytes on the document device.
+    pub docmeta_tail_bytes: u64,
+    /// Per-list quarantined positional-sidecar bytes.
+    pub position_bytes: Vec<(u32, u64)>,
+    /// Bytes of stored record text belonging to documents whose DOCMETA
+    /// record never committed (the text reaches WORM first, so a crash
+    /// can orphan a whole text file).
+    pub doc_text_bytes: u64,
+}
+
+impl RecoveryReport {
+    /// Total quarantined bytes across every device and file.
+    pub fn total_quarantined_bytes(&self) -> u64 {
+        self.list_bytes.iter().map(|&(_, b)| b).sum::<u64>()
+            + self.dict_tail_bytes
+            + self.terms_tail_bytes
+            + self.docmeta_tail_bytes
+            + self.position_bytes.iter().map(|&(_, b)| b).sum::<u64>()
+            + self.doc_text_bytes
+    }
+
+    /// `true` when recovery found no torn-commit residue.
+    pub fn is_clean(&self) -> bool {
+        self.total_quarantined_bytes() == 0
+    }
+}
+
 /// The trustworthy keyword-search engine (see module docs).
 ///
 /// # Example
@@ -483,6 +547,12 @@ pub struct SearchEngine {
     total_tokens: u64,
     /// Lockstep positional sidecar (present iff `config.positional`).
     positions: Option<crate::positions::PositionStore>,
+    /// What the last recovery quarantined (all-zero for a fresh engine).
+    recovery: RecoveryReport,
+    /// Bytes that reached WORM during commits that then failed on this
+    /// live engine: dead weight behind the commit point, counted so trust
+    /// metadata stays truthful without waiting for a restart.
+    torn_tail_bytes: u64,
 }
 
 fn recovery_err(msg: &str) -> SearchError {
@@ -566,6 +636,8 @@ impl SearchEngine {
             } else {
                 None
             },
+            recovery: RecoveryReport::default(),
+            torn_tail_bytes: 0,
             config,
         })
     }
@@ -586,8 +658,20 @@ impl SearchEngine {
     ///
     /// `config` must describe the engine that wrote the devices (the merge
     /// assignment in particular); mismatches are detected where possible.
+    ///
+    /// Recovery is **torn-tail tolerant**: the DOCMETA record is the last
+    /// WORM append of a document (the commit point), so a crash mid-commit
+    /// leaves at most one partial record per file plus whole index entries
+    /// for the document whose DOCMETA never landed.  That residue is
+    /// quarantined and reported (see [`SearchEngine::recovery_report`]),
+    /// and the engine converges to the last fully committed document.
+    /// Interior anomalies — which a single torn append cannot produce —
+    /// still fail with a typed error.
     pub fn recover(parts: EngineParts, config: EngineConfig) -> Result<Self, SearchError> {
-        let store = ListStore::recover(parts.store_fs)?;
+        let mut report = RecoveryReport::default();
+        let (mut store, store_rec) = ListStore::recover_with_report(parts.store_fs)?;
+        report.dict_tail_bytes = store_rec.dict_tail_bytes;
+        let mut list_bytes: HashMap<u32, u64> = store_rec.torn_lists.iter().copied().collect();
         if store.num_lists() != config.assignment.num_lists() as usize {
             return Err(SearchError::List(tks_postings::list::ListError::Recovery(
                 format!(
@@ -608,8 +692,14 @@ impl SearchEngine {
         let terms_len = doc_fs.len(terms_file);
         let mut off = 0u64;
         while off < terms_len {
+            // A length prefix or entry body running past EOF is the torn
+            // tail of an intern killed mid-append: quarantine the
+            // remainder and stop replaying.  Whole entries that decode
+            // but violate invariants (non-UTF-8, duplicates) cannot come
+            // from a torn append and still fail hard.
             if off + 2 > terms_len {
-                return Err(recovery_err("truncated term dictionary"));
+                report.terms_tail_bytes = terms_len - off;
+                break;
             }
             // audit:allow(hot-path-io) — length-prefixed dictionary replay,
             // once per recovery.
@@ -618,10 +708,11 @@ impl SearchEngine {
                 <[u8; 2]>::try_from(&len_bytes[..])
                     .map_err(|_| recovery_err("short term dictionary length"))?,
             ) as u64;
-            off += 2;
-            if off + len > terms_len {
-                return Err(recovery_err("truncated term dictionary entry"));
+            if off + 2 + len > terms_len {
+                report.terms_tail_bytes = terms_len - off;
+                break;
             }
+            off += 2;
             let name = String::from_utf8(doc_fs.read(terms_file, off, len as usize)?)
                 .map_err(|_| recovery_err("term dictionary entry is not UTF-8"))?;
             off += len;
@@ -637,9 +728,12 @@ impl SearchEngine {
             .open(DOCMETA_FILE)
             .map_err(|_| recovery_err("missing document metadata file"))?;
         let meta_len = doc_fs.len(docmeta_file);
-        if !meta_len.is_multiple_of(DOCMETA_RECORD as u64) {
-            return Err(recovery_err("document metadata is not whole records"));
-        }
+        // DOCMETA is an append-only stream of fixed-width records, so a
+        // non-multiple length can only be a record torn mid-append — the
+        // crash signature at the commit point itself.  The partial record
+        // is quarantined; whole records before it are the committed
+        // document set.
+        report.docmeta_tail_bytes = meta_len % DOCMETA_RECORD as u64;
         let time_cfg = JumpConfig::try_new(config.block_size.max(2048), 32, 1 << 32)?;
         let mut commit_times = BlockJumpIndex::new(time_cfg);
         let mut docs = Vec::new();
@@ -667,17 +761,65 @@ impl SearchEngine {
             docs.push(DocMeta { timestamp: ts, len });
         }
 
-        // Recompute document frequencies from the recovered lists, and
-        // cross-check postings against the document count.
-        let mut doc_freq = vec![0u64; term_names.len()];
+        // Quarantine index entries of the uncommitted document.  DOCMETA
+        // is the commit point (the last WORM append of a document), so a
+        // crash can leave whole postings for exactly the *next* document
+        // id, and doc-ID monotonicity (verified by the store recovery
+        // audit) puts them at each list's tail.  Postings beyond the next
+        // document, or phantom postings not at the tail, cannot come from
+        // a single crash — those remain hard tamper evidence.
+        let committed = docs.len() as u64;
         for l in 0..store.num_lists() as u32 {
             let list = ListId(l);
+            let mut phantom = 0u64;
             for p in store.postings(list)? {
-                if p.doc.0 >= docs.len() as u64 {
+                if p.doc.0 > committed {
                     return Err(recovery_err(
                         "posting references a document with no metadata record",
                     ));
                 }
+                if p.doc.0 == committed {
+                    phantom += 1;
+                } else if phantom > 0 {
+                    return Err(recovery_err(
+                        "posting for an uncommitted document is not at the list tail",
+                    ));
+                }
+            }
+            if phantom > 0 {
+                store.quarantine_tail(list, phantom)?;
+                *list_bytes.entry(l).or_insert(0) += phantom * 8;
+            }
+        }
+        report.list_bytes = {
+            let mut v: Vec<(ListId, u64)> = list_bytes
+                .into_iter()
+                .map(|(l, b)| (ListId(l), b))
+                .collect();
+            v.sort_unstable_by_key(|&(l, _)| l.0);
+            v
+        };
+
+        // Record text reaches WORM before DOCMETA, so a crash can orphan
+        // whole text files of the uncommitted document.  Count them as
+        // quarantined residue (they are unreachable: document_text only
+        // serves ids below the committed count).
+        report.doc_text_bytes = doc_fs
+            .file_names()
+            .filter_map(|name| {
+                let n: u64 = name.strip_prefix("docs/")?.parse().ok()?;
+                (n >= committed).then_some(name)
+            })
+            .filter_map(|name| doc_fs.open(name).ok())
+            .map(|f| doc_fs.len(f))
+            .sum();
+
+        // Recompute document frequencies from the recovered (post-
+        // quarantine) lists, and cross-check tags and list assignment.
+        let mut doc_freq = vec![0u64; term_names.len()];
+        for l in 0..store.num_lists() as u32 {
+            let list = ListId(l);
+            for p in store.postings(list)? {
                 let term = store
                     .term_of_tag(list, p.term_tag)?
                     .ok_or_else(|| recovery_err("posting tag has no dictionary entry"))?;
@@ -720,10 +862,11 @@ impl SearchEngine {
             let counts: Vec<u64> = (0..store.num_lists() as u32)
                 .map(|l| store.len(ListId(l)).unwrap_or(0))
                 .collect();
-            Some(
-                crate::positions::PositionStore::recover(pos_fs, &counts)
-                    .map_err(|e| recovery_err(&e.to_string()))?,
-            )
+            let (ps, quarantined) =
+                crate::positions::PositionStore::recover_with_report(pos_fs, &counts)
+                    .map_err(|e| recovery_err(&e.to_string()))?;
+            report.position_bytes = quarantined;
+            Some(ps)
         } else {
             None
         };
@@ -743,8 +886,24 @@ impl SearchEngine {
             dict,
             term_names,
             positions,
+            recovery: report,
+            torn_tail_bytes: 0,
             config,
         })
+    }
+
+    /// What the recovery that built this engine quarantined (all-zero
+    /// for an engine created with [`SearchEngine::new`]).
+    pub fn recovery_report(&self) -> &RecoveryReport {
+        &self.recovery
+    }
+
+    /// Total torn-commit residue behind the commit point, in bytes:
+    /// what recovery quarantined plus residue of commits that failed on
+    /// this live engine.  Surfaced on every
+    /// [`QueryResponse`](crate::query::QueryResponse).
+    pub fn quarantined_bytes(&self) -> u64 {
+        self.recovery.total_quarantined_bytes() + self.torn_tail_bytes
     }
 
     /// The configuration.
@@ -790,9 +949,21 @@ impl SearchEngine {
         &self.doc_fs
     }
 
+    /// Raw mutable access to the document file system — for attack and
+    /// fault-injection harnesses (e.g. arming a
+    /// [`FaultPolicy`](tks_worm::FaultPolicy) on the device).
+    pub fn doc_fs_mut(&mut self) -> &mut WormFs {
+        &mut self.doc_fs
+    }
+
     /// The positional sidecar's file system, when the engine is positional.
     pub fn positions_fs(&self) -> Option<&WormFs> {
         self.positions.as_ref().map(|p| p.fs())
+    }
+
+    /// Mutable positional file system — fault-injection harnesses.
+    pub fn positions_fs_mut(&mut self) -> Option<&mut WormFs> {
+        self.positions.as_mut().map(|p| p.fs_mut())
     }
 
     /// Document frequency of a term (postings in its list).
@@ -864,6 +1035,35 @@ impl SearchEngine {
         raw_text: Option<&str>,
         positions: Option<&[Vec<u32>]>,
     ) -> Result<DocId, SearchError> {
+        let before = self.device_bytes_committed();
+        let result = self.add_document_inner(terms, ts, raw_text, positions);
+        if result.is_err() {
+            // WORM bytes cannot be taken back: whatever the failed commit
+            // managed to append sits behind the commit point forever.
+            // Count it so live trust metadata matches what a recovery of
+            // these devices would quarantine.
+            self.torn_tail_bytes += self.device_bytes_committed() - before;
+        }
+        result
+    }
+
+    /// Total bytes committed across all of the engine's WORM devices.
+    fn device_bytes_committed(&self) -> u64 {
+        self.store.fs().device().bytes_committed()
+            + self.doc_fs.device().bytes_committed()
+            + self
+                .positions
+                .as_ref()
+                .map_or(0, |p| p.fs().device().bytes_committed())
+    }
+
+    fn add_document_inner(
+        &mut self,
+        terms: &[(TermId, u32)],
+        ts: Timestamp,
+        raw_text: Option<&str>,
+        positions: Option<&[Vec<u32>]>,
+    ) -> Result<DocId, SearchError> {
         if let Some(last) = self.docs.last() {
             if ts < last.timestamp {
                 return Err(SearchError::NonMonotonicTimestamp {
@@ -888,21 +1088,32 @@ impl SearchEngine {
         let doc = DocId(self.docs.len() as u64);
         let len: u64 = terms.iter().map(|&(_, tf)| tf as u64).sum();
         // 1. The record itself reaches WORM first (we trust the insertion
-        //    application at commit time; see paper §2.1), followed by its
-        //    metadata record, so recovery can never see index entries for
-        //    an unknown document.
+        //    application at commit time; see paper §2.1).  Its DOCMETA
+        //    record is deliberately *not* written yet: DOCMETA is the
+        //    commit point, appended last (step 4), so a crash anywhere in
+        //    this function leaves index entries that recovery can
+        //    recognise as uncommitted and quarantine.
         if self.config.store_documents {
             if let Some(text) = raw_text {
-                let f = self.doc_fs.create(&format!("docs/{}", doc.0), u64::MAX)?;
+                let name = format!("docs/{}", doc.0);
+                // The engine never creates the same doc file twice, so a
+                // collision here means orphan text from a torn commit
+                // already occupies this document's slot — quarantined
+                // residue, not a generic file-system error.
+                let f = match self.doc_fs.create(&name, u64::MAX) {
+                    Ok(f) => f,
+                    Err(WormError::FileExists(_)) => {
+                        let bytes = self
+                            .doc_fs
+                            .open(&name)
+                            .map(|f| self.doc_fs.len(f))
+                            .unwrap_or(0);
+                        return Err(SearchError::QuarantinedResidue { file: name, bytes });
+                    }
+                    Err(e) => return Err(e.into()),
+                };
                 self.doc_fs.append(f, text.as_bytes())?;
             }
-        }
-        {
-            let f = self.doc_fs.open(DOCMETA_FILE)?;
-            let mut rec = [0u8; DOCMETA_RECORD];
-            rec[0..8].copy_from_slice(&ts.0.to_le_bytes());
-            rec[8..16].copy_from_slice(&len.to_le_bytes());
-            self.doc_fs.append(f, &rec)?;
         }
 
         // 2. Index entries, one per distinct keyword, before returning.
@@ -975,6 +1186,20 @@ impl SearchEngine {
                     cache.access(time_block_id(block), AccessKind::Update);
                 }
             })?;
+
+        // 4. The commit point: DOCMETA is the LAST WORM append of the
+        //    document.  Until this record is durably whole, recovery
+        //    treats every byte written above as quarantinable residue; a
+        //    failure here (or anywhere above) leaves the document
+        //    uncommitted and the in-memory shadow state invisible behind
+        //    the `docs.len()` watermark.
+        {
+            let f = self.doc_fs.open(DOCMETA_FILE)?;
+            let mut rec = [0u8; DOCMETA_RECORD];
+            rec[0..8].copy_from_slice(&ts.0.to_le_bytes());
+            rec[8..16].copy_from_slice(&len.to_le_bytes());
+            self.doc_fs.append(f, &rec)?;
+        }
 
         self.total_tokens += len;
         self.docs.push(DocMeta { timestamp: ts, len });
@@ -1072,6 +1297,7 @@ impl SearchEngine {
             },
             visible_docs: visible,
             trusted: self.tamper_logs_clean(),
+            quarantined_bytes: self.quarantined_bytes(),
         })
     }
 
@@ -1404,10 +1630,19 @@ impl SearchEngine {
             if let Ok(Some(pos)) = self.store.audit_monotonic(list) {
                 report.list_violations.push((list, pos));
             }
-            if let (Ok(count), Ok(raw)) = (self.store.len(list), self.store.raw_len(list)) {
+            if let (Ok(count), Ok(raw), Ok(quarantined)) = (
+                self.store.len(list),
+                self.store.raw_len(list),
+                self.store.quarantined_bytes(list),
+            ) {
+                // Quarantined torn-tail bytes are accounted dead weight,
+                // not adversarial appends: raw length must equal logical
+                // postings plus exactly the quarantined residue.
                 let logical = count * tks_postings::POSTING_SIZE as u64;
-                if logical != raw {
-                    report.length_mismatches.push((list, logical, raw));
+                if logical + quarantined != raw {
+                    report
+                        .length_mismatches
+                        .push((list, logical + quarantined, raw));
                 }
             }
             if let (Some(ps), Ok(count)) = (&self.positions, self.store.len(list)) {
@@ -1896,6 +2131,128 @@ mod tests {
         e.list_store_mut().fs_mut().append(f, &evil).unwrap();
         let err = SearchEngine::recover(e.into_parts(), config).unwrap_err();
         assert!(err.to_string().contains("no metadata record"), "{err}");
+    }
+
+    #[test]
+    fn torn_commit_fails_invisibly_and_recovery_quarantines_residue() {
+        // End-to-end crash simulation: a fault kills the write path
+        // mid-document, the live engine stays truthful, and recovery of
+        // the raw devices converges to the last whole document with the
+        // residue quarantined and reported.
+        let mut e = engine();
+        e.add_document("alpha beta", Timestamp(1)).unwrap();
+        e.add_document("beta gamma", Timestamp(2)).unwrap();
+        let config = e.config().clone();
+        let before = e.execute(&Query::conjunctive("beta")).unwrap().docs();
+
+        // Tear the posting-store device partway into doc 2's entries.
+        let offset = e.list_store().fs().device().bytes_committed() + 3;
+        e.list_store_mut()
+            .fs_mut()
+            .arm_faults(tks_worm::FaultPolicy::torn_at_offset(offset));
+        e.add_document("alpha beta gamma", Timestamp(3))
+            .unwrap_err();
+        // The failed document never becomes visible, and the residue its
+        // commit left on WORM is counted immediately: 16 bytes of record
+        // text (committed before the fault) plus the 3 torn store bytes.
+        assert_eq!(e.num_docs(), 2);
+        assert_eq!(e.quarantined_bytes(), 19);
+        assert!(
+            e.execute(&Query::conjunctive("beta"))
+                .unwrap()
+                .quarantined_bytes
+                > 0
+        );
+
+        // Restart: surface device-committed bytes the fs metadata missed,
+        // then recover.
+        let mut parts = e.into_parts();
+        parts.store_fs.disarm_faults();
+        parts.store_fs.crash_recover().unwrap();
+        parts.doc_fs.crash_recover().unwrap();
+        let r = SearchEngine::recover(parts, config).unwrap();
+        assert_eq!(r.num_docs(), 2);
+        let report = r.recovery_report();
+        assert!(!report.is_clean(), "torn residue must be reported");
+        // Recovery sees the same residue the live engine counted: the
+        // orphaned text file plus the torn store bytes.
+        assert_eq!(report.doc_text_bytes, 16);
+        assert_eq!(report.total_quarantined_bytes(), 19);
+        let resp = r.execute(&Query::conjunctive("beta")).unwrap();
+        assert_eq!(resp.docs(), before);
+        assert_eq!(resp.quarantined_bytes, 19);
+        assert!(resp.trusted, "a torn tail is not tamper evidence");
+        assert!(r.audit().is_clean(), "quarantined bytes are accounted");
+    }
+
+    #[test]
+    fn recovery_quarantines_whole_postings_of_uncommitted_doc() {
+        // Whole index entries whose DOCMETA record never landed — the
+        // crash-after-postings-before-commit-point shape.  They carry the
+        // next document id, sit at the list tail, and are quarantined.
+        let mut e = engine();
+        e.add_document("ledger entry", Timestamp(1)).unwrap();
+        let config = e.config().clone();
+        let term = e.term_of("ledger").unwrap();
+        let list = config.assignment.list_of(term);
+        let tag = e.list_store().tag_of(list, term).unwrap().unwrap();
+        let orphan = tks_postings::encode_posting(Posting::new(DocId(1), tag, 1));
+        let f = e
+            .list_store()
+            .fs()
+            .open(&format!("lists/{}", list.0))
+            .unwrap();
+        e.list_store_mut().fs_mut().append(f, &orphan).unwrap();
+        let r = SearchEngine::recover(e.into_parts(), config).unwrap();
+        assert_eq!(r.num_docs(), 1);
+        assert_eq!(r.recovery_report().list_bytes, vec![(list, 8)]);
+        // The quarantined posting never matches queries.
+        assert_eq!(
+            r.execute(&Query::conjunctive("ledger")).unwrap().docs(),
+            vec![DocId(0)]
+        );
+        // doc_freq counts only surviving postings.
+        assert_eq!(r.doc_freq(term), 1);
+        assert!(r.audit().is_clean());
+    }
+
+    #[test]
+    fn recovery_quarantines_torn_docmeta_record() {
+        // The commit point itself torn: a partial DOCMETA record means
+        // the last document never committed — its index entries are
+        // quarantined along with the partial record.
+        let mut e = engine();
+        e.add_document("alpha beta", Timestamp(1)).unwrap();
+        e.add_document("gamma delta", Timestamp(2)).unwrap();
+        let config = e.config().clone();
+        let mut parts = e.into_parts();
+        // Chop the doc-metadata stream mid-record by rebuilding it as a
+        // torn copy: simulate with a device-level tear on a fresh commit.
+        // Simpler equivalent: append a partial record directly.
+        let f = parts.doc_fs.open(DOCMETA_FILE).unwrap();
+        parts.doc_fs.append(f, &[0x09, 0x00, 0x00]).unwrap();
+        let r = SearchEngine::recover(parts, config).unwrap();
+        assert_eq!(r.num_docs(), 2);
+        assert_eq!(r.recovery_report().docmeta_tail_bytes, 3);
+        assert_eq!(r.quarantined_bytes(), 3);
+    }
+
+    #[test]
+    fn recovery_quarantines_torn_term_dictionary_tail() {
+        let mut e = engine();
+        e.add_document("alpha beta", Timestamp(1)).unwrap();
+        let config = e.config().clone();
+        let mut parts = e.into_parts();
+        // A torn intern: length prefix promises more bytes than exist.
+        let f = parts.doc_fs.open(TERMS_FILE).unwrap();
+        parts.doc_fs.append(f, &[0x05, 0x00, b'g', b'a']).unwrap();
+        let r = SearchEngine::recover(parts, config).unwrap();
+        assert_eq!(r.recovery_report().terms_tail_bytes, 4);
+        assert_eq!(r.vocab_size(), 2);
+        assert_eq!(
+            r.execute(&Query::conjunctive("alpha")).unwrap().docs(),
+            vec![DocId(0)]
+        );
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub mod tokenizer;
 pub mod zigzag;
 
 pub use cost::{cumulative_workload_curve, unmerged_workload_cost, workload_cost};
-pub use engine::{ConfigError, EngineConfig, SearchEngine, SearchError};
+pub use engine::{ConfigError, EngineConfig, RecoveryReport, SearchEngine, SearchError};
 pub use error::TksError;
 pub use merge::MergeAssignment;
 pub use query::{Query, QueryResponse, TermSelector, TimeRange};

@@ -134,6 +134,11 @@ impl PositionStore {
         &self.fs
     }
 
+    /// Mutable file system — fault-injection and attack harnesses.
+    pub fn fs_mut(&mut self) -> &mut WormFs {
+        &mut self.fs
+    }
+
     /// Append the positions of the next posting of `list`.  `positions`
     /// must be strictly increasing token indices.
     pub fn append(&mut self, list: u32, positions: &[u32]) -> Result<(), PositionError> {
@@ -183,8 +188,29 @@ impl PositionStore {
 
     /// Rebuild a store from raw WORM bytes, re-parsing every record and
     /// verifying lockstep against the expected posting counts per list.
+    /// Torn-tail residue is quarantined silently; use
+    /// [`recover_with_report`](Self::recover_with_report) to see it.
     pub fn recover(fs: WormFs, posting_counts: &[u64]) -> Result<Self, PositionError> {
+        Self::recover_with_report(fs, posting_counts).map(|(s, _)| s)
+    }
+
+    /// [`recover`](Self::recover), also reporting torn-commit residue as
+    /// `(list, quarantined bytes)` pairs.
+    ///
+    /// `posting_counts` are the *post-quarantine* posting counts: the
+    /// write path commits a posting before its position record, so every
+    /// surviving posting has a whole position record.  Bytes after the
+    /// expected records — a torn partial record, or whole records for
+    /// postings that were themselves quarantined — are crash residue:
+    /// quarantined and reported, not an error.  A parse failure or
+    /// record shortage *within* the expected records cannot come from a
+    /// torn tail and still fails as corruption.
+    pub fn recover_with_report(
+        fs: WormFs,
+        posting_counts: &[u64],
+    ) -> Result<(Self, Vec<(u32, u64)>), PositionError> {
         let mut lists = Vec::with_capacity(posting_counts.len());
+        let mut quarantined: Vec<(u32, u64)> = Vec::new();
         for (l, &expected) in posting_counts.iter().enumerate() {
             let file = fs.open(&format!("positions/{l}")).map_err(|_| {
                 PositionError::Corrupt(format!("missing position file for list {l}"))
@@ -193,7 +219,13 @@ impl PositionStore {
             let bytes = fs.read(file, 0, len as usize)?;
             let mut offsets = Vec::new();
             let mut cursor = 0usize;
-            while (cursor as u64) < len {
+            while (offsets.len() as u64) < expected {
+                if cursor as u64 >= len {
+                    return Err(PositionError::Corrupt(format!(
+                        "list {l}: {} position records but {expected} postings",
+                        offsets.len()
+                    )));
+                }
                 offsets.push(cursor as u64);
                 let (count, used) = read_varint(&bytes, cursor)
                     .ok_or_else(|| PositionError::Corrupt(format!("bad header in list {l}")))?;
@@ -205,15 +237,13 @@ impl PositionStore {
                     cursor += used;
                 }
             }
-            if offsets.len() as u64 != expected {
-                return Err(PositionError::Corrupt(format!(
-                    "list {l}: {} position records but {expected} postings",
-                    offsets.len()
-                )));
+            let tail = len.saturating_sub(cursor as u64);
+            if tail > 0 {
+                quarantined.push((l as u32, tail));
             }
             lists.push(PerList { file, offsets });
         }
-        Ok(Self { fs, lists })
+        Ok((Self { fs, lists }, quarantined))
     }
 
     /// Consume the store, returning the file system.
@@ -293,12 +323,28 @@ mod tests {
     }
 
     #[test]
-    fn recovery_refuses_garbage() {
+    fn recovery_quarantines_tail_bytes_past_expected_records() {
+        // Bytes after the expected records are torn-commit residue (a
+        // partial record of a failed document), quarantined and reported.
         let mut s = PositionStore::new(64, 1).unwrap();
         s.append(0, &[1, 2]).unwrap();
         let f = s.fs.open("positions/0").unwrap();
         s.fs.append(f, &[0xFF]).unwrap(); // dangling continuation bit
-        assert!(PositionStore::recover(s.into_fs(), &[1]).is_err());
+        let (r, quarantined) = PositionStore::recover_with_report(s.into_fs(), &[1]).unwrap();
+        assert_eq!(quarantined, vec![(0, 1)]);
+        assert_eq!(r.read(0, 0).unwrap(), vec![1, 2]);
+    }
+
+    #[test]
+    fn recovery_refuses_garbage_within_expected_records() {
+        // A parse failure *inside* the expected records is not a torn
+        // tail (surviving postings always have whole position records) —
+        // still corruption.
+        let mut s = PositionStore::new(64, 1).unwrap();
+        s.append(0, &[1, 2]).unwrap();
+        let f = s.fs.open("positions/0").unwrap();
+        s.fs.append(f, &[0xFF]).unwrap();
+        assert!(PositionStore::recover(s.into_fs(), &[2]).is_err());
     }
 
     #[test]

@@ -176,6 +176,13 @@ pub struct QueryResponse {
     /// response with `trusted == false` means the devices logged rejected
     /// overwrite/early-delete attempts.
     pub trusted: bool,
+    /// Bytes of torn-commit residue quarantined behind the commit point:
+    /// partial records surfaced by crash recovery plus residue of commits
+    /// that failed while this engine was live.  Zero on a clean engine.
+    /// Non-zero does not taint `trusted` — a torn tail is an availability
+    /// event with evidence, not tampering — but investigators see exactly
+    /// how many dead bytes the index carries.
+    pub quarantined_bytes: u64,
 }
 
 impl QueryResponse {

@@ -103,7 +103,10 @@ impl IndexWriter {
     /// On error the documents committed before the failing one remain
     /// committed (WORM writes cannot be undone) and *are* published, so
     /// no committed document is ever hidden; the error reports how far
-    /// the batch got.
+    /// the batch got and how many bytes of torn-commit residue the
+    /// failing document left on the devices.  The published watermark
+    /// covers whole documents only — the failed document's partial
+    /// writes sit behind the commit point and are never visible.
     pub fn commit_batch<'a, I>(&mut self, docs: I) -> Result<Vec<DocId>, BatchError>
     where
         I: IntoIterator<Item = (&'a str, Timestamp)>,
@@ -113,6 +116,7 @@ impl IndexWriter {
             .engine
             .write()
             .unwrap_or_else(|p| p.into_inner());
+        let quarantined_before = engine.quarantined_bytes();
         let mut committed = Vec::new();
         let mut failure = None;
         for (text, ts) in docs {
@@ -124,12 +128,20 @@ impl IndexWriter {
                 }
             }
         }
+        // num_docs() counts only documents whose DOCMETA record — the
+        // commit point — is durably whole, so this watermark can never
+        // expose a torn document.
         let visible = engine.num_docs();
+        let torn_tail_bytes = engine.quarantined_bytes() - quarantined_before;
         drop(engine);
         self.shared.watermark.store(visible, Ordering::Release);
         match failure {
             None => Ok(committed),
-            Some(error) => Err(BatchError { committed, error }),
+            Some(error) => Err(BatchError {
+                committed,
+                torn_tail_bytes,
+                error,
+            }),
         }
     }
 
@@ -147,8 +159,11 @@ impl IndexWriter {
         let result = op(&mut engine);
         let visible = engine.num_docs();
         drop(engine);
-        // Publish even on error: a failed insert leaves no partial state,
-        // and an earlier batch member may have advanced the count.
+        // Publish even on error.  A failed insert CAN leave partial WORM
+        // state (torn-tail residue the engine quarantines behind the
+        // commit point), but `num_docs()` only counts documents whose
+        // DOCMETA record is whole, so the watermark stays truthful — and
+        // an earlier operation may have advanced the count.
         self.shared.watermark.store(visible, Ordering::Release);
         result
     }
@@ -202,6 +217,11 @@ impl IndexWriter {
 pub struct BatchError {
     /// Documents that did commit (and are published) before the failure.
     pub committed: Vec<DocId>,
+    /// Bytes the failing document wrote to WORM before the error: dead
+    /// weight quarantined behind the commit point (WORM cannot be
+    /// truncated).  Zero when the failure preceded the first append,
+    /// e.g. a validation error.
+    pub torn_tail_bytes: u64,
     /// Why the batch stopped.
     pub error: SearchError,
 }
@@ -210,8 +230,9 @@ impl std::fmt::Display for BatchError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "batch stopped after {} documents: {}",
+            "batch stopped after {} documents ({} torn-tail byte(s) quarantined): {}",
             self.committed.len(),
+            self.torn_tail_bytes,
             self.error
         )
     }
@@ -421,7 +442,36 @@ mod tests {
             err.error,
             SearchError::NonMonotonicTimestamp { .. }
         ));
+        // A validation failure happens before any WORM append.
+        assert_eq!(err.torn_tail_bytes, 0);
         assert_eq!(searcher.visible_docs(), 3);
+    }
+
+    #[test]
+    fn commit_batch_reports_torn_tail_and_never_publishes_partial_doc() {
+        let (mut writer, searcher) = small_service();
+        writer.commit("alpha beta", Timestamp(1)).unwrap();
+        // Kill the posting-store device partway through the next commit.
+        writer.with_engine(|e| {
+            let offset = e.list_store().fs().device().bytes_committed() + 5;
+            e.list_store_mut()
+                .fs_mut()
+                .arm_faults(tks_worm::FaultPolicy::torn_at_offset(offset));
+        });
+        let err = writer
+            .commit_batch([("beta gamma", Timestamp(2)), ("gamma delta", Timestamp(3))])
+            .unwrap_err();
+        assert!(err.committed.is_empty());
+        assert!(
+            err.torn_tail_bytes > 0,
+            "a mid-append failure must report its WORM residue: {err}"
+        );
+        // The watermark covers whole documents only; the torn document
+        // is invisible but its residue shows in trust metadata.
+        assert_eq!(searcher.visible_docs(), 1);
+        let resp = searcher.execute(Query::conjunctive("beta")).unwrap();
+        assert_eq!(resp.docs(), vec![DocId(0)]);
+        assert!(resp.quarantined_bytes >= err.torn_tail_bytes);
     }
 
     #[test]

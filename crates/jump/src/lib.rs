@@ -52,7 +52,7 @@ pub mod persist;
 pub use binary::BinaryJumpIndex;
 pub use block::{BlockJumpIndex, Position};
 pub use config::{space_overhead, JumpConfig};
-pub use persist::WormJumpIndex;
+pub use persist::{JumpRecovery, WormJumpIndex};
 
 /// Evidence of attempted malicious activity detected by an invariant check.
 ///

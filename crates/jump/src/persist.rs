@@ -49,6 +49,32 @@ fn ptr_field(rec: &[u8], off: usize) -> Result<u32, JumpError> {
         })
 }
 
+/// What [`WormJumpIndex::recover_with_report`] quarantined: trailing
+/// partial records left behind by a crash mid-append.  A torn tail is an
+/// availability event, not tampering — whole records before it are intact
+/// and the remainder can never be completed (WORM forbids rewriting), so
+/// recovery walls it off and reports the byte counts as evidence.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JumpRecovery {
+    /// Bytes of a partial entry at the data-file tail (`len % 8`).
+    pub data_tail_bytes: u64,
+    /// Bytes of a partial pointer record at the pointer-file tail
+    /// (`len % 12`).
+    pub ptr_tail_bytes: u64,
+}
+
+impl JumpRecovery {
+    /// Total quarantined bytes across both files.
+    pub fn total_bytes(&self) -> u64 {
+        self.data_tail_bytes + self.ptr_tail_bytes
+    }
+
+    /// `true` when recovery found no torn-commit residue.
+    pub fn is_clean(&self) -> bool {
+        self.total_bytes() == 0
+    }
+}
+
 /// A [`BlockJumpIndex`] durably mirrored onto WORM storage.
 ///
 /// # Example
@@ -139,21 +165,40 @@ impl<E: JumpEntry> WormJumpIndex<E> {
     }
 
     /// Rebuild an index from the raw WORM bytes, verifying write-once
-    /// pointer discipline and auditing the recovered structure.
+    /// pointer discipline and auditing the recovered structure.  Torn
+    /// tails are quarantined silently; use
+    /// [`recover_with_report`](Self::recover_with_report) to see them.
     pub fn recover(fs: WormFs, name: &str, cfg: JumpConfig) -> Result<Self, JumpError> {
+        Self::recover_with_report(fs, name, cfg).map(|(idx, _)| idx)
+    }
+
+    /// [`recover`](Self::recover), also reporting torn-commit residue.
+    ///
+    /// A trailing partial entry (`data len % 8`) or partial pointer
+    /// record (`ptr len % 12`) is the signature of an append killed
+    /// mid-record: the whole records before it are trusted, the tail is
+    /// quarantined and counted in the returned [`JumpRecovery`].
+    /// Anomalies that cannot come from a single torn append — out-of-order
+    /// entries, double-set or dangling pointers — still fail with
+    /// [`JumpError::Tamper`].
+    pub fn recover_with_report(
+        fs: WormFs,
+        name: &str,
+        cfg: JumpConfig,
+    ) -> Result<(Self, JumpRecovery), JumpError> {
         let data = fs.open(&format!("{name}.data"))?;
         let ptrs = fs.open(&format!("{name}.ptrs"))?;
         let p = cfg.entries_per_block();
         let slots = cfg.pointer_slots() as usize;
 
-        // Reconstitute blocks from the data file.
+        // Reconstitute blocks from the data file.  The append-only file
+        // is a flat record stream, so a non-multiple length can only be
+        // a partial record at the tail — torn-commit residue.
         let data_len = fs.len(data);
-        if !data_len.is_multiple_of(8) {
-            return Err(JumpError::Tamper(TamperEvidence {
-                invariant: "recover-data-size",
-                detail: format!("data file length {data_len} is not a multiple of 8"),
-            }));
-        }
+        let report = JumpRecovery {
+            data_tail_bytes: data_len % 8,
+            ptr_tail_bytes: fs.len(ptrs) % PTR_RECORD as u64,
+        };
         let mut idx = BlockJumpIndex::new(cfg);
         let mut block: Vec<E> = Vec::with_capacity(p);
         // Read the data file one device block at a time instead of one
@@ -178,14 +223,9 @@ impl<E: JumpEntry> WormJumpIndex<E> {
             idx.push_raw_block(block, vec![NULL; slots]);
         }
 
-        // Apply pointer records, enforcing write-once per slot.
-        let ptr_len = fs.len(ptrs);
-        if !ptr_len.is_multiple_of(PTR_RECORD as u64) {
-            return Err(JumpError::Tamper(TamperEvidence {
-                invariant: "recover-ptr-size",
-                detail: format!("pointer file length {ptr_len} is not a multiple of {PTR_RECORD}"),
-            }));
-        }
+        // Apply pointer records, enforcing write-once per slot.  A
+        // partial record at the tail was already counted in the report;
+        // the carry loop below never decodes it.
         let mut recovered = Self {
             idx,
             fs,
@@ -209,7 +249,7 @@ impl<E: JumpEntry> WormJumpIndex<E> {
         }
 
         recovered.idx.audit()?;
-        Ok(recovered)
+        Ok((recovered, report))
     }
 }
 
@@ -322,13 +362,37 @@ mod tests {
     }
 
     #[test]
-    fn recovery_detects_truncated_records() {
+    fn recovery_quarantines_truncated_tail_records() {
+        // A partial record at the tail is torn-commit residue, not
+        // tampering: recovery keeps the whole records and reports the
+        // quarantined byte counts.
         let mut idx = fresh("pl");
         idx.insert(3).unwrap();
         let data = idx.data;
-        idx.fs.append(data, &[0xAB, 0xCD]).unwrap(); // garbage partial entry
-        let err = WormJumpIndex::<u64>::recover(idx.into_fs(), "pl", cfg()).unwrap_err();
-        assert!(matches!(err, JumpError::Tamper(_)));
+        idx.fs.append(data, &[0xAB, 0xCD]).unwrap(); // torn partial entry
+        let (rec, report) =
+            WormJumpIndex::<u64>::recover_with_report(idx.into_fs(), "pl", cfg()).unwrap();
+        assert_eq!(report.data_tail_bytes, 2);
+        assert_eq!(report.ptr_tail_bytes, 0);
+        assert_eq!(report.total_bytes(), 2);
+        assert!(!report.is_clean());
+        assert!(rec.index().lookup(3).unwrap());
+    }
+
+    #[test]
+    fn recovery_quarantines_truncated_pointer_tail() {
+        let mut idx = fresh("pl");
+        for k in (0..60u64).map(|i| i * 97 + 1) {
+            idx.insert(k).unwrap();
+        }
+        let ptr_count = idx.index().stats().pointers_set;
+        assert!(ptr_count > 0);
+        let ptrs = idx.ptrs;
+        idx.fs.append(ptrs, &[0x01; 5]).unwrap(); // torn partial pointer record
+        let (rec, report) =
+            WormJumpIndex::<u64>::recover_with_report(idx.into_fs(), "pl", cfg()).unwrap();
+        assert_eq!(report.ptr_tail_bytes, 5);
+        assert_eq!(rec.index().stats().pointers_set, ptr_count);
     }
 
     #[test]

@@ -32,5 +32,5 @@ pub mod types;
 
 pub use block_reader::{BlockReader, DecodedBlockCache, DecodedCacheStats};
 pub use codec::{decode_block, decode_posting, encode_posting, CodecError, Posting, POSTING_SIZE};
-pub use list::{ListStore, PostingListReader};
+pub use list::{ListStore, PostingListReader, StoreRecovery};
 pub use types::{DocId, ListId, TermId, Timestamp};

@@ -53,6 +53,15 @@ pub enum ListError {
     /// Recovery from raw WORM bytes found an inconsistency — evidence of
     /// tampering or corruption, never of legitimate operation.
     Recovery(String),
+    /// The list ends in quarantined torn-tail bytes from a crash
+    /// recovery.  Appending past them would misalign every later record,
+    /// so the list is read-only until compacted (future epoch rollover).
+    QuarantinedTail {
+        /// Target list.
+        list: ListId,
+        /// Dead bytes at the tail of the list file.
+        bytes: u64,
+    },
 }
 
 impl std::fmt::Display for ListError {
@@ -73,6 +82,10 @@ impl std::fmt::Display for ListError {
             ListError::NoSuchList(l) => write!(f, "no such list: {l}"),
             ListError::Geometry(msg) => write!(f, "invalid store geometry: {msg}"),
             ListError::Recovery(msg) => write!(f, "recovery refused: {msg}"),
+            ListError::QuarantinedTail { list, bytes } => write!(
+                f,
+                "{list} has {bytes} quarantined torn-tail byte(s); appends refused until compaction"
+            ),
         }
     }
 }
@@ -95,6 +108,11 @@ struct ListMeta {
     /// doc IDs never decrease).
     last_tags: Vec<u32>,
     tags: TagAllocator,
+    /// Dead bytes at the tail of the list file, quarantined by a crash
+    /// recovery (a torn partial record and/or whole postings of a
+    /// document whose commit never completed).  Readers never see them
+    /// (`count` excludes them); appends are refused while they exist.
+    quarantined_bytes: u64,
 }
 
 impl ListMeta {
@@ -105,7 +123,34 @@ impl ListMeta {
             last_doc: None,
             last_tags: Vec::new(),
             tags: TagAllocator::new(),
+            quarantined_bytes: 0,
         }
+    }
+}
+
+/// What a torn-tail-tolerant [`ListStore::recover`] quarantined, if
+/// anything — per-list dead tail bytes plus any partial record at the
+/// end of the tag dictionary.  Quarantined bytes are torn-commit residue
+/// (a crash between the first index append and the document's commit
+/// point); they are *evidence*, reported upward through the engine's
+/// `RecoveryReport`, never silently dropped.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StoreRecovery {
+    /// `(list, bytes)` quarantined at each torn list tail, in list order.
+    pub torn_lists: Vec<(u32, u64)>,
+    /// Bytes of a partial record at the tail of the tag dictionary.
+    pub dict_tail_bytes: u64,
+}
+
+impl StoreRecovery {
+    /// Total quarantined bytes across the store.
+    pub fn total_bytes(&self) -> u64 {
+        self.dict_tail_bytes + self.torn_lists.iter().map(|&(_, b)| b).sum::<u64>()
+    }
+
+    /// True when recovery found no torn tail anywhere.
+    pub fn is_clean(&self) -> bool {
+        self.total_bytes() == 0
     }
 }
 
@@ -215,10 +260,21 @@ impl ListStore {
     ///   document IDs, no duplicate `(term, doc)` pairs, and no tag that
     ///   lacks a dictionary record.
     ///
-    /// Any violation yields [`ListError::Recovery`] — the adversary can
-    /// corrupt availability (by appending garbage) but never silently
-    /// alter what a recovered store serves.
+    /// Any *interior* violation yields [`ListError::Recovery`] — the
+    /// adversary can corrupt availability (by appending garbage) but
+    /// never silently alter what a recovered store serves.  A partial
+    /// record at the very tail of a file is different: it is exactly what
+    /// a crash mid-append leaves behind, so it is quarantined (excluded
+    /// from the logical list, reported in the [`StoreRecovery`]) instead
+    /// of refusing the whole store.  Use
+    /// [`recover_with_report`](Self::recover_with_report) to observe the
+    /// quarantine.
     pub fn recover(fs: WormFs) -> Result<Self, ListError> {
+        Self::recover_with_report(fs).map(|(store, _)| store)
+    }
+
+    /// [`recover`](Self::recover), also returning what was quarantined.
+    pub fn recover_with_report(fs: WormFs) -> Result<(Self, StoreRecovery), ListError> {
         let meta_file = fs
             .open("meta")
             .map_err(|_| ListError::Recovery("missing meta header".into()))?;
@@ -256,17 +312,19 @@ impl ListStore {
             decoded: DecodedBlockCache::default(),
         };
 
+        let mut report = StoreRecovery::default();
+
         // Replay the tag dictionary, enforcing dense in-order allocation.
+        // A partial record at the tail is a torn dictionary append (the
+        // crash hit before the tag's first posting could exist, so no
+        // committed posting can reference it) — quarantined, not fatal.
         let dict_len = store.fs.len(store.dict_file);
-        if !dict_len.is_multiple_of(DICT_RECORD as u64) {
-            return Err(ListError::Recovery(format!(
-                "tag dictionary length {dict_len} is not a multiple of {DICT_RECORD}"
-            )));
-        }
+        let dict_whole = dict_len - dict_len % DICT_RECORD as u64;
+        report.dict_tail_bytes = dict_len - dict_whole;
         // One batched read: the dictionary is metadata on the same order of
         // size as the allocators it rebuilds, so whole-file granularity
         // replaces one tiny read per record.
-        let dict_bytes = store.fs.read(store.dict_file, 0, dict_len as usize)?;
+        let dict_bytes = store.fs.read(store.dict_file, 0, dict_whole as usize)?;
         for rec in dict_bytes.chunks_exact(DICT_RECORD) {
             let list = u32_at(rec, 0)?;
             let term = u32_at(rec, 4)?;
@@ -298,10 +356,14 @@ impl ListStore {
                 continue;
             };
             let len = store.fs.len(file);
-            if !len.is_multiple_of(POSTING_SIZE as u64) {
-                return Err(ListError::Recovery(format!(
-                    "list {l} has {len} bytes, not a multiple of {POSTING_SIZE}"
-                )));
+            // A sub-record remainder can only sit at the file tail (whole
+            // postings never straddle: the block size is a multiple of
+            // the posting size).  That is the torn-write signature — the
+            // crash killed an 8-byte posting append part-way — so the
+            // remainder is quarantined and everything before it replays.
+            let torn_tail = len % POSTING_SIZE as u64;
+            if torn_tail != 0 {
+                report.torn_lists.push((l, torn_tail));
             }
             let count = len / POSTING_SIZE as u64;
             let known_tags = store.lists[l as usize].tags.distinct_terms() as u32;
@@ -348,8 +410,66 @@ impl ListStore {
             meta.count = count;
             meta.last_doc = last_doc;
             meta.last_tags = last_tags;
+            meta.quarantined_bytes = torn_tail;
         }
-        Ok(store)
+        Ok((store, report))
+    }
+
+    /// Quarantine the trailing `postings` whole postings of `list`:
+    /// exclude them from the logical list and refuse future appends to
+    /// it (their bytes stay on WORM — they cannot be removed — so any
+    /// append would land *after* dead bytes and misalign the list).
+    ///
+    /// The engine calls this during recovery for tail postings that
+    /// reference a document with no commit point (no DOCMETA record):
+    /// torn-commit residue.  Quarantining non-tail postings is
+    /// impossible by construction — the caller passes a trailing run.
+    pub fn quarantine_tail(&mut self, list: ListId, postings: u64) -> Result<(), ListError> {
+        if postings == 0 {
+            return Ok(());
+        }
+        let meta = self.meta(list)?;
+        let count = meta.count;
+        let file = meta.file;
+        if postings > count {
+            return Err(ListError::Recovery(format!(
+                "cannot quarantine {postings} postings of {list}: only {count} committed"
+            )));
+        }
+        let new_count = count - postings;
+        // Re-derive the duplicate-rejection state at the new tail.
+        let (last_doc, last_tags) = if new_count == 0 {
+            (None, Vec::new())
+        } else {
+            let file = file
+                .ok_or_else(|| ListError::Recovery(format!("{list} has no backing WORM file")))?;
+            let last = self.read_posting_at(file, new_count - 1)?;
+            let mut tags = vec![last.term_tag];
+            let mut i = new_count - 1;
+            while i > 0 {
+                let p = self.read_posting_at(file, i - 1)?;
+                if p.doc != last.doc {
+                    break;
+                }
+                tags.push(p.term_tag);
+                i -= 1;
+            }
+            (Some(last.doc), tags)
+        };
+        let meta = self.meta_mut(list)?;
+        meta.quarantined_bytes += postings * POSTING_SIZE as u64;
+        meta.count = new_count;
+        meta.last_doc = last_doc;
+        meta.last_tags = last_tags;
+        Ok(())
+    }
+
+    /// Dead torn-tail bytes quarantined at the end of `list`'s file
+    /// (0 on a store that never crash-recovered).  The raw file length
+    /// always equals `len(list) * 8 + quarantined_bytes(list)` plus any
+    /// adversarial raw appends.
+    pub fn quarantined_bytes(&self, list: ListId) -> Result<u64, ListError> {
+        Ok(self.meta(list)?.quarantined_bytes)
     }
 
     /// Consume the store, returning the WORM file system (simulating a
@@ -424,6 +544,16 @@ impl ListStore {
         let block_size = self.block_size;
         let dict_file = self.dict_file;
         let meta = self.meta_mut(list)?;
+        if meta.quarantined_bytes > 0 {
+            // Quarantined bytes sit at the file tail and cannot be
+            // removed (WORM); appending after them would shift the
+            // offset of every new posting off the 8-byte grid readers
+            // assume.  Refuse with a typed error instead.
+            return Err(ListError::QuarantinedTail {
+                list,
+                bytes: meta.quarantined_bytes,
+            });
+        }
         if let Some(last) = meta.last_doc {
             if doc < last {
                 return Err(ListError::NonMonotonicAppend {
@@ -874,13 +1004,71 @@ mod tests {
     }
 
     #[test]
-    fn recovery_refuses_truncated_list_bytes() {
+    fn recovery_quarantines_truncated_list_tail() {
+        // A sub-posting remainder at the file tail is the torn-write
+        // signature: recovery quarantines it instead of refusing the
+        // whole store, and the quarantined list goes read-only.
         let mut s = store();
         s.append(ListId(0), TermId(0), DocId(1), 1, None).unwrap();
         let f = s.fs().open("lists/0").unwrap();
         s.fs_mut().append(f, &[0xDE, 0xAD]).unwrap();
-        let err = ListStore::recover(s.into_fs()).unwrap_err();
-        assert!(matches!(err, ListError::Recovery(_)), "{err}");
+        let (r, report) = ListStore::recover_with_report(s.into_fs()).unwrap();
+        assert_eq!(report.torn_lists, vec![(0, 2)]);
+        assert_eq!(report.total_bytes(), 2);
+        assert!(!report.is_clean());
+        // The whole posting before the tear survives.
+        let postings: Vec<Posting> = r.postings(ListId(0)).unwrap().collect();
+        assert_eq!(postings.len(), 1);
+        assert_eq!(postings[0].doc, DocId(1));
+        assert_eq!(r.quarantined_bytes(ListId(0)).unwrap(), 2);
+        // Appending past dead tail bytes is refused with a typed error.
+        let mut r = r;
+        let err = r
+            .append(ListId(0), TermId(0), DocId(2), 1, None)
+            .unwrap_err();
+        assert!(
+            matches!(err, ListError::QuarantinedTail { bytes: 2, .. }),
+            "{err}"
+        );
+        // Untouched lists still accept appends.
+        r.append(ListId(1), TermId(1), DocId(2), 1, None).unwrap();
+    }
+
+    #[test]
+    fn recovery_quarantines_torn_dict_tail() {
+        let mut s = store();
+        s.append(ListId(0), TermId(0), DocId(1), 1, None).unwrap();
+        let dict = s.fs().open("tags").unwrap();
+        s.fs_mut().append(dict, &[0x01, 0x02, 0x03]).unwrap(); // partial record
+        let (r, report) = ListStore::recover_with_report(s.into_fs()).unwrap();
+        assert_eq!(report.dict_tail_bytes, 3);
+        assert!(report.torn_lists.is_empty());
+        assert_eq!(r.tag_of(ListId(0), TermId(0)).unwrap(), Some(0));
+    }
+
+    #[test]
+    fn quarantine_tail_drops_trailing_postings_and_restores_dup_state() {
+        let mut s = store();
+        s.append(ListId(0), TermId(0), DocId(1), 1, None).unwrap();
+        s.append(ListId(0), TermId(1), DocId(1), 1, None).unwrap();
+        s.append(ListId(0), TermId(0), DocId(2), 1, None).unwrap();
+        s.append(ListId(0), TermId(1), DocId(2), 1, None).unwrap();
+        // Quarantine doc 2's two postings (torn-commit residue).
+        s.quarantine_tail(ListId(0), 2).unwrap();
+        assert_eq!(s.len(ListId(0)).unwrap(), 2);
+        assert_eq!(s.last_doc(ListId(0)).unwrap(), Some(DocId(1)));
+        assert_eq!(s.quarantined_bytes(ListId(0)).unwrap(), 16);
+        let postings: Vec<Posting> = s.postings(ListId(0)).unwrap().collect();
+        assert_eq!(postings.iter().map(|p| p.doc.0).collect::<Vec<_>>(), [1, 1]);
+        // Over-quarantining is refused.
+        assert!(s.quarantine_tail(ListId(0), 3).is_err());
+        // Quarantining zero postings is a no-op and keeps the list live.
+        let mut live = store();
+        live.append(ListId(1), TermId(0), DocId(1), 1, None)
+            .unwrap();
+        live.quarantine_tail(ListId(1), 0).unwrap();
+        live.append(ListId(1), TermId(0), DocId(2), 1, None)
+            .unwrap();
     }
 
     #[test]

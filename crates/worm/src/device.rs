@@ -95,6 +95,18 @@ pub enum WormError {
         /// Committed length of the file.
         len: u64,
     },
+    /// An armed [`FaultPolicy`](crate::FaultPolicy) killed this append
+    /// (crash/fault simulation).  The first `committed` bytes of the
+    /// append are durably on the device — a torn write — and the rest
+    /// are lost.  This is an availability fault, never tampering.
+    InjectedFault {
+        /// The block targeted by the failed append.
+        block: BlockId,
+        /// Bytes of the failed append that still committed (torn prefix).
+        committed: usize,
+        /// Bytes the caller attempted to append.
+        requested: usize,
+    },
 }
 
 impl fmt::Display for WormError {
@@ -122,6 +134,14 @@ impl fmt::Display for WormError {
             WormError::ReadPastEof { name, end, len } => {
                 write!(f, "read to offset {end} of '{name}' exceeds length {len}")
             }
+            WormError::InjectedFault {
+                block,
+                committed,
+                requested,
+            } => write!(
+                f,
+                "injected fault: append of {requested} B to {block} failed after {committed} B"
+            ),
         }
     }
 }
@@ -188,6 +208,8 @@ pub struct WormDevice {
     blocks: Vec<Block>,
     tamper_log: Vec<TamperAttempt>,
     bytes_appended: u64,
+    /// Armed fault-injection policy, if any (crash simulation).
+    fault: Option<crate::fault::FaultPolicy>,
 }
 
 impl WormDevice {
@@ -205,7 +227,26 @@ impl WormDevice {
             blocks: Vec::new(),
             tamper_log: Vec::new(),
             bytes_appended: 0,
+            fault: None,
         }
+    }
+
+    /// Arm a fault-injection policy: every subsequent [`append`]
+    /// (Self::append) consults it and may fail or tear (see
+    /// [`FaultPolicy`](crate::FaultPolicy)).  Replaces any armed policy.
+    pub fn arm_faults(&mut self, policy: crate::fault::FaultPolicy) {
+        self.fault = Some(policy);
+    }
+
+    /// Disarm fault injection, returning the policy (so harnesses can
+    /// inspect [`FaultPolicy::tripped`](crate::FaultPolicy::tripped)).
+    pub fn disarm_faults(&mut self) -> Option<crate::fault::FaultPolicy> {
+        self.fault.take()
+    }
+
+    /// Whether an armed policy has fired at least once.
+    pub fn fault_tripped(&self) -> bool {
+        self.fault.as_ref().is_some_and(|p| p.tripped())
     }
 
     /// Fixed capacity of every block, in bytes.
@@ -240,8 +281,7 @@ impl WormDevice {
     /// anyone (including Mala), per the threat model.
     pub fn append(&mut self, block: BlockId, bytes: &[u8]) -> crate::Result<usize> {
         let cap = self.block_size;
-        let blk = self.block_mut(block)?;
-        let committed = blk.data.len();
+        let committed = self.block_ref(block)?.data.len();
         if committed + bytes.len() > cap {
             return Err(WormError::BlockFull {
                 block,
@@ -250,7 +290,25 @@ impl WormDevice {
                 capacity: cap,
             });
         }
-        blk.data.extend_from_slice(bytes);
+        // Fault injection sees only legal appends (a capacity error above
+        // must never be masked by — or counted as — an injected fault).
+        if let Some(policy) = self.fault.as_mut() {
+            if let crate::fault::FaultAction::Tear { keep } =
+                policy.on_append(self.bytes_appended, bytes.len())
+            {
+                let keep = keep.min(bytes.len());
+                self.block_mut(block)?
+                    .data
+                    .extend_from_slice(&bytes[..keep]);
+                self.bytes_appended += keep as u64;
+                return Err(WormError::InjectedFault {
+                    block,
+                    committed: keep,
+                    requested: bytes.len(),
+                });
+            }
+        }
+        self.block_mut(block)?.data.extend_from_slice(bytes);
         self.bytes_appended += bytes.len() as u64;
         Ok(committed)
     }

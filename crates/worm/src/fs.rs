@@ -168,14 +168,18 @@ impl WormFs {
     /// Read `len` bytes at `offset`, crossing block boundaries as needed.
     pub fn read(&self, f: FileHandle, offset: u64, len: usize) -> crate::Result<Vec<u8>> {
         let meta = &self.files[f.0 as usize];
-        let end = offset + len as u64;
-        if end > meta.len {
-            return Err(WormError::ReadPastEof {
-                name: meta.name.clone(),
-                end,
-                len: meta.len,
-            });
-        }
+        // Checked: an adversarial offset near `u64::MAX` must not wrap
+        // past the EOF guard and reach the block indexing below.
+        let end = match offset.checked_add(len as u64) {
+            Some(end) if end <= meta.len => end,
+            overflowed_or_past_eof => {
+                return Err(WormError::ReadPastEof {
+                    name: meta.name.clone(),
+                    end: overflowed_or_past_eof.unwrap_or(u64::MAX),
+                    len: meta.len,
+                });
+            }
+        };
         let block_size = self.device.block_size() as u64;
         let mut out = Vec::with_capacity(len);
         let mut pos = offset;
@@ -196,14 +200,17 @@ impl WormFs {
     /// `Vec` per call — hot read paths reuse one buffer across many reads.
     pub fn read_exact_at(&self, f: FileHandle, offset: u64, buf: &mut [u8]) -> crate::Result<()> {
         let meta = &self.files[f.0 as usize];
-        let end = offset + buf.len() as u64;
-        if end > meta.len {
-            return Err(WormError::ReadPastEof {
-                name: meta.name.clone(),
-                end,
-                len: meta.len,
-            });
-        }
+        // Same checked-overflow guard as `read`.
+        let end = match offset.checked_add(buf.len() as u64) {
+            Some(end) if end <= meta.len => end,
+            overflowed_or_past_eof => {
+                return Err(WormError::ReadPastEof {
+                    name: meta.name.clone(),
+                    end: overflowed_or_past_eof.unwrap_or(u64::MAX),
+                    len: meta.len,
+                });
+            }
+        };
         let block_size = self.device.block_size() as u64;
         let mut pos = offset;
         let mut filled = 0usize;
@@ -368,6 +375,54 @@ impl WormFs {
     pub fn num_files(&self) -> usize {
         self.by_name.len()
     }
+
+    /// Arm a fault-injection policy on the underlying device (see
+    /// [`WormDevice::arm_faults`]).
+    pub fn arm_faults(&mut self, policy: crate::fault::FaultPolicy) {
+        self.device.arm_faults(policy);
+    }
+
+    /// Disarm fault injection on the underlying device, returning the
+    /// policy so the caller can inspect whether it fired.
+    pub fn disarm_faults(&mut self) -> Option<crate::fault::FaultPolicy> {
+        self.device.disarm_faults()
+    }
+
+    /// Remount after a (simulated) crash: trust only the device.
+    ///
+    /// A torn append commits a prefix of its bytes on the device while
+    /// the in-flight file length was never advanced past the completed
+    /// chunks — exactly what a restarted process sees when its in-memory
+    /// state is gone.  This method re-derives every live file's length
+    /// from the bytes actually committed in its blocks, and drops a
+    /// trailing block that was allocated but never received a byte (an
+    /// append that died between allocation and the first write).
+    ///
+    /// Returns the total number of torn-tail bytes surfaced (bytes on the
+    /// device beyond the lengths the file table recorded).  Higher layers
+    /// decide what part of that tail is a quarantinable torn record and
+    /// what is evidence of tampering.
+    pub fn crash_recover(&mut self) -> crate::Result<u64> {
+        let mut surfaced = 0u64;
+        for meta in &mut self.files {
+            if let Some(&tail) = meta.blocks.last() {
+                if self.device.committed_len(tail)? == 0 {
+                    meta.blocks.pop();
+                }
+            }
+            let committed: u64 = meta
+                .blocks
+                .iter()
+                .map(|&b| self.device.committed_len(b).map(|l| l as u64))
+                .sum::<crate::Result<u64>>()?;
+            // Appends only ever grow a file, and the length is advanced
+            // chunk-by-chunk behind the device commits, so the recorded
+            // length can lag the device but never lead it.
+            surfaced += committed.saturating_sub(meta.len);
+            meta.len = committed;
+        }
+        Ok(surfaced)
+    }
 }
 
 #[cfg(test)]
@@ -489,6 +544,73 @@ mod tests {
         // The tail block grows as the file does.
         fs.append(f, b"ab").unwrap();
         assert_eq!(fs.read_block(f, 2).unwrap(), b"89ab");
+    }
+
+    #[test]
+    fn read_offset_overflow_is_eof_not_panic() {
+        // Regression: `offset + len` used to wrap for offsets near
+        // `u64::MAX`, bypass the EOF check, and panic indexing blocks.
+        let mut fs = fs(8);
+        let f = fs.create("a", u64::MAX).unwrap();
+        fs.append(f, b"abc").unwrap();
+        assert!(matches!(
+            fs.read(f, u64::MAX - 1, 4),
+            Err(WormError::ReadPastEof { .. })
+        ));
+        assert!(matches!(
+            fs.read(f, u64::MAX, 1),
+            Err(WormError::ReadPastEof { .. })
+        ));
+        let mut buf = [0u8; 4];
+        assert!(matches!(
+            fs.read_exact_at(f, u64::MAX - 1, &mut buf),
+            Err(WormError::ReadPastEof { .. })
+        ));
+        // In-range reads still work.
+        assert_eq!(fs.read(f, 1, 2).unwrap(), b"bc");
+    }
+
+    #[test]
+    fn torn_append_surfaces_via_crash_recover() {
+        use crate::fault::FaultPolicy;
+        let mut fs = fs(4);
+        let f = fs.create("a", u64::MAX).unwrap();
+        fs.append(f, b"0123").unwrap();
+        // Tear the next multi-block append mid-way: the 6-byte write
+        // spans blocks (4 + 2); tear after 5 device bytes total commit.
+        fs.arm_faults(FaultPolicy::torn_at_offset(9));
+        let err = fs.append(f, b"456789").unwrap_err();
+        assert!(matches!(err, WormError::InjectedFault { .. }), "{err}");
+        // The file length counts only fully committed chunks...
+        assert_eq!(fs.len(f), 8, "first chunk (4..8) completed");
+        // ...but the device holds one more torn byte.
+        fs.disarm_faults();
+        let surfaced = fs.crash_recover().unwrap();
+        assert_eq!(surfaced, 1);
+        assert_eq!(fs.len(f), 9);
+        assert_eq!(fs.read(f, 0, 9).unwrap(), b"012345678");
+    }
+
+    #[test]
+    fn crash_recover_drops_empty_trailing_block() {
+        use crate::fault::FaultPolicy;
+        let mut fs = fs(4);
+        let f = fs.create("a", u64::MAX).unwrap();
+        fs.append(f, b"0123").unwrap(); // tail block exactly full
+        assert_eq!(fs.blocks(f).len(), 1);
+        // The next append allocates a new block, then dies before any
+        // byte lands in it.
+        fs.arm_faults(FaultPolicy::torn_at_offset(4));
+        assert!(fs.append(f, b"45").is_err());
+        assert_eq!(fs.blocks(f).len(), 2, "block allocated before the tear");
+        fs.disarm_faults();
+        assert_eq!(fs.crash_recover().unwrap(), 0);
+        assert_eq!(fs.blocks(f).len(), 1, "empty tail block dropped");
+        assert_eq!(fs.len(f), 4);
+        // The remount is import-clean: lens match committed bytes.
+        let table = fs.export_file_table();
+        let device = fs.device().clone();
+        assert!(WormFs::import(device, table).is_ok());
     }
 
     #[test]

@@ -35,6 +35,7 @@
 //! | module | contents |
 //! |---|---|
 //! | [`device`] | [`BlockId`], [`WormDevice`]: append-only blocks |
+//! | [`fault`] | [`FaultPolicy`]: deterministic append fault injection |
 //! | [`fs`] | [`WormFs`]: append-only files with retention, over a device |
 //! | [`lru`] | [`LruCore`]: O(1) intrusive LRU used by the cache |
 //! | [`cache`] | [`StorageCache`]: NV-cache I/O accounting simulator |
@@ -45,6 +46,7 @@
 
 pub mod cache;
 pub mod device;
+pub mod fault;
 pub mod fs;
 pub mod lru;
 pub mod persist;
@@ -52,6 +54,7 @@ pub mod stats;
 
 pub use cache::{AccessKind, CacheConfig, StorageCache};
 pub use device::{BlockId, TamperAttempt, TamperKind, WormDevice, WormError};
+pub use fault::{FaultAction, FaultPolicy};
 pub use fs::{ExportedFile, FileHandle, WormFs};
 pub use lru::LruCore;
 pub use persist::{load_fs, save_fs, PersistError};

@@ -18,6 +18,11 @@
 //!   the postings/core read paths are per-record reads; batch through
 //!   `WormFs::read_block` / `read_exact_at` instead (metadata readers
 //!   opt out inline).
+//! * **`commit-point-order`** — DOCMETA is the commit point: no non-test
+//!   function in `crates/core` may append to the index after opening the
+//!   DOCMETA file for its commit-point append.  Crash recovery quarantines
+//!   everything behind the last whole DOCMETA record, which is only sound
+//!   if DOCMETA is the last WORM append of every commit.
 //!
 //! The pass is lexical (comments and string literals are blanked before
 //! matching, `#[cfg(test)]` regions are masked) and produces both
@@ -63,6 +68,7 @@ pub fn audit_workspace(root: &Path) -> io::Result<Report> {
     rules::forbid_unsafe(&files, &mut report);
     rules::error_taxonomy(&files, &mut report);
     rules::hot_path_io(&files, &mut report);
+    rules::commit_point_order(&files, &mut report);
     report
         .findings
         .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));

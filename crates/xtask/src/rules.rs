@@ -499,6 +499,118 @@ pub fn error_taxonomy(files: &[SourceFile], report: &mut Report) {
     }
 }
 
+/// Rule `commit-point-order`: DOCMETA is the commit point — the record
+/// whose presence makes a document durable — so it must be the **last**
+/// WORM append of a commit path.  Crash recovery quarantines everything
+/// behind the last whole DOCMETA record; an index append sequenced after
+/// the DOCMETA append would make a torn commit *visible* (metadata whole,
+/// postings missing) instead of quarantinable.
+///
+/// Lexically: inside any one non-test function in `crates/core/src/`, a
+/// write-path `open(DOCMETA_FILE)` site must not be followed by an
+/// index-path append (`store.append(…)`, a B-tree `insert_with(…)`, or a
+/// positional-sidecar append) later in the same function.
+pub fn commit_point_order(files: &[SourceFile], report: &mut Report) {
+    let mut sink = Sink { report };
+    for file in files
+        .iter()
+        .filter(|f| f.rel.starts_with("crates/core/src/"))
+    {
+        let lines: Vec<&str> = file.code.lines().collect();
+        for (start, end) in function_spans(file) {
+            let mut docmeta: Option<(usize, usize)> = None;
+            let mut index_after: Option<usize> = None;
+            for (i, line) in lines
+                .iter()
+                .enumerate()
+                .take((end + 1).min(lines.len()))
+                .skip(start)
+            {
+                if file.test_mask.get(i).copied().unwrap_or(false) {
+                    continue;
+                }
+                if let Some(col) = line.find("open(DOCMETA_FILE)") {
+                    // A read-path site (`open` feeding `read`) cannot
+                    // reorder appends; only remember sites in functions
+                    // that also append to the index, checked below.
+                    if docmeta.is_none() {
+                        docmeta = Some((i, col));
+                    }
+                }
+                if docmeta.is_some() && is_index_append(line) {
+                    index_after = Some(i);
+                }
+            }
+            if let (Some((dl, dc)), Some(il)) = (docmeta, index_after) {
+                sink.emit(
+                    file,
+                    "commit-point-order",
+                    Severity::Deny,
+                    dl + 1,
+                    dc,
+                    format!(
+                        "DOCMETA is the commit point and must be the last WORM append \
+                         of a commit; an index append follows at line {}",
+                        il + 1
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// An index-path append on the stripped line: a posting-list append, a
+/// B-tree (jump / commit-time) `insert_with`, or a positional-sidecar
+/// append.
+fn is_index_append(line: &str) -> bool {
+    [
+        "store.append(",
+        ".insert_with(",
+        "ps.append(",
+        "positions.append(",
+    ]
+    .iter()
+    .any(|pat| line.contains(pat))
+}
+
+/// `(start, end)` 0-based inclusive line spans of `fn` bodies, by brace
+/// counting over the stripped source.  Closures don't use the `fn`
+/// keyword, so they stay inside their enclosing function's span; nested
+/// `fn` items are handled by the stack.  A `;` before the body's `{`
+/// cancels a pending signature (trait method declarations).
+fn function_spans(file: &SourceFile) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut stack: Vec<(usize, i32)> = Vec::new();
+    let mut pending_fn: Option<usize> = None;
+    let mut depth = 0i32;
+    for (i, line) in file.code.lines().enumerate() {
+        if idents(line).iter().any(|&(_, id)| id == "fn") {
+            pending_fn = Some(i);
+        }
+        for c in line.chars() {
+            match c {
+                '{' => {
+                    if let Some(start) = pending_fn.take() {
+                        stack.push((start, depth));
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if stack.last().is_some_and(|&(_, d)| d == depth) {
+                        if let Some((start, _)) = stack.pop() {
+                            out.push((start, i));
+                        }
+                    }
+                }
+                ';' => pending_fn = None,
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
 /// `crates/<name>/…` → `crates/<name>/`.
 fn crate_prefix(rel: &str) -> Option<&str> {
     if let Some(rest) = rel.strip_prefix("crates/") {
@@ -661,5 +773,116 @@ mod tests {
     fn find_result_requires_segment_boundary() {
         assert_eq!(find_result("MyResult<u8>"), None);
         assert_eq!(find_result("std::result::Result<u8, E>"), Some(13));
+    }
+
+    fn core_fixture(src: &str) -> SourceFile {
+        let code = crate::scan::strip_code(src);
+        let test_mask = crate::scan::test_line_mask(&code);
+        SourceFile {
+            path: std::path::PathBuf::from("crates/core/src/engine.rs"),
+            rel: "crates/core/src/engine.rs".to_string(),
+            raw: src.to_string(),
+            code,
+            test_mask,
+        }
+    }
+
+    #[test]
+    fn commit_point_order_denies_docmeta_before_index_append() {
+        let src = "\
+fn add(&mut self) -> Result<(), E> {
+    let f = self.doc_fs.open(DOCMETA_FILE)?;
+    self.doc_fs.append(f, &rec)?;
+    self.store.append(list, term, doc, tf, cache)?;
+    Ok(())
+}
+";
+        let mut report = Report::default();
+        commit_point_order(&[core_fixture(src)], &mut report);
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].rule, "commit-point-order");
+        assert_eq!(report.findings[0].line, 2);
+    }
+
+    #[test]
+    fn commit_point_order_accepts_docmeta_last() {
+        let src = "\
+fn add(&mut self) -> Result<(), E> {
+    self.store.append(list, term, doc, tf, cache)?;
+    self.commit_times.insert_with(entry, |t| {})?;
+    let f = self.doc_fs.open(DOCMETA_FILE)?;
+    self.doc_fs.append(f, &rec)?;
+    Ok(())
+}
+fn recover() -> Result<(), E> {
+    let f = doc_fs.open(DOCMETA_FILE)?;
+    let rec = doc_fs.read(f, 0, 16)?;
+    Ok(())
+}
+";
+        let mut report = Report::default();
+        commit_point_order(&[core_fixture(src)], &mut report);
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+    }
+
+    #[test]
+    fn commit_point_order_scopes_per_function_and_skips_tests() {
+        // The index append lives in a *different* function, and the
+        // test-gated copy of the bad ordering is masked: neither fires.
+        let src = "\
+fn write_meta(&mut self) -> Result<(), E> {
+    let f = self.doc_fs.open(DOCMETA_FILE)?;
+    self.doc_fs.append(f, &rec)?;
+    Ok(())
+}
+fn index(&mut self) -> Result<(), E> {
+    self.store.append(list, term, doc, tf, cache)?;
+    Ok(())
+}
+#[cfg(test)]
+mod tests {
+    fn bad() {
+        let f = doc_fs.open(DOCMETA_FILE).unwrap();
+        store.append(list, term, doc, tf, None).unwrap();
+    }
+}
+";
+        let mut report = Report::default();
+        commit_point_order(&[core_fixture(src)], &mut report);
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+    }
+
+    #[test]
+    fn commit_point_order_honours_inline_allow() {
+        let src = "\
+fn migrate(&mut self) -> Result<(), E> {
+    // audit:allow(commit-point-order)
+    let f = self.doc_fs.open(DOCMETA_FILE)?;
+    self.store.append(list, term, doc, tf, cache)?;
+    Ok(())
+}
+";
+        let mut report = Report::default();
+        commit_point_order(&[core_fixture(src)], &mut report);
+        assert!(report.findings.is_empty());
+        assert_eq!(report.suppressed, 1);
+    }
+
+    #[test]
+    fn function_spans_track_nested_items_and_closures() {
+        let src = "\
+fn outer() {
+    let f = |x: u32| {
+        x + 1
+    };
+    fn inner() {
+        ()
+    }
+}
+";
+        let file = core_fixture(src);
+        let spans = function_spans(&file);
+        assert!(spans.contains(&(0, 7)), "{spans:?}");
+        assert!(spans.contains(&(4, 6)), "{spans:?}");
     }
 }

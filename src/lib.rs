@@ -97,7 +97,9 @@ pub use tks_worm as worm;
 /// The most commonly used types, re-exported for `use
 /// trustworthy_search::prelude::*`.
 pub mod prelude {
-    pub use tks_core::engine::{AuditReport, ConfigError, EngineConfig, SearchEngine, SearchHit};
+    pub use tks_core::engine::{
+        AuditReport, ConfigError, EngineConfig, RecoveryReport, SearchEngine, SearchHit,
+    };
     pub use tks_core::epoch::{EpochConfig, EpochManager};
     pub use tks_core::merge::MergeAssignment;
     pub use tks_core::query::{Query, QueryResponse, TermSelector, TimeRange};
@@ -105,5 +107,5 @@ pub mod prelude {
     pub use tks_core::service::{service, IndexWriter, Searcher};
     pub use tks_jump::JumpConfig;
     pub use tks_postings::{DocId, ListId, TermId, Timestamp};
-    pub use tks_worm::{AtomicIoStats, IoStats, WormDevice, WormFs};
+    pub use tks_worm::{AtomicIoStats, FaultPolicy, IoStats, WormDevice, WormFs};
 }

@@ -10,7 +10,7 @@
 use tks_core::sched::{explore, interleave, Step};
 use tks_core::{service, EngineConfig, IndexWriter, Query, SearchEngine, Searcher};
 use tks_postings::types::Timestamp;
-use tks_worm::{AtomicIoStats, IoStats};
+use tks_worm::{AtomicIoStats, FaultPolicy, IoStats};
 
 const SCHEDULES: u64 = 160;
 
@@ -413,6 +413,168 @@ fn decoded_cache_invalidates_grown_tail_blocks() {
         stats.invalidations >= 1,
         "tail growth must invalidate, got {stats:?}"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Writer crash mid-schedule: a seeded WORM fault kills a commit while
+// readers and pinned snapshots are live, then the "rebooted" engine must
+// recover to exactly the committed prefix.
+// ---------------------------------------------------------------------------
+
+struct CrashState {
+    writer: IndexWriter,
+    searcher: Searcher,
+    /// Successful commits only — failed commits must publish nothing.
+    committed: u64,
+    pinned: Option<(u64, Searcher)>,
+    violations: Vec<String>,
+}
+
+fn crash_threads(seed: u64) -> (CrashState, Vec<Vec<Step<'static, CrashState>>>) {
+    let (mut writer, searcher) = service(small_engine());
+    // Arm a seeded fault on the posting store mid-corpus: the SplitMix64
+    // stream decides which append dies and whether bytes tear.
+    writer.with_engine(|e| {
+        e.list_store_mut()
+            .fs_mut()
+            .arm_faults(FaultPolicy::seeded(seed, 24));
+    });
+    let state = CrashState {
+        writer,
+        searcher,
+        committed: 0,
+        pinned: None,
+        violations: Vec::new(),
+    };
+    let writer_ops: Vec<Step<'static, CrashState>> = (0..DOCS)
+        .map(|i| {
+            Box::new(move |s: &mut CrashState| {
+                match s
+                    .writer
+                    .commit(&format!("common record{i}"), Timestamp(5_000 + i))
+                {
+                    // A success after a failure is fine per se (healing
+                    // regimes recover); the reader and recovery invariants
+                    // below catch any resurrected quarantined bytes.
+                    Ok(_) => s.committed += 1,
+                    // Failed commits publish nothing — the invariant the
+                    // readers verify against `committed`.
+                    Err(_) => {}
+                }
+            }) as Step<'static, CrashState>
+        })
+        .collect();
+    // Reader: the watermark must track successful commits exactly even
+    // while commits are dying mid-append.
+    let reader_ops: Vec<Step<'static, CrashState>> = (0..6)
+        .map(|_| {
+            Box::new(|s: &mut CrashState| {
+                let seen = s.searcher.visible_docs();
+                if seen != s.committed {
+                    s.violations.push(format!(
+                        "watermark-exact: visible {seen} but {} committed",
+                        s.committed
+                    ));
+                }
+                match s.searcher.execute(Query::disjunctive("common", usize::MAX)) {
+                    Ok(resp) => {
+                        let hits = resp.hits.len() as u64;
+                        if hits != seen {
+                            s.violations.push(format!(
+                                "prefix-visibility: {hits} hits at watermark {seen}"
+                            ));
+                        }
+                    }
+                    Err(e) => s.violations.push(format!("query failed: {e}")),
+                }
+            }) as Step<'static, CrashState>
+        })
+        .collect();
+    // Pinner: snapshots taken before the crash stay valid afterwards.
+    let mut pin_ops: Vec<Step<'static, CrashState>> = vec![Box::new(|s: &mut CrashState| {
+        let handle = s.searcher.pin();
+        s.pinned = Some((handle.visible_docs(), handle));
+    })];
+    for _ in 0..3 {
+        pin_ops.push(Box::new(|s: &mut CrashState| {
+            let Some((at, handle)) = s.pinned.take() else {
+                return;
+            };
+            let now = handle.visible_docs();
+            let hits = match handle.execute(Query::disjunctive("common", usize::MAX)) {
+                Ok(resp) => resp.hits.len() as u64,
+                Err(e) => {
+                    s.violations.push(format!("pinned query failed: {e}"));
+                    at
+                }
+            };
+            if now != at || hits != at {
+                s.violations.push(format!(
+                    "pin-stability: pinned at {at} but sees watermark {now} / {hits} hits"
+                ));
+            }
+            s.pinned = Some((at, handle));
+        }));
+    }
+    (state, vec![writer_ops, reader_ops, pin_ops])
+}
+
+#[test]
+fn writer_crash_keeps_watermark_and_pins_valid_then_recovery_converges() {
+    let clean = explore(0xC8A5, SCHEDULES, |seed| {
+        let (mut state, mut threads) = crash_threads(seed);
+        interleave(seed, &mut state, &mut threads);
+        let committed = state.committed;
+        // Quiescent: drop every reader handle, reboot the engine from its
+        // raw devices, and require convergence to the committed prefix.
+        let CrashState {
+            writer,
+            searcher,
+            mut violations,
+            pinned,
+            ..
+        } = state;
+        drop(searcher);
+        drop(pinned);
+        let engine = match writer.try_into_engine() {
+            Ok(e) => e,
+            Err(_) => return Err("searcher handles still pinned the engine".into()),
+        };
+        let mut parts = engine.into_parts();
+        parts.store_fs.disarm_faults();
+        if let Err(e) = parts.store_fs.crash_recover() {
+            return Err(format!("crash_recover failed: {e}"));
+        }
+        match SearchEngine::recover(parts, EngineConfig::default()) {
+            Ok(recovered) => {
+                if recovered.num_docs() != committed {
+                    violations.push(format!(
+                        "recovered {} docs, {committed} committed",
+                        recovered.num_docs()
+                    ));
+                }
+                match recovered.execute(&Query::disjunctive("common", usize::MAX)) {
+                    Ok(resp) => {
+                        if resp.hits.len() as u64 != committed {
+                            violations.push(format!(
+                                "recovered engine returned {} hits, expected {committed}",
+                                resp.hits.len()
+                            ));
+                        }
+                    }
+                    Err(e) => violations.push(format!("recovered query failed: {e}")),
+                }
+            }
+            Err(e) => violations.push(format!("recovery failed: {e}")),
+        }
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(violations.join("; "))
+        }
+    })
+    .unwrap_or_else(|f| panic!("{f}"));
+    assert_eq!(clean, SCHEDULES);
 }
 
 #[test]
