@@ -37,6 +37,9 @@ struct Summary {
     /// Block-granular scan vs per-posting reads, from the `read_path`
     /// binary's saved results (`None` until it has been run).
     read_path_scan_speedup: Option<f64>,
+    /// 4-shard vs 1-shard query throughput, from the `sharded` binary's
+    /// saved results (`None` until it has been run).
+    sharded_query_speedup_4x: Option<f64>,
 }
 
 /// The slice of `results/read_path.json` the summary folds in.
@@ -48,6 +51,12 @@ struct ReadPathScan {
 #[derive(Deserialize)]
 struct ReadPathResults {
     scan: ReadPathScan,
+}
+
+/// The slice of `results/sharded.json` the summary folds in.
+#[derive(Deserialize)]
+struct ShardedResults {
+    query_speedup_4x: f64,
 }
 
 fn main() {
@@ -162,6 +171,10 @@ fn main() {
         .ok()
         .and_then(|s| serde_json::from_str::<ReadPathResults>(&s).ok())
         .map(|r| r.scan.speedup);
+    let sharded_speedup = std::fs::read_to_string("results/sharded.json")
+        .ok()
+        .and_then(|s| serde_json::from_str::<ShardedResults>(&s).ok())
+        .map(|r| r.query_speedup_4x);
 
     let s = Summary {
         insert_speedup,
@@ -170,6 +183,7 @@ fn main() {
         conjunctive_jump_vs_nojump: conj_vs_nojump,
         conjunctive_jump_vs_baseline: conj_vs_baseline,
         read_path_scan_speedup: read_path_speedup,
+        sharded_query_speedup_4x: sharded_speedup,
     };
     let mut rows = vec![
         vec![
@@ -206,6 +220,15 @@ fn main() {
         ]);
     } else {
         eprintln!("[summary] results/read_path.json not found — run `--bin read_path` to fold in the read-path headline");
+    }
+    if let Some(speedup) = sharded_speedup {
+        rows.push(vec![
+            "4-shard vs 1-shard query throughput (sharded)".into(),
+            format!("{speedup:.2}×"),
+            "n/a (impl)".into(),
+        ]);
+    } else {
+        eprintln!("[summary] results/sharded.json not found — run `--bin sharded` to fold in the sharding headline");
     }
     print_table(
         "Section 6 headline comparison (measured vs paper)",

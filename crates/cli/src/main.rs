@@ -17,6 +17,11 @@
 //! tks audit ARCHIVE                            # structural + deep audit
 //! tks info  ARCHIVE
 //! ```
+//!
+//! `tks archive …` is the **sharded** variant of the same archive: N
+//! hash-partitioned shards (each a complete single-archive image set)
+//! behind one writer/searcher pair, with per-shard recovery and fault
+//! isolation — see [`sharded`].
 
 // Experiment binary: expect() on malformed synthetic input is acceptable
 // (the production no-panic surface is gated by clippy + `cargo xtask audit`).
@@ -31,6 +36,7 @@ use tks_jump::JumpConfig;
 use tks_postings::Timestamp;
 
 mod archive;
+mod sharded;
 
 use archive::Archive;
 
@@ -40,7 +46,9 @@ fn usage() -> ExitCode {
          tks add ARCHIVE FILE...\n  tks note ARCHIVE TS TEXT...\n  \
          tks search ARCHIVE KEYWORD... [--top K]\n  tks all ARCHIVE KEYWORD...\n  \
          tks phrase ARCHIVE WORD... (positional archives)\n  \
-         tks range ARCHIVE FROM TO KEYWORD...\n  tks audit ARCHIVE\n  tks info ARCHIVE"
+         tks range ARCHIVE FROM TO KEYWORD...\n  tks audit ARCHIVE\n  tks info ARCHIVE\n\
+         sharded archives (hash-partitioned WORM shards):\n{}",
+        sharded::usage_lines()
     );
     ExitCode::from(2)
 }
@@ -60,6 +68,7 @@ fn main() -> ExitCode {
         "range" => cmd_range(&args[1..]),
         "audit" => cmd_audit(&args[1..]),
         "info" => cmd_info(&args[1..]),
+        "archive" => sharded::cmd_archive(&args[1..]),
         _ => return usage(),
     };
     match result {

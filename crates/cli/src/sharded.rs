@@ -1,0 +1,521 @@
+//! `tks archive` — a durable **sharded** archive: N hash-partitioned
+//! WORM shards behind one writer/searcher pair (see `tks-shard` and
+//! DESIGN.md §5e).
+//!
+//! ```text
+//! ARCHIVE/
+//!   shards.json      # {"shards": N, "config": EngineConfig}
+//!   shard-0000/      # one complete single-archive image set per shard
+//!     store.worm
+//!     docs.worm
+//!     positions.worm # positional configs only
+//!   shard-0001/
+//!   ...
+//! ```
+//!
+//! Every `open` runs the **per-shard** recovery path: each shard's
+//! images are reloaded and structurally re-verified independently, and a
+//! shard whose recovery is refused comes up *degraded* — reported on
+//! stderr, excluded from answers, its images left untouched on disk —
+//! while the surviving shards keep serving.
+
+use std::path::{Path, PathBuf};
+use tks_core::engine::{EngineConfig, EngineParts};
+use tks_core::query::Query;
+use tks_postings::{DocId, Timestamp};
+use tks_shard::{
+    local_of, shard_of, ShardRecovery, ShardedArchive, ShardedResponse, ShardedWriter,
+};
+use tks_worm::{discover_shard_dirs, load_fs, save_fs, shard_dir_name};
+
+use crate::CliResult;
+
+/// The archive manifest persisted as `shards.json`: the shard count is
+/// part of the archive's identity (routing is `hash % shards`, so the
+/// count can never change after init) and every shard runs one copy of
+/// the same engine configuration.
+#[derive(serde::Serialize, serde::Deserialize)]
+struct Manifest {
+    shards: u32,
+    config: EngineConfig,
+}
+
+pub fn usage_lines() -> &'static str {
+    "  tks archive init ARCHIVE --shards N [--lists M] [--jump B] [--block-size L] [--positional]\n  \
+     tks archive add ARCHIVE FILE...\n  tks archive note ARCHIVE TS TEXT...\n  \
+     tks archive query ARCHIVE KEYWORD... [--top K]\n  tks archive all ARCHIVE KEYWORD...\n  \
+     tks archive info ARCHIVE"
+}
+
+pub fn cmd_archive(args: &[String]) -> CliResult {
+    let Some(sub) = args.first() else {
+        return Err(format!("archive needs a subcommand:\n{}", usage_lines()).into());
+    };
+    match sub.as_str() {
+        "init" => cmd_init(&args[1..]),
+        "add" => cmd_add(&args[1..]),
+        "note" => cmd_note(&args[1..]),
+        "query" => cmd_query(&args[1..], false),
+        "all" => cmd_query(&args[1..], true),
+        "info" => cmd_info(&args[1..]),
+        other => Err(format!("unknown archive subcommand {other}:\n{}", usage_lines()).into()),
+    }
+}
+
+fn archive_path(args: &[String]) -> Result<PathBuf, Box<dyn std::error::Error>> {
+    args.first()
+        .map(PathBuf::from)
+        .ok_or_else(|| "missing ARCHIVE argument".into())
+}
+
+// ---------------------------------------------------------------- init
+
+fn cmd_init(args: &[String]) -> CliResult {
+    let dir = archive_path(args)?;
+    let mut shards: Option<u32> = None;
+    let mut lists = 1024u32;
+    let mut jump_b: Option<u32> = Some(32);
+    let mut block = 8192usize;
+    let mut positional = false;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--shards" => {
+                i += 1;
+                shards = Some(args.get(i).ok_or("--shards needs a value")?.parse()?);
+            }
+            "--lists" => {
+                i += 1;
+                lists = args.get(i).ok_or("--lists needs a value")?.parse()?;
+            }
+            "--jump" => {
+                i += 1;
+                let b: u32 = args.get(i).ok_or("--jump needs a value")?.parse()?;
+                jump_b = if b == 0 { None } else { Some(b) };
+            }
+            "--block-size" => {
+                i += 1;
+                block = args.get(i).ok_or("--block-size needs a value")?.parse()?;
+            }
+            "--positional" => positional = true,
+            other => return Err(format!("unknown flag {other}").into()),
+        }
+        i += 1;
+    }
+    let shards = shards.ok_or("archive init needs --shards N")?;
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    if lists == 0 {
+        return Err("--lists must be at least 1".into());
+    }
+    if dir.join("shards.json").exists() {
+        return Err(format!("archive already exists at {}", dir.display()).into());
+    }
+    let mut builder = EngineConfig::builder()
+        .block_size(block)
+        .assignment(tks_core::merge::MergeAssignment::uniform(lists))
+        .positional(positional);
+    if let Some(b) = jump_b {
+        builder = builder.jump(tks_jump::JumpConfig {
+            block_size: block.max(2048),
+            branching: b,
+            max_key: 1 << 32,
+        });
+    }
+    let config = builder.build()?;
+    std::fs::create_dir_all(&dir)?;
+    // Fresh empty engines, saved shard by shard: the per-shard image set
+    // is exactly the single-archive layout, so each shard could even be
+    // inspected with the unsharded tooling.
+    let archive = ShardedArchive::create(config.clone(), shards)?;
+    let (writer, searcher) = archive.into_service();
+    drop(searcher);
+    save(&dir, writer)?;
+    std::fs::write(
+        dir.join("shards.json"),
+        serde_json::to_string_pretty(&Manifest { shards, config })?,
+    )?;
+    println!(
+        "initialized sharded archive at {} ({} shard(s))",
+        dir.display(),
+        shards
+    );
+    Ok(())
+}
+
+// ------------------------------------------------------------ open/save
+
+/// Reload and recover every shard.  Degraded shards are reported on
+/// stderr; the archive keeps serving from the healthy ones.
+fn open(dir: &Path) -> Result<ShardedArchive, Box<dyn std::error::Error>> {
+    let manifest: Manifest =
+        serde_json::from_str(&std::fs::read_to_string(dir.join("shards.json"))?)?;
+    let shard_dirs = discover_shard_dirs(dir)?;
+    if shard_dirs.len() != manifest.shards as usize {
+        return Err(format!(
+            "archive manifest names {} shard(s) but {} shard director{} present",
+            manifest.shards,
+            shard_dirs.len(),
+            if shard_dirs.len() == 1 {
+                "y is"
+            } else {
+                "ies are"
+            }
+        )
+        .into());
+    }
+    let mut parts = Vec::with_capacity(shard_dirs.len());
+    for d in &shard_dirs {
+        // An unreadable or corrupt image degrades *this shard only*
+        // (`Err` → `recover_loaded` isolates it); the healthy shards
+        // keep the archive serving.
+        parts.push(load_parts(d, &manifest.config).map_err(|e| e.to_string()));
+    }
+    let (archive, recoveries) = ShardedArchive::recover_loaded(parts, manifest.config)?;
+    report_recoveries(&recoveries);
+    Ok(archive)
+}
+
+/// One shard's images → `EngineParts`.
+fn load_parts(
+    shard_dir: &Path,
+    config: &EngineConfig,
+) -> Result<EngineParts, Box<dyn std::error::Error>> {
+    let read = |name: &str| -> Result<Vec<u8>, Box<dyn std::error::Error>> {
+        std::fs::read(shard_dir.join(name))
+            .map_err(|e| format!("{}/{name}: {e}", shard_dir.display()).into())
+    };
+    let store_fs = load_fs(&read("store.worm")?)?;
+    let doc_fs = load_fs(&read("docs.worm")?)?;
+    let pos_fs = if config.positional {
+        Some(load_fs(&read("positions.worm")?)?)
+    } else {
+        None
+    };
+    Ok(EngineParts {
+        store_fs,
+        doc_fs,
+        pos_fs,
+    })
+}
+
+fn report_recoveries(recoveries: &[ShardRecovery]) {
+    for r in recoveries {
+        if let Some(reason) = &r.error {
+            eprintln!(
+                "warning: shard {} is DEGRADED and will not be consulted: {reason}",
+                r.shard
+            );
+        } else if r.quarantined_bytes > 0 {
+            eprintln!(
+                "note: shard {} quarantined {} torn-commit residue byte(s) during recovery",
+                r.shard, r.quarantined_bytes
+            );
+        }
+    }
+}
+
+/// Persist every live shard's images (temp + rename per file, so a crash
+/// mid-save leaves the previous committed images intact).  Degraded
+/// shards are skipped: their on-disk images stay exactly as found, as
+/// evidence.
+fn save(dir: &Path, writer: ShardedWriter) -> CliResult {
+    let engines = writer
+        .try_into_engines()
+        .map_err(|_| "archive still has live searcher handles")?;
+    for (sid, slot) in engines.into_iter().enumerate() {
+        let Some(engine) = slot else { continue };
+        let shard_dir = dir.join(shard_dir_name(sid as u32));
+        std::fs::create_dir_all(&shard_dir)?;
+        let parts = engine.into_parts();
+        let mut images = vec![
+            ("store.worm", save_fs(&parts.store_fs)?),
+            ("docs.worm", save_fs(&parts.doc_fs)?),
+        ];
+        if let Some(fs) = &parts.pos_fs {
+            images.push(("positions.worm", save_fs(fs)?));
+        }
+        for (name, img) in images {
+            let tmp = shard_dir.join(format!("{name}.tmp"));
+            std::fs::write(&tmp, img)?;
+            std::fs::rename(&tmp, shard_dir.join(name))?;
+        }
+    }
+    Ok(())
+}
+
+// ------------------------------------------------------------- commands
+
+/// The commit-time floor across live shards: each shard enforces its own
+/// monotone commit times, so new documents are committed at no less than
+/// the newest timestamp on *any* shard (commit times stay comparable
+/// archive-wide; backdating is impossible by design).
+fn last_timestamp(writer: &mut ShardedWriter) -> Timestamp {
+    let mut floor = Timestamp(0);
+    for shard in 0..writer.shards() {
+        let ts = writer.with_engine(shard, |e| match e.num_docs() {
+            0 => Timestamp(0),
+            n => e.document_timestamp(DocId(n - 1)).unwrap_or(Timestamp(0)),
+        });
+        if let Ok(ts) = ts {
+            floor = floor.max(ts);
+        }
+    }
+    floor
+}
+
+fn cmd_add(args: &[String]) -> CliResult {
+    let dir = archive_path(args)?;
+    if args.len() < 2 {
+        return Err("archive add needs at least one FILE".into());
+    }
+    let (mut writer, searcher) = open(&dir)?.into_service();
+    drop(searcher);
+    let mut inputs = Vec::new();
+    for f in &args[1..] {
+        let path = PathBuf::from(f);
+        let (text, ts) = crate::read_text_file(&path)?;
+        inputs.push((ts, path, text));
+    }
+    inputs.sort_by_key(|(ts, ..)| *ts);
+    let floor = last_timestamp(&mut writer);
+    for (mut ts, path, text) in inputs {
+        if ts < floor {
+            eprintln!(
+                "note: {} has mtime {} before the archive head {}; committing at the head \
+                 (backdating is impossible by design)",
+                path.display(),
+                ts.0,
+                floor.0
+            );
+            ts = floor;
+        }
+        let doc = writer.commit(&text, ts)?;
+        println!(
+            "committed {} as {doc} @ t={} (shard {})",
+            path.display(),
+            ts.0,
+            shard_of(doc)
+        );
+    }
+    save(&dir, writer)
+}
+
+fn cmd_note(args: &[String]) -> CliResult {
+    let dir = archive_path(args)?;
+    let ts: u64 = args.get(1).ok_or("archive note needs TS")?.parse()?;
+    if args.len() < 3 {
+        return Err("archive note needs TEXT".into());
+    }
+    let text = args[2..].join(" ");
+    let (mut writer, searcher) = open(&dir)?.into_service();
+    drop(searcher);
+    let floor = last_timestamp(&mut writer);
+    let ts = Timestamp(ts).max(floor);
+    let doc = writer.commit(&text, ts)?;
+    println!("committed {doc} @ t={} (shard {})", ts.0, shard_of(doc));
+    save(&dir, writer)
+}
+
+fn cmd_query(args: &[String], conjunctive: bool) -> CliResult {
+    let dir = archive_path(args)?;
+    let mut top = 10usize;
+    let mut keywords = Vec::new();
+    let mut i = 1;
+    while i < args.len() {
+        if args[i] == "--top" {
+            i += 1;
+            top = args.get(i).ok_or("--top needs a value")?.parse()?;
+        } else {
+            keywords.push(args[i].clone());
+        }
+        i += 1;
+    }
+    if keywords.is_empty() {
+        return Err("no keywords given".into());
+    }
+    let (mut writer, searcher) = open(&dir)?.into_service();
+    let query = keywords.join(" ");
+    let resp = if conjunctive {
+        searcher.execute(Query::conjunctive(query.as_str()))?
+    } else {
+        searcher.execute(Query::disjunctive(query.as_str(), top))?
+    };
+    if conjunctive {
+        println!("{} document(s) contain all of [{query}]:", resp.hits.len());
+    } else {
+        println!("top {} of [{query}]:", resp.hits.len());
+    }
+    for h in &resp.hits {
+        let (shard, local) = (shard_of(h.doc), local_of(h.doc));
+        let (ts, preview) = writer
+            .with_engine(shard, |e| {
+                (
+                    e.document_timestamp(local).map(|t| t.0).unwrap_or(0),
+                    e.document_text(local)
+                        .map(|t| t.chars().take(70).collect::<String>())
+                        .unwrap_or_else(|| "<text not stored>".into()),
+                )
+            })
+            .unwrap_or((0, "<shard degraded>".into()));
+        if conjunctive {
+            println!("  {} (shard {shard}) @ t={ts}: {preview}", h.doc);
+        } else {
+            println!(
+                "  {} (shard {shard}) @ t={ts} (score {:.3}): {preview}",
+                h.doc, h.score
+            );
+        }
+    }
+    print_trust(&resp);
+    Ok(())
+}
+
+/// One line of trust/cost metadata after every result list, naming any
+/// shards the answer could not consult.
+fn print_trust(resp: &ShardedResponse) {
+    let degraded = resp.degraded();
+    print!(
+        "  [{} block read(s); {} docs visible; {}",
+        resp.blocks_read,
+        resp.visible_docs,
+        if resp.trusted {
+            "consulted shards clean"
+        } else {
+            "DEVICES REPORT TAMPER ATTEMPTS"
+        }
+    );
+    if resp.quarantined_bytes > 0 {
+        print!("; {} quarantined byte(s)", resp.quarantined_bytes);
+    }
+    if !degraded.is_empty() {
+        let ids: Vec<String> = degraded.iter().map(|s| s.shard.to_string()).collect();
+        print!("; shard(s) {} DEGRADED and not consulted", ids.join(", "));
+    }
+    println!("]");
+}
+
+fn cmd_info(args: &[String]) -> CliResult {
+    let dir = archive_path(args)?;
+    let archive = open(&dir)?;
+    println!("archive:     {}", dir.display());
+    println!("shards:      {}", archive.shards());
+    println!("documents:   {} (healthy shards)", archive.num_docs());
+    for shard in 0..archive.shards() {
+        match archive.engine(shard) {
+            Some(e) => println!("  shard {shard}: {} document(s)", e.num_docs()),
+            None => println!("  shard {shard}: DEGRADED"),
+        }
+    }
+    for (shard, reason) in archive.degraded() {
+        println!("degraded {shard}: {reason}");
+    }
+    let c = archive.config();
+    println!("lists/shard: {}", c.assignment.num_lists());
+    match &c.jump {
+        Some(j) => println!("jump index:  B={} (block {} B)", j.branching, j.block_size),
+        None => println!("jump index:  disabled"),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("tks-cli-sharded-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn arg(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn init_note_reopen_query_roundtrip() {
+        let dir = temp_dir("roundtrip");
+        let d = dir.to_string_lossy().to_string();
+        cmd_archive(&arg(&format!(
+            "init {d} --shards 3 --lists 16 --jump 4 --block-size 2048"
+        )))
+        .unwrap();
+        cmd_archive(&arg(&format!("note {d} 100 merger escrow instructions"))).unwrap();
+        cmd_archive(&arg(&format!("note {d} 200 lunch menu"))).unwrap();
+        // A fresh "process": reopen (full per-shard recovery) and query.
+        let archive = open(&dir).unwrap();
+        assert_eq!(archive.shards(), 3);
+        assert_eq!(archive.num_docs(), 2);
+        let (_, searcher) = archive.into_service();
+        let resp = searcher
+            .execute(Query::disjunctive("merger escrow", 10))
+            .unwrap();
+        assert_eq!(resp.hits.len(), 1);
+        assert!(resp.trusted);
+        assert!(resp.degraded().is_empty());
+        cmd_archive(&arg(&format!("query {d} merger escrow --top 5"))).unwrap();
+        cmd_archive(&arg(&format!("info {d}"))).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn double_init_and_zero_shards_refused() {
+        let dir = temp_dir("refuse");
+        let d = dir.to_string_lossy().to_string();
+        assert!(cmd_archive(&arg(&format!("init {d} --shards 0"))).is_err());
+        cmd_archive(&arg(&format!("init {d} --shards 2 --lists 8 --jump 0"))).unwrap();
+        assert!(cmd_archive(&arg(&format!("init {d} --shards 2"))).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_shard_degrades_but_archive_keeps_answering() {
+        let dir = temp_dir("degraded");
+        let d = dir.to_string_lossy().to_string();
+        cmd_archive(&arg(&format!(
+            "init {d} --shards 2 --lists 8 --jump 0 --block-size 2048"
+        )))
+        .unwrap();
+        // Enough notes that both shards hold documents.
+        for i in 0..8u64 {
+            cmd_archive(&arg(&format!("note {d} {} compliance record {i}", 100 + i))).unwrap();
+        }
+        let archive = open(&dir).unwrap();
+        let per_shard: Vec<u64> = (0..2)
+            .map(|s| archive.engine(s).unwrap().num_docs())
+            .collect();
+        assert!(
+            per_shard.iter().all(|&n| n > 0),
+            "routing spread: {per_shard:?}"
+        );
+        drop(archive);
+        // Truncate shard 1's posting image: its checksum no longer
+        // matches, so that shard (and only that shard) must degrade.
+        let victim = dir.join(shard_dir_name(1)).join("store.worm");
+        let img = std::fs::read(&victim).unwrap();
+        std::fs::write(&victim, &img[..img.len() - 5]).unwrap();
+        let archive = open(&dir).unwrap();
+        assert_eq!(archive.degraded().len(), 1);
+        assert_eq!(archive.degraded()[0].0, 1);
+        assert_eq!(archive.num_docs(), per_shard[0]);
+        let (_, searcher) = archive.into_service();
+        let resp = searcher.execute(Query::conjunctive("compliance")).unwrap();
+        assert!(resp.trusted, "shard 0's verdict is its own");
+        assert_eq!(resp.degraded().len(), 1);
+        assert_eq!(resp.hits.len() as u64, per_shard[0]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifest_shard_count_mismatch_refused() {
+        let dir = temp_dir("mismatch");
+        let d = dir.to_string_lossy().to_string();
+        cmd_archive(&arg(&format!("init {d} --shards 2 --lists 8 --jump 0"))).unwrap();
+        std::fs::remove_dir_all(dir.join(shard_dir_name(1))).unwrap();
+        assert!(open(&dir).is_err(), "missing shard directory must refuse");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

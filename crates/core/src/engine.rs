@@ -56,7 +56,7 @@ pub struct EngineConfig {
     pub store_documents: bool,
     /// Record per-posting token positions (a lockstep WORM sidecar per
     /// list), enabling exact phrase queries via
-    /// [`SearchEngine::search_phrase`].
+    /// [`Query::phrase`](crate::query::Query::phrase).
     #[serde(default)]
     pub positional: bool,
 }
@@ -1391,37 +1391,6 @@ impl SearchEngine {
                 .is_none_or(|p| p.fs().device().tamper_log().is_empty())
     }
 
-    /// Ranked disjunctive search over a text query (documents containing
-    /// *any* query keyword, best `top_k` by the configured ranking model).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use execute(&Query::disjunctive(text, top_k))"
-    )]
-    pub fn search(&self, query: &str, top_k: usize) -> Vec<SearchHit> {
-        self.execute(&Query::disjunctive(query, top_k))
-            .map(|r| r.hits)
-            .unwrap_or_default()
-    }
-
-    /// Ranked disjunctive search over term IDs.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use execute(&Query::disjunctive(terms, top_k))"
-    )]
-    pub fn search_terms(&self, terms: &[TermId], top_k: usize) -> Vec<SearchHit> {
-        self.execute(&Query::disjunctive(terms, top_k))
-            .map(|r| r.hits)
-            .unwrap_or_default()
-    }
-
-    /// Conjunctive search over a text query (documents containing *all*
-    /// keywords).  Unknown keywords make the result empty, as no document
-    /// can contain them.
-    #[deprecated(since = "0.1.0", note = "use execute(&Query::conjunctive(text))")]
-    pub fn search_conjunctive(&self, query: &str) -> Result<Vec<DocId>, SearchError> {
-        Ok(self.execute(&Query::conjunctive(query))?.docs())
-    }
-
     /// Conjunctive search over term IDs, returning the matching documents
     /// and the distinct index blocks read (the Figure 8(c) cost unit).
     /// Uses zigzag joins over jump indexes when enabled, else scan-merge.
@@ -1525,31 +1494,6 @@ impl SearchEngine {
             }
         }
         Ok(out)
-    }
-
-    /// Conjunctive search restricted to a commit-time range — the §5
-    /// investigator workflow ("[Stewart Waksal ImClone], Nov.–Dec. 2001").
-    #[deprecated(
-        since = "0.1.0",
-        note = "use execute(&Query::conjunctive_in_range(text, from, to))"
-    )]
-    pub fn search_conjunctive_in_range(
-        &self,
-        query: &str,
-        from: Timestamp,
-        to: Timestamp,
-    ) -> Result<Vec<DocId>, SearchError> {
-        Ok(self
-            .execute(&Query::conjunctive_in_range(query, from, to))?
-            .docs())
-    }
-
-    /// Exact phrase search (positional engines only): documents in which
-    /// the phrase's tokens occur at consecutive positions.  Unknown tokens
-    /// make the result empty.
-    #[deprecated(since = "0.1.0", note = "use execute(&Query::phrase(text))")]
-    pub fn search_phrase(&self, phrase: &str) -> Result<Vec<DocId>, SearchError> {
-        Ok(self.execute(&Query::phrase(phrase))?.docs())
     }
 
     /// The one implementation of phrase matching.  Returns the matching
@@ -1667,9 +1611,7 @@ impl SearchEngine {
     }
 }
 
-// All tests go through the unified `execute` path; the deprecated
-// per-shape shims keep their own round-trip coverage in
-// tests/concurrent_search.rs.
+// All tests go through the unified `execute` path.
 #[cfg(test)]
 mod tests {
     use super::*;

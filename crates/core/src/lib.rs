@@ -44,9 +44,11 @@ pub mod tokenizer;
 pub mod zigzag;
 
 pub use cost::{cumulative_workload_curve, unmerged_workload_cost, workload_cost};
-pub use engine::{ConfigError, EngineConfig, RecoveryReport, SearchEngine, SearchError};
+pub use engine::{
+    ConfigError, EngineConfig, EngineParts, RecoveryReport, SearchEngine, SearchError, SearchHit,
+};
 pub use error::TksError;
 pub use merge::MergeAssignment;
 pub use query::{Query, QueryResponse, TermSelector, TimeRange};
 pub use ranking::RankingModel;
-pub use service::{service, IndexWriter, Searcher};
+pub use service::{service, BatchError, IndexWriter, Searcher};

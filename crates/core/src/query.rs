@@ -12,8 +12,8 @@
 //!
 //! The legacy per-shape methods (`search`, `search_terms`,
 //! `search_conjunctive`, `search_conjunctive_in_range`, `search_phrase`)
-//! remain as deprecated shims that build a [`Query`] and delegate here, so
-//! there is exactly one implementation of each access path.
+//! have been removed; [`Query`] constructors are the only way to express a
+//! query, so there is exactly one implementation of each access path.
 
 use crate::engine::SearchHit;
 use tks_postings::{DocId, TermId, Timestamp};

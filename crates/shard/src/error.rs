@@ -1,0 +1,71 @@
+//! The sharded layer's error taxonomy.
+//!
+//! Per-shard failures carry the shard id so an investigator can tell
+//! *which* archive misbehaved; whole-archive failures (`NoHealthyShards`)
+//! are distinct from per-shard ones because they mean the query had no
+//! trustworthy data source at all.
+
+use tks_core::SearchError;
+
+/// Errors surfaced by the sharded engine.
+#[derive(Debug)]
+pub enum ShardError {
+    /// The archive could not be configured (shard count out of range,
+    /// invalid per-shard engine configuration, …).
+    Config(String),
+    /// A caller addressed a shard that does not exist.
+    UnknownShard {
+        /// The shard the caller asked for.
+        shard: u32,
+        /// How many shards the archive has.
+        shards: u32,
+    },
+    /// The shard is in the degraded state: its recovery failed and it
+    /// serves neither reads nor writes until re-provisioned.
+    Degraded {
+        /// The degraded shard.
+        shard: u32,
+        /// Why recovery refused it (the typed error, rendered).
+        reason: String,
+    },
+    /// A per-shard engine operation failed; the underlying typed error is
+    /// preserved as the source.
+    Engine {
+        /// The shard whose engine failed.
+        shard: u32,
+        /// The engine's own error.
+        source: SearchError,
+    },
+    /// Every shard of the archive is degraded — there is no trustworthy
+    /// data source left to consult.
+    NoHealthyShards,
+    /// An internal invariant of the sharded layer failed (never expected;
+    /// indicates a bug, not bad data).
+    Internal(String),
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::Config(msg) => write!(f, "sharded archive configuration: {msg}"),
+            ShardError::UnknownShard { shard, shards } => {
+                write!(f, "shard {shard} does not exist (archive has {shards})")
+            }
+            ShardError::Degraded { shard, reason } => {
+                write!(f, "shard {shard} is degraded: {reason}")
+            }
+            ShardError::Engine { shard, source } => write!(f, "shard {shard}: {source}"),
+            ShardError::NoHealthyShards => write!(f, "every shard is degraded"),
+            ShardError::Internal(msg) => write!(f, "sharding invariant failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ShardError::Engine { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Stable document routing and the global document-id namespace.
+//!
+//! Routing must be a pure function of the document key: re-opening an
+//! archive (or recovering it after a crash) must send the same keys to
+//! the same shards forever, because WORM shards cannot be rebalanced —
+//! committed postings are immutable.  FNV-1a over the key bytes is
+//! stable across processes and platforms and has no seed to lose.
+//!
+//! The global namespace packs `(shard_id, local_id)` into one
+//! [`DocId`]: the shard in the top [`SHARD_ID_SHIFT`]-shifted 16 bits,
+//! the shard-local document ordinal below.  Local ids stay below `2^32`
+//! (the engine's commit-time index packs them alongside a timestamp), so
+//! the encodings can never collide; shard 0's global ids equal its local
+//! ids, which keeps single-shard archives bit-compatible with the
+//! unsharded engine.
+
+use crate::error::ShardError;
+use tks_postings::DocId;
+
+/// Bit position of the shard id inside a global [`DocId`].
+pub const SHARD_ID_SHIFT: u32 = 48;
+
+/// Maximum shard count: the global namespace reserves 16 bits.
+pub const MAX_SHARDS: u32 = 1 << 16;
+
+const LOCAL_MASK: u64 = (1u64 << SHARD_ID_SHIFT) - 1;
+
+/// FNV-1a 64-bit: small, dependency-free, stable across runs.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Shard id encoded in a global [`DocId`].
+pub fn shard_of(global: DocId) -> u32 {
+    (global.0 >> SHARD_ID_SHIFT) as u32
+}
+
+/// Shard-local [`DocId`] encoded in a global one.
+pub fn local_of(global: DocId) -> DocId {
+    DocId(global.0 & LOCAL_MASK)
+}
+
+/// Stable hash router over a fixed shard count.
+///
+/// The shard count is part of the archive's identity: opening an archive
+/// with a different count would route the same keys elsewhere, so the
+/// count is persisted with the archive layout and validated on open.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRouter {
+    shards: u32,
+}
+
+impl ShardRouter {
+    /// A router over `shards` shards (`1..=MAX_SHARDS`).
+    pub fn new(shards: u32) -> Result<Self, ShardError> {
+        if shards == 0 || shards > MAX_SHARDS {
+            return Err(ShardError::Config(format!(
+                "shard count must be in 1..={MAX_SHARDS}, got {shards}"
+            )));
+        }
+        Ok(ShardRouter { shards })
+    }
+
+    /// Number of shards this router distributes over.
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// Route an opaque document key to its shard.
+    pub fn route_key(&self, key: &[u8]) -> u32 {
+        (fnv1a(key) % self.shards as u64) as u32
+    }
+
+    /// Route a document by its text (the key when no external id exists).
+    pub fn route_text(&self, text: &str) -> u32 {
+        self.route_key(text.as_bytes())
+    }
+
+    /// Encode a shard-local id into the global namespace.
+    pub fn global_id(&self, shard: u32, local: DocId) -> Result<DocId, ShardError> {
+        if shard >= self.shards {
+            return Err(ShardError::UnknownShard {
+                shard,
+                shards: self.shards,
+            });
+        }
+        if local.0 > LOCAL_MASK {
+            return Err(ShardError::Internal(format!(
+                "local document id {} exceeds the {SHARD_ID_SHIFT}-bit namespace",
+                local.0
+            )));
+        }
+        Ok(DocId(((shard as u64) << SHARD_ID_SHIFT) | local.0))
+    }
+
+    /// Decode a global id into `(shard, local id)`, validating the shard.
+    pub fn split_id(&self, global: DocId) -> Result<(u32, DocId), ShardError> {
+        let shard = shard_of(global);
+        if shard >= self.shards {
+            return Err(ShardError::UnknownShard {
+                shard,
+                shards: self.shards,
+            });
+        }
+        Ok((shard, local_of(global)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_is_stable_and_in_range() {
+        let r = ShardRouter::new(4).unwrap();
+        for i in 0..1000u32 {
+            let key = format!("doc {i} body text");
+            let s = r.route_text(&key);
+            assert!(s < 4);
+            assert_eq!(s, r.route_text(&key), "routing must be deterministic");
+        }
+    }
+
+    #[test]
+    fn routing_spreads_across_shards() {
+        let r = ShardRouter::new(8).unwrap();
+        let mut seen = [0u32; 8];
+        for i in 0..4000u32 {
+            seen[r.route_text(&format!("record {i}")) as usize] += 1;
+        }
+        for (s, &n) in seen.iter().enumerate() {
+            assert!(n > 200, "shard {s} starved: {seen:?}");
+        }
+    }
+
+    #[test]
+    fn global_ids_round_trip_and_shard_zero_is_identity() {
+        let r = ShardRouter::new(16).unwrap();
+        for shard in 0..16u32 {
+            for local in [0u64, 1, 77, (1 << 32) - 1] {
+                let g = r.global_id(shard, DocId(local)).unwrap();
+                assert_eq!(r.split_id(g).unwrap(), (shard, DocId(local)));
+                assert_eq!(shard_of(g), shard);
+                assert_eq!(local_of(g), DocId(local));
+            }
+        }
+        assert_eq!(r.global_id(0, DocId(42)).unwrap(), DocId(42));
+    }
+
+    #[test]
+    fn invalid_counts_and_shards_are_typed_errors() {
+        assert!(ShardRouter::new(0).is_err());
+        assert!(ShardRouter::new(MAX_SHARDS + 1).is_err());
+        let r = ShardRouter::new(2).unwrap();
+        assert!(r.global_id(2, DocId(0)).is_err());
+        assert!(r.split_id(DocId(5 << SHARD_ID_SHIFT)).is_err());
+        assert!(r.global_id(0, DocId(1 << SHARD_ID_SHIFT)).is_err());
+    }
+}

@@ -1,0 +1,833 @@
+//! The sharded reader/writer split: parallel per-shard commits and
+//! scatter-gather queries over per-shard snapshots.
+//!
+//! A [`ShardedWriter`] owns one [`IndexWriter`] per healthy shard and
+//! routes every commit through the [`ShardRouter`]; batch commits fan
+//! out across shards in parallel, and a failure on one shard never
+//! blocks or poisons the others — [`ShardedBatchError`] reports, per
+//! shard, what committed and what tore.
+//!
+//! A [`ShardedSearcher`] holds one [`Searcher`] snapshot per healthy
+//! shard.  [`execute`](ShardedSearcher::execute) scatters the query,
+//! gathers per-shard [`QueryResponse`]s, and merges them into a
+//! [`ShardedResponse`]: hits in the global id namespace (ranked queries
+//! re-rank across shards; boolean shapes stay in ascending global-id
+//! order), summed I/O, `trusted` = AND over the shards consulted, and
+//! quarantined bytes both per shard and in aggregate.  Degraded shards
+//! are never silently skipped: every response lists them.
+//!
+//! Timestamps: each shard's engine requires non-decreasing commit
+//! timestamps.  Routing splits one input stream into per-shard
+//! subsequences, so feeding the sharded writer a globally non-decreasing
+//! stream preserves the invariant on every shard.
+
+use crate::error::ShardError;
+use crate::router::ShardRouter;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use tks_core::engine::SearchHit;
+use tks_core::{IndexWriter, Query, QueryResponse, SearchEngine, SearchError, Searcher};
+use tks_postings::{DecodedCacheStats, DocId, TermId, Timestamp};
+use tks_worm::IoStats;
+
+/// One scatter unit: execute `query` on `searcher` (shard `sid`) and
+/// report back.
+struct ScatterTask {
+    sid: u32,
+    query: Query,
+    searcher: Searcher,
+    reply: mpsc::Sender<(u32, Result<QueryResponse, SearchError>)>,
+}
+
+/// A persistent scatter-gather worker pool, shared by every searcher of
+/// one archive (clones and pins included), so per-query fan-out costs a
+/// channel send instead of a thread spawn.
+///
+/// Sized to `min(shards, available_parallelism) - 1`: the calling
+/// thread always executes one shard itself, so on a single-core host
+/// the pool is empty and queries run sequentially with zero scatter
+/// overhead.  Workers exit when the pool (and with it the sender side)
+/// is dropped.
+struct ScatterPool {
+    tx: Option<mpsc::Sender<ScatterTask>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ScatterPool {
+    fn new(shards: usize) -> ScatterPool {
+        let parallelism = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        let workers = shards.min(parallelism).saturating_sub(1);
+        let (tx, rx) = mpsc::channel::<ScatterTask>();
+        let rx = Arc::new(Mutex::new(rx));
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let rx = Arc::clone(&rx);
+            let spawned = std::thread::Builder::new()
+                .name("tks-shard-scatter".to_string())
+                .spawn(move || loop {
+                    let task = {
+                        let guard = rx.lock().unwrap_or_else(|p| p.into_inner());
+                        guard.recv()
+                    };
+                    let Ok(t) = task else { break };
+                    let outcome = t.searcher.execute(t.query);
+                    let _ = t.reply.send((t.sid, outcome));
+                });
+            // A host that cannot spawn a worker simply gets a smaller
+            // pool; queries still complete on the calling thread.
+            if let Ok(h) = spawned {
+                handles.push(h);
+            }
+        }
+        ScatterPool {
+            tx: Some(tx),
+            handles,
+        }
+    }
+
+    fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Queue a task; `false` means the pool is unavailable and the
+    /// caller should execute inline.
+    fn submit(&self, task: ScatterTask) -> bool {
+        match &self.tx {
+            Some(tx) => tx.send(task).is_ok(),
+            None => false,
+        }
+    }
+}
+
+impl Drop for ScatterPool {
+    fn drop(&mut self) {
+        self.tx.take(); // closes the channel: workers drain and exit
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// A shard the archive can no longer serve: recovery refused it.
+#[derive(Debug, Clone)]
+pub struct DegradedShard {
+    /// The shard id.
+    pub shard: u32,
+    /// The recovery error, rendered.
+    pub reason: String,
+}
+
+/// One shard's writer slot: live, or explicitly out of service.
+pub(crate) enum WriterSlot {
+    Live(IndexWriter),
+    Degraded(String),
+}
+
+/// Routes commits to per-shard [`IndexWriter`]s.
+pub struct ShardedWriter {
+    router: ShardRouter,
+    slots: Vec<WriterSlot>,
+    pool: Arc<ScatterPool>,
+}
+
+/// One shard's contribution to a failed batch commit.
+#[derive(Debug)]
+pub struct ShardBatchFailure {
+    /// The shard that failed.
+    pub shard: u32,
+    /// Bytes the failing document tore onto that shard's WORM devices
+    /// before the error (dead weight behind the commit point).
+    pub torn_tail_bytes: u64,
+    /// Why that shard stopped.
+    pub error: ShardError,
+}
+
+/// A sharded batch commit that failed on at least one shard.
+///
+/// Unlike the single-engine
+/// [`BatchError`](tks_core::service::BatchError), this is not fail-stop
+/// for the archive: shards are independent, so every healthy shard's
+/// slice of the batch still committed and is published.  `committed`
+/// holds the global ids that landed, in input order; `failures` holds
+/// one entry per shard that stopped, with its torn-tail accounting.
+#[derive(Debug)]
+pub struct ShardedBatchError {
+    /// Global ids of the documents that did commit, in input order.
+    pub committed: Vec<DocId>,
+    /// Per-shard failures (sorted by shard id).
+    pub failures: Vec<ShardBatchFailure>,
+}
+
+impl std::fmt::Display for ShardedBatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "sharded batch stopped on {} shard(s) after {} documents committed:",
+            self.failures.len(),
+            self.committed.len(),
+        )?;
+        for fail in &self.failures {
+            write!(
+                f,
+                " [shard {}: {} ({} torn bytes)]",
+                fail.shard, fail.error, fail.torn_tail_bytes
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ShardedBatchError {}
+
+impl ShardedWriter {
+    pub(crate) fn from_slots(router: ShardRouter, slots: Vec<WriterSlot>) -> Self {
+        let pool = Arc::new(ScatterPool::new(slots.len()));
+        ShardedWriter {
+            router,
+            slots,
+            pool,
+        }
+    }
+
+    /// The router (for callers that need to know a document's shard
+    /// before committing, e.g. to colocate related records).
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// Number of shards (healthy or degraded).
+    pub fn shards(&self) -> u32 {
+        self.router.shards()
+    }
+
+    /// Degraded shards, with reasons.
+    pub fn degraded(&self) -> Vec<DegradedShard> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(s, slot)| match slot {
+                WriterSlot::Live(_) => None,
+                WriterSlot::Degraded(reason) => Some(DegradedShard {
+                    shard: s as u32,
+                    reason: reason.clone(),
+                }),
+            })
+            .collect()
+    }
+
+    fn live_mut(&mut self, shard: u32) -> Result<&mut IndexWriter, ShardError> {
+        let shards = self.router.shards();
+        match self.slots.get_mut(shard as usize) {
+            Some(WriterSlot::Live(w)) => Ok(w),
+            Some(WriterSlot::Degraded(reason)) => Err(ShardError::Degraded {
+                shard,
+                reason: reason.clone(),
+            }),
+            None => Err(ShardError::UnknownShard { shard, shards }),
+        }
+    }
+
+    /// Tokenize, route by text hash, commit to the owning shard, and
+    /// return the document's **global** id.
+    pub fn commit(&mut self, text: &str, ts: Timestamp) -> Result<DocId, ShardError> {
+        self.commit_to(self.router.route_text(text), text, ts)
+    }
+
+    /// Commit to an explicit shard (callers that route by an external
+    /// key should pass `router().route_key(key)`).
+    pub fn commit_to(
+        &mut self,
+        shard: u32,
+        text: &str,
+        ts: Timestamp,
+    ) -> Result<DocId, ShardError> {
+        let router = self.router;
+        let local = self
+            .live_mut(shard)?
+            .commit(text, ts)
+            .map_err(|source| ShardError::Engine { shard, source })?;
+        router.global_id(shard, local)
+    }
+
+    /// Commit a pre-tokenized document to an explicit shard.
+    pub fn commit_terms_to(
+        &mut self,
+        shard: u32,
+        terms: &[(TermId, u32)],
+        ts: Timestamp,
+        raw_text: Option<&str>,
+    ) -> Result<DocId, ShardError> {
+        let router = self.router;
+        let local = self
+            .live_mut(shard)?
+            .commit_terms(terms, ts, raw_text)
+            .map_err(|source| ShardError::Engine { shard, source })?;
+        router.global_id(shard, local)
+    }
+
+    /// Route a batch across shards and commit the per-shard slices **in
+    /// parallel**.  On success the returned global ids are in input
+    /// order.  On failure, shards are independent: every shard that did
+    /// not fail has still committed (and published) its whole slice —
+    /// see [`ShardedBatchError`].
+    pub fn commit_batch<'a, I>(&mut self, docs: I) -> Result<Vec<DocId>, ShardedBatchError>
+    where
+        I: IntoIterator<Item = (&'a str, Timestamp)>,
+    {
+        let router = self.router;
+        let n = router.shards() as usize;
+        let mut buckets: Vec<Vec<BatchItem<'a>>> = (0..n).map(|_| Vec::new()).collect();
+        for (i, (text, ts)) in docs.into_iter().enumerate() {
+            let s = router.route_text(text) as usize;
+            if let Some(bucket) = buckets.get_mut(s) {
+                bucket.push((i, text, ts));
+            }
+        }
+
+        // Fan out across at most `available_parallelism` scoped threads
+        // (shard slices are chunked; the calling thread takes the first
+        // chunk).  On a single core no thread is spawned at all — the
+        // slices commit sequentially with zero scatter overhead.
+        let mut work: Vec<ShardWork<'a, '_>> = self
+            .slots
+            .iter_mut()
+            .enumerate()
+            .zip(buckets)
+            .filter(|(_, bucket)| !bucket.is_empty())
+            .map(|((sid, slot), bucket)| (sid as u32, slot, bucket))
+            .collect();
+        if work.is_empty() {
+            return Ok(Vec::new());
+        }
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(work.len())
+            .max(1);
+        let chunk = work.len().div_ceil(workers);
+        let mut outcomes: Vec<ShardOutcome> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            let mut own: Option<Vec<ShardWork<'a, '_>>> = None;
+            while !work.is_empty() {
+                let tail = work.split_off(chunk.min(work.len()));
+                let batch = std::mem::replace(&mut work, tail);
+                if own.is_none() {
+                    own = Some(batch);
+                } else {
+                    handles.push(scope.spawn(move || {
+                        batch
+                            .into_iter()
+                            .map(|(sid, slot, bucket)| commit_bucket(router, sid, slot, bucket))
+                            .collect::<Vec<_>>()
+                    }));
+                }
+            }
+            if let Some(batch) = own {
+                outcomes.extend(
+                    batch
+                        .into_iter()
+                        .map(|(sid, slot, bucket)| commit_bucket(router, sid, slot, bucket)),
+                );
+            }
+            for h in handles {
+                match h.join() {
+                    Ok(batch_outcomes) => outcomes.extend(batch_outcomes),
+                    Err(_) => outcomes.push((
+                        Vec::new(),
+                        Some(ShardBatchFailure {
+                            shard: u32::MAX,
+                            torn_tail_bytes: 0,
+                            error: ShardError::Internal(
+                                "a shard commit thread panicked".to_string(),
+                            ),
+                        }),
+                    )),
+                }
+            }
+        });
+
+        let mut committed: Vec<(usize, DocId)> = Vec::new();
+        let mut failures: Vec<ShardBatchFailure> = Vec::new();
+        for (ids, failure) in outcomes {
+            committed.extend(ids);
+            failures.extend(failure);
+        }
+        committed.sort_unstable_by_key(|&(i, _)| i);
+        let committed: Vec<DocId> = committed.into_iter().map(|(_, d)| d).collect();
+        if failures.is_empty() {
+            Ok(committed)
+        } else {
+            failures.sort_by_key(|f| f.shard);
+            Err(ShardedBatchError {
+                committed,
+                failures,
+            })
+        }
+    }
+
+    /// Total documents committed across live shards (degraded shards'
+    /// documents are unreachable and not counted).
+    pub fn committed_docs(&self) -> u64 {
+        self.watermarks().iter().sum()
+    }
+
+    /// Per-shard committed-document watermarks (0 for degraded shards).
+    pub fn watermarks(&self) -> Vec<u64> {
+        self.slots
+            .iter()
+            .map(|slot| match slot {
+                WriterSlot::Live(w) => w.committed_docs(),
+                WriterSlot::Degraded(_) => 0,
+            })
+            .collect()
+    }
+
+    /// A sharded searcher over the current per-shard snapshots.
+    pub fn searcher(&self) -> ShardedSearcher {
+        let degraded: Vec<DegradedShard> = self.degraded();
+        ShardedSearcher {
+            router: self.router,
+            slots: self
+                .slots
+                .iter()
+                .map(|slot| match slot {
+                    WriterSlot::Live(w) => Some(w.searcher()),
+                    WriterSlot::Degraded(_) => None,
+                })
+                .collect(),
+            degraded: degraded.into(),
+            pool: Arc::clone(&self.pool),
+        }
+    }
+
+    /// Run `f` against one shard's engine (maintenance hooks, fault
+    /// injection in tests).  The shard's searchers see the result.
+    pub fn with_engine<R>(
+        &mut self,
+        shard: u32,
+        f: impl FnOnce(&mut SearchEngine) -> R,
+    ) -> Result<R, ShardError> {
+        Ok(self.live_mut(shard)?.with_engine(f))
+    }
+
+    /// Tear the service down into per-shard engines (`None` for degraded
+    /// shards), for persistence.  Fails like
+    /// [`IndexWriter::try_into_engine`] if any shard still has other
+    /// live handles; the writer is returned intact.
+    // audit:allow(error-taxonomy) — the Err payload is the writer itself, handed back.
+    pub fn try_into_engines(self) -> Result<Vec<Option<SearchEngine>>, ShardedWriter> {
+        // The engine is boxed so a slot holding only a degraded reason
+        // does not pay an engine-sized variant.
+        enum Got {
+            Engine(Box<SearchEngine>),
+            Writer(IndexWriter),
+            Degraded(String),
+        }
+        let router = self.router;
+        let pool = self.pool;
+        let mut failed = false;
+        let got: Vec<Got> = self
+            .slots
+            .into_iter()
+            .map(|slot| match slot {
+                WriterSlot::Live(w) => match w.try_into_engine() {
+                    Ok(e) => Got::Engine(Box::new(e)),
+                    Err(w) => {
+                        failed = true;
+                        Got::Writer(w)
+                    }
+                },
+                WriterSlot::Degraded(reason) => Got::Degraded(reason),
+            })
+            .collect();
+        if failed {
+            // Hand the writer back: re-wrap any engines already torn
+            // down (their watermark re-derives from the document count).
+            let slots = got
+                .into_iter()
+                .map(|g| match g {
+                    Got::Engine(e) => WriterSlot::Live(tks_core::service(*e).0),
+                    Got::Writer(w) => WriterSlot::Live(w),
+                    Got::Degraded(reason) => WriterSlot::Degraded(reason),
+                })
+                .collect();
+            return Err(ShardedWriter {
+                router,
+                slots,
+                pool,
+            });
+        }
+        Ok(got
+            .into_iter()
+            .map(|g| match g {
+                Got::Engine(e) => Some(*e),
+                _ => None,
+            })
+            .collect())
+    }
+}
+
+/// One routed document in a shard's batch slice: `(input index, text,
+/// timestamp)`.
+type BatchItem<'a> = (usize, &'a str, Timestamp);
+
+/// One shard's unit of parallel batch-commit work.
+type ShardWork<'a, 'w> = (u32, &'w mut WriterSlot, Vec<BatchItem<'a>>);
+
+/// One shard's batch outcome: committed `(input index, global id)`
+/// pairs plus the shard's failure, if any.
+type ShardOutcome = (Vec<(usize, DocId)>, Option<ShardBatchFailure>);
+
+fn commit_bucket(
+    router: ShardRouter,
+    shard: u32,
+    slot: &mut WriterSlot,
+    bucket: Vec<(usize, &str, Timestamp)>,
+) -> (Vec<(usize, DocId)>, Option<ShardBatchFailure>) {
+    let writer = match slot {
+        WriterSlot::Live(w) => w,
+        WriterSlot::Degraded(reason) => {
+            return (
+                Vec::new(),
+                Some(ShardBatchFailure {
+                    shard,
+                    torn_tail_bytes: 0,
+                    error: ShardError::Degraded {
+                        shard,
+                        reason: reason.clone(),
+                    },
+                }),
+            )
+        }
+    };
+    let indices: Vec<usize> = bucket.iter().map(|&(i, _, _)| i).collect();
+    let (locals, failure) = match writer.commit_batch(bucket.iter().map(|&(_, t, ts)| (t, ts))) {
+        Ok(locals) => (locals, None),
+        Err(batch) => (
+            batch.committed,
+            Some(ShardBatchFailure {
+                shard,
+                torn_tail_bytes: batch.torn_tail_bytes,
+                error: ShardError::Engine {
+                    shard,
+                    source: batch.error,
+                },
+            }),
+        ),
+    };
+    let mut out = Vec::with_capacity(locals.len());
+    for (&i, local) in indices.iter().zip(locals) {
+        match router.global_id(shard, local) {
+            Ok(g) => out.push((i, g)),
+            Err(e) => {
+                return (
+                    out,
+                    Some(ShardBatchFailure {
+                        shard,
+                        torn_tail_bytes: 0,
+                        error: e,
+                    }),
+                )
+            }
+        }
+    }
+    (out, failure)
+}
+
+/// One shard's slice of a merged [`ShardedResponse`].
+#[derive(Debug, Clone)]
+pub struct ShardStatus {
+    /// The shard id.
+    pub shard: u32,
+    /// Whether this execution consulted the shard (false ⇔ degraded).
+    pub consulted: bool,
+    /// The shard's snapshot watermark (0 if not consulted).
+    pub visible_docs: u64,
+    /// The shard's own trust verdict (false if not consulted).
+    pub trusted: bool,
+    /// Torn-commit residue quarantined on this shard, in bytes.
+    pub quarantined_bytes: u64,
+    /// Why the shard was not consulted, when degraded.
+    pub degraded: Option<String>,
+}
+
+/// A merged response from scatter-gathering one [`Query`].
+///
+/// Hits carry **global** document ids; ranked (disjunctive) queries are
+/// re-ranked across shards and re-truncated to `top_k`, boolean shapes
+/// are merged in ascending global-id order.  `trusted` is the AND over
+/// the shards actually consulted — a degraded shard withholds data but
+/// does not manufacture tamper evidence against the healthy shards;
+/// `shards` names every shard and what it contributed, so an
+/// investigator always sees *which* part of the archive answered.
+#[derive(Debug, Clone)]
+pub struct ShardedResponse {
+    /// Matching documents under global ids.
+    pub hits: Vec<SearchHit>,
+    /// Total distinct index blocks read across shards.
+    pub blocks_read: u64,
+    /// Summed per-query I/O across shards.
+    pub io: IoStats,
+    /// Summed snapshot watermarks of the consulted shards.
+    pub visible_docs: u64,
+    /// AND of the consulted shards' trust verdicts.
+    pub trusted: bool,
+    /// Total quarantined torn-commit residue across consulted shards.
+    pub quarantined_bytes: u64,
+    /// Per-shard breakdown, indexed by shard id.
+    pub shards: Vec<ShardStatus>,
+}
+
+impl ShardedResponse {
+    /// Just the global document ids, in result order.
+    pub fn docs(&self) -> Vec<DocId> {
+        self.hits.iter().map(|h| h.doc).collect()
+    }
+
+    /// Shards that were not consulted (degraded), with reasons.
+    pub fn degraded(&self) -> Vec<&ShardStatus> {
+        self.shards.iter().filter(|s| !s.consulted).collect()
+    }
+}
+
+/// Scatter-gather query execution over per-shard snapshots.
+///
+/// Cloning is cheap (per-shard handles are `Arc`-backed); a clone shares
+/// snapshots with its source, and [`pin`](Self::pin) derives a searcher
+/// whose per-shard watermark vector is frozen for repeatable reads.
+#[derive(Clone)]
+pub struct ShardedSearcher {
+    router: ShardRouter,
+    slots: Vec<Option<Searcher>>,
+    degraded: Arc<[DegradedShard]>,
+    pool: Arc<ScatterPool>,
+}
+
+impl ShardedSearcher {
+    /// The router, for mapping global ids back to shards.
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// Number of shards (healthy or degraded).
+    pub fn shards(&self) -> u32 {
+        self.router.shards()
+    }
+
+    /// Degraded shards this searcher cannot consult.
+    pub fn degraded(&self) -> &[DegradedShard] {
+        &self.degraded
+    }
+
+    /// One shard's searcher (`None` when degraded or out of range).
+    pub fn shard(&self, shard: u32) -> Option<&Searcher> {
+        self.slots.get(shard as usize).and_then(|s| s.as_ref())
+    }
+
+    fn degraded_reason(&self, shard: u32) -> Option<String> {
+        self.degraded
+            .iter()
+            .find(|d| d.shard == shard)
+            .map(|d| d.reason.clone())
+    }
+
+    /// Scatter `query` across every healthy shard, gather, and merge.
+    ///
+    /// A typed error from any consulted shard fails the whole query:
+    /// mid-query tamper evidence must never be downgraded into a
+    /// silently smaller result set.  If *no* shard is healthy the query
+    /// fails with [`ShardError::NoHealthyShards`].
+    pub fn execute(&self, query: Query) -> Result<ShardedResponse, ShardError> {
+        let n = self.slots.len();
+        let live: Vec<(usize, &Searcher)> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(sid, slot)| slot.as_ref().map(|s| (sid, s)))
+            .collect();
+        if live.is_empty() {
+            return Err(ShardError::NoHealthyShards);
+        }
+
+        // Scatter over the archive's persistent worker pool.  On a
+        // single-core host the pool is empty and the calling thread
+        // drains every shard sequentially with zero scatter overhead; on
+        // a multi-core host the tail shards are queued to workers while
+        // the calling thread always executes the first shard itself.
+        let mut pairs: Vec<(usize, Result<QueryResponse, SearchError>)> =
+            Vec::with_capacity(live.len());
+        if self.pool.workers() == 0 || live.len() == 1 {
+            for &(sid, searcher) in &live {
+                pairs.push((sid, searcher.execute(query.clone())));
+            }
+        } else {
+            let (rtx, rrx) = mpsc::channel();
+            let mut dispatched = 0usize;
+            for &(sid, searcher) in &live[1..] {
+                let task = ScatterTask {
+                    sid: sid as u32,
+                    query: query.clone(),
+                    searcher: searcher.clone(),
+                    reply: rtx.clone(),
+                };
+                if self.pool.submit(task) {
+                    dispatched += 1;
+                } else {
+                    pairs.push((sid, searcher.execute(query.clone())));
+                }
+            }
+            let (sid0, searcher0) = live[0];
+            pairs.push((sid0, searcher0.execute(query.clone())));
+            drop(rtx); // a worker panic now surfaces as a recv error
+            for _ in 0..dispatched {
+                match rrx.recv() {
+                    Ok((sid, outcome)) => pairs.push((sid as usize, outcome)),
+                    Err(_) => {
+                        return Err(ShardError::Internal(
+                            "a shard query worker panicked".to_string(),
+                        ))
+                    }
+                }
+            }
+        }
+        let mut gathered: Vec<Option<Result<QueryResponse, ShardError>>> =
+            (0..n).map(|_| None).collect();
+        for (sid, outcome) in pairs {
+            if let Some(cell) = gathered.get_mut(sid) {
+                *cell = Some(outcome.map_err(|source| ShardError::Engine {
+                    shard: sid as u32,
+                    source,
+                }));
+            }
+        }
+
+        // Gather + merge.
+        let mut hits: Vec<SearchHit> = Vec::new();
+        let mut blocks_read = 0u64;
+        let mut io = IoStats::default();
+        let mut visible_docs = 0u64;
+        let mut trusted = true;
+        let mut quarantined_bytes = 0u64;
+        let mut shards = Vec::with_capacity(n);
+        let mut consulted = 0u32;
+        for (sid, cell) in gathered.into_iter().enumerate() {
+            let shard = sid as u32;
+            match cell {
+                Some(Ok(resp)) => {
+                    for h in &resp.hits {
+                        hits.push(SearchHit {
+                            doc: self.router.global_id(shard, h.doc)?,
+                            score: h.score,
+                        });
+                    }
+                    blocks_read += resp.blocks_read;
+                    io += resp.io;
+                    visible_docs += resp.visible_docs;
+                    trusted &= resp.trusted;
+                    quarantined_bytes += resp.quarantined_bytes;
+                    consulted += 1;
+                    shards.push(ShardStatus {
+                        shard,
+                        consulted: true,
+                        visible_docs: resp.visible_docs,
+                        trusted: resp.trusted,
+                        quarantined_bytes: resp.quarantined_bytes,
+                        degraded: None,
+                    });
+                }
+                Some(Err(e)) => return Err(e),
+                None => shards.push(ShardStatus {
+                    shard,
+                    consulted: false,
+                    visible_docs: 0,
+                    trusted: false,
+                    quarantined_bytes: 0,
+                    degraded: self.degraded_reason(shard),
+                }),
+            }
+        }
+        if consulted == 0 {
+            return Err(ShardError::NoHealthyShards);
+        }
+
+        match &query {
+            Query::Disjunctive { top_k, .. } => {
+                // Re-rank across shards.  Scores are per-shard (each
+                // shard ranks against its own collection statistics);
+                // ties break on global id for determinism.
+                hits.sort_by(|a, b| {
+                    b.score
+                        .total_cmp(&a.score)
+                        .then_with(|| a.doc.0.cmp(&b.doc.0))
+                });
+                hits.truncate(*top_k);
+            }
+            _ => hits.sort_by_key(|h| h.doc.0),
+        }
+
+        Ok(ShardedResponse {
+            hits,
+            blocks_read,
+            io,
+            visible_docs,
+            trusted,
+            quarantined_bytes,
+            shards,
+        })
+    }
+
+    /// A searcher pinned at a **consistent watermark vector**: every
+    /// shard's snapshot is frozen at its current watermark, so repeated
+    /// executions see identical per-shard prefixes even while writers
+    /// keep committing.
+    pub fn pin(&self) -> ShardedSearcher {
+        ShardedSearcher {
+            router: self.router,
+            slots: self
+                .slots
+                .iter()
+                .map(|slot| slot.as_ref().map(Searcher::pin))
+                .collect(),
+            degraded: Arc::clone(&self.degraded),
+            pool: Arc::clone(&self.pool),
+        }
+    }
+
+    /// Sum of the per-shard snapshot watermarks.
+    pub fn visible_docs(&self) -> u64 {
+        self.watermarks().iter().sum()
+    }
+
+    /// The per-shard watermark vector (0 for degraded shards).
+    pub fn watermarks(&self) -> Vec<u64> {
+        self.slots
+            .iter()
+            .map(|slot| slot.as_ref().map_or(0, Searcher::visible_docs))
+            .collect()
+    }
+
+    /// Summed per-query I/O across live shards.
+    pub fn query_io_stats(&self) -> IoStats {
+        let mut total = IoStats::default();
+        for slot in self.slots.iter().flatten() {
+            total += slot.query_io_stats();
+        }
+        total
+    }
+
+    /// Field-wise sum of the per-shard decoded-block cache statistics.
+    pub fn decoded_cache_stats(&self) -> DecodedCacheStats {
+        let mut total = DecodedCacheStats::default();
+        for slot in self.slots.iter().flatten() {
+            let s = slot.decoded_cache_stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.invalidations += s.invalidations;
+            total.resident += s.resident;
+        }
+        total
+    }
+}

@@ -1,0 +1,166 @@
+//! On-disk layout of a sharded archive: one directory per WORM shard.
+//!
+//! A sharded archive is a directory holding `shard-0000`, `shard-0001`,
+//! … subdirectories, each the home of one shard's WORM images (plus a
+//! small metadata file owned by the layer above).  This module owns only
+//! the *naming discipline*: shard ids map to directory names through one
+//! pure function, and discovery validates that the set found on disk is
+//! dense (ids `0..n` with no gaps), because a missing shard directory is
+//! a missing slice of the archive — the caller must surface it, never
+//! renumber around it.
+//!
+//! Hash routing makes the shard count part of the archive's identity, so
+//! the helpers here never guess a count from the directory listing
+//! alone when the caller knows the expected count.
+
+use std::path::{Path, PathBuf};
+
+/// Width of the zero-padded shard ordinal in a directory name.
+const SHARD_DIR_DIGITS: usize = 4;
+
+const SHARD_DIR_PREFIX: &str = "shard-";
+
+/// Directory name for one shard: `shard-0000`, `shard-0001`, …
+///
+/// Zero-padded to four digits so listings sort in shard order; counts
+/// beyond 9999 simply widen the field (names stay unambiguous because
+/// [`parse_shard_dir`] parses the full suffix).
+pub fn shard_dir_name(shard: u32) -> String {
+    format!("{SHARD_DIR_PREFIX}{shard:0SHARD_DIR_DIGITS$}")
+}
+
+/// Parse a directory name produced by [`shard_dir_name`] back into a
+/// shard id.  `None` for anything else — foreign directories are left
+/// alone, not errors.
+pub fn parse_shard_dir(name: &str) -> Option<u32> {
+    let digits = name.strip_prefix(SHARD_DIR_PREFIX)?;
+    if digits.len() < SHARD_DIR_DIGITS || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// A defect in a sharded directory layout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LayoutError {
+    /// The archive root could not be read.
+    Io(String),
+    /// Two directory names decode to the same shard id (e.g.
+    /// `shard-0001` next to `shard-00001`).
+    DuplicateShard(u32),
+    /// The shard ids found are not exactly `0..n`: a slice of the
+    /// archive is missing and must not be silently renumbered.
+    MissingShard {
+        /// The smallest absent shard id.
+        shard: u32,
+        /// Number of shard directories actually found.
+        found: usize,
+    },
+}
+
+impl std::fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LayoutError::Io(e) => write!(f, "cannot read archive root: {e}"),
+            LayoutError::DuplicateShard(s) => {
+                write!(f, "two directories both claim shard {s}")
+            }
+            LayoutError::MissingShard { shard, found } => write!(
+                f,
+                "shard {shard} has no directory ({found} shard dir(s) present); \
+                 a sharded archive must be dense — refusing to renumber"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LayoutError {}
+
+/// Discover the shard directories under `root`, in shard order.
+///
+/// Returns the paths for shards `0..n` where `n` is the number of
+/// shard-named subdirectories found.  Fails if ids collide or leave a
+/// gap; non-shard entries are ignored.  An empty result is valid — a
+/// fresh root simply has no shards yet.
+pub fn discover_shard_dirs(root: &Path) -> Result<Vec<PathBuf>, LayoutError> {
+    let entries = std::fs::read_dir(root).map_err(|e| LayoutError::Io(e.to_string()))?;
+    let mut found: Vec<(u32, PathBuf)> = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| LayoutError::Io(e.to_string()))?;
+        if !entry.path().is_dir() {
+            continue;
+        }
+        let name = entry.file_name();
+        let Some(shard) = name.to_str().and_then(parse_shard_dir) else {
+            continue;
+        };
+        found.push((shard, entry.path()));
+    }
+    found.sort_by_key(|&(s, _)| s);
+    for (i, &(s, _)) in found.iter().enumerate() {
+        let expect = i as u32;
+        if s == expect {
+            continue;
+        }
+        return Err(if i > 0 && found[i - 1].0 == s {
+            LayoutError::DuplicateShard(s)
+        } else {
+            LayoutError::MissingShard {
+                shard: expect,
+                found: found.len(),
+            }
+        });
+    }
+    Ok(found.into_iter().map(|(_, p)| p).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip_and_sort() {
+        for s in [0u32, 1, 9, 10, 99, 9999, 10_000, 65_535] {
+            assert_eq!(parse_shard_dir(&shard_dir_name(s)), Some(s));
+        }
+        assert_eq!(shard_dir_name(3), "shard-0003");
+        assert_eq!(shard_dir_name(12_345), "shard-12345");
+        let names: Vec<String> = (0..20).map(shard_dir_name).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted, "directory listing order must be shard order");
+    }
+
+    #[test]
+    fn foreign_names_are_ignored() {
+        for bad in ["shard-", "shard-abc", "shard-1", "shards-0001", "0001", ""] {
+            assert_eq!(parse_shard_dir(bad), None, "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn discovery_orders_and_validates() {
+        let root = std::env::temp_dir().join(format!("tks-layout-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).unwrap();
+        assert_eq!(discover_shard_dirs(&root).unwrap(), Vec::<PathBuf>::new());
+
+        for s in [2u32, 0, 1] {
+            std::fs::create_dir(root.join(shard_dir_name(s))).unwrap();
+        }
+        std::fs::create_dir(root.join("not-a-shard")).unwrap();
+        std::fs::write(root.join("shard-0009"), b"a file, not a dir").unwrap();
+        let dirs = discover_shard_dirs(&root).unwrap();
+        assert_eq!(dirs.len(), 3);
+        for (i, d) in dirs.iter().enumerate() {
+            assert!(d.ends_with(shard_dir_name(i as u32)));
+        }
+
+        std::fs::create_dir(root.join(shard_dir_name(5))).unwrap();
+        assert_eq!(
+            discover_shard_dirs(&root).unwrap_err(),
+            LayoutError::MissingShard { shard: 3, found: 4 }
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

@@ -37,6 +37,7 @@
 //! | [`device`] | [`BlockId`], [`WormDevice`]: append-only blocks |
 //! | [`fault`] | [`FaultPolicy`]: deterministic append fault injection |
 //! | [`fs`] | [`WormFs`]: append-only files with retention, over a device |
+//! | [`layout`] | per-shard directory naming/discovery for sharded archives |
 //! | [`lru`] | [`LruCore`]: O(1) intrusive LRU used by the cache |
 //! | [`cache`] | [`StorageCache`]: NV-cache I/O accounting simulator |
 //! | [`stats`] | [`IoStats`]: random-I/O counters |
@@ -48,6 +49,7 @@ pub mod cache;
 pub mod device;
 pub mod fault;
 pub mod fs;
+pub mod layout;
 pub mod lru;
 pub mod persist;
 pub mod stats;
@@ -56,6 +58,7 @@ pub use cache::{AccessKind, CacheConfig, StorageCache};
 pub use device::{BlockId, TamperAttempt, TamperKind, WormDevice, WormError};
 pub use fault::{FaultAction, FaultPolicy};
 pub use fs::{ExportedFile, FileHandle, WormFs};
+pub use layout::{discover_shard_dirs, parse_shard_dir, shard_dir_name, LayoutError};
 pub use lru::LruCore;
 pub use persist::{load_fs, save_fs, PersistError};
 pub use stats::{AtomicIoStats, IoStats};

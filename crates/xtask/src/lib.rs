@@ -10,6 +10,10 @@
 //!   reported at warn severity.
 //! * **`worm-append-only`** — only `crates/worm` may name
 //!   truncation/overwrite APIs; committed extents are immutable.
+//! * **`shard-isolation`** — `crates/shard` must not name storage-layer
+//!   APIs (`WormFs`, `ListStore`, device/persistence accessors): the
+//!   sharding layer is pure orchestration over per-shard engines, so it
+//!   can never bypass a shard's audited commit path.
 //! * **`forbid-unsafe`** — no `unsafe` anywhere; library roots must carry
 //!   `#![forbid(unsafe_code)]`.
 //! * **`error-taxonomy`** — public fallible APIs in production crates
@@ -65,6 +69,7 @@ pub fn audit_workspace(root: &Path) -> io::Result<Report> {
     };
     rules::no_panic_in_prod(&files, &mut report);
     rules::worm_append_only(&files, &mut report);
+    rules::shard_isolation(&files, &mut report);
     rules::forbid_unsafe(&files, &mut report);
     rules::error_taxonomy(&files, &mut report);
     rules::hot_path_io(&files, &mut report);

@@ -19,11 +19,12 @@ use std::collections::{BTreeMap, BTreeSet};
 /// Production crates subject to the panic and taxonomy rules: the storage
 /// and query layers whose failures must surface as typed errors (a crash
 /// during a compliance lookup is indistinguishable from a hidden record).
-pub const PROD_PREFIXES: [&str; 4] = [
+pub const PROD_PREFIXES: [&str; 5] = [
     "crates/core/src/",
     "crates/worm/src/",
     "crates/jump/src/",
     "crates/postings/src/",
+    "crates/shard/src/",
 ];
 
 /// Path prefixes exempt from `worm-append-only`: the WORM layer itself
@@ -52,6 +53,29 @@ const OVERWRITE_APIS: [&str; 7] = [
     "truncate_file",
     "remove_file",
     "OpenOptions",
+];
+
+/// Storage-layer identifiers the shard crate must not name: the sharding
+/// layer routes and merges, it never touches a shard's WORM devices or
+/// posting store directly.  Every storage interaction flows through the
+/// engine/service API, so per-shard fault isolation (and the audit rules
+/// above it) cannot be bypassed by the orchestration layer.  The opaque
+/// `EngineParts` pass-through is allowed — it carries devices to recovery
+/// without granting access to them.
+const SHARD_STORAGE_IDENTS: [&str; 13] = [
+    "WormFs",
+    "WormDevice",
+    "ListStore",
+    "list_store",
+    "list_store_mut",
+    "doc_fs",
+    "doc_fs_mut",
+    "positions_fs",
+    "positions_fs_mut",
+    "store_fs",
+    "pos_fs",
+    "load_fs",
+    "save_fs",
 ];
 
 /// Does `raw` (or the preceding raw line) carry an `audit:allow(rule)`
@@ -241,6 +265,45 @@ pub fn worm_append_only(files: &[SourceFile], report: &mut Report) {
                         format!(
                             "`{id}` is a truncation/overwrite API; only crates/worm may \
                              name it (committed WORM extents are immutable)"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Rule `shard-isolation`: non-test code in `crates/shard` must not name
+/// any storage-layer API — no `WormFs`/`WormDevice`, no posting-store
+/// accessors, no persistence entry points.  The sharding layer is pure
+/// orchestration: it owns per-shard `IndexWriter`/`Searcher` handles and
+/// opaque `EngineParts`, and every byte that reaches a WORM device goes
+/// through the engine's audited commit path.  A shard layer with direct
+/// device access could corrupt one shard while reporting another healthy,
+/// which is exactly the confusion per-shard fault isolation exists to
+/// prevent.
+pub fn shard_isolation(files: &[SourceFile], report: &mut Report) {
+    let mut sink = Sink { report };
+    for file in files
+        .iter()
+        .filter(|f| f.rel.starts_with("crates/shard/src/"))
+    {
+        for line in file.lines() {
+            if line.in_test {
+                continue;
+            }
+            for (col, id) in idents(line.code) {
+                if SHARD_STORAGE_IDENTS.contains(&id) {
+                    sink.emit(
+                        file,
+                        "shard-isolation",
+                        Severity::Deny,
+                        line.number,
+                        col,
+                        format!(
+                            "`{id}` is a storage-layer API; the shard layer is pure \
+                             orchestration and must reach storage only through the \
+                             engine/service interface"
                         ),
                     );
                 }

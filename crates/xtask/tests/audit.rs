@@ -132,6 +132,61 @@ pub fn shrink(f: &mut std::fs::File) {
 }
 
 #[test]
+fn shard_isolation_denies_storage_idents_only_in_the_shard_crate() {
+    let shared = r##"#![forbid(unsafe_code)]
+pub fn peek(engine: &Engine) -> usize {
+    engine.list_store().num_blocks()
+}
+pub fn image(fs: &WormFs) -> Vec<u8> {
+    save_fs(fs).unwrap_or_default()
+}
+pub fn pass_through(parts: EngineParts) -> EngineParts {
+    parts
+}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t(engine: &mut Engine) {
+        engine.list_store_mut().fs_mut();
+    }
+}
+"##;
+    let (report, root) = audit_fixture(&[
+        ("crates/shard/src/lib.rs", shared),
+        ("crates/core/src/lib.rs", shared),
+    ]);
+    let hits = rules_of(&report, "shard-isolation");
+    assert_eq!(
+        hits,
+        vec![
+            "crates/shard/src/lib.rs:3 deny",
+            "crates/shard/src/lib.rs:5 deny",
+            "crates/shard/src/lib.rs:6 deny",
+        ],
+        "storage idents (list_store, WormFs, save_fs) flag in crates/shard \
+         non-test code only; the opaque EngineParts pass-through and \
+         cfg(test) code do not"
+    );
+    cleanup(root);
+}
+
+#[test]
+fn shard_isolation_honours_inline_allow() {
+    let (report, root) = audit_fixture(&[(
+        "crates/shard/src/lib.rs",
+        r##"#![forbid(unsafe_code)]
+pub fn fixture(engine: &Engine) -> usize {
+    // audit:allow(shard-isolation) — fixture exception
+    engine.list_store().num_blocks()
+}
+"##,
+    )]);
+    assert!(rules_of(&report, "shard-isolation").is_empty());
+    assert_eq!(report.suppressed, 1);
+    cleanup(root);
+}
+
+#[test]
 fn forbid_unsafe_flags_blocks_and_missing_attr() {
     let (report, root) = audit_fixture(&[(
         "crates/ght/src/lib.rs",

@@ -28,7 +28,11 @@
 //!   index update, ranked disjunctive search (BM25/cosine), conjunctive
 //!   zigzag joins over jump indexes, trustworthy commit-time ranges,
 //!   epoch-based statistics learning, ranking-attack countermeasures, and
-//!   the simulation drivers behind every figure of the paper.
+//!   the simulation drivers behind every figure of the paper;
+//! * [`shard`] — the sharded multi-archive engine: hash-partitioned WORM
+//!   shards behind one writer/searcher pair, scatter-gather query
+//!   execution with conservative trust merging, and per-shard fault
+//!   isolation (a dead shard degrades, the archive keeps answering).
 //!
 //! ## Quickstart
 //!
@@ -92,6 +96,7 @@ pub use tks_corpus as corpus;
 pub use tks_ght as ght;
 pub use tks_jump as jump;
 pub use tks_postings as postings;
+pub use tks_shard as shard;
 pub use tks_worm as worm;
 
 /// The most commonly used types, re-exported for `use
@@ -107,5 +112,6 @@ pub mod prelude {
     pub use tks_core::service::{service, IndexWriter, Searcher};
     pub use tks_jump::JumpConfig;
     pub use tks_postings::{DocId, ListId, TermId, Timestamp};
+    pub use tks_shard::{ShardRouter, ShardedArchive, ShardedSearcher, ShardedWriter};
     pub use tks_worm::{AtomicIoStats, FaultPolicy, IoStats, WormDevice, WormFs};
 }

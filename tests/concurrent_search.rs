@@ -163,67 +163,6 @@ fn multi_query_driver_matches_sequential_across_thread_counts() {
     }
 }
 
-/// The unified `Query` path returns exactly what the legacy entry points
-/// returned — the shims are pure plumbing.
-#[test]
-#[allow(deprecated)]
-fn query_api_round_trips_against_legacy_methods() {
-    let mut engine = SearchEngine::new(
-        EngineConfig::builder()
-            .assignment(MergeAssignment::uniform(16))
-            .jump(JumpConfig::new(2048, 8, 1 << 32))
-            .positional(true)
-            .build()
-            .unwrap(),
-    )
-    .unwrap();
-    let texts = [
-        "alpha beta gamma",
-        "beta gamma delta",
-        "alpha gamma epsilon",
-        "delta epsilon alpha beta",
-    ];
-    for (i, t) in texts.iter().enumerate() {
-        engine
-            .add_document(t, Timestamp(10 * (i as u64 + 1)))
-            .unwrap();
-    }
-
-    let legacy = engine.search("alpha beta", 10);
-    let unified = engine
-        .execute(&Query::disjunctive("alpha beta", 10))
-        .unwrap();
-    assert_eq!(
-        legacy.iter().map(|h| h.doc).collect::<Vec<_>>(),
-        unified.hits.iter().map(|h| h.doc).collect::<Vec<_>>()
-    );
-
-    assert_eq!(
-        engine.search_conjunctive("alpha beta").unwrap(),
-        engine
-            .execute(&Query::conjunctive("alpha beta"))
-            .unwrap()
-            .docs()
-    );
-    assert_eq!(
-        engine.search_phrase("beta gamma").unwrap(),
-        engine.execute(&Query::phrase("beta gamma")).unwrap().docs()
-    );
-    assert_eq!(
-        engine
-            .search_conjunctive_in_range("alpha", Timestamp(15), Timestamp(35))
-            .unwrap(),
-        engine
-            .execute(&Query::conjunctive_in_range(
-                "alpha",
-                Timestamp(15),
-                Timestamp(35)
-            ))
-            .unwrap()
-            .docs()
-    );
-}
-
 /// Queries are plain serde values: a saved investigation can be replayed
 /// verbatim.
 #[test]

@@ -22,6 +22,7 @@
 use proptest::prelude::*;
 use tks_core::{EngineConfig, MergeAssignment, Query, SearchEngine};
 use tks_postings::types::Timestamp;
+use tks_shard::{ShardRecovery, ShardedArchive, ShardedSearcher};
 use tks_worm::FaultPolicy;
 
 /// Small corpus over a small vocabulary so the byte sweep stays cheap
@@ -277,6 +278,263 @@ fn interior_tampering_still_fails_with_typed_error() {
         .expect_err("interior damage must fail recovery");
     // Typed taxonomy, not a panic: the error names the violated invariant.
     assert!(!err.to_string().is_empty());
+}
+
+// ---------------------------------------------------------------------
+// Sharded family: per-shard fault isolation.  A torn commit on one
+// shard's device must be quarantined on *that shard only* — the other
+// shards recover clean, the merged response keeps `trusted == true`, and
+// quarantine accounting names the damaged shard.
+// ---------------------------------------------------------------------
+
+const SHARDS: usize = 3;
+const VICTIM: u32 = 1;
+
+/// The sharded corpus: three rounds of the base corpus, committed
+/// round-robin (`doc k → shard k mod 3`) with globally increasing
+/// timestamps, so every shard sees a non-decreasing stream and holds
+/// several documents.
+fn sharded_docs() -> Vec<(String, Timestamp)> {
+    let mut out = Vec::new();
+    for round in 0..3usize {
+        for (i, &(text, _)) in CORPUS.iter().enumerate() {
+            let k = (round * CORPUS.len() + i) as u64;
+            out.push((text.to_string(), Timestamp(200 + k)));
+        }
+    }
+    out
+}
+
+/// Query shapes over the sharded corpus (timestamps live at 200+).
+fn sharded_queries() -> Vec<Query> {
+    vec![
+        Query::disjunctive("alpha gamma", 10),
+        Query::conjunctive("beta gamma"),
+        Query::phrase("beta gamma"),
+        Query::time_range(Timestamp(201), Timestamp(209)),
+    ]
+}
+
+/// Byte range `[lo, hi]` the victim shard's posting store occupies for
+/// its **last** commit in a clean run — the sweep range for the torn
+/// tail family.
+fn victim_last_commit_range() -> (u64, u64) {
+    let mut engines: Vec<SearchEngine> = (0..SHARDS)
+        .map(|_| SearchEngine::new(config()).expect("config is valid"))
+        .collect();
+    let mut before_last = 0u64;
+    for (k, (text, ts)) in sharded_docs().iter().enumerate() {
+        let s = k % SHARDS;
+        if s == VICTIM as usize {
+            before_last = engines[s].list_store().fs().device().bytes_committed();
+        }
+        engines[s].add_document(text, *ts).expect("clean commit");
+    }
+    let total = engines[VICTIM as usize]
+        .list_store()
+        .fs()
+        .device()
+        .bytes_committed();
+    (before_last, total)
+}
+
+/// Commit the round-robin corpus into a 3-shard archive with `policy`
+/// armed on the victim shard's posting store, treating the victim's
+/// first commit error as that shard's device dying (fail-stop for the
+/// shard; the others keep committing).  Reboots every shard and runs
+/// per-shard recovery through [`ShardedArchive::recover`].
+fn sharded_crash_and_recover(
+    policy: FaultPolicy,
+) -> (
+    Vec<Vec<(String, Timestamp)>>,
+    ShardedArchive,
+    Vec<ShardRecovery>,
+) {
+    let mut engines: Vec<SearchEngine> = (0..SHARDS)
+        .map(|_| SearchEngine::new(config()).expect("config is valid"))
+        .collect();
+    engines[VICTIM as usize]
+        .list_store_mut()
+        .fs_mut()
+        .arm_faults(policy);
+    let archive = ShardedArchive::from_engines(engines).expect("≥ 1 shard");
+    let (mut writer, searcher) = archive.into_service();
+    drop(searcher); // try_into_engines needs the writers to be sole owners
+    let mut per_shard: Vec<Vec<(String, Timestamp)>> = vec![Vec::new(); SHARDS];
+    let mut dead = false;
+    for (k, (text, ts)) in sharded_docs().iter().enumerate() {
+        let s = (k % SHARDS) as u32;
+        if s == VICTIM && dead {
+            continue;
+        }
+        match writer.commit_to(s, text, *ts) {
+            Ok(_) => per_shard[s as usize].push((text.clone(), *ts)),
+            Err(_) if s == VICTIM => dead = true,
+            Err(e) => panic!("healthy shard {s} failed: {e}"),
+        }
+    }
+    let Ok(engines) = writer.try_into_engines() else {
+        panic!("no other live handles exist");
+    };
+    let mut parts = Vec::with_capacity(SHARDS);
+    for engine in engines {
+        let mut p = engine
+            .expect("no shard is degraded before recovery")
+            .into_parts();
+        p.store_fs.disarm_faults();
+        p.doc_fs.disarm_faults();
+        p.store_fs.crash_recover().expect("store crash_recover");
+        p.doc_fs.crash_recover().expect("doc crash_recover");
+        if let Some(fs) = p.pos_fs.as_mut() {
+            fs.disarm_faults();
+            fs.crash_recover().expect("positions crash_recover");
+        }
+        parts.push(p);
+    }
+    let (archive, recoveries) =
+        ShardedArchive::recover(parts, config()).expect("per-shard recovery");
+    (per_shard, archive, recoveries)
+}
+
+/// A clean sharded archive holding exactly `per_shard` on each shard.
+fn sharded_reference(per_shard: &[Vec<(String, Timestamp)>]) -> ShardedSearcher {
+    let engines: Vec<SearchEngine> = per_shard
+        .iter()
+        .map(|docs| {
+            let mut e = SearchEngine::new(config()).expect("config is valid");
+            for (text, ts) in docs {
+                e.add_document(text, *ts).expect("clean commit");
+            }
+            e
+        })
+        .collect();
+    ShardedArchive::from_engines(engines)
+        .expect("≥ 1 shard")
+        .into_service()
+        .1
+}
+
+#[test]
+fn sharded_tear_on_one_shard_quarantines_only_that_shard() {
+    let (lo, hi) = victim_last_commit_range();
+    assert!(hi > lo, "the last commit must append posting-store bytes");
+    let mut tails_seen = 0u64;
+    for offset in lo..=hi {
+        let ctx = format!("victim store torn at byte {offset}");
+        let (per_shard, archive, recoveries) =
+            sharded_crash_and_recover(FaultPolicy::torn_at_offset(offset));
+        for r in &recoveries {
+            assert!(
+                r.error.is_none(),
+                "{ctx}: a torn tail must never degrade a shard (shard {}: {:?})",
+                r.shard,
+                r.error
+            );
+            if r.shard != VICTIM {
+                assert!(
+                    r.is_clean(),
+                    "{ctx}: quarantine leaked to healthy shard {}",
+                    r.shard
+                );
+            }
+        }
+        let victim_quarantine = recoveries[VICTIM as usize].quarantined_bytes;
+        if victim_quarantine > 0 {
+            tails_seen += 1;
+        }
+        // The recovered archive must answer exactly like a clean archive
+        // holding the same per-shard prefixes, and the torn commit on the
+        // victim must never flip `trusted` — neither on the merged
+        // response nor on any other shard's status.
+        let reference = sharded_reference(&per_shard);
+        let (_, searcher) = archive.into_service();
+        for q in sharded_queries() {
+            let want = reference.execute(q.clone()).expect("reference query");
+            let got = searcher
+                .execute(q.clone())
+                .unwrap_or_else(|e| panic!("{ctx}: query {q:?} failed: {e}"));
+            let pair = |r: &tks_shard::ShardedResponse| -> Vec<(u64, f64)> {
+                r.hits.iter().map(|h| (h.doc.0, h.score)).collect()
+            };
+            assert_eq!(pair(&got), pair(&want), "{ctx}: results for {q:?}");
+            assert!(got.trusted, "{ctx}: a torn tail is not tamper evidence");
+            assert_eq!(got.quarantined_bytes, victim_quarantine, "{ctx}");
+            for s in &got.shards {
+                assert!(
+                    s.consulted && s.trusted,
+                    "{ctx}: shard {} lost trust over the victim's tear",
+                    s.shard
+                );
+                let expect = if s.shard == VICTIM {
+                    victim_quarantine
+                } else {
+                    0
+                };
+                assert_eq!(
+                    s.quarantined_bytes, expect,
+                    "{ctx}: quarantine misattributed on shard {}",
+                    s.shard
+                );
+            }
+        }
+    }
+    assert!(
+        tails_seen > 0,
+        "the sweep never produced quarantinable residue"
+    );
+}
+
+#[test]
+fn sharded_interior_damage_degrades_only_the_victim() {
+    // Interior damage — which no single torn append can produce — must
+    // degrade the victim shard while the rest of the archive recovers
+    // clean and keeps serving with `trusted == true`.
+    let mut engines: Vec<SearchEngine> = (0..SHARDS)
+        .map(|_| SearchEngine::new(config()).expect("config is valid"))
+        .collect();
+    for (k, (text, ts)) in sharded_docs().iter().enumerate() {
+        engines[k % SHARDS]
+            .add_document(text, *ts)
+            .expect("clean commit");
+    }
+    let victim = &mut engines[VICTIM as usize];
+    let f = victim.list_store().fs().open("lists/0").expect("list file");
+    victim
+        .list_store_mut()
+        .fs_mut()
+        .append(f, &[0xFF, 0xFF])
+        .expect("raw append");
+    let whole = tks_postings::encode_posting(tks_postings::Posting {
+        doc: tks_postings::types::DocId(9),
+        term_tag: 0,
+        tf: 1,
+    });
+    let f = victim.list_store().fs().open("lists/0").expect("list file");
+    victim
+        .list_store_mut()
+        .fs_mut()
+        .append(f, &whole)
+        .expect("raw append");
+
+    let parts = engines.into_iter().map(|e| e.into_parts()).collect();
+    let (archive, recoveries) =
+        ShardedArchive::recover(parts, config()).expect("archive-level recovery never fails");
+    for r in &recoveries {
+        if r.shard == VICTIM {
+            assert!(r.error.is_some(), "interior damage must degrade the shard");
+        } else {
+            assert!(r.is_clean(), "shard {} must recover clean", r.shard);
+        }
+    }
+    let (_, searcher) = archive.into_service();
+    for q in sharded_queries() {
+        let resp = searcher.execute(q.clone()).expect("healthy shards serve");
+        assert!(resp.trusted, "healthy shards' verdict must survive");
+        let degraded = resp.degraded();
+        assert_eq!(degraded.len(), 1, "exactly the victim is reported");
+        assert_eq!(degraded[0].shard, VICTIM);
+        assert!(degraded[0].degraded.is_some(), "the reason is preserved");
+    }
 }
 
 #[test]

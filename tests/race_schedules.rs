@@ -10,6 +10,7 @@
 use tks_core::sched::{explore, interleave, Step};
 use tks_core::{service, EngineConfig, IndexWriter, Query, SearchEngine, Searcher};
 use tks_postings::types::Timestamp;
+use tks_shard::{shard_of, ShardedArchive, ShardedSearcher, ShardedWriter};
 use tks_worm::{AtomicIoStats, FaultPolicy, IoStats};
 
 const SCHEDULES: u64 = 160;
@@ -571,6 +572,214 @@ fn writer_crash_keeps_watermark_and_pins_valid_then_recovery_converges() {
             Ok(())
         } else {
             Err(violations.join("; "))
+        }
+    })
+    .unwrap_or_else(|f| panic!("{f}"));
+    assert_eq!(clean, SCHEDULES);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded watermark vector: per-shard writers vs scatter-gather readers.
+// The sharded service has no global sequencer, so its consistency unit is
+// the *vector* of per-shard watermarks: every slot must be exact against
+// the per-shard commit model, move monotonically, and the merged response
+// must equal the vector's sum — under every interleaving of the two
+// shard writers and the reader.
+// ---------------------------------------------------------------------------
+
+struct ShardWmState {
+    writer: ShardedWriter,
+    searcher: ShardedSearcher,
+    /// Per-shard documents committed so far (the model the vector tracks).
+    committed: Vec<u64>,
+    /// Watermark vector seen by the previous reader op.
+    last_seen: Vec<u64>,
+    /// `(vector, handle)` captured by the pinning op.
+    pinned: Option<(Vec<u64>, ShardedSearcher)>,
+    violations: Vec<String>,
+}
+
+impl ShardWmState {
+    fn check(&mut self, what: &str, cond: bool, detail: String) {
+        if !cond {
+            self.violations.push(format!("{what}: {detail}"));
+        }
+    }
+}
+
+/// Documents each shard's writer thread commits.
+const SHARD_DOCS: u64 = 3;
+
+fn sharded_state() -> ShardWmState {
+    let archive = ShardedArchive::create(EngineConfig::default(), 2).expect("valid config");
+    let (writer, searcher) = archive.into_service();
+    ShardWmState {
+        writer,
+        searcher,
+        committed: vec![0, 0],
+        last_seen: vec![0, 0],
+        pinned: None,
+        violations: Vec::new(),
+    }
+}
+
+/// One virtual writer thread that commits `SHARD_DOCS` documents to a
+/// fixed shard (`commit_to` pins the route, so the model knows exactly
+/// which vector slot every commit advances).
+fn shard_writer_ops(shard: u32) -> Vec<Step<'static, ShardWmState>> {
+    (0..SHARD_DOCS)
+        .map(move |i| {
+            Box::new(move |s: &mut ShardWmState| {
+                let text = format!("common shard{shard} record{i}");
+                match s.writer.commit_to(shard, &text, Timestamp(1_000 + i)) {
+                    Ok(doc) => {
+                        s.committed[shard as usize] += 1;
+                        if shard_of(doc) != shard {
+                            s.violations
+                                .push(format!("{doc} routed to shard {}", shard_of(doc)));
+                        }
+                    }
+                    Err(e) => s
+                        .violations
+                        .push(format!("commit {i} to shard {shard} failed: {e}")),
+                }
+            }) as Step<'static, ShardWmState>
+        })
+        .collect()
+}
+
+fn sharded_wm_threads() -> (ShardWmState, Vec<Vec<Step<'static, ShardWmState>>>) {
+    // Reader: vector exactness + per-slot monotonicity + merged prefix
+    // visibility (the scatter-gathered hit count equals the vector sum).
+    let reader_ops: Vec<Step<'static, ShardWmState>> = (0..6)
+        .map(|_| {
+            Box::new(|s: &mut ShardWmState| {
+                let vector = s.searcher.watermarks();
+                let (model, last) = (s.committed.clone(), s.last_seen.clone());
+                s.check(
+                    "vector-exact",
+                    vector == model,
+                    format!("vector {vector:?} but {model:?} committed"),
+                );
+                s.check(
+                    "vector-monotone",
+                    vector.iter().zip(&last).all(|(now, then)| now >= then),
+                    format!("vector {vector:?} after seeing {last:?}"),
+                );
+                s.last_seen = vector.clone();
+                let sum: u64 = vector.iter().sum();
+                match s.searcher.execute(Query::disjunctive("common", usize::MAX)) {
+                    Ok(resp) => {
+                        let hits = resp.hits.len() as u64;
+                        s.check(
+                            "merged-prefix-visibility",
+                            hits == sum && resp.visible_docs == sum,
+                            format!(
+                                "{hits} hits / {} visible at vector {vector:?}",
+                                resp.visible_docs
+                            ),
+                        );
+                        s.check("merged-trusted", resp.trusted, "untrusted".to_string());
+                    }
+                    Err(e) => s.violations.push(format!("query failed: {e}")),
+                }
+            }) as Step<'static, ShardWmState>
+        })
+        .collect();
+    (
+        sharded_state(),
+        vec![shard_writer_ops(0), shard_writer_ops(1), reader_ops],
+    )
+}
+
+#[test]
+fn sharded_watermark_vector_invariants_hold_under_all_schedules() {
+    let clean = explore(0x5AAD, SCHEDULES, |seed| {
+        let (mut state, mut threads) = sharded_wm_threads();
+        interleave(seed, &mut state, &mut threads);
+        // Quiescent: both shards fully published.
+        let end = state.searcher.watermarks();
+        if end != vec![SHARD_DOCS, SHARD_DOCS] {
+            state
+                .violations
+                .push(format!("quiescent vector {end:?}, expected full"));
+        }
+        if state.violations.is_empty() {
+            Ok(())
+        } else {
+            Err(state.violations.join("; "))
+        }
+    })
+    .unwrap_or_else(|f| panic!("{f}"));
+    assert_eq!(clean, SCHEDULES);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded pin stability: a pinned searcher freezes the whole watermark
+// vector at once, and must keep answering from exactly that vector while
+// both shards' writers race past it.
+// ---------------------------------------------------------------------------
+
+fn sharded_pin_threads() -> (ShardWmState, Vec<Vec<Step<'static, ShardWmState>>>) {
+    // Pinner: one op takes the pinned snapshot (its vector must be exact
+    // against the commit model at that instant); later ops require every
+    // slot of the vector — and the merged answer — unchanged.
+    let mut pin_ops: Vec<Step<'static, ShardWmState>> = vec![Box::new(|s: &mut ShardWmState| {
+        let handle = s.searcher.pin();
+        let vector = handle.watermarks();
+        let model = s.committed.clone();
+        s.check(
+            "pin-vector-exact",
+            vector == model,
+            format!("pinned vector {vector:?} but {model:?} committed"),
+        );
+        s.pinned = Some((vector, handle));
+    })];
+    for _ in 0..4 {
+        pin_ops.push(Box::new(|s: &mut ShardWmState| {
+            let Some((at, handle)) = s.pinned.take() else {
+                return;
+            };
+            let now = handle.watermarks();
+            let sum: u64 = at.iter().sum();
+            let hits = match handle.execute(Query::disjunctive("common", usize::MAX)) {
+                Ok(resp) => resp.hits.len() as u64,
+                Err(e) => {
+                    s.violations.push(format!("pinned query failed: {e}"));
+                    sum
+                }
+            };
+            s.check(
+                "pin-vector-stability",
+                now == at && hits == sum,
+                format!("pinned at {at:?} but sees {now:?} / {hits} hits"),
+            );
+            s.pinned = Some((at, handle));
+        }));
+    }
+    (
+        sharded_state(),
+        vec![shard_writer_ops(0), shard_writer_ops(1), pin_ops],
+    )
+}
+
+#[test]
+fn sharded_pin_freezes_the_vector_under_all_schedules() {
+    let clean = explore(0xF12E, SCHEDULES, |seed| {
+        let (mut state, mut threads) = sharded_pin_threads();
+        interleave(seed, &mut state, &mut threads);
+        // The live (unpinned) searcher still reaches the full corpus.
+        let end = state.searcher.visible_docs();
+        if end != 2 * SHARD_DOCS {
+            state.violations.push(format!(
+                "quiescent watermark {end}, expected {}",
+                2 * SHARD_DOCS
+            ));
+        }
+        if state.violations.is_empty() {
+            Ok(())
+        } else {
+            Err(state.violations.join("; "))
         }
     })
     .unwrap_or_else(|f| panic!("{f}"));
