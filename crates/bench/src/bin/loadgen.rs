@@ -1,0 +1,339 @@
+//! Multi-client load harness for the network archive server: an
+//! in-process `tks_server` over a sharded archive, hammered by 1/2/4/8
+//! concurrent `tks_client` connections while a live writer keeps
+//! committing — the deployment shape of a compliance archive serving
+//! investigators during ingest.
+//!
+//! For each client count the harness reports per-query latency
+//! percentiles (p50/p99/mean) and aggregate throughput; the **saturation
+//! qps** headline is the best throughput any round achieved.  A final
+//! probe restarts the server with an injected per-query delay and
+//! asserts the deadline path: a query whose budget cannot be met must
+//! come back as a typed `DeadlineExceeded` wire error, never a hung
+//! connection — that is the acceptance gate.
+//!
+//! Environment knobs (for CI smoke runs):
+//!
+//! * `LOADGEN_CLIENTS` — space-separated client counts (default `1 2 4 8`)
+//! * `LOADGEN_QUERIES` — queries per client per round (default `400`)
+//! * `LOADGEN_SHARDS`  — shard count for the archive (default `4`)
+//!
+//! Results land in `results/loadgen.json` and `BENCH_server.json`.
+//!
+//! ```text
+//! cargo run --release -p tks-bench --bin loadgen
+//! ```
+
+// Experiment binary: expect() on malformed synthetic input is acceptable
+// (the production no-panic surface is gated by clippy + `cargo xtask audit`).
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use serde::Serialize;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+use tks_bench::{print_table, save_json, Scale};
+use tks_client::{Client, ClientError};
+use tks_core::engine::EngineConfig;
+use tks_corpus::{DocumentGenerator, QueryGenerator};
+use tks_postings::Timestamp;
+use tks_server::server::{ArchiveServer, ServerConfig};
+use tks_server::wire::{WireErrorCode, WireQuery, WireTerms};
+use tks_shard::ShardedArchive;
+
+/// Commit budget for the live writer in each measured round (bounded so
+/// every client count queries a comparably-sized archive).
+const WRITER_DOCS: u64 = 200;
+
+fn env_or<T: std::str::FromStr>(name: &str, default: T) -> T {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn client_counts() -> Vec<usize> {
+    let raw = std::env::var("LOADGEN_CLIENTS").unwrap_or_else(|_| "1 2 4 8".to_string());
+    let counts: Vec<usize> = raw
+        .split_whitespace()
+        .filter_map(|s| s.parse().ok())
+        .collect();
+    assert!(
+        !counts.is_empty(),
+        "LOADGEN_CLIENTS must name at least one client count"
+    );
+    counts
+}
+
+#[derive(Serialize)]
+struct Row {
+    clients: usize,
+    queries: u64,
+    wall_secs: f64,
+    qps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    mean_ms: f64,
+    errors: u64,
+    docs_committed_during_run: u64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    scale: Scale,
+    shards: u32,
+    workers: usize,
+    queries_per_client: u64,
+    rows: Vec<Row>,
+    /// Best aggregate throughput over all client counts.
+    saturation_qps: f64,
+    /// Did the deadline probe return a typed `DeadlineExceeded` (the
+    /// acceptance gate), as opposed to hanging or a transport error?
+    deadline_probe_typed: bool,
+}
+
+fn percentile_ms(sorted_us: &[u64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * p).round() as usize;
+    sorted_us[idx.min(sorted_us.len() - 1)] as f64 / 1000.0
+}
+
+fn main() {
+    let mut scale = Scale::from_args();
+    if scale.is_default_workload() {
+        // Server rounds are latency-bound, not index-bound: a corpus big
+        // enough for realistic posting lists, small enough that 4 rounds
+        // of hundreds of queries each finish in seconds.
+        scale.docs = 4_000;
+        scale.vocab = 8_192;
+        scale.terms_per_doc = 16;
+        scale.query_vocab = 4_096;
+    }
+    let shards: u32 = env_or("LOADGEN_SHARDS", 4);
+    let per_client: u64 = env_or("LOADGEN_QUERIES", 400);
+    let counts = client_counts();
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get().min(8))
+        .unwrap_or(4);
+
+    let gen = DocumentGenerator::new({
+        let mut c = scale.corpus();
+        c.num_docs += WRITER_DOCS * counts.len() as u64;
+        c
+    });
+    let qgen = QueryGenerator::new(scale.query_log());
+
+    eprintln!("[loadgen] rendering {} docs…", scale.docs);
+    let docs: Vec<(String, Timestamp)> = gen
+        .docs(0..scale.docs)
+        .map(|d| (d.text(), d.timestamp))
+        .collect();
+    let extra: Vec<(String, Timestamp)> = gen
+        .docs(scale.docs..scale.docs + WRITER_DOCS * counts.len() as u64)
+        .map(|d| (d.text(), d.timestamp))
+        .collect();
+    let max_clients = counts.iter().copied().max().unwrap_or(1);
+    let queries: Vec<WireQuery> = qgen
+        .queries(0..(per_client * max_clients as u64).min(scale.queries))
+        .map(|q| {
+            let text = q
+                .terms
+                .iter()
+                .map(|t| format!("kw{}", t.0))
+                .collect::<Vec<_>>()
+                .join(" ");
+            WireQuery::Disjunctive {
+                terms: WireTerms::Text(text),
+                top_k: 10,
+            }
+        })
+        .collect();
+
+    eprintln!("[loadgen] ingesting into {shards} shard(s)…");
+    let (mut writer, searcher) = ShardedArchive::create(EngineConfig::default(), shards)
+        .expect("valid config")
+        .into_service();
+    writer
+        .commit_batch(docs.iter().map(|(t, ts)| (t.as_str(), *ts)))
+        .expect("clean ingest");
+
+    let config = ServerConfig {
+        workers,
+        queue_depth: (max_clients * 2).max(16),
+        ..ServerConfig::default()
+    };
+    let handle = ArchiveServer::bind("127.0.0.1:0", searcher.clone(), config.clone())
+        .expect("bind loadgen server");
+    let addr = handle.addr();
+    eprintln!("[loadgen] serving on {addr} ({workers} worker(s))");
+
+    let mut rows = Vec::new();
+    let mut table = Vec::new();
+    let mut extra_iter = extra.iter();
+    for &clients in &counts {
+        eprintln!("[loadgen] round: {clients} client(s) × {per_client} queries");
+        let stop = AtomicBool::new(false);
+        let before = writer.committed_docs();
+        let mut lat_us: Vec<u64> = Vec::new();
+        let mut errors = 0u64;
+        let mut wall_secs = 0.0f64;
+        std::thread::scope(|scope| {
+            let stop = &stop;
+            let writer = &mut writer;
+            let round_docs: Vec<_> = extra_iter.by_ref().take(WRITER_DOCS as usize).collect();
+            let ingest = scope.spawn(move || {
+                for (text, ts) in round_docs {
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    writer.commit(text, *ts).expect("valid doc");
+                    std::thread::yield_now();
+                }
+            });
+            let t0 = Instant::now();
+            let workers: Vec<_> = (0..clients)
+                .map(|c| {
+                    let qs: Vec<WireQuery> = queries
+                        .iter()
+                        .cycle()
+                        .skip(c * per_client as usize)
+                        .take(per_client as usize)
+                        .cloned()
+                        .collect();
+                    scope.spawn(move || {
+                        let mut client = Client::connect(addr).expect("connect client");
+                        let mut lat = Vec::with_capacity(qs.len());
+                        let mut errs = 0u64;
+                        for q in qs {
+                            let t = Instant::now();
+                            match client.query(q) {
+                                Ok(_) => lat.push(t.elapsed().as_micros() as u64),
+                                Err(e) => {
+                                    eprintln!("[loadgen] query error: {e}");
+                                    errs += 1;
+                                }
+                            }
+                        }
+                        (lat, errs)
+                    })
+                })
+                .collect();
+            for w in workers {
+                let (lat, errs) = w.join().expect("client thread");
+                lat_us.extend(lat);
+                errors += errs;
+            }
+            wall_secs = t0.elapsed().as_secs_f64();
+            stop.store(true, Ordering::Release);
+            ingest.join().expect("ingest thread");
+        });
+        let committed = writer.committed_docs() - before;
+        lat_us.sort_unstable();
+        let total = lat_us.len() as u64;
+        let mean_ms = if lat_us.is_empty() {
+            0.0
+        } else {
+            lat_us.iter().sum::<u64>() as f64 / lat_us.len() as f64 / 1000.0
+        };
+        let row = Row {
+            clients,
+            queries: total,
+            wall_secs,
+            qps: total as f64 / wall_secs.max(1e-9),
+            p50_ms: percentile_ms(&lat_us, 0.50),
+            p99_ms: percentile_ms(&lat_us, 0.99),
+            mean_ms,
+            errors,
+            docs_committed_during_run: committed,
+        };
+        table.push(vec![
+            format!("{clients}"),
+            format!("{total}"),
+            format!("{:.2}", row.wall_secs),
+            format!("{:.0}", row.qps),
+            format!("{:.2}", row.p50_ms),
+            format!("{:.2}", row.p99_ms),
+            format!("{:.2}", row.mean_ms),
+            format!("{errors}"),
+            format!("{committed}"),
+        ]);
+        rows.push(row);
+    }
+    assert!(
+        rows.iter().all(|r| r.errors == 0),
+        "loadgen rounds must complete without query errors"
+    );
+    handle.shutdown();
+
+    // Deadline probe: restart the server with an injected per-query delay
+    // far past the budget and assert the typed error path — the network
+    // layer's acceptance gate.
+    eprintln!("[loadgen] deadline probe…");
+    let probe = ArchiveServer::bind(
+        "127.0.0.1:0",
+        searcher,
+        ServerConfig {
+            inject_delay_ms: 250,
+            ..config
+        },
+    )
+    .expect("bind probe server");
+    let mut client = Client::connect(probe.addr()).expect("connect probe");
+    let q = queries.first().cloned().unwrap_or(WireQuery::Disjunctive {
+        terms: WireTerms::Text("kw1".to_string()),
+        top_k: 10,
+    });
+    let probe_t0 = Instant::now();
+    let deadline_probe_typed = matches!(
+        client.query_with_deadline(q, 30),
+        Err(ClientError::Server(ref we)) if we.code == WireErrorCode::DeadlineExceeded
+    );
+    let probe_elapsed = probe_t0.elapsed();
+    probe.shutdown();
+    assert!(
+        deadline_probe_typed,
+        "a query past its deadline must fail with a typed DeadlineExceeded wire error"
+    );
+    assert!(
+        probe_elapsed < std::time::Duration::from_millis(250),
+        "the deadline reply must not wait out the slow query ({probe_elapsed:?})"
+    );
+
+    print_table(
+        "Network server load (live writer, in-process TCP)",
+        &[
+            "clients",
+            "queries",
+            "wall (s)",
+            "qps",
+            "p50 (ms)",
+            "p99 (ms)",
+            "mean (ms)",
+            "errors",
+            "docs committed during run",
+        ],
+        &table,
+    );
+    let saturation_qps = rows.iter().map(|r| r.qps).fold(0.0f64, f64::max);
+    println!("saturation throughput: {saturation_qps:.0} queries/s");
+    println!("deadline probe: typed DeadlineExceeded in {probe_elapsed:?}");
+
+    let report = Report {
+        scale,
+        shards,
+        workers,
+        queries_per_client: per_client,
+        rows,
+        saturation_qps,
+        deadline_probe_typed,
+    };
+    save_json("loadgen", &report);
+    match serde_json::to_string_pretty(&report) {
+        Ok(body) => match std::fs::write("BENCH_server.json", body) {
+            Ok(()) => eprintln!("[saved BENCH_server.json]"),
+            Err(e) => eprintln!("[warn] could not save BENCH_server.json: {e}"),
+        },
+        Err(e) => eprintln!("[warn] could not serialize BENCH_server.json: {e}"),
+    }
+}

@@ -40,6 +40,10 @@ struct Summary {
     /// 4-shard vs 1-shard query throughput, from the `sharded` binary's
     /// saved results (`None` until it has been run).
     sharded_query_speedup_4x: Option<f64>,
+    /// Network-server saturation throughput (best qps over the measured
+    /// client counts), from the `loadgen` binary's saved results (`None`
+    /// until it has been run).
+    server_saturation_qps: Option<f64>,
 }
 
 /// The slice of `results/read_path.json` the summary folds in.
@@ -57,6 +61,12 @@ struct ReadPathResults {
 #[derive(Deserialize)]
 struct ShardedResults {
     query_speedup_4x: f64,
+}
+
+/// The slice of `results/loadgen.json` the summary folds in.
+#[derive(Deserialize)]
+struct LoadgenResults {
+    saturation_qps: f64,
 }
 
 fn main() {
@@ -175,6 +185,10 @@ fn main() {
         .ok()
         .and_then(|s| serde_json::from_str::<ShardedResults>(&s).ok())
         .map(|r| r.query_speedup_4x);
+    let server_qps = std::fs::read_to_string("results/loadgen.json")
+        .ok()
+        .and_then(|s| serde_json::from_str::<LoadgenResults>(&s).ok())
+        .map(|r| r.saturation_qps);
 
     let s = Summary {
         insert_speedup,
@@ -184,6 +198,7 @@ fn main() {
         conjunctive_jump_vs_baseline: conj_vs_baseline,
         read_path_scan_speedup: read_path_speedup,
         sharded_query_speedup_4x: sharded_speedup,
+        server_saturation_qps: server_qps,
     };
     let mut rows = vec![
         vec![
@@ -229,6 +244,15 @@ fn main() {
         ]);
     } else {
         eprintln!("[summary] results/sharded.json not found — run `--bin sharded` to fold in the sharding headline");
+    }
+    if let Some(qps) = server_qps {
+        rows.push(vec![
+            "network server saturation throughput (loadgen)".into(),
+            format!("{qps:.0} q/s"),
+            "n/a (impl)".into(),
+        ]);
+    } else {
+        eprintln!("[summary] results/loadgen.json not found — run `--bin loadgen` to fold in the server headline");
     }
     print_table(
         "Section 6 headline comparison (measured vs paper)",

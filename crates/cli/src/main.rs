@@ -16,6 +16,7 @@
 //! tks range ARCHIVE FROM TO KEYWORD...         # conjunctive within [FROM, TO]
 //! tks audit ARCHIVE                            # structural + deep audit
 //! tks info  ARCHIVE
+//! tks serve ARCHIVE [--addr HOST:PORT]         # network server (sharded archives)
 //! ```
 //!
 //! `tks archive …` is the **sharded** variant of the same archive: N
@@ -36,6 +37,7 @@ use tks_jump::JumpConfig;
 use tks_postings::Timestamp;
 
 mod archive;
+mod serve;
 mod sharded;
 
 use archive::Archive;
@@ -47,7 +49,10 @@ fn usage() -> ExitCode {
          tks search ARCHIVE KEYWORD... [--top K]\n  tks all ARCHIVE KEYWORD...\n  \
          tks phrase ARCHIVE WORD... (positional archives)\n  \
          tks range ARCHIVE FROM TO KEYWORD...\n  tks audit ARCHIVE\n  tks info ARCHIVE\n\
-         sharded archives (hash-partitioned WORM shards):\n{}",
+         sharded archives (hash-partitioned WORM shards):\n{}\n\
+         network server (versioned wire protocol over TCP):\n  \
+         tks serve ARCHIVE [--addr HOST:PORT] [--workers N] [--queue-depth D]\n            \
+         [--deadline-ms MS] [--max-frame-bytes B]",
         sharded::usage_lines()
     );
     ExitCode::from(2)
@@ -69,6 +74,7 @@ fn main() -> ExitCode {
         "audit" => cmd_audit(&args[1..]),
         "info" => cmd_info(&args[1..]),
         "archive" => sharded::cmd_archive(&args[1..]),
+        "serve" => serve::cmd_serve(&args[1..]),
         _ => return usage(),
     };
     match result {

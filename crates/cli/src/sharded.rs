@@ -24,7 +24,7 @@ use tks_core::engine::{EngineConfig, EngineParts};
 use tks_core::query::Query;
 use tks_postings::{DocId, Timestamp};
 use tks_shard::{
-    local_of, shard_of, ShardRecovery, ShardedArchive, ShardedResponse, ShardedWriter,
+    local_of, shard_of, QuerySession, ShardRecovery, ShardedArchive, ShardedResponse, ShardedWriter,
 };
 use tks_worm::{discover_shard_dirs, load_fs, save_fs, shard_dir_name};
 
@@ -148,7 +148,7 @@ fn cmd_init(args: &[String]) -> CliResult {
 
 /// Reload and recover every shard.  Degraded shards are reported on
 /// stderr; the archive keeps serving from the healthy ones.
-fn open(dir: &Path) -> Result<ShardedArchive, Box<dyn std::error::Error>> {
+pub(crate) fn open(dir: &Path) -> Result<ShardedArchive, Box<dyn std::error::Error>> {
     let manifest: Manifest =
         serde_json::from_str(&std::fs::read_to_string(dir.join("shards.json"))?)?;
     let shard_dirs = discover_shard_dirs(dir)?;
@@ -336,11 +336,14 @@ fn cmd_query(args: &[String], conjunctive: bool) -> CliResult {
         return Err("no keywords given".into());
     }
     let (mut writer, searcher) = open(&dir)?.into_service();
+    // One pinned session per invocation: the result list and the trust
+    // line below are guaranteed to describe the same snapshot.
+    let session = QuerySession::open(&searcher);
     let query = keywords.join(" ");
     let resp = if conjunctive {
-        searcher.execute(Query::conjunctive(query.as_str()))?
+        session.execute(Query::conjunctive(query.as_str()))?
     } else {
-        searcher.execute(Query::disjunctive(query.as_str(), top))?
+        session.execute(Query::disjunctive(query.as_str(), top))?
     };
     if conjunctive {
         println!("{} document(s) contain all of [{query}]:", resp.hits.len());

@@ -1,0 +1,190 @@
+//! # `tks-client` — blocking client for the archive server
+//!
+//! A small, dependency-free client for
+//! [`tks_server`](tks_server)'s length-prefixed wire protocol.  One
+//! [`Client`] owns one TCP connection — and therefore one pinned
+//! `QuerySession` on the server side:
+//! repeated queries see a frozen snapshot until [`Client::refresh`]
+//! advances it.
+//!
+//! Failures are typed end to end: server-side errors arrive as
+//! [`WireError`] values (inspect
+//! [`code`](tks_server::wire::WireError::code) to branch on
+//! `Overloaded` vs `DeadlineExceeded` vs `Degraded`), and transport
+//! failures surface as [`ClientError::Frame`]/[`ClientError::Io`].
+//!
+//! ```no_run
+//! use tks_client::Client;
+//! use tks_server::wire::{WireQuery, WireTerms};
+//!
+//! let mut client = Client::connect("127.0.0.1:7045").expect("connect");
+//! let resp = client
+//!     .query(WireQuery::Disjunctive {
+//!         terms: WireTerms::Text("retention audit".into()),
+//!         top_k: 10,
+//!     })
+//!     .expect("query");
+//! for hit in &resp.hits {
+//!     println!("doc {} score {:.3} (trusted={})", hit.doc, hit.score, resp.trusted);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use tks_server::wire::{
+    self, FrameError, WireError, WireQuery, WireQueryResponse, WireRequest, WireResponse,
+    WireStatus,
+};
+
+/// Failures of one client call.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Connecting or configuring the socket failed.
+    Io(std::io::Error),
+    /// The frame codec failed (transport-level: truncated stream,
+    /// oversized frame, version mismatch, garbage payload).
+    Frame(FrameError),
+    /// The server answered with a typed error value.
+    Server(WireError),
+    /// The server answered with a response shape this call did not
+    /// expect (a server bug or a protocol drift).
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "client I/O: {e}"),
+            ClientError::Frame(e) => write!(f, "client transport: {e}"),
+            ClientError::Server(e) => write!(f, "server error: {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            ClientError::Frame(e) => Some(e),
+            ClientError::Server(e) => Some(e),
+            ClientError::Protocol(_) => None,
+        }
+    }
+}
+
+impl ClientError {
+    /// The typed server-side error, when this is one.
+    pub fn as_wire(&self) -> Option<&WireError> {
+        match self {
+            ClientError::Server(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// One connection to an archive server.
+pub struct Client {
+    stream: TcpStream,
+    max_frame_bytes: usize,
+}
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr).map_err(ClientError::Io)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client {
+            stream,
+            max_frame_bytes: wire::DEFAULT_MAX_FRAME_BYTES,
+        })
+    }
+
+    /// Override the response frame-size ceiling (default 1 MiB).
+    pub fn with_max_frame_bytes(mut self, max: usize) -> Client {
+        self.max_frame_bytes = max;
+        self
+    }
+
+    /// Set a socket read timeout for responses (`None` blocks forever).
+    /// The server already bounds queries by their deadline; this guards
+    /// against a vanished server.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.stream
+            .set_read_timeout(timeout)
+            .map_err(ClientError::Io)
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.call(&WireRequest::Ping)? {
+            WireResponse::Pong => Ok(()),
+            other => Err(unexpected("Pong", &other)),
+        }
+    }
+
+    /// Archive status: shard count, this session's watermarks, degraded
+    /// shards.
+    pub fn status(&mut self) -> Result<WireStatus, ClientError> {
+        match self.call(&WireRequest::Status)? {
+            WireResponse::Status(s) => Ok(s),
+            other => Err(unexpected("Status", &other)),
+        }
+    }
+
+    /// Re-pin this connection's server-side session at the current
+    /// commit frontier; returns the new per-shard watermark vector.
+    pub fn refresh(&mut self) -> Result<Vec<u64>, ClientError> {
+        match self.call(&WireRequest::Refresh)? {
+            WireResponse::Refreshed { watermarks } => Ok(watermarks),
+            other => Err(unexpected("Refreshed", &other)),
+        }
+    }
+
+    /// Execute a query under the server's default deadline.
+    pub fn query(&mut self, query: WireQuery) -> Result<WireQueryResponse, ClientError> {
+        self.query_inner(query, None)
+    }
+
+    /// Execute a query with an explicit deadline.  A query that misses
+    /// it fails with a [`WireError`] whose code is
+    /// [`DeadlineExceeded`](tks_server::wire::WireErrorCode::DeadlineExceeded).
+    pub fn query_with_deadline(
+        &mut self,
+        query: WireQuery,
+        deadline_ms: u64,
+    ) -> Result<WireQueryResponse, ClientError> {
+        self.query_inner(query, Some(deadline_ms))
+    }
+
+    fn query_inner(
+        &mut self,
+        query: WireQuery,
+        deadline_ms: Option<u64>,
+    ) -> Result<WireQueryResponse, ClientError> {
+        match self.call(&WireRequest::Query { query, deadline_ms })? {
+            WireResponse::Query(r) => Ok(r),
+            other => Err(unexpected("Query", &other)),
+        }
+    }
+
+    /// One request/response exchange.  Typed server errors become
+    /// [`ClientError::Server`] here, so the per-method matches above
+    /// only see success shapes.
+    fn call(&mut self, req: &WireRequest) -> Result<WireResponse, ClientError> {
+        wire::write_request(&mut self.stream, req).map_err(ClientError::Frame)?;
+        match wire::read_response(&mut self.stream, self.max_frame_bytes) {
+            Ok(WireResponse::Error(e)) => Err(ClientError::Server(e)),
+            Ok(resp) => Ok(resp),
+            Err(e) => Err(ClientError::Frame(e)),
+        }
+    }
+}
+
+fn unexpected(wanted: &str, got: &WireResponse) -> ClientError {
+    ClientError::Protocol(format!("expected {wanted}, got {got:?}"))
+}

@@ -1,0 +1,36 @@
+//! The server's own error taxonomy (distinct from the wire-transported
+//! [`WireError`](crate::wire::WireError): these are failures of the
+//! server *process*, not of one request).
+
+/// Failures starting or stopping the archive server.
+#[derive(Debug)]
+pub enum ServerError {
+    /// The listen socket could not be bound.
+    Bind {
+        /// The address that was requested.
+        addr: String,
+        /// The underlying I/O failure.
+        source: std::io::Error,
+    },
+    /// Any other I/O failure while wiring up the server (thread spawn,
+    /// local-address lookup, …).
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::Bind { addr, source } => write!(f, "cannot bind {addr}: {source}"),
+            ServerError::Io(e) => write!(f, "server I/O: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServerError::Bind { source, .. } => Some(source),
+            ServerError::Io(e) => Some(e),
+        }
+    }
+}

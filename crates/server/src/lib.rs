@@ -1,0 +1,46 @@
+//! # `tks-server` — the archive's network front end
+//!
+//! The paper's compliance archive only matters to an organization if
+//! investigators and ingest pipelines can reach it across a process
+//! boundary.  This crate puts the sharded engine
+//! ([`ShardedSearcher`](tks_shard::ShardedSearcher)) behind a TCP
+//! server with an explicitly versioned wire contract and the failure
+//! semantics a shared service needs:
+//!
+//! * [`wire`] — a dependency-free length-prefixed frame protocol
+//!   (4-byte length, 1-byte protocol version, JSON payload) carrying a
+//!   **versioned envelope**: [`WireRequest`](wire::WireRequest) /
+//!   [`WireResponse`](wire::WireResponse) with a typed
+//!   [`WireError`](wire::WireError) taxonomy.  Wire types are distinct
+//!   from the engine's internal `Query`/`QueryResponse`, so the network
+//!   contract can evolve without freezing engine internals; derived
+//!   deserialization ignores unknown fields, so old servers tolerate
+//!   newer clients (and vice versa);
+//! * [`server`] — a thread-pool connection handler with **per-query
+//!   deadlines** (a late shard turns into a typed
+//!   [`DeadlineExceeded`](wire::WireErrorCode::DeadlineExceeded)
+//!   response, never a hung connection), a **bounded in-flight queue**
+//!   that sheds load with an explicit
+//!   [`Overloaded`](wire::WireErrorCode::Overloaded) error instead of
+//!   stalling every caller, and **graceful shutdown** that drains
+//!   in-flight queries before the process exits;
+//! * every connection holds a
+//!   [`QuerySession`](tks_shard::QuerySession), so repeated queries on
+//!   one connection are repeatable reads against a pinned per-shard
+//!   watermark vector (an explicit `Refresh` advances it).
+//!
+//! Malformed input — truncated frames, oversized length prefixes,
+//! garbage JSON, mid-frame disconnects — is rejected with typed errors
+//! and can never panic the server; `cargo xtask audit` enforces the
+//! no-panic discipline on this crate and `wire-versioning` keeps all
+//! serialization inside the envelope module.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod error;
+pub mod server;
+pub mod wire;
+
+pub use error::ServerError;
+pub use server::{ArchiveServer, ServerConfig, ServerHandle};

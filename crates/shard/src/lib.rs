@@ -41,6 +41,7 @@ pub mod archive;
 pub mod error;
 pub mod router;
 pub mod service;
+pub mod session;
 
 pub use archive::{ShardRecovery, ShardedArchive};
 pub use error::ShardError;
@@ -49,3 +50,4 @@ pub use service::{
     DegradedShard, ShardBatchFailure, ShardStatus, ShardedBatchError, ShardedResponse,
     ShardedSearcher, ShardedWriter,
 };
+pub use session::QuerySession;

@@ -783,6 +783,16 @@ impl ShardedSearcher {
     /// shard's snapshot is frozen at its current watermark, so repeated
     /// executions see identical per-shard prefixes even while writers
     /// keep committing.
+    ///
+    /// **Deprecated in favour of [`QuerySession`]**: sessions bundle the
+    /// pin, its watermark vector, and batch execution behind one handle
+    /// (and can [`refresh`](crate::session::QuerySession::refresh)
+    /// in place).  Prefer
+    /// [`QuerySession::open`](crate::session::QuerySession::open) in new
+    /// code; `pin` remains for low-level callers that manage snapshot
+    /// lifetimes themselves.
+    ///
+    /// [`QuerySession`]: crate::session::QuerySession
     pub fn pin(&self) -> ShardedSearcher {
         ShardedSearcher {
             router: self.router,

@@ -4,7 +4,8 @@
 //! workspace, enforcing the disciplines the paper's threat model rests on:
 //!
 //! * **`no-panic-in-prod`** — non-test code in the production crates
-//!   (`core`, `worm`, `jump`, `postings`) must not `unwrap`/`expect` or use
+//!   (`core`, `worm`, `jump`, `postings`, `shard`, `server`, `client`)
+//!   must not `unwrap`/`expect` or use
 //!   panicking macros: invariant violations surface as typed errors
 //!   (`TamperEvidence`, `TksError`), never crashes.  Slice indexing is
 //!   reported at warn severity.
@@ -22,6 +23,12 @@
 //!   the postings/core read paths are per-record reads; batch through
 //!   `WormFs::read_block` / `read_exact_at` instead (metadata readers
 //!   opt out inline).
+//! * **`wire-versioning`** — in the network crates (`server`, `client`)
+//!   every serde touchpoint lives in the envelope module
+//!   (`crates/server/src/wire.rs`), and internal core/shard response
+//!   types are never serialized directly: the wire speaks versioned
+//!   `Wire*` mirrors behind a protocol-version byte, so the engine can
+//!   evolve without breaking deployed clients.
 //! * **`commit-point-order`** — DOCMETA is the commit point: no non-test
 //!   function in `crates/core` may append to the index after opening the
 //!   DOCMETA file for its commit-point append.  Crash recovery quarantines
@@ -72,6 +79,7 @@ pub fn audit_workspace(root: &Path) -> io::Result<Report> {
     rules::shard_isolation(&files, &mut report);
     rules::forbid_unsafe(&files, &mut report);
     rules::error_taxonomy(&files, &mut report);
+    rules::wire_versioning(&files, &mut report);
     rules::hot_path_io(&files, &mut report);
     rules::commit_point_order(&files, &mut report);
     report

@@ -19,12 +19,41 @@ use std::collections::{BTreeMap, BTreeSet};
 /// Production crates subject to the panic and taxonomy rules: the storage
 /// and query layers whose failures must surface as typed errors (a crash
 /// during a compliance lookup is indistinguishable from a hidden record).
-pub const PROD_PREFIXES: [&str; 5] = [
+pub const PROD_PREFIXES: [&str; 7] = [
     "crates/core/src/",
     "crates/worm/src/",
     "crates/jump/src/",
     "crates/postings/src/",
     "crates/shard/src/",
+    "crates/server/src/",
+    "crates/client/src/",
+];
+
+/// Crates that speak the network protocol, subject to `wire-versioning`.
+const WIRE_PREFIXES: [&str; 2] = ["crates/server/src/", "crates/client/src/"];
+
+/// The envelope module — the one file in the network crates that may name
+/// serde.  Everything that crosses the wire is defined here, behind the
+/// protocol-version byte.
+const WIRE_ENVELOPE: &str = "crates/server/src/wire.rs";
+
+/// serde machinery identifiers denied outside the envelope module.
+const SERDE_IDENTS: [&str; 4] = ["serde", "serde_json", "Serialize", "Deserialize"];
+
+/// Internal core/shard types that must never be serialized directly: their
+/// layout follows the engine, not the protocol, so putting one on the wire
+/// silently couples remote clients to internal refactors.  The envelope
+/// mirrors each as a versioned `Wire*` type instead.
+const INTERNAL_WIRE_TYPES: [&str; 9] = [
+    "Query",
+    "QueryResponse",
+    "ShardedResponse",
+    "ShardStatus",
+    "TimeRange",
+    "TermSelector",
+    "SearchHit",
+    "DegradedShard",
+    "ShardedStatus",
 ];
 
 /// Path prefixes exempt from `worm-append-only`: the WORM layer itself
@@ -304,6 +333,99 @@ pub fn shard_isolation(files: &[SourceFile], report: &mut Report) {
                             "`{id}` is a storage-layer API; the shard layer is pure \
                              orchestration and must reach storage only through the \
                              engine/service interface"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Rule `wire-versioning`: in the network crates (`crates/server`,
+/// `crates/client`) every serde touchpoint must live in the envelope
+/// module, and internal core/shard types must never be serialized
+/// directly.  The wire format is a compatibility contract — a versioned
+/// `Wire*` mirror per payload, behind the protocol-version byte — so the
+/// engine's internal response types can evolve without silently breaking
+/// deployed clients.  Concretely:
+///
+/// * outside `crates/server/src/wire.rs`, non-test code in the network
+///   crates must not name `serde`, `serde_json`, `Serialize`, or
+///   `Deserialize` (derives included);
+/// * inside the envelope module, no hand-rolled
+///   `impl Serialize/Deserialize for <internal type>` and no
+///   `serde_json` call that names an internal core/shard type.
+pub fn wire_versioning(files: &[SourceFile], report: &mut Report) {
+    let mut sink = Sink { report };
+    for file in files.iter().filter(|f| under_any(&f.rel, &WIRE_PREFIXES)) {
+        let in_envelope = file.rel == WIRE_ENVELOPE;
+        for line in file.lines() {
+            if line.in_test {
+                continue;
+            }
+            let ids = idents(line.code);
+            if !in_envelope {
+                // One finding per line: a `use serde::{…}` line names
+                // several serde idents but is a single offence.
+                if let Some(&(col, id)) = ids.iter().find(|(_, id)| SERDE_IDENTS.contains(id)) {
+                    sink.emit(
+                        file,
+                        "wire-versioning",
+                        Severity::Deny,
+                        line.number,
+                        col,
+                        format!(
+                            "`{id}` outside the envelope module ({WIRE_ENVELOPE}); \
+                             every wire type and serde touchpoint in the network \
+                             crates must live behind the versioned envelope"
+                        ),
+                    );
+                }
+                continue;
+            }
+            // Envelope module: serde is allowed, internal types on the
+            // wire are not.
+            for pat in ["Serialize for ", "Deserialize for "] {
+                if let Some(pos) = line.code.find(pat) {
+                    if line.code[..pos].contains("impl") {
+                        let name: String = line.code[pos + pat.len()..]
+                            .chars()
+                            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                            .collect();
+                        if INTERNAL_WIRE_TYPES.contains(&name.as_str()) {
+                            sink.emit(
+                                file,
+                                "wire-versioning",
+                                Severity::Deny,
+                                line.number,
+                                pos,
+                                format!(
+                                    "hand-rolled serde impl for internal type `{name}`; \
+                                     internal core/shard types cross the wire only as \
+                                     versioned `Wire*` envelope mirrors"
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+            // Same-line lexical check: a serde_json call that names an
+            // internal type on the line (argument, turbofish, or binding
+            // annotation) is a direct leak of engine layout to the wire.
+            if ids.iter().any(|&(_, id)| id == "serde_json") {
+                if let Some(&(col, id)) =
+                    ids.iter().find(|(_, id)| INTERNAL_WIRE_TYPES.contains(id))
+                {
+                    sink.emit(
+                        file,
+                        "wire-versioning",
+                        Severity::Deny,
+                        line.number,
+                        col,
+                        format!(
+                            "internal type `{id}` on a serde_json line; serialize \
+                             its versioned `Wire*` mirror instead — internal types \
+                             are not wire-stable"
                         ),
                     );
                 }

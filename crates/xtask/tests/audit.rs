@@ -302,6 +302,105 @@ pub fn header(fs: &Fs, f: File) -> Vec<u8> {
 }
 
 #[test]
+fn wire_versioning_denies_serde_outside_the_envelope_module() {
+    let (report, root) = audit_fixture(&[
+        (
+            "crates/server/src/handlers.rs",
+            r##"use serde::{Deserialize, Serialize};
+#[derive(Serialize)]
+pub struct AdHocReply {
+    pub docs: u64,
+}
+pub fn encode(r: &AdHocReply) -> String {
+    serde_json::to_string(r).unwrap_or_default()
+}
+"##,
+        ),
+        (
+            "crates/client/src/lib.rs",
+            r##"#![forbid(unsafe_code)]
+use serde::Deserialize;
+"##,
+        ),
+        // The same constructs in a non-network crate are out of scope.
+        (
+            "crates/core/src/lib.rs",
+            r##"#![forbid(unsafe_code)]
+pub use serde::Serialize;
+"##,
+        ),
+    ]);
+    let hits = rules_of(&report, "wire-versioning");
+    assert_eq!(
+        hits,
+        vec![
+            "crates/client/src/lib.rs:2 deny",
+            "crates/server/src/handlers.rs:1 deny",
+            "crates/server/src/handlers.rs:2 deny",
+            "crates/server/src/handlers.rs:7 deny",
+        ],
+        "serde idents flag anywhere in the network crates outside the \
+         envelope module; other crates are untouched"
+    );
+    cleanup(root);
+}
+
+#[test]
+fn wire_versioning_keeps_internal_types_off_the_wire_in_the_envelope() {
+    let (report, root) = audit_fixture(&[(
+        "crates/server/src/wire.rs",
+        r##"use serde::{Deserialize, Serialize};
+#[derive(Serialize, Deserialize)]
+pub struct WireHit {
+    pub doc: u64,
+}
+impl Serialize for ShardedResponse {
+    fn serialize(&self) {}
+}
+pub fn leak(resp: &QueryResponse) -> String {
+    serde_json::to_string::<QueryResponse>(resp).unwrap_or_default()
+}
+pub fn lower(q: &WireHit) -> Query {
+    Query::from(q.doc)
+}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let _ = serde_json::to_string(&ShardedResponse::default());
+    }
+}
+"##,
+    )]);
+    let hits = rules_of(&report, "wire-versioning");
+    assert_eq!(
+        hits,
+        vec![
+            "crates/server/src/wire.rs:6 deny",
+            "crates/server/src/wire.rs:10 deny",
+        ],
+        "the envelope may use serde for Wire* types and may *name* internal \
+         types (query lowering), but hand-rolled impls and serde_json on \
+         internal types are denied; cfg(test) code is masked"
+    );
+    cleanup(root);
+}
+
+#[test]
+fn wire_versioning_honours_inline_allow() {
+    let (report, root) = audit_fixture(&[(
+        "crates/client/src/lib.rs",
+        r##"#![forbid(unsafe_code)]
+// audit:allow(wire-versioning) — fixture exception
+use serde::Deserialize;
+"##,
+    )]);
+    assert!(rules_of(&report, "wire-versioning").is_empty());
+    assert_eq!(report.suppressed, 1);
+    cleanup(root);
+}
+
+#[test]
 fn inline_allow_directive_suppresses_and_is_counted() {
     let (report, root) = audit_fixture(&[(
         "crates/core/src/lib.rs",
