@@ -77,12 +77,73 @@ impl std::error::Error for ClientError {
     }
 }
 
+/// What the caller should do about a failed call.
+///
+/// The server's failure classes ([`WireErrorCode`]) are designed so an
+/// operator can branch on them; this is the client-side reading of every
+/// one of them (plus the transport failures), so retry loops don't have
+/// to re-derive the taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorDisposition {
+    /// Transient pushback (queue full, deadline missed): retry the same
+    /// call on the same connection after a backoff.
+    RetryAfterBackoff,
+    /// The archive — or a slice of it the call needs — cannot serve
+    /// right now (degraded shard, drain in progress): retry later or
+    /// against another replica; hammering this connection won't help.
+    RetryLater,
+    /// The connection itself is unusable (closed, truncated, I/O
+    /// failure): reconnect before retrying.
+    Reconnect,
+    /// The request (or this client build) is at fault — malformed
+    /// payload, frame over the server's limit, protocol-version or
+    /// shape mismatch, or a server-side bug: retrying unchanged cannot
+    /// succeed.
+    Fatal,
+}
+
 impl ClientError {
     /// The typed server-side error, when this is one.
     pub fn as_wire(&self) -> Option<&WireError> {
         match self {
             ClientError::Server(e) => Some(e),
             _ => None,
+        }
+    }
+
+    /// Classify this failure for a retry loop.  Matches every
+    /// [`WireErrorCode`] and [`FrameError`] variant exhaustively, so a
+    /// new server-side failure class is a compile error here instead of
+    /// an "unknown error" at the operator console.
+    pub fn disposition(&self) -> ErrorDisposition {
+        use wire::WireErrorCode;
+        match self {
+            ClientError::Io(_) => ErrorDisposition::Reconnect,
+            ClientError::Frame(e) => match e {
+                FrameError::Closed | FrameError::Truncated | FrameError::Io(_) => {
+                    ErrorDisposition::Reconnect
+                }
+                // The stream survives an idle poll tick; the same call
+                // can simply be issued again.
+                FrameError::IdleTimeout => ErrorDisposition::RetryAfterBackoff,
+                FrameError::TooLarge { .. }
+                | FrameError::UnsupportedVersion(_)
+                | FrameError::Malformed(_) => ErrorDisposition::Fatal,
+            },
+            ClientError::Server(e) => match e.code {
+                WireErrorCode::Overloaded | WireErrorCode::DeadlineExceeded => {
+                    ErrorDisposition::RetryAfterBackoff
+                }
+                WireErrorCode::Degraded
+                | WireErrorCode::NoHealthyShards
+                | WireErrorCode::ShuttingDown => ErrorDisposition::RetryLater,
+                WireErrorCode::Engine
+                | WireErrorCode::Malformed
+                | WireErrorCode::FrameTooLarge
+                | WireErrorCode::UnsupportedVersion
+                | WireErrorCode::Internal => ErrorDisposition::Fatal,
+            },
+            ClientError::Protocol(_) => ErrorDisposition::Fatal,
         }
     }
 }

@@ -701,8 +701,8 @@ impl SearchEngine {
                 report.terms_tail_bytes = terms_len - off;
                 break;
             }
-            // audit:allow(hot-path-io) — length-prefixed dictionary replay,
-            // once per recovery.
+            // Length-prefixed dictionary replay, once per recovery.
+            // audit:allow(hot-path-io)
             let len_bytes = doc_fs.read(terms_file, off, 2)?;
             let len = u16::from_le_bytes(
                 <[u8; 2]>::try_from(&len_bytes[..])
@@ -739,8 +739,8 @@ impl SearchEngine {
         let mut docs = Vec::new();
         let mut total_tokens = 0u64;
         for i in 0..(meta_len / DOCMETA_RECORD as u64) {
-            // audit:allow(hot-path-io) — fixed-width metadata replay, once
-            // per recovery.
+            // Fixed-width metadata replay, once per recovery.
+            // audit:allow(hot-path-io)
             let rec = doc_fs.read(docmeta_file, i * DOCMETA_RECORD as u64, DOCMETA_RECORD)?;
             let ts = Timestamp(u64::from_le_bytes(
                 <[u8; 8]>::try_from(&rec[0..8])

@@ -95,6 +95,10 @@ pub enum WormError {
         /// Committed length of the file.
         len: u64,
     },
+    /// A sharded directory layout defect (duplicate or missing shard
+    /// directory, unreadable archive root); see
+    /// [`LayoutError`](crate::LayoutError).
+    Layout(crate::LayoutError),
     /// An armed [`FaultPolicy`](crate::FaultPolicy) killed this append
     /// (crash/fault simulation).  The first `committed` bytes of the
     /// append are durably on the device — a torn write — and the rest
@@ -134,6 +138,7 @@ impl fmt::Display for WormError {
             WormError::ReadPastEof { name, end, len } => {
                 write!(f, "read to offset {end} of '{name}' exceeds length {len}")
             }
+            WormError::Layout(e) => write!(f, "archive layout: {e}"),
             WormError::InjectedFault {
                 block,
                 committed,

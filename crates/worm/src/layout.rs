@@ -58,6 +58,12 @@ pub enum LayoutError {
     },
 }
 
+impl From<LayoutError> for crate::WormError {
+    fn from(e: LayoutError) -> crate::WormError {
+        crate::WormError::Layout(e)
+    }
+}
+
 impl std::fmt::Display for LayoutError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

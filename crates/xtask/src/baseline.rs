@@ -1,0 +1,201 @@
+//! Warn-count baseline ratchet (`cargo xtask audit --baseline <file>`).
+//!
+//! Deny findings fail the audit outright, but warn findings (the hot-path
+//! I/O heuristic) would otherwise accumulate silently.  The baseline pins
+//! the current warn count **per (rule, file)**; CI compares each run
+//! against the committed baseline and fails on any increase.  Counts may
+//! go down freely — regenerate with `--write-baseline` after paying down
+//! debt to ratchet the ceiling tighter.
+//!
+//! The file format is a stable, reviewable JSON document:
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "warn_counts": [
+//!     {"rule": "hot-path-io", "file": "crates/core/src/engine.rs", "count": 3}
+//!   ]
+//! }
+//! ```
+
+use crate::report::{json_escape, Report, Severity};
+use std::collections::BTreeMap;
+
+/// Per-(rule, file) warn counts.
+#[derive(Debug, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// `(rule, file) -> count`, sorted for deterministic rendering.
+    pub warn_counts: BTreeMap<(String, String), usize>,
+}
+
+impl Baseline {
+    /// Capture the warn counts of a report.
+    pub fn from_report(report: &Report) -> Baseline {
+        let mut warn_counts: BTreeMap<(String, String), usize> = BTreeMap::new();
+        for f in &report.findings {
+            if f.severity == Severity::Warn {
+                *warn_counts
+                    .entry((f.rule.to_string(), f.file.clone()))
+                    .or_default() += 1;
+            }
+        }
+        Baseline { warn_counts }
+    }
+
+    /// Render as the committed JSON document.
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\n  \"version\": 1,\n  \"warn_counts\": [");
+        for (i, ((rule, file), count)) in self.warn_counts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"count\": {}}}",
+                json_escape(rule),
+                json_escape(file),
+                count
+            ));
+        }
+        if !self.warn_counts.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Parse a committed baseline document (the format [`render`](Self::render)
+    /// writes: one entry object per line).
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        if !text.contains("\"version\": 1") {
+            return Err("baseline: missing or unsupported \"version\" (expected 1)".into());
+        }
+        let mut warn_counts = BTreeMap::new();
+        for (i, line) in text.lines().enumerate() {
+            if !line.contains("\"rule\":") {
+                continue;
+            }
+            let rule = str_field(line, "rule")
+                .ok_or_else(|| format!("baseline line {}: missing \"rule\"", i + 1))?;
+            let file = str_field(line, "file")
+                .ok_or_else(|| format!("baseline line {}: missing \"file\"", i + 1))?;
+            let count = num_field(line, "count")
+                .ok_or_else(|| format!("baseline line {}: missing \"count\"", i + 1))?;
+            warn_counts.insert((rule, file), count);
+        }
+        Ok(Baseline { warn_counts })
+    }
+
+    /// Regressions of `current` against `self` (the committed baseline):
+    /// one message per (rule, file) whose warn count grew.  Empty means
+    /// the ratchet holds.
+    pub fn regressions(&self, current: &Baseline) -> Vec<String> {
+        let mut out = Vec::new();
+        for ((rule, file), &count) in &current.warn_counts {
+            let allowed = self
+                .warn_counts
+                .get(&(rule.clone(), file.clone()))
+                .copied()
+                .unwrap_or(0);
+            if count > allowed {
+                out.push(format!(
+                    "{file}: {count} {rule} warn finding(s), baseline allows {allowed} \
+                     — fix the new ones or (deliberately) regenerate with --write-baseline"
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Extract `"key": "value"` from a single baseline line.
+fn str_field(line: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\": \"");
+    let start = line.find(&tag)? + tag.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+/// Extract `"key": 123` from a single baseline line.
+fn num_field(line: &str, key: &str) -> Option<usize> {
+    let tag = format!("\"{key}\": ");
+    let start = line.find(&tag)? + tag.len();
+    let digits: String = line[start..].chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Finding;
+
+    fn warn(rule: &'static str, file: &str) -> Finding {
+        Finding {
+            rule,
+            severity: Severity::Warn,
+            file: file.into(),
+            line: 1,
+            col: 1,
+            message: "m".into(),
+            snippet: "s".into(),
+        }
+    }
+
+    fn report_with(findings: Vec<Finding>) -> Report {
+        Report {
+            findings,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_counts() {
+        let report = report_with(vec![
+            warn("hot-path-io", "crates/core/src/a.rs"),
+            warn("hot-path-io", "crates/core/src/a.rs"),
+            warn("hot-path-io", "crates/postings/src/b.rs"),
+        ]);
+        let b = Baseline::from_report(&report);
+        let parsed = Baseline::parse(&b.render()).unwrap();
+        assert_eq!(parsed, b);
+        assert_eq!(
+            parsed.warn_counts[&("hot-path-io".into(), "crates/core/src/a.rs".into())],
+            2
+        );
+    }
+
+    #[test]
+    fn growth_is_a_regression_shrink_is_not() {
+        let committed = Baseline::from_report(&report_with(vec![
+            warn("hot-path-io", "crates/core/src/a.rs"),
+            warn("hot-path-io", "crates/core/src/a.rs"),
+        ]));
+        let fewer = Baseline::from_report(&report_with(vec![warn(
+            "hot-path-io",
+            "crates/core/src/a.rs",
+        )]));
+        assert!(committed.regressions(&fewer).is_empty());
+        let more = Baseline::from_report(&report_with(vec![
+            warn("hot-path-io", "crates/core/src/a.rs"),
+            warn("hot-path-io", "crates/core/src/a.rs"),
+            warn("hot-path-io", "crates/core/src/a.rs"),
+        ]));
+        let regressions = committed.regressions(&more);
+        assert_eq!(regressions.len(), 1);
+        assert!(regressions[0].contains("baseline allows 2"));
+    }
+
+    #[test]
+    fn new_file_counts_against_zero() {
+        let committed = Baseline::default();
+        let current = Baseline::from_report(&report_with(vec![warn(
+            "hot-path-io",
+            "crates/core/src/new.rs",
+        )]));
+        assert_eq!(committed.regressions(&current).len(), 1);
+    }
+
+    #[test]
+    fn parse_rejects_missing_version() {
+        assert!(Baseline::parse("{\"warn_counts\": []}").is_err());
+    }
+}

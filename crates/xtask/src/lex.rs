@@ -1,0 +1,403 @@
+//! A dependency-free Rust lexer for the audit engine.
+//!
+//! [`lex`] turns a source file into a flat token stream — identifiers,
+//! every literal form (plain/byte/raw strings with any hash count, char
+//! literals, numbers), lifetimes, single-byte punctuation, and comments
+//! (line and nested block, retained because `audit:allow(…)` directives
+//! live in them).  Every token carries a byte span and a 1-based
+//! line/column, so rules report exact locations instead of re-scanning
+//! lines.
+//!
+//! The lexer is *lossless*: concatenating the gaps (whitespace) and token
+//! spans reproduces the input byte-for-byte.  [`stripped`] exploits that to
+//! rebuild the "code view" (comments and literal bodies blanked to spaces,
+//! newlines and offsets preserved) that the line-oriented
+//! [`strip_legacy`](crate::scan::strip_legacy) used to produce with a
+//! hand-rolled state machine; a property test pins the two views equal so
+//! the port is behaviour-preserving.
+//!
+//! Char-vs-lifetime disambiguation uses the same bounded-window heuristic
+//! as the legacy stripper (a `'` is a char literal only when it closes
+//! within a few bytes), which is exact for rustfmt-formatted sources and
+//! keeps the two views in lockstep.
+
+/// What a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unwrap`, `DOCMETA_FILE`).
+    Ident,
+    /// Numeric literal (`0x10`, `8_192usize`, `1.5`).
+    Num,
+    /// Lifetime (`'a`, `'static`) — the quote plus the label.
+    Lifetime,
+    /// Plain or byte string literal, quotes included (`"…"`, `b"…"`).
+    Str,
+    /// Raw string literal, prefix and hashes included (`r#"…"#`, `br"…"`).
+    RawStr,
+    /// Char literal, quotes included (`'x'`, `'\n'`).
+    Char,
+    /// Line or block comment, markers included.
+    Comment,
+    /// A single punctuation byte (`{`, `&`, `!`, …).  Multi-byte UTF-8
+    /// scalars outside literals are carried as one token keyed by their
+    /// first byte.
+    Punct(u8),
+}
+
+/// One token with its source location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of the first byte.
+    pub line: usize,
+    /// 1-based byte column of the first byte within its line.
+    pub col: usize,
+}
+
+impl Token {
+    /// The token's text.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        src.get(self.start..self.end).unwrap_or("")
+    }
+
+    /// Is this a code token (not a comment)?
+    pub fn is_code(&self) -> bool {
+        self.kind != TokKind::Comment
+    }
+}
+
+/// Tokenize `src`.  Whitespace is not represented; everything else is.
+/// The lexer never fails — malformed tails (unterminated strings or
+/// comments) become one token running to end of input, mirroring how the
+/// legacy stripper blanked them.
+pub fn lex(src: &str) -> Vec<Token> {
+    let b = src.as_bytes();
+    let len = b.len();
+    let mut toks: Vec<(TokKind, usize, usize)> = Vec::new();
+    let mut i = 0;
+    while i < len {
+        let c = b[i];
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment.
+        if c == b'/' && b.get(i + 1) == Some(&b'/') {
+            let start = i;
+            while i < len && b[i] != b'\n' {
+                i += 1;
+            }
+            toks.push((TokKind::Comment, start, i));
+            continue;
+        }
+        // Block comment (nested).
+        if c == b'/' && b.get(i + 1) == Some(&b'*') {
+            let start = i;
+            let mut depth = 0usize;
+            while i < len {
+                if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                    depth -= 1;
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+            toks.push((TokKind::Comment, start, i));
+            continue;
+        }
+        // Identifier — but `r"…"`, `r#"…"#`, `b"…"`, `br"…"` start with
+        // ident bytes and must lex as string literals.
+        if c.is_ascii_alphabetic() || c == b'_' {
+            if let Some((kind, end)) = string_with_prefix(b, i) {
+                toks.push((kind, i, end));
+                i = end;
+                continue;
+            }
+            let start = i;
+            while i < len && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                i += 1;
+            }
+            toks.push((TokKind::Ident, start, i));
+            continue;
+        }
+        // Plain string.
+        if c == b'"' {
+            let end = scan_string(b, i);
+            toks.push((TokKind::Str, i, end));
+            i = end;
+            continue;
+        }
+        // Number.
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < len && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                i += 1;
+            }
+            // One embedded `.` continues the literal only when a digit
+            // follows (so `0..9` stays two numbers and a range).
+            if i < len
+                && b[i] == b'.'
+                && b.get(i + 1).is_some_and(|d| d.is_ascii_digit())
+            {
+                i += 1;
+                while i < len && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+            }
+            toks.push((TokKind::Num, start, i));
+            continue;
+        }
+        // Char literal vs lifetime: same bounded-window heuristic as the
+        // legacy stripper, so the stripped views agree byte-for-byte.
+        if c == b'\'' {
+            let closes = if b.get(i + 1) == Some(&b'\\') {
+                (i + 2..(i + 12).min(len)).find(|&k| b[k] == b'\'')
+            } else if b.get(i + 2) == Some(&b'\'') && b.get(i + 1) != Some(&b'\'') {
+                Some(i + 2)
+            } else {
+                (i + 2..(i + 6).min(len))
+                    .find(|&k| b[k] == b'\'')
+                    .filter(|_| b.get(i + 1).is_some_and(|&x| x >= 0x80))
+            };
+            if let Some(end) = closes {
+                toks.push((TokKind::Char, i, end + 1));
+                i = end + 1;
+                continue;
+            }
+            // Lifetime: the quote plus the following ident run (possibly
+            // empty, e.g. a stray quote — still one token).
+            let start = i;
+            i += 1;
+            while i < len && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                i += 1;
+            }
+            toks.push((TokKind::Lifetime, start, i));
+            continue;
+        }
+        // Punctuation.  A multi-byte UTF-8 scalar is one token.
+        let start = i;
+        i += 1;
+        while i < len && (b[i] & 0xC0) == 0x80 {
+            i += 1;
+        }
+        toks.push((TokKind::Punct(c), start, i));
+    }
+    attach_positions(src, toks)
+}
+
+/// `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#` starting at `i`, if any.  Returns
+/// `None` for raw identifiers (`r#ident`) and ordinary idents starting
+/// with `r`/`b`, which then lex as identifiers.
+fn string_with_prefix(b: &[u8], i: usize) -> Option<(TokKind, usize)> {
+    let (raw_possible, after_prefix) = match b[i] {
+        b'r' => (true, i + 1),
+        b'b' if b.get(i + 1) == Some(&b'r') => (true, i + 2),
+        b'b' if b.get(i + 1) == Some(&b'"') => {
+            return Some((TokKind::Str, scan_string(b, i + 1)));
+        }
+        _ => return None,
+    };
+    if !raw_possible {
+        return None;
+    }
+    let mut j = after_prefix;
+    let mut hashes = 0usize;
+    while b.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if b.get(j) != Some(&b'"') {
+        return None; // raw ident or plain ident
+    }
+    // Scan to the closing `"###…` with the same hash count.
+    let mut k = j + 1;
+    while k < b.len() {
+        if b[k] == b'"' {
+            let mut h = 0;
+            while h < hashes && b.get(k + 1 + h) == Some(&b'#') {
+                h += 1;
+            }
+            if h == hashes {
+                return Some((TokKind::RawStr, k + 1 + hashes));
+            }
+        }
+        k += 1;
+    }
+    Some((TokKind::RawStr, b.len())) // unterminated: runs to EOF
+}
+
+/// Scan a plain string whose opening quote is at `i`; returns one past the
+/// closing quote (or end of input when unterminated).
+fn scan_string(b: &[u8], i: usize) -> usize {
+    let mut j = i + 1;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j = (j + 2).min(b.len()),
+            b'"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    b.len()
+}
+
+/// Convert `(kind, start, end)` triples into [`Token`]s with line/col.
+fn attach_positions(src: &str, toks: Vec<(TokKind, usize, usize)>) -> Vec<Token> {
+    let mut line_starts = vec![0usize];
+    for (i, c) in src.bytes().enumerate() {
+        if c == b'\n' {
+            line_starts.push(i + 1);
+        }
+    }
+    toks.into_iter()
+        .map(|(kind, start, end)| {
+            let line = match line_starts.binary_search(&start) {
+                Ok(l) => l,
+                Err(l) => l - 1,
+            };
+            Token {
+                kind,
+                start,
+                end,
+                line: line + 1,
+                col: start - line_starts[line] + 1,
+            }
+        })
+        .collect()
+}
+
+/// Rebuild the stripped "code view" from the token stream: comments and
+/// the full extent of string/char literals are blanked to spaces (newlines
+/// preserved), everything else — including lifetimes and numeric literals
+/// — is kept verbatim.  Byte offsets and line structure match the input.
+pub fn stripped(src: &str, tokens: &[Token]) -> String {
+    let b = src.as_bytes();
+    let mut out = Vec::with_capacity(b.len());
+    let mut cursor = 0usize;
+    for t in tokens {
+        out.extend_from_slice(&b[cursor..t.start]);
+        let blank = matches!(
+            t.kind,
+            TokKind::Comment | TokKind::Str | TokKind::RawStr | TokKind::Char
+        );
+        if blank {
+            for &byte in &b[t.start..t.end] {
+                out.push(if byte == b'\n' { b'\n' } else { b' ' });
+            }
+        } else {
+            out.extend_from_slice(&b[t.start..t.end]);
+        }
+        cursor = t.end;
+    }
+    out.extend_from_slice(&b[cursor..]);
+    // Only byte-for-byte space substitution happened, so UTF-8 validity is
+    // preserved... except inside blanked multi-byte literal bodies, which
+    // became ASCII spaces — still valid.
+    String::from_utf8(out).unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        lex(src).iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_idents_literals_and_punct() {
+        let toks = lex("let x = y.unwrap();");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text("let x = y.unwrap();")).collect();
+        assert_eq!(texts, vec!["let", "x", "=", "y", ".", "unwrap", "(", ")", ";"]);
+    }
+
+    #[test]
+    fn raw_strings_any_hash_count() {
+        let src = r####"let s = r#"panic!("x")"#; let t = r"y";"####;
+        let toks = lex(src);
+        assert!(toks.iter().any(|t| t.kind == TokKind::RawStr));
+        let s = stripped(src, &toks);
+        assert!(!s.contains("panic"));
+        assert!(s.contains("let t ="));
+    }
+
+    #[test]
+    fn raw_idents_are_not_raw_strings() {
+        let src = "let r#type = 1;";
+        let toks = lex(src);
+        assert!(toks.iter().all(|t| t.kind != TokKind::RawStr));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text(src) == "type"));
+    }
+
+    #[test]
+    fn nested_block_comments_are_one_token() {
+        let src = "a /* x /* y */ z */ b";
+        assert_eq!(
+            kinds(src),
+            vec![TokKind::Ident, TokKind::Comment, TokKind::Ident]
+        );
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }";
+        let toks = lex(src);
+        let lifetimes = toks.iter().filter(|t| t.kind == TokKind::Lifetime).count();
+        let chars = toks.iter().filter(|t| t.kind == TokKind::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn positions_are_one_based_line_col() {
+        let src = "ab\n  cd";
+        let toks = lex(src);
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn stripping_preserves_length_and_lines() {
+        let src = "let x = \"unwrap()\"; // unwrap()\nlet y = 1; /* panic! */\n";
+        let s = stripped(src, &lex(src));
+        assert_eq!(s.len(), src.len());
+        assert_eq!(s.lines().count(), src.lines().count());
+        assert!(!s.contains("unwrap"));
+        assert!(!s.contains("panic"));
+    }
+
+    #[test]
+    fn byte_strings_blanked() {
+        let src = "let a = b\"raw\"; let b2 = br#\"x\"#;";
+        let s = stripped(src, &lex(src));
+        assert!(!s.contains("raw"));
+        assert!(!s.contains('x'));
+        assert!(s.contains("let b2 ="));
+    }
+
+    #[test]
+    fn numbers_stay_verbatim() {
+        let src = "let n = 8_192usize + 0x1F; let r = 0..120; let f = 1.5;";
+        let s = stripped(src, &lex(src));
+        assert_eq!(s, src);
+        let toks = lex(src);
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Num && t.text(src) == "1.5"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Num && t.text(src) == "120"));
+    }
+}

@@ -1,7 +1,11 @@
 //! # `xtask` — workspace automation
 //!
 //! `cargo xtask audit` runs a dependency-free static-analysis pass over the
-//! workspace, enforcing the disciplines the paper's threat model rests on:
+//! workspace, enforcing the disciplines the paper's threat model rests on.
+//! The v2 engine lexes every file into a real token stream ([`lex`]),
+//! brace-matches it into an item tree ([`tree`]) that resolves
+//! `#[cfg(test)]` regions and `audit:allow(…)` suppression structurally,
+//! and runs twelve rules over those views in a single pass:
 //!
 //! * **`no-panic-in-prod`** — non-test code in the production crates
 //!   (`core`, `worm`, `jump`, `postings`, `shard`, `server`, `client`)
@@ -18,7 +22,8 @@
 //! * **`forbid-unsafe`** — no `unsafe` anywhere; library roots must carry
 //!   `#![forbid(unsafe_code)]`.
 //! * **`error-taxonomy`** — public fallible APIs in production crates
-//!   return `Result<_, E>` where `E` implements `std::error::Error`.
+//!   (including `pub(crate)` ones, which the v2 item tree can see) return
+//!   `Result<_, E>` where `E` implements `std::error::Error`.
 //! * **`hot-path-io`** (warn) — constant-length `fs.read(…, N)` calls in
 //!   the postings/core read paths are per-record reads; batch through
 //!   `WormFs::read_block` / `read_exact_at` instead (metadata readers
@@ -34,33 +39,60 @@
 //!   DOCMETA file for its commit-point append.  Crash recovery quarantines
 //!   everything behind the last whole DOCMETA record, which is only sound
 //!   if DOCMETA is the last WORM append of every commit.
+//! * **`trusted-conjunction`** — the `trusted` verdict on responses
+//!   originates only in the engine's verification module and may only be
+//!   combined conjunctively (`&&`/`&=`) elsewhere: trust is never
+//!   manufactured (`= true`) or regained (`|=`, `||`) once lost (the
+//!   paper's §4 ranking-attack countermeasure as a lint).
+//! * **`atomic-ordering`** — the commit watermark publishes with
+//!   `Release` and is read with `Acquire`; `Ordering::Relaxed` on a
+//!   watermark atomic breaks the readers' happens-before argument.
+//! * **`guard-across-io`** — in the hot read-path crates a lock guard
+//!   must not be live across a device I/O call; copy out of the lock,
+//!   drop the guard, then read.
+//! * **`taxonomy-coverage`** — the first **cross-file** rule: every wire
+//!   error variant the server can send is consumed by the client crate,
+//!   and every public `*Error` enum is connected (via `From` impls or
+//!   error-typed payloads) to the workspace taxonomy roots.
 //!
-//! The pass is lexical (comments and string literals are blanked before
-//! matching, `#[cfg(test)]` regions are masked) and produces both
-//! compiler-style human diagnostics and a JSON report; it exits nonzero on
-//! any deny-severity finding.  Suppress an individual finding with an
-//! `audit:allow(<rule>)` comment on or above the offending line.
+//! The pass produces compiler-style human diagnostics, a JSON report
+//! (`--json`, including wall-clock `elapsed_ms` and any **unused**
+//! `audit:allow` directives), and SARIF 2.1.0 (`--sarif`) for CI
+//! annotation; it exits nonzero on any deny-severity finding.  Suppress an
+//! individual finding with an `audit:allow(<rule>)` comment on the
+//! offending line, the line above, or in the header of the enclosing item
+//! (item-scoped suppression covers the whole item).  Warn counts are
+//! ratcheted per (rule, file) against a committed baseline
+//! (`--baseline` / `--write-baseline`, see [`baseline`]).
 
 #![forbid(unsafe_code)]
 // Developer tooling, not part of the production no-panic surface it gates:
 // terse panics on impossible states are fine here.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
+pub mod baseline;
+pub mod lex;
 pub mod report;
 pub mod rules;
+pub mod sarif;
 pub mod scan;
+pub mod tree;
 
 pub use report::{Finding, Report, Severity};
 
+use report::UnusedAllow;
 use std::io;
 use std::path::Path;
+use std::time::Instant;
 
 /// Directories under the workspace root that the audit scans.
 const SCAN_DIRS: [&str; 4] = ["crates", "src", "examples", "tests"];
 
 /// Run every rule over the workspace rooted at `root` and return the
-/// combined report (findings sorted by file/line/column).
+/// combined report (findings sorted by file/line/column; directives that
+/// suppressed nothing reported as `unused_allows`).
 pub fn audit_workspace(root: &Path) -> io::Result<Report> {
+    let started = Instant::now();
     let mut files = Vec::new();
     for dir in SCAN_DIRS {
         let d = root.join(dir);
@@ -74,16 +106,28 @@ pub fn audit_workspace(root: &Path) -> io::Result<Report> {
         files_scanned: files.len(),
         ..Default::default()
     };
-    rules::no_panic_in_prod(&files, &mut report);
-    rules::worm_append_only(&files, &mut report);
-    rules::shard_isolation(&files, &mut report);
-    rules::forbid_unsafe(&files, &mut report);
-    rules::error_taxonomy(&files, &mut report);
-    rules::wire_versioning(&files, &mut report);
-    rules::hot_path_io(&files, &mut report);
-    rules::commit_point_order(&files, &mut report);
+    let used = rules::run_all(&files, &mut report);
+    for file in &files {
+        // Only production crates carry trust-budget directives worth
+        // policing; the tooling crate's docs *mention* `audit:allow(…)`
+        // (placeholders, examples) without meaning them.
+        if !rules::PROD_PREFIXES.iter().any(|p| file.rel.starts_with(p)) {
+            continue;
+        }
+        for d in &file.tree.directives {
+            let registered = rules::rule_meta(&d.rule).is_some();
+            if registered && !used.contains(&(file.rel.clone(), d.line, d.rule.clone())) {
+                report.unused_allows.push(UnusedAllow {
+                    file: file.rel.clone(),
+                    line: d.line,
+                    rule: d.rule.clone(),
+                });
+            }
+        }
+    }
     report
         .findings
         .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+    report.elapsed_ms = started.elapsed().as_millis() as u64;
     Ok(report)
 }

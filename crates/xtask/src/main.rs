@@ -1,4 +1,5 @@
-//! CLI entry point: `cargo xtask audit [--json]`.
+//! CLI entry point:
+//! `cargo xtask audit [--json|--sarif] [--baseline <file>] [--write-baseline <file>]`.
 
 #![forbid(unsafe_code)]
 // Developer tooling, not part of the production no-panic surface it gates:
@@ -7,20 +8,27 @@
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use xtask::baseline::Baseline;
 
 const USAGE: &str = "\
 xtask — workspace automation
 
 USAGE:
-    cargo xtask audit [--json] [--root <path>]
+    cargo xtask audit [--json|--sarif] [--root <path>]
+                      [--baseline <file>] [--write-baseline <file>]
 
 COMMANDS:
     audit    Run the WORM-discipline static-analysis pass.
-             Exits nonzero on any deny-severity finding.
+             Exits nonzero on any deny-severity finding (or on a warn
+             regression when --baseline is given).
 
 OPTIONS:
-    --json           Emit the report as JSON instead of human diagnostics.
-    --root <path>    Audit a different workspace root (default: this one).
+    --json                  Emit the report as JSON instead of human diagnostics.
+    --sarif                 Emit the report as SARIF 2.1.0 (for CI annotation).
+    --root <path>           Audit a different workspace root (default: this one).
+    --baseline <file>       Compare warn counts against a committed baseline and
+                            fail on any per-(rule, file) increase.
+    --write-baseline <file> Write the current warn counts as the new baseline.
 ";
 
 fn main() -> ExitCode {
@@ -28,15 +36,33 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("audit") => {
             let mut json = false;
+            let mut sarif = false;
             let mut root: Option<PathBuf> = None;
+            let mut baseline_path: Option<PathBuf> = None;
+            let mut write_baseline: Option<PathBuf> = None;
             let mut it = args.iter().skip(1);
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--json" => json = true,
+                    "--sarif" => sarif = true,
                     "--root" => match it.next() {
                         Some(p) => root = Some(PathBuf::from(p)),
                         None => {
                             eprintln!("error: --root requires a path");
+                            return ExitCode::from(2);
+                        }
+                    },
+                    "--baseline" => match it.next() {
+                        Some(p) => baseline_path = Some(PathBuf::from(p)),
+                        None => {
+                            eprintln!("error: --baseline requires a file path");
+                            return ExitCode::from(2);
+                        }
+                    },
+                    "--write-baseline" => match it.next() {
+                        Some(p) => write_baseline = Some(PathBuf::from(p)),
+                        None => {
+                            eprintln!("error: --write-baseline requires a file path");
                             return ExitCode::from(2);
                         }
                     },
@@ -46,18 +72,52 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            if json && sarif {
+                eprintln!("error: --json and --sarif are mutually exclusive");
+                return ExitCode::from(2);
+            }
             let root = root.unwrap_or_else(workspace_root);
             match xtask::audit_workspace(&root) {
                 Ok(report) => {
-                    if json {
+                    if sarif {
+                        print!("{}", xtask::sarif::render_sarif(&report));
+                    } else if json {
                         print!("{}", report.render_json());
                     } else {
                         print!("{}", report.render_human());
                     }
-                    if report.deny_count() == 0 {
-                        ExitCode::SUCCESS
-                    } else {
+                    let current = Baseline::from_report(&report);
+                    if let Some(path) = write_baseline {
+                        if let Err(e) = std::fs::write(&path, current.render()) {
+                            eprintln!("error: cannot write baseline {}: {e}", path.display());
+                            return ExitCode::from(2);
+                        }
+                    }
+                    let mut failed = report.deny_count() > 0;
+                    if let Some(path) = baseline_path {
+                        let committed = match std::fs::read_to_string(&path) {
+                            Ok(text) => match Baseline::parse(&text) {
+                                Ok(b) => b,
+                                Err(e) => {
+                                    eprintln!("error: {}: {e}", path.display());
+                                    return ExitCode::from(2);
+                                }
+                            },
+                            Err(e) => {
+                                eprintln!("error: cannot read baseline {}: {e}", path.display());
+                                return ExitCode::from(2);
+                            }
+                        };
+                        let regressions = committed.regressions(&current);
+                        for r in &regressions {
+                            eprintln!("baseline regression: {r}");
+                        }
+                        failed |= !regressions.is_empty();
+                    }
+                    if failed {
                         ExitCode::FAILURE
+                    } else {
+                        ExitCode::SUCCESS
                     }
                 }
                 Err(e) => {

@@ -40,6 +40,19 @@ pub struct Finding {
     pub snippet: String,
 }
 
+/// An `audit:allow(rule)` directive that suppressed nothing this run —
+/// dead trust-budget that should be deleted before it silently excuses a
+/// future regression.
+#[derive(Debug)]
+pub struct UnusedAllow {
+    /// Workspace-relative path of the directive.
+    pub file: String,
+    /// 1-based line of the directive comment.
+    pub line: usize,
+    /// The rule the directive names.
+    pub rule: String,
+}
+
 /// The result of an audit run.
 #[derive(Debug, Default)]
 pub struct Report {
@@ -50,6 +63,10 @@ pub struct Report {
     /// Findings suppressed by `audit:allow(...)` directives or rule
     /// allowlists.
     pub suppressed: usize,
+    /// Directives that suppressed nothing (candidates for deletion).
+    pub unused_allows: Vec<UnusedAllow>,
+    /// Wall-clock time of the scan + all rules, in milliseconds.
+    pub elapsed_ms: u64,
 }
 
 impl Report {
@@ -89,6 +106,13 @@ impl Report {
                 f.rule,
                 f.message,
                 f.snippet
+            ));
+        }
+        for ua in &self.unused_allows {
+            out.push_str(&format!(
+                "{}:{}: note[unused-allow]: `audit:allow({})` suppressed nothing \
+                 this run; delete it so it cannot excuse a future regression\n",
+                ua.file, ua.line, ua.rule
             ));
         }
         if self.warn_count() > WARN_DETAIL_LIMIT {
@@ -145,10 +169,26 @@ impl Report {
         if !self.findings.is_empty() {
             out.push_str("\n  ");
         }
+        out.push_str("],\n  \"unused_allows\": [");
+        for (i, ua) in self.unused_allows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\"}}",
+                json_escape(&ua.file),
+                ua.line,
+                json_escape(&ua.rule)
+            ));
+        }
+        if !self.unused_allows.is_empty() {
+            out.push_str("\n  ");
+        }
         out.push_str(&format!(
-            "],\n  \"files_scanned\": {},\n  \"deny\": {},\n  \"warn\": {},\n  \
-             \"suppressed\": {},\n  \"pass\": {}\n}}\n",
+            "],\n  \"files_scanned\": {},\n  \"elapsed_ms\": {},\n  \"deny\": {},\n  \
+             \"warn\": {},\n  \"suppressed\": {},\n  \"pass\": {}\n}}\n",
             self.files_scanned,
+            self.elapsed_ms,
             self.deny_count(),
             self.warn_count(),
             self.suppressed,
@@ -192,6 +232,7 @@ mod tests {
             }],
             files_scanned: 3,
             suppressed: 1,
+            ..Default::default()
         }
     }
 
@@ -206,6 +247,25 @@ mod tests {
     #[test]
     fn json_escapes_quotes() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn unused_allows_render_in_both_formats() {
+        let r = Report {
+            files_scanned: 1,
+            unused_allows: vec![UnusedAllow {
+                file: "crates/core/src/engine.rs".into(),
+                line: 7,
+                rule: "no-panic-in-prod".into(),
+            }],
+            ..Default::default()
+        };
+        let human = r.render_human();
+        assert!(human.contains("note[unused-allow]"));
+        assert!(human.contains("crates/core/src/engine.rs:7"));
+        let json = r.render_json();
+        assert!(json.contains("\"unused_allows\": [\n    {\"file\": \"crates/core/src/engine.rs\", \"line\": 7, \"rule\": \"no-panic-in-prod\"}"));
+        assert!(json.contains("\"elapsed_ms\": 0"));
     }
 
     #[test]

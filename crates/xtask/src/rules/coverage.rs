@@ -1,0 +1,427 @@
+//! The first **cross-file** rule: `taxonomy-coverage`.
+//!
+//! The paper's compliance story depends on every failure being a *typed*
+//! value an auditor can classify; an error type that exists but is never
+//! consumed (or never feeds the workspace taxonomy) is a silent hole in
+//! that story.  Two checks, both needing more than one file at a time:
+//!
+//! * **Part A — wire variants are consumed.**  Every variant of the wire
+//!   envelope's `WireError*` enums must appear as a code identifier
+//!   somewhere in the client crate.  A variant the server can send but no
+//!   client ever matches on collapses to "unknown error" at the one
+//!   place a human sees it.
+//! * **Part B — error types are connected.**  Every public `*Error` enum
+//!   in a prod crate must be connected — through `From` impls or
+//!   error-typed variant payloads — to the workspace taxonomy roots
+//!   (`TksError`, or std's `Error` via an `io::Error` payload).  A
+//!   disconnected error type can never surface through the unified
+//!   taxonomy (`error-taxonomy` rule) and dies as a `String` somewhere.
+
+use super::{Sink, PROD_PREFIXES, WIRE_ENVELOPE};
+use crate::lex::TokKind;
+use crate::report::Severity;
+use crate::scan::SourceFile;
+use crate::tree::{Item, ItemKind};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Client crate whose sources must consume every wire error variant.
+const CONSUMER_PREFIX: &str = "crates/client/";
+
+/// Connectivity roots: the unified workspace error ([`TksError`]) and
+/// std's `Error` (reached by wrapping an `std::io::Error` payload).
+const TAXONOMY_ROOTS: [&str; 2] = ["TksError", "Error"];
+
+/// Rule `taxonomy-coverage` (cross-file): wire error variants must be
+/// consumed by the client, and every public `*Error` enum must be
+/// connected to the workspace taxonomy.  See the module docs.
+pub fn taxonomy_coverage(files: &[SourceFile], sink: &mut Sink) {
+    wire_variants_consumed(files, sink);
+    error_types_connected(files, sink);
+}
+
+/// Part A: every variant of the envelope's `WireError*` enums appears as
+/// a non-test code identifier in the client crate.
+fn wire_variants_consumed(files: &[SourceFile], sink: &mut Sink) {
+    let Some(envelope) = files.iter().find(|f| f.rel == WIRE_ENVELOPE) else {
+        return; // fixture runs without the envelope: nothing to check
+    };
+    // Identifiers the client crate uses in non-test code.
+    let mut consumed: BTreeSet<&str> = BTreeSet::new();
+    for file in files.iter().filter(|f| f.rel.starts_with(CONSUMER_PREFIX)) {
+        for tok in &file.tokens {
+            if tok.kind == TokKind::Ident && !file.tree.in_test(tok.line - 1) {
+                consumed.insert(tok.text(&file.raw));
+            }
+        }
+    }
+    for item in envelope.tree.walk() {
+        let is_wire_error_enum = item.kind == ItemKind::Enum
+            && item.name.as_deref().is_some_and(|n| n.starts_with("WireError"));
+        if !is_wire_error_enum || envelope.tree.in_test(item.kw_line.saturating_sub(1)) {
+            continue;
+        }
+        let enum_name = item.name.as_deref().unwrap_or("");
+        for v in enum_variants(envelope, item) {
+            if !consumed.contains(v.name.as_str()) {
+                sink.emit(
+                    envelope,
+                    "taxonomy-coverage",
+                    Severity::Deny,
+                    v.line,
+                    v.col.saturating_sub(1),
+                    format!(
+                        "wire error variant `{enum_name}::{}` is never consumed by \
+                         the client crate: a failure class the server can send but \
+                         no client classifies collapses to \"unknown error\" at the \
+                         operator console",
+                        v.name
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Part B: every public `*Error` enum in a prod crate reaches a taxonomy
+/// root through the undirected graph of `From` impls and error-typed
+/// variant payloads.
+fn error_types_connected(files: &[SourceFile], sink: &mut Sink) {
+    // Undirected adjacency over type names, plus the pub *Error enums we
+    // must certify (name -> declaration site).
+    let mut edges: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let mut required: Vec<(&SourceFile, &Item)> = Vec::new();
+
+    let connect = |edges: &mut BTreeMap<String, BTreeSet<String>>, a: &str, b: &str| {
+        if a != b {
+            edges.entry(a.to_string()).or_default().insert(b.to_string());
+            edges.entry(b.to_string()).or_default().insert(a.to_string());
+        }
+    };
+
+    for file in files.iter().filter(|f| super::under_any(&f.rel, &PROD_PREFIXES)) {
+        // Edges from `impl From<X> for Y` (token pattern; test code skipped).
+        for (x, y) in from_impls(file) {
+            connect(&mut edges, &x, &y);
+        }
+        // Enum nodes and their payload edges.
+        for item in file.tree.walk() {
+            if item.kind != ItemKind::Enum || file.tree.in_test(item.kw_line.saturating_sub(1)) {
+                continue;
+            }
+            let Some(name) = item.name.as_deref() else { continue };
+            for v in enum_variants(file, item) {
+                // A payload identifier ending in `Error` links the two
+                // types; anything else (`String`, `u32`, field names) is
+                // ignored so shared plain payloads cannot fake
+                // connectivity.
+                for payload in &v.payload_error_idents {
+                    connect(&mut edges, name, payload);
+                }
+            }
+            if item.is_pub && name.ends_with("Error") {
+                required.push((file, item));
+            }
+        }
+    }
+
+    // BFS from the roots over the undirected graph.
+    let mut reachable: BTreeSet<&str> = BTreeSet::new();
+    let mut queue: VecDeque<&str> = TAXONOMY_ROOTS.into_iter().collect();
+    while let Some(n) = queue.pop_front() {
+        if !reachable.insert(n) {
+            continue;
+        }
+        if let Some(next) = edges.get(n) {
+            queue.extend(next.iter().map(String::as_str));
+        }
+    }
+
+    for (file, item) in required {
+        let name = item.name.as_deref().unwrap_or("");
+        if !reachable.contains(name) {
+            sink.emit(
+                file,
+                "taxonomy-coverage",
+                Severity::Deny,
+                item.kw_line,
+                0,
+                format!(
+                    "public error type `{name}` is disconnected from the workspace \
+                     taxonomy: no `From` impl or error-typed variant payload links it \
+                     (transitively) to {} — it can never surface through the unified \
+                     error path and will die as a stringly-typed message",
+                    TAXONOMY_ROOTS.join(" or ")
+                ),
+            );
+        }
+    }
+}
+
+/// One enum variant: its name/site and the `*Error`-suffixed identifiers
+/// appearing in its payload.
+struct Variant {
+    name: String,
+    line: usize,
+    col: usize,
+    payload_error_idents: Vec<String>,
+}
+
+/// Extract the variants of `item` (an enum) from the token stream: a
+/// variant name is the first identifier at brace depth 0 of the body (and
+/// after each depth-0 comma); everything nested deeper — tuple payloads,
+/// struct fields, attribute arguments — is payload.
+fn enum_variants(file: &SourceFile, item: &Item) -> Vec<Variant> {
+    let Some(open) = item.tok_body_open else {
+        return Vec::new();
+    };
+    let body = &file.tokens[open + 1..item.tok_end.saturating_sub(1)];
+    let mut out: Vec<Variant> = Vec::new();
+    let mut depth = 0usize;
+    let mut expect_name = true;
+    for tok in body {
+        match tok.kind {
+            TokKind::Comment => {}
+            TokKind::Punct(b'(') | TokKind::Punct(b'[') | TokKind::Punct(b'{') => depth += 1,
+            TokKind::Punct(b')') | TokKind::Punct(b']') | TokKind::Punct(b'}') => {
+                depth = depth.saturating_sub(1)
+            }
+            TokKind::Punct(b',') if depth == 0 => expect_name = true,
+            TokKind::Ident => {
+                let text = tok.text(&file.raw);
+                if depth == 0 && expect_name {
+                    out.push(Variant {
+                        name: text.to_string(),
+                        line: tok.line,
+                        col: tok.col,
+                        payload_error_idents: Vec::new(),
+                    });
+                    expect_name = false;
+                } else if text.ends_with("Error") {
+                    if let Some(v) = out.last_mut() {
+                        v.payload_error_idents.push(text.to_string());
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// `(X, Y)` pairs for every non-test `impl From<X> for Y` in the file,
+/// where `X` is the last path segment inside the generic argument.
+fn from_impls(file: &SourceFile) -> Vec<(String, String)> {
+    let toks = &file.tokens;
+    let code: Vec<usize> = (0..toks.len()).filter(|&i| toks[i].is_code()).collect();
+    let mut out = Vec::new();
+    for w in 0..code.len() {
+        let i = code[w];
+        if toks[i].text(&file.raw) != "impl" || file.tree.in_test(toks[i].line - 1) {
+            continue;
+        }
+        let mut k = w + 1;
+        if code.get(k).is_none_or(|&j| toks[j].text(&file.raw) != "From") {
+            continue;
+        }
+        k += 1;
+        if code.get(k).is_none_or(|&j| toks[j].kind != TokKind::Punct(b'<')) {
+            continue;
+        }
+        // Scan the generic argument to its matching `>`, remembering the
+        // last identifier (the path's final segment).
+        let mut angle = 1i32;
+        let mut source: Option<String> = None;
+        k += 1;
+        while angle > 0 {
+            let Some(&j) = code.get(k) else { break };
+            match toks[j].kind {
+                TokKind::Punct(b'<') => angle += 1,
+                TokKind::Punct(b'>') => angle -= 1,
+                TokKind::Ident => source = Some(toks[j].text(&file.raw).to_string()),
+                _ => {}
+            }
+            k += 1;
+        }
+        let Some(source) = source else { continue };
+        if code.get(k).is_none_or(|&j| toks[j].text(&file.raw) != "for") {
+            continue;
+        }
+        // Target: last path segment before the impl body opens.
+        let mut target: Option<String> = None;
+        k += 1;
+        while let Some(&j) = code.get(k) {
+            match toks[j].kind {
+                TokKind::Ident => target = Some(toks[j].text(&file.raw).to_string()),
+                TokKind::Punct(b'{') => break,
+                _ => {}
+            }
+            k += 1;
+        }
+        if let Some(target) = target {
+            out.push((source, target));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Report;
+    use std::path::PathBuf;
+
+    fn fixture(rel: &str, src: &str) -> SourceFile {
+        SourceFile::from_source(PathBuf::from(rel), rel.to_string(), src.to_string())
+    }
+
+    fn run(files: &[SourceFile]) -> Report {
+        let mut report = Report::default();
+        let mut sink = Sink::new(&mut report);
+        taxonomy_coverage(files, &mut sink);
+        report
+    }
+
+    #[test]
+    fn variant_extraction_handles_payload_shapes() {
+        let f = fixture(
+            "crates/server/src/wire.rs",
+            "pub enum E {\n    Plain,\n    Tuple(std::io::Error),\n    Fields { shard: u32, source: SearchError },\n    Doc(String),\n}\n",
+        );
+        let item = f
+            .tree
+            .walk()
+            .into_iter()
+            .find(|i| i.kind == ItemKind::Enum)
+            .unwrap();
+        let vars = enum_variants(&f, item);
+        let names: Vec<&str> = vars.iter().map(|v| v.name.as_str()).collect();
+        assert_eq!(names, vec!["Plain", "Tuple", "Fields", "Doc"]);
+        assert_eq!(vars[1].payload_error_idents, vec!["Error"]);
+        assert_eq!(vars[2].payload_error_idents, vec!["SearchError"]);
+        assert!(vars[3].payload_error_idents.is_empty());
+        assert_eq!(vars[0].line, 2);
+    }
+
+    #[test]
+    fn from_impl_edges_extracted() {
+        let f = fixture(
+            "crates/core/src/error.rs",
+            "impl From<tks_worm::WormError> for TksError {\n    fn from(e: tks_worm::WormError) -> TksError { TksError::Worm(e) }\n}\nimpl From<&ShardError> for WireError {\n    fn from(e: &ShardError) -> WireError { todo!() }\n}\n",
+        );
+        let pairs = from_impls(&f);
+        assert_eq!(
+            pairs,
+            vec![
+                ("WormError".to_string(), "TksError".to_string()),
+                ("ShardError".to_string(), "WireError".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn unconsumed_wire_variant_denied() {
+        let wire = fixture(
+            "crates/server/src/wire.rs",
+            "pub enum WireErrorCode {\n    Overloaded,\n    Internal,\n}\n",
+        );
+        let client = fixture(
+            "crates/client/src/lib.rs",
+            "pub fn classify(c: WireErrorCode) -> bool {\n    matches!(c, WireErrorCode::Overloaded)\n}\n",
+        );
+        let report = run(&[wire, client]);
+        assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+        assert_eq!(report.findings[0].line, 3);
+        assert!(report.findings[0].message.contains("WireErrorCode::Internal"));
+    }
+
+    #[test]
+    fn test_only_client_use_does_not_count() {
+        let wire = fixture(
+            "crates/server/src/wire.rs",
+            "pub enum WireErrorCode {\n    Overloaded,\n}\n",
+        );
+        let client = fixture(
+            "crates/client/src/lib.rs",
+            "#[cfg(test)]\nmod tests {\n    fn t() { let _ = WireErrorCode::Overloaded; }\n}\n",
+        );
+        let report = run(&[wire, client]);
+        assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+    }
+
+    #[test]
+    fn disconnected_error_enum_denied_connected_ones_pass() {
+        let root = fixture(
+            "crates/core/src/error.rs",
+            "pub enum TksError {\n    Worm(WormError),\n}\n",
+        );
+        let connected = fixture(
+            "crates/worm/src/device.rs",
+            "pub enum WormError {\n    Io(String),\n}\n",
+        );
+        let orphan = fixture(
+            "crates/worm/src/layout.rs",
+            "pub enum LayoutError {\n    Io(String),\n    DuplicateShard(u32),\n}\n",
+        );
+        let report = run(&[root, connected, orphan]);
+        assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+        assert_eq!(report.findings[0].file, "crates/worm/src/layout.rs");
+        assert_eq!(report.findings[0].line, 1);
+        assert!(report.findings[0].message.contains("`LayoutError`"));
+    }
+
+    #[test]
+    fn from_impl_reconnects_orphan() {
+        let root = fixture(
+            "crates/core/src/error.rs",
+            "pub enum TksError {\n    Worm(WormError),\n}\n",
+        );
+        let worm = fixture(
+            "crates/worm/src/device.rs",
+            "pub enum WormError {\n    Io(String),\n}\nimpl From<LayoutError> for WormError {\n    fn from(e: LayoutError) -> WormError { WormError::Io(format!(\"{e}\")) }\n}\n",
+        );
+        let layout = fixture(
+            "crates/worm/src/layout.rs",
+            "pub enum LayoutError {\n    Io(String),\n}\n",
+        );
+        let report = run(&[root, worm, layout]);
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+    }
+
+    #[test]
+    fn io_error_payload_roots_a_type() {
+        let server = fixture(
+            "crates/server/src/error.rs",
+            "pub enum ServerError {\n    Io(std::io::Error),\n}\n",
+        );
+        let report = run(&[server]);
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+    }
+
+    #[test]
+    fn string_payload_does_not_fake_connectivity() {
+        // Both enums carry `String` payloads; that shared plain type must
+        // not link the orphan to the rooted one.
+        let rooted = fixture(
+            "crates/core/src/error.rs",
+            "pub enum TksError {\n    Msg(String),\n    Io(std::io::Error),\n}\n",
+        );
+        let orphan = fixture(
+            "crates/jump/src/lib.rs",
+            "pub enum JumpError {\n    Msg(String),\n}\n",
+        );
+        let report = run(&[rooted, orphan]);
+        assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+        assert!(report.findings[0].message.contains("`JumpError`"));
+    }
+
+    #[test]
+    fn suppression_applies_to_coverage_findings() {
+        let orphan = fixture(
+            "crates/jump/src/lib.rs",
+            "// audit:allow(taxonomy-coverage) — internal-only probe error\npub enum ProbeError {\n    Msg(String),\n}\n",
+        );
+        let report = run(&[orphan]);
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+        assert_eq!(report.suppressed, 1);
+    }
+}

@@ -1,41 +1,19 @@
-//! The audit rules.
+//! The eight original lexical rules, ported onto the token-derived views.
 //!
-//! Each rule walks the pre-processed [`SourceFile`]s (comments and string
-//! literals already blanked, `#[cfg(test)]` lines masked) and emits
-//! [`Finding`]s.  Findings can be suppressed two ways:
-//!
-//! * a **rule allowlist** of path prefixes (e.g. `crates/worm/` may name
-//!   overwrite APIs — it implements the WORM device and must reject them);
-//! * an **inline directive**: a comment containing `audit:allow(<rule>)`
-//!   on the offending line or the line above.
-//!
-//! Suppressed findings are counted in [`Report::suppressed`] so a clean run
-//! still shows how many exceptions are in play.
+//! These rules match ident/line patterns over the stripped code view, with
+//! `#[cfg(test)]` masking and function extents now supplied by the item
+//! tree instead of ad-hoc brace counting.  Their findings are pinned by
+//! the fixture corpus in `tests/audit.rs`: the port must produce the same
+//! `(file, line, severity)` set the line-oriented engine did.
 
-use crate::report::{Finding, Report, Severity};
+use super::{
+    call_args, crate_prefix, find_result, idents, is_const_len, last_segment, last_top_level_arg,
+    next_non_ws, receiver_ends_with_fs, return_type, second_generic_arg, under_any, Sink,
+    HOT_PATH_PREFIXES, PROD_PREFIXES, WIRE_ENVELOPE, WIRE_PREFIXES,
+};
+use crate::report::Severity;
 use crate::scan::SourceFile;
 use std::collections::{BTreeMap, BTreeSet};
-
-/// Production crates subject to the panic and taxonomy rules: the storage
-/// and query layers whose failures must surface as typed errors (a crash
-/// during a compliance lookup is indistinguishable from a hidden record).
-pub const PROD_PREFIXES: [&str; 7] = [
-    "crates/core/src/",
-    "crates/worm/src/",
-    "crates/jump/src/",
-    "crates/postings/src/",
-    "crates/shard/src/",
-    "crates/server/src/",
-    "crates/client/src/",
-];
-
-/// Crates that speak the network protocol, subject to `wire-versioning`.
-const WIRE_PREFIXES: [&str; 2] = ["crates/server/src/", "crates/client/src/"];
-
-/// The envelope module — the one file in the network crates that may name
-/// serde.  Everything that crosses the wire is defined here, behind the
-/// protocol-version byte.
-const WIRE_ENVELOPE: &str = "crates/server/src/wire.rs";
 
 /// serde machinery identifiers denied outside the envelope module.
 const SERDE_IDENTS: [&str; 4] = ["serde", "serde_json", "Serialize", "Deserialize"];
@@ -60,11 +38,6 @@ const INTERNAL_WIRE_TYPES: [&str; 9] = [
 /// (it names overwrite APIs in order to reject them) and this audit tool
 /// (it names them as patterns).
 const WORM_RULE_ALLOW: [&str; 2] = ["crates/worm/", "crates/xtask/"];
-
-/// Path prefixes subject to `hot-path-io`: the crates whose read paths
-/// are supposed to be block-granular (`read_block` / `read_exact_at`
-/// batched reads, decoded a block at a time).
-const HOT_PATH_PREFIXES: [&str; 2] = ["crates/postings/src/", "crates/core/src/"];
 
 /// Panicking constructs denied in production code.
 const PANIC_METHODS: [&str; 2] = ["unwrap", "expect"];
@@ -107,95 +80,12 @@ const SHARD_STORAGE_IDENTS: [&str; 13] = [
     "save_fs",
 ];
 
-/// Does `raw` (or the preceding raw line) carry an `audit:allow(rule)`
-/// directive?
-fn allowed_inline(file: &SourceFile, line_no: usize, rule: &str) -> bool {
-    let needle = format!("audit:allow({rule})");
-    let raws: Vec<&str> = file.raw.lines().collect();
-    let here = raws.get(line_no - 1).copied().unwrap_or("");
-    let above = if line_no >= 2 {
-        raws.get(line_no - 2).copied().unwrap_or("")
-    } else {
-        ""
-    };
-    here.contains(&needle) || above.contains(&needle)
-}
-
-fn under_any(rel: &str, prefixes: &[&str]) -> bool {
-    prefixes.iter().any(|p| rel.starts_with(p))
-}
-
-/// Iterate identifiers in a stripped line as `(column0, ident)`.
-fn idents(line: &str) -> Vec<(usize, &str)> {
-    let b = line.as_bytes();
-    let mut out = Vec::new();
-    let mut i = 0;
-    while i < b.len() {
-        let c = b[i];
-        if c.is_ascii_alphabetic() || c == b'_' {
-            let start = i;
-            while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
-                i += 1;
-            }
-            out.push((start, &line[start..i]));
-        } else {
-            i += 1;
-        }
-    }
-    out
-}
-
-fn next_non_ws(line: &str, from: usize) -> Option<u8> {
-    line.as_bytes()[from..]
-        .iter()
-        .copied()
-        .find(|c| !c.is_ascii_whitespace())
-}
-
-struct Sink<'a> {
-    report: &'a mut Report,
-}
-
-impl Sink<'_> {
-    fn emit(
-        &mut self,
-        file: &SourceFile,
-        rule: &'static str,
-        severity: Severity,
-        line_no: usize,
-        col0: usize,
-        message: String,
-    ) {
-        if allowed_inline(file, line_no, rule) {
-            self.report.suppressed += 1;
-            return;
-        }
-        let snippet = file
-            .raw
-            .lines()
-            .nth(line_no - 1)
-            .unwrap_or("")
-            .trim()
-            .to_string();
-        self.report.findings.push(Finding {
-            rule,
-            severity,
-            file: file.rel.clone(),
-            line: line_no,
-            col: col0 + 1,
-            message,
-            snippet,
-        });
-    }
-}
-
 /// Rule `no-panic-in-prod`: no `unwrap`/`expect` calls and no
 /// `panic!`/`unreachable!`/`todo!`/`unimplemented!` macros in non-test code
 /// of the production crates (deny); slice/array indexing is flagged at warn
 /// severity since `get(..)` with a typed error is preferred but indexing a
 /// just-validated range is acceptable.
-pub fn no_panic_in_prod(files: &[SourceFile], report: &mut Report) {
-    let mut sink = Sink { report };
+pub fn no_panic_in_prod(files: &[SourceFile], sink: &mut Sink) {
     for file in files.iter().filter(|f| under_any(&f.rel, &PROD_PREFIXES)) {
         for line in file.lines() {
             if line.in_test {
@@ -266,8 +156,7 @@ pub fn no_panic_in_prod(files: &[SourceFile], report: &mut Report) {
 /// append-only discipline is what makes the index trustworthy, so the
 /// compiler-visible surface of every other crate must not even mention the
 /// escape hatches.
-pub fn worm_append_only(files: &[SourceFile], report: &mut Report) {
-    let mut sink = Sink { report };
+pub fn worm_append_only(files: &[SourceFile], sink: &mut Sink) {
     for file in files
         .iter()
         .filter(|f| !under_any(&f.rel, &WORM_RULE_ALLOW))
@@ -311,8 +200,7 @@ pub fn worm_append_only(files: &[SourceFile], report: &mut Report) {
 /// device access could corrupt one shard while reporting another healthy,
 /// which is exactly the confusion per-shard fault isolation exists to
 /// prevent.
-pub fn shard_isolation(files: &[SourceFile], report: &mut Report) {
-    let mut sink = Sink { report };
+pub fn shard_isolation(files: &[SourceFile], sink: &mut Sink) {
     for file in files
         .iter()
         .filter(|f| f.rel.starts_with("crates/shard/src/"))
@@ -355,8 +243,7 @@ pub fn shard_isolation(files: &[SourceFile], report: &mut Report) {
 /// * inside the envelope module, no hand-rolled
 ///   `impl Serialize/Deserialize for <internal type>` and no
 ///   `serde_json` call that names an internal core/shard type.
-pub fn wire_versioning(files: &[SourceFile], report: &mut Report) {
-    let mut sink = Sink { report };
+pub fn wire_versioning(files: &[SourceFile], sink: &mut Sink) {
     for file in files.iter().filter(|f| under_any(&f.rel, &WIRE_PREFIXES)) {
         let in_envelope = file.rel == WIRE_ENVELOPE;
         for line in file.lines() {
@@ -442,15 +329,14 @@ pub fn wire_versioning(files: &[SourceFile], report: &mut Report) {
 /// decode whole blocks instead.  One-off metadata readers (recovery
 /// headers, per-document records) may opt out with
 /// `audit:allow(hot-path-io)`.
-pub fn hot_path_io(files: &[SourceFile], report: &mut Report) {
-    let mut sink = Sink { report };
+pub fn hot_path_io(files: &[SourceFile], sink: &mut Sink) {
     for file in files
         .iter()
         .filter(|f| under_any(&f.rel, &HOT_PATH_PREFIXES))
     {
         let lines: Vec<&str> = file.code.lines().collect();
         for (idx, line) in lines.iter().enumerate() {
-            if file.test_mask.get(idx).copied().unwrap_or(false) {
+            if file.tree.in_test(idx) {
                 continue;
             }
             let mut from = 0;
@@ -485,85 +371,10 @@ pub fn hot_path_io(files: &[SourceFile], report: &mut Report) {
     }
 }
 
-/// Is the identifier immediately before the `.` at `dot` an `fs`-suffixed
-/// receiver (`fs`, `self.fs`, `doc_fs`, …)?
-fn receiver_ends_with_fs(line: &str, dot: usize) -> bool {
-    let b = line.as_bytes();
-    let mut s = dot;
-    while s > 0 && (b[s - 1].is_ascii_alphanumeric() || b[s - 1] == b'_') {
-        s -= 1;
-    }
-    line.get(s..dot).is_some_and(|id| id.ends_with("fs"))
-}
-
-/// The argument text of a call whose opening paren sits just before
-/// `lines[idx][start..]`, spanning at most a few lines.
-fn call_args(lines: &[&str], idx: usize, start: usize) -> Option<String> {
-    let mut out = String::new();
-    let mut depth = 1i32;
-    let mut j = idx;
-    let mut rest: &str = lines.get(j)?.get(start..)?;
-    loop {
-        for (k, c) in rest.char_indices() {
-            match c {
-                '(' | '[' => depth += 1,
-                ')' | ']' => {
-                    depth -= 1;
-                    if depth == 0 {
-                        out.push_str(rest.get(..k).unwrap_or(""));
-                        return Some(out);
-                    }
-                }
-                _ => {}
-            }
-        }
-        out.push_str(rest);
-        out.push(' ');
-        j += 1;
-        if j > idx + 4 {
-            return None;
-        }
-        rest = lines.get(j)?;
-    }
-}
-
-/// The last top-level comma-separated argument of `args`.
-fn last_top_level_arg(args: &str) -> Option<String> {
-    let mut depth = 0i32;
-    let mut last_start = 0usize;
-    for (k, c) in args.char_indices() {
-        match c {
-            '(' | '[' => depth += 1,
-            ')' | ']' => depth -= 1,
-            ',' if depth == 0 => last_start = k + 1,
-            _ => {}
-        }
-    }
-    let a = args.get(last_start..)?.trim();
-    (!a.is_empty()).then(|| a.to_string())
-}
-
-/// A compile-time-constant length: an integer literal (`2`, `8_192`,
-/// `0x10`, `8usize`) or an ALL-CAPS const path (`META_RECORD`,
-/// `codec::POSTING_SIZE`), optionally with a trailing cast.
-fn is_const_len(arg: &str) -> bool {
-    let a = arg.split(" as ").next().unwrap_or(arg).trim();
-    if a.chars().next().is_some_and(|c| c.is_ascii_digit()) {
-        return true;
-    }
-    let last_seg = a.rsplit("::").next().unwrap_or(a).trim();
-    !last_seg.is_empty()
-        && last_seg
-            .chars()
-            .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_')
-        && last_seg.chars().any(|c| c.is_ascii_uppercase())
-}
-
 /// Rule `forbid-unsafe`: no `unsafe` anywhere in the workspace (tests
 /// included), and every library crate root must carry
 /// `#![forbid(unsafe_code)]` so the compiler enforces it too.
-pub fn forbid_unsafe(files: &[SourceFile], report: &mut Report) {
-    let mut sink = Sink { report };
+pub fn forbid_unsafe(files: &[SourceFile], sink: &mut Sink) {
     for file in files {
         for line in file.lines() {
             for (col, id) in idents(line.code) {
@@ -602,7 +413,12 @@ pub fn forbid_unsafe(files: &[SourceFile], report: &mut Report) {
 /// `impl std::error::Error for …`).  `String`, integers, and other ad-hoc
 /// error payloads are denied — they cannot carry a source chain and do not
 /// compose under the `TksError` umbrella.
-pub fn error_taxonomy(files: &[SourceFile], report: &mut Report) {
+///
+/// Since the item-tree port, "public" means any `pub` visibility —
+/// `pub(crate)` and `pub(super)` functions are part of the audited surface
+/// too (their callers cross module boundaries and deserve taxonomy errors
+/// just as much).
+pub fn error_taxonomy(files: &[SourceFile], sink: &mut Sink) {
     // Pass 1: collect types with an Error impl, plus per-crate `Result`
     // aliases (e.g. tks-worm's `pub type Result<T> = Result<T, WormError>`).
     let mut error_types: BTreeSet<String> = BTreeSet::new();
@@ -634,8 +450,8 @@ pub fn error_taxonomy(files: &[SourceFile], report: &mut Report) {
         }
     }
 
-    // Pass 2: check public fallible signatures in production code.
-    let mut sink = Sink { report };
+    // Pass 2: check public fallible signatures in production code, walking
+    // the item tree's `fn` items.
     for file in files.iter().filter(|f| under_any(&f.rel, &PROD_PREFIXES)) {
         for (line_no, sig) in pub_fn_signatures(file) {
             let Some(ret) = return_type(&sig) else {
@@ -684,6 +500,38 @@ pub fn error_taxonomy(files: &[SourceFile], report: &mut Report) {
     }
 }
 
+/// Extract `(line_number, signature_text)` for every public `fn` item in
+/// non-test code, straight from the item tree: the signature runs from the
+/// `fn` keyword token to the body's `{` (or the terminating `;`).
+fn pub_fn_signatures(file: &SourceFile) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    let toks = &file.tokens;
+    for (item, in_test) in file.tree.functions() {
+        if in_test || !item.is_pub {
+            continue;
+        }
+        let Some(kw) = toks.get(item.tok_kw) else {
+            continue;
+        };
+        let end_byte = match item.tok_body_open.and_then(|b| toks.get(b)) {
+            Some(t) => t.start,
+            None => toks
+                .get(item.tok_end.saturating_sub(1))
+                .map(|t| t.start)
+                .unwrap_or(file.code.len()),
+        };
+        if end_byte <= kw.start {
+            continue;
+        }
+        let sig: String = file.code[kw.start..end_byte]
+            .chars()
+            .map(|c| if c == '\n' { ' ' } else { c })
+            .collect();
+        out.push((item.kw_line, sig));
+    }
+    out
+}
+
 /// Rule `commit-point-order`: DOCMETA is the commit point — the record
 /// whose presence makes a document durable — so it must be the **last**
 /// WORM append of a commit path.  Crash recovery quarantines everything
@@ -691,18 +539,23 @@ pub fn error_taxonomy(files: &[SourceFile], report: &mut Report) {
 /// the DOCMETA append would make a torn commit *visible* (metadata whole,
 /// postings missing) instead of quarantinable.
 ///
-/// Lexically: inside any one non-test function in `crates/core/src/`, a
-/// write-path `open(DOCMETA_FILE)` site must not be followed by an
-/// index-path append (`store.append(…)`, a B-tree `insert_with(…)`, or a
-/// positional-sidecar append) later in the same function.
-pub fn commit_point_order(files: &[SourceFile], report: &mut Report) {
-    let mut sink = Sink { report };
+/// Per item-tree `fn` span: inside any one non-test function in
+/// `crates/core/src/`, a write-path `open(DOCMETA_FILE)` site must not be
+/// followed by an index-path append (`store.append(…)`, a B-tree
+/// `insert_with(…)`, or a positional-sidecar append) later in the same
+/// function.
+pub fn commit_point_order(files: &[SourceFile], sink: &mut Sink) {
     for file in files
         .iter()
         .filter(|f| f.rel.starts_with("crates/core/src/"))
     {
         let lines: Vec<&str> = file.code.lines().collect();
-        for (start, end) in function_spans(file) {
+        for (item, in_test) in file.tree.functions() {
+            if in_test || item.tok_body_open.is_none() {
+                continue;
+            }
+            let start = item.kw_line.saturating_sub(1);
+            let end = item.end_line.saturating_sub(1);
             let mut docmeta: Option<(usize, usize)> = None;
             let mut index_after: Option<usize> = None;
             for (i, line) in lines
@@ -711,7 +564,7 @@ pub fn commit_point_order(files: &[SourceFile], report: &mut Report) {
                 .take((end + 1).min(lines.len()))
                 .skip(start)
             {
-                if file.test_mask.get(i).copied().unwrap_or(false) {
+                if file.tree.in_test(i) {
                     continue;
                 }
                 if let Some(col) = line.find("open(DOCMETA_FILE)") {
@@ -758,218 +611,25 @@ fn is_index_append(line: &str) -> bool {
     .any(|pat| line.contains(pat))
 }
 
-/// `(start, end)` 0-based inclusive line spans of `fn` bodies, by brace
-/// counting over the stripped source.  Closures don't use the `fn`
-/// keyword, so they stay inside their enclosing function's span; nested
-/// `fn` items are handled by the stack.  A `;` before the body's `{`
-/// cancels a pending signature (trait method declarations).
-fn function_spans(file: &SourceFile) -> Vec<(usize, usize)> {
-    let mut out = Vec::new();
-    let mut stack: Vec<(usize, i32)> = Vec::new();
-    let mut pending_fn: Option<usize> = None;
-    let mut depth = 0i32;
-    for (i, line) in file.code.lines().enumerate() {
-        if idents(line).iter().any(|&(_, id)| id == "fn") {
-            pending_fn = Some(i);
-        }
-        for c in line.chars() {
-            match c {
-                '{' => {
-                    if let Some(start) = pending_fn.take() {
-                        stack.push((start, depth));
-                    }
-                    depth += 1;
-                }
-                '}' => {
-                    depth -= 1;
-                    if stack.last().is_some_and(|&(_, d)| d == depth) {
-                        if let Some((start, _)) = stack.pop() {
-                            out.push((start, i));
-                        }
-                    }
-                }
-                ';' => pending_fn = None,
-                _ => {}
-            }
-        }
-    }
-    out
-}
-
-/// `crates/<name>/…` → `crates/<name>/`.
-fn crate_prefix(rel: &str) -> Option<&str> {
-    if let Some(rest) = rel.strip_prefix("crates/") {
-        let end = rest.find('/')?;
-        return Some(&rel[..("crates/".len() + end + 1)]);
-    }
-    if rel.starts_with("src/") {
-        return Some("src/");
-    }
-    None
-}
-
-fn last_segment(ty: &str) -> String {
-    let t = ty.trim().trim_start_matches('&').trim();
-    let t = t.split('<').next().unwrap_or(t).trim();
-    t.rsplit("::").next().unwrap_or(t).trim().to_string()
-}
-
-/// Find `Result<` as a path segment (not e.g. `MyResult<`).
-fn find_result(ret: &str) -> Option<usize> {
-    let b = ret.as_bytes();
-    let mut from = 0;
-    while let Some(p) = ret[from..].find("Result<") {
-        let i = from + p;
-        let prev_ok = i == 0 || !(b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_');
-        if prev_ok {
-            return Some(i);
-        }
-        from = i + 1;
-    }
-    None
-}
-
-/// Given text starting at/containing `…<A, B, …>`, return the second
-/// top-level generic argument, if any.
-fn second_generic_arg(s: &str) -> Option<String> {
-    let open = s.find('<')?;
-    let mut depth = 0i32;
-    let mut args: Vec<String> = vec![String::new()];
-    for c in s[open..].chars() {
-        match c {
-            '<' | '(' | '[' => {
-                depth += 1;
-                if depth > 1 {
-                    args.last_mut()?.push(c);
-                }
-            }
-            '>' | ')' | ']' => {
-                depth -= 1;
-                if depth == 0 && c == '>' {
-                    break;
-                }
-                args.last_mut()?.push(c);
-            }
-            ',' if depth == 1 => args.push(String::new()),
-            _ if depth >= 1 => args.last_mut()?.push(c),
-            _ => {}
-        }
-    }
-    args.get(1).map(|a| a.trim().to_string())
-}
-
-/// Extract `(line_number, signature_text)` for every `pub fn` in non-test
-/// code.  The signature runs from `fn` to the first `{` or `;`.
-fn pub_fn_signatures(file: &SourceFile) -> Vec<(usize, String)> {
-    let mut out = Vec::new();
-    let lines: Vec<&str> = file.code.lines().collect();
-    for (i, line) in lines.iter().enumerate() {
-        if file.test_mask.get(i).copied().unwrap_or(false) {
-            continue;
-        }
-        let toks = idents(line);
-        let mut found = None;
-        for w in toks.windows(2) {
-            if w[0].1 == "pub" && (w[1].1 == "fn" || w[1].1 == "const" || w[1].1 == "async") {
-                // `pub fn`, `pub const fn`, `pub async fn` — find the `fn`.
-                if let Some((col, _)) = toks.iter().find(|(c, id)| *id == "fn" && *c >= w[0].0) {
-                    found = Some(*col);
-                }
-                break;
-            }
-        }
-        let Some(fn_col) = found else { continue };
-        // Accumulate until `{` or `;`.
-        let mut sig = String::new();
-        let mut j = i;
-        let mut rest = &lines[i][fn_col..];
-        loop {
-            if let Some(p) = rest.find(['{', ';']) {
-                sig.push_str(&rest[..p]);
-                break;
-            }
-            sig.push_str(rest);
-            sig.push(' ');
-            j += 1;
-            match lines.get(j) {
-                Some(l) => rest = l,
-                None => break,
-            }
-        }
-        out.push((i + 1, sig));
-    }
-    out
-}
-
-/// Return-type text of a signature: everything after the `->` that sits at
-/// parenthesis depth zero (so `fn(f: impl Fn(u32) -> u64) -> …` finds the
-/// outer arrow).
-fn return_type(sig: &str) -> Option<String> {
-    let b = sig.as_bytes();
-    let mut depth = 0i32;
-    let mut i = 0;
-    while i < b.len() {
-        match b[i] {
-            b'(' => depth += 1,
-            b')' => depth -= 1,
-            b'-' if depth == 0 && b.get(i + 1) == Some(&b'>') => {
-                let ret = sig[i + 2..].trim();
-                // Trim a trailing where-clause.
-                let ret = match ret.find(" where ") {
-                    Some(w) => &ret[..w],
-                    None => ret,
-                };
-                return Some(ret.trim().to_string());
-            }
-            _ => {}
-        }
-        i += 1;
-    }
-    None
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn generic_args_split_at_top_level() {
-        assert_eq!(
-            second_generic_arg("Result<Vec<(u32, u64)>, ListError>").as_deref(),
-            Some("ListError")
-        );
-        assert_eq!(second_generic_arg("Result<T>"), None);
-    }
-
-    #[test]
-    fn return_type_skips_closure_arrows() {
-        let sig = "fn apply(f: impl Fn(u32) -> u64) -> Result<u64, JumpError>";
-        assert_eq!(return_type(sig).as_deref(), Some("Result<u64, JumpError>"));
-    }
-
-    #[test]
-    fn last_segment_strips_paths_and_generics() {
-        assert_eq!(last_segment("crate::persist::PersistError"), "PersistError");
-        assert_eq!(last_segment("&JumpError"), "JumpError");
-        assert_eq!(last_segment("PhantomData<T>"), "PhantomData");
-    }
-
-    #[test]
-    fn find_result_requires_segment_boundary() {
-        assert_eq!(find_result("MyResult<u8>"), None);
-        assert_eq!(find_result("std::result::Result<u8, E>"), Some(13));
-    }
+    use crate::report::Report;
+    use std::path::PathBuf;
 
     fn core_fixture(src: &str) -> SourceFile {
-        let code = crate::scan::strip_code(src);
-        let test_mask = crate::scan::test_line_mask(&code);
-        SourceFile {
-            path: std::path::PathBuf::from("crates/core/src/engine.rs"),
-            rel: "crates/core/src/engine.rs".to_string(),
-            raw: src.to_string(),
-            code,
-            test_mask,
-        }
+        SourceFile::from_source(
+            PathBuf::from("crates/core/src/engine.rs"),
+            "crates/core/src/engine.rs".to_string(),
+            src.to_string(),
+        )
+    }
+
+    fn run(rule: fn(&[SourceFile], &mut Sink), files: &[SourceFile]) -> Report {
+        let mut report = Report::default();
+        let mut sink = Sink::new(&mut report);
+        rule(files, &mut sink);
+        report
     }
 
     #[test]
@@ -982,8 +642,7 @@ fn add(&mut self) -> Result<(), E> {
     Ok(())
 }
 ";
-        let mut report = Report::default();
-        commit_point_order(&[core_fixture(src)], &mut report);
+        let report = run(commit_point_order, &[core_fixture(src)]);
         assert_eq!(report.findings.len(), 1);
         assert_eq!(report.findings[0].rule, "commit-point-order");
         assert_eq!(report.findings[0].line, 2);
@@ -1005,8 +664,7 @@ fn recover() -> Result<(), E> {
     Ok(())
 }
 ";
-        let mut report = Report::default();
-        commit_point_order(&[core_fixture(src)], &mut report);
+        let report = run(commit_point_order, &[core_fixture(src)]);
         assert!(report.findings.is_empty(), "{:?}", report.findings);
     }
 
@@ -1032,8 +690,7 @@ mod tests {
     }
 }
 ";
-        let mut report = Report::default();
-        commit_point_order(&[core_fixture(src)], &mut report);
+        let report = run(commit_point_order, &[core_fixture(src)]);
         assert!(report.findings.is_empty(), "{:?}", report.findings);
     }
 
@@ -1047,27 +704,36 @@ fn migrate(&mut self) -> Result<(), E> {
     Ok(())
 }
 ";
-        let mut report = Report::default();
-        commit_point_order(&[core_fixture(src)], &mut report);
+        let report = run(commit_point_order, &[core_fixture(src)]);
         assert!(report.findings.is_empty());
         assert_eq!(report.suppressed, 1);
     }
 
     #[test]
-    fn function_spans_track_nested_items_and_closures() {
+    fn error_taxonomy_covers_pub_crate_fns() {
         let src = "\
-fn outer() {
-    let f = |x: u32| {
-        x + 1
-    };
-    fn inner() {
-        ()
-    }
+pub(crate) fn helper() -> Result<u8, String> {
+    Ok(1)
 }
 ";
-        let file = core_fixture(src);
-        let spans = function_spans(&file);
-        assert!(spans.contains(&(0, 7)), "{spans:?}");
-        assert!(spans.contains(&(4, 6)), "{spans:?}");
+        let report = run(error_taxonomy, &[core_fixture(src)]);
+        assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+        assert_eq!(report.findings[0].line, 1);
+    }
+
+    #[test]
+    fn error_taxonomy_item_scoped_allow_covers_whole_fn() {
+        let src = "\
+// audit:allow(error-taxonomy) — migration shim
+#[inline]
+pub fn legacy(
+    x: u8,
+) -> Result<u8, String> {
+    Ok(x)
+}
+";
+        let report = run(error_taxonomy, &[core_fixture(src)]);
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+        assert_eq!(report.suppressed, 1);
     }
 }

@@ -1,0 +1,483 @@
+//! The audit rules.
+//!
+//! Each rule walks the pre-processed [`SourceFile`]s (token stream, item
+//! tree, and the derived stripped view) and emits [`Finding`]s through a
+//! shared [`Sink`].  Findings can be suppressed two ways:
+//!
+//! * a **rule allowlist** of path prefixes (e.g. `crates/worm/` may name
+//!   overwrite APIs — it implements the WORM device and must reject them);
+//! * an **inline directive**: a comment containing `audit:allow(<rule>)`
+//!   either in an item's header block (suppresses the rule for the whole
+//!   item) or on/above the offending line (statement scope).
+//!
+//! Suppressed findings are counted in [`Report::suppressed`], and the sink
+//! records *which* directive did the suppressing, so the report can list
+//! directives that suppressed nothing — a dead `audit:allow` is a
+//! suppression wider than its author believes, which is its own bug class.
+//!
+//! The rules are split by the machinery they need:
+//!
+//! * [`lexical`] — the eight original line/ident-pattern rules, ported
+//!   onto the token-derived views with identical findings;
+//! * [`structural`] — rules that need item extents or statement structure
+//!   (`trusted-conjunction`, `atomic-ordering`, `guard-across-io`);
+//! * [`coverage`] — whole-workspace cross-file analysis
+//!   (`taxonomy-coverage`).
+
+pub mod coverage;
+pub mod lexical;
+pub mod structural;
+
+pub use coverage::taxonomy_coverage;
+pub use lexical::{
+    commit_point_order, error_taxonomy, forbid_unsafe, hot_path_io, no_panic_in_prod,
+    shard_isolation, wire_versioning, worm_append_only,
+};
+pub use structural::{atomic_ordering, guard_across_io, trusted_conjunction};
+
+use crate::report::{Finding, Report, Severity};
+use crate::scan::SourceFile;
+use std::collections::BTreeSet;
+
+/// Production crates subject to the panic and taxonomy rules: the storage
+/// and query layers whose failures must surface as typed errors (a crash
+/// during a compliance lookup is indistinguishable from a hidden record).
+pub const PROD_PREFIXES: [&str; 7] = [
+    "crates/core/src/",
+    "crates/worm/src/",
+    "crates/jump/src/",
+    "crates/postings/src/",
+    "crates/shard/src/",
+    "crates/server/src/",
+    "crates/client/src/",
+];
+
+/// Crates that speak the network protocol, subject to `wire-versioning`.
+pub(crate) const WIRE_PREFIXES: [&str; 2] = ["crates/server/src/", "crates/client/src/"];
+
+/// The envelope module — the one file in the network crates that may name
+/// serde.  Everything that crosses the wire is defined here, behind the
+/// protocol-version byte.
+pub const WIRE_ENVELOPE: &str = "crates/server/src/wire.rs";
+
+/// Path prefixes subject to `hot-path-io` and `guard-across-io`: the
+/// crates whose read paths are supposed to be block-granular
+/// (`read_block` / `read_exact_at` batched reads, decoded a block at a
+/// time) and lock-free across device I/O.
+pub(crate) const HOT_PATH_PREFIXES: [&str; 2] = ["crates/postings/src/", "crates/core/src/"];
+
+/// One rule's registry entry: identity, a one-line description (used for
+/// SARIF `shortDescription` and the README table), and its severity.
+pub struct RuleMeta {
+    /// Rule identifier as written in findings and `audit:allow(…)`.
+    pub id: &'static str,
+    /// One-line description.
+    pub summary: &'static str,
+    /// Severity every finding of the rule carries.
+    pub severity: Severity,
+}
+
+/// Every rule the audit runs, in execution order.  SARIF output indexes
+/// into this table.
+pub const RULES: [RuleMeta; 12] = [
+    RuleMeta {
+        id: "no-panic-in-prod",
+        summary: "no unwrap/expect or panicking macros in production code; \
+                  indexing is warned",
+        severity: Severity::Deny,
+    },
+    RuleMeta {
+        id: "worm-append-only",
+        summary: "only crates/worm may name truncation/overwrite APIs; \
+                  committed extents are immutable",
+        severity: Severity::Deny,
+    },
+    RuleMeta {
+        id: "shard-isolation",
+        summary: "the shard layer is pure orchestration and must not name \
+                  storage-layer APIs",
+        severity: Severity::Deny,
+    },
+    RuleMeta {
+        id: "forbid-unsafe",
+        summary: "no `unsafe` anywhere; library roots carry \
+                  #![forbid(unsafe_code)]",
+        severity: Severity::Deny,
+    },
+    RuleMeta {
+        id: "error-taxonomy",
+        summary: "public fallible APIs in production crates return errors \
+                  from the workspace taxonomy",
+        severity: Severity::Deny,
+    },
+    RuleMeta {
+        id: "wire-versioning",
+        summary: "serde stays in the versioned envelope module; internal \
+                  types never cross the wire directly",
+        severity: Severity::Deny,
+    },
+    RuleMeta {
+        id: "hot-path-io",
+        summary: "constant-length per-record reads on the block-granular \
+                  read path",
+        severity: Severity::Warn,
+    },
+    RuleMeta {
+        id: "commit-point-order",
+        summary: "DOCMETA is the commit point and must be the last WORM \
+                  append of a commit path",
+        severity: Severity::Deny,
+    },
+    RuleMeta {
+        id: "trusted-conjunction",
+        summary: "the `trusted` verdict originates only in the verification \
+                  module and combines only conjunctively elsewhere",
+        severity: Severity::Deny,
+    },
+    RuleMeta {
+        id: "atomic-ordering",
+        summary: "watermark atomics publish with Release/Acquire, never \
+                  Relaxed",
+        severity: Severity::Deny,
+    },
+    RuleMeta {
+        id: "guard-across-io",
+        summary: "no Mutex/RwLock guard held across device I/O in the hot \
+                  read-path crates",
+        severity: Severity::Deny,
+    },
+    RuleMeta {
+        id: "taxonomy-coverage",
+        summary: "wire error codes are handled by the client and every prod \
+                  error enum is carried by the TksError taxonomy",
+        severity: Severity::Deny,
+    },
+];
+
+/// Look up a rule's registry entry.
+pub fn rule_meta(id: &str) -> Option<&'static RuleMeta> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+/// Shared finding sink: applies `audit:allow` suppression and records
+/// which directives were consumed, keyed `(file, directive line, rule)`.
+pub struct Sink<'a> {
+    pub(crate) report: &'a mut Report,
+    /// Directives that suppressed at least one finding.
+    pub used_allows: BTreeSet<(String, usize, String)>,
+}
+
+impl<'a> Sink<'a> {
+    /// Wrap a report.
+    pub fn new(report: &'a mut Report) -> Self {
+        Sink {
+            report,
+            used_allows: BTreeSet::new(),
+        }
+    }
+
+    /// Emit a finding at 1-based `line_no` and 0-based `col0`, unless a
+    /// directive suppresses it.
+    pub fn emit(
+        &mut self,
+        file: &SourceFile,
+        rule: &'static str,
+        severity: Severity,
+        line_no: usize,
+        col0: usize,
+        message: String,
+    ) {
+        if let Some(d) = file.allow_for(line_no, rule) {
+            self.report.suppressed += 1;
+            self.used_allows.insert((file.rel.clone(), d.line, d.rule));
+            return;
+        }
+        self.report.findings.push(Finding {
+            rule,
+            severity,
+            file: file.rel.clone(),
+            line: line_no,
+            col: col0 + 1,
+            message,
+            snippet: file.snippet(line_no),
+        });
+    }
+}
+
+/// Run every rule over `files`, accumulating into `report`; returns the
+/// set of `audit:allow` directives that suppressed at least one finding.
+pub fn run_all(files: &[SourceFile], report: &mut Report) -> BTreeSet<(String, usize, String)> {
+    let mut sink = Sink::new(report);
+    no_panic_in_prod(files, &mut sink);
+    worm_append_only(files, &mut sink);
+    shard_isolation(files, &mut sink);
+    forbid_unsafe(files, &mut sink);
+    error_taxonomy(files, &mut sink);
+    wire_versioning(files, &mut sink);
+    hot_path_io(files, &mut sink);
+    commit_point_order(files, &mut sink);
+    trusted_conjunction(files, &mut sink);
+    atomic_ordering(files, &mut sink);
+    guard_across_io(files, &mut sink);
+    taxonomy_coverage(files, &mut sink);
+    sink.used_allows
+}
+
+// ---------------------------------------------------------------------------
+// Shared text helpers (operate on the stripped view).
+// ---------------------------------------------------------------------------
+
+pub(crate) fn under_any(rel: &str, prefixes: &[&str]) -> bool {
+    prefixes.iter().any(|p| rel.starts_with(p))
+}
+
+/// Iterate identifiers in a stripped line as `(column0, ident)`.
+pub(crate) fn idents(line: &str) -> Vec<(usize, &str)> {
+    let b = line.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let start = i;
+            while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                i += 1;
+            }
+            out.push((start, &line[start..i]));
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+pub(crate) fn next_non_ws(line: &str, from: usize) -> Option<u8> {
+    line.as_bytes()[from..]
+        .iter()
+        .copied()
+        .find(|c| !c.is_ascii_whitespace())
+}
+
+/// The leading identifier of `s` (after trimming), if it starts with one.
+pub(crate) fn first_word(s: &str) -> &str {
+    let s = s.trim_start();
+    let end = s
+        .bytes()
+        .position(|c| !(c.is_ascii_alphanumeric() || c == b'_'))
+        .unwrap_or(s.len());
+    &s[..end]
+}
+
+/// `crates/<name>/…` → `crates/<name>/`.
+pub(crate) fn crate_prefix(rel: &str) -> Option<&str> {
+    if let Some(rest) = rel.strip_prefix("crates/") {
+        let end = rest.find('/')?;
+        return Some(&rel[..("crates/".len() + end + 1)]);
+    }
+    if rel.starts_with("src/") {
+        return Some("src/");
+    }
+    None
+}
+
+pub(crate) fn last_segment(ty: &str) -> String {
+    let t = ty.trim().trim_start_matches('&').trim();
+    let t = t.split('<').next().unwrap_or(t).trim();
+    t.rsplit("::").next().unwrap_or(t).trim().to_string()
+}
+
+/// Find `Result<` as a path segment (not e.g. `MyResult<`).
+pub(crate) fn find_result(ret: &str) -> Option<usize> {
+    let b = ret.as_bytes();
+    let mut from = 0;
+    while let Some(p) = ret[from..].find("Result<") {
+        let i = from + p;
+        let prev_ok = i == 0 || !(b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_');
+        if prev_ok {
+            return Some(i);
+        }
+        from = i + 1;
+    }
+    None
+}
+
+/// Given text starting at/containing `…<A, B, …>`, return the second
+/// top-level generic argument, if any.
+pub(crate) fn second_generic_arg(s: &str) -> Option<String> {
+    let open = s.find('<')?;
+    let mut depth = 0i32;
+    let mut args: Vec<String> = vec![String::new()];
+    for c in s[open..].chars() {
+        match c {
+            '<' | '(' | '[' => {
+                depth += 1;
+                if depth > 1 {
+                    args.last_mut()?.push(c);
+                }
+            }
+            '>' | ')' | ']' => {
+                depth -= 1;
+                if depth == 0 && c == '>' {
+                    break;
+                }
+                args.last_mut()?.push(c);
+            }
+            ',' if depth == 1 => args.push(String::new()),
+            _ if depth >= 1 => args.last_mut()?.push(c),
+            _ => {}
+        }
+    }
+    args.get(1).map(|a| a.trim().to_string())
+}
+
+/// Return-type text of a signature: everything after the `->` that sits at
+/// parenthesis depth zero (so `fn(f: impl Fn(u32) -> u64) -> …` finds the
+/// outer arrow).
+pub(crate) fn return_type(sig: &str) -> Option<String> {
+    let b = sig.as_bytes();
+    let mut depth = 0i32;
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'(' => depth += 1,
+            b')' => depth -= 1,
+            b'-' if depth == 0 && b.get(i + 1) == Some(&b'>') => {
+                let ret = sig[i + 2..].trim();
+                // Trim a trailing where-clause.
+                let ret = match ret.find(" where ") {
+                    Some(w) => &ret[..w],
+                    None => ret,
+                };
+                return Some(ret.trim().to_string());
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Is the identifier immediately before the `.` at `dot` an `fs`-suffixed
+/// receiver (`fs`, `self.fs`, `doc_fs`, …)?
+pub(crate) fn receiver_ends_with_fs(line: &str, dot: usize) -> bool {
+    let b = line.as_bytes();
+    let mut s = dot;
+    while s > 0 && (b[s - 1].is_ascii_alphanumeric() || b[s - 1] == b'_') {
+        s -= 1;
+    }
+    line.get(s..dot).is_some_and(|id| id.ends_with("fs"))
+}
+
+/// The argument text of a call whose opening paren sits just before
+/// `lines[idx][start..]`, spanning at most a few lines.
+pub(crate) fn call_args(lines: &[&str], idx: usize, start: usize) -> Option<String> {
+    let mut out = String::new();
+    let mut depth = 1i32;
+    let mut j = idx;
+    let mut rest: &str = lines.get(j)?.get(start..)?;
+    loop {
+        for (k, c) in rest.char_indices() {
+            match c {
+                '(' | '[' => depth += 1,
+                ')' | ']' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        out.push_str(rest.get(..k).unwrap_or(""));
+                        return Some(out);
+                    }
+                }
+                _ => {}
+            }
+        }
+        out.push_str(rest);
+        out.push(' ');
+        j += 1;
+        if j > idx + 4 {
+            return None;
+        }
+        rest = lines.get(j)?;
+    }
+}
+
+/// The last top-level comma-separated argument of `args`.
+pub(crate) fn last_top_level_arg(args: &str) -> Option<String> {
+    let mut depth = 0i32;
+    let mut last_start = 0usize;
+    for (k, c) in args.char_indices() {
+        match c {
+            '(' | '[' => depth += 1,
+            ')' | ']' => depth -= 1,
+            ',' if depth == 0 => last_start = k + 1,
+            _ => {}
+        }
+    }
+    let a = args.get(last_start..)?.trim();
+    (!a.is_empty()).then(|| a.to_string())
+}
+
+/// A compile-time-constant length: an integer literal (`2`, `8_192`,
+/// `0x10`, `8usize`) or an ALL-CAPS const path (`META_RECORD`,
+/// `codec::POSTING_SIZE`), optionally with a trailing cast.
+pub(crate) fn is_const_len(arg: &str) -> bool {
+    let a = arg.split(" as ").next().unwrap_or(arg).trim();
+    if a.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        return true;
+    }
+    let last_seg = a.rsplit("::").next().unwrap_or(a).trim();
+    !last_seg.is_empty()
+        && last_seg
+            .chars()
+            .all(|c| c.is_ascii_uppercase() || c.is_ascii_digit() || c == '_')
+        && last_seg.chars().any(|c| c.is_ascii_uppercase())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generic_args_split_at_top_level() {
+        assert_eq!(
+            second_generic_arg("Result<Vec<(u32, u64)>, ListError>").as_deref(),
+            Some("ListError")
+        );
+        assert_eq!(second_generic_arg("Result<T>"), None);
+    }
+
+    #[test]
+    fn return_type_skips_closure_arrows() {
+        let sig = "fn apply(f: impl Fn(u32) -> u64) -> Result<u64, JumpError>";
+        assert_eq!(return_type(sig).as_deref(), Some("Result<u64, JumpError>"));
+    }
+
+    #[test]
+    fn last_segment_strips_paths_and_generics() {
+        assert_eq!(last_segment("crate::persist::PersistError"), "PersistError");
+        assert_eq!(last_segment("&JumpError"), "JumpError");
+        assert_eq!(last_segment("PhantomData<T>"), "PhantomData");
+    }
+
+    #[test]
+    fn find_result_requires_segment_boundary() {
+        assert_eq!(find_result("MyResult<u8>"), None);
+        assert_eq!(find_result("std::result::Result<u8, E>"), Some(13));
+    }
+
+    #[test]
+    fn first_word_takes_leading_ident() {
+        assert_eq!(first_word("  true,"), "true");
+        assert_eq!(first_word("true && x"), "true");
+        assert_eq!(first_word("!x"), "");
+    }
+
+    #[test]
+    fn rule_registry_covers_every_rule_once() {
+        let mut ids: Vec<&str> = RULES.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), RULES.len(), "duplicate rule id in registry");
+        assert!(rule_meta("no-panic-in-prod").is_some());
+        assert!(rule_meta("taxonomy-coverage").is_some());
+        assert!(rule_meta("nope").is_none());
+    }
+}

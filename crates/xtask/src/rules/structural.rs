@@ -1,0 +1,473 @@
+//! Structural rules: checks that need item extents, statement shape, or
+//! binding liveness — things the line-oriented engine could not express.
+//!
+//! * [`trusted_conjunction`] — the paper's §4 ranking-attack
+//!   countermeasure as a lint: the `trusted` verdict may only *originate*
+//!   in the verification module, and everywhere else may only get more
+//!   conservative (`&&` / `&=`).
+//! * [`atomic_ordering`] — the commit-point watermark publishes with
+//!   `Release` and is read with `Acquire`; `Relaxed` on a watermark
+//!   atomic silently breaks the readers' happens-before argument.
+//! * [`guard_across_io`] — a lock guard held across a device read stalls
+//!   every concurrent searcher on storage latency; the hot read path
+//!   copies what it needs out of the lock before touching I/O.
+
+use super::{first_word, idents, under_any, Sink, HOT_PATH_PREFIXES, PROD_PREFIXES};
+use crate::report::Severity;
+use crate::scan::SourceFile;
+
+/// The one module allowed to *originate* a `trusted` verdict: the engine's
+/// verification path, which derives it from the tamper-log check.
+const TRUSTED_INIT_MODULE: &str = "crates/core/src/engine.rs";
+
+/// Rule `trusted-conjunction`: the `trusted` flag on query responses is
+/// the paper's §4 countermeasure against ranking attacks — it may only be
+/// *derived* from verification (the tamper-log scan in the engine) and
+/// may only ever get more conservative as responses flow outward.
+/// Outside the allowlisted verification module, non-test code:
+///
+/// * must not assign literal `true` to a `trusted` binding or field
+///   (`trusted = true`, `trusted: true`) — that manufactures trust;
+/// * must not combine disjunctively (`trusted |= …`, `trusted ^= …`, or
+///   an assignment whose right-hand side contains `||`) — trust must not
+///   come back once lost;
+/// * may copy (`trusted: resp.trusted`), clear (`= false`), and combine
+///   conjunctively (`&&`, `&=`).
+pub fn trusted_conjunction(files: &[SourceFile], sink: &mut Sink) {
+    for file in files.iter().filter(|f| {
+        under_any(&f.rel, &PROD_PREFIXES) && f.rel != TRUSTED_INIT_MODULE
+    }) {
+        for line in file.lines() {
+            if line.in_test {
+                continue;
+            }
+            for (col, id) in idents(line.code) {
+                if id != "trusted" {
+                    continue;
+                }
+                let rest = line.code[col + id.len()..].trim_start();
+                let offence = if let Some(value) = rest.strip_prefix(':') {
+                    // Struct init / field shorthand: only literal `true`
+                    // manufactures trust.  (`trusted: bool` declarations
+                    // and copies are fine.)
+                    (first_word(value) == "true").then_some(
+                        "literal `true` assigned to a `trusted` field",
+                    )
+                } else if rest.starts_with("|=") || rest.starts_with("^=") {
+                    Some("disjunctive compound assignment to `trusted`")
+                } else if rest.starts_with("&=") || rest.starts_with("==") {
+                    None // conjunctive combine / comparison: fine anywhere
+                } else if let Some(rhs) = rest.strip_prefix('=') {
+                    if first_word(rhs) == "true" {
+                        Some("literal `true` assigned to `trusted`")
+                    } else if rhs_contains_or(rhs) {
+                        Some("disjunction on the right-hand side of a `trusted` assignment")
+                    } else {
+                        None
+                    }
+                } else {
+                    None
+                };
+                if let Some(what) = offence {
+                    sink.emit(
+                        file,
+                        "trusted-conjunction",
+                        Severity::Deny,
+                        line.number,
+                        col,
+                        format!(
+                            "{what}; the `trusted` verdict originates only in the \
+                             verification module ({TRUSTED_INIT_MODULE}) and may only \
+                             be combined conjunctively (`&&`/`&=`) elsewhere — \
+                             trust must never be manufactured or regained (paper §4 \
+                             ranking-attack countermeasure)"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Does the assignment right-hand side (up to the statement's `;`) contain
+/// a logical-or?  `||` only — a single `|` is a bitwise or on integers and
+/// never applies to the bool flag without also tripping `|=`.
+fn rhs_contains_or(rhs: &str) -> bool {
+    let stmt = rhs.split(';').next().unwrap_or(rhs);
+    stmt.contains("||")
+}
+
+/// Crates whose watermark atomics this rule polices: the engine core
+/// (commit-point watermark) and the shard layer that republishes it.
+const WATERMARK_SCOPE: [&str; 2] = ["crates/core/src/", "crates/shard/src/"];
+
+/// Rule `atomic-ordering`: the commit watermark is the one piece of shared
+/// state that tells searchers how far the WORM log is durable.  Its writer
+/// must publish with `Release` and its readers must observe with `Acquire`
+/// — `Ordering::Relaxed` on a watermark-named atomic gives a reader the
+/// watermark value without the happens-before edge to the appends it
+/// covers, so a searcher could read past the commit point into torn data.
+pub fn atomic_ordering(files: &[SourceFile], sink: &mut Sink) {
+    for file in files
+        .iter()
+        .filter(|f| under_any(&f.rel, &WATERMARK_SCOPE))
+    {
+        let lines: Vec<&str> = file.code.lines().collect();
+        for (idx, line) in lines.iter().enumerate() {
+            if file.tree.in_test(idx) {
+                continue;
+            }
+            let ids = idents(line);
+            let Some(&(col, _)) = ids.iter().find(|(_, id)| *id == "Relaxed") else {
+                continue;
+            };
+            // The receiver may sit on an earlier line of the same
+            // *statement* (rustfmt wraps long `store` calls): join
+            // continuation lines back to the previous statement boundary
+            // (`;`/`{`/`}`) so a watermark mention in an unrelated earlier
+            // statement cannot implicate this one.
+            let mut stmt_start = idx;
+            while stmt_start > 0 && idx - stmt_start < 4 {
+                let prev = lines[stmt_start - 1].trim_end();
+                if prev.ends_with(';') || prev.ends_with('{') || prev.ends_with('}') {
+                    break;
+                }
+                stmt_start -= 1;
+            }
+            let window = stmt_start..=idx;
+            let names_watermark = window.clone().any(|j| {
+                lines.get(j).is_some_and(|l| {
+                    idents(l)
+                        .iter()
+                        .any(|(_, id)| id.to_ascii_lowercase().contains("watermark"))
+                })
+            });
+            let is_atomic_op = window.clone().any(|j| {
+                lines.get(j).is_some_and(|l| {
+                    [".store(", ".load(", ".swap(", ".compare_exchange", ".fetch_"]
+                        .iter()
+                        .any(|p| l.contains(p))
+                })
+            });
+            if names_watermark && is_atomic_op {
+                sink.emit(
+                    file,
+                    "atomic-ordering",
+                    Severity::Deny,
+                    idx + 1,
+                    col,
+                    "`Ordering::Relaxed` on a watermark atomic: the commit watermark \
+                     must publish with `Release` and be read with `Acquire`, or \
+                     searchers can observe it without the happens-before edge to the \
+                     appends it covers"
+                        .to_string(),
+                );
+            }
+        }
+    }
+}
+
+/// A lock guard binding that is still live.
+struct Guard {
+    name: String,
+    line: usize,
+    depth: i32,
+}
+
+/// Rule `guard-across-io`: in the hot read-path crates, a `Mutex`/`RwLock`
+/// guard binding must not be live across a `WormFs`/`StorageCache` device
+/// I/O call.  Holding the decoded-block cache lock (or any other) across a
+/// device read serializes every concurrent searcher behind storage
+/// latency; the read path copies what it needs out of the lock, drops the
+/// guard, and then reads.  Function-scoped via the item tree: a guard is
+/// live from its `let` binding until its enclosing block closes or an
+/// explicit `drop(guard)`.
+pub fn guard_across_io(files: &[SourceFile], sink: &mut Sink) {
+    for file in files
+        .iter()
+        .filter(|f| under_any(&f.rel, &HOT_PATH_PREFIXES))
+    {
+        let lines: Vec<&str> = file.code.lines().collect();
+        for (item, in_test) in file.tree.functions() {
+            if in_test || item.tok_body_open.is_none() {
+                continue;
+            }
+            let start = item.kw_line.saturating_sub(1);
+            let end = item.end_line.saturating_sub(1).min(lines.len().saturating_sub(1));
+            let mut guards: Vec<Guard> = Vec::new();
+            let mut depth = 0i32;
+            for (i, &line) in lines.iter().enumerate().take(end + 1).skip(start) {
+                if file.tree.in_test(i) {
+                    continue;
+                }
+                // Explicit drop ends a guard's liveness early.
+                guards.retain(|g| !line.contains(&format!("drop({})", g.name)));
+                // Device I/O while any guard is live?
+                if let Some(col) = io_call_col(line) {
+                    for g in &guards {
+                        sink.emit(
+                            file,
+                            "guard-across-io",
+                            Severity::Deny,
+                            i + 1,
+                            col,
+                            format!(
+                                "device I/O with lock guard `{}` (bound at line {}) still \
+                                 live; copy what you need out of the lock and drop the \
+                                 guard before touching storage — a guard held across a \
+                                 device read serializes every concurrent searcher",
+                                g.name, g.line
+                            ),
+                        );
+                    }
+                }
+                // New guard binding on this line?
+                if let Some(name) = guard_binding(line) {
+                    guards.push(Guard {
+                        name,
+                        line: i + 1,
+                        depth,
+                    });
+                }
+                // Track block structure; a guard dies when its block closes.
+                for c in line.chars() {
+                    match c {
+                        '{' => depth += 1,
+                        '}' => {
+                            depth -= 1;
+                            // A guard bound at depth d dies when its block
+                            // closes, i.e. when depth drops below d.
+                            guards.retain(|g| depth >= g.depth);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Column of a device-I/O call on the stripped line, if any: a block read,
+/// a positioned read, or an `fs`-receiver read/append.
+fn io_call_col(line: &str) -> Option<usize> {
+    for pat in [".read_block(", ".read_exact_at(", ".write_at("] {
+        if let Some(p) = line.find(pat) {
+            return Some(p);
+        }
+    }
+    for pat in [".read(", ".append("] {
+        let mut from = 0;
+        while let Some(p) = line.get(from..).and_then(|s| s.find(pat)) {
+            let i = from + p;
+            if super::receiver_ends_with_fs(line, i) {
+                return Some(i);
+            }
+            from = i + pat.len();
+        }
+    }
+    None
+}
+
+/// The bound name of a lock-guard `let` on the stripped line, if the line
+/// is one: `let [mut] NAME = …lock()…` / `….read()` / `….write()`.
+fn guard_binding(line: &str) -> Option<String> {
+    let t = line.trim_start();
+    let rest = t.strip_prefix("let ")?;
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+    let name = super::first_word(rest);
+    if name.is_empty() {
+        return None;
+    }
+    let rhs = &rest[name.len()..];
+    let acquires = rhs.contains(".lock(") || rhs.contains(".read()") || rhs.contains(".write()");
+    acquires.then(|| name.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Report;
+    use std::path::PathBuf;
+
+    fn fixture(rel: &str, src: &str) -> SourceFile {
+        SourceFile::from_source(PathBuf::from(rel), rel.to_string(), src.to_string())
+    }
+
+    fn run(rule: fn(&[SourceFile], &mut Sink), files: &[SourceFile]) -> Report {
+        let mut report = Report::default();
+        let mut sink = Sink::new(&mut report);
+        rule(files, &mut sink);
+        report
+    }
+
+    #[test]
+    fn guard_binding_detects_lock_acquisitions() {
+        assert_eq!(
+            guard_binding("    let cache = self.blocks.lock().unwrap_or_default();"),
+            Some("cache".to_string())
+        );
+        assert_eq!(
+            guard_binding("    let mut map = self.state.write();"),
+            Some("map".to_string())
+        );
+        assert_eq!(guard_binding("    let n = fs.read(f, 0, len)?;"), None);
+        assert_eq!(guard_binding("    cache.lock();"), None);
+    }
+
+    #[test]
+    fn io_col_requires_fs_receiver_for_plain_read() {
+        assert!(io_call_col("    let b = self.doc_fs.read(f, 0, n)?;").is_some());
+        assert!(io_call_col("    let b = cache.read();").is_none());
+        assert!(io_call_col("    let b = store.read_block(id)?;").is_some());
+    }
+
+    #[test]
+    fn trusted_literal_true_denied_outside_verifier() {
+        let src = "\
+fn merge(resp: &mut Response) {
+    resp.trusted = true;
+}
+";
+        let report = run(trusted_conjunction, &[fixture("crates/shard/src/service.rs", src)]);
+        assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+        assert_eq!(report.findings[0].rule, "trusted-conjunction");
+        assert_eq!(report.findings[0].line, 2);
+    }
+
+    #[test]
+    fn trusted_conjunctive_and_copies_allowed() {
+        let src = "\
+fn merge(out: &mut Response, resp: &Response) {
+    out.trusted &= resp.trusted;
+    out.trusted = out.trusted && resp.trusted;
+    out.trusted = false;
+    let copy = Response { trusted: resp.trusted, hits: 0 };
+    if out.trusted == resp.trusted {}
+}
+struct Response { trusted: bool, hits: u32 }
+";
+        let report = run(trusted_conjunction, &[fixture("crates/shard/src/service.rs", src)]);
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+    }
+
+    #[test]
+    fn trusted_disjunction_denied() {
+        let src = "\
+fn merge(out: &mut Response, a: &Response, b: &Response) {
+    out.trusted |= a.trusted;
+    out.trusted = a.trusted || b.trusted;
+}
+";
+        let report = run(trusted_conjunction, &[fixture("crates/shard/src/service.rs", src)]);
+        let lines: Vec<usize> = report.findings.iter().map(|f| f.line).collect();
+        assert_eq!(lines, vec![2, 3], "{:?}", report.findings);
+    }
+
+    #[test]
+    fn trusted_verifier_module_and_tests_exempt() {
+        let src = "\
+fn verify(&self) -> Response {
+    Response { trusted: true }
+}
+#[cfg(test)]
+mod tests {
+    fn t() { let r = Response { trusted: true }; }
+}
+";
+        let in_verifier = run(
+            trusted_conjunction,
+            &[fixture("crates/core/src/engine.rs", src)],
+        );
+        assert!(in_verifier.findings.is_empty());
+        // The same cfg(test) init in another file is masked; the non-test
+        // one fires.
+        let elsewhere = run(
+            trusted_conjunction,
+            &[fixture("crates/server/src/handlers.rs", src)],
+        );
+        let lines: Vec<usize> = elsewhere.findings.iter().map(|f| f.line).collect();
+        assert_eq!(lines, vec![2], "{:?}", elsewhere.findings);
+    }
+
+    #[test]
+    fn atomic_relaxed_on_watermark_denied_release_fine() {
+        let src = "\
+fn publish(&self, v: u64) {
+    self.watermark.store(v, Ordering::Relaxed);
+    self.watermark.store(v, Ordering::Release);
+    self.stats.store(v, Ordering::Relaxed);
+}
+fn read(&self) -> u64 {
+    self.commit_watermark
+        .load(Ordering::Relaxed)
+}
+";
+        let report = run(atomic_ordering, &[fixture("crates/core/src/service.rs", src)]);
+        let lines: Vec<usize> = report.findings.iter().map(|f| f.line).collect();
+        assert_eq!(
+            lines,
+            vec![2, 8],
+            "Relaxed on watermark (same-line and wrapped) denied; Release and \
+             non-watermark atomics fine: {:?}",
+            report.findings
+        );
+    }
+
+    #[test]
+    fn guard_across_io_denies_live_guard_over_device_read() {
+        let src = "\
+fn read_posting(&self, id: BlockId) -> Result<Vec<u8>, E> {
+    let cache = self.blocks.lock();
+    if let Some(hit) = cache.get(&id) {
+        return Ok(hit.clone());
+    }
+    let bytes = self.store_fs.read(file, off, len)?;
+    Ok(bytes)
+}
+";
+        let report = run(guard_across_io, &[fixture("crates/postings/src/list.rs", src)]);
+        assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+        assert_eq!(report.findings[0].line, 6);
+        assert!(report.findings[0].message.contains("`cache`"));
+    }
+
+    #[test]
+    fn guard_across_io_accepts_drop_before_read_and_scoped_guards() {
+        let src = "\
+fn read_posting(&self, id: BlockId) -> Result<Vec<u8>, E> {
+    let cache = self.blocks.lock();
+    let cached = cache.get(&id).cloned();
+    drop(cache);
+    if let Some(hit) = cached {
+        return Ok(hit);
+    }
+    let bytes = self.store_fs.read(file, off, len)?;
+    {
+        let scoped = self.blocks.lock();
+        scoped.insert(id);
+    }
+    let more = self.store_fs.read(file, off2, len2)?;
+    let _ = more;
+    Ok(bytes)
+}
+";
+        let report = run(guard_across_io, &[fixture("crates/postings/src/list.rs", src)]);
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+    }
+
+    #[test]
+    fn guard_across_io_honours_inline_allow() {
+        let src = "\
+fn recover(&self) -> Result<(), E> {
+    let state = self.state.lock();
+    // audit:allow(guard-across-io) — single-threaded recovery path
+    let bytes = self.doc_fs.read(file, 0, 16)?;
+    let _ = (state, bytes);
+    Ok(())
+}
+";
+        let report = run(guard_across_io, &[fixture("crates/core/src/recover.rs", src)]);
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+        assert_eq!(report.suppressed, 1);
+    }
+}

@@ -1,0 +1,107 @@
+//! SARIF 2.1.0 output for the audit (`cargo xtask audit --sarif`).
+//!
+//! SARIF (Static Analysis Results Interchange Format) is the schema CI
+//! forges ingest to annotate pull requests with per-line findings.  The
+//! encoder is hand-rolled like the JSON report (the vendored serde stub
+//! has no `Value`); the structure is the minimal valid subset: one run,
+//! the full rule registry as `tool.driver.rules` (so viewers can show
+//! rule metadata even for clean runs), and one `result` per finding with
+//! a physical location.  Deny maps to SARIF `error`, warn to `warning`.
+
+use crate::report::{json_escape, Report, Severity};
+use crate::rules::RULES;
+
+/// Schema URI pinned in the output; the snapshot test asserts it.
+pub const SARIF_SCHEMA: &str = "https://json.schemastore.org/sarif-2.1.0.json";
+
+fn level(severity: Severity) -> &'static str {
+    match severity {
+        Severity::Deny => "error",
+        Severity::Warn => "warning",
+    }
+}
+
+/// Render the report as a SARIF 2.1.0 log.
+pub fn render_sarif(report: &Report) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\n  \"$schema\": \"{SARIF_SCHEMA}\",\n  \"version\": \"2.1.0\",\n  \"runs\": [\n    {{\n"
+    ));
+    out.push_str(
+        "      \"tool\": {\n        \"driver\": {\n          \"name\": \"tks-audit\",\n          \
+         \"informationUri\": \"https://example.invalid/tks/audit\",\n          \
+         \"version\": \"2.0.0\",\n          \"rules\": [\n",
+    );
+    for (i, meta) in RULES.iter().enumerate() {
+        out.push_str(&format!(
+            "            {{\"id\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}, \
+             \"defaultConfiguration\": {{\"level\": \"{}\"}}}}{}\n",
+            json_escape(meta.id),
+            json_escape(meta.summary),
+            level(meta.severity),
+            if i + 1 < RULES.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("          ]\n        }\n      },\n      \"results\": [\n");
+    for (i, f) in report.findings.iter().enumerate() {
+        let rule_index = RULES
+            .iter()
+            .position(|m| m.id == f.rule)
+            .expect("finding references a registered rule");
+        out.push_str(&format!(
+            "        {{\"ruleId\": \"{}\", \"ruleIndex\": {}, \"level\": \"{}\", \
+             \"message\": {{\"text\": \"{}\"}}, \"locations\": [{{\"physicalLocation\": \
+             {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": {}, \
+             \"startColumn\": {}, \"snippet\": {{\"text\": \"{}\"}}}}}}}}]}}{}\n",
+            json_escape(f.rule),
+            rule_index,
+            level(f.severity),
+            json_escape(&f.message),
+            json_escape(&f.file),
+            f.line,
+            f.col,
+            json_escape(&f.snippet),
+            if i + 1 < report.findings.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Finding;
+
+    #[test]
+    fn clean_report_renders_all_rules_and_no_results() {
+        let sarif = render_sarif(&Report::default());
+        assert!(sarif.contains(SARIF_SCHEMA));
+        assert!(sarif.contains("\"version\": \"2.1.0\""));
+        for meta in RULES {
+            assert!(sarif.contains(&format!("\"id\": \"{}\"", meta.id)));
+        }
+        assert!(sarif.contains("\"results\": [\n      ]"));
+    }
+
+    #[test]
+    fn finding_maps_to_result_with_location_and_rule_index() {
+        let report = Report {
+            findings: vec![Finding {
+                rule: "forbid-unsafe",
+                severity: Severity::Deny,
+                file: "crates/core/src/engine.rs".into(),
+                line: 12,
+                col: 5,
+                message: "unsafe block".into(),
+                snippet: "unsafe { *p }".into(),
+            }],
+            ..Default::default()
+        };
+        let sarif = render_sarif(&report);
+        let idx = RULES.iter().position(|m| m.id == "forbid-unsafe").unwrap();
+        assert!(sarif.contains(&format!("\"ruleId\": \"forbid-unsafe\", \"ruleIndex\": {idx}, \"level\": \"error\"")));
+        assert!(sarif.contains("\"uri\": \"crates/core/src/engine.rs\""));
+        assert!(sarif.contains("\"startLine\": 12, \"startColumn\": 5"));
+    }
+}

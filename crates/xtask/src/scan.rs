@@ -1,13 +1,20 @@
-//! Source model for the audit: load `.rs` files, blank out comments and
-//! string/char literals (so pattern rules never fire inside them), and mark
-//! which lines belong to `#[cfg(test)]`-gated items.
+//! Source model for the audit: load `.rs` files and derive every view the
+//! rules need from **one lex + one item-tree build per file**.
 //!
-//! The scanner is deliberately lexical, not syntactic: it never parses Rust,
-//! it only tracks enough state (comment nesting, string kinds, brace depth)
-//! to answer "is this byte code, and is it test-only code?".  That keeps the
-//! tool dependency-free and fast, at the cost of a few documented
-//! heuristics (see [`strip_code`] and [`test_line_mask`]).
+//! Since the v2 engine, a [`SourceFile`] carries the token stream
+//! ([`crate::lex`]) and the item tree ([`crate::tree`]) as the primary
+//! representations; the stripped "code view" and the `#[cfg(test)]` line
+//! mask are derived from them (not from the old line-oriented state
+//! machine), so token-level rules, item-scoped suppression, and the legacy
+//! line-pattern helpers all agree on what is code and what is test-only.
+//!
+//! The original hand-rolled stripper survives as [`strip_legacy`]: it is
+//! the oracle for the lexer property test
+//! (`stripped(lex(src)) == strip_legacy(src)`), pinning the port as
+//! behaviour-preserving.
 
+use crate::lex::{self, Token};
+use crate::tree::{self, Directive, ItemTree};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -18,14 +25,16 @@ pub struct SourceFile {
     pub path: PathBuf,
     /// Path relative to the workspace root, with `/` separators.
     pub rel: String,
-    /// Raw file contents (used for allow-directive comments and snippets).
+    /// Raw file contents (used for snippets).
     pub raw: String,
+    /// Token stream of `raw`.
+    pub tokens: Vec<Token>,
+    /// Item tree built over `tokens`.
+    pub tree: ItemTree,
     /// Contents with comments and string/char literal bodies blanked to
-    /// spaces.  Same length and line structure as `raw`.
+    /// spaces, derived from the token stream.  Same length and line
+    /// structure as `raw`.
     pub code: String,
-    /// `mask[i]` is true when line `i` (0-based) is inside a
-    /// `#[cfg(test)]`-gated item.
-    pub test_mask: Vec<bool>,
 }
 
 impl SourceFile {
@@ -37,15 +46,22 @@ impl SourceFile {
             .unwrap_or(&path)
             .to_string_lossy()
             .replace('\\', "/");
-        let code = strip_code(&raw);
-        let test_mask = test_line_mask(&code);
-        Ok(Self {
+        Ok(Self::from_source(path, rel, raw))
+    }
+
+    /// Build the model from in-memory source (used by rule unit tests).
+    pub fn from_source(path: PathBuf, rel: String, raw: String) -> Self {
+        let tokens = lex::lex(&raw);
+        let tree = tree::build(&raw, &tokens);
+        let code = lex::stripped(&raw, &tokens);
+        Self {
             path,
             rel,
             raw,
+            tokens,
+            tree,
             code,
-            test_mask,
-        })
+        }
     }
 
     /// Lines of the stripped view, zipped with 1-based line numbers, raw
@@ -59,8 +75,29 @@ impl SourceFile {
                 number: i + 1,
                 code,
                 raw,
-                in_test: self.test_mask.get(i).copied().unwrap_or(false),
+                in_test: self.tree.in_test(i),
             })
+    }
+
+    /// Is 1-based `line` inside `#[cfg(test)]`-gated code?
+    pub fn in_test(&self, line: usize) -> bool {
+        self.tree.in_test(line.saturating_sub(1))
+    }
+
+    /// The directive suppressing `rule` at 1-based `line`, if any (see
+    /// [`ItemTree::allow_for`]).
+    pub fn allow_for(&self, line: usize, rule: &str) -> Option<Directive> {
+        self.tree.allow_for(line, rule)
+    }
+
+    /// The trimmed raw text of 1-based `line` (finding snippets).
+    pub fn snippet(&self, line: usize) -> String {
+        self.raw
+            .lines()
+            .nth(line.saturating_sub(1))
+            .unwrap_or("")
+            .trim()
+            .to_string()
     }
 }
 
@@ -70,7 +107,7 @@ pub struct LineView<'a> {
     pub number: usize,
     /// Stripped view (comments/literals blanked).
     pub code: &'a str,
-    /// Raw view (for snippets and allow directives).
+    /// Raw view (for snippets).
     pub raw: &'a str,
     /// Whether the line is inside a `#[cfg(test)]` item.
     pub in_test: bool,
@@ -104,8 +141,9 @@ fn walk_into(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
-/// Blank comments and string/char literal bodies to spaces, preserving
-/// newlines and byte offsets.
+/// The original line-oriented stripper, kept verbatim as the oracle for
+/// the lexer property test: blank comments and string/char literal bodies
+/// to spaces, preserving newlines and byte offsets.
 ///
 /// Handles line comments, nested block comments, `"…"` and `b"…"` strings
 /// with escapes, raw strings `r"…"` / `r#"…"#` (any hash count), and char
@@ -113,7 +151,7 @@ fn walk_into(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
 /// a few bytes (`'x'`, `'\n'`, `'\u{..}'`); otherwise it is a lifetime and
 /// left alone.  This is the standard lexical heuristic and is exact for
 /// rustfmt-formatted sources.
-pub fn strip_code(raw: &str) -> String {
+pub fn strip_legacy(raw: &str) -> String {
     let b = raw.as_bytes();
     let mut out: Vec<u8> = Vec::with_capacity(b.len());
     let mut i = 0;
@@ -194,7 +232,16 @@ pub fn strip_code(raw: &str) -> String {
             i += skip;
             while i < b.len() {
                 if b[i] == b'\\' {
-                    out.extend_from_slice(b"  ");
+                    // An escaped newline (string continuation) must stay a
+                    // newline or every later line number drifts — the one
+                    // v1 bug fixed in this otherwise-verbatim copy (the v2
+                    // lexer preserves line structure; the oracle must too).
+                    out.push(b' ');
+                    if b.get(i + 1) == Some(&b'\n') {
+                        out.push(b'\n');
+                    } else if i + 1 < b.len() {
+                        out.push(b' ');
+                    }
                     i += 2;
                     continue;
                 }
@@ -237,8 +284,8 @@ pub fn strip_code(raw: &str) -> String {
         out.push(c);
         i += 1;
     }
-    // strip_code operates on bytes but only ever replaces bytes with spaces,
-    // so the result is valid UTF-8 whenever the input was.
+    // strip_legacy operates on bytes but only ever replaces bytes with
+    // spaces, so the result is valid UTF-8 whenever the input was.
     String::from_utf8(out).unwrap_or_default()
 }
 
@@ -247,94 +294,36 @@ fn prev_is_ident(out: &[u8]) -> bool {
         .is_some_and(|&c| c.is_ascii_alphanumeric() || c == b'_')
 }
 
-/// Mark lines covered by `#[cfg(test)]`-gated items.
-///
-/// Tracks brace depth over the stripped source; when a `#[cfg(test)]`
-/// attribute is seen, the next `{` opens a test region that closes when the
-/// depth returns to its opening value.  Attribute lines between the cfg and
-/// the item body (e.g. an `#[allow(…)]` stack) are included.  A `;` before
-/// any `{` cancels the pending attribute (covers `#[cfg(test)] use …;`).
-pub fn test_line_mask(code: &str) -> Vec<bool> {
-    let mut mask = Vec::new();
-    let mut depth: usize = 0;
-    let mut regions: Vec<usize> = Vec::new();
-    let mut pending = false;
-    for line in code.lines() {
-        let compact: String = line.chars().filter(|c| !c.is_whitespace()).collect();
-        let attr_here = compact.contains("#[cfg(test)]");
-        if attr_here {
-            pending = true;
-        }
-        mask.push(!regions.is_empty() || pending);
-        for ch in line.chars() {
-            match ch {
-                '{' => {
-                    if pending {
-                        regions.push(depth);
-                        pending = false;
-                    }
-                    depth += 1;
-                }
-                '}' => {
-                    depth = depth.saturating_sub(1);
-                    if regions.last() == Some(&depth) {
-                        regions.pop();
-                    }
-                }
-                ';' if pending && !attr_here => pending = false,
-                _ => {}
-            }
-        }
-        // `#[cfg(test)] use foo;` on one line: the `;` handler above skips
-        // same-line cancellation, so handle it here.
-        if attr_here && pending && compact.ends_with(';') {
-            pending = false;
-        }
-    }
-    mask
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn file(rel: &str, src: &str) -> SourceFile {
+        SourceFile::from_source(PathBuf::from(rel), rel.to_string(), src.to_string())
+    }
+
     #[test]
-    fn strips_comments_and_strings() {
+    fn derived_code_view_strips_comments_and_strings() {
         let src = "let x = \"unwrap()\"; // unwrap()\nlet y = 1; /* panic! */\n";
-        let s = strip_code(src);
-        assert!(!s.contains("unwrap"));
-        assert!(!s.contains("panic"));
-        assert!(s.contains("let x ="));
-        assert_eq!(s.lines().count(), src.lines().count());
+        let f = file("crates/core/src/lib.rs", src);
+        assert!(!f.code.contains("unwrap"));
+        assert!(!f.code.contains("panic"));
+        assert!(f.code.contains("let x ="));
+        assert_eq!(f.code.lines().count(), src.lines().count());
     }
 
     #[test]
-    fn strips_raw_strings_and_keeps_lifetimes() {
-        let src = "let s = r#\"panic!(\"x\")\"#; fn f<'a>(x: &'a str) {}";
-        let s = strip_code(src);
-        assert!(!s.contains("panic"));
-        assert!(s.contains("<'a>"));
+    fn derived_view_agrees_with_legacy_on_tricky_input() {
+        let src = "let s = r#\"panic!(\"x\")\"#; fn f<'a>(x: &'a str) {}\nlet c = '\\n'; let q = '\"'; let s2 = \"after\";\n";
+        let f = file("crates/core/src/lib.rs", src);
+        assert_eq!(f.code, strip_legacy(src));
     }
 
     #[test]
-    fn char_literals_blanked() {
-        let src = "let c = '\\n'; let q = '\"'; let s = \"after\";";
-        let s = strip_code(src);
-        assert!(!s.contains("after"));
-        assert!(!s.contains('"'));
-    }
-
-    #[test]
-    fn test_mask_covers_cfg_test_mod() {
+    fn test_mask_via_tree() {
         let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n";
-        let mask = test_line_mask(&strip_code(src));
+        let f = file("crates/core/src/lib.rs", src);
+        let mask: Vec<bool> = f.lines().map(|l| l.in_test).collect();
         assert_eq!(mask, vec![false, true, true, true, true, false]);
-    }
-
-    #[test]
-    fn test_mask_handles_attr_stack_and_use() {
-        let src = "#[cfg(test)]\n#[allow(deprecated)]\nmod tests {\n    fn t() {}\n}\n#[cfg(test)] use x;\nfn prod() {}\n";
-        let mask = test_line_mask(&strip_code(src));
-        assert_eq!(mask, vec![true, true, true, true, true, true, false]);
     }
 }

@@ -1,0 +1,722 @@
+//! A lightweight item tree over the token stream.
+//!
+//! [`build`] brace-matches the [`lex`](crate::lex) token stream into a
+//! nested tree of items — `mod`, `fn`, `impl`, `struct`, `enum`, `trait`,
+//! `use`/`const`/`static`/`type` statements — and attaches three things to
+//! each item *structurally* instead of by line proximity:
+//!
+//! * its **attributes** (`#[cfg(test)]`, `#[cfg(feature = …)]`, …), so
+//!   test gating follows the annotated item exactly, attribute stacks and
+//!   multi-line headers included;
+//! * any **`audit:allow(rule)` directives** written in the item's header
+//!   (doc/attribute block), which suppress that rule for the whole item;
+//! * its **token and line span**, so function-scoped rules
+//!   (`commit-point-order`, `guard-across-io`) and signature-scoped rules
+//!   (`error-taxonomy`) iterate real item extents instead of counting
+//!   braces themselves.
+//!
+//! Directives written *inside* a body keep the legacy statement scope:
+//! they suppress findings on their own line and the line below.  Both
+//! forms are tracked, so the report can list directives that suppressed
+//! nothing (the "silently dead allow" bug class this tree exists to kill).
+
+use crate::lex::{TokKind, Token};
+use std::collections::BTreeMap;
+
+/// What kind of item a node is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemKind {
+    /// `mod name { … }` (or `mod name;`).
+    Mod,
+    /// `fn name(…) { … }` (or a bodyless trait-method declaration).
+    Fn,
+    /// `impl … { … }`.
+    Impl,
+    /// `struct name …`.
+    Struct,
+    /// `enum name { … }`.
+    Enum,
+    /// `trait name { … }`.
+    Trait,
+    /// `use`/`const`/`static`/`type`/`union`/`macro_rules` and anything
+    /// else that takes attributes but the audit has no special handling
+    /// for.
+    Other,
+}
+
+/// One item in the tree.
+#[derive(Debug)]
+pub struct Item {
+    /// What the item is.
+    pub kind: ItemKind,
+    /// Its name, when one directly follows the keyword (`impl` has none).
+    pub name: Option<String>,
+    /// Compacted attribute texts (whitespace removed), e.g. `cfg(test)`.
+    pub attrs: Vec<String>,
+    /// Rules suppressed for the whole item by `audit:allow(rule)`
+    /// directives in its header, with the directive's line.
+    pub allows: Vec<(usize, String)>,
+    /// Whether the item (not counting ancestors) is `#[cfg(test)]`-gated.
+    pub cfg_test: bool,
+    /// Whether the item is `pub` (any visibility form: `pub`,
+    /// `pub(crate)`, `pub(super)`, …).
+    pub is_pub: bool,
+    /// 1-based first line (first attribute or doc line when present).
+    pub start_line: usize,
+    /// 1-based line of the item keyword itself.
+    pub kw_line: usize,
+    /// 1-based last line (closing brace, or terminating `;`).
+    pub end_line: usize,
+    /// Token index of the item keyword.
+    pub tok_kw: usize,
+    /// Token index of the body's `{`, when the item has a body.
+    pub tok_body_open: Option<usize>,
+    /// Token index one past the item's last token.
+    pub tok_end: usize,
+    /// Nested items.
+    pub children: Vec<Item>,
+}
+
+/// One `audit:allow(rule)` directive, wherever it was written.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Directive {
+    /// 1-based line of the comment.
+    pub line: usize,
+    /// The rule it names.
+    pub rule: String,
+}
+
+/// The parsed file: item tree plus derived per-line views.
+#[derive(Debug)]
+pub struct ItemTree {
+    /// Top-level items.
+    pub items: Vec<Item>,
+    /// `test_mask[i]` is true when 0-based line `i` belongs to a
+    /// `#[cfg(test)]`-gated item (attribute lines included).
+    pub test_mask: Vec<bool>,
+    /// Every `audit:allow` directive in the file, in order.
+    pub directives: Vec<Directive>,
+    /// Line-scoped suppression map: directives keyed by the line they sit
+    /// on (they also cover the line below, legacy statement scope).
+    pub line_allows: BTreeMap<usize, Vec<String>>,
+}
+
+impl ItemTree {
+    /// Is 0-based line `i` inside `#[cfg(test)]`-gated code?
+    pub fn in_test(&self, line0: usize) -> bool {
+        self.test_mask.get(line0).copied().unwrap_or(false)
+    }
+
+    /// The directive suppressing `rule` at 1-based `line`, if any: either
+    /// a line-scoped directive on `line`/`line - 1`, or an item-scoped
+    /// directive on an enclosing item whose header names the rule.
+    pub fn allow_for(&self, line: usize, rule: &str) -> Option<Directive> {
+        for l in [line, line.saturating_sub(1)] {
+            if l == 0 {
+                continue;
+            }
+            if let Some(rules) = self.line_allows.get(&l) {
+                if rules.iter().any(|r| r == rule) {
+                    return Some(Directive {
+                        line: l,
+                        rule: rule.to_string(),
+                    });
+                }
+            }
+        }
+        item_allow(&self.items, line, rule)
+    }
+
+    /// Depth-first iterator over every item (preorder).
+    pub fn walk(&self) -> Vec<&Item> {
+        let mut out = Vec::new();
+        fn rec<'a>(items: &'a [Item], out: &mut Vec<&'a Item>) {
+            for it in items {
+                out.push(it);
+                rec(&it.children, out);
+            }
+        }
+        rec(&self.items, &mut out);
+        out
+    }
+
+    /// Every `fn` item with a body, with test-gating resolved through its
+    /// ancestors: `(item, in_test)`.
+    pub fn functions(&self) -> Vec<(&Item, bool)> {
+        let mut out = Vec::new();
+        fn rec<'a>(items: &'a [Item], inherited: bool, out: &mut Vec<(&'a Item, bool)>) {
+            for it in items {
+                let gated = inherited || it.cfg_test;
+                if it.kind == ItemKind::Fn {
+                    out.push((it, gated));
+                }
+                rec(&it.children, gated, out);
+            }
+        }
+        rec(&self.items, false, &mut out);
+        out
+    }
+}
+
+fn item_allow(items: &[Item], line: usize, rule: &str) -> Option<Directive> {
+    for it in items {
+        if line < it.start_line || line > it.end_line {
+            continue;
+        }
+        if let Some((l, r)) = it.allows.iter().find(|(_, r)| r == rule) {
+            return Some(Directive {
+                line: *l,
+                rule: r.clone(),
+            });
+        }
+        if let Some(d) = item_allow(&it.children, line, rule) {
+            return Some(d);
+        }
+    }
+    None
+}
+
+/// Item keywords that open a header.
+fn item_kw(id: &str) -> Option<ItemKind> {
+    Some(match id {
+        "mod" => ItemKind::Mod,
+        "fn" => ItemKind::Fn,
+        "impl" => ItemKind::Impl,
+        "struct" => ItemKind::Struct,
+        "enum" => ItemKind::Enum,
+        "trait" => ItemKind::Trait,
+        "use" | "static" | "type" | "union" | "macro_rules" | "const" => ItemKind::Other,
+        _ => None?,
+    })
+}
+
+/// Visibility / qualifier identifiers that may precede an item keyword
+/// without ending the pending attribute group.
+fn is_modifier(id: &str) -> bool {
+    matches!(id, "pub" | "async" | "unsafe" | "extern" | "default" | "crate")
+}
+
+struct Open {
+    item: Item,
+    depth: i32,
+}
+
+/// An in-flight item header: keyword seen, body `{` or terminating `;`
+/// not yet reached.
+struct Header {
+    kind: ItemKind,
+    name: Option<String>,
+    attrs: Vec<String>,
+    allows: Vec<(usize, String)>,
+    is_pub: bool,
+    start_line: usize,
+    kw_line: usize,
+    tok_kw: usize,
+    /// Paren/bracket nesting inside the header (a `;` only terminates at
+    /// zero, so `fn f(x: [u8; 4])` survives).
+    nest: i32,
+    /// `<`-nesting heuristic for generics, so `->` and comparisons in
+    /// const-generic defaults don't confuse `;` handling (kept simple: we
+    /// only guard `;`, which cannot appear inside `<…>` except via
+    /// brackets already counted in `nest`).
+    _generics: (),
+}
+
+/// Build the item tree for `src` from its token stream.
+pub fn build(src: &str, tokens: &[Token]) -> ItemTree {
+    let total_lines = src.lines().count().max(1);
+    let mut roots: Vec<Item> = Vec::new();
+    let mut stack: Vec<Open> = Vec::new();
+    let mut depth: i32 = 0;
+
+    let mut directives: Vec<Directive> = Vec::new();
+    let mut line_allows: BTreeMap<usize, Vec<String>> = BTreeMap::new();
+
+    // Pending header material: attributes and allow-directives waiting for
+    // the next item keyword.
+    let mut pending_attrs: Vec<String> = Vec::new();
+    let mut pending_allows: Vec<(usize, String)> = Vec::new();
+    let mut pending_start: Option<usize> = None;
+    let mut pending_pub = false;
+    let mut header: Option<Header> = None;
+
+    let mut i = 0;
+    while i < tokens.len() {
+        let t = &tokens[i];
+        match t.kind {
+            TokKind::Comment => {
+                for rule in allow_rules(t.text(src)) {
+                    directives.push(Directive {
+                        line: t.line,
+                        rule: rule.clone(),
+                    });
+                    line_allows.entry(t.line).or_default().push(rule.clone());
+                    if let Some(h) = header.as_mut() {
+                        h.allows.push((t.line, rule));
+                    } else {
+                        pending_allows.push((t.line, rule));
+                    }
+                }
+                i += 1;
+                continue;
+            }
+            TokKind::Punct(b'#') if header.is_none() => {
+                // Attribute: `#[…]` (outer) or `#![…]` (inner, file/scope
+                // level — consumed but not attached to a pending item).
+                let mut j = i + 1;
+                let inner = matches!(tokens.get(j), Some(t) if t.kind == TokKind::Punct(b'!'));
+                if inner {
+                    j += 1;
+                }
+                if matches!(tokens.get(j), Some(t) if t.kind == TokKind::Punct(b'[')) {
+                    let (text, end) = consume_attr(src, tokens, j);
+                    if !inner {
+                        if pending_start.is_none() {
+                            pending_start = Some(t.line);
+                        }
+                        pending_attrs.push(text);
+                    }
+                    i = end;
+                    continue;
+                }
+                i += 1;
+                continue;
+            }
+            TokKind::Ident => {
+                let id = t.text(src);
+                if let Some(h) = header.as_mut() {
+                    // `pub const fn` / `const NAME` disambiguation: a `fn`
+                    // keyword inside an `Other`(const) header upgrades it.
+                    if id == "fn" && h.kind == ItemKind::Other {
+                        h.kind = ItemKind::Fn;
+                        h.kw_line = t.line;
+                        h.tok_kw = i;
+                        h.name = next_ident(src, tokens, i + 1);
+                    }
+                    i += 1;
+                    continue;
+                }
+                if let Some(kind) = item_kw(id) {
+                    header = Some(Header {
+                        kind,
+                        name: if kind == ItemKind::Impl {
+                            None
+                        } else {
+                            next_ident(src, tokens, i + 1)
+                        },
+                        attrs: std::mem::take(&mut pending_attrs),
+                        allows: std::mem::take(&mut pending_allows),
+                        is_pub: pending_pub,
+                        start_line: pending_start.take().unwrap_or(t.line),
+                        kw_line: t.line,
+                        tok_kw: i,
+                        nest: 0,
+                        _generics: (),
+                    });
+                    pending_pub = false;
+                    i += 1;
+                    continue;
+                }
+                if is_modifier(id) {
+                    if id == "pub" {
+                        pending_pub = true;
+                        if pending_start.is_none() {
+                            pending_start = Some(t.line);
+                        }
+                        // Skip a `pub(crate)` / `pub(in …)` group.
+                        if matches!(tokens.get(i + 1), Some(n) if n.kind == TokKind::Punct(b'(')) {
+                            i = skip_group(tokens, i + 1, b'(', b')');
+                            continue;
+                        }
+                    }
+                    i += 1;
+                    continue;
+                }
+                // Any other identifier: expression/statement context —
+                // pending header material does not carry across it.
+                pending_attrs.clear();
+                pending_allows.clear();
+                pending_start = None;
+                pending_pub = false;
+                i += 1;
+                continue;
+            }
+            TokKind::Punct(b'{') => {
+                if let Some(h) = header.take() {
+                    stack.push(Open {
+                        item: finalize(h, t.line, i),
+                        depth,
+                    });
+                } else {
+                    pending_attrs.clear();
+                    pending_allows.clear();
+                    pending_start = None;
+                    pending_pub = false;
+                }
+                depth += 1;
+                i += 1;
+                continue;
+            }
+            TokKind::Punct(b'}') => {
+                depth -= 1;
+                if stack.last().is_some_and(|o| o.depth == depth) {
+                    if let Some(mut open) = stack.pop() {
+                        open.item.end_line = t.line;
+                        open.item.tok_end = i + 1;
+                        attach(&mut roots, &mut stack, open.item);
+                    }
+                }
+                i += 1;
+                continue;
+            }
+            TokKind::Punct(b'(') | TokKind::Punct(b'[') => {
+                if let Some(h) = header.as_mut() {
+                    h.nest += 1;
+                }
+                i += 1;
+                continue;
+            }
+            TokKind::Punct(b')') | TokKind::Punct(b']') => {
+                if let Some(h) = header.as_mut() {
+                    h.nest -= 1;
+                }
+                i += 1;
+                continue;
+            }
+            TokKind::Punct(b';') => {
+                if header.as_ref().is_some_and(|h| h.nest <= 0) {
+                    if let Some(h) = header.take() {
+                        let mut item = finalize(h, t.line, i);
+                        item.end_line = t.line;
+                        item.tok_end = i + 1;
+                        item.tok_body_open = None;
+                        attach(&mut roots, &mut stack, item);
+                    }
+                }
+                pending_attrs.clear();
+                pending_allows.clear();
+                pending_start = None;
+                pending_pub = false;
+                i += 1;
+                continue;
+            }
+            _ => {
+                i += 1;
+                continue;
+            }
+        }
+    }
+    // Unterminated input: close whatever is still open at the last line.
+    if let Some(h) = header.take() {
+        let mut item = finalize(h, total_lines, tokens.len());
+        item.end_line = total_lines;
+        item.tok_end = tokens.len();
+        item.tok_body_open = None;
+        attach(&mut roots, &mut stack, item);
+    }
+    while let Some(mut open) = stack.pop() {
+        open.item.end_line = total_lines;
+        open.item.tok_end = tokens.len();
+        attach(&mut roots, &mut stack, open.item);
+    }
+
+    let mut test_mask = vec![false; total_lines];
+    mark_tests(&roots, false, &mut test_mask);
+
+    ItemTree {
+        items: roots,
+        test_mask,
+        directives,
+        line_allows,
+    }
+}
+
+fn finalize(h: Header, body_line: usize, body_tok: usize) -> Item {
+    let cfg_test = h.attrs.iter().any(|a| a.contains("cfg(test)"));
+    Item {
+        kind: h.kind,
+        name: h.name,
+        attrs: h.attrs,
+        allows: h.allows,
+        cfg_test,
+        is_pub: h.is_pub,
+        start_line: h.start_line,
+        kw_line: h.kw_line,
+        end_line: body_line,
+        tok_kw: h.tok_kw,
+        tok_body_open: Some(body_tok),
+        tok_end: body_tok + 1,
+        children: Vec::new(),
+    }
+}
+
+fn attach(roots: &mut Vec<Item>, stack: &mut [Open], item: Item) {
+    match stack.last_mut() {
+        Some(parent) => parent.item.children.push(item),
+        None => roots.push(item),
+    }
+}
+
+fn mark_tests(items: &[Item], inherited: bool, mask: &mut [bool]) {
+    for it in items {
+        let gated = inherited || it.cfg_test;
+        if gated && !inherited {
+            for l in it.start_line..=it.end_line {
+                if let Some(slot) = mask.get_mut(l - 1) {
+                    *slot = true;
+                }
+            }
+        }
+        mark_tests(&it.children, gated, mask);
+    }
+}
+
+/// Extract every rule named by `audit:allow(rule)` in a comment.
+fn allow_rules(comment: &str) -> Vec<String> {
+    const NEEDLE: &str = "audit:allow(";
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(p) = comment[from..].find(NEEDLE) {
+        let start = from + p + NEEDLE.len();
+        if let Some(close) = comment[start..].find(')') {
+            let rule = comment[start..start + close].trim();
+            if !rule.is_empty() {
+                out.push(rule.to_string());
+            }
+            from = start + close + 1;
+        } else {
+            break;
+        }
+    }
+    out
+}
+
+/// The next code identifier at/after token `from`, skipping comments.
+fn next_ident(src: &str, tokens: &[Token], from: usize) -> Option<String> {
+    tokens[from..]
+        .iter()
+        .find(|t| t.is_code())
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text(src).to_string())
+}
+
+/// Skip a balanced `open…close` group starting at token `at` (which must
+/// be `open`); returns the index one past the matching close.
+fn skip_group(tokens: &[Token], at: usize, open: u8, close: u8) -> usize {
+    let mut depth = 0i32;
+    let mut j = at;
+    while j < tokens.len() {
+        match tokens[j].kind {
+            TokKind::Punct(c) if c == open => depth += 1,
+            TokKind::Punct(c) if c == close => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    tokens.len()
+}
+
+/// Consume an attribute whose `[` is at token `at`; returns the compacted
+/// attribute text (whitespace stripped, comments dropped) and the index
+/// one past the closing `]`.
+fn consume_attr(src: &str, tokens: &[Token], at: usize) -> (String, usize) {
+    let end = skip_group(tokens, at, b'[', b']');
+    let mut text = String::new();
+    for t in &tokens[at + 1..end.saturating_sub(1)] {
+        if t.is_code() {
+            text.push_str(&t.text(src).split_whitespace().collect::<String>());
+        }
+    }
+    (text, end)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::lex;
+
+    fn tree(src: &str) -> ItemTree {
+        build(src, &lex(src))
+    }
+
+    #[test]
+    fn test_mask_covers_cfg_test_mod() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n";
+        let t = tree(src);
+        assert_eq!(t.test_mask, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn test_mask_handles_attr_stack_and_use() {
+        let src = "#[cfg(test)]\n#[allow(deprecated)]\nmod tests {\n    fn t() {}\n}\n#[cfg(test)] use x;\nfn prod() {}\n";
+        let t = tree(src);
+        assert_eq!(
+            t.test_mask,
+            vec![true, true, true, true, true, true, false]
+        );
+    }
+
+    #[test]
+    fn nested_items_and_spans() {
+        let src = "\
+mod outer {
+    fn inner() {
+        let c = |x: u32| {
+            x + 1
+        };
+    }
+    struct S;
+}
+";
+        let t = tree(src);
+        assert_eq!(t.items.len(), 1);
+        let m = &t.items[0];
+        assert_eq!(m.kind, ItemKind::Mod);
+        assert_eq!(m.name.as_deref(), Some("outer"));
+        assert_eq!((m.start_line, m.end_line), (1, 8));
+        assert_eq!(m.children.len(), 2);
+        let f = &m.children[0];
+        assert_eq!(f.kind, ItemKind::Fn);
+        assert_eq!(f.name.as_deref(), Some("inner"));
+        assert_eq!((f.start_line, f.end_line), (2, 6), "closure stays inside");
+        assert_eq!(m.children[1].kind, ItemKind::Struct);
+    }
+
+    #[test]
+    fn pub_and_pub_crate_detected() {
+        let src = "pub fn a() {}\npub(crate) fn b() {}\nfn c() {}\npub const fn d() {}\n";
+        let t = tree(src);
+        let pubs: Vec<(Option<&str>, bool)> = t
+            .walk()
+            .iter()
+            .map(|i| (i.name.as_deref(), i.is_pub))
+            .collect();
+        assert_eq!(
+            pubs,
+            vec![
+                (Some("a"), true),
+                (Some("b"), true),
+                (Some("c"), false),
+                (Some("d"), true),
+            ]
+        );
+    }
+
+    #[test]
+    fn const_fn_header_upgrades_to_fn() {
+        let src = "pub const fn d() -> u8 { 1 }\nconst X: u8 = 1;\n";
+        let t = tree(src);
+        assert_eq!(t.items[0].kind, ItemKind::Fn);
+        assert_eq!(t.items[0].name.as_deref(), Some("d"));
+        assert_eq!(t.items[1].kind, ItemKind::Other);
+    }
+
+    #[test]
+    fn allow_directive_in_header_attaches_to_item() {
+        let src = "\
+/// Doc line.
+// audit:allow(no-panic-in-prod) — whole fn is exempt
+#[inline]
+fn exempt() {
+    let a = x.unwrap();
+    let b = y.unwrap();
+}
+fn other() {
+    z.unwrap();
+}
+";
+        let t = tree(src);
+        assert!(t.allow_for(5, "no-panic-in-prod").is_some());
+        assert!(t.allow_for(6, "no-panic-in-prod").is_some());
+        assert!(t.allow_for(9, "no-panic-in-prod").is_none());
+        assert!(t.allow_for(5, "worm-append-only").is_none());
+    }
+
+    #[test]
+    fn allow_directive_in_body_stays_line_scoped() {
+        let src = "\
+fn f() {
+    // audit:allow(no-panic-in-prod)
+    a.unwrap();
+    b.unwrap();
+}
+";
+        let t = tree(src);
+        assert!(t.allow_for(3, "no-panic-in-prod").is_some());
+        assert!(
+            t.allow_for(4, "no-panic-in-prod").is_none(),
+            "statement scope: the directive covers its own line and the next"
+        );
+    }
+
+    #[test]
+    fn directives_are_recorded_for_usage_tracking() {
+        let src = "// audit:allow(worm-append-only)\nfn f() {}\n// audit:allow(hot-path-io) trailing\n";
+        let t = tree(src);
+        assert_eq!(
+            t.directives,
+            vec![
+                Directive {
+                    line: 1,
+                    rule: "worm-append-only".into()
+                },
+                Directive {
+                    line: 3,
+                    rule: "hot-path-io".into()
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn enum_and_impl_items_expose_token_spans() {
+        let src = "\
+pub enum WormError {
+    NoSuchBlock(BlockId),
+    Io { source: String },
+}
+impl From<WormError> for TksError {
+    fn from(e: WormError) -> Self { TksError::Search(e) }
+}
+";
+        let t = tree(src);
+        assert_eq!(t.items[0].kind, ItemKind::Enum);
+        assert_eq!(t.items[0].name.as_deref(), Some("WormError"));
+        assert!(t.items[0].tok_body_open.is_some());
+        assert_eq!(t.items[1].kind, ItemKind::Impl);
+        assert_eq!(t.items[1].children.len(), 1);
+        assert_eq!(t.items[1].children[0].kind, ItemKind::Fn);
+    }
+
+    #[test]
+    fn semicolon_items_do_not_leak_attrs() {
+        let src = "#[cfg(test)] use helpers;\nfn prod() {}\n";
+        let t = tree(src);
+        assert_eq!(t.test_mask, vec![true, false]);
+        assert_eq!(t.items[1].kind, ItemKind::Fn);
+        assert!(!t.items[1].cfg_test);
+    }
+
+    #[test]
+    fn trait_fns_without_bodies_close_at_semicolon() {
+        let src = "\
+trait T {
+    fn decl(&self) -> u8;
+    fn with_default(&self) -> u8 {
+        0
+    }
+}
+";
+        let t = tree(src);
+        let tr = &t.items[0];
+        assert_eq!(tr.children.len(), 2);
+        assert_eq!(tr.children[0].end_line, 2);
+        assert!(tr.children[0].tok_body_open.is_none());
+        assert_eq!(tr.children[1].end_line, 5);
+    }
+}
