@@ -44,6 +44,9 @@ struct Summary {
     /// client counts), from the `loadgen` binary's saved results (`None`
     /// until it has been run).
     server_saturation_qps: Option<f64>,
+    /// Block-max top-k vs exhaustive disjunctive evaluation, from the
+    /// `at_scale` binary's saved results (`None` until it has been run).
+    at_scale_blockmax_speedup: Option<f64>,
 }
 
 /// The slice of `results/read_path.json` the summary folds in.
@@ -67,6 +70,12 @@ struct ShardedResults {
 #[derive(Deserialize)]
 struct LoadgenResults {
     saturation_qps: f64,
+}
+
+/// The slice of `results/at_scale.json` the summary folds in.
+#[derive(Deserialize)]
+struct AtScaleResults {
+    speedup: f64,
 }
 
 fn main() {
@@ -189,6 +198,10 @@ fn main() {
         .ok()
         .and_then(|s| serde_json::from_str::<LoadgenResults>(&s).ok())
         .map(|r| r.saturation_qps);
+    let at_scale_speedup = std::fs::read_to_string("results/at_scale.json")
+        .ok()
+        .and_then(|s| serde_json::from_str::<AtScaleResults>(&s).ok())
+        .map(|r| r.speedup);
 
     let s = Summary {
         insert_speedup,
@@ -199,6 +212,7 @@ fn main() {
         read_path_scan_speedup: read_path_speedup,
         sharded_query_speedup_4x: sharded_speedup,
         server_saturation_qps: server_qps,
+        at_scale_blockmax_speedup: at_scale_speedup,
     };
     let mut rows = vec![
         vec![
@@ -253,6 +267,15 @@ fn main() {
         ]);
     } else {
         eprintln!("[summary] results/loadgen.json not found — run `--bin loadgen` to fold in the server headline");
+    }
+    if let Some(speedup) = at_scale_speedup {
+        rows.push(vec![
+            "block-max top-k vs exhaustive disjunctive (at_scale)".into(),
+            format!("{speedup:.1}×"),
+            "n/a (impl)".into(),
+        ]);
+    } else {
+        eprintln!("[summary] results/at_scale.json not found — run `--bin at_scale` to fold in the top-k headline");
     }
     print_table(
         "Section 6 headline comparison (measured vs paper)",

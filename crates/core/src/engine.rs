@@ -545,6 +545,14 @@ pub struct SearchEngine {
     doc_freq: Vec<u64>,
     commit_times: BlockJumpIndex<TimeEntry>,
     total_tokens: u64,
+    /// Smallest committed document length ≥ 1 token (`u64::MAX` before
+    /// any such document).  Feeds the block-level score upper bound: both
+    /// ranking models are non-increasing in document length, so scoring a
+    /// block's `max_tf` at this length bounds every posting in it.
+    /// Zero-length documents are excluded — they contribute no scoring
+    /// postings, and including them would only loosen nothing (the bound
+    /// clamps at 1) while a stray empty document would pin the clamp.
+    min_doc_len: u64,
     /// Lockstep positional sidecar (present iff `config.positional`).
     positions: Option<crate::positions::PositionStore>,
     /// What the last recovery quarantined (all-zero for a fresh engine).
@@ -557,6 +565,38 @@ pub struct SearchEngine {
 
 fn recovery_err(msg: &str) -> SearchError {
     SearchError::List(tks_postings::list::ListError::Recovery(msg.to_string()))
+}
+
+/// One query term's evaluation plan for the disjunctive evaluators: the
+/// resolved physical list and tag, the ranking inputs, and the list-level
+/// score upper bound (see
+/// [`SearchEngine::disjunctive_plans`](SearchEngine)).
+struct TermPlan {
+    term: TermId,
+    tag: u32,
+    list: ListId,
+    df: u64,
+    blocks: u64,
+    /// The term's own largest saturated tf on its list (not the merged
+    /// list's overall maximum — neighbour terms' frequencies are
+    /// irrelevant to this term's score ceiling).
+    max_tf: u8,
+    ub: f64,
+}
+
+/// Sorted-deduplicated view of a caller-supplied term-ID list.  Strictly
+/// increasing input — the common case, since generated workloads emit
+/// canonical queries — is borrowed without cloning; anything else is
+/// normalised into an owned copy.
+fn normalized_ids(ids: &[TermId]) -> std::borrow::Cow<'_, [TermId]> {
+    if ids.is_sorted_by(|a, b| a < b) {
+        std::borrow::Cow::Borrowed(ids)
+    } else {
+        let mut owned = ids.to_vec();
+        owned.sort_unstable();
+        owned.dedup();
+        std::borrow::Cow::Owned(owned)
+    }
 }
 
 /// Boolean query shapes report hits with a zero score.
@@ -626,6 +666,7 @@ impl SearchEngine {
             doc_freq: Vec::new(),
             commit_times: BlockJumpIndex::new(time_cfg),
             total_tokens: 0,
+            min_doc_len: u64::MAX,
             dict: HashMap::new(),
             term_names: Vec::new(),
             positions: if config.positional {
@@ -738,6 +779,7 @@ impl SearchEngine {
         let mut commit_times = BlockJumpIndex::new(time_cfg);
         let mut docs = Vec::new();
         let mut total_tokens = 0u64;
+        let mut min_doc_len = u64::MAX;
         for i in 0..(meta_len / DOCMETA_RECORD as u64) {
             // Fixed-width metadata replay, once per recovery.
             // audit:allow(hot-path-io)
@@ -758,6 +800,9 @@ impl SearchEngine {
             }
             commit_times.insert(TimeEntry::new(ts, DocId(i)))?;
             total_tokens += len;
+            if len >= 1 {
+                min_doc_len = min_doc_len.min(len);
+            }
             docs.push(DocMeta { timestamp: ts, len });
         }
 
@@ -883,6 +928,7 @@ impl SearchEngine {
             doc_freq,
             commit_times,
             total_tokens,
+            min_doc_len,
             dict,
             term_names,
             positions,
@@ -1202,6 +1248,9 @@ impl SearchEngine {
         }
 
         self.total_tokens += len;
+        if len >= 1 {
+            self.min_doc_len = self.min_doc_len.min(len);
+        }
         self.docs.push(DocMeta { timestamp: ts, len });
         Ok(doc)
     }
@@ -1256,13 +1305,13 @@ impl SearchEngine {
         visible: u64,
     ) -> Result<QueryResponse, SearchError> {
         let visible = visible.min(self.num_docs());
-        let (hits, blocks) = match query {
+        let (hits, blocks, skipped) = match query {
             Query::Disjunctive { terms, top_k } => {
                 let ids = self.resolve_any(terms);
                 self.disjunctive_ranked(&ids, *top_k, visible)
             }
             Query::Conjunctive { terms, range } => match self.resolve_all(terms) {
-                None => (Vec::new(), 0),
+                None => (Vec::new(), 0, 0),
                 Some(ids) => {
                     let (mut docs, blocks) = self.conjunctive_terms(&ids)?;
                     docs.retain(|d| d.0 < visible);
@@ -1271,12 +1320,12 @@ impl SearchEngine {
                             self.docs_in_time_range(r.from, r.to)?.into_iter().collect();
                         docs.retain(|d| set.contains(d));
                     }
-                    (unranked_hits(docs), blocks)
+                    (unranked_hits(docs), blocks, 0)
                 }
             },
             Query::Phrase { text } => {
                 let (docs, blocks) = self.phrase_docs(text, visible)?;
-                (unranked_hits(docs), blocks)
+                (unranked_hits(docs), blocks, 0)
             }
             Query::TimeRange(r) => {
                 let mut docs = self.docs_in_time_range(r.from, r.to)?;
@@ -1284,12 +1333,13 @@ impl SearchEngine {
                 // Entries sit contiguously in the commit-time index.
                 let per_block = self.commit_times.config().entries_per_block() as u64;
                 let blocks = (docs.len() as u64).div_ceil(per_block.max(1));
-                (unranked_hits(docs), blocks)
+                (unranked_hits(docs), blocks, 0)
             }
         };
         Ok(QueryResponse {
             hits,
             blocks_read: blocks,
+            blocks_skipped: skipped,
             io: IoStats {
                 read_ios: blocks,
                 misses: blocks,
@@ -1302,41 +1352,340 @@ impl SearchEngine {
     }
 
     /// Resolve a disjunctive selector: unknown text tokens are dropped.
-    fn resolve_any(&self, terms: &TermSelector) -> Vec<TermId> {
-        let mut ids = match terms {
-            TermSelector::Text(text) => tokenizer::tokenize(text)
-                .iter()
-                .filter_map(|t| self.term_of(t))
-                .collect(),
-            TermSelector::Ids(ids) => ids.clone(),
-        };
-        ids.sort_unstable();
-        ids.dedup();
-        ids
+    /// Pre-resolved ID lists that are already strictly increasing — the
+    /// common case for generated workloads, which emit canonical queries —
+    /// are borrowed as-is instead of being cloned and re-sorted per query.
+    fn resolve_any<'a>(&self, terms: &'a TermSelector) -> std::borrow::Cow<'a, [TermId]> {
+        match terms {
+            TermSelector::Text(text) => {
+                let mut ids: Vec<TermId> = tokenizer::tokenize(text)
+                    .iter()
+                    .filter_map(|t| self.term_of(t))
+                    .collect();
+                ids.sort_unstable();
+                ids.dedup();
+                std::borrow::Cow::Owned(ids)
+            }
+            TermSelector::Ids(ids) => normalized_ids(ids),
+        }
     }
 
     /// Resolve a conjunctive selector: `None` when a text token is
     /// unknown (no document can contain it, so the result is empty).
-    fn resolve_all(&self, terms: &TermSelector) -> Option<Vec<TermId>> {
-        let mut ids = match terms {
+    fn resolve_all<'a>(&self, terms: &'a TermSelector) -> Option<std::borrow::Cow<'a, [TermId]>> {
+        match terms {
             TermSelector::Text(text) => {
                 let toks = tokenizer::tokenize(text);
                 let mut ids = Vec::with_capacity(toks.len());
                 for t in &toks {
                     ids.push(self.term_of(t)?);
                 }
-                ids
+                ids.sort_unstable();
+                ids.dedup();
+                Some(std::borrow::Cow::Owned(ids))
             }
-            TermSelector::Ids(ids) => ids.clone(),
-        };
-        ids.sort_unstable();
-        ids.dedup();
-        Some(ids)
+            TermSelector::Ids(ids) => Some(normalized_ids(ids)),
+        }
     }
 
-    /// The one implementation of ranked disjunctive search.  Returns the
-    /// hits and the distinct posting-list blocks scanned.
+    /// Build the per-term evaluation plans shared by both disjunctive
+    /// evaluators: resolved tag/list/df, the list's block count, and the
+    /// term's list-level score upper bound — sorted by descending bound.
+    ///
+    /// The sort is stable and the order is **canonical**: both the
+    /// block-max evaluator and the exhaustive reference accumulate each
+    /// document's per-term contributions in exactly this sequence, so
+    /// their floating-point sums (and therefore hits, scores, and
+    /// tie-break order) are bit-identical.  Terms never indexed are
+    /// dropped — they have no postings and contribute nothing.
+    fn disjunctive_plans(&self, terms: &[TermId], stats: CollectionStats) -> Vec<TermPlan> {
+        let mut plans: Vec<TermPlan> = Vec::with_capacity(terms.len());
+        for &term in terms {
+            let list = self.config.assignment.list_of(term);
+            let Ok(Some(tag)) = self.store.tag_of(list, term) else {
+                continue;
+            };
+            let df = self.doc_freq(term);
+            let blocks = self.store.num_blocks(list).unwrap_or(0);
+            let max_tf = self.store.max_tf_for_tag(list, tag).unwrap_or(u8::MAX);
+            // Clamped at 0 so the pruning reach in the evaluator is never
+            // negative (scores only go negative under out-of-range BM25
+            // parameters; 0 still bounds them from above).
+            let ub = self
+                .config
+                .ranking
+                .score_bound(max_tf as u32, self.min_doc_len, df, stats)
+                .max(0.0);
+            plans.push(TermPlan {
+                term,
+                tag,
+                list,
+                df,
+                blocks,
+                max_tf,
+                ub,
+            });
+        }
+        // Highest upper bound first: the terms most able to produce large
+        // scores fill the threshold before the low-impact tails are even
+        // looked at.  Stable, so bound ties keep the callers' canonical
+        // (ascending term id) order.
+        plans.sort_by(|a, b| b.ub.total_cmp(&a.ub));
+        plans
+    }
+
+    /// Ranked disjunctive search: block-max top-k with early termination.
+    ///
+    /// Terms are evaluated term-at-a-time in descending order of their
+    /// list-level score upper bound ([`RankingModel::score_bound`] at the
+    /// term's own largest tf and the collection's minimum document
+    /// length), so
+    /// the highest-impact terms establish the pruning threshold first.
+    /// θ — the k-th best *partial* score accumulated so far — only ever
+    /// grows, and every final score is at least its partial, so θ is a
+    /// sound lower bound on the final k-th score throughout the run.
+    ///
+    /// A block is skipped, without I/O, when its cache-resident
+    /// [`BlockSummary`](tks_postings::BlockSummary) proves one of:
+    ///
+    /// * **watermark** — `min_doc ≥ visible`: the block (and, doc IDs
+    ///   being non-decreasing, every later block of the list) holds only
+    ///   documents beyond the snapshot;
+    /// * **score bound** — the block's bound plus the bounds of all
+    ///   remaining terms cannot lift any document past θ (strictly), *and*
+    ///   no currently tracked contender lies in the block's doc range (a
+    ///   contender's partial score must stay exact, so its blocks are
+    ///   scanned regardless).
+    ///
+    /// Both rules are strict, so the result — hits, scores, tie-break
+    /// order — is bit-identical to
+    /// [`disjunctive_ranked_exhaustive`](Self::disjunctive_ranked_exhaustive)
+    /// (property-tested in `tests/blockmax_equivalence.rs`).  A block with
+    /// no resident summary is simply scanned — which summarises it as a
+    /// decode by-product for every later query.
+    ///
+    /// Returns `(hits, blocks_scanned, blocks_skipped)`.  Only *scanned*
+    /// blocks are charged to the Figure 8(c) cost; a skip touches nothing
+    /// but an in-memory summary.
     fn disjunctive_ranked(
+        &self,
+        terms: &[TermId],
+        top_k: usize,
+        visible: u64,
+    ) -> (Vec<SearchHit>, u64, u64) {
+        /// `f64` ordered by `total_cmp` so partial scores can live in the
+        /// top-k min-heap.
+        #[derive(PartialEq)]
+        struct OrdScore(f64);
+        impl Eq for OrdScore {}
+        impl PartialOrd for OrdScore {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for OrdScore {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                self.0.total_cmp(&other.0)
+            }
+        }
+
+        let stats = self.collection_stats();
+        let plans = self.disjunctive_plans(terms, stats);
+        if top_k == 0 || visible == 0 {
+            // Nothing can be returned, so nothing needs scanning: every
+            // block of every selected list is skipped outright.
+            let mut lists: Vec<(u32, u64)> = plans.iter().map(|p| (p.list.0, p.blocks)).collect();
+            lists.sort_unstable();
+            lists.dedup();
+            let skipped = lists.iter().map(|&(_, b)| b).sum();
+            return (Vec::new(), 0, skipped);
+        }
+        // tail_ub[i] = Σ ub of plans i.. — what terms i.. can still add.
+        let mut tail_ub = vec![0.0f64; plans.len() + 1];
+        let mut running_ub = 0.0f64;
+        for (slot, plan) in tail_ub.iter_mut().rev().skip(1).zip(plans.iter().rev()) {
+            running_ub += plan.ub;
+            *slot = running_ub;
+        }
+
+        let mut acc: HashMap<DocId, f64> = HashMap::new();
+        let mut scanned: Vec<(u32, u64)> = Vec::new();
+        let mut skipped = 0u64;
+        let mut theta = f64::NEG_INFINITY;
+        // Capacity is a hint only: `top_k` is caller-controlled and may
+        // be absurd (usize::MAX in the fuzz suite), but the heap can
+        // never hold more than the visible documents.
+        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<OrdScore>> =
+            std::collections::BinaryHeap::with_capacity(
+                top_k
+                    .saturating_add(1)
+                    .min((visible as usize).saturating_add(1)),
+            );
+        let mut contenders: Vec<u64> = Vec::new();
+
+        for (i, plan) in plans.iter().enumerate() {
+            let tail = tail_ub.get(i + 1).copied().unwrap_or(0.0);
+            if i > 0 {
+                // Freeze θ for this term: the k-th best accumulated
+                // partial.  Partials only grow, so θ never decreases.
+                if acc.len() >= top_k {
+                    let mut vals: Vec<f64> = acc.values().copied().collect();
+                    let (_, kth, _) = vals.select_nth_unstable_by(top_k - 1, |a, b| b.total_cmp(a));
+                    theta = theta.max(*kth);
+                }
+                if theta > f64::NEG_INFINITY {
+                    // Prune documents that provably cannot reach θ even
+                    // with a maximal contribution from every remaining
+                    // term.  (A pruned document that resurfaces in a later
+                    // scanned block re-enters with an underestimated
+                    // partial — harmless, since its true total is already
+                    // known to fall below the final k-th score.)
+                    let reach = plan.ub + tail;
+                    acc.retain(|_, v| *v + reach >= theta);
+                }
+                // The survivors are this term's *contenders*: documents
+                // whose partial score must stay exact, so blocks holding
+                // them are scanned regardless of the score bound.
+                contenders.clear();
+                contenders.extend(acc.keys().map(|d| d.0));
+                contenders.sort_unstable();
+            }
+            let mut b = 0u64;
+            'blocks: while b < plan.blocks {
+                if let Ok(Some(summary)) = self.store.cached_block_summary(plan.list, b) {
+                    if summary.min_doc.0 >= visible {
+                        // Docs are non-decreasing along the list: every
+                        // later block is beyond the watermark too.
+                        skipped += plan.blocks - b;
+                        break 'blocks;
+                    }
+                    // For the first term θ lives in the heap; afterwards it
+                    // is frozen per term (the heap would go stale once
+                    // documents accumulate across terms).
+                    let th = if i == 0 {
+                        if heap.len() == top_k {
+                            heap.peek().map(|r| r.0 .0).unwrap_or(f64::NEG_INFINITY)
+                        } else {
+                            f64::NEG_INFINITY
+                        }
+                    } else {
+                        theta
+                    };
+                    if th > f64::NEG_INFINITY {
+                        // The block cannot hold a posting of this term
+                        // with tf above either the block-wide or the
+                        // term-wide maximum, so the tighter of the two
+                        // bounds its contribution.
+                        let bound = self.config.ranking.score_bound(
+                            summary.max_tf.min(plan.max_tf) as u32,
+                            self.min_doc_len,
+                            plan.df,
+                            stats,
+                        ) + tail;
+                        // First term: nothing is tracked beyond this list's
+                        // own scanned prefix, and a term's docs strictly
+                        // increase, so no tracked document can reappear —
+                        // no overlap check needed.  Later terms: a tracked
+                        // contender inside the block forces a scan.
+                        let overlap = i > 0 && {
+                            let at = contenders.partition_point(|&d| d < summary.min_doc.0);
+                            contenders.get(at).is_some_and(|&d| d <= summary.max_doc.0)
+                        };
+                        if bound < th && !overlap {
+                            skipped += 1;
+                            b += 1;
+                            continue 'blocks;
+                        }
+                    }
+                }
+                // Scan (and, as a decode by-product, summarise) the block.
+                let Ok(block) = self.store.decoded_block(plan.list, b) else {
+                    break 'blocks;
+                };
+                scanned.push((plan.list.0, b));
+                for p in block.iter() {
+                    if p.doc.0 >= visible {
+                        // Everything after this posting is ≥ visible too.
+                        skipped += plan.blocks - b - 1;
+                        break 'blocks;
+                    }
+                    if p.term_tag != plan.tag {
+                        continue;
+                    }
+                    let doc_len = self.docs.get(p.doc.0 as usize).map(|m| m.len).unwrap_or(1);
+                    let s = self
+                        .config
+                        .ranking
+                        .score_term(p.tf as u32, doc_len, plan.df, stats);
+                    if i == 0 {
+                        // Each document appears at most once per term, so
+                        // the heap never holds a stale duplicate.
+                        acc.insert(p.doc, s);
+                        if heap.len() < top_k {
+                            heap.push(std::cmp::Reverse(OrdScore(s)));
+                        } else if heap.peek().is_some_and(|r| s > r.0 .0) {
+                            heap.pop();
+                            heap.push(std::cmp::Reverse(OrdScore(s)));
+                        }
+                    } else {
+                        match acc.entry(p.doc) {
+                            std::collections::hash_map::Entry::Occupied(e) => {
+                                *e.into_mut() += s;
+                            }
+                            std::collections::hash_map::Entry::Vacant(slot) => {
+                                // A document first seen here tops out at
+                                // `s` plus every remaining term's bound;
+                                // strictly below θ it can never reach the
+                                // final top-k (the block-skip argument,
+                                // applied per posting), so tracking it
+                                // would only bloat the accumulator and
+                                // the contender set.
+                                if theta == f64::NEG_INFINITY || s + tail >= theta {
+                                    slot.insert(s);
+                                }
+                            }
+                        }
+                    }
+                }
+                b += 1;
+            }
+        }
+        // Figure 8(c) charges *distinct* blocks: terms sharing a merged
+        // list read each block once (the decoded-block LRU makes repeat
+        // visits cache hits).
+        scanned.sort_unstable();
+        scanned.dedup();
+        let mut hits: Vec<SearchHit> = acc
+            .into_iter()
+            .map(|(doc, score)| SearchHit { doc, score })
+            .collect();
+        hits.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.doc.cmp(&b.doc))
+        });
+        hits.truncate(top_k);
+        (hits, scanned.len() as u64, skipped)
+    }
+
+    /// The reference disjunctive evaluator: scores *every* posting of
+    /// every selected list and charges every block — the paper's original
+    /// full-scan cost model.  Kept public as the correctness oracle for
+    /// the block-max evaluator (the equivalence property tests assert
+    /// bit-identical results against it) and as the baseline the
+    /// `at_scale` bench compares against.  `terms` must be sorted and
+    /// deduplicated (as [`Query`] execution always provides them);
+    /// duplicates would double-score.
+    ///
+    /// Terms are processed in the same canonical bound-descending order as
+    /// the block-max evaluator, so per-document floating-point sums are
+    /// accumulated in an identical sequence and the two evaluators'
+    /// results can be compared for bit-equality.
+    ///
+    /// Returns the hits and the total posting-list blocks of the scanned
+    /// lists.
+    pub fn disjunctive_ranked_exhaustive(
         &self,
         terms: &[TermId],
         top_k: usize,
@@ -1344,14 +1693,18 @@ impl SearchEngine {
     ) -> (Vec<SearchHit>, u64) {
         let stats = self.collection_stats();
         let mut scores: HashMap<DocId, f64> = HashMap::new();
-        let mut blocks = 0u64;
-        let mut scanned: std::collections::HashSet<u32> = std::collections::HashSet::new();
-        for &term in terms {
-            let list = self.config.assignment.list_of(term);
-            if scanned.insert(list.0) {
-                blocks += self.store.num_blocks(list).unwrap_or(0);
-            }
-            let df = self.doc_freq(term);
+        let mut lists: Vec<u32> = terms
+            .iter()
+            .map(|&t| self.config.assignment.list_of(t).0)
+            .collect();
+        lists.sort_unstable();
+        lists.dedup();
+        let blocks: u64 = lists
+            .iter()
+            .map(|&l| self.store.num_blocks(ListId(l)).unwrap_or(0))
+            .sum();
+        for plan in self.disjunctive_plans(terms, stats) {
+            let (list, term, df) = (plan.list, plan.term, plan.df);
             let Ok(postings) = self.store.postings_for_term(list, term) else {
                 continue;
             };
@@ -1418,13 +1771,15 @@ impl SearchEngine {
         // front for every distinct list exactly as materialising scans
         // would (Figure 8(c) accounting is unchanged by the streaming
         // rewrite below).
+        let mut lists: Vec<u32> = terms
+            .iter()
+            .map(|&t| self.config.assignment.list_of(t).0)
+            .collect();
+        lists.sort_unstable();
+        lists.dedup();
         let mut blocks = 0u64;
-        let mut scanned: std::collections::HashSet<u32> = std::collections::HashSet::new();
-        for &term in terms {
-            let list = self.config.assignment.list_of(term);
-            if scanned.insert(list.0) {
-                blocks += self.store.num_blocks(list)?;
-            }
+        for &l in &lists {
+            blocks += self.store.num_blocks(ListId(l))?;
         }
         // Seed the accumulator from the rarest term, then intersect the
         // remaining terms' lists into it one decoded block at a time —

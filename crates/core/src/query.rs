@@ -163,6 +163,14 @@ pub struct QueryResponse {
     /// blocks of every scanned posting list; for phrase queries it adds
     /// one read per position record fetched.
     pub blocks_read: u64,
+    /// Index blocks this query *consulted but did not read*: block-level
+    /// early-termination decisions made from cache-resident summaries
+    /// (score bound below the top-k threshold, no accumulator overlap, or
+    /// wholly beyond the visibility watermark).  Skipped blocks cost no
+    /// I/O and are therefore **not** part of `blocks_read` — the whole
+    /// point of the bounded evaluator is to shrink the Figure 8(c) cost,
+    /// and this counter shows by how much.  Zero for the boolean shapes.
+    pub blocks_skipped: u64,
     /// The same cost as an [`IoStats`] delta attributable to this query
     /// alone, so harnesses can accumulate per-thread or per-tenant I/O
     /// without diffing engine-global counters.

@@ -71,6 +71,34 @@ impl RankingModel {
             }
         }
     }
+
+    /// Upper bound on [`score_term`](Self::score_term) over every posting
+    /// of a block: the largest contribution any single term occurrence
+    /// with `tf ≤ max_tf` in a document of length `≥ min_doc_len` can
+    /// make.
+    ///
+    /// Both models are monotone — non-decreasing in `tf` and
+    /// non-increasing in `doc_len` — so the bound is the score at the
+    /// extreme corner `(max_tf, min_doc_len)`.  For BM25 the tf direction
+    /// holds whenever the length normalisation is non-negative (any
+    /// `b ∈ [0, 1]`, i.e. every sane parameterisation); evaluating the
+    /// `tf = 1` endpoint as well keeps the bound sound even for exotic
+    /// parameters that invert the tf direction.
+    ///
+    /// This is what makes block-level early termination *rank-safe*: a
+    /// block whose bound cannot beat the current k-th score provably
+    /// holds no posting that could change the top-k result.
+    pub fn score_bound(
+        &self,
+        max_tf: u32,
+        min_doc_len: u64,
+        doc_freq: u64,
+        stats: CollectionStats,
+    ) -> f64 {
+        let len = min_doc_len.max(1);
+        let corner = self.score_term(max_tf, len, doc_freq, stats);
+        corner.max(self.score_term(max_tf.min(1), len, doc_freq, stats))
+    }
 }
 
 #[cfg(test)]
@@ -138,5 +166,40 @@ mod tests {
         let m = RankingModel::default();
         let s = m.score_term(1, 100, 1_000, STATS);
         assert!(s > 0.0, "the +1 idf form must not go negative, got {s}");
+    }
+
+    #[test]
+    fn score_bound_dominates_every_block_posting() {
+        // The bound must dominate score_term over the whole (tf, len)
+        // rectangle it claims to cover, for both models and several df.
+        for model in [RankingModel::default(), RankingModel::Cosine] {
+            for df in [1u64, 5, 50, 900, 1_000] {
+                for max_tf in [1u32, 3, 17, 255] {
+                    for min_len in [1u64, 10, 100] {
+                        let bound = model.score_bound(max_tf, min_len, df, STATS);
+                        for tf in [1u32, 2.min(max_tf), max_tf / 2 + 1, max_tf] {
+                            for len in [min_len, min_len + 7, min_len * 10] {
+                                let s = model.score_term(tf, len, df, STATS);
+                                assert!(
+                                    s <= bound,
+                                    "{model:?} df={df}: score({tf},{len})={s} \
+                                     exceeds bound({max_tf},{min_len})={bound}"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn score_bound_degenerate_inputs() {
+        let m = RankingModel::default();
+        assert_eq!(m.score_bound(0, 1, 50, STATS), 0.0, "max_tf 0 bounds 0");
+        assert_eq!(m.score_bound(3, 1, 0, STATS), 0.0, "df 0 bounds 0");
+        // min_doc_len 0 is clamped to 1, not a division hazard.
+        let b = m.score_bound(3, 0, 50, STATS);
+        assert!(b.is_finite() && b > 0.0);
     }
 }

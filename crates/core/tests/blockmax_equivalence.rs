@@ -1,0 +1,258 @@
+//! Equivalence properties for the block-max disjunctive evaluator.
+//!
+//! The bounded top-k evaluator behind [`Query::Disjunctive`] skips index
+//! blocks using cache-resident summaries.  Skips must be *rank-safe*: for
+//! any corpus, any block geometry, any `k`, and any visibility watermark,
+//! the response must be **bit-identical** — hits, scores, and tie-break
+//! order — to the exhaustive reference evaluator
+//! (`SearchEngine::disjunctive_ranked_exhaustive`), which scans every
+//! posting of every selected list.  Both evaluators accumulate per-term
+//! score contributions in the same canonical order, so even the
+//! floating-point sums must agree to the last bit.
+//!
+//! Deterministic companions cover the named edge cases (`k = 0`,
+//! single-term queries, all-tie scores) and assert that skipping actually
+//! happens — and actually reduces the Figure 8(c) block charge — on a
+//! corpus shaped like the paper's workload (one rare selective term
+//! alongside a ubiquitous one).
+
+use proptest::prelude::*;
+use tks_core::engine::{EngineConfig, SearchEngine, SearchHit};
+use tks_core::{MergeAssignment, Query, RankingModel, TermSelector};
+use tks_postings::{TermId, Timestamp};
+
+/// Vocabulary for generated corpora: small, so merged lists collide and
+/// documents share terms (ties and multi-term accumulators happen often).
+const VOCAB: u32 = 10;
+
+/// Build an engine over generated documents.  `ppb` is postings per
+/// block; the 64-byte floor means `ppb ≥ 8`, small enough that a few
+/// dozen documents span several blocks per list.
+fn build_engine(
+    ppb: usize,
+    num_lists: u32,
+    cosine: bool,
+    docs: &[Vec<(u32, u32)>],
+) -> SearchEngine {
+    let mut engine = SearchEngine::new(EngineConfig {
+        block_size: ppb * 8,
+        assignment: MergeAssignment::uniform(num_lists),
+        ranking: if cosine {
+            RankingModel::Cosine
+        } else {
+            RankingModel::default()
+        },
+        store_documents: false,
+        ..Default::default()
+    })
+    .expect("config is valid");
+    for (i, doc) in docs.iter().enumerate() {
+        let mut terms: Vec<(TermId, u32)> = doc.iter().map(|&(t, tf)| (TermId(t), tf)).collect();
+        terms.sort_by_key(|&(t, _)| t);
+        terms.dedup_by_key(|&mut (t, _)| t);
+        engine
+            .add_document_terms(&terms, Timestamp(i as u64), None)
+            .expect("synthetic commit succeeds");
+    }
+    engine
+}
+
+/// Exhaustive-reference hits for `ids` (canonicalised), truncated to `k`.
+fn reference(engine: &SearchEngine, ids: &[u32], k: usize, visible: u64) -> Vec<SearchHit> {
+    let mut canonical: Vec<TermId> = ids.iter().map(|&t| TermId(t)).collect();
+    canonical.sort_unstable();
+    canonical.dedup();
+    engine
+        .disjunctive_ranked_exhaustive(&canonical, k, visible)
+        .0
+}
+
+/// Bit-level equality: same docs, same score bits, same order.
+fn assert_bit_identical(got: &[SearchHit], want: &[SearchHit], ctx: &str) {
+    assert_eq!(
+        got.len(),
+        want.len(),
+        "{ctx}: hit counts differ (got {got:?}, want {want:?})"
+    );
+    for (g, w) in got.iter().zip(want) {
+        assert_eq!(
+            g.doc, w.doc,
+            "{ctx}: docs diverge (got {got:?}, want {want:?})"
+        );
+        assert_eq!(
+            g.score.to_bits(),
+            w.score.to_bits(),
+            "{ctx}: score bits diverge for {:?}: {} vs {}",
+            g.doc,
+            g.score,
+            w.score
+        );
+    }
+}
+
+proptest! {
+    /// For random corpora, geometries, ranking models, queries, `k`, and
+    /// watermarks, the block-max evaluator returns bit-identical results
+    /// to the exhaustive reference — on a cold summary cache and again on
+    /// a warm one (the warm pass is where block skipping actually fires).
+    #[test]
+    fn blockmax_matches_exhaustive(
+        ppb in 8usize..=12,
+        num_lists in 1u32..=4,
+        cosine in any::<bool>(),
+        docs in proptest::collection::vec(
+            proptest::collection::vec((0..VOCAB, 1u32..=4), 1..6),
+            1..40,
+        ),
+        queries in proptest::collection::vec(
+            (proptest::collection::vec(0..VOCAB, 0..5), 0usize..8, 0u64..48),
+            1..6,
+        ),
+    ) {
+        let engine = build_engine(ppb, num_lists, cosine, &docs);
+        for (ids, k, watermark) in queries {
+            let visible = watermark.min(engine.num_docs());
+            let want = reference(&engine, &ids, k, visible);
+            let query = Query::Disjunctive {
+                // Deliberately unsorted, possibly duplicated: execution
+                // must canonicalise exactly like the reference call does.
+                terms: TermSelector::Ids(ids.iter().map(|&t| TermId(t)).collect()),
+                top_k: k,
+            };
+            // Cold pass: summaries may be absent, blocks scan and
+            // summarise themselves.
+            let cold = engine.execute_bounded(&query, watermark).expect("query runs");
+            assert_bit_identical(&cold.hits, &want, "cold");
+            // Warm pass: summaries are resident, skips can fire — the
+            // result must not move by a bit.
+            let warm = engine.execute_bounded(&query, watermark).expect("query runs");
+            assert_bit_identical(&warm.hits, &want, "warm");
+            prop_assert_eq!(cold.visible_docs, visible);
+            prop_assert_eq!(warm.visible_docs, visible);
+        }
+    }
+
+    /// `k = 0` returns no hits and reads no blocks, for any corpus.
+    #[test]
+    fn top_zero_reads_nothing(
+        docs in proptest::collection::vec(
+            proptest::collection::vec((0..VOCAB, 1u32..=3), 1..4),
+            1..20,
+        ),
+        ids in proptest::collection::vec(0..VOCAB, 0..4),
+    ) {
+        let engine = build_engine(8, 2, false, &docs);
+        let query = Query::Disjunctive {
+            terms: TermSelector::Ids(ids.iter().map(|&t| TermId(t)).collect()),
+            top_k: 0,
+        };
+        let resp = engine.execute(&query).expect("query runs");
+        prop_assert!(resp.hits.is_empty());
+        prop_assert_eq!(resp.blocks_read, 0, "k = 0 must not scan");
+        prop_assert_eq!(resp.io.read_ios, 0);
+    }
+}
+
+/// A paper-shaped corpus: term 0 appears in every document (a Zipfian
+/// head term), term 1 only in document 0 with a high tf (a rare,
+/// selective term).  `num_docs` at 8 postings per block puts the common
+/// term's list across many blocks.
+fn selective_corpus(num_docs: usize) -> Vec<Vec<(u32, u32)>> {
+    (0..num_docs)
+        .map(|i| {
+            if i == 0 {
+                vec![(0, 1), (1, 5)]
+            } else {
+                vec![(0, 1)]
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn warm_queries_skip_most_blocks_of_the_common_term() {
+    let engine = build_engine(8, 2, false, &selective_corpus(200));
+    let query = Query::disjunctive(vec![TermId(0), TermId(1)], 1);
+    let want = reference(&engine, &[0, 1], 1, engine.num_docs());
+
+    // Cold: every consulted block scans (and summarises itself).
+    let cold = engine.execute(&query).expect("query runs");
+    assert_bit_identical(&cold.hits, &want, "cold");
+
+    // Warm: the rare term establishes the threshold; of the common
+    // term's ~25 blocks only the one holding the contender (doc 0) is
+    // scanned, the rest are skipped without I/O.
+    let warm = engine.execute(&query).expect("query runs");
+    assert_bit_identical(&warm.hits, &want, "warm");
+    assert!(
+        warm.blocks_read <= 3,
+        "expected nearly all blocks skipped, read {} (skipped {})",
+        warm.blocks_read,
+        warm.blocks_skipped
+    );
+    assert!(
+        warm.blocks_skipped >= 20,
+        "expected ≥ 20 skips over a 25-block list, got {}",
+        warm.blocks_skipped
+    );
+    let exhaustive_blocks = engine
+        .disjunctive_ranked_exhaustive(&[TermId(0), TermId(1)], 1, engine.num_docs())
+        .1;
+    assert!(
+        warm.blocks_read < exhaustive_blocks / 5,
+        "block-max must beat the full-scan charge by a wide margin: {} vs {}",
+        warm.blocks_read,
+        exhaustive_blocks
+    );
+}
+
+#[test]
+fn single_term_query_matches_and_respects_watermark() {
+    let engine = build_engine(8, 2, false, &selective_corpus(100));
+    for visible in [0u64, 1, 17, 50, 100, 100_000] {
+        let clamped = visible.min(engine.num_docs());
+        let want = reference(&engine, &[0], 3, clamped);
+        let query = Query::disjunctive(vec![TermId(0)], 3);
+        for pass in ["cold", "warm"] {
+            let resp = engine.execute_bounded(&query, visible).expect("query runs");
+            assert_bit_identical(&resp.hits, &want, pass);
+            assert!(resp.hits.iter().all(|h| h.doc.0 < clamped));
+        }
+    }
+    // Warm + a low watermark: blocks wholly beyond the watermark are
+    // skipped via their summaries' doc ranges.
+    let resp = engine
+        .execute_bounded(&Query::disjunctive(vec![TermId(0)], 3), 8)
+        .expect("query runs");
+    assert!(
+        resp.blocks_read <= 2,
+        "a watermark of 8 docs needs one 8-posting block, read {}",
+        resp.blocks_read
+    );
+    assert!(
+        resp.blocks_skipped >= 10,
+        "later blocks must be range-skipped"
+    );
+}
+
+#[test]
+fn all_tie_scores_keep_ascending_doc_order() {
+    // Every document is identical, so every score ties exactly; the
+    // tie-break (ascending doc id) must survive early termination.
+    let docs: Vec<Vec<(u32, u32)>> = (0..64).map(|_| vec![(0, 2)]).collect();
+    let engine = build_engine(8, 1, false, &docs);
+    for k in [1usize, 3, 7, 64, 100] {
+        let want = reference(&engine, &[0], k, engine.num_docs());
+        let query = Query::disjunctive(vec![TermId(0)], k);
+        for pass in ["cold", "warm"] {
+            let resp = engine.execute(&query).expect("query runs");
+            assert_bit_identical(&resp.hits, &want, pass);
+            let docs_out: Vec<u64> = resp.hits.iter().map(|h| h.doc.0).collect();
+            assert_eq!(
+                docs_out,
+                (0..k.min(64) as u64).collect::<Vec<_>>(),
+                "ties must resolve to the first {k} docs"
+            );
+        }
+    }
+}

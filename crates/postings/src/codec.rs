@@ -140,10 +140,14 @@ pub fn decode_block(bytes: &[u8], out: &mut Vec<Posting>) {
     out.clear();
     out.reserve(bytes.len() / POSTING_SIZE);
     for chunk in bytes.chunks_exact(POSTING_SIZE) {
-        if let Ok(arr) = <[u8; POSTING_SIZE]>::try_from(chunk) {
-            out.push(decode_posting(arr));
-        }
+        // `chunks_exact(POSTING_SIZE)` guarantees every chunk is exactly
+        // POSTING_SIZE bytes, so the array conversion is infallible.
+        debug_assert_eq!(chunk.len(), POSTING_SIZE);
+        let mut arr = [0u8; POSTING_SIZE];
+        arr.copy_from_slice(chunk);
+        out.push(decode_posting(arr));
     }
+    debug_assert_eq!(out.len(), bytes.len() / POSTING_SIZE);
 }
 
 /// Number of bits the paper charges for the keyword encoding in a merged

@@ -27,10 +27,12 @@
 pub mod block_reader;
 pub mod codec;
 pub mod list;
+pub mod summary;
 pub mod tagcode;
 pub mod types;
 
 pub use block_reader::{BlockReader, DecodedBlockCache, DecodedCacheStats};
 pub use codec::{decode_block, decode_posting, encode_posting, CodecError, Posting, POSTING_SIZE};
 pub use list::{ListStore, PostingListReader, StoreRecovery};
+pub use summary::{BlockSummary, BlockSummaryCache, SummaryCacheStats};
 pub use types::{DocId, ListId, TermId, Timestamp};

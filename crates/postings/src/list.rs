@@ -20,6 +20,7 @@ use crate::block_reader::{BlockReader, DecodedBlockCache, DecodedCacheStats};
 use crate::codec::{
     decode_block, decode_posting, encode_posting, Posting, TagAllocator, POSTING_SIZE,
 };
+use crate::summary::{BlockSummary, BlockSummaryCache, SummaryCacheStats};
 use crate::types::{DocId, ListId, TermId};
 use std::sync::Arc;
 use tks_worm::{AccessKind, StorageCache, WormDevice, WormFs};
@@ -113,6 +114,17 @@ struct ListMeta {
     /// document whose commit never completed).  Readers never see them
     /// (`count` excludes them); appends are refused while they exist.
     quarantined_bytes: u64,
+    /// Largest (saturated) term frequency ever appended to the list,
+    /// across all tags — a sound per-term tf upper bound for the whole
+    /// list, maintained on append and re-derived by recovery.  A tail
+    /// quarantine may leave it larger than any live posting's tf, which
+    /// keeps it a (looser) upper bound rather than making it wrong.
+    max_tf: u8,
+    /// Per-tag variant of `max_tf`, indexed by tag: the largest
+    /// (saturated) tf ever appended *for that term*.  Much tighter than
+    /// the list-wide bound on merged lists, where one high-frequency
+    /// neighbour would otherwise inflate every term's score ceiling.
+    tag_max_tf: Vec<u8>,
 }
 
 impl ListMeta {
@@ -124,6 +136,8 @@ impl ListMeta {
             last_tags: Vec::new(),
             tags: TagAllocator::new(),
             quarantined_bytes: 0,
+            max_tf: 0,
+            tag_max_tf: Vec::new(),
         }
     }
 }
@@ -196,6 +210,10 @@ pub struct ListStore {
     /// mutability: readers hold `&ListStore`).  See
     /// [`crate::block_reader`] for the coherence argument.
     decoded: DecodedBlockCache,
+    /// Per-block summary sidecar, populated as a by-product of every
+    /// block decode and validated by posting count exactly like the
+    /// decoded-block LRU.  See [`crate::summary`].
+    summaries: BlockSummaryCache,
 }
 
 impl ListStore {
@@ -244,6 +262,7 @@ impl ListStore {
             block_size,
             dict_file,
             decoded: DecodedBlockCache::default(),
+            summaries: BlockSummaryCache::default(),
         })
     }
 
@@ -310,6 +329,7 @@ impl ListStore {
             block_size,
             dict_file,
             decoded: DecodedBlockCache::default(),
+            summaries: BlockSummaryCache::default(),
         };
 
         let mut report = StoreRecovery::default();
@@ -369,10 +389,19 @@ impl ListStore {
             let known_tags = store.lists[l as usize].tags.distinct_terms() as u32;
             let mut last_doc: Option<DocId> = None;
             let mut last_tags: Vec<u32> = Vec::new();
+            let mut max_tf = 0u8;
+            let mut tag_max_tf = vec![0u8; known_tags as usize];
             let mut i = 0u64;
             for b in 0..store.fs.num_blocks(file) {
                 let bytes = store.fs.read_block(file, b)?;
                 decode_block(bytes, &mut block_buf);
+                // Rebuild the block-summary sidecar from the same replay
+                // pass — recovery already decodes every block, so the
+                // summaries come for free.
+                if let Some(summary) = BlockSummary::from_postings(&block_buf) {
+                    store.summaries.insert(ListId(l), b, summary);
+                    max_tf = max_tf.max(summary.max_tf);
+                }
                 for &p in &block_buf {
                     if p.term_tag >= known_tags {
                         return Err(ListError::Recovery(format!(
@@ -402,6 +431,9 @@ impl ListStore {
                         }
                     }
                     last_doc = Some(p.doc);
+                    if let Some(slot) = tag_max_tf.get_mut(p.term_tag as usize) {
+                        *slot = (*slot).max(p.tf);
+                    }
                     i += 1;
                 }
             }
@@ -411,6 +443,8 @@ impl ListStore {
             meta.last_doc = last_doc;
             meta.last_tags = last_tags;
             meta.quarantined_bytes = torn_tail;
+            meta.max_tf = max_tf;
+            meta.tag_max_tf = tag_max_tf;
         }
         Ok((store, report))
     }
@@ -603,6 +637,13 @@ impl ListStore {
         let meta = &mut self.lists[list.0 as usize];
         meta.count += 1;
         meta.last_doc = Some(doc);
+        meta.max_tf = meta.max_tf.max(posting.tf);
+        if meta.tag_max_tf.len() <= tag as usize {
+            meta.tag_max_tf.resize(tag as usize + 1, 0);
+        }
+        if let Some(slot) = meta.tag_max_tf.get_mut(tag as usize) {
+            *slot = (*slot).max(posting.tf);
+        }
 
         if let Some(cache) = cache {
             let tail = self.fs.blocks(file)[(bytes_before / block_size as u64) as usize];
@@ -652,7 +693,60 @@ impl ListStore {
         );
         let arc: Arc<[Posting]> = out.into();
         self.decoded.insert(list, block_no, Arc::clone(&arc));
+        // Summarise as a by-product of the decode we just paid for: the
+        // next ranked query can skip this block without re-reading it.
+        if let Some(summary) = BlockSummary::from_postings(&arc) {
+            self.summaries.insert(list, block_no, summary);
+        }
         Ok(arc)
+    }
+
+    /// The cached summary of the `block_no`-th block of `list`, if one is
+    /// resident and still valid for the list's current posting count.
+    ///
+    /// Never does I/O: `None` means the block has not been decoded (and
+    /// thereby summarised) since it last changed, so a bounded evaluator
+    /// must scan it — and charge it — rather than skip it.
+    pub fn cached_block_summary(
+        &self,
+        list: ListId,
+        block_no: u64,
+    ) -> Result<Option<BlockSummary>, ListError> {
+        let ppb = self.postings_per_block();
+        let meta = self.meta(list)?;
+        let start = block_no.saturating_mul(ppb);
+        if start >= meta.count {
+            return Ok(None);
+        }
+        let expected = (meta.count - start).min(ppb) as usize;
+        Ok(self.summaries.get(list, block_no, expected))
+    }
+
+    /// Largest (saturated) term frequency ever appended to `list`, across
+    /// all of its tags — a sound list-wide tf upper bound for any term
+    /// routed to the list (0 for an empty list).
+    pub fn max_tf(&self, list: ListId) -> Result<u8, ListError> {
+        Ok(self.meta(list)?.max_tf)
+    }
+
+    /// Largest (saturated) term frequency ever appended to `list` under
+    /// `tag` — the per-term tf upper bound bounded evaluators use for
+    /// merged lists, where [`max_tf`](Self::max_tf) would be inflated by
+    /// high-frequency neighbour terms.  0 for a tag with no postings.
+    /// Like the list-wide bound, a tail quarantine can leave it looser
+    /// than any live posting, never too small.
+    pub fn max_tf_for_tag(&self, list: ListId, tag: u32) -> Result<u8, ListError> {
+        Ok(self
+            .meta(list)?
+            .tag_max_tf
+            .get(tag as usize)
+            .copied()
+            .unwrap_or(0))
+    }
+
+    /// Counters of the block-summary sidecar cache.
+    pub fn summary_cache_stats(&self) -> SummaryCacheStats {
+        self.summaries.stats()
     }
 
     /// Stream `list` one decoded block at a time (slice-based iteration).
@@ -1125,5 +1219,59 @@ mod tests {
         }
         let r = s.postings(ListId(0)).unwrap();
         assert_eq!(r.len(), 5);
+    }
+
+    #[test]
+    fn decode_summarises_blocks_as_a_by_product() {
+        let mut s = store(); // 8 postings/block
+        for d in 0..12u64 {
+            s.append(ListId(0), TermId(0), DocId(d), (d + 1) as u32, None)
+                .unwrap();
+        }
+        // Nothing decoded yet: no summaries, so nothing can be skipped.
+        assert_eq!(s.cached_block_summary(ListId(0), 0).unwrap(), None);
+        let _ = s.postings(ListId(0)).unwrap().count();
+        let b0 = s.cached_block_summary(ListId(0), 0).unwrap().unwrap();
+        assert_eq!((b0.len, b0.max_tf), (8, 8));
+        assert_eq!((b0.min_doc, b0.max_doc), (DocId(0), DocId(7)));
+        let b1 = s.cached_block_summary(ListId(0), 1).unwrap().unwrap();
+        assert_eq!((b1.len, b1.max_tf), (4, 12));
+        assert_eq!((b1.min_doc, b1.max_doc), (DocId(8), DocId(11)));
+        // Past-the-end blocks have no summary.
+        assert_eq!(s.cached_block_summary(ListId(0), 2).unwrap(), None);
+        assert_eq!(s.max_tf(ListId(0)).unwrap(), 12);
+        assert_eq!(s.max_tf(ListId(1)).unwrap(), 0);
+    }
+
+    #[test]
+    fn tail_growth_invalidates_stale_summary() {
+        let mut s = store();
+        s.append(ListId(0), TermId(0), DocId(1), 3, None).unwrap();
+        let _ = s.postings(ListId(0)).unwrap().count();
+        assert!(s.cached_block_summary(ListId(0), 0).unwrap().is_some());
+        // The tail grows: the one-posting summary is stale-short and must
+        // not be served (its max_tf would miss the new posting).
+        s.append(ListId(0), TermId(0), DocId(2), 9, None).unwrap();
+        assert_eq!(s.cached_block_summary(ListId(0), 0).unwrap(), None);
+        let _ = s.postings(ListId(0)).unwrap().count();
+        let summary = s.cached_block_summary(ListId(0), 0).unwrap().unwrap();
+        assert_eq!((summary.len, summary.max_tf), (2, 9));
+    }
+
+    #[test]
+    fn recovery_rebuilds_summaries_and_max_tf() {
+        let mut s = store();
+        for d in 0..10u64 {
+            s.append(ListId(0), TermId(0), DocId(d), (2 * d + 1) as u32, None)
+                .unwrap();
+        }
+        let r = ListStore::recover(s.into_fs()).unwrap();
+        // Summaries come back from recovery's replay, before any query
+        // touches the store.
+        let b0 = r.cached_block_summary(ListId(0), 0).unwrap().unwrap();
+        assert_eq!((b0.len, b0.max_tf), (8, 15));
+        let b1 = r.cached_block_summary(ListId(0), 1).unwrap().unwrap();
+        assert_eq!((b1.len, b1.max_tf), (2, 19));
+        assert_eq!(r.max_tf(ListId(0)).unwrap(), 19);
     }
 }

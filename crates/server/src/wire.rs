@@ -226,6 +226,11 @@ pub struct WireQueryResponse {
     pub hits: Vec<WireHit>,
     /// Total distinct index blocks read across shards.
     pub blocks_read: u64,
+    /// Total index blocks skipped by block-max early termination across
+    /// shards (never read, so not in `blocks_read`).  `#[serde(default)]`
+    /// keeps responses from servers predating the field decodable.
+    #[serde(default)]
+    pub blocks_skipped: u64,
     /// Random read I/Os attributable to this query.
     pub read_ios: u64,
     /// Cache hits attributable to this query.
@@ -254,6 +259,7 @@ impl From<&ShardedResponse> for WireQueryResponse {
                 })
                 .collect(),
             blocks_read: r.blocks_read,
+            blocks_skipped: r.blocks_skipped,
             read_ios: r.io.read_ios,
             cache_hits: r.io.hits,
             cache_misses: r.io.misses,
@@ -662,6 +668,7 @@ mod tests {
                     score: 0.5,
                 }],
                 blocks_read: 7,
+                blocks_skipped: 3,
                 read_ios: 2,
                 cache_hits: 5,
                 cache_misses: 2,

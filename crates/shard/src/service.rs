@@ -569,6 +569,10 @@ pub struct ShardedResponse {
     pub hits: Vec<SearchHit>,
     /// Total distinct index blocks read across shards.
     pub blocks_read: u64,
+    /// Total index blocks skipped by block-max early termination across
+    /// shards (consulted via cache-resident summaries, never read — not
+    /// part of `blocks_read`).
+    pub blocks_skipped: u64,
     /// Summed per-query I/O across shards.
     pub io: IoStats,
     /// Summed snapshot watermarks of the consulted shards.
@@ -704,9 +708,19 @@ impl ShardedSearcher {
             }
         }
 
-        // Gather + merge.
-        let mut hits: Vec<SearchHit> = Vec::new();
+        // Gather + merge.  The merged hit vector is sized once from the
+        // gathered responses — per-shard result slices land in a single
+        // allocation instead of regrowing the accumulator shard by shard.
+        let gathered_hits: usize = gathered
+            .iter()
+            .map(|cell| match cell {
+                Some(Ok(resp)) => resp.hits.len(),
+                _ => 0,
+            })
+            .sum();
+        let mut hits: Vec<SearchHit> = Vec::with_capacity(gathered_hits);
         let mut blocks_read = 0u64;
+        let mut blocks_skipped = 0u64;
         let mut io = IoStats::default();
         let mut visible_docs = 0u64;
         // Identity element of the conjunction below: every consulted
@@ -728,6 +742,7 @@ impl ShardedSearcher {
                         });
                     }
                     blocks_read += resp.blocks_read;
+                    blocks_skipped += resp.blocks_skipped;
                     io += resp.io;
                     visible_docs += resp.visible_docs;
                     trusted &= resp.trusted;
@@ -775,6 +790,7 @@ impl ShardedSearcher {
         Ok(ShardedResponse {
             hits,
             blocks_read,
+            blocks_skipped,
             io,
             visible_docs,
             trusted,

@@ -119,7 +119,10 @@ fn str_field(line: &str, key: &str) -> Option<String> {
 fn num_field(line: &str, key: &str) -> Option<usize> {
     let tag = format!("\"{key}\": ");
     let start = line.find(&tag)? + tag.len();
-    let digits: String = line[start..].chars().take_while(|c| c.is_ascii_digit()).collect();
+    let digits: String = line[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
     digits.parse().ok()
 }
 

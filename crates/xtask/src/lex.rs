@@ -146,10 +146,7 @@ pub fn lex(src: &str) -> Vec<Token> {
             }
             // One embedded `.` continues the literal only when a digit
             // follows (so `0..9` stays two numbers and a range).
-            if i < len
-                && b[i] == b'.'
-                && b.get(i + 1).is_some_and(|d| d.is_ascii_digit())
-            {
+            if i < len && b[i] == b'.' && b.get(i + 1).is_some_and(|d| d.is_ascii_digit()) {
                 i += 1;
                 while i < len && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
                     i += 1;
@@ -318,7 +315,10 @@ mod tests {
     fn lexes_idents_literals_and_punct() {
         let toks = lex("let x = y.unwrap();");
         let texts: Vec<&str> = toks.iter().map(|t| t.text("let x = y.unwrap();")).collect();
-        assert_eq!(texts, vec!["let", "x", "=", "y", ".", "unwrap", "(", ")", ";"]);
+        assert_eq!(
+            texts,
+            vec!["let", "x", "=", "y", ".", "unwrap", "(", ")", ";"]
+        );
     }
 
     #[test]

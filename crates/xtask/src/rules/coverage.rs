@@ -56,7 +56,10 @@ fn wire_variants_consumed(files: &[SourceFile], sink: &mut Sink) {
     }
     for item in envelope.tree.walk() {
         let is_wire_error_enum = item.kind == ItemKind::Enum
-            && item.name.as_deref().is_some_and(|n| n.starts_with("WireError"));
+            && item
+                .name
+                .as_deref()
+                .is_some_and(|n| n.starts_with("WireError"));
         if !is_wire_error_enum || envelope.tree.in_test(item.kw_line.saturating_sub(1)) {
             continue;
         }
@@ -93,12 +96,21 @@ fn error_types_connected(files: &[SourceFile], sink: &mut Sink) {
 
     let connect = |edges: &mut BTreeMap<String, BTreeSet<String>>, a: &str, b: &str| {
         if a != b {
-            edges.entry(a.to_string()).or_default().insert(b.to_string());
-            edges.entry(b.to_string()).or_default().insert(a.to_string());
+            edges
+                .entry(a.to_string())
+                .or_default()
+                .insert(b.to_string());
+            edges
+                .entry(b.to_string())
+                .or_default()
+                .insert(a.to_string());
         }
     };
 
-    for file in files.iter().filter(|f| super::under_any(&f.rel, &PROD_PREFIXES)) {
+    for file in files
+        .iter()
+        .filter(|f| super::under_any(&f.rel, &PROD_PREFIXES))
+    {
         // Edges from `impl From<X> for Y` (token pattern; test code skipped).
         for (x, y) in from_impls(file) {
             connect(&mut edges, &x, &y);
@@ -108,7 +120,9 @@ fn error_types_connected(files: &[SourceFile], sink: &mut Sink) {
             if item.kind != ItemKind::Enum || file.tree.in_test(item.kw_line.saturating_sub(1)) {
                 continue;
             }
-            let Some(name) = item.name.as_deref() else { continue };
+            let Some(name) = item.name.as_deref() else {
+                continue;
+            };
             for v in enum_variants(file, item) {
                 // A payload identifier ending in `Error` links the two
                 // types; anything else (`String`, `u32`, field names) is
@@ -220,11 +234,17 @@ fn from_impls(file: &SourceFile) -> Vec<(String, String)> {
             continue;
         }
         let mut k = w + 1;
-        if code.get(k).is_none_or(|&j| toks[j].text(&file.raw) != "From") {
+        if code
+            .get(k)
+            .is_none_or(|&j| toks[j].text(&file.raw) != "From")
+        {
             continue;
         }
         k += 1;
-        if code.get(k).is_none_or(|&j| toks[j].kind != TokKind::Punct(b'<')) {
+        if code
+            .get(k)
+            .is_none_or(|&j| toks[j].kind != TokKind::Punct(b'<'))
+        {
             continue;
         }
         // Scan the generic argument to its matching `>`, remembering the
@@ -243,7 +263,10 @@ fn from_impls(file: &SourceFile) -> Vec<(String, String)> {
             k += 1;
         }
         let Some(source) = source else { continue };
-        if code.get(k).is_none_or(|&j| toks[j].text(&file.raw) != "for") {
+        if code
+            .get(k)
+            .is_none_or(|&j| toks[j].text(&file.raw) != "for")
+        {
             continue;
         }
         // Target: last path segment before the impl body opens.
@@ -331,7 +354,9 @@ mod tests {
         let report = run(&[wire, client]);
         assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
         assert_eq!(report.findings[0].line, 3);
-        assert!(report.findings[0].message.contains("WireErrorCode::Internal"));
+        assert!(report.findings[0]
+            .message
+            .contains("WireErrorCode::Internal"));
     }
 
     #[test]

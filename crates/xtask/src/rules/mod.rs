@@ -63,7 +63,10 @@ pub const WIRE_ENVELOPE: &str = "crates/server/src/wire.rs";
 /// Path prefixes subject to `hot-path-io` and `guard-across-io`: the
 /// crates whose read paths are supposed to be block-granular
 /// (`read_block` / `read_exact_at` batched reads, decoded a block at a
-/// time) and lock-free across device I/O.
+/// time) and lock-free across device I/O.  This includes the block
+/// summary sidecar (`crates/postings/src/summary.rs`, DESIGN.md §5h),
+/// which must stay a pure by-product of block decode — a per-record read
+/// there would defeat the early-termination accounting.
 pub(crate) const HOT_PATH_PREFIXES: [&str; 2] = ["crates/postings/src/", "crates/core/src/"];
 
 /// One rule's registry entry: identity, a one-line description (used for
@@ -468,6 +471,28 @@ mod tests {
         assert_eq!(first_word("  true,"), "true");
         assert_eq!(first_word("true && x"), "true");
         assert_eq!(first_word("!x"), "");
+    }
+
+    #[test]
+    fn hot_path_prefixes_cover_the_block_summary_module() {
+        // The block-summary sidecar (DESIGN.md §5h) rides the decode
+        // path, so its module must stay inside the `hot-path-io` /
+        // `guard-across-io` audited surface; a rename or move out of
+        // `crates/postings/src/` would silently drop it.
+        for file in [
+            "crates/postings/src/summary.rs",
+            "crates/postings/src/block_reader.rs",
+            "crates/core/src/engine.rs",
+        ] {
+            assert!(
+                under_any(file, &HOT_PATH_PREFIXES),
+                "{file} must be on the audited hot path"
+            );
+        }
+        assert!(!under_any(
+            "crates/bench/src/bin/at_scale.rs",
+            &HOT_PATH_PREFIXES
+        ));
     }
 
     #[test]

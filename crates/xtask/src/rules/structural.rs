@@ -34,9 +34,10 @@ const TRUSTED_INIT_MODULE: &str = "crates/core/src/engine.rs";
 /// * may copy (`trusted: resp.trusted`), clear (`= false`), and combine
 ///   conjunctively (`&&`, `&=`).
 pub fn trusted_conjunction(files: &[SourceFile], sink: &mut Sink) {
-    for file in files.iter().filter(|f| {
-        under_any(&f.rel, &PROD_PREFIXES) && f.rel != TRUSTED_INIT_MODULE
-    }) {
+    for file in files
+        .iter()
+        .filter(|f| under_any(&f.rel, &PROD_PREFIXES) && f.rel != TRUSTED_INIT_MODULE)
+    {
         for line in file.lines() {
             if line.in_test {
                 continue;
@@ -50,9 +51,8 @@ pub fn trusted_conjunction(files: &[SourceFile], sink: &mut Sink) {
                     // Struct init / field shorthand: only literal `true`
                     // manufactures trust.  (`trusted: bool` declarations
                     // and copies are fine.)
-                    (first_word(value) == "true").then_some(
-                        "literal `true` assigned to a `trusted` field",
-                    )
+                    (first_word(value) == "true")
+                        .then_some("literal `true` assigned to a `trusted` field")
                 } else if rest.starts_with("|=") || rest.starts_with("^=") {
                     Some("disjunctive compound assignment to `trusted`")
                 } else if rest.starts_with("&=") || rest.starts_with("==") {
@@ -108,10 +108,7 @@ const WATERMARK_SCOPE: [&str; 2] = ["crates/core/src/", "crates/shard/src/"];
 /// watermark value without the happens-before edge to the appends it
 /// covers, so a searcher could read past the commit point into torn data.
 pub fn atomic_ordering(files: &[SourceFile], sink: &mut Sink) {
-    for file in files
-        .iter()
-        .filter(|f| under_any(&f.rel, &WATERMARK_SCOPE))
-    {
+    for file in files.iter().filter(|f| under_any(&f.rel, &WATERMARK_SCOPE)) {
         let lines: Vec<&str> = file.code.lines().collect();
         for (idx, line) in lines.iter().enumerate() {
             if file.tree.in_test(idx) {
@@ -144,9 +141,15 @@ pub fn atomic_ordering(files: &[SourceFile], sink: &mut Sink) {
             });
             let is_atomic_op = window.clone().any(|j| {
                 lines.get(j).is_some_and(|l| {
-                    [".store(", ".load(", ".swap(", ".compare_exchange", ".fetch_"]
-                        .iter()
-                        .any(|p| l.contains(p))
+                    [
+                        ".store(",
+                        ".load(",
+                        ".swap(",
+                        ".compare_exchange",
+                        ".fetch_",
+                    ]
+                    .iter()
+                    .any(|p| l.contains(p))
                 })
             });
             if names_watermark && is_atomic_op {
@@ -193,7 +196,10 @@ pub fn guard_across_io(files: &[SourceFile], sink: &mut Sink) {
                 continue;
             }
             let start = item.kw_line.saturating_sub(1);
-            let end = item.end_line.saturating_sub(1).min(lines.len().saturating_sub(1));
+            let end = item
+                .end_line
+                .saturating_sub(1)
+                .min(lines.len().saturating_sub(1));
             let mut guards: Vec<Guard> = Vec::new();
             let mut depth = 0i32;
             for (i, &line) in lines.iter().enumerate().take(end + 1).skip(start) {
@@ -328,7 +334,10 @@ fn merge(resp: &mut Response) {
     resp.trusted = true;
 }
 ";
-        let report = run(trusted_conjunction, &[fixture("crates/shard/src/service.rs", src)]);
+        let report = run(
+            trusted_conjunction,
+            &[fixture("crates/shard/src/service.rs", src)],
+        );
         assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
         assert_eq!(report.findings[0].rule, "trusted-conjunction");
         assert_eq!(report.findings[0].line, 2);
@@ -346,7 +355,10 @@ fn merge(out: &mut Response, resp: &Response) {
 }
 struct Response { trusted: bool, hits: u32 }
 ";
-        let report = run(trusted_conjunction, &[fixture("crates/shard/src/service.rs", src)]);
+        let report = run(
+            trusted_conjunction,
+            &[fixture("crates/shard/src/service.rs", src)],
+        );
         assert!(report.findings.is_empty(), "{:?}", report.findings);
     }
 
@@ -358,7 +370,10 @@ fn merge(out: &mut Response, a: &Response, b: &Response) {
     out.trusted = a.trusted || b.trusted;
 }
 ";
-        let report = run(trusted_conjunction, &[fixture("crates/shard/src/service.rs", src)]);
+        let report = run(
+            trusted_conjunction,
+            &[fixture("crates/shard/src/service.rs", src)],
+        );
         let lines: Vec<usize> = report.findings.iter().map(|f| f.line).collect();
         assert_eq!(lines, vec![2, 3], "{:?}", report.findings);
     }
@@ -402,7 +417,10 @@ fn read(&self) -> u64 {
         .load(Ordering::Relaxed)
 }
 ";
-        let report = run(atomic_ordering, &[fixture("crates/core/src/service.rs", src)]);
+        let report = run(
+            atomic_ordering,
+            &[fixture("crates/core/src/service.rs", src)],
+        );
         let lines: Vec<usize> = report.findings.iter().map(|f| f.line).collect();
         assert_eq!(
             lines,
@@ -425,7 +443,10 @@ fn read_posting(&self, id: BlockId) -> Result<Vec<u8>, E> {
     Ok(bytes)
 }
 ";
-        let report = run(guard_across_io, &[fixture("crates/postings/src/list.rs", src)]);
+        let report = run(
+            guard_across_io,
+            &[fixture("crates/postings/src/list.rs", src)],
+        );
         assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
         assert_eq!(report.findings[0].line, 6);
         assert!(report.findings[0].message.contains("`cache`"));
@@ -451,7 +472,10 @@ fn read_posting(&self, id: BlockId) -> Result<Vec<u8>, E> {
     Ok(bytes)
 }
 ";
-        let report = run(guard_across_io, &[fixture("crates/postings/src/list.rs", src)]);
+        let report = run(
+            guard_across_io,
+            &[fixture("crates/postings/src/list.rs", src)],
+        );
         assert!(report.findings.is_empty(), "{:?}", report.findings);
     }
 
@@ -466,7 +490,10 @@ fn recover(&self) -> Result<(), E> {
     Ok(())
 }
 ";
-        let report = run(guard_across_io, &[fixture("crates/core/src/recover.rs", src)]);
+        let report = run(
+            guard_across_io,
+            &[fixture("crates/core/src/recover.rs", src)],
+        );
         assert!(report.findings.is_empty(), "{:?}", report.findings);
         assert_eq!(report.suppressed, 1);
     }

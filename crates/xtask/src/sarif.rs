@@ -61,7 +61,11 @@ pub fn render_sarif(report: &Report) -> String {
             f.line,
             f.col,
             json_escape(&f.snippet),
-            if i + 1 < report.findings.len() { "," } else { "" }
+            if i + 1 < report.findings.len() {
+                ","
+            } else {
+                ""
+            }
         ));
     }
     out.push_str("      ]\n    }\n  ]\n}\n");
@@ -100,7 +104,9 @@ mod tests {
         };
         let sarif = render_sarif(&report);
         let idx = RULES.iter().position(|m| m.id == "forbid-unsafe").unwrap();
-        assert!(sarif.contains(&format!("\"ruleId\": \"forbid-unsafe\", \"ruleIndex\": {idx}, \"level\": \"error\"")));
+        assert!(sarif.contains(&format!(
+            "\"ruleId\": \"forbid-unsafe\", \"ruleIndex\": {idx}, \"level\": \"error\""
+        )));
         assert!(sarif.contains("\"uri\": \"crates/core/src/engine.rs\""));
         assert!(sarif.contains("\"startLine\": 12, \"startColumn\": 5"));
     }

@@ -193,7 +193,10 @@ fn item_kw(id: &str) -> Option<ItemKind> {
 /// Visibility / qualifier identifiers that may precede an item keyword
 /// without ending the pending attribute group.
 fn is_modifier(id: &str) -> bool {
-    matches!(id, "pub" | "async" | "unsafe" | "extern" | "default" | "crate")
+    matches!(
+        id,
+        "pub" | "async" | "unsafe" | "extern" | "default" | "crate"
+    )
 }
 
 struct Open {
@@ -555,10 +558,7 @@ mod tests {
     fn test_mask_handles_attr_stack_and_use() {
         let src = "#[cfg(test)]\n#[allow(deprecated)]\nmod tests {\n    fn t() {}\n}\n#[cfg(test)] use x;\nfn prod() {}\n";
         let t = tree(src);
-        assert_eq!(
-            t.test_mask,
-            vec![true, true, true, true, true, true, false]
-        );
+        assert_eq!(t.test_mask, vec![true, true, true, true, true, true, false]);
     }
 
     #[test]
@@ -656,7 +656,8 @@ fn f() {
 
     #[test]
     fn directives_are_recorded_for_usage_tracking() {
-        let src = "// audit:allow(worm-append-only)\nfn f() {}\n// audit:allow(hot-path-io) trailing\n";
+        let src =
+            "// audit:allow(worm-append-only)\nfn f() {}\n// audit:allow(hot-path-io) trailing\n";
         let t = tree(src);
         assert_eq!(
             t.directives,

@@ -110,5 +110,8 @@ fn strippers_agree_on_the_whole_workspace() {
             checked += 1;
         }
     }
-    assert!(checked >= 50, "expected a real corpus, found {checked} files");
+    assert!(
+        checked >= 50,
+        "expected a real corpus, found {checked} files"
+    );
 }
