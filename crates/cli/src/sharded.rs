@@ -44,7 +44,7 @@ pub fn usage_lines() -> &'static str {
     "  tks archive init ARCHIVE --shards N [--lists M] [--jump B] [--block-size L] [--positional]\n  \
      tks archive add ARCHIVE FILE...\n  tks archive note ARCHIVE TS TEXT...\n  \
      tks archive query ARCHIVE KEYWORD... [--top K]\n  tks archive all ARCHIVE KEYWORD...\n  \
-     tks archive info ARCHIVE"
+     tks archive info ARCHIVE\n  tks archive verify ARCHIVE"
 }
 
 pub fn cmd_archive(args: &[String]) -> CliResult {
@@ -58,6 +58,7 @@ pub fn cmd_archive(args: &[String]) -> CliResult {
         "query" => cmd_query(&args[1..], false),
         "all" => cmd_query(&args[1..], true),
         "info" => cmd_info(&args[1..]),
+        "verify" => cmd_verify(&args[1..]),
         other => Err(format!("unknown archive subcommand {other}:\n{}", usage_lines()).into()),
     }
 }
@@ -399,6 +400,97 @@ fn print_trust(resp: &ShardedResponse) {
     println!("]");
 }
 
+/// The typed verdict `tks archive verify` exits nonzero with: every
+/// shard-level finding, in shard order.  Each finding names the shard
+/// and the failing check (recovery refusal, commit-chain mismatch, or a
+/// non-empty WORM tamper log), so an investigator's script can both
+/// branch on the exit code and parse the evidence.
+#[derive(Debug)]
+pub struct VerifyFailure {
+    /// One line per failing check, `shard N: <what>`.
+    pub findings: Vec<String>,
+}
+
+impl std::fmt::Display for VerifyFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "archive verification FAILED ({} finding(s)):",
+            self.findings.len()
+        )?;
+        for finding in &self.findings {
+            writeln!(f, "  {finding}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for VerifyFailure {}
+
+/// Full-archive chain recheck: reload every shard, rerun recovery (which
+/// recomputes the commit chain over the surviving bytes and compares it
+/// against the persisted links), and report per shard.  Exits nonzero
+/// with a [`VerifyFailure`] if any shard refuses recovery, any chain
+/// link fails to match, or any WORM tamper log is non-empty.
+fn cmd_verify(args: &[String]) -> CliResult {
+    let dir = archive_path(args)?;
+    let manifest: Manifest =
+        serde_json::from_str(&std::fs::read_to_string(dir.join("shards.json"))?)?;
+    let shard_dirs = discover_shard_dirs(&dir)?;
+    let mut findings = Vec::new();
+    if shard_dirs.len() != manifest.shards as usize {
+        findings.push(format!(
+            "archive: manifest names {} shard(s) but {} present",
+            manifest.shards,
+            shard_dirs.len()
+        ));
+    }
+    let parts: Vec<_> = shard_dirs
+        .iter()
+        .map(|d| load_parts(d, &manifest.config).map_err(|e| e.to_string()))
+        .collect();
+    let (archive, recoveries) = ShardedArchive::recover_loaded(parts, manifest.config)?;
+    for r in &recoveries {
+        if let Some(reason) = &r.error {
+            findings.push(format!("shard {}: recovery refused: {reason}", r.shard));
+        }
+    }
+    for shard in 0..archive.shards() {
+        let Some(engine) = archive.engine(shard) else {
+            continue;
+        };
+        let report = engine.recovery_report();
+        print!(
+            "shard {shard}: {} committed link(s), head {}",
+            engine.num_docs(),
+            engine.chain_head()
+        );
+        if report.total_quarantined_bytes() > 0 {
+            print!(", {} quarantined byte(s)", report.total_quarantined_bytes());
+        }
+        if let Some(mismatch) = engine.chain_mismatch() {
+            println!(" — CHAIN MISMATCH");
+            findings.push(format!("shard {shard}: commit-chain mismatch: {mismatch}"));
+        } else if !engine.tamper_logs_clean() {
+            println!(" — TAMPER LOG NON-EMPTY");
+            findings.push(format!(
+                "shard {shard}: a WORM device rejected overwrite/early-delete attempts"
+            ));
+        } else {
+            println!(" — chain verified");
+        }
+    }
+    if findings.is_empty() {
+        println!(
+            "OK: all {} shard(s) verified against their commit chains",
+            archive.shards()
+        );
+        Ok(())
+    } else {
+        Err(Box::new(VerifyFailure { findings }))
+    }
+}
+
 fn cmd_info(args: &[String]) -> CliResult {
     let dir = archive_path(args)?;
     let archive = open(&dir)?;
@@ -509,6 +601,106 @@ mod tests {
         assert!(resp.trusted, "shard 0's verdict is its own");
         assert_eq!(resp.degraded().len(), 1);
         assert_eq!(resp.hits.len() as u64, per_shard[0]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Build a tiny single-shard archive with two known notes and
+    /// return its directory.
+    fn verified_fixture(tag: &str) -> PathBuf {
+        let dir = temp_dir(tag);
+        let d = dir.to_string_lossy().to_string();
+        cmd_archive(&arg(&format!(
+            "init {d} --shards 1 --lists 8 --jump 0 --block-size 2048"
+        )))
+        .unwrap();
+        cmd_archive(&arg(&format!("note {d} 100 merger escrow instructions"))).unwrap();
+        cmd_archive(&arg(&format!("note {d} 200 quarterly retention audit"))).unwrap();
+        cmd_archive(&arg(&format!("verify {d}"))).expect("pristine archive must verify");
+        dir
+    }
+
+    /// Recompute a persisted image's trailing SHA-256 footer after a
+    /// mutation, imitating an adversary who controls the storage medium
+    /// and regenerates the integrity checksum to cover their edit.
+    fn reforge_footer(img: &mut [u8]) {
+        let body = img.len() - 32;
+        let footer = tks_worm::sha256(&img[..body]);
+        img[body..].copy_from_slice(&footer);
+    }
+
+    /// Every single-byte flip in every persisted image must make
+    /// `tks archive verify` exit nonzero — nothing in any image is
+    /// mutable without detection.
+    #[test]
+    fn verify_flags_every_single_byte_flip() {
+        let dir = verified_fixture("byteflip");
+        let d = dir.to_string_lossy().to_string();
+        let verify = arg(&format!("verify {d}"));
+        for name in ["store.worm", "docs.worm"] {
+            let path = dir.join(shard_dir_name(0)).join(name);
+            let pristine = std::fs::read(&path).unwrap();
+            for i in 0..pristine.len() {
+                let mut img = pristine.clone();
+                img[i] ^= 0x01;
+                std::fs::write(&path, &img).unwrap();
+                assert!(
+                    cmd_archive(&verify).is_err(),
+                    "flip at {name}[{i}] went undetected"
+                );
+            }
+            std::fs::write(&path, &pristine).unwrap();
+        }
+        cmd_archive(&verify).expect("restored archive must verify again");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// An adversary who rewrites the image *and* regenerates its
+    /// checksum footer defeats the footer — only the commit chain,
+    /// whose head the investigator compares out-of-band, catches the
+    /// edit.  Tamper with document text, a DOCMETA commit record, and a
+    /// persisted chain link; each must surface as a chain mismatch.
+    #[test]
+    fn verify_catches_tamper_behind_a_reforged_checksum() {
+        let dir = verified_fixture("reforged");
+        let d = dir.to_string_lossy().to_string();
+        let verify = arg(&format!("verify {d}"));
+        let docs_path = dir.join(shard_dir_name(0)).join("docs.worm");
+        let pristine = std::fs::read(&docs_path).unwrap();
+
+        let position_of = |needle: &[u8]| -> usize {
+            pristine
+                .windows(needle.len())
+                .position(|w| w == needle)
+                .expect("fixture bytes present in image")
+        };
+        // Document text (tokens, so a single-token needle), a DOCMETA
+        // record (ts=100 || token count 3), and the first chain link
+        // (its prev_head is the genesis head).
+        let text_at = position_of(b"merger");
+        let mut docmeta = 100u64.to_le_bytes().to_vec();
+        docmeta.extend_from_slice(&3u64.to_le_bytes());
+        let docmeta_at = position_of(&docmeta);
+        let link_at = position_of(&tks_worm::ChainHead::genesis().0);
+
+        for (what, at) in [
+            ("document text", text_at),
+            ("DOCMETA record", docmeta_at),
+            ("chain link", link_at),
+        ] {
+            let mut img = pristine.clone();
+            img[at] ^= 0x01;
+            reforge_footer(&mut img);
+            std::fs::write(&docs_path, &img).unwrap();
+            let err = cmd_archive(&verify)
+                .expect_err(&format!("reforged tamper of {what} went undetected"));
+            let report = err.to_string();
+            assert!(
+                report.contains("commit-chain mismatch") || report.contains("recovery refused"),
+                "tamper of {what} must be a typed chain finding, got: {report}"
+            );
+        }
+        std::fs::write(&docs_path, &pristine).unwrap();
+        cmd_archive(&verify).expect("restored archive must verify again");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -137,10 +137,14 @@ impl ClientError {
                 WireErrorCode::Degraded
                 | WireErrorCode::NoHealthyShards
                 | WireErrorCode::ShuttingDown => ErrorDisposition::RetryLater,
+                // A digest mismatch means the response's trust fields
+                // were altered (or forged); re-asking the same endpoint
+                // cannot make the evidence trustworthy.
                 WireErrorCode::Engine
                 | WireErrorCode::Malformed
                 | WireErrorCode::FrameTooLarge
                 | WireErrorCode::UnsupportedVersion
+                | WireErrorCode::DigestMismatch
                 | WireErrorCode::Internal => ErrorDisposition::Fatal,
             },
             ClientError::Protocol(_) => ErrorDisposition::Fatal,
@@ -220,6 +224,23 @@ impl Client {
         deadline_ms: u64,
     ) -> Result<WireQueryResponse, ClientError> {
         self.query_inner(query, Some(deadline_ms))
+    }
+
+    /// Execute a query and verify the response digest binds its
+    /// watermark and per-shard chain heads before returning it.  A
+    /// response whose trust fields were altered in flight (or that
+    /// comes from a server predating the digest) fails with a
+    /// [`DigestMismatch`](tks_server::wire::WireErrorCode::DigestMismatch)
+    /// error, whose [`disposition`](ClientError::disposition) is
+    /// `Fatal`.
+    ///
+    /// To additionally prove the response was computed over an archive
+    /// prefix whose head the caller holds out-of-band, follow up with
+    /// [`WireQueryResponse::verify_shard_head`].
+    pub fn query_verified(&mut self, query: WireQuery) -> Result<WireQueryResponse, ClientError> {
+        let resp = self.query_inner(query, None)?;
+        resp.verify_digest().map_err(ClientError::Server)?;
+        Ok(resp)
     }
 
     fn query_inner(

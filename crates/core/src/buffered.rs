@@ -97,6 +97,11 @@ impl BufferedIndex {
         batch.sort_by_key(|&(t, d, _)| (self.assignment.list_of(t), d));
         for (t, d, tf) in batch {
             let list = self.assignment.list_of(t);
+            // This module IS the rejected baseline: buffered maintenance
+            // has no commit points, so there is no chain to feed; its
+            // whole purpose is to demonstrate the attacks that
+            // discipline prevents.
+            // audit:allow(chain-append-discipline)
             self.store.append(list, t, d, tf, cache.as_deref_mut())?;
         }
         self.docs_since_flush = 0;

@@ -35,7 +35,8 @@ use tks_jump::{JumpConfig, JumpError, TamperEvidence};
 use tks_postings::list::{ListError, ListStore};
 use tks_postings::{DocId, ListId, Posting, TermId, Timestamp};
 use tks_worm::{
-    AccessKind, BlockId, CacheConfig, IoStats, StorageCache, WormDevice, WormError, WormFs,
+    AccessKind, BlockId, CacheConfig, ChainHead, ChainLink, CommitChain, IoStats, StorageCache,
+    WormDevice, WormError, WormFs,
 };
 
 /// Engine configuration.
@@ -318,6 +319,14 @@ pub enum SearchError {
         /// Residue bytes in the way.
         bytes: u64,
     },
+    /// A token is too long for the term dictionary's length-prefixed
+    /// record format (`u16` length prefix).  Rejected up front: the
+    /// legacy behaviour silently truncated the length with `as u16`,
+    /// corrupting every subsequent dictionary record.
+    TokenTooLong {
+        /// Byte length of the offending token.
+        len: usize,
+    },
     /// The engine configuration was rejected (see [`EngineConfig::builder`]).
     Config(ConfigError),
     /// An internal invariant failed in a way that is neither tamper
@@ -350,6 +359,13 @@ impl std::fmt::Display for SearchError {
                 write!(
                     f,
                     "commit collides with {bytes} byte(s) of quarantined crash residue at {file}"
+                )
+            }
+            SearchError::TokenTooLong { len } => {
+                write!(
+                    f,
+                    "token of {len} bytes exceeds the term dictionary's {} byte limit",
+                    u16::MAX
                 )
             }
             SearchError::Config(e) => write!(f, "{e}"),
@@ -497,6 +513,19 @@ pub struct RecoveryReport {
     /// record never committed (the text reaches WORM first, so a crash
     /// can orphan a whole text file).
     pub doc_text_bytes: u64,
+    /// Quarantined commit-chain bytes: a partial link record torn
+    /// mid-append, and/or one whole link sealed for the document whose
+    /// DOCMETA never committed (the link reaches WORM just before the
+    /// commit point).
+    pub chain_tail_bytes: u64,
+    /// The commit-chain head recomputed over the surviving committed
+    /// documents (genesis for an empty archive).
+    pub chain_head: ChainHead,
+    /// `Some(detail)` when the persisted chain links diverge from the
+    /// chain recomputed over the surviving bytes — tamper evidence a
+    /// single torn append cannot produce.  Taints every response's
+    /// `trusted` flag (see [`QueryResponse::trusted`]).
+    pub chain_mismatch: Option<String>,
 }
 
 impl RecoveryReport {
@@ -508,6 +537,7 @@ impl RecoveryReport {
             + self.docmeta_tail_bytes
             + self.position_bytes.iter().map(|&(_, b)| b).sum::<u64>()
             + self.doc_text_bytes
+            + self.chain_tail_bytes
     }
 
     /// `true` when recovery found no torn-commit residue.
@@ -561,6 +591,11 @@ pub struct SearchEngine {
     /// live engine: dead weight behind the commit point, counted so trust
     /// metadata stays truthful without waiting for a restart.
     torn_tail_bytes: u64,
+    /// The running SHA-256 commit chain.  One head per committed
+    /// watermark; each commit absorbs its canonical bytes into the
+    /// in-flight digest and seals a [`ChainLink`] persisted to
+    /// [`CHAIN_FILE`] just before the DOCMETA commit point.
+    chain: CommitChain,
 }
 
 fn recovery_err(msg: &str) -> SearchError {
@@ -622,6 +657,10 @@ fn time_block_id(chain_block: u32) -> BlockId {
 const TERMS_FILE: &str = "engine/terms";
 const DOCMETA_FILE: &str = "engine/docmeta";
 const DOCMETA_RECORD: usize = 16;
+/// Persisted commit-chain links, one fixed-width record per commit,
+/// appended immediately *before* the DOCMETA commit point.
+const CHAIN_FILE: &str = "engine/chain";
+const CHAIN_RECORD: usize = ChainLink::ENCODED;
 
 /// The WORM file systems surviving an engine shutdown; everything a
 /// [`SearchEngine::recover`] needs.
@@ -654,6 +693,7 @@ impl SearchEngine {
         let mut doc_fs = WormFs::new(WormDevice::new(config.block_size.max(64)));
         doc_fs.create(TERMS_FILE, u64::MAX)?;
         doc_fs.create(DOCMETA_FILE, u64::MAX)?;
+        doc_fs.create(CHAIN_FILE, u64::MAX)?;
         Ok(Self {
             cache: StorageCache::new(CacheConfig::new(
                 config.cache_bytes,
@@ -679,6 +719,7 @@ impl SearchEngine {
             },
             recovery: RecoveryReport::default(),
             torn_tail_bytes: 0,
+            chain: CommitChain::new(),
             config,
         })
     }
@@ -861,7 +902,10 @@ impl SearchEngine {
 
         // Recompute document frequencies from the recovered (post-
         // quarantine) lists, and cross-check tags and list assignment.
+        // The same pass collects each committed document's (term, tf)
+        // postings so the commit chain can be recomputed below.
         let mut doc_freq = vec![0u64; term_names.len()];
+        let mut doc_terms: Vec<Vec<(TermId, u8)>> = vec![Vec::new(); docs.len()];
         for l in 0..store.num_lists() as u32 {
             let list = ListId(l);
             for p in store.postings(list)? {
@@ -878,6 +922,78 @@ impl SearchEngine {
                     doc_freq.resize(slot + 1, 0);
                 }
                 doc_freq[slot] += 1;
+                if let Some(entry) = doc_terms.get_mut(p.doc.0 as usize) {
+                    entry.push((term, p.tf));
+                }
+            }
+        }
+
+        // Recompute the commit chain over the surviving committed
+        // documents and check it against the persisted links.  Commits
+        // absorb their postings in ascending term-ID order, so sorting
+        // the recovered postings reproduces the canonical frame.
+        let mut chain = CommitChain::new();
+        for (i, (meta, terms)) in docs.iter().zip(doc_terms.iter_mut()).enumerate() {
+            terms.sort_unstable_by_key(|&(t, _)| t);
+            chain.absorb_commit_header(i as u64, meta.timestamp.0, meta.len);
+            let text = doc_fs
+                .open(&format!("docs/{i}"))
+                .ok()
+                .and_then(|f| doc_fs.read(f, 0, doc_fs.len(f) as usize).ok());
+            chain.absorb_text(text.as_deref());
+            for &(term, tf) in terms.iter() {
+                let name = term_names.get(term.0 as usize).map(|s| s.as_str());
+                chain.absorb_term(term.0, name, tf);
+            }
+            let link = chain.seal(i as u64 + 1);
+            chain
+                .advance(&link)
+                .map_err(|e| recovery_err(&format!("chain recompute: {e}")))?;
+        }
+        report.chain_head = chain.head();
+
+        // Replay the persisted links.  A torn link record, or one whole
+        // link for the document whose DOCMETA never committed, is crash
+        // residue; anything else that diverges from the recomputed chain
+        // is tamper evidence a single torn append cannot produce.
+        let chain_file = doc_fs
+            .open(CHAIN_FILE)
+            .map_err(|_| recovery_err("missing commit chain file"))?;
+        let chain_len = doc_fs.len(chain_file);
+        report.chain_tail_bytes = chain_len % CHAIN_RECORD as u64;
+        let whole_links = chain_len / CHAIN_RECORD as u64;
+        if whole_links > committed + 1 {
+            return Err(recovery_err(
+                "commit chain has more than one link beyond the committed documents",
+            ));
+        }
+        if whole_links == committed + 1 {
+            // The sealed link of the uncommitted document: quarantined
+            // residue, like its postings and text.
+            report.chain_tail_bytes += CHAIN_RECORD as u64;
+        }
+        if whole_links < committed {
+            report.chain_mismatch = Some(format!(
+                "commit chain holds {whole_links} link(s) for {committed} committed document(s)"
+            ));
+        }
+        for i in 0..whole_links.min(committed) {
+            // Fixed-width chain replay, once per recovery.
+            // audit:allow(hot-path-io)
+            let rec = doc_fs.read(chain_file, i * CHAIN_RECORD as u64, CHAIN_RECORD)?;
+            let persisted = ChainLink::decode(&rec)
+                .map_err(|e| recovery_err(&format!("chain link {i}: {e}")))?;
+            // The link head hashes prev_head ‖ commit_digest ‖ watermark,
+            // so one comparison binds all three fields.
+            let recomputed_head = chain
+                .head_at(i + 1)
+                .ok_or_else(|| recovery_err("chain head watermark out of range"))?;
+            if persisted.head() != recomputed_head {
+                report.chain_mismatch = Some(format!(
+                    "chain link {i} diverges: persisted head {}, recomputed {recomputed_head}",
+                    persisted.head()
+                ));
+                break;
             }
         }
 
@@ -934,6 +1050,7 @@ impl SearchEngine {
             positions,
             recovery: report,
             torn_tail_bytes: 0,
+            chain,
             config,
         })
     }
@@ -942,6 +1059,27 @@ impl SearchEngine {
     /// for an engine created with [`SearchEngine::new`]).
     pub fn recovery_report(&self) -> &RecoveryReport {
         &self.recovery
+    }
+
+    /// The commit chain's current head (after the last committed
+    /// document; genesis for an empty engine).
+    pub fn chain_head(&self) -> ChainHead {
+        self.chain.head()
+    }
+
+    /// The chain head at a historical watermark, if that many documents
+    /// have committed.  Pinned-snapshot readers report the head their
+    /// watermark was sealed under, so a response's head is stable for
+    /// the lifetime of the pin regardless of writer progress.
+    pub fn chain_head_at(&self, watermark: u64) -> Option<ChainHead> {
+        self.chain.head_at(watermark)
+    }
+
+    /// `Some(detail)` when the last recovery found the persisted chain
+    /// links diverging from the chain recomputed over surviving bytes.
+    /// A mismatch taints every response's `trusted` flag.
+    pub fn chain_mismatch(&self) -> Option<&str> {
+        self.recovery.chain_mismatch.as_deref()
     }
 
     /// Total torn-commit residue behind the commit point, in bytes:
@@ -1026,12 +1164,23 @@ impl SearchEngine {
         if let Some(&t) = self.dict.get(token) {
             return Ok(t);
         }
+        let bytes = token.as_bytes();
+        // The dictionary record is length-prefixed with a u16; a longer
+        // token must be rejected *before* anything reaches WORM — the
+        // legacy `as u16` cast silently truncated the length, making
+        // every subsequent dictionary record unparseable.
+        let len = u16::try_from(bytes.len())
+            .map_err(|_| SearchError::TokenTooLong { len: bytes.len() })?;
         let t = TermId(self.term_names.len() as u32);
         let file = self.doc_fs.open(TERMS_FILE)?;
-        let bytes = token.as_bytes();
         let mut rec = Vec::with_capacity(2 + bytes.len());
-        rec.extend_from_slice(&(bytes.len() as u16).to_le_bytes());
+        rec.extend_from_slice(&len.to_le_bytes());
         rec.extend_from_slice(bytes);
+        // The dictionary bytes are bound transitively: every commit
+        // absorbs each posting's term *name* into the chain, so a
+        // tampered dictionary record changes the recomputed digest of
+        // the first commit that uses the term.
+        // audit:allow(chain-append-discipline)
         self.doc_fs.append(file, &rec)?;
         self.term_names.push(token.to_string());
         self.dict.insert(token.to_string(), t);
@@ -1089,6 +1238,9 @@ impl SearchEngine {
             // Count it so live trust metadata matches what a recovery of
             // these devices would quarantine.
             self.torn_tail_bytes += self.device_bytes_committed() - before;
+            // The failed commit's partial content must not leak into the
+            // next commit's digest.
+            self.chain.abort();
         }
         result
     }
@@ -1133,12 +1285,17 @@ impl SearchEngine {
 
         let doc = DocId(self.docs.len() as u64);
         let len: u64 = terms.iter().map(|&(_, tf)| tf as u64).sum();
+        // Every byte this commit writes is absorbed into the in-flight
+        // chain digest in canonical order; the sealed link lands on WORM
+        // just before the DOCMETA commit point (step 4).
+        self.chain.absorb_commit_header(doc.0, ts.0, len);
         // 1. The record itself reaches WORM first (we trust the insertion
         //    application at commit time; see paper §2.1).  Its DOCMETA
         //    record is deliberately *not* written yet: DOCMETA is the
         //    commit point, appended last (step 4), so a crash anywhere in
         //    this function leaves index entries that recovery can
         //    recognise as uncommitted and quarantine.
+        let mut stored_text = None;
         if self.config.store_documents {
             if let Some(text) = raw_text {
                 let name = format!("docs/{}", doc.0);
@@ -1159,8 +1316,12 @@ impl SearchEngine {
                     Err(e) => return Err(e.into()),
                 };
                 self.doc_fs.append(f, text.as_bytes())?;
+                stored_text = Some(text.as_bytes());
             }
         }
+        // The frame records text absence too, so "no stored text" and
+        // "empty stored text" hash differently.
+        self.chain.absorb_text(stored_text);
 
         // 2. Index entries, one per distinct keyword, before returning.
         let jump_enabled = !self.jump.is_empty();
@@ -1207,6 +1368,10 @@ impl SearchEngine {
                 ps.append(list.0, record)
                     .map_err(|e| recovery_err(&e.to_string()))?;
             }
+            // Absorb the posting as stored: the saturated tf is what a
+            // recovery sees when it recomputes the chain from postings.
+            let name = self.term_names.get(term.0 as usize).map(|s| s.as_str());
+            self.chain.absorb_term(term.0, name, tf.min(255) as u8);
             let slot = term.0 as usize;
             if slot >= self.doc_freq.len() {
                 self.doc_freq.resize(slot + 1, 0);
@@ -1233,12 +1398,20 @@ impl SearchEngine {
                 }
             })?;
 
-        // 4. The commit point: DOCMETA is the LAST WORM append of the
-        //    document.  Until this record is durably whole, recovery
-        //    treats every byte written above as quarantinable residue; a
+        // 4. Seal and persist the chain link, then the commit point.
+        //    The link reaches WORM first so DOCMETA stays the LAST append
+        //    of the document: a crash between the two leaves one whole
+        //    link for an uncommitted document, which recovery quarantines
+        //    like the document's other residue.  Until DOCMETA is durably
+        //    whole, every byte written above is quarantinable residue; a
         //    failure here (or anywhere above) leaves the document
         //    uncommitted and the in-memory shadow state invisible behind
         //    the `docs.len()` watermark.
+        let link = self.chain.seal(doc.0 + 1);
+        {
+            let f = self.doc_fs.open(CHAIN_FILE)?;
+            self.doc_fs.append(f, &link.encode())?;
+        }
         {
             let f = self.doc_fs.open(DOCMETA_FILE)?;
             let mut rec = [0u8; DOCMETA_RECORD];
@@ -1246,6 +1419,11 @@ impl SearchEngine {
             rec[8..16].copy_from_slice(&len.to_le_bytes());
             self.doc_fs.append(f, &rec)?;
         }
+        // The in-memory chain only advances once the commit point has
+        // landed, mirroring the `docs.len()` watermark.
+        self.chain
+            .advance(&link)
+            .map_err(|e| SearchError::Internal(format!("commit chain: {e}")))?;
 
         self.total_tokens += len;
         if len >= 1 {
@@ -1346,8 +1524,12 @@ impl SearchEngine {
                 ..IoStats::default()
             },
             visible_docs: visible,
-            trusted: self.tamper_logs_clean(),
+            trusted: self.tamper_logs_clean() && self.recovery.chain_mismatch.is_none(),
             quarantined_bytes: self.quarantined_bytes(),
+            chain_head: self
+                .chain
+                .head_at(visible)
+                .unwrap_or_else(|| self.chain.head()),
         })
     }
 
@@ -1734,8 +1916,11 @@ impl SearchEngine {
         (hits, blocks)
     }
 
-    /// Whether every WORM device's tamper log is empty.
-    fn tamper_logs_clean(&self) -> bool {
+    /// Whether every WORM device's tamper log is empty.  One of the two
+    /// conjuncts behind a response's `trusted` flag (the other is a
+    /// clean commit-chain recheck); public so audit tooling like
+    /// `tks archive verify` can report it separately.
+    pub fn tamper_logs_clean(&self) -> bool {
         self.store.fs().device().tamper_log().is_empty()
             && self.doc_fs.device().tamper_log().is_empty()
             && self
@@ -2332,6 +2517,86 @@ mod tests {
         e.list_store_mut().fs_mut().append(f, &evil).unwrap();
         let report = e.audit();
         assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn oversized_token_is_a_typed_error_and_leaves_dictionary_parseable() {
+        let mut e = engine();
+        e.add_document("normal prefix", Timestamp(1)).unwrap();
+        let huge = "x".repeat(70 * 1024);
+        match e.intern(&huge) {
+            Err(SearchError::TokenTooLong { len }) => assert_eq!(len, 70 * 1024),
+            other => panic!("expected TokenTooLong, got {other:?}"),
+        }
+        match e.add_document(&huge, Timestamp(2)) {
+            Err(SearchError::TokenTooLong { .. }) => {}
+            other => panic!("expected TokenTooLong, got {other:?}"),
+        }
+        // The rejection happened before any dictionary bytes reached
+        // WORM: later commits succeed and the dictionary replays.
+        e.add_document("normal suffix", Timestamp(3)).unwrap();
+        let config = e.config().clone();
+        let r = SearchEngine::recover(e.into_parts(), config).unwrap();
+        assert_eq!(r.num_docs(), 2);
+        assert!(r.chain_mismatch().is_none());
+        assert_eq!(r.vocab_size(), 3); // normal, prefix, suffix
+    }
+
+    #[test]
+    fn chain_heads_are_per_watermark_and_survive_recovery() {
+        let mut e = engine();
+        let genesis = e.chain_head();
+        let mut heads = vec![genesis];
+        for (i, text) in ["alpha beta", "beta gamma", "gamma delta"]
+            .iter()
+            .enumerate()
+        {
+            e.add_document(text, Timestamp(10 + i as u64)).unwrap();
+            let head = e.chain_head();
+            assert!(!heads.contains(&head), "every commit must advance the head");
+            heads.push(head);
+        }
+        // Watermark-indexed heads are stable: the head at watermark w
+        // never changes once commit w lands.
+        for (w, expected) in heads.iter().enumerate() {
+            assert_eq!(e.chain_head_at(w as u64), Some(*expected));
+        }
+        let config = e.config().clone();
+        let r = SearchEngine::recover(e.into_parts(), config).unwrap();
+        assert!(r.chain_mismatch().is_none());
+        assert_eq!(r.chain_head(), heads[3], "recomputed head must match");
+        for (w, expected) in heads.iter().enumerate() {
+            assert_eq!(r.chain_head_at(w as u64), Some(*expected));
+        }
+    }
+
+    /// An adversary who edits a persisted image *and* regenerates its
+    /// integrity footer gets past `load_fs` — only the chain recompute
+    /// against the persisted links catches the edit, and the engine
+    /// must refuse `trusted` from then on.
+    #[test]
+    fn reforged_image_tamper_surfaces_as_chain_mismatch() {
+        let mut e = engine();
+        e.add_document("merger escrow instructions", Timestamp(100))
+            .unwrap();
+        e.add_document("quarterly retention audit", Timestamp(200))
+            .unwrap();
+        let config = e.config().clone();
+        let mut parts = e.into_parts();
+        let mut img = tks_worm::save_fs(&parts.doc_fs).unwrap();
+        let at = img.windows(6).position(|w| w == b"merger").unwrap();
+        img[at] ^= 0x01;
+        let body = img.len() - 32;
+        let footer = tks_worm::sha256(&img[..body]);
+        img[body..].copy_from_slice(&footer);
+        parts.doc_fs = tks_worm::load_fs(&img).expect("reforged footer defeats load_fs");
+        let r = SearchEngine::recover(parts, config).unwrap();
+        assert!(
+            r.chain_mismatch().is_some(),
+            "chain recompute must flag the edit"
+        );
+        let resp = r.execute(&Query::disjunctive("retention", 5)).unwrap();
+        assert!(!resp.trusted, "a mismatched chain can never be trusted");
     }
 
     #[test]

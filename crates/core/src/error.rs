@@ -22,7 +22,8 @@
 //! │   └── ConfigError    — rejected engine configurations
 //! ├── CodecError         — posting/tag encodings (tks-postings)
 //! ├── PositionError      — positional sidecar (tks-core)
-//! └── PersistError       — serialized WORM images (tks-worm)
+//! ├── PersistError       — serialized WORM images (tks-worm)
+//! └── ChainError         — commit-chain records (tks-worm)
 //! ```
 
 use crate::engine::{ConfigError, SearchError};
@@ -30,7 +31,7 @@ use crate::positions::PositionError;
 use tks_jump::{JumpError, TamperEvidence};
 use tks_postings::list::ListError;
 use tks_postings::CodecError;
-use tks_worm::{PersistError, WormError};
+use tks_worm::{ChainError, PersistError, WormError};
 
 /// Top of the workspace error taxonomy: any error a trustworthy-search
 /// deployment can surface.
@@ -57,6 +58,9 @@ pub enum TksError {
     Position(PositionError),
     /// Serialized WORM image failure.
     Persist(PersistError),
+    /// Commit-chain record failure (encoding, decoding, or a link that
+    /// does not extend the chain).
+    Chain(ChainError),
 }
 
 impl std::fmt::Display for TksError {
@@ -66,6 +70,7 @@ impl std::fmt::Display for TksError {
             TksError::Codec(e) => write!(f, "{e}"),
             TksError::Position(e) => write!(f, "{e}"),
             TksError::Persist(e) => write!(f, "{e}"),
+            TksError::Chain(e) => write!(f, "{e}"),
         }
     }
 }
@@ -77,6 +82,7 @@ impl std::error::Error for TksError {
             TksError::Codec(e) => Some(e),
             TksError::Position(e) => Some(e),
             TksError::Persist(e) => Some(e),
+            TksError::Chain(e) => Some(e),
         }
     }
 }
@@ -99,6 +105,11 @@ impl From<PositionError> for TksError {
 impl From<PersistError> for TksError {
     fn from(e: PersistError) -> Self {
         TksError::Persist(e)
+    }
+}
+impl From<ChainError> for TksError {
+    fn from(e: ChainError) -> Self {
+        TksError::Chain(e)
     }
 }
 impl From<WormError> for TksError {
@@ -148,6 +159,9 @@ mod tests {
 
         let persist: TksError = PersistError("short".into()).into();
         assert!(matches!(persist, TksError::Persist(_)));
+
+        let chain: TksError = ChainError::BadRecordLength { len: 3 }.into();
+        assert!(matches!(chain, TksError::Chain(_)));
     }
 
     #[test]

@@ -17,7 +17,7 @@
 
 use crate::engine::SearchHit;
 use tks_postings::{DocId, TermId, Timestamp};
-use tks_worm::IoStats;
+use tks_worm::{ChainHead, IoStats};
 
 /// An inclusive commit-time interval `[from, to]` (paper §5: "trustworthy
 /// time-range restriction").
@@ -191,6 +191,14 @@ pub struct QueryResponse {
     /// event with evidence, not tampering — but investigators see exactly
     /// how many dead bytes the index carries.
     pub quarantined_bytes: u64,
+    /// The commit-chain head at `visible_docs`: a SHA-256 commitment to
+    /// every byte of the visible prefix.  An investigator holding a
+    /// trusted head out-of-band (printed at archival time, escrowed,
+    /// etc.) can compare it against this field to verify the response
+    /// was computed over the untampered prefix.  Stable for the
+    /// lifetime of a pinned snapshot: the head is indexed by watermark,
+    /// not by writer progress.
+    pub chain_head: ChainHead,
 }
 
 impl QueryResponse {

@@ -238,12 +238,25 @@ impl ListStore {
                  {POSTING_SIZE}-byte posting"
             )));
         }
+        // The meta header stores both as u32; a value that does not fit
+        // must be a typed error, not a silent truncation that would make
+        // the persisted header disagree with the live geometry.
+        let block_size_u32 = u32::try_from(block_size).map_err(|_| {
+            ListError::Geometry(format!(
+                "block size {block_size} exceeds the u32 header field"
+            ))
+        })?;
+        let num_lists_u32 = u32::try_from(num_lists).map_err(|_| {
+            ListError::Geometry(format!(
+                "list count {num_lists} exceeds the u32 header field"
+            ))
+        })?;
         let mut fs = WormFs::new(WormDevice::new(block_size));
         let meta_file = fs.create("meta", u64::MAX)?;
         let mut header = [0u8; META_RECORD];
         header[0..4].copy_from_slice(&1u32.to_le_bytes()); // format version
-        header[4..8].copy_from_slice(&(block_size as u32).to_le_bytes());
-        header[8..12].copy_from_slice(&(num_lists as u32).to_le_bytes());
+        header[4..8].copy_from_slice(&block_size_u32.to_le_bytes());
+        header[8..12].copy_from_slice(&num_lists_u32.to_le_bytes());
         fs.append(meta_file, &header)?;
         let dict_file = fs.create("tags", u64::MAX)?;
         // Create every list file eagerly: if files were created lazily on
@@ -954,6 +967,18 @@ mod tests {
 
     fn store() -> ListStore {
         ListStore::new(64, 4).unwrap() // 8 postings per block
+    }
+
+    #[test]
+    fn header_overflowing_geometry_is_a_typed_error_not_truncation() {
+        // The meta header carries block size as a u32; 2^33 is a valid
+        // multiple of the posting size but cannot fit, and must be
+        // refused before anything reaches the device (the legacy
+        // `as u32` cast would have persisted block size 0).
+        match ListStore::new(1usize << 33, 4) {
+            Err(ListError::Geometry(msg)) => assert!(msg.contains("u32"), "{msg}"),
+            other => panic!("expected Geometry error, got {other:?}"),
+        }
     }
 
     #[test]

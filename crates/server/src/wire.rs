@@ -39,6 +39,7 @@ use std::time::Duration;
 use tks_core::{Query, TermSelector, TimeRange};
 use tks_postings::{TermId, Timestamp};
 use tks_shard::{ShardError, ShardStatus, ShardedResponse};
+use tks_worm::{ChainHead, Sha256};
 
 /// The wire protocol version this build speaks.
 pub const PROTOCOL_VERSION: u8 = 1;
@@ -214,8 +215,27 @@ pub struct WireShardStatus {
     pub trusted: bool,
     /// Torn-commit residue quarantined on this shard, in bytes.
     pub quarantined_bytes: u64,
+    /// The shard's commit-chain head at its snapshot watermark, as
+    /// lowercase hex (64 chars; empty from servers predating the
+    /// field).  Compare against a head held out-of-band to verify this
+    /// shard's slice of the response came from an untampered prefix.
+    #[serde(default)]
+    pub chain_head: String,
     /// Why the shard was not consulted, when degraded.
     pub degraded: Option<String>,
+}
+
+impl WireShardStatus {
+    /// Parse the shard's chain head out of its hex encoding.
+    pub fn parsed_chain_head(&self) -> Result<ChainHead, WireError> {
+        ChainHead::from_hex(&self.chain_head).map_err(|e| {
+            WireError::new(
+                WireErrorCode::DigestMismatch,
+                format!("shard {} chain head unparseable: {e}", self.shard),
+            )
+            .with_shard(self.shard)
+        })
+    }
 }
 
 /// A merged query response, as it travels on the wire (mirror of the
@@ -245,10 +265,97 @@ pub struct WireQueryResponse {
     pub quarantined_bytes: u64,
     /// Per-shard breakdown, indexed by shard id.
     pub shards: Vec<WireShardStatus>,
+    /// SHA-256 digest (lowercase hex) binding the snapshot this
+    /// response was computed over: the summed watermark plus every
+    /// shard's `(id, consulted, visible_docs, chain_head)` tuple.
+    /// Clients recompute it with
+    /// [`verify_digest`](WireQueryResponse::verify_digest); comparing
+    /// the bound shard heads against heads held out-of-band then proves
+    /// the response came from the untampered archive prefix.  Empty
+    /// from servers predating the field.
+    #[serde(default)]
+    pub response_digest: String,
+}
+
+/// Domain-separation tag for the response digest.
+const RESPONSE_DIGEST_TAG: &[u8] = b"tks-response-digest-v1";
+
+/// The digest a [`WireQueryResponse`] with these trust fields carries.
+fn response_digest(visible_docs: u64, shards: &[WireShardStatus]) -> String {
+    let mut h = Sha256::new();
+    h.update(RESPONSE_DIGEST_TAG);
+    h.update(&visible_docs.to_le_bytes());
+    for s in shards {
+        h.update(&s.shard.to_le_bytes());
+        h.update(&[s.consulted as u8]);
+        h.update(&s.visible_docs.to_le_bytes());
+        h.update(&(s.chain_head.len() as u64).to_le_bytes());
+        h.update(s.chain_head.as_bytes());
+    }
+    ChainHead(h.finalize()).to_hex()
+}
+
+impl WireQueryResponse {
+    /// Recompute the digest over this response's trust fields.
+    pub fn compute_digest(&self) -> String {
+        response_digest(self.visible_docs, &self.shards)
+    }
+
+    /// Verify the carried digest binds this response's watermark and
+    /// per-shard chain heads.  A mismatch means the trust fields were
+    /// altered in flight (or the digest was forged for different ones).
+    pub fn verify_digest(&self) -> Result<(), WireError> {
+        let expected = self.compute_digest();
+        if self.response_digest != expected {
+            return Err(WireError::new(
+                WireErrorCode::DigestMismatch,
+                format!(
+                    "response digest {} does not match recomputed {expected}",
+                    if self.response_digest.is_empty() {
+                        "(absent)"
+                    } else {
+                        &self.response_digest
+                    }
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Verify the digest *and* compare one shard's bound chain head
+    /// against a head obtained out-of-band (printed at archival time,
+    /// escrowed with the investigator, …).  Success proves the shard's
+    /// slice of this response was computed over the prefix that head
+    /// commits to.
+    pub fn verify_shard_head(&self, shard: u32, expected: &ChainHead) -> Result<(), WireError> {
+        self.verify_digest()?;
+        let status = self
+            .shards
+            .iter()
+            .find(|s| s.shard == shard)
+            .ok_or_else(|| {
+                WireError::new(
+                    WireErrorCode::DigestMismatch,
+                    format!("response names no shard {shard}"),
+                )
+                .with_shard(shard)
+            })?;
+        let head = status.parsed_chain_head()?;
+        if head != *expected {
+            return Err(WireError::new(
+                WireErrorCode::DigestMismatch,
+                format!("shard {shard} chain head {head} does not match expected {expected}"),
+            )
+            .with_shard(shard));
+        }
+        Ok(())
+    }
 }
 
 impl From<&ShardedResponse> for WireQueryResponse {
     fn from(r: &ShardedResponse) -> WireQueryResponse {
+        let shards: Vec<WireShardStatus> = r.shards.iter().map(WireShardStatus::from).collect();
+        let response_digest = response_digest(r.visible_docs, &shards);
         WireQueryResponse {
             hits: r
                 .hits
@@ -266,7 +373,8 @@ impl From<&ShardedResponse> for WireQueryResponse {
             visible_docs: r.visible_docs,
             trusted: r.trusted,
             quarantined_bytes: r.quarantined_bytes,
-            shards: r.shards.iter().map(WireShardStatus::from).collect(),
+            shards,
+            response_digest,
         }
     }
 }
@@ -279,6 +387,7 @@ impl From<&ShardStatus> for WireShardStatus {
             visible_docs: s.visible_docs,
             trusted: s.trusted,
             quarantined_bytes: s.quarantined_bytes,
+            chain_head: s.chain_head.to_hex(),
             degraded: s.degraded.clone(),
         }
     }
@@ -310,6 +419,10 @@ pub enum WireErrorCode {
     UnsupportedVersion,
     /// The server is draining and accepts no new queries.
     ShuttingDown,
+    /// A response's trust digest or chain head failed client-side
+    /// verification (raised locally by the verifying client, never sent
+    /// by a server).
+    DigestMismatch,
     /// An internal invariant failed (a bug, not bad input).
     Internal,
 }
@@ -681,8 +794,10 @@ mod tests {
                     visible_docs: 13,
                     trusted: true,
                     quarantined_bytes: 0,
+                    chain_head: ChainHead::genesis().to_hex(),
                     degraded: None,
                 }],
+                response_digest: "ab".repeat(32),
             }),
             WireResponse::Error(WireError::new(WireErrorCode::Overloaded, "queue full")),
         ];
@@ -692,6 +807,138 @@ mod tests {
             let mut cur = Cursor::new(bytes);
             let back = read_response(&mut cur, DEFAULT_MAX_FRAME_BYTES).expect("decode");
             assert_eq!(back, resp);
+        }
+    }
+
+    /// A response whose trust fields are intact verifies; altering any
+    /// bound field — watermark, a shard head, a shard's visibility —
+    /// breaks the digest.
+    #[test]
+    fn response_digest_binds_watermark_and_shard_heads() {
+        let mut resp = WireQueryResponse {
+            hits: vec![],
+            blocks_read: 0,
+            blocks_skipped: 0,
+            read_ios: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            visible_docs: 13,
+            trusted: true,
+            quarantined_bytes: 0,
+            shards: vec![
+                WireShardStatus {
+                    shard: 0,
+                    consulted: true,
+                    visible_docs: 7,
+                    trusted: true,
+                    quarantined_bytes: 0,
+                    chain_head: "11".repeat(32),
+                    degraded: None,
+                },
+                WireShardStatus {
+                    shard: 1,
+                    consulted: false,
+                    visible_docs: 6,
+                    trusted: true,
+                    quarantined_bytes: 0,
+                    chain_head: ChainHead::genesis().to_hex(),
+                    degraded: Some("draining".to_string()),
+                },
+            ],
+            response_digest: String::new(),
+        };
+        resp.response_digest = resp.compute_digest();
+        resp.verify_digest().expect("intact response verifies");
+
+        let mut tampered = resp.clone();
+        tampered.visible_docs = 14;
+        assert!(tampered.verify_digest().is_err(), "watermark is bound");
+
+        let mut tampered = resp.clone();
+        tampered.shards[0].chain_head = "22".repeat(32);
+        assert!(tampered.verify_digest().is_err(), "shard head is bound");
+
+        let mut tampered = resp.clone();
+        tampered.shards[0].visible_docs = 8;
+        assert!(
+            tampered.verify_digest().is_err(),
+            "shard visibility is bound"
+        );
+
+        let mut tampered = resp.clone();
+        tampered.shards[1].consulted = true;
+        assert!(
+            tampered.verify_digest().is_err(),
+            "consultation flag is bound"
+        );
+
+        let mut absent = resp.clone();
+        absent.response_digest = String::new();
+        let err = absent.verify_digest().expect_err("absent digest rejected");
+        assert_eq!(err.code, WireErrorCode::DigestMismatch);
+    }
+
+    /// End-to-end head check: a verifier holding a shard's chain head
+    /// out-of-band accepts a matching response and rejects a forged one.
+    #[test]
+    fn out_of_band_head_comparison_accepts_and_rejects() {
+        let head = ChainHead::genesis();
+        let mut resp = WireQueryResponse {
+            hits: vec![],
+            blocks_read: 0,
+            blocks_skipped: 0,
+            read_ios: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            visible_docs: 3,
+            trusted: true,
+            quarantined_bytes: 0,
+            shards: vec![WireShardStatus {
+                shard: 0,
+                consulted: true,
+                visible_docs: 3,
+                trusted: true,
+                quarantined_bytes: 0,
+                chain_head: head.to_hex(),
+                degraded: None,
+            }],
+            response_digest: String::new(),
+        };
+        resp.response_digest = resp.compute_digest();
+
+        resp.verify_shard_head(0, &head).expect("matching head");
+
+        let other = ChainHead(tks_worm::sha256(b"someone else's archive"));
+        let err = resp
+            .verify_shard_head(0, &other)
+            .expect_err("foreign head rejected");
+        assert_eq!(err.code, WireErrorCode::DigestMismatch);
+
+        let err = resp
+            .verify_shard_head(9, &head)
+            .expect_err("unknown shard rejected");
+        assert_eq!(err.code, WireErrorCode::DigestMismatch);
+        assert_eq!(err.shard, Some(9));
+    }
+
+    /// Responses from servers predating the digest fields decode with
+    /// empty defaults instead of failing the whole frame.
+    #[test]
+    fn pre_digest_responses_decode_with_empty_trust_fields() {
+        let json = r#"{"Query":{"hits":[],"blocks_read":0,"read_ios":0,"cache_hits":0,"cache_misses":0,"visible_docs":2,"trusted":true,"quarantined_bytes":0,"shards":[{"shard":0,"consulted":true,"visible_docs":2,"trusted":true,"quarantined_bytes":0,"degraded":null}]}}"#;
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&(1 + json.len() as u32).to_le_bytes());
+        frame.push(PROTOCOL_VERSION);
+        frame.extend_from_slice(json.as_bytes());
+        let mut cur = Cursor::new(frame);
+        let resp = read_response(&mut cur, DEFAULT_MAX_FRAME_BYTES).expect("decode");
+        match resp {
+            WireResponse::Query(q) => {
+                assert!(q.response_digest.is_empty());
+                assert!(q.shards[0].chain_head.is_empty());
+                assert!(q.verify_digest().is_err(), "absent digest never verifies");
+            }
+            other => panic!("expected Query, got {other:?}"),
         }
     }
 

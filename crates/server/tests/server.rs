@@ -88,6 +88,46 @@ fn networked_queries_match_direct_execution() {
     handle.shutdown();
 }
 
+/// The response digest verifies end-to-end over a real socket, binds
+/// the same chain heads a direct in-process execution reports, and a
+/// head held "out-of-band" (here: read straight off the engines)
+/// authenticates the networked response — while a foreign head is
+/// rejected.
+#[test]
+fn networked_responses_verify_against_out_of_band_chain_heads() {
+    let (_writer, searcher) = archive(3);
+    let handle = serve(searcher.clone(), ServerConfig::default());
+    let mut client = Client::connect(handle.addr()).expect("connect");
+
+    let over_wire = client
+        .query_verified(disjunctive("alpha"))
+        .expect("verified networked query");
+    let direct = searcher
+        .execute(Query::disjunctive("alpha", 100))
+        .expect("direct query");
+
+    for status in &direct.shards {
+        let wire_status = &over_wire.shards[status.shard as usize];
+        assert_eq!(
+            wire_status.parsed_chain_head().expect("parseable head"),
+            status.chain_head,
+            "shard {} head must survive the wire",
+            status.shard
+        );
+        over_wire
+            .verify_shard_head(status.shard, &status.chain_head)
+            .expect("out-of-band head must authenticate the response");
+    }
+
+    let forged = tks_worm::ChainHead(tks_worm::sha256(b"a different archive's history"));
+    let err = over_wire
+        .verify_shard_head(0, &forged)
+        .expect_err("foreign head must be rejected");
+    assert_eq!(err.code, WireErrorCode::DigestMismatch);
+
+    handle.shutdown();
+}
+
 #[test]
 fn connection_session_is_pinned_until_refresh() {
     let (mut writer, searcher) = archive(2);

@@ -28,7 +28,7 @@ use std::sync::{Arc, Mutex};
 use tks_core::engine::SearchHit;
 use tks_core::{IndexWriter, Query, QueryResponse, SearchEngine, SearchError, Searcher};
 use tks_postings::{DecodedCacheStats, DocId, TermId, Timestamp};
-use tks_worm::IoStats;
+use tks_worm::{ChainHead, IoStats};
 
 /// One scatter unit: execute `query` on `searcher` (shard `sid`) and
 /// report back.
@@ -550,6 +550,10 @@ pub struct ShardStatus {
     pub trusted: bool,
     /// Torn-commit residue quarantined on this shard, in bytes.
     pub quarantined_bytes: u64,
+    /// The shard's commit-chain head at its snapshot watermark (genesis
+    /// if not consulted).  A client holding per-shard heads out-of-band
+    /// can verify each shard's slice of the response independently.
+    pub chain_head: ChainHead,
     /// Why the shard was not consulted, when degraded.
     pub degraded: Option<String>,
 }
@@ -754,6 +758,7 @@ impl ShardedSearcher {
                         visible_docs: resp.visible_docs,
                         trusted: resp.trusted,
                         quarantined_bytes: resp.quarantined_bytes,
+                        chain_head: resp.chain_head,
                         degraded: None,
                     });
                 }
@@ -764,6 +769,7 @@ impl ShardedSearcher {
                     visible_docs: 0,
                     trusted: false,
                     quarantined_bytes: 0,
+                    chain_head: ChainHead::genesis(),
                     degraded: self.degraded_reason(shard),
                 }),
             }

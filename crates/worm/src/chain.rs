@@ -1,0 +1,697 @@
+//! SHA-256 commit chain: verifiable tamper evidence for commit points.
+//!
+//! The paper's §4 countermeasure against ranking attacks is
+//! *verification*: an investigator must be able to prove that query
+//! results came from an untampered archive prefix. The WORM tamper log
+//! records *rejected* mutations, but it is itself bookkeeping — an
+//! adversary with raw media access could rewrite both the data and the
+//! log. The commit chain closes that gap with content: every commit
+//! point seals a [`ChainLink`] whose digest covers the canonical bytes
+//! of that commit, chained to the previous head. Recovery recomputes
+//! the chain over the surviving structures and refuses a trusted
+//! verdict unless the recomputed head matches the persisted one, so a
+//! flipped byte anywhere in the committed prefix is detected even when
+//! the tamper log is empty.
+//!
+//! Layering: this module is pure — hashing and chaining only, no I/O.
+//! `tks_core` owns the canonical framing of a commit (which bytes are
+//! absorbed, in which order) and persists the 72-byte encoded links to
+//! a WORM file alongside the archive.
+//!
+//! The SHA-256 implementation is self-contained (FIPS 180-4), because
+//! the workspace vendors no cryptography crate and the wire layer and
+//! CLI must be able to recompute digests without new dependencies.
+
+use std::fmt;
+
+// ---------------------------------------------------------------------------
+// SHA-256 (FIPS 180-4) — dependency-free, byte-oriented.
+// ---------------------------------------------------------------------------
+
+/// SHA-256 round constants: fractional parts of cube roots of the
+/// first 64 primes.
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+/// Initial hash state: fractional parts of square roots of the first
+/// 8 primes.
+const H0: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+];
+
+/// Incremental SHA-256 hasher.
+///
+/// `Clone` is deliberate: [`CommitChain::seal`] snapshots the in-flight
+/// digest without consuming it, so a failed commit can still be
+/// aborted and the pending state reset.
+#[derive(Clone, Debug)]
+pub struct Sha256 {
+    state: [u32; 8],
+    buf: [u8; 64],
+    buf_len: usize,
+    total: u64,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha256 {
+    /// A fresh hasher in the FIPS 180-4 initial state.
+    pub fn new() -> Self {
+        Sha256 {
+            state: H0,
+            buf: [0u8; 64],
+            buf_len: 0,
+            total: 0,
+        }
+    }
+
+    /// Absorb `data` into the running digest.
+    // audit:allow(no-panic-in-prod) — all indexing below is bounded by
+    // `buf_len < 64` (maintained as an invariant) and fixed-size array
+    // arithmetic; no index can exceed the 64-byte block buffer.
+    pub fn update(&mut self, data: &[u8]) {
+        self.total = self.total.wrapping_add(data.len() as u64);
+        let mut input = data;
+        // Top up a partial block first.
+        if self.buf_len > 0 {
+            let need = 64 - self.buf_len;
+            let take = need.min(input.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&input[..take]);
+            self.buf_len += take;
+            input = &input[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        // Whole blocks straight from the input.
+        while input.len() >= 64 {
+            let mut block = [0u8; 64];
+            block.copy_from_slice(&input[..64]);
+            self.compress(&block);
+            input = &input[64..];
+        }
+        // Stash the tail.
+        if !input.is_empty() {
+            self.buf[..input.len()].copy_from_slice(input);
+            self.buf_len = input.len();
+        }
+    }
+
+    /// Finish the digest, consuming the hasher.
+    // audit:allow(no-panic-in-prod) — indexing is over fixed 64-byte
+    // padding blocks; `buf_len < 64` ensures the length field and the
+    // 0x80 marker fit without overflow.
+    pub fn finalize(mut self) -> [u8; 32] {
+        let bit_len = self.total.wrapping_mul(8);
+        // Padding: 0x80, zeros, 8-byte big-endian bit length.
+        let mut pad = [0u8; 128];
+        pad[0] = 0x80;
+        let pad_len = if self.buf_len < 56 {
+            56 - self.buf_len
+        } else {
+            120 - self.buf_len
+        };
+        pad[pad_len..pad_len + 8].copy_from_slice(&bit_len.to_be_bytes());
+        self.update_padding(&pad[..pad_len + 8]);
+        let mut out = [0u8; 32];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    /// Like `update`, but must not touch `total` (the bit length is
+    /// already latched).
+    // audit:allow(no-panic-in-prod) — same bounded-buffer invariant as
+    // `update`; padding input is at most two blocks.
+    fn update_padding(&mut self, data: &[u8]) {
+        let mut input = data;
+        if self.buf_len > 0 {
+            let need = 64 - self.buf_len;
+            let take = need.min(input.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&input[..take]);
+            self.buf_len += take;
+            input = &input[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        while input.len() >= 64 {
+            let mut block = [0u8; 64];
+            block.copy_from_slice(&input[..64]);
+            self.compress(&block);
+            input = &input[64..];
+        }
+        debug_assert!(input.is_empty(), "padding must end block-aligned");
+    }
+
+    /// One compression round over a 64-byte block.
+    // audit:allow(no-panic-in-prod) — `w` is a fixed [u32; 64] schedule
+    // indexed by loop counters bounded at 64; `block` chunks are exact.
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ ((!e) & g);
+            let t1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+        self.state[5] = self.state[5].wrapping_add(f);
+        self.state[6] = self.state[6].wrapping_add(g);
+        self.state[7] = self.state[7].wrapping_add(h);
+    }
+}
+
+/// One-shot SHA-256 of `data`.
+pub fn sha256(data: &[u8]) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(data);
+    h.finalize()
+}
+
+// ---------------------------------------------------------------------------
+// Chain head / link.
+// ---------------------------------------------------------------------------
+
+/// Domain-separation tag for the genesis head.
+const GENESIS_TAG: &[u8] = b"tks-chain-genesis-v1";
+/// Domain-separation tag for link heads.
+const LINK_TAG: &[u8] = b"tks-chain-link-v1";
+
+/// The head of a commit chain after some number of sealed commits.
+///
+/// `Default` is the genesis head (the chain before any commit), so an
+/// empty archive has a well-defined, recomputable head.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ChainHead(pub [u8; 32]);
+
+impl Default for ChainHead {
+    fn default() -> Self {
+        Self::genesis()
+    }
+}
+
+impl ChainHead {
+    /// The head of an empty chain: `SHA256("tks-chain-genesis-v1")`.
+    pub fn genesis() -> Self {
+        ChainHead(sha256(GENESIS_TAG))
+    }
+
+    /// Lowercase hex encoding (64 chars).
+    pub fn to_hex(self) -> String {
+        let mut s = String::with_capacity(64);
+        for b in self.0 {
+            s.push(char::from_digit((b >> 4) as u32, 16).unwrap_or('0'));
+            s.push(char::from_digit((b & 0xf) as u32, 16).unwrap_or('0'));
+        }
+        s
+    }
+
+    /// Parse a 64-char hex string back into a head.
+    // audit:allow(no-panic-in-prod) — `chunks_exact(2)` over a
+    // length-checked 64-byte slice yields exactly 2-byte windows, and
+    // `out` has exactly 32 slots for the 32 chunks.
+    pub fn from_hex(s: &str) -> Result<Self, ChainError> {
+        let bytes = s.as_bytes();
+        if bytes.len() != 64 {
+            return Err(ChainError::BadHex { len: bytes.len() });
+        }
+        let mut out = [0u8; 32];
+        for (i, pair) in bytes.chunks_exact(2).enumerate() {
+            let hi = (pair[0] as char)
+                .to_digit(16)
+                .ok_or(ChainError::BadHex { len: bytes.len() })?;
+            let lo = (pair[1] as char)
+                .to_digit(16)
+                .ok_or(ChainError::BadHex { len: bytes.len() })?;
+            out[i] = ((hi << 4) | lo) as u8;
+        }
+        Ok(ChainHead(out))
+    }
+}
+
+impl fmt::Display for ChainHead {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+impl fmt::Debug for ChainHead {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ChainHead({})", self.to_hex())
+    }
+}
+
+/// A sealed commit point: the previous head, the digest of this
+/// commit's canonical bytes, and the watermark (document count) after
+/// the commit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChainLink {
+    /// Head of the chain before this commit.
+    pub prev_head: ChainHead,
+    /// SHA-256 over the canonical framing of this commit's content.
+    pub commit_digest: [u8; 32],
+    /// Document count visible after this commit (doc id + 1).
+    pub watermark: u64,
+}
+
+impl ChainLink {
+    /// Size of the on-device encoding: prev_head ‖ commit_digest ‖
+    /// watermark (LE).
+    pub const ENCODED: usize = 72;
+
+    /// Head this link advances the chain to:
+    /// `SHA256(tag ‖ prev_head ‖ commit_digest ‖ watermark_le)`.
+    pub fn head(&self) -> ChainHead {
+        let mut h = Sha256::new();
+        h.update(LINK_TAG);
+        h.update(&self.prev_head.0);
+        h.update(&self.commit_digest);
+        h.update(&self.watermark.to_le_bytes());
+        ChainHead(h.finalize())
+    }
+
+    /// Fixed 72-byte encoding for WORM persistence.
+    // audit:allow(no-panic-in-prod) — all ranges are constant and inside
+    // the fixed 72-byte array (32 + 32 + 8).
+    pub fn encode(&self) -> [u8; Self::ENCODED] {
+        let mut out = [0u8; Self::ENCODED];
+        out[..32].copy_from_slice(&self.prev_head.0);
+        out[32..64].copy_from_slice(&self.commit_digest);
+        out[64..].copy_from_slice(&self.watermark.to_le_bytes());
+        out
+    }
+
+    /// Decode a 72-byte record. Errors on any other length.
+    // audit:allow(no-panic-in-prod) — the length is checked to be
+    // exactly 72 before any constant-range slicing.
+    pub fn decode(bytes: &[u8]) -> Result<Self, ChainError> {
+        if bytes.len() != Self::ENCODED {
+            return Err(ChainError::BadRecordLength { len: bytes.len() });
+        }
+        let mut prev = [0u8; 32];
+        prev.copy_from_slice(&bytes[..32]);
+        let mut digest = [0u8; 32];
+        digest.copy_from_slice(&bytes[32..64]);
+        let mut wm = [0u8; 8];
+        wm.copy_from_slice(&bytes[64..]);
+        Ok(ChainLink {
+            prev_head: ChainHead(prev),
+            commit_digest: digest,
+            watermark: u64::from_le_bytes(wm),
+        })
+    }
+}
+
+/// Errors from chain encoding, decoding, and advancement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChainError {
+    /// A hex head string had the wrong length or a non-hex digit.
+    BadHex {
+        /// Length of the offending string.
+        len: usize,
+    },
+    /// A persisted link record was not exactly 72 bytes.
+    BadRecordLength {
+        /// Length of the offending record.
+        len: usize,
+    },
+    /// A link's `prev_head` does not match the chain's current head.
+    PrevHeadMismatch {
+        /// The head the chain is currently at.
+        expected: ChainHead,
+        /// The `prev_head` the link claimed.
+        found: ChainHead,
+    },
+    /// A link's watermark is not the next expected watermark.
+    WatermarkMismatch {
+        /// The watermark the chain expected (sealed commits + 1).
+        expected: u64,
+        /// The watermark the link claimed.
+        found: u64,
+    },
+}
+
+impl fmt::Display for ChainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChainError::BadHex { len } => {
+                write!(f, "invalid hex chain head (length {len}, expected 64)")
+            }
+            ChainError::BadRecordLength { len } => write!(
+                f,
+                "chain link record is {len} bytes, expected {}",
+                ChainLink::ENCODED
+            ),
+            ChainError::PrevHeadMismatch { expected, found } => write!(
+                f,
+                "chain link prev_head {found} does not extend current head {expected}"
+            ),
+            ChainError::WatermarkMismatch { expected, found } => {
+                write!(f, "chain link watermark {found}, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChainError {}
+
+// ---------------------------------------------------------------------------
+// CommitChain.
+// ---------------------------------------------------------------------------
+
+/// Domain-separation tag for per-commit content digests.
+const COMMIT_TAG: &[u8] = b"tks-commit-v1";
+
+/// The running commit chain: one head per sealed watermark, plus an
+/// in-flight digest for the commit currently being absorbed.
+///
+/// The caller drives the canonical framing via the `absorb_*` methods,
+/// then either [`seal`](Self::seal) + [`advance`](Self::advance) on
+/// success or [`abort`](Self::abort) on failure. `heads[w]` is the
+/// chain head at watermark `w`, so pinned-snapshot responses can
+/// report the head their watermark was sealed under.
+#[derive(Clone, Debug)]
+pub struct CommitChain {
+    heads: Vec<ChainHead>,
+    pending: Sha256,
+}
+
+impl Default for CommitChain {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CommitChain {
+    /// A chain with no sealed commits (head = genesis).
+    pub fn new() -> Self {
+        CommitChain {
+            heads: vec![ChainHead::genesis()],
+            pending: Self::fresh_pending(),
+        }
+    }
+
+    fn fresh_pending() -> Sha256 {
+        let mut h = Sha256::new();
+        h.update(COMMIT_TAG);
+        h
+    }
+
+    /// Current head (after the last sealed commit).
+    pub fn head(&self) -> ChainHead {
+        *self.heads.last().unwrap_or(&ChainHead::genesis())
+    }
+
+    /// Number of sealed commits.
+    pub fn sealed(&self) -> u64 {
+        (self.heads.len() as u64).saturating_sub(1)
+    }
+
+    /// Head at a historical watermark, if that watermark has been
+    /// sealed. `head_at(0)` is always the genesis head.
+    pub fn head_at(&self, watermark: u64) -> Option<ChainHead> {
+        usize::try_from(watermark)
+            .ok()
+            .and_then(|w| self.heads.get(w))
+            .copied()
+    }
+
+    /// Absorb the canonical commit header: document id, timestamp, and
+    /// token length.
+    pub fn absorb_commit_header(&mut self, doc: u64, timestamp: u64, len: u64) {
+        self.pending.update(b"doc");
+        self.pending.update(&doc.to_le_bytes());
+        self.pending.update(&timestamp.to_le_bytes());
+        self.pending.update(&len.to_le_bytes());
+    }
+
+    /// Absorb the stored document text (or its absence, which is also
+    /// part of the canonical frame).
+    pub fn absorb_text(&mut self, text: Option<&[u8]>) {
+        self.pending.update(b"txt");
+        match text {
+            Some(bytes) => {
+                self.pending.update(&[1u8]);
+                self.pending.update(&(bytes.len() as u64).to_le_bytes());
+                self.pending.update(bytes);
+            }
+            None => self.pending.update(&[0u8]),
+        }
+    }
+
+    /// Absorb one posting of the commit: term id, the term's dictionary
+    /// name if it has one, and the (saturated) term frequency as
+    /// stored.
+    pub fn absorb_term(&mut self, term_id: u32, name: Option<&str>, tf: u8) {
+        self.pending.update(b"trm");
+        self.pending.update(&term_id.to_le_bytes());
+        match name {
+            Some(n) => {
+                self.pending.update(&[1u8]);
+                self.pending.update(&(n.len() as u64).to_le_bytes());
+                self.pending.update(n.as_bytes());
+            }
+            None => self.pending.update(&[0u8]),
+        }
+        self.pending.update(&[tf]);
+    }
+
+    /// Seal the pending digest into a link at `watermark` without
+    /// consuming the in-flight state. The caller persists the link,
+    /// then calls [`advance`](Self::advance) once the commit point has
+    /// landed — or [`abort`](Self::abort) if it did not.
+    pub fn seal(&self, watermark: u64) -> ChainLink {
+        ChainLink {
+            prev_head: self.head(),
+            commit_digest: self.pending.clone().finalize(),
+            watermark,
+        }
+    }
+
+    /// Advance the chain by a sealed link. Verifies the link extends
+    /// the current head at the next watermark, then resets the pending
+    /// digest for the next commit.
+    pub fn advance(&mut self, link: &ChainLink) -> Result<(), ChainError> {
+        if link.prev_head != self.head() {
+            return Err(ChainError::PrevHeadMismatch {
+                expected: self.head(),
+                found: link.prev_head,
+            });
+        }
+        let expected = self.sealed() + 1;
+        if link.watermark != expected {
+            return Err(ChainError::WatermarkMismatch {
+                expected,
+                found: link.watermark,
+            });
+        }
+        self.heads.push(link.head());
+        self.pending = Self::fresh_pending();
+        Ok(())
+    }
+
+    /// Discard the in-flight digest after a failed commit.
+    pub fn abort(&mut self) {
+        self.pending = Self::fresh_pending();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// FIPS 180-4 test vectors.
+    #[test]
+    fn sha256_known_vectors() {
+        let empty = sha256(b"");
+        assert_eq!(
+            ChainHead(empty).to_hex(),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        let abc = sha256(b"abc");
+        assert_eq!(
+            ChainHead(abc).to_hex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        let two_block = sha256(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+        assert_eq!(
+            ChainHead(two_block).to_hex(),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    /// Incremental updates must match the one-shot digest across odd
+    /// chunkings and block boundaries.
+    #[test]
+    fn sha256_incremental_matches_oneshot() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i * 7 + 3) as u8).collect();
+        let oneshot = sha256(&data);
+        for chunk in [1usize, 3, 7, 63, 64, 65, 128, 999] {
+            let mut h = Sha256::new();
+            for c in data.chunks(chunk) {
+                h.update(c);
+            }
+            assert_eq!(h.finalize(), oneshot, "chunk size {chunk}");
+        }
+    }
+
+    /// A million 'a's — the classic long-message vector.
+    #[test]
+    fn sha256_million_a() {
+        let mut h = Sha256::new();
+        let block = [b'a'; 1000];
+        for _ in 0..1000 {
+            h.update(&block);
+        }
+        assert_eq!(
+            ChainHead(h.finalize()).to_hex(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn hex_round_trips() {
+        let head = ChainHead(sha256(b"round trip"));
+        assert_eq!(ChainHead::from_hex(&head.to_hex()).unwrap(), head);
+        assert!(ChainHead::from_hex("abc").is_err());
+        assert!(ChainHead::from_hex(&"zz".repeat(32)).is_err());
+    }
+
+    #[test]
+    fn link_encoding_round_trips() {
+        let link = ChainLink {
+            prev_head: ChainHead::genesis(),
+            commit_digest: sha256(b"payload"),
+            watermark: 42,
+        };
+        let enc = link.encode();
+        assert_eq!(enc.len(), ChainLink::ENCODED);
+        assert_eq!(ChainLink::decode(&enc).unwrap(), link);
+        assert!(ChainLink::decode(&enc[..71]).is_err());
+    }
+
+    #[test]
+    fn chain_is_deterministic_and_order_sensitive() {
+        let build = |texts: &[&str]| {
+            let mut c = CommitChain::new();
+            for (i, t) in texts.iter().enumerate() {
+                c.absorb_commit_header(i as u64, 100 + i as u64, t.len() as u64);
+                c.absorb_text(Some(t.as_bytes()));
+                c.absorb_term(i as u32, Some(t), 1);
+                let link = c.seal(i as u64 + 1);
+                c.advance(&link).unwrap();
+            }
+            c.head()
+        };
+        assert_eq!(build(&["alpha", "beta"]), build(&["alpha", "beta"]));
+        assert_ne!(build(&["alpha", "beta"]), build(&["beta", "alpha"]));
+        assert_ne!(build(&["alpha"]), build(&["alpha", "beta"]));
+    }
+
+    #[test]
+    fn head_at_tracks_watermarks() {
+        let mut c = CommitChain::new();
+        assert_eq!(c.head_at(0), Some(ChainHead::genesis()));
+        assert_eq!(c.head_at(1), None);
+        c.absorb_commit_header(0, 7, 3);
+        c.absorb_text(None);
+        let link = c.seal(1);
+        c.advance(&link).unwrap();
+        assert_eq!(c.head_at(1), Some(c.head()));
+        assert_eq!(c.head_at(2), None);
+        assert_eq!(c.sealed(), 1);
+    }
+
+    #[test]
+    fn advance_rejects_wrong_prev_or_watermark() {
+        let mut c = CommitChain::new();
+        c.absorb_commit_header(0, 1, 1);
+        let mut link = c.seal(2); // wrong watermark
+        assert!(matches!(
+            c.advance(&link),
+            Err(ChainError::WatermarkMismatch { .. })
+        ));
+        link.watermark = 1;
+        link.prev_head = ChainHead(sha256(b"not the head"));
+        assert!(matches!(
+            c.advance(&link),
+            Err(ChainError::PrevHeadMismatch { .. })
+        ));
+        link.prev_head = c.head();
+        c.advance(&link).unwrap();
+    }
+
+    #[test]
+    fn abort_resets_pending_state() {
+        let mut tainted = CommitChain::new();
+        tainted.absorb_commit_header(0, 1, 5);
+        tainted.absorb_text(Some(b"doomed"));
+        tainted.abort();
+
+        let mut clean = CommitChain::new();
+        for c in [&mut tainted, &mut clean] {
+            c.absorb_commit_header(0, 9, 2);
+            c.absorb_text(Some(b"ok"));
+            let link = c.seal(1);
+            c.advance(&link).unwrap();
+        }
+        assert_eq!(tainted.head(), clean.head());
+    }
+
+    #[test]
+    fn genesis_is_stable() {
+        assert_eq!(ChainHead::genesis(), ChainHead::default());
+        assert_eq!(
+            ChainHead::genesis(),
+            ChainHead(sha256(b"tks-chain-genesis-v1"))
+        );
+    }
+}

@@ -97,6 +97,10 @@ impl WormFs {
         if self.by_name.contains_key(name) {
             return Err(WormError::FileExists(name.to_string()));
         }
+        // Bounds: the persisted image stores the file count as a checked
+        // u32 (`persist::u32_of`), so an in-memory table that outgrew u32
+        // could never round-trip; creating the 2^32-th file would fail at
+        // save time with a typed PersistError rather than truncate here.
         let handle = FileHandle(self.files.len() as u32);
         self.files.push(FileMeta {
             name: name.to_string(),
@@ -346,6 +350,9 @@ impl WormFs {
                     block_size
                 )));
             }
+            // Bounds: `i` indexes the decoded file table, whose count the
+            // image carries as a u32 (checked at save by `u32_of`), so it
+            // always fits.
             if !f.deleted
                 && by_name
                     .insert(f.name.clone(), FileHandle(i as u32))

@@ -104,6 +104,9 @@ pub fn discover_shard_dirs(root: &Path) -> Result<Vec<PathBuf>, LayoutError> {
     }
     found.sort_by_key(|&(s, _)| s);
     for (i, &(s, _)) in found.iter().enumerate() {
+        // Bounds: `i` counts shard directories found on disk, each named
+        // by a parsed u32 shard id, so the count cannot reach 2^32
+        // without a duplicate id failing the check below first.
         let expect = i as u32;
         if s == expect {
             continue;

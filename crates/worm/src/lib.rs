@@ -41,11 +41,13 @@
 //! | [`lru`] | [`LruCore`]: O(1) intrusive LRU used by the cache |
 //! | [`cache`] | [`StorageCache`]: NV-cache I/O accounting simulator |
 //! | [`stats`] | [`IoStats`]: random-I/O counters |
+//! | [`chain`] | [`CommitChain`]: SHA-256 hash chain over commit points |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod cache;
+pub mod chain;
 pub mod device;
 pub mod fault;
 pub mod fs;
@@ -55,6 +57,7 @@ pub mod persist;
 pub mod stats;
 
 pub use cache::{AccessKind, CacheConfig, StorageCache};
+pub use chain::{sha256, ChainError, ChainHead, ChainLink, CommitChain, Sha256};
 pub use device::{BlockId, TamperAttempt, TamperKind, WormDevice, WormError};
 pub use fault::{FaultAction, FaultPolicy};
 pub use fs::{ExportedFile, FileHandle, WormFs};

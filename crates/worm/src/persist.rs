@@ -11,38 +11,38 @@
 //! Format (little-endian, versioned):
 //!
 //! ```text
-//! magic "TKSWORM1" | block_size u32
+//! magic "TKSWORM2" | block_size u32
 //! num_blocks u32 | per block: len u32 + bytes
 //! num_files u32  | per file: name (u16 len + bytes), len u64,
 //!                  retention u64, deleted u8, num_blocks u32 + block ids u64
 //! num_tamper u32 | per entry: kind u8, has_block u8 [+ u64],
 //!                  has_file u8 [+ u16 len + bytes], detail (u32 len + bytes)
-//! checksum u64   | FNV-1a 64 over everything above
+//! digest [u8;32] | SHA-256 over everything above
 //! ```
 //!
-//! The trailing checksum makes *any* byte flip in the image refusable at
+//! The trailing digest makes *any* byte flip in the image refusable at
 //! load time, including flips in fields the structural audits cannot
-//! constrain (e.g. a posting's term-frequency byte).  It is an integrity
-//! check against accidental/physical corruption and cheap tampering, not
-//! a cryptographic commitment — the trust argument still rests on the
-//! WORM device semantics and the structural invariants.
+//! constrain (e.g. a posting's term-frequency byte).  Since TKSWORM2 it
+//! is the same SHA-256 primitive as the commit chain ([`crate::chain`]),
+//! replacing the TKSWORM1 FNV-1a checksum: an adversary could regenerate
+//! either footer after mutating the body, so the *footer* is integrity
+//! against accidental/physical corruption — the tamper argument against
+//! a footer-regenerating adversary rests on the commit chain recomputed
+//! by the layers above, whose head is compared out-of-band.
+//!
+//! Every length field is written through a checked conversion: a count
+//! or name that does not fit its wire width is a typed [`PersistError`],
+//! never a silent truncation.
 
+use crate::chain::sha256;
 use crate::device::{BlockId, TamperAttempt, TamperKind, WormDevice};
 use crate::fs::WormFs;
 
-const MAGIC: &[u8; 8] = b"TKSWORM1";
+const MAGIC: &[u8; 8] = b"TKSWORM2";
+/// Size of the trailing SHA-256 digest.
+const FOOTER: usize = 32;
 
-/// FNV-1a 64-bit hash, used as the image integrity checksum.
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf29ce484222325u64;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100000001b3);
-    }
-    h
-}
-
-/// Errors while decoding a serialized image.
+/// Errors while encoding or decoding a serialized image.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PersistError(pub String);
 
@@ -53,6 +53,18 @@ impl std::fmt::Display for PersistError {
 }
 
 impl std::error::Error for PersistError {}
+
+/// Checked narrowing to `u32` for a length/count field.
+fn u32_of(value: usize, what: &str) -> Result<u32, PersistError> {
+    u32::try_from(value)
+        .map_err(|_| PersistError(format!("{what} ({value}) exceeds u32 wire width")))
+}
+
+/// Checked narrowing to `u16` for a name-length field.
+fn u16_of(value: usize, what: &str) -> Result<u16, PersistError> {
+    u16::try_from(value)
+        .map_err(|_| PersistError(format!("{what} ({value}) exceeds u16 wire width")))
+}
 
 struct Reader<'a> {
     bytes: &'a [u8],
@@ -96,40 +108,46 @@ impl<'a> Reader<'a> {
 
 /// Serialize a [`WormFs`] (and its device) into a byte image.
 ///
-/// Fails only if the device's block table is internally inconsistent
-/// (a dense block ID that cannot be read back) — evidence of in-memory
-/// corruption that must surface as an error, not an abort.
+/// Fails if the device's block table is internally inconsistent (a
+/// dense block ID that cannot be read back) — evidence of in-memory
+/// corruption that must surface as an error, not an abort — or if any
+/// count or name exceeds its wire width (checked conversions; nothing
+/// is silently truncated).
 pub fn save_fs(fs: &WormFs) -> Result<Vec<u8>, PersistError> {
     let dev = fs.device();
     let mut out = Vec::new();
     out.extend_from_slice(MAGIC);
-    out.extend_from_slice(&(dev.block_size() as u32).to_le_bytes());
+    out.extend_from_slice(&u32_of(dev.block_size(), "block size")?.to_le_bytes());
 
-    out.extend_from_slice(&(dev.num_blocks() as u32).to_le_bytes());
+    out.extend_from_slice(&u32_of(dev.num_blocks(), "block count")?.to_le_bytes());
     for b in 0..dev.num_blocks() as u64 {
         let data = dev
             .read_all(BlockId(b))
             .map_err(|e| PersistError(format!("block {b} unreadable during save: {e}")))?;
-        out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+        out.extend_from_slice(&u32_of(data.len(), "block length")?.to_le_bytes());
         out.extend_from_slice(data);
     }
 
     let files = fs.export_file_table();
-    out.extend_from_slice(&(files.len() as u32).to_le_bytes());
+    out.extend_from_slice(&u32_of(files.len(), "file count")?.to_le_bytes());
     for f in &files {
-        out.extend_from_slice(&(f.name.len() as u16).to_le_bytes());
+        let name_len = u16_of(
+            f.name.len(),
+            format!("file name length of '{}…'", truncate_for_msg(&f.name)).as_str(),
+        )?;
+        out.extend_from_slice(&name_len.to_le_bytes());
         out.extend_from_slice(f.name.as_bytes());
         out.extend_from_slice(&f.len.to_le_bytes());
         out.extend_from_slice(&f.retention_expires_at.to_le_bytes());
         out.push(f.deleted as u8);
-        out.extend_from_slice(&(f.blocks.len() as u32).to_le_bytes());
+        out.extend_from_slice(&u32_of(f.blocks.len(), "file block count")?.to_le_bytes());
         for b in &f.blocks {
             out.extend_from_slice(&b.0.to_le_bytes());
         }
     }
 
     let tampers = dev.tamper_log();
-    out.extend_from_slice(&(tampers.len() as u32).to_le_bytes());
+    out.extend_from_slice(&u32_of(tampers.len(), "tamper-log length")?.to_le_bytes());
     for t in tampers {
         out.push(match t.kind {
             TamperKind::Overwrite => 0,
@@ -145,33 +163,38 @@ pub fn save_fs(fs: &WormFs) -> Result<Vec<u8>, PersistError> {
         match &t.file {
             Some(f) => {
                 out.push(1);
-                out.extend_from_slice(&(f.len() as u16).to_le_bytes());
+                out.extend_from_slice(
+                    &u16_of(f.len(), "tamper-log file name length")?.to_le_bytes(),
+                );
                 out.extend_from_slice(f.as_bytes());
             }
             None => out.push(0),
         }
-        out.extend_from_slice(&(t.detail.len() as u32).to_le_bytes());
+        out.extend_from_slice(&u32_of(t.detail.len(), "tamper detail length")?.to_le_bytes());
         out.extend_from_slice(t.detail.as_bytes());
     }
-    let checksum = fnv1a(&out);
-    out.extend_from_slice(&checksum.to_le_bytes());
+    let digest = sha256(&out);
+    out.extend_from_slice(&digest);
     Ok(out)
+}
+
+/// First few chars of a name for error messages (names can be huge —
+/// that is exactly the case being rejected).
+fn truncate_for_msg(name: &str) -> String {
+    name.chars().take(24).collect()
 }
 
 /// Deserialize a [`WormFs`] from a byte image produced by [`save_fs`].
 pub fn load_fs(bytes: &[u8]) -> Result<WormFs, PersistError> {
-    if bytes.len() < 8 {
-        return Err(PersistError("image too short for checksum".into()));
+    if bytes.len() < FOOTER {
+        return Err(PersistError("image too short for digest footer".into()));
     }
-    let (body, footer) = bytes.split_at(bytes.len() - 8);
-    let stored = u64::from_le_bytes(
-        <[u8; 8]>::try_from(footer).map_err(|_| PersistError("short checksum footer".into()))?,
-    );
-    let actual = fnv1a(body);
-    if stored != actual {
-        return Err(PersistError(format!(
-            "checksum mismatch: stored {stored:#018x}, computed {actual:#018x}"
-        )));
+    let (body, footer) = bytes.split_at(bytes.len() - FOOTER);
+    let actual = sha256(body);
+    if footer != actual {
+        return Err(PersistError(
+            "image digest mismatch: stored footer does not match SHA-256 of body".into(),
+        ));
     }
     let bytes = body;
     let mut r = Reader { bytes, pos: 0 };
@@ -330,6 +353,10 @@ mod tests {
         let mut long = img.clone();
         long.push(0);
         assert!(load_fs(&long).is_err());
+        // A TKSWORM1 image (FNV footer, different magic) is refused.
+        let mut v1 = img.clone();
+        v1[7] = b'1';
+        assert!(load_fs(&v1).is_err());
     }
 
     #[test]
@@ -348,5 +375,152 @@ mod tests {
         let loaded = load_fs(&save_fs(&fs).unwrap()).unwrap();
         assert_eq!(loaded.num_files(), 0);
         assert_eq!(loaded.device().num_blocks(), 0);
+    }
+
+    #[test]
+    fn oversized_file_name_is_a_typed_error_not_truncation() {
+        // A file whose name cannot fit the u16 length prefix must be a
+        // clean PersistError at save time.  TKSWORM1 silently wrote
+        // `name.len() as u16`, producing an image whose parse diverged
+        // from the original at the truncated record.
+        let mut fs = WormFs::new(WormDevice::new(16));
+        let long_name = "n".repeat(u16::MAX as usize + 1);
+        fs.create(&long_name, u64::MAX).unwrap();
+        let err = save_fs(&fs).unwrap_err();
+        assert!(
+            err.0.contains("exceeds u16 wire width"),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn oversized_tamper_file_name_is_a_typed_error() {
+        let mut fs = WormFs::new(WormDevice::new(16));
+        fs.device_mut().report_tamper(TamperAttempt {
+            kind: TamperKind::EarlyDelete,
+            block: None,
+            file: Some("f".repeat(u16::MAX as usize + 7)),
+            detail: "oversized name".into(),
+        });
+        let err = save_fs(&fs).unwrap_err();
+        assert!(
+            err.0.contains("exceeds u16 wire width"),
+            "unexpected error: {err}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// One scripted mutation of the file system under test.
+    #[derive(Debug, Clone)]
+    enum Op {
+        Create { name: String, retention: u64 },
+        Append { file_ix: usize, data: Vec<u8> },
+        Delete { file_ix: usize, now: u64 },
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (0usize..24, 0usize..4, 0u64..2_000).prop_map(|(n, depth, retention)| Op::Create {
+                name: match depth {
+                    0 => format!("file-{n}"),
+                    1 => format!("dir/file-{n}"),
+                    2 => format!("deep/nested/file-{n}"),
+                    _ => format!("f{n}"),
+                },
+                retention,
+            }),
+            (0usize..8, proptest::collection::vec(any::<u8>(), 0..50))
+                .prop_map(|(file_ix, data)| Op::Append { file_ix, data }),
+            (0usize..8, 0u64..2_000).prop_map(|(file_ix, now)| Op::Delete { file_ix, now }),
+        ]
+    }
+
+    /// Build a file system by running the op script; ops targeting
+    /// nonexistent files are skipped, failed deletes feed the tamper log.
+    fn build(block_size: usize, ops: &[Op]) -> WormFs {
+        let mut fs = WormFs::new(WormDevice::new(block_size));
+        let mut handles = Vec::new();
+        for op in ops {
+            match op {
+                Op::Create { name, retention } => {
+                    if let Ok(h) = fs.create(name, *retention) {
+                        handles.push(h);
+                    }
+                }
+                Op::Append { file_ix, data } => {
+                    if let Some(&h) = handles.get(*file_ix) {
+                        let _ = fs.append(h, data);
+                    }
+                }
+                Op::Delete { file_ix, now } => {
+                    if let Some(&h) = handles.get(*file_ix) {
+                        let _ = fs.delete(h, *now);
+                    }
+                }
+            }
+        }
+        fs
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// save → load must reproduce the file system exactly: same
+        /// files, same bytes, same tamper log — or fail typed.  Never a
+        /// silently different archive.
+        #[test]
+        fn save_load_round_trips_exactly(
+            block_size in 1usize..48,
+            ops in proptest::collection::vec(op_strategy(), 0..30),
+        ) {
+            let fs = build(block_size, &ops);
+            let img = save_fs(&fs).unwrap();
+            let loaded = load_fs(&img).unwrap();
+            prop_assert_eq!(loaded.num_files(), fs.num_files());
+            prop_assert_eq!(loaded.device().num_blocks(), fs.device().num_blocks());
+            prop_assert_eq!(loaded.device().tamper_log(), fs.device().tamper_log());
+            for f in fs.export_file_table() {
+                let orig = fs.open(&f.name).ok();
+                let got = loaded.open(&f.name).ok();
+                prop_assert_eq!(orig.is_some(), got.is_some(), "file '{}' presence", f.name.clone());
+                if let (Some(a), Some(b)) = (orig, got) {
+                    prop_assert_eq!(fs.len(a), loaded.len(b));
+                    let len = fs.len(a) as usize;
+                    prop_assert_eq!(
+                        fs.read(a, 0, len).unwrap(),
+                        loaded.read(b, 0, len).unwrap(),
+                        "file '{}' contents", f.name.clone()
+                    );
+                }
+            }
+        }
+
+        /// Any mutation of the image either fails to load or (if it
+        /// somehow loads) reproduces a valid archive — with the SHA-256
+        /// footer, every byte/truncation mutation must in fact fail.
+        #[test]
+        fn mutated_images_never_load_silently(
+            block_size in 1usize..32,
+            ops in proptest::collection::vec(op_strategy(), 0..16),
+            flip_at in any::<usize>(),
+            flip_mask in 1u8..=255,
+            truncate_by in any::<usize>(),
+        ) {
+            let fs = build(block_size, &ops);
+            let img = save_fs(&fs).unwrap();
+            // Byte flip anywhere in the image.
+            let mut flipped = img.clone();
+            let i = flip_at % flipped.len();
+            flipped[i] ^= flip_mask;
+            prop_assert!(load_fs(&flipped).is_err(), "flip at {} loaded", i);
+            // Truncation to any strictly shorter prefix.
+            let keep = truncate_by % img.len();
+            prop_assert!(load_fs(&img[..keep]).is_err(), "truncation to {} loaded", keep);
+        }
     }
 }

@@ -611,6 +611,82 @@ fn is_index_append(line: &str) -> bool {
     .any(|pat| line.contains(pat))
 }
 
+/// `chain-append-discipline` — no core commit path may bypass the chain
+/// hasher.  The commit chain's persisted links only attest to the
+/// archive if the in-flight digest sees every byte a commit writes; a
+/// WORM append in a function that never touches the chain is a write
+/// the chain cannot have absorbed, so `tks archive verify` would pass
+/// over whatever that write smuggled in.
+///
+/// Per item-tree `fn` span: inside any one non-test function in
+/// `crates/core/src/`, a commit-path append (`store.append(…)`,
+/// `doc_fs.append(…)`, or `ps.append(…)`) requires the function to also
+/// name the chain (any `chain`-bearing identifier).  Paths that append
+/// bytes the chain covers transitively — or that exist to demonstrate
+/// the *absence* of this discipline — carry an `audit:allow` with the
+/// bounds argument.
+pub fn chain_append_discipline(files: &[SourceFile], sink: &mut Sink) {
+    for file in files
+        .iter()
+        .filter(|f| f.rel.starts_with("crates/core/src/"))
+    {
+        let lines: Vec<&str> = file.code.lines().collect();
+        for (item, in_test) in file.tree.functions() {
+            if in_test || item.tok_body_open.is_none() {
+                continue;
+            }
+            let start = item.kw_line.saturating_sub(1);
+            let end = item.end_line.saturating_sub(1);
+            let mut appends: Vec<(usize, usize)> = Vec::new();
+            let mut names_chain = false;
+            for (i, line) in lines
+                .iter()
+                .enumerate()
+                .take((end + 1).min(lines.len()))
+                .skip(start)
+            {
+                if file.tree.in_test(i) {
+                    continue;
+                }
+                if let Some(col) = commit_path_append(line) {
+                    appends.push((i, col));
+                }
+                if idents(line)
+                    .iter()
+                    .any(|(_, id)| id.to_ascii_lowercase().contains("chain"))
+                {
+                    names_chain = true;
+                }
+            }
+            if names_chain {
+                continue;
+            }
+            for (i, col) in appends {
+                sink.emit(
+                    file,
+                    "chain-append-discipline",
+                    Severity::Deny,
+                    i + 1,
+                    col,
+                    "commit-path WORM append in a function that never touches the \
+                     commit chain; the chain hasher must absorb every byte a commit \
+                     writes (or the site needs an audit:allow with a bounds argument)"
+                        .to_string(),
+                );
+            }
+        }
+    }
+}
+
+/// A commit-path WORM append on the stripped line: the posting store,
+/// the document device, or the positional sidecar.
+fn commit_path_append(line: &str) -> Option<usize> {
+    ["store.append(", "doc_fs.append(", "ps.append("]
+        .iter()
+        .filter_map(|pat| line.find(pat))
+        .min()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -706,6 +782,58 @@ fn migrate(&mut self) -> Result<(), E> {
 ";
         let report = run(commit_point_order, &[core_fixture(src)]);
         assert!(report.findings.is_empty());
+        assert_eq!(report.suppressed, 1);
+    }
+
+    #[test]
+    fn chain_append_discipline_denies_chainless_commit_appends() {
+        let src = "\
+fn smuggle(&mut self) -> Result<(), E> {
+    self.doc_fs.append(f, &rec)?;
+    self.store.append(list, term, doc, tf, cache)?;
+    Ok(())
+}
+";
+        let report = run(chain_append_discipline, &[core_fixture(src)]);
+        assert_eq!(report.findings.len(), 2, "{:?}", report.findings);
+        assert!(report
+            .findings
+            .iter()
+            .all(|f| f.rule == "chain-append-discipline"));
+    }
+
+    #[test]
+    fn chain_append_discipline_accepts_chain_fed_commits() {
+        let src = "\
+fn commit(&mut self) -> Result<(), E> {
+    self.doc_fs.append(f, text.as_bytes())?;
+    self.chain.absorb_text(Some(text.as_bytes()));
+    self.store.append(list, term, doc, tf, cache)?;
+    Ok(())
+}
+#[cfg(test)]
+mod tests {
+    fn injection_helper() {
+        store.append(list, term, doc, tf, None).unwrap();
+    }
+}
+";
+        let report = run(chain_append_discipline, &[core_fixture(src)]);
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+    }
+
+    #[test]
+    fn chain_append_discipline_honours_item_scoped_allow() {
+        let src = "\
+// audit:allow(chain-append-discipline) — dictionary bytes are bound
+// transitively via the per-posting term names the chain absorbs
+fn intern(&mut self) -> Result<(), E> {
+    self.doc_fs.append(file, &rec)?;
+    Ok(())
+}
+";
+        let report = run(chain_append_discipline, &[core_fixture(src)]);
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
         assert_eq!(report.suppressed, 1);
     }
 

@@ -30,8 +30,8 @@ pub mod structural;
 
 pub use coverage::taxonomy_coverage;
 pub use lexical::{
-    commit_point_order, error_taxonomy, forbid_unsafe, hot_path_io, no_panic_in_prod,
-    shard_isolation, wire_versioning, worm_append_only,
+    chain_append_discipline, commit_point_order, error_taxonomy, forbid_unsafe, hot_path_io,
+    no_panic_in_prod, shard_isolation, wire_versioning, worm_append_only,
 };
 pub use structural::{atomic_ordering, guard_across_io, trusted_conjunction};
 
@@ -82,7 +82,7 @@ pub struct RuleMeta {
 
 /// Every rule the audit runs, in execution order.  SARIF output indexes
 /// into this table.
-pub const RULES: [RuleMeta; 12] = [
+pub const RULES: [RuleMeta; 13] = [
     RuleMeta {
         id: "no-panic-in-prod",
         summary: "no unwrap/expect or panicking macros in production code; \
@@ -129,6 +129,12 @@ pub const RULES: [RuleMeta; 12] = [
         id: "commit-point-order",
         summary: "DOCMETA is the commit point and must be the last WORM \
                   append of a commit path",
+        severity: Severity::Deny,
+    },
+    RuleMeta {
+        id: "chain-append-discipline",
+        summary: "commit-path WORM appends happen only in functions that feed \
+                  the commit-chain hasher",
         severity: Severity::Deny,
     },
     RuleMeta {
@@ -219,6 +225,7 @@ pub fn run_all(files: &[SourceFile], report: &mut Report) -> BTreeSet<(String, u
     wire_versioning(files, &mut sink);
     hot_path_io(files, &mut sink);
     commit_point_order(files, &mut sink);
+    chain_append_discipline(files, &mut sink);
     trusted_conjunction(files, &mut sink);
     atomic_ordering(files, &mut sink);
     guard_across_io(files, &mut sink);

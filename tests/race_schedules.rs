@@ -11,7 +11,7 @@ use tks_core::sched::{explore, interleave, Step};
 use tks_core::{service, EngineConfig, IndexWriter, Query, SearchEngine, Searcher};
 use tks_postings::types::Timestamp;
 use tks_shard::{shard_of, ShardedArchive, ShardedSearcher, ShardedWriter};
-use tks_worm::{AtomicIoStats, FaultPolicy, IoStats};
+use tks_worm::{AtomicIoStats, ChainHead, FaultPolicy, IoStats};
 
 const SCHEDULES: u64 = 160;
 
@@ -564,6 +564,187 @@ fn writer_crash_keeps_watermark_and_pins_valid_then_recovery_converges() {
                         }
                     }
                     Err(e) => violations.push(format!("recovered query failed: {e}")),
+                }
+            }
+            Err(e) => violations.push(format!("recovery failed: {e}")),
+        }
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(violations.join("; "))
+        }
+    })
+    .unwrap_or_else(|f| panic!("{f}"));
+    assert_eq!(clean, SCHEDULES);
+}
+
+// ---------------------------------------------------------------------------
+// Commit-chain heads under concurrency: a response's chain head must be a
+// pure function of its watermark — the same watermark always carries the
+// same head, pinned snapshots never change heads, watermark 0 carries the
+// genesis head — and heads observed before a crash must match the
+// recovered engine's heads at every surviving watermark.
+// ---------------------------------------------------------------------------
+
+struct ChainState {
+    writer: IndexWriter,
+    searcher: Searcher,
+    committed: u64,
+    /// First head observed at each watermark: once seen, that watermark
+    /// may never answer with a different head.
+    heads: std::collections::BTreeMap<u64, ChainHead>,
+    pinned: Option<(u64, ChainHead, Searcher)>,
+    violations: Vec<String>,
+}
+
+impl ChainState {
+    fn observe(&mut self, watermark: u64, head: ChainHead, ctx: &str) {
+        if watermark == 0 && head != ChainHead::genesis() {
+            self.violations.push(format!(
+                "{ctx}: watermark 0 carried non-genesis head {head}"
+            ));
+        }
+        match self.heads.get(&watermark) {
+            Some(first) if *first != head => self.violations.push(format!(
+                "{ctx}: watermark {watermark} answered head {head} after {first}"
+            )),
+            Some(_) => {}
+            None => {
+                if self.heads.values().any(|h| *h == head) {
+                    self.violations.push(format!(
+                        "{ctx}: head {head} reused at a second watermark {watermark}"
+                    ));
+                }
+                self.heads.insert(watermark, head);
+            }
+        }
+    }
+}
+
+fn chain_threads(faults: Option<u64>) -> (ChainState, Vec<Vec<Step<'static, ChainState>>>) {
+    let (mut writer, searcher) = service(small_engine());
+    if let Some(seed) = faults {
+        writer.with_engine(|e| {
+            e.list_store_mut()
+                .fs_mut()
+                .arm_faults(FaultPolicy::seeded(seed, 24));
+        });
+    }
+    let state = ChainState {
+        writer,
+        searcher,
+        committed: 0,
+        heads: std::collections::BTreeMap::new(),
+        pinned: None,
+        violations: Vec::new(),
+    };
+    let writer_ops: Vec<Step<'static, ChainState>> = (0..DOCS)
+        .map(|i| {
+            Box::new(move |s: &mut ChainState| {
+                if s.writer
+                    .commit(&format!("common record{i}"), Timestamp(9_000 + i))
+                    .is_ok()
+                {
+                    s.committed += 1;
+                }
+            }) as Step<'static, ChainState>
+        })
+        .collect();
+    let reader_ops: Vec<Step<'static, ChainState>> = (0..6)
+        .map(|_| {
+            Box::new(|s: &mut ChainState| {
+                match s.searcher.execute(Query::disjunctive("common", usize::MAX)) {
+                    Ok(resp) => s.observe(resp.visible_docs, resp.chain_head, "reader"),
+                    Err(e) => s.violations.push(format!("query failed: {e}")),
+                }
+            }) as Step<'static, ChainState>
+        })
+        .collect();
+    let mut pin_ops: Vec<Step<'static, ChainState>> = vec![Box::new(|s: &mut ChainState| {
+        let handle = s.searcher.pin();
+        match handle.execute(Query::disjunctive("common", usize::MAX)) {
+            Ok(resp) => s.pinned = Some((resp.visible_docs, resp.chain_head, handle)),
+            Err(e) => s.violations.push(format!("pin query failed: {e}")),
+        }
+    })];
+    for _ in 0..3 {
+        pin_ops.push(Box::new(|s: &mut ChainState| {
+            let Some((at, head, handle)) = s.pinned.take() else {
+                return;
+            };
+            match handle.execute(Query::disjunctive("common", usize::MAX)) {
+                Ok(resp) => {
+                    if resp.visible_docs != at || resp.chain_head != head {
+                        s.violations.push(format!(
+                            "pin-stability: pinned watermark {at} head {head}, later saw \
+                             watermark {} head {}",
+                            resp.visible_docs, resp.chain_head
+                        ));
+                    }
+                }
+                Err(e) => s.violations.push(format!("pinned query failed: {e}")),
+            }
+            s.pinned = Some((at, head, handle));
+        }));
+    }
+    (state, vec![writer_ops, reader_ops, pin_ops])
+}
+
+#[test]
+fn chain_heads_are_a_pure_function_of_the_watermark_under_all_schedules() {
+    let clean = explore(0xC4A1, SCHEDULES, |seed| {
+        let (mut state, mut threads) = chain_threads(None);
+        interleave(seed, &mut state, &mut threads);
+        // Monotone advancement: with DOCS successful commits there must be
+        // one distinct head per watermark the readers saw, and the map is
+        // keyed by watermark so distinctness was already enforced.
+        if state.violations.is_empty() {
+            Ok(())
+        } else {
+            Err(state.violations.join("; "))
+        }
+    })
+    .unwrap_or_else(|f| panic!("{f}"));
+    assert_eq!(clean, SCHEDULES);
+}
+
+#[test]
+fn chain_heads_observed_before_a_crash_survive_recovery() {
+    let clean = explore(0xC4A2, SCHEDULES, |seed| {
+        let (mut state, mut threads) = chain_threads(Some(seed));
+        interleave(seed, &mut state, &mut threads);
+        let ChainState {
+            writer,
+            searcher,
+            committed,
+            heads,
+            pinned,
+            mut violations,
+        } = state;
+        drop(searcher);
+        drop(pinned);
+        let engine = match writer.try_into_engine() {
+            Ok(e) => e,
+            Err(_) => return Err("searcher handles still pinned the engine".into()),
+        };
+        let mut parts = engine.into_parts();
+        parts.store_fs.disarm_faults();
+        if let Err(e) = parts.store_fs.crash_recover() {
+            return Err(format!("crash_recover failed: {e}"));
+        }
+        match SearchEngine::recover(parts, EngineConfig::default()) {
+            Ok(recovered) => {
+                if let Some(m) = recovered.chain_mismatch() {
+                    violations.push(format!("crash residue misread as tamper: {m}"));
+                }
+                for (&w, &head) in heads.iter().filter(|&(&w, _)| w <= committed) {
+                    if recovered.chain_head_at(w) != Some(head) {
+                        violations.push(format!(
+                            "watermark {w} head changed across recovery: saw {head}, \
+                             recovered {:?}",
+                            recovered.chain_head_at(w)
+                        ));
+                    }
                 }
             }
             Err(e) => violations.push(format!("recovery failed: {e}")),
