@@ -32,7 +32,7 @@ use serde::Serialize;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Instant;
 use tks_bench::{print_table, save_json, Scale};
-use tks_client::{Client, ClientError};
+use tks_client::{Client, ClientError, ErrorDisposition};
 use tks_core::engine::EngineConfig;
 use tks_corpus::{DocumentGenerator, QueryGenerator};
 use tks_postings::Timestamp;
@@ -43,6 +43,24 @@ use tks_shard::ShardedArchive;
 /// Commit budget for the live writer in each measured round (bounded so
 /// every client count queries a comparably-sized archive).
 const WRITER_DOCS: u64 = 200;
+
+/// Retry policy for transient pushback, driven by
+/// [`ClientError::disposition`]: up to this many retries per query…
+const MAX_RETRIES: u32 = 5;
+/// …with exponential backoff starting here…
+const RETRY_BACKOFF_BASE_MS: u64 = 1;
+/// …capped here (so a saturated server sees ≤ ~60 ms of client patience
+/// per query instead of an unbounded hammer).
+const RETRY_BACKOFF_CAP_MS: u64 = 16;
+
+/// Sleep for the capped exponential backoff of retry `attempt` (0-based).
+fn backoff(attempt: u32) -> std::time::Duration {
+    let ms = RETRY_BACKOFF_BASE_MS
+        .checked_shl(attempt)
+        .unwrap_or(RETRY_BACKOFF_CAP_MS)
+        .min(RETRY_BACKOFF_CAP_MS);
+    std::time::Duration::from_millis(ms)
+}
 
 fn env_or<T: std::str::FromStr>(name: &str, default: T) -> T {
     std::env::var(name)
@@ -74,6 +92,9 @@ struct Row {
     p99_ms: f64,
     mean_ms: f64,
     errors: u64,
+    /// Queries re-issued after a `RetryAfterBackoff`/`RetryLater`
+    /// disposition (capped exponential backoff) or after a `Reconnect`.
+    retries: u64,
     docs_committed_during_run: u64,
 }
 
@@ -86,9 +107,15 @@ struct Report {
     rows: Vec<Row>,
     /// Best aggregate throughput over all client counts.
     saturation_qps: f64,
+    /// Total retried queries across every round (transient-pushback
+    /// dispositions re-issued with capped exponential backoff).
+    total_retries: u64,
     /// Did the deadline probe return a typed `DeadlineExceeded` (the
     /// acceptance gate), as opposed to hanging or a transport error?
     deadline_probe_typed: bool,
+    /// Did the deadline error classify as `RetryAfterBackoff`, and did
+    /// one backed-off retry (without the impossible budget) succeed?
+    retry_after_deadline_succeeded: bool,
 }
 
 fn percentile_ms(sorted_us: &[u64], p: f64) -> f64 {
@@ -177,6 +204,7 @@ fn main() {
         let before = writer.committed_docs();
         let mut lat_us: Vec<u64> = Vec::new();
         let mut errors = 0u64;
+        let mut retries = 0u64;
         let mut wall_secs = 0.0f64;
         std::thread::scope(|scope| {
             let stop = &stop;
@@ -205,24 +233,69 @@ fn main() {
                         let mut client = Client::connect(addr).expect("connect client");
                         let mut lat = Vec::with_capacity(qs.len());
                         let mut errs = 0u64;
+                        let mut retried = 0u64;
                         for q in qs {
+                            // Latency includes any backoff: the client
+                            // sees end-to-end time to a usable answer.
                             let t = Instant::now();
-                            match client.query(q) {
-                                Ok(_) => lat.push(t.elapsed().as_micros() as u64),
-                                Err(e) => {
-                                    eprintln!("[loadgen] query error: {e}");
-                                    errs += 1;
+                            let mut attempt = 0u32;
+                            loop {
+                                match client.query(q.clone()) {
+                                    Ok(_) => {
+                                        lat.push(t.elapsed().as_micros() as u64);
+                                        break;
+                                    }
+                                    Err(e) if attempt < MAX_RETRIES => {
+                                        match e.disposition() {
+                                            // Transient pushback: back
+                                            // off and re-issue the call.
+                                            ErrorDisposition::RetryAfterBackoff
+                                            | ErrorDisposition::RetryLater => {
+                                                std::thread::sleep(backoff(attempt));
+                                            }
+                                            // Dead connection: replace it
+                                            // before re-issuing.
+                                            ErrorDisposition::Reconnect => {
+                                                std::thread::sleep(backoff(attempt));
+                                                match Client::connect(addr) {
+                                                    Ok(c) => client = c,
+                                                    Err(err) => {
+                                                        eprintln!(
+                                                            "[loadgen] reconnect failed: {err}"
+                                                        );
+                                                        errs += 1;
+                                                        break;
+                                                    }
+                                                }
+                                            }
+                                            ErrorDisposition::Fatal => {
+                                                eprintln!("[loadgen] fatal query error: {e}");
+                                                errs += 1;
+                                                break;
+                                            }
+                                        }
+                                        attempt += 1;
+                                        retried += 1;
+                                    }
+                                    Err(e) => {
+                                        eprintln!(
+                                            "[loadgen] query error after {attempt} retries: {e}"
+                                        );
+                                        errs += 1;
+                                        break;
+                                    }
                                 }
                             }
                         }
-                        (lat, errs)
+                        (lat, errs, retried)
                     })
                 })
                 .collect();
             for w in workers {
-                let (lat, errs) = w.join().expect("client thread");
+                let (lat, errs, retried) = w.join().expect("client thread");
                 lat_us.extend(lat);
                 errors += errs;
+                retries += retried;
             }
             wall_secs = t0.elapsed().as_secs_f64();
             stop.store(true, Ordering::Release);
@@ -245,6 +318,7 @@ fn main() {
             p99_ms: percentile_ms(&lat_us, 0.99),
             mean_ms,
             errors,
+            retries,
             docs_committed_during_run: committed,
         };
         table.push(vec![
@@ -256,6 +330,7 @@ fn main() {
             format!("{:.2}", row.p99_ms),
             format!("{:.2}", row.mean_ms),
             format!("{errors}"),
+            format!("{retries}"),
             format!("{committed}"),
         ]);
         rows.push(row);
@@ -285,12 +360,12 @@ fn main() {
         top_k: 10,
     });
     let probe_t0 = Instant::now();
+    let probe_result = client.query_with_deadline(q.clone(), 30);
     let deadline_probe_typed = matches!(
-        client.query_with_deadline(q, 30),
+        probe_result,
         Err(ClientError::Server(ref we)) if we.code == WireErrorCode::DeadlineExceeded
     );
     let probe_elapsed = probe_t0.elapsed();
-    probe.shutdown();
     assert!(
         deadline_probe_typed,
         "a query past its deadline must fail with a typed DeadlineExceeded wire error"
@@ -298,6 +373,23 @@ fn main() {
     assert!(
         probe_elapsed < std::time::Duration::from_millis(250),
         "the deadline reply must not wait out the slow query ({probe_elapsed:?})"
+    );
+    // The typed error classifies as transient pushback, and a single
+    // backed-off retry — this time with an achievable budget — succeeds
+    // on the same connection: the retry loop the rounds above run, in
+    // miniature.
+    let retry_after_deadline_succeeded = probe_result
+        .err()
+        .map(|e| e.disposition() == ErrorDisposition::RetryAfterBackoff)
+        .unwrap_or(false)
+        && {
+            std::thread::sleep(backoff(0));
+            client.query(q).is_ok()
+        };
+    probe.shutdown();
+    assert!(
+        retry_after_deadline_succeeded,
+        "a DeadlineExceeded must be retryable-after-backoff, and the retry must succeed"
     );
 
     print_table(
@@ -311,13 +403,16 @@ fn main() {
             "p99 (ms)",
             "mean (ms)",
             "errors",
+            "retries",
             "docs committed during run",
         ],
         &table,
     );
     let saturation_qps = rows.iter().map(|r| r.qps).fold(0.0f64, f64::max);
+    let total_retries = rows.iter().map(|r| r.retries).sum();
     println!("saturation throughput: {saturation_qps:.0} queries/s");
-    println!("deadline probe: typed DeadlineExceeded in {probe_elapsed:?}");
+    println!("retried queries (transient pushback, capped backoff): {total_retries}");
+    println!("deadline probe: typed DeadlineExceeded in {probe_elapsed:?}; backed-off retry OK");
 
     let report = Report {
         scale,
@@ -326,7 +421,9 @@ fn main() {
         queries_per_client: per_client,
         rows,
         saturation_qps,
+        total_retries,
         deadline_probe_typed,
+        retry_after_deadline_succeeded,
     };
     save_json("loadgen", &report);
     match serde_json::to_string_pretty(&report) {

@@ -47,6 +47,9 @@ struct Summary {
     /// Block-max top-k vs exhaustive disjunctive evaluation, from the
     /// `at_scale` binary's saved results (`None` until it has been run).
     at_scale_blockmax_speedup: Option<f64>,
+    /// 2-replica vs unreplicated read throughput, from the `replicated`
+    /// binary's saved results (`None` until it has been run).
+    replicated_read_speedup: Option<f64>,
 }
 
 /// The slice of `results/read_path.json` the summary folds in.
@@ -76,6 +79,18 @@ struct LoadgenResults {
 #[derive(Deserialize)]
 struct AtScaleResults {
     speedup: f64,
+}
+
+/// The slice of `results/replicated.json` the summary folds in.
+#[derive(Deserialize)]
+struct ReplicatedGate {
+    achieved_speedup: f64,
+    resource_scaling_fallback: bool,
+}
+
+#[derive(Deserialize)]
+struct ReplicatedResults {
+    gate: ReplicatedGate,
 }
 
 fn main() {
@@ -202,6 +217,10 @@ fn main() {
         .ok()
         .and_then(|s| serde_json::from_str::<AtScaleResults>(&s).ok())
         .map(|r| r.speedup);
+    let replicated = std::fs::read_to_string("results/replicated.json")
+        .ok()
+        .and_then(|s| serde_json::from_str::<ReplicatedResults>(&s).ok())
+        .map(|r| r.gate);
 
     let s = Summary {
         insert_speedup,
@@ -213,6 +232,7 @@ fn main() {
         sharded_query_speedup_4x: sharded_speedup,
         server_saturation_qps: server_qps,
         at_scale_blockmax_speedup: at_scale_speedup,
+        replicated_read_speedup: replicated.as_ref().map(|g| g.achieved_speedup),
     };
     let mut rows = vec![
         vec![
@@ -276,6 +296,23 @@ fn main() {
         ]);
     } else {
         eprintln!("[summary] results/at_scale.json not found — run `--bin at_scale` to fold in the top-k headline");
+    }
+    if let Some(gate) = &replicated {
+        rows.push(vec![
+            "2-replica vs unreplicated read throughput (replicated)".into(),
+            format!(
+                "{:.2}×{}",
+                gate.achieved_speedup,
+                if gate.resource_scaling_fallback {
+                    " (cores-limited)"
+                } else {
+                    ""
+                }
+            ),
+            "n/a (impl)".into(),
+        ]);
+    } else {
+        eprintln!("[summary] results/replicated.json not found — run `--bin replicated` to fold in the replication headline");
     }
     print_table(
         "Section 6 headline comparison (measured vs paper)",

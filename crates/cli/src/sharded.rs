@@ -4,11 +4,16 @@
 //!
 //! ```text
 //! ARCHIVE/
-//!   shards.json      # {"shards": N, "config": EngineConfig}
+//!   shards.json      # {"shards": N, "replicas": R, "config": EngineConfig}
 //!   shard-0000/      # one complete single-archive image set per shard
 //!     store.worm
 //!     docs.worm
 //!     positions.worm # positional configs only
+//!     replica-0/     # replicated archives only: one full image set
+//!       store.worm   # per replica, chain-verified against the primary
+//!       docs.worm
+//!       positions.worm
+//!     replica-1/
 //!   shard-0001/
 //!   ...
 //! ```
@@ -18,17 +23,34 @@
 //! shard whose recovery is refused comes up *degraded* — reported on
 //! stderr, excluded from answers, its images left untouched on disk —
 //! while the surviving shards keep serving.
+//!
+//! Replicated archives (`init --replicas R`) recover every shard from
+//! its primary **and** replica images: a replica with a longer verified
+//! commit-chain prefix is *promoted* over a failed or chain-mismatched
+//! primary (reported on stderr, persisted as the new primary on the
+//! next write), and replicas matching the chosen engine's exact trust
+//! state serve reads.  Writes re-attach the replication taps, so every
+//! committed mutation fans out to the replica images before `save`
+//! persists them; a quarantined or missing replica is re-seeded from
+//! the primary through the same chain-verified catch-up path.
 
 use std::path::{Path, PathBuf};
-use tks_core::engine::{EngineConfig, EngineParts};
+use std::sync::Arc;
+use tks_core::engine::{EngineConfig, EngineParts, SearchEngine};
 use tks_core::query::Query;
 use tks_postings::{DocId, Timestamp};
+use tks_replica::{attach, detach, fresh_images, ApplyMode, ReplicaSet};
 use tks_shard::{
-    local_of, shard_of, QuerySession, ShardRecovery, ShardedArchive, ShardedResponse, ShardedWriter,
+    local_of, shard_of, QuerySession, ReplicatedShardParts, ShardRecovery, ShardedArchive,
+    ShardedResponse, ShardedWriter,
 };
 use tks_worm::{discover_shard_dirs, load_fs, save_fs, shard_dir_name};
 
 use crate::CliResult;
+
+/// Per-shard live replica fan-out: `None` for degraded shards, which
+/// keep their on-disk replica images untouched for the next recovery.
+type ShardReplicaSets = Vec<Option<Arc<ReplicaSet>>>;
 
 /// The archive manifest persisted as `shards.json`: the shard count is
 /// part of the archive's identity (routing is `hash % shards`, so the
@@ -37,14 +59,18 @@ use crate::CliResult;
 #[derive(serde::Serialize, serde::Deserialize)]
 struct Manifest {
     shards: u32,
+    /// Replica images per shard (0 = unreplicated; absent in archives
+    /// initialised before replication existed).
+    #[serde(default)]
+    replicas: u32,
     config: EngineConfig,
 }
 
 pub fn usage_lines() -> &'static str {
-    "  tks archive init ARCHIVE --shards N [--lists M] [--jump B] [--block-size L] [--positional]\n  \
+    "  tks archive init ARCHIVE --shards N [--replicas R] [--lists M] [--jump B] [--block-size L] [--positional]\n  \
      tks archive add ARCHIVE FILE...\n  tks archive note ARCHIVE TS TEXT...\n  \
      tks archive query ARCHIVE KEYWORD... [--top K]\n  tks archive all ARCHIVE KEYWORD...\n  \
-     tks archive info ARCHIVE\n  tks archive verify ARCHIVE"
+     tks archive info ARCHIVE\n  tks archive replicas ARCHIVE\n  tks archive verify ARCHIVE"
 }
 
 pub fn cmd_archive(args: &[String]) -> CliResult {
@@ -58,6 +84,7 @@ pub fn cmd_archive(args: &[String]) -> CliResult {
         "query" => cmd_query(&args[1..], false),
         "all" => cmd_query(&args[1..], true),
         "info" => cmd_info(&args[1..]),
+        "replicas" => cmd_replicas(&args[1..]),
         "verify" => cmd_verify(&args[1..]),
         other => Err(format!("unknown archive subcommand {other}:\n{}", usage_lines()).into()),
     }
@@ -74,6 +101,7 @@ fn archive_path(args: &[String]) -> Result<PathBuf, Box<dyn std::error::Error>> 
 fn cmd_init(args: &[String]) -> CliResult {
     let dir = archive_path(args)?;
     let mut shards: Option<u32> = None;
+    let mut replicas = 0u32;
     let mut lists = 1024u32;
     let mut jump_b: Option<u32> = Some(32);
     let mut block = 8192usize;
@@ -84,6 +112,10 @@ fn cmd_init(args: &[String]) -> CliResult {
             "--shards" => {
                 i += 1;
                 shards = Some(args.get(i).ok_or("--shards needs a value")?.parse()?);
+            }
+            "--replicas" => {
+                i += 1;
+                replicas = args.get(i).ok_or("--replicas needs a value")?.parse()?;
             }
             "--lists" => {
                 i += 1;
@@ -130,17 +162,23 @@ fn cmd_init(args: &[String]) -> CliResult {
     // is exactly the single-archive layout, so each shard could even be
     // inspected with the unsharded tooling.
     let archive = ShardedArchive::create(config.clone(), shards)?;
-    let (writer, searcher) = archive.into_service();
+    let (mut writer, searcher) = archive.into_service();
     drop(searcher);
-    save(&dir, writer)?;
+    let sets = attach_replica_sets(&mut writer, Vec::new(), replicas);
+    save(&dir, writer, sets)?;
     std::fs::write(
         dir.join("shards.json"),
-        serde_json::to_string_pretty(&Manifest { shards, config })?,
+        serde_json::to_string_pretty(&Manifest {
+            shards,
+            replicas,
+            config,
+        })?,
     )?;
     println!(
-        "initialized sharded archive at {} ({} shard(s))",
+        "initialized sharded archive at {} ({} shard(s), {} replica(s) each)",
         dir.display(),
-        shards
+        shards,
+        replicas
     );
     Ok(())
 }
@@ -150,6 +188,14 @@ fn cmd_init(args: &[String]) -> CliResult {
 /// Reload and recover every shard.  Degraded shards are reported on
 /// stderr; the archive keeps serving from the healthy ones.
 pub(crate) fn open(dir: &Path) -> Result<ShardedArchive, Box<dyn std::error::Error>> {
+    Ok(open_full(dir)?.0)
+}
+
+/// [`open`], keeping the per-shard recovery records and the manifest
+/// (for the `replicas` status command and the write path).
+fn open_full(
+    dir: &Path,
+) -> Result<(ShardedArchive, Vec<ShardRecovery>, Manifest), Box<dyn std::error::Error>> {
     let manifest: Manifest =
         serde_json::from_str(&std::fs::read_to_string(dir.join("shards.json"))?)?;
     let shard_dirs = discover_shard_dirs(dir)?;
@@ -166,16 +212,40 @@ pub(crate) fn open(dir: &Path) -> Result<ShardedArchive, Box<dyn std::error::Err
         )
         .into());
     }
-    let mut parts = Vec::with_capacity(shard_dirs.len());
-    for d in &shard_dirs {
-        // An unreadable or corrupt image degrades *this shard only*
-        // (`Err` → `recover_loaded` isolates it); the healthy shards
-        // keep the archive serving.
-        parts.push(load_parts(d, &manifest.config).map_err(|e| e.to_string()));
-    }
-    let (archive, recoveries) = ShardedArchive::recover_loaded(parts, manifest.config)?;
+    let (archive, recoveries) = if manifest.replicas == 0 {
+        let mut parts = Vec::with_capacity(shard_dirs.len());
+        for d in &shard_dirs {
+            // An unreadable or corrupt image degrades *this shard only*
+            // (`Err` → `recover_loaded` isolates it); the healthy shards
+            // keep the archive serving.
+            parts.push(load_parts(d, &manifest.config).map_err(|e| e.to_string()));
+        }
+        ShardedArchive::recover_loaded(parts, manifest.config.clone())?
+    } else {
+        // Replicated recovery: hand every shard's primary *and* replica
+        // images to the failover path.  An unreadable candidate arrives
+        // as `Err` — recovery promotes a verified replica over a lost
+        // primary, and only degrades when nothing verifies.
+        let mut parts = Vec::with_capacity(shard_dirs.len());
+        for d in &shard_dirs {
+            let primary = load_parts(d, &manifest.config).map_err(|e| e.to_string());
+            let replicas = (0..manifest.replicas)
+                .map(|r| {
+                    load_parts(&d.join(replica_dir_name(r as usize)), &manifest.config)
+                        .map_err(|e| e.to_string())
+                })
+                .collect();
+            parts.push(ReplicatedShardParts { primary, replicas });
+        }
+        ShardedArchive::recover_replicated(parts, manifest.config.clone())?
+    };
     report_recoveries(&recoveries);
-    Ok(archive)
+    Ok((archive, recoveries, manifest))
+}
+
+/// A replica's image directory inside its shard directory.
+fn replica_dir_name(replica: usize) -> String {
+    format!("replica-{replica}")
 }
 
 /// One shard's images → `EngineParts`.
@@ -214,14 +284,94 @@ fn report_recoveries(recoveries: &[ShardRecovery]) {
                 r.shard, r.quarantined_bytes
             );
         }
+        if let Some(promoted) = r.promoted_from {
+            eprintln!(
+                "note: shard {} PROMOTED replica {promoted} over its primary \
+                 (longest verified chain prefix; persisted as the new primary on the next write)",
+                r.shard
+            );
+        }
+        for v in &r.replicas {
+            if let Some(err) = &v.error {
+                eprintln!(
+                    "warning: shard {} replica {} unusable: {err}",
+                    r.shard, v.replica
+                );
+            }
+        }
     }
+}
+
+/// Open an archive for a writing command: recover (promotion included),
+/// split into the service, and — for replicated archives — rebuild one
+/// live [`ReplicaSet`] per healthy shard from the recovered standbys,
+/// re-seeding quarantined or missing replicas from the primary through
+/// the chain-verified catch-up in [`attach`].
+fn open_for_write(
+    dir: &Path,
+) -> Result<(ShardedWriter, ShardReplicaSets), Box<dyn std::error::Error>> {
+    let (mut archive, _, manifest) = open_full(dir)?;
+    let standbys = archive.take_standbys();
+    let (mut writer, searcher) = archive.into_service();
+    drop(searcher);
+    let sets = attach_replica_sets(&mut writer, standbys, manifest.replicas);
+    Ok((writer, sets))
+}
+
+/// Attach one inline-mode [`ReplicaSet`] of `replicas` images to every
+/// healthy shard.  A recovered standby keeps its devices (catch-up is a
+/// no-op diff); a replica slot with no surviving standby — quarantined,
+/// lagging, or promoted into the primary role — is re-seeded with fresh
+/// devices and caught up from the primary.
+fn attach_replica_sets(
+    writer: &mut ShardedWriter,
+    mut standbys: Vec<Vec<(usize, Box<SearchEngine>)>>,
+    replicas: u32,
+) -> ShardReplicaSets {
+    let shards = writer.shards() as usize;
+    standbys.resize_with(shards, Vec::new);
+    let mut sets = Vec::with_capacity(shards);
+    for (sid, survivors) in standbys.into_iter().enumerate() {
+        if replicas == 0 {
+            sets.push(None);
+            continue;
+        }
+        let mut by_index: Vec<Option<EngineParts>> = (0..replicas as usize).map(|_| None).collect();
+        for (r, engine) in survivors {
+            if let Some(slot) = by_index.get_mut(r) {
+                *slot = Some(engine.into_parts());
+            }
+        }
+        let attached = writer.with_engine(sid as u32, move |engine| {
+            let missing = by_index.iter().filter(|s| s.is_none()).count();
+            let mut fresh = fresh_images(engine, missing).into_iter();
+            let images: Vec<EngineParts> = by_index
+                .into_iter()
+                .filter_map(|slot| slot.or_else(|| fresh.next()))
+                .collect();
+            let set = Arc::new(ReplicaSet::new(images, ApplyMode::Inline));
+            attach(engine, &set);
+            set
+        });
+        // A degraded shard gets no live replication; its replica images
+        // stay on disk untouched (they may be the only evidence left).
+        sets.push(attached.ok());
+    }
+    sets
 }
 
 /// Persist every live shard's images (temp + rename per file, so a crash
 /// mid-save leaves the previous committed images intact).  Degraded
 /// shards are skipped: their on-disk images stay exactly as found, as
-/// evidence.
-fn save(dir: &Path, writer: ShardedWriter) -> CliResult {
+/// evidence.  Replica sets are detached, reclaimed, and their images
+/// persisted under `shard-NNNN/replica-R/`.
+fn save(dir: &Path, mut writer: ShardedWriter, sets: ShardReplicaSets) -> CliResult {
+    for (sid, set) in sets.iter().enumerate() {
+        if set.is_some() {
+            // Drop the taps' references so the set can be reclaimed.
+            let _ = writer.with_engine(sid as u32, detach);
+        }
+    }
     let engines = writer
         .try_into_engines()
         .map_err(|_| "archive still has live searcher handles")?;
@@ -230,18 +380,43 @@ fn save(dir: &Path, writer: ShardedWriter) -> CliResult {
         let shard_dir = dir.join(shard_dir_name(sid as u32));
         std::fs::create_dir_all(&shard_dir)?;
         let parts = engine.into_parts();
-        let mut images = vec![
-            ("store.worm", save_fs(&parts.store_fs)?),
-            ("docs.worm", save_fs(&parts.doc_fs)?),
-        ];
-        if let Some(fs) = &parts.pos_fs {
-            images.push(("positions.worm", save_fs(fs)?));
+        save_images(&shard_dir, &parts)?;
+    }
+    for (sid, set) in sets.into_iter().enumerate() {
+        let Some(set) = set else { continue };
+        let images =
+            ReplicaSet::reclaim(set).map_err(|_| "replica set still has live tap references")?;
+        for (r, (parts, fault)) in images.into_iter().enumerate() {
+            if let Some(fault) = &fault {
+                eprintln!(
+                    "warning: shard {sid} replica {r} quarantined during this run \
+                     (persisting its image as-is): {fault}"
+                );
+            }
+            let replica_dir = dir
+                .join(shard_dir_name(sid as u32))
+                .join(replica_dir_name(r));
+            std::fs::create_dir_all(&replica_dir)?;
+            save_images(&replica_dir, &parts)?;
         }
-        for (name, img) in images {
-            let tmp = shard_dir.join(format!("{name}.tmp"));
-            std::fs::write(&tmp, img)?;
-            std::fs::rename(&tmp, shard_dir.join(name))?;
-        }
+    }
+    Ok(())
+}
+
+/// One image set (primary or replica) → `store.worm` / `docs.worm` /
+/// `positions.worm` in `image_dir`, temp + rename per file.
+fn save_images(image_dir: &Path, parts: &EngineParts) -> CliResult {
+    let mut images = vec![
+        ("store.worm", save_fs(&parts.store_fs)?),
+        ("docs.worm", save_fs(&parts.doc_fs)?),
+    ];
+    if let Some(fs) = &parts.pos_fs {
+        images.push(("positions.worm", save_fs(fs)?));
+    }
+    for (name, img) in images {
+        let tmp = image_dir.join(format!("{name}.tmp"));
+        std::fs::write(&tmp, img)?;
+        std::fs::rename(&tmp, image_dir.join(name))?;
     }
     Ok(())
 }
@@ -271,8 +446,7 @@ fn cmd_add(args: &[String]) -> CliResult {
     if args.len() < 2 {
         return Err("archive add needs at least one FILE".into());
     }
-    let (mut writer, searcher) = open(&dir)?.into_service();
-    drop(searcher);
+    let (mut writer, sets) = open_for_write(&dir)?;
     let mut inputs = Vec::new();
     for f in &args[1..] {
         let path = PathBuf::from(f);
@@ -300,7 +474,7 @@ fn cmd_add(args: &[String]) -> CliResult {
             shard_of(doc)
         );
     }
-    save(&dir, writer)
+    save(&dir, writer, sets)
 }
 
 fn cmd_note(args: &[String]) -> CliResult {
@@ -310,13 +484,12 @@ fn cmd_note(args: &[String]) -> CliResult {
         return Err("archive note needs TEXT".into());
     }
     let text = args[2..].join(" ");
-    let (mut writer, searcher) = open(&dir)?.into_service();
-    drop(searcher);
+    let (mut writer, sets) = open_for_write(&dir)?;
     let floor = last_timestamp(&mut writer);
     let ts = Timestamp(ts).max(floor);
     let doc = writer.commit(&text, ts)?;
     println!("committed {doc} @ t={} (shard {})", ts.0, shard_of(doc));
-    save(&dir, writer)
+    save(&dir, writer, sets)
 }
 
 fn cmd_query(args: &[String], conjunctive: bool) -> CliResult {
@@ -489,6 +662,50 @@ fn cmd_verify(args: &[String]) -> CliResult {
     } else {
         Err(Box::new(VerifyFailure { findings }))
     }
+}
+
+/// Per-replica health: recover the archive (promotion included) and
+/// print each shard's replica verdicts — watermark, chain head,
+/// verified/quarantined, and whether it will serve reads.
+fn cmd_replicas(args: &[String]) -> CliResult {
+    let dir = archive_path(args)?;
+    let (archive, recoveries, manifest) = open_full(&dir)?;
+    println!("archive:  {}", dir.display());
+    println!("replicas: {} per shard", manifest.replicas);
+    if manifest.replicas == 0 {
+        println!("(archive is unreplicated; re-init with --replicas R to replicate)");
+        return Ok(());
+    }
+    let standby_counts = archive.standby_counts();
+    for r in &recoveries {
+        let role = match (&r.error, r.promoted_from) {
+            (Some(reason), _) => format!("DEGRADED: {reason}"),
+            (None, Some(p)) => format!("serving from PROMOTED replica {p}"),
+            (None, None) => "serving from primary".to_string(),
+        };
+        let standbys = standby_counts.get(r.shard as usize).copied().unwrap_or(0);
+        println!("shard {}: {role} ({standbys} read standby(s))", r.shard);
+        for v in &r.replicas {
+            let state = match (&v.error, v.verified) {
+                (Some(err), _) => format!("UNUSABLE: {err}"),
+                (None, false) => "recovered but unverified".to_string(),
+                (None, true) => "verified".to_string(),
+            };
+            let head = match &v.chain_head {
+                Some(h) => h.to_string(),
+                None => "-".to_string(),
+            };
+            print!(
+                "  replica {}: {state}; {} doc(s) verified, head {head}",
+                v.replica, v.watermark
+            );
+            if v.quarantined_bytes > 0 {
+                print!(", {} quarantined byte(s)", v.quarantined_bytes);
+            }
+            println!();
+        }
+    }
+    Ok(())
 }
 
 fn cmd_info(args: &[String]) -> CliResult {
@@ -701,6 +918,86 @@ mod tests {
         }
         std::fs::write(&docs_path, &pristine).unwrap();
         cmd_archive(&verify).expect("restored archive must verify again");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A replicated archive writes replica image sets that stay
+    /// byte-identical to the primaries across writes and reopens.
+    #[test]
+    fn replicated_init_note_reopen_roundtrip() {
+        let dir = temp_dir("replicated");
+        let d = dir.to_string_lossy().to_string();
+        cmd_archive(&arg(&format!(
+            "init {d} --shards 2 --replicas 2 --lists 8 --jump 0 --block-size 2048"
+        )))
+        .unwrap();
+        for i in 0..6u64 {
+            cmd_archive(&arg(&format!("note {d} {} retention ledger {i}", 100 + i))).unwrap();
+        }
+        // Every replica image is byte-identical to its primary.
+        for sid in 0..2u32 {
+            let shard_dir = dir.join(shard_dir_name(sid));
+            for name in ["store.worm", "docs.worm"] {
+                let primary = std::fs::read(shard_dir.join(name)).unwrap();
+                for r in 0..2 {
+                    let replica =
+                        std::fs::read(shard_dir.join(replica_dir_name(r)).join(name)).unwrap();
+                    assert_eq!(primary, replica, "shard {sid} replica {r} {name}");
+                }
+            }
+        }
+        let (archive, recoveries, manifest) = open_full(&dir).unwrap();
+        assert_eq!(manifest.replicas, 2);
+        assert_eq!(archive.standby_counts(), vec![2, 2]);
+        for r in &recoveries {
+            assert!(r.promoted_from.is_none());
+            assert!(r.replicas.iter().all(|v| v.verified), "{:?}", r.replicas);
+        }
+        cmd_archive(&arg(&format!("replicas {d}"))).unwrap();
+        cmd_archive(&arg(&format!("query {d} retention ledger --top 3"))).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Losing a primary image promotes a verified replica instead of
+    /// degrading the shard, and the next write persists the promoted
+    /// state as the new primary.
+    #[test]
+    fn lost_primary_promotes_replica_and_reseeds() {
+        let dir = temp_dir("promote");
+        let d = dir.to_string_lossy().to_string();
+        cmd_archive(&arg(&format!(
+            "init {d} --shards 1 --replicas 2 --lists 8 --jump 0 --block-size 2048"
+        )))
+        .unwrap();
+        for i in 0..4u64 {
+            cmd_archive(&arg(&format!("note {d} {} audit trail {i}", 100 + i))).unwrap();
+        }
+        // Destroy the primary image set (the replica subdirectories
+        // survive inside the shard directory).
+        let shard_dir = dir.join(shard_dir_name(0));
+        for name in ["store.worm", "docs.worm"] {
+            std::fs::remove_file(shard_dir.join(name)).unwrap();
+        }
+        let (archive, recoveries, _) = open_full(&dir).unwrap();
+        assert!(archive.degraded().is_empty(), "promotion, not degradation");
+        assert_eq!(archive.num_docs(), 4);
+        assert_eq!(recoveries[0].promoted_from, Some(0));
+        drop(archive);
+        // Queries still answer, trusted, from the promoted replica.
+        let (_, searcher) = open(&dir).unwrap().into_service();
+        let resp = searcher.execute(Query::conjunctive("audit")).unwrap();
+        assert_eq!(resp.hits.len(), 4);
+        assert!(resp.trusted);
+        drop(searcher);
+        // The next write persists the promoted image as the new primary
+        // and re-seeds the full replica complement.
+        cmd_archive(&arg(&format!("note {d} 500 post failover entry"))).unwrap();
+        let (archive, recoveries, _) = open_full(&dir).unwrap();
+        assert!(archive.degraded().is_empty());
+        assert_eq!(archive.num_docs(), 5);
+        assert_eq!(recoveries[0].promoted_from, None, "primary restored");
+        assert_eq!(archive.standby_counts(), vec![2]);
+        cmd_archive(&arg(&format!("verify {d}"))).unwrap();
         let _ = std::fs::remove_dir_all(&dir);
     }
 

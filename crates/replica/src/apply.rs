@@ -1,0 +1,543 @@
+//! The sequenced replay applier: the **only** mutation path onto a
+//! replica's devices.
+//!
+//! An [`Applier`] owns one replica's [`EngineParts`] and applies
+//! [`ReplEntry`]s strictly in sequence.  Every append is replayed at the
+//! offset the primary committed it at ([`WormFs::replay`]), so a missed
+//! or duplicated entry is refused instead of silently diverging; and the
+//! two engine metadata streams get protocol-level verification on top:
+//!
+//! * `engine/chain` — the primary piggybacks every sealed
+//!   [`ChainLink`] on the stream (it is simply the chain file's
+//!   content).  The applier decodes whole 72-byte links as they arrive
+//!   and verifies each one extends the head it has verified so far;
+//!   a link that does not is [`ReplicaError::ChainDivergence`] and
+//!   quarantines the replica.
+//! * `engine/docmeta` — each whole 16-byte record is a **commit
+//!   point**.  Only then does the applier *confirm* the pending link and
+//!   advance its verified head/watermark pair, so the verified watermark
+//!   never covers a document whose commit point has not landed on this
+//!   replica ("promotion never observes an unverified prefix").
+//!
+//! The `cargo xtask audit` rule `replica-apply-only` denies the WORM
+//! mutation vocabulary (`create`/`append`/`replay`/`delete`/…)
+//! everywhere in this crate *except* this module, so the sequencing and
+//! verification above cannot be bypassed from the fan-out or failover
+//! layers.
+
+use crate::entry::{FsKind, ReplEntry, ReplOp};
+use crate::error::ReplicaError;
+use std::collections::VecDeque;
+use tks_core::engine::EngineParts;
+use tks_worm::{ChainError, ChainHead, ChainLink, WormFs};
+
+/// The commit-chain stream: mirrors `tks_core`'s (private) engine layout.
+/// The coupling is safe — if core ever renamed the file, the chain
+/// cursor would simply never confirm a commit and every replication test
+/// would fail loudly.
+pub(crate) const CHAIN_FILE: &str = "engine/chain";
+/// The commit-point stream (16-byte DOCMETA records; see `tks_core`).
+pub(crate) const DOCMETA_FILE: &str = "engine/docmeta";
+/// Fixed size of one DOCMETA record.
+const DOCMETA_RECORD: u64 = 16;
+
+/// Chain-verification state replayed over the replica's metadata
+/// streams.
+#[derive(Debug, Default)]
+struct ChainCursor {
+    /// Head of the verified chain (genesis before any confirmed commit).
+    head: Option<ChainHead>,
+    /// Watermark of the last *confirmed* (commit-point-backed) link.
+    verified_watermark: u64,
+    /// Links decoded and chained but not yet confirmed by a commit
+    /// point.  A torn primary commit leaves its link here forever —
+    /// sealed, shipped, never confirmed — exactly matching the
+    /// quarantinable residue on the primary.
+    pending: VecDeque<ChainLink>,
+    /// Undecoded tail of the chain stream (< 72 bytes after draining).
+    buf: Vec<u8>,
+    /// Total bytes observed on the commit-point stream.
+    docmeta_bytes: u64,
+    /// Whole commit-point records already matched to a pending link.
+    confirmed: u64,
+}
+
+impl ChainCursor {
+    fn head(&self) -> ChainHead {
+        self.head.unwrap_or_else(ChainHead::genesis)
+    }
+
+    /// Absorb chain-stream bytes: decode and link-verify every whole
+    /// 72-byte record.
+    fn observe_chain(&mut self, replica: usize, bytes: &[u8]) -> Result<(), ReplicaError> {
+        self.buf.extend_from_slice(bytes);
+        while self.buf.len() >= ChainLink::ENCODED {
+            let record: Vec<u8> = self.buf.drain(..ChainLink::ENCODED).collect();
+            let link = ChainLink::decode(&record)?;
+            let (expect_head, expect_wm) = match self.pending.back() {
+                Some(last) => (last.head(), last.watermark + 1),
+                None => (self.head(), self.verified_watermark + 1),
+            };
+            if link.prev_head != expect_head {
+                return Err(ReplicaError::ChainDivergence {
+                    replica,
+                    watermark: link.watermark,
+                    expected: expect_head,
+                    actual: link.prev_head,
+                });
+            }
+            if link.watermark != expect_wm {
+                return Err(ReplicaError::Chain(ChainError::WatermarkMismatch {
+                    expected: expect_wm,
+                    found: link.watermark,
+                }));
+            }
+            self.pending.push_back(link);
+        }
+        Ok(())
+    }
+
+    /// Absorb commit-point bytes: every completed 16-byte record
+    /// confirms exactly one pending link.
+    fn observe_docmeta(&mut self, replica: usize, len: u64) -> Result<(), ReplicaError> {
+        self.docmeta_bytes += len;
+        while self.docmeta_bytes / DOCMETA_RECORD > self.confirmed {
+            match self.pending.pop_front() {
+                Some(link) => {
+                    self.head = Some(link.head());
+                    self.verified_watermark = link.watermark;
+                    self.confirmed += 1;
+                }
+                None => {
+                    return Err(ReplicaError::CommitWithoutLink {
+                        replica,
+                        watermark: self.confirmed + 1,
+                    })
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One replica's applier: its devices, its position in the replication
+/// log, and its verified chain state (see module docs).
+#[derive(Debug)]
+pub struct Applier {
+    replica: usize,
+    parts: EngineParts,
+    next_seq: u64,
+    cursor: ChainCursor,
+    /// Sticky quarantine: the first replication fault, after which the
+    /// applier refuses every further entry.
+    fault: Option<ReplicaError>,
+}
+
+impl Applier {
+    /// Wrap a replica image in an applier, replaying chain verification
+    /// over whatever the image already contains.  An image whose
+    /// existing chain does not verify starts out quarantined (the
+    /// applier is still returned, so its devices can be reclaimed).
+    pub fn new(replica: usize, parts: EngineParts) -> Applier {
+        let mut applier = Applier {
+            replica,
+            parts,
+            next_seq: 0,
+            cursor: ChainCursor::default(),
+            fault: None,
+        };
+        if let Err(e) = applier.prime() {
+            applier.fault = Some(e);
+        }
+        applier
+    }
+
+    /// Replay chain verification over the image's existing metadata
+    /// streams (no-op for a fresh, empty image).
+    fn prime(&mut self) -> Result<(), ReplicaError> {
+        let doc = &self.parts.doc_fs;
+        if let Ok(f) = doc.open(CHAIN_FILE) {
+            let len = doc.len(f);
+            let bytes = doc.read(f, 0, len as usize)?;
+            self.cursor.observe_chain(self.replica, &bytes)?;
+        }
+        if let Ok(f) = doc.open(DOCMETA_FILE) {
+            self.cursor.observe_docmeta(self.replica, doc.len(f))?;
+        }
+        Ok(())
+    }
+
+    /// This applier's replica index (as named in errors and statuses).
+    pub fn replica(&self) -> usize {
+        self.replica
+    }
+
+    /// The next sequence number this applier expects.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Re-align the expected sequence number (after catch-up, when the
+    /// replica joins the live stream).
+    pub fn align_seq(&mut self, seq: u64) {
+        self.next_seq = seq;
+    }
+
+    /// The verified chain head: the head after the last commit point
+    /// this replica has durably applied and chain-verified.
+    pub fn chain_head(&self) -> ChainHead {
+        self.cursor.head()
+    }
+
+    /// The verified watermark (documents whose commit points this
+    /// replica has applied and chain-verified).
+    pub fn verified_watermark(&self) -> u64 {
+        self.cursor.verified_watermark
+    }
+
+    /// Links shipped but not yet confirmed by a commit point.
+    pub fn pending_links(&self) -> usize {
+        self.cursor.pending.len()
+    }
+
+    /// The sticky quarantine fault, if this replica diverged.
+    pub fn quarantined(&self) -> Option<&ReplicaError> {
+        self.fault.as_ref()
+    }
+
+    /// Quarantine the replica for an externally-diagnosed fault (e.g. a
+    /// catch-up diff proving it is not a prefix of the primary).
+    pub fn quarantine(&mut self, fault: ReplicaError) {
+        if self.fault.is_none() {
+            self.fault = Some(fault);
+        }
+    }
+
+    /// Read-only view of the replica's devices (for catch-up diffing).
+    pub fn parts(&self) -> &EngineParts {
+        &self.parts
+    }
+
+    /// Reclaim the replica's devices (for recovery or persistence),
+    /// along with the quarantine fault if one was recorded.
+    pub fn into_parts(self) -> (EngineParts, Option<ReplicaError>) {
+        (self.parts, self.fault)
+    }
+
+    /// Apply one sequenced entry.  A failure of any kind quarantines the
+    /// applier: replication faults condemn the replica, never the
+    /// primary (see [`ReplicaError`]).
+    pub fn apply(&mut self, entry: &ReplEntry) -> Result<(), ReplicaError> {
+        if let Some(fault) = &self.fault {
+            return Err(fault.clone());
+        }
+        match self.apply_inner(entry) {
+            Ok(()) => {
+                self.next_seq += 1;
+                Ok(())
+            }
+            Err(e) => {
+                self.fault = Some(e.clone());
+                Err(e)
+            }
+        }
+    }
+
+    fn apply_inner(&mut self, entry: &ReplEntry) -> Result<(), ReplicaError> {
+        if entry.seq != self.next_seq {
+            return Err(ReplicaError::SequenceGap {
+                replica: self.replica,
+                expected: self.next_seq,
+                got: entry.seq,
+            });
+        }
+        let replica = self.replica;
+        let fs: &mut WormFs = match entry.stream.kind {
+            FsKind::Store => &mut self.parts.store_fs,
+            FsKind::Doc => &mut self.parts.doc_fs,
+            FsKind::Pos => self
+                .parts
+                .pos_fs
+                .as_mut()
+                .ok_or(ReplicaError::NoPositionalDevice { replica })?,
+        };
+        let file = entry.stream.file.as_str();
+        match &entry.op {
+            ReplOp::Create {
+                retention_expires_at,
+            } => {
+                fs.create(file, *retention_expires_at)?;
+            }
+            ReplOp::Append { offset } => {
+                fs.replay(file, *offset, &entry.bytes)?;
+                if entry.stream.kind == FsKind::Doc {
+                    if file == CHAIN_FILE {
+                        self.cursor.observe_chain(replica, &entry.bytes)?;
+                    } else if file == DOCMETA_FILE {
+                        self.cursor
+                            .observe_docmeta(replica, entry.bytes.len() as u64)?;
+                    }
+                }
+            }
+            ReplOp::Delete { now } => {
+                let f = fs.open(file)?;
+                fs.delete(f, *now)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::Stream;
+    use tks_worm::{sha256, CommitChain, WormDevice};
+
+    fn fresh_parts() -> EngineParts {
+        EngineParts {
+            store_fs: WormFs::new(WormDevice::new(64)),
+            doc_fs: WormFs::new(WormDevice::new(64)),
+            pos_fs: None,
+        }
+    }
+
+    fn entry(seq: u64, kind: FsKind, file: &str, op: ReplOp, bytes: &[u8]) -> ReplEntry {
+        ReplEntry {
+            seq,
+            stream: Stream {
+                kind,
+                file: file.to_string(),
+            },
+            op,
+            bytes: bytes.to_vec(),
+        }
+    }
+
+    #[test]
+    fn replays_in_sequence_and_refuses_gaps() {
+        let mut a = Applier::new(0, fresh_parts());
+        a.apply(&entry(
+            0,
+            FsKind::Store,
+            "lists/0",
+            ReplOp::Create {
+                retention_expires_at: u64::MAX,
+            },
+            &[],
+        ))
+        .unwrap();
+        a.apply(&entry(
+            1,
+            FsKind::Store,
+            "lists/0",
+            ReplOp::Append { offset: 0 },
+            b"abc",
+        ))
+        .unwrap();
+        // Skipping seq 2 is a gap; the applier quarantines itself.
+        let err = a
+            .apply(&entry(
+                3,
+                FsKind::Store,
+                "lists/0",
+                ReplOp::Append { offset: 3 },
+                b"de",
+            ))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ReplicaError::SequenceGap {
+                expected: 2,
+                got: 3,
+                ..
+            }
+        ));
+        assert!(a.quarantined().is_some());
+        // Even the correct next entry is now refused (sticky).
+        let err = a
+            .apply(&entry(
+                2,
+                FsKind::Store,
+                "lists/0",
+                ReplOp::Append { offset: 3 },
+                b"de",
+            ))
+            .unwrap_err();
+        assert!(matches!(err, ReplicaError::SequenceGap { .. }));
+    }
+
+    #[test]
+    fn wrong_offset_replay_is_refused() {
+        let mut a = Applier::new(0, fresh_parts());
+        a.apply(&entry(
+            0,
+            FsKind::Doc,
+            "f",
+            ReplOp::Create {
+                retention_expires_at: u64::MAX,
+            },
+            &[],
+        ))
+        .unwrap();
+        let err = a
+            .apply(&entry(
+                1,
+                FsKind::Doc,
+                "f",
+                ReplOp::Append { offset: 4 },
+                b"x",
+            ))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ReplicaError::Worm(tks_worm::WormError::ReplayMismatch { .. })
+        ));
+    }
+
+    /// Commit points confirm chain links; heads track the replayed
+    /// chain exactly and only advance at commit points.
+    #[test]
+    fn chain_confirms_only_at_commit_points() {
+        let mut chain = CommitChain::new();
+        let mut a = Applier::new(2, fresh_parts());
+        let mut seq = 0u64;
+        let mut send = |a: &mut Applier, kind, file: &str, op, bytes: &[u8]| {
+            a.apply(&entry(seq, kind, file, op, bytes)).unwrap();
+            seq += 1;
+        };
+        for f in [CHAIN_FILE, DOCMETA_FILE] {
+            send(
+                &mut a,
+                FsKind::Doc,
+                f,
+                ReplOp::Create {
+                    retention_expires_at: u64::MAX,
+                },
+                &[],
+            );
+        }
+        assert_eq!(a.chain_head(), ChainHead::genesis());
+
+        let mut chain_off = 0u64;
+        let mut meta_off = 0u64;
+        for wm in 1..=3u64 {
+            chain.absorb_commit_header(wm - 1, 100 + wm, 4);
+            chain.absorb_text(Some(b"text"));
+            let link = chain.seal(wm);
+            send(
+                &mut a,
+                FsKind::Doc,
+                CHAIN_FILE,
+                ReplOp::Append { offset: chain_off },
+                &link.encode(),
+            );
+            chain_off += ChainLink::ENCODED as u64;
+            // Link shipped but no commit point yet: head unchanged.
+            assert_eq!(a.verified_watermark(), wm - 1);
+            assert_eq!(a.pending_links(), 1);
+            send(
+                &mut a,
+                FsKind::Doc,
+                DOCMETA_FILE,
+                ReplOp::Append { offset: meta_off },
+                &[0u8; 16],
+            );
+            meta_off += 16;
+            chain.advance(&link).unwrap();
+            assert_eq!(a.verified_watermark(), wm);
+            assert_eq!(a.chain_head(), chain.head(), "watermark {wm}");
+        }
+    }
+
+    #[test]
+    fn divergent_link_quarantines() {
+        let mut a = Applier::new(1, fresh_parts());
+        a.apply(&entry(
+            0,
+            FsKind::Doc,
+            CHAIN_FILE,
+            ReplOp::Create {
+                retention_expires_at: u64::MAX,
+            },
+            &[],
+        ))
+        .unwrap();
+        let bogus = ChainLink {
+            prev_head: ChainHead(sha256(b"not the verified head")),
+            commit_digest: sha256(b"payload"),
+            watermark: 1,
+        };
+        let err = a
+            .apply(&entry(
+                1,
+                FsKind::Doc,
+                CHAIN_FILE,
+                ReplOp::Append { offset: 0 },
+                &bogus.encode(),
+            ))
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ReplicaError::ChainDivergence {
+                    replica: 1,
+                    watermark: 1,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        assert!(a.quarantined().is_some());
+    }
+
+    #[test]
+    fn priming_replays_existing_image_state() {
+        // Build an image through one applier, then re-wrap its parts:
+        // the new applier must resume with the same verified state.
+        let mut chain = CommitChain::new();
+        let mut a = Applier::new(0, fresh_parts());
+        let mut seq = 0u64;
+        for f in [CHAIN_FILE, DOCMETA_FILE] {
+            a.apply(&entry(
+                seq,
+                FsKind::Doc,
+                f,
+                ReplOp::Create {
+                    retention_expires_at: u64::MAX,
+                },
+                &[],
+            ))
+            .unwrap();
+            seq += 1;
+        }
+        chain.absorb_commit_header(0, 7, 1);
+        chain.absorb_text(None);
+        let link = chain.seal(1);
+        a.apply(&entry(
+            seq,
+            FsKind::Doc,
+            CHAIN_FILE,
+            ReplOp::Append { offset: 0 },
+            &link.encode(),
+        ))
+        .unwrap();
+        seq += 1;
+        a.apply(&entry(
+            seq,
+            FsKind::Doc,
+            DOCMETA_FILE,
+            ReplOp::Append { offset: 0 },
+            &[0u8; 16],
+        ))
+        .unwrap();
+        chain.advance(&link).unwrap();
+
+        let (parts, fault) = a.into_parts();
+        assert!(fault.is_none());
+        let resumed = Applier::new(0, parts);
+        assert!(resumed.quarantined().is_none());
+        assert_eq!(resumed.verified_watermark(), 1);
+        assert_eq!(resumed.chain_head(), chain.head());
+    }
+}

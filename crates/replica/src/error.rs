@@ -1,0 +1,137 @@
+//! The replication layer's error taxonomy.
+//!
+//! Every variant names the replica it condemns: a replication fault
+//! quarantines *one* backup device, never the primary — the primary's
+//! appends already committed before the tap observed them, so a replica
+//! that cannot keep up (or diverges) is evidence against the replica,
+//! not against the archive.
+
+use tks_worm::{ChainError, ChainHead, WormError};
+
+/// Errors surfaced by the replication protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplicaError {
+    /// A replicated entry arrived out of sequence: the replica missed or
+    /// reordered part of the append stream and can no longer claim to be
+    /// a prefix of the primary's commit sequence.
+    SequenceGap {
+        /// The replica that observed the gap.
+        replica: usize,
+        /// The sequence number the replica expected next.
+        expected: u64,
+        /// The sequence number that actually arrived.
+        got: u64,
+    },
+    /// The replica's replayed commit chain diverged from the primary's:
+    /// the chain link sealed at `watermark` does not extend the head the
+    /// replica verified so far.  The replica's bytes are not the
+    /// primary's bytes, so it is quarantined.
+    ChainDivergence {
+        /// The replica whose chain diverged.
+        replica: usize,
+        /// The watermark the offending link was sealed at.
+        watermark: u64,
+        /// The head the replica's verified chain is at.
+        expected: ChainHead,
+        /// The `prev_head` the replicated link claimed.
+        actual: ChainHead,
+    },
+    /// A commit point (a whole DOCMETA record) arrived without the chain
+    /// link that must precede it — a protocol violation no torn primary
+    /// append can produce, since the tap ships only whole appends in
+    /// commit order.
+    CommitWithoutLink {
+        /// The replica that observed the naked commit point.
+        replica: usize,
+        /// The watermark the unverifiable commit would have reached.
+        watermark: u64,
+    },
+    /// A replicated entry addressed the positional stream of a replica
+    /// provisioned without a positional device (configuration mismatch
+    /// between primary and replica).
+    NoPositionalDevice {
+        /// The replica missing the device.
+        replica: usize,
+    },
+    /// The replica's content is not a prefix of the primary's: a file is
+    /// longer on the replica, deleted on the replica but live on the
+    /// primary, or present on the replica but unknown to the primary.
+    NotAPrefix {
+        /// The replica that is ahead of (or disjoint from) the primary.
+        replica: usize,
+        /// Which file broke the prefix property.
+        file: String,
+        /// What about it broke the property.
+        detail: String,
+    },
+    /// A WORM-layer operation on the replica's own devices failed (a
+    /// refused replay offset, a missing file, …).
+    Worm(WormError),
+    /// A replicated chain-link record failed to decode or extend the
+    /// replica's chain.
+    Chain(ChainError),
+}
+
+impl std::fmt::Display for ReplicaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplicaError::SequenceGap {
+                replica,
+                expected,
+                got,
+            } => write!(
+                f,
+                "replica {replica}: sequence gap (expected entry {expected}, got {got})"
+            ),
+            ReplicaError::ChainDivergence {
+                replica,
+                watermark,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "replica {replica}: chain divergence at watermark {watermark}: link claims prev_head {actual}, verified head is {expected}"
+            ),
+            ReplicaError::CommitWithoutLink { replica, watermark } => write!(
+                f,
+                "replica {replica}: commit point at watermark {watermark} arrived without its chain link"
+            ),
+            ReplicaError::NoPositionalDevice { replica } => write!(
+                f,
+                "replica {replica}: positional entry for a replica with no positional device"
+            ),
+            ReplicaError::NotAPrefix {
+                replica,
+                file,
+                detail,
+            } => write!(
+                f,
+                "replica {replica}: not a prefix of the primary at '{file}': {detail}"
+            ),
+            ReplicaError::Worm(e) => write!(f, "replica device: {e}"),
+            ReplicaError::Chain(e) => write!(f, "replica chain: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplicaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReplicaError::Worm(e) => Some(e),
+            ReplicaError::Chain(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WormError> for ReplicaError {
+    fn from(e: WormError) -> Self {
+        ReplicaError::Worm(e)
+    }
+}
+
+impl From<ChainError> for ReplicaError {
+    fn from(e: ChainError) -> Self {
+        ReplicaError::Chain(e)
+    }
+}

@@ -1,0 +1,40 @@
+//! Per-shard replication and failover: chain-verified primary/backup
+//! append streams with replica promotion and read scaling.
+//!
+//! The WORM model (paper §2) makes replication unusually simple and
+//! unusually checkable.  Devices never rewrite, so the primary's entire
+//! state is its append stream, and a replica that replays that stream
+//! against empty devices is byte-identical by construction.  The commit
+//! chain the engine already maintains (one sealed link per document
+//! commit, hash-chained from genesis) rides along on the stream, which
+//! lets a replica *prove* equality after every commit instead of
+//! trusting the transport: a diverging replica is detected at the first
+//! bad link and quarantined, never silently served.
+//!
+//! | module | role |
+//! |---|---|
+//! | [`entry`] | the replication log: sequenced create/append/delete entries |
+//! | [`apply`] | the sequenced applier — the only mutation path onto replica devices (enforced by `cargo xtask audit`) |
+//! | [`set`] | fan-out: append taps on the primary, catch-up diffing, inline/queued application |
+//! | [`failover`] | recovery-time promotion: choose the image with the longest verified chain prefix |
+//! | [`error`] | the [`ReplicaError`] taxonomy (faults condemn replicas, never the primary) |
+//!
+//! Reads scale because verified replicas at the primary's exact
+//! watermark serve queries interchangeably (`tks-shard` round-robins
+//! across them); writes stay single-primary — the paper's threat model
+//! is a regulated archive, not a multi-writer database.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apply;
+pub mod entry;
+pub mod error;
+pub mod failover;
+pub mod set;
+
+pub use apply::Applier;
+pub use entry::{FsKind, ReplEntry, ReplOp, Stream};
+pub use error::ReplicaError;
+pub use failover::{recover_shard, FailoverOutcome, ReplicaVerdict};
+pub use set::{attach, detach, fresh_images, ApplyMode, ReplicaSet, ReplicaStatus};

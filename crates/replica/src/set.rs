@@ -1,0 +1,672 @@
+//! Fan-out: tapping a primary engine's devices and shipping every
+//! committed mutation to a set of replica appliers.
+//!
+//! A [`ReplicaSet`] owns N [`Applier`]s behind a mutex.  Three
+//! [`FsTap`]s (one per primary device) are installed on the primary's
+//! [`WormFs`](tks_worm::WormFs) instances by [`attach`]; each committed
+//! create/append/delete is assigned the next global sequence number and
+//! fanned out to every healthy replica — applied inline
+//! ([`ApplyMode::Inline`]) or parked on a per-replica queue
+//! ([`ApplyMode::Queued`], drained explicitly with
+//! [`ReplicaSet::drain`]) so tests can interleave replication lag with
+//! reads.
+//!
+//! Attach performs **catch-up** first: the primary's file tables are
+//! diffed against each replica's (by table index — creation order is
+//! part of the replicated state) and the missing suffix is shipped as
+//! ordinary entries through the same applier, so catch-up bytes get the
+//! same chain verification as live ones.  A replica that is *ahead* of
+//! the primary anywhere is not a prefix and is quarantined
+//! ([`ReplicaError::NotAPrefix`]) rather than rewound — WORM devices
+//! cannot rewind.
+
+use crate::apply::Applier;
+use crate::entry::{FsKind, ReplEntry, ReplOp, Stream};
+use crate::error::ReplicaError;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+use tks_core::engine::EngineParts;
+use tks_core::SearchEngine;
+use tks_worm::{AppendTap, ChainHead, FileHandle, WormDevice, WormFs};
+
+/// When replicated entries are applied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApplyMode {
+    /// Apply each entry synchronously inside the tap notification (the
+    /// replica commits in lockstep with the primary).
+    Inline,
+    /// Park entries on a per-replica queue; [`ReplicaSet::drain`]
+    /// applies them.  Models replication lag deterministically for the
+    /// schedule-exploration tests.
+    Queued,
+}
+
+/// One replica: its applier plus its backlog (empty in inline mode).
+#[derive(Debug)]
+struct ReplicaSlot {
+    applier: Applier,
+    queue: VecDeque<ReplEntry>,
+}
+
+#[derive(Debug)]
+struct SetInner {
+    mode: ApplyMode,
+    next_seq: u64,
+    replicas: Vec<ReplicaSlot>,
+}
+
+/// A set of replica appliers fed by the primary's append taps.
+#[derive(Debug)]
+pub struct ReplicaSet {
+    inner: Mutex<SetInner>,
+}
+
+/// Point-in-time status of one replica (for `tks archive replicas` and
+/// the schedule tests' invariant checks).
+#[derive(Debug, Clone)]
+pub struct ReplicaStatus {
+    /// The replica's index in the set.
+    pub replica: usize,
+    /// Documents whose commit points this replica has verified.
+    pub verified_watermark: u64,
+    /// Head of the replica's verified commit chain.
+    pub chain_head: ChainHead,
+    /// The next replication-log sequence number the replica expects.
+    pub applied_seq: u64,
+    /// Entries parked on the replica's queue (queued mode only).
+    pub queued: usize,
+    /// The quarantine fault, if the replica diverged.
+    pub quarantined: Option<String>,
+}
+
+impl ReplicaSet {
+    /// Wrap replica images in appliers.  Images are verified as they are
+    /// wrapped: one whose existing chain state does not verify starts
+    /// out quarantined.
+    pub fn new(images: Vec<EngineParts>, mode: ApplyMode) -> ReplicaSet {
+        let replicas = images
+            .into_iter()
+            .enumerate()
+            .map(|(i, parts)| ReplicaSlot {
+                applier: Applier::new(i, parts),
+                queue: VecDeque::new(),
+            })
+            .collect();
+        ReplicaSet {
+            inner: Mutex::new(SetInner {
+                mode,
+                next_seq: 0,
+                replicas,
+            }),
+        }
+    }
+
+    /// Number of replicas in the set (healthy or quarantined).
+    pub fn len(&self) -> usize {
+        self.lock().replicas.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SetInner> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Assign the next sequence number and fan one mutation out to every
+    /// healthy replica.  Called from the taps (under the primary's
+    /// `&mut` borrow, so observed order is commit order).
+    fn ship(&self, kind: FsKind, file: &str, op: ReplOp, bytes: &[u8]) {
+        let mut inner = self.lock();
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        let mode = inner.mode;
+        for slot in &mut inner.replicas {
+            if slot.applier.quarantined().is_some() {
+                continue;
+            }
+            let entry = ReplEntry {
+                seq,
+                stream: Stream {
+                    kind,
+                    file: file.to_string(),
+                },
+                op: op.clone(),
+                bytes: bytes.to_vec(),
+            };
+            match mode {
+                // A failed apply quarantines the applier internally;
+                // the primary's commit already happened and is not
+                // affected (see the error module docs).
+                ApplyMode::Inline => {
+                    let _ = slot.applier.apply(&entry);
+                }
+                ApplyMode::Queued => slot.queue.push_back(entry),
+            }
+        }
+    }
+
+    /// Apply up to `budget` queued entries on one replica, returning how
+    /// many were applied.  A replica that faults mid-drain keeps its
+    /// remaining backlog (for diagnosis) but applies nothing further.
+    pub fn drain(&self, replica: usize, budget: usize) -> usize {
+        let mut inner = self.lock();
+        let Some(slot) = inner.replicas.get_mut(replica) else {
+            return 0;
+        };
+        let mut applied = 0;
+        while applied < budget {
+            if slot.applier.quarantined().is_some() {
+                break;
+            }
+            let Some(entry) = slot.queue.pop_front() else {
+                break;
+            };
+            if slot.applier.apply(&entry).is_err() {
+                break;
+            }
+            applied += 1;
+        }
+        applied
+    }
+
+    /// Drain every replica's queue to empty (or to its first fault).
+    pub fn drain_all(&self) {
+        let n = self.len();
+        for r in 0..n {
+            loop {
+                if self.drain(r, 1024) == 0 {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Point-in-time status of every replica.
+    pub fn statuses(&self) -> Vec<ReplicaStatus> {
+        let inner = self.lock();
+        inner
+            .replicas
+            .iter()
+            .map(|slot| ReplicaStatus {
+                replica: slot.applier.replica(),
+                verified_watermark: slot.applier.verified_watermark(),
+                chain_head: slot.applier.chain_head(),
+                applied_seq: slot.applier.next_seq(),
+                queued: slot.queue.len(),
+                quarantined: slot.applier.quarantined().map(|e| e.to_string()),
+            })
+            .collect()
+    }
+
+    /// Reclaim the replicas' devices, consuming the set.  Fails (handing
+    /// the `Arc` back) while any tap still holds a reference — call
+    /// [`detach`] first.
+    // audit:allow(error-taxonomy) — try_unwrap idiom: Err hands the `Arc` back.
+    pub fn reclaim(
+        set: Arc<ReplicaSet>,
+    ) -> Result<Vec<(EngineParts, Option<ReplicaError>)>, Arc<ReplicaSet>> {
+        let set = Arc::try_unwrap(set)?;
+        let inner = match set.inner.into_inner() {
+            Ok(inner) => inner,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        Ok(inner
+            .replicas
+            .into_iter()
+            .map(|slot| slot.applier.into_parts())
+            .collect())
+    }
+}
+
+/// The per-device tap: forwards one primary device's commit stream into
+/// the shared set.
+struct FsTap {
+    kind: FsKind,
+    set: Arc<ReplicaSet>,
+}
+
+impl AppendTap for FsTap {
+    fn on_create(&self, file: &str, retention_expires_at: u64) {
+        self.set.ship(
+            self.kind,
+            file,
+            ReplOp::Create {
+                retention_expires_at,
+            },
+            &[],
+        );
+    }
+
+    fn on_append(&self, file: &str, offset: u64, bytes: &[u8]) {
+        self.set
+            .ship(self.kind, file, ReplOp::Append { offset }, bytes);
+    }
+
+    fn on_delete(&self, file: &str, now: u64) {
+        self.set.ship(self.kind, file, ReplOp::Delete { now }, &[]);
+    }
+}
+
+/// Provision `n` empty replica images matching the primary's device
+/// geometry (block sizes, positional sidecar present iff the primary has
+/// one).
+pub fn fresh_images(engine: &SearchEngine, n: usize) -> Vec<EngineParts> {
+    let store_bs = engine.list_store().fs().device().block_size();
+    let doc_bs = engine.doc_fs().device().block_size();
+    let pos_bs = engine.positions_fs().map(|fs| fs.device().block_size());
+    (0..n)
+        .map(|_| EngineParts {
+            store_fs: WormFs::new(WormDevice::new(store_bs)),
+            doc_fs: WormFs::new(WormDevice::new(doc_bs)),
+            pos_fs: pos_bs.map(|bs| WormFs::new(WormDevice::new(bs))),
+        })
+        .collect()
+}
+
+/// Diff one primary device against one replica device (by file-table
+/// index — creation order is replicated state) and produce the entries
+/// that bring the replica level.  Errors mean the replica is *not a
+/// prefix* of the primary and must be quarantined.
+fn catch_up_entries(
+    replica: usize,
+    kind: FsKind,
+    primary: &WormFs,
+    mine: &WormFs,
+) -> Result<Vec<(Stream, ReplOp, Vec<u8>)>, ReplicaError> {
+    let ptable = primary.export_file_table();
+    let mtable = mine.export_file_table();
+    if mtable.len() > ptable.len() {
+        let extra = mtable
+            .get(ptable.len())
+            .map(|f| f.name.clone())
+            .unwrap_or_default();
+        return Err(ReplicaError::NotAPrefix {
+            replica,
+            file: extra,
+            detail: format!(
+                "replica has {} files, primary only {}",
+                mtable.len(),
+                ptable.len()
+            ),
+        });
+    }
+    let mut out = Vec::new();
+    // The chain cursor requires every commit point's link to precede it,
+    // so the commit-point stream's content must ship after the chain
+    // stream's.  Deferring it to the end of the batch preserves that
+    // regardless of file-table order (creates are unaffected — only
+    // appends feed the cursor).
+    let mut deferred = Vec::new();
+    for (i, pf) in ptable.iter().enumerate() {
+        let stream = |name: &str| Stream {
+            kind,
+            file: name.to_string(),
+        };
+        match mtable.get(i) {
+            Some(mf) => {
+                if mf.name != pf.name {
+                    return Err(ReplicaError::NotAPrefix {
+                        replica,
+                        file: mf.name.clone(),
+                        detail: format!("file {} is '{}' on the primary", i, pf.name),
+                    });
+                }
+                if mf.len > pf.len {
+                    return Err(ReplicaError::NotAPrefix {
+                        replica,
+                        file: mf.name.clone(),
+                        detail: format!(
+                            "replica committed {} bytes, primary only {}",
+                            mf.len, pf.len
+                        ),
+                    });
+                }
+                if mf.deleted && !pf.deleted {
+                    return Err(ReplicaError::NotAPrefix {
+                        replica,
+                        file: mf.name.clone(),
+                        detail: "deleted on the replica but live on the primary".to_string(),
+                    });
+                }
+                if mf.deleted && mf.len < pf.len {
+                    return Err(ReplicaError::NotAPrefix {
+                        replica,
+                        file: mf.name.clone(),
+                        detail: "deleted on the replica short of the primary's length".to_string(),
+                    });
+                }
+                if mf.len < pf.len {
+                    let missing = (pf.len - mf.len) as usize;
+                    let bytes = primary.read(FileHandle(i as u32), mf.len, missing)?;
+                    let entry = (stream(&pf.name), ReplOp::Append { offset: mf.len }, bytes);
+                    if kind == FsKind::Doc && pf.name == crate::apply::DOCMETA_FILE {
+                        deferred.push(entry);
+                    } else {
+                        out.push(entry);
+                    }
+                }
+                if pf.deleted && !mf.deleted {
+                    out.push((
+                        stream(&pf.name),
+                        ReplOp::Delete {
+                            now: pf.retention_expires_at,
+                        },
+                        Vec::new(),
+                    ));
+                }
+            }
+            None => {
+                out.push((
+                    stream(&pf.name),
+                    ReplOp::Create {
+                        retention_expires_at: pf.retention_expires_at,
+                    },
+                    Vec::new(),
+                ));
+                if pf.len > 0 {
+                    let bytes = primary.read(FileHandle(i as u32), 0, pf.len as usize)?;
+                    let entry = (stream(&pf.name), ReplOp::Append { offset: 0 }, bytes);
+                    if kind == FsKind::Doc && pf.name == crate::apply::DOCMETA_FILE {
+                        deferred.push(entry);
+                    } else {
+                        out.push(entry);
+                    }
+                }
+                if pf.deleted {
+                    out.push((
+                        stream(&pf.name),
+                        ReplOp::Delete {
+                            now: pf.retention_expires_at,
+                        },
+                        Vec::new(),
+                    ));
+                }
+            }
+        }
+    }
+    out.extend(deferred);
+    Ok(out)
+}
+
+/// Catch every replica up to the primary's current state, then install
+/// the taps so subsequent commits replicate live.
+///
+/// Catch-up entries flow through the ordinary [`Applier`] (with the same
+/// chain verification as live entries); a replica that cannot be caught
+/// up — ahead of the primary, or diverging during replay — is
+/// quarantined and skipped by the live stream.  After catch-up all
+/// healthy appliers are aligned to the set's global sequence counter.
+pub fn attach(engine: &mut SearchEngine, set: &Arc<ReplicaSet>) {
+    {
+        let mut inner = set.lock();
+        let base_seq = inner.next_seq;
+        for slot in &mut inner.replicas {
+            if slot.applier.quarantined().is_some() {
+                continue;
+            }
+            let sources = [
+                (
+                    FsKind::Store,
+                    engine.list_store().fs(),
+                    &slot.applier.parts().store_fs,
+                ),
+                (FsKind::Doc, engine.doc_fs(), &slot.applier.parts().doc_fs),
+            ];
+            let mut entries = Vec::new();
+            let mut fault: Option<ReplicaError> = None;
+            for (kind, pfs, mfs) in sources {
+                match catch_up_entries(slot.applier.replica(), kind, pfs, mfs) {
+                    Ok(e) => entries.extend(e),
+                    Err(e) => {
+                        fault = Some(e);
+                        break;
+                    }
+                }
+            }
+            if fault.is_none() {
+                if let Some(pfs) = engine.positions_fs() {
+                    match slot.applier.parts().pos_fs.as_ref() {
+                        Some(mfs) => {
+                            match catch_up_entries(slot.applier.replica(), FsKind::Pos, pfs, mfs) {
+                                Ok(e) => entries.extend(e),
+                                Err(e) => fault = Some(e),
+                            }
+                        }
+                        None => {
+                            fault = Some(ReplicaError::NoPositionalDevice {
+                                replica: slot.applier.replica(),
+                            })
+                        }
+                    }
+                }
+            }
+            if let Some(e) = fault {
+                slot.applier.quarantine(e);
+                continue;
+            }
+            for (stream, op, bytes) in entries {
+                let entry = ReplEntry {
+                    seq: slot.applier.next_seq(),
+                    stream,
+                    op,
+                    bytes,
+                };
+                if slot.applier.apply(&entry).is_err() {
+                    break;
+                }
+            }
+            slot.applier.align_seq(base_seq);
+        }
+    }
+    install_taps(engine, set);
+}
+
+/// Install the three per-device taps (no catch-up): the caller
+/// guarantees the replicas are already level with the primary.
+fn install_taps(engine: &mut SearchEngine, set: &Arc<ReplicaSet>) {
+    engine.list_store_mut().fs_mut().set_tap(Arc::new(FsTap {
+        kind: FsKind::Store,
+        set: Arc::clone(set),
+    }));
+    engine.doc_fs_mut().set_tap(Arc::new(FsTap {
+        kind: FsKind::Doc,
+        set: Arc::clone(set),
+    }));
+    if let Some(fs) = engine.positions_fs_mut() {
+        fs.set_tap(Arc::new(FsTap {
+            kind: FsKind::Pos,
+            set: Arc::clone(set),
+        }));
+    }
+}
+
+/// Remove the replication taps from a primary engine (dropping the
+/// taps' references to the set, so [`ReplicaSet::reclaim`] can succeed).
+pub fn detach(engine: &mut SearchEngine) {
+    engine.list_store_mut().fs_mut().clear_tap();
+    engine.doc_fs_mut().clear_tap();
+    if let Some(fs) = engine.positions_fs_mut() {
+        fs.clear_tap();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tks_core::{EngineConfig, MergeAssignment};
+    use tks_postings::Timestamp;
+
+    fn engine() -> SearchEngine {
+        SearchEngine::new(EngineConfig {
+            block_size: 64,
+            cache_bytes: 1 << 16,
+            assignment: MergeAssignment::uniform(4),
+            positional: true,
+            ..Default::default()
+        })
+        .unwrap()
+    }
+
+    const DOCS: &[&str] = &[
+        "compliance records on worm storage",
+        "keyword search over retained records",
+        "fossilized index structures resist tampering",
+        "regulatory retention periods expire eventually",
+    ];
+
+    fn fses(e: &SearchEngine) -> [(&WormFs, FsKind); 3] {
+        [
+            (e.list_store().fs(), FsKind::Store),
+            (e.doc_fs(), FsKind::Doc),
+            (e.positions_fs().expect("positional"), FsKind::Pos),
+        ]
+    }
+
+    fn assert_identical_images(engine: &SearchEngine, parts: &EngineParts) {
+        for (pfs, kind) in fses(engine) {
+            let mfs = match kind {
+                FsKind::Store => &parts.store_fs,
+                FsKind::Doc => &parts.doc_fs,
+                FsKind::Pos => parts.pos_fs.as_ref().expect("positional replica"),
+            };
+            let pt = pfs.export_file_table();
+            let mt = mfs.export_file_table();
+            assert_eq!(pt.len(), mt.len(), "{kind}: file counts differ");
+            for (i, (pf, mf)) in pt.iter().zip(&mt).enumerate() {
+                assert_eq!(pf.name, mf.name, "{kind}: file {i} name");
+                assert_eq!(pf.len, mf.len, "{kind}: '{}' length", pf.name);
+                assert_eq!(pf.deleted, mf.deleted, "{kind}: '{}' deleted", pf.name);
+                if pf.len > 0 {
+                    let pb = pfs.read(FileHandle(i as u32), 0, pf.len as usize).unwrap();
+                    let mb = mfs.read(FileHandle(i as u32), 0, mf.len as usize).unwrap();
+                    assert_eq!(pb, mb, "{kind}: '{}' content", pf.name);
+                }
+            }
+        }
+    }
+
+    /// Live replication: attach to an empty engine, index, and the
+    /// replica images are byte-identical with verified chains.
+    #[test]
+    fn live_stream_replicates_byte_identically() {
+        let mut e = engine();
+        let set = Arc::new(ReplicaSet::new(fresh_images(&e, 2), ApplyMode::Inline));
+        attach(&mut e, &set);
+        for (i, d) in DOCS.iter().enumerate() {
+            e.add_document(d, Timestamp(1000 + i as u64)).unwrap();
+        }
+        for st in set.statuses() {
+            assert_eq!(st.quarantined, None);
+            assert_eq!(st.verified_watermark, DOCS.len() as u64);
+            assert_eq!(st.chain_head, e.chain_head());
+        }
+        detach(&mut e);
+        for (parts, fault) in ReplicaSet::reclaim(set).unwrap() {
+            assert!(fault.is_none());
+            assert_identical_images(&e, &parts);
+        }
+    }
+
+    /// Catch-up: attach *after* indexing; the diff brings a fresh image
+    /// level, and subsequent live appends keep it level.
+    #[test]
+    fn catch_up_then_live() {
+        let mut e = engine();
+        for (i, d) in DOCS.iter().take(2).enumerate() {
+            e.add_document(d, Timestamp(1000 + i as u64)).unwrap();
+        }
+        let set = Arc::new(ReplicaSet::new(fresh_images(&e, 1), ApplyMode::Inline));
+        attach(&mut e, &set);
+        let statuses = set.statuses();
+        let st = &statuses[0];
+        assert_eq!(st.quarantined, None, "{:?}", st.quarantined);
+        assert_eq!(st.verified_watermark, 2);
+        for (i, d) in DOCS.iter().skip(2).enumerate() {
+            e.add_document(d, Timestamp(2000 + i as u64)).unwrap();
+        }
+        assert_eq!(set.statuses()[0].verified_watermark, DOCS.len() as u64);
+        assert_eq!(set.statuses()[0].chain_head, e.chain_head());
+        detach(&mut e);
+        let (parts, fault) = ReplicaSet::reclaim(set).unwrap().pop().unwrap();
+        assert!(fault.is_none());
+        assert_identical_images(&e, &parts);
+    }
+
+    /// Queued mode: nothing applies until drained; drained state matches
+    /// the primary's chain at the drained watermark.
+    #[test]
+    fn queued_mode_applies_on_drain() {
+        let mut e = engine();
+        let set = Arc::new(ReplicaSet::new(fresh_images(&e, 1), ApplyMode::Queued));
+        attach(&mut e, &set);
+        for (i, d) in DOCS.iter().enumerate() {
+            e.add_document(d, Timestamp(1000 + i as u64)).unwrap();
+        }
+        assert_eq!(set.statuses()[0].verified_watermark, 0);
+        assert!(set.statuses()[0].queued > 0);
+        set.drain_all();
+        let statuses = set.statuses();
+        let st = &statuses[0];
+        assert_eq!(st.queued, 0);
+        assert_eq!(st.verified_watermark, DOCS.len() as u64);
+        assert_eq!(st.chain_head, e.chain_head());
+    }
+
+    /// A replica that is ahead of the primary is quarantined at attach,
+    /// not rewound.
+    #[test]
+    fn ahead_replica_is_not_a_prefix() {
+        let mut primary = engine();
+        primary.add_document(DOCS[0], Timestamp(1000)).unwrap();
+        // The "replica" image has more documents than the primary.
+        let mut ahead = engine();
+        ahead.add_document(DOCS[0], Timestamp(1000)).unwrap();
+        ahead.add_document(DOCS[1], Timestamp(1001)).unwrap();
+        let set = Arc::new(ReplicaSet::new(vec![ahead.into_parts()], ApplyMode::Inline));
+        attach(&mut primary, &set);
+        let statuses = set.statuses();
+        let q = statuses[0]
+            .quarantined
+            .as_deref()
+            .expect("should quarantine");
+        assert!(q.contains("not a prefix"), "{q}");
+        // Live appends skip the quarantined replica without faulting the
+        // primary.
+        primary.add_document(DOCS[2], Timestamp(1002)).unwrap();
+        assert_eq!(primary.num_docs(), 2);
+    }
+
+    /// Partial catch-up: a replica holding a strict prefix (fewer docs)
+    /// is brought level by the diff alone.
+    #[test]
+    fn prefix_replica_catches_up() {
+        let mut primary = engine();
+        let mut prefix = engine();
+        for (i, d) in DOCS.iter().take(2).enumerate() {
+            primary.add_document(d, Timestamp(1000 + i as u64)).unwrap();
+            prefix.add_document(d, Timestamp(1000 + i as u64)).unwrap();
+        }
+        for (i, d) in DOCS.iter().skip(2).enumerate() {
+            primary.add_document(d, Timestamp(2000 + i as u64)).unwrap();
+        }
+        let set = Arc::new(ReplicaSet::new(
+            vec![prefix.into_parts()],
+            ApplyMode::Inline,
+        ));
+        attach(&mut primary, &set);
+        let statuses = set.statuses();
+        let st = &statuses[0];
+        assert_eq!(st.quarantined, None, "{:?}", st.quarantined);
+        assert_eq!(st.verified_watermark, DOCS.len() as u64);
+        assert_eq!(st.chain_head, primary.chain_head());
+        detach(&mut primary);
+        let (parts, _) = ReplicaSet::reclaim(set).unwrap().pop().unwrap();
+        assert_identical_images(&primary, &parts);
+    }
+}

@@ -13,9 +13,10 @@
 
 use crate::error::ShardError;
 use crate::router::ShardRouter;
-use crate::service::{ShardedSearcher, ShardedWriter, WriterSlot};
+use crate::service::{ReplicaReader, ShardedSearcher, ShardedWriter, WriterSlot};
 use tks_core::engine::EngineParts;
 use tks_core::{EngineConfig, RecoveryReport, SearchEngine};
+use tks_replica::ReplicaVerdict;
 
 /// One shard's state inside the archive (the engine is boxed: a
 /// degraded shard's reason should not cost a whole engine's footprint
@@ -37,6 +38,11 @@ pub struct ShardRecovery {
     /// The typed recovery error, rendered (`Some` ⇔ the shard is
     /// degraded).
     pub error: Option<String>,
+    /// `Some(r)` when replica `r` was promoted over this shard's primary
+    /// (replicated recovery only).
+    pub promoted_from: Option<usize>,
+    /// Per-replica recovery verdicts (replicated recovery only).
+    pub replicas: Vec<ReplicaVerdict>,
 }
 
 impl ShardRecovery {
@@ -51,6 +57,23 @@ pub struct ShardedArchive {
     config: EngineConfig,
     router: ShardRouter,
     states: Vec<ShardState>,
+    /// Per-shard verified standby engines (replicated recovery only):
+    /// replicas whose recovered trust state exactly matched the shard's
+    /// chosen engine.  Consumed by [`into_service`](Self::into_service)
+    /// as read-scaling standbys, or taken whole by
+    /// [`take_standbys`](Self::take_standbys) for write-path
+    /// re-replication.
+    standbys: Vec<Vec<(usize, Box<SearchEngine>)>>,
+}
+
+/// One shard's images for replicated recovery: the primary's devices
+/// plus any number of replica images (a candidate whose devices could
+/// not be loaded arrives as `Err(reason)`).
+pub struct ReplicatedShardParts {
+    /// The primary's devices (or why they could not be loaded).
+    pub primary: Result<EngineParts, String>,
+    /// Replica images, in replica order.
+    pub replicas: Vec<Result<EngineParts, String>>,
 }
 
 impl ShardedArchive {
@@ -64,10 +87,12 @@ impl ShardedArchive {
                 SearchEngine::new(config.clone()).map_err(|e| ShardError::Config(e.to_string()))?;
             states.push(ShardState::Live(Box::new(engine)));
         }
+        let standbys = (0..states.len()).map(|_| Vec::new()).collect();
         Ok(ShardedArchive {
             config,
             router,
             states,
+            standbys,
         })
     }
 
@@ -80,13 +105,16 @@ impl ShardedArchive {
             Some(e) => e.config().clone(),
             None => return Err(ShardError::Config("an archive needs ≥ 1 shard".to_string())),
         };
+        let states: Vec<ShardState> = engines
+            .into_iter()
+            .map(|e| ShardState::Live(Box::new(e)))
+            .collect();
+        let standbys = (0..states.len()).map(|_| Vec::new()).collect();
         Ok(ShardedArchive {
             config,
             router,
-            states: engines
-                .into_iter()
-                .map(|e| ShardState::Live(Box::new(e)))
-                .collect(),
+            states,
+            standbys,
         })
     }
 
@@ -129,6 +157,8 @@ impl ShardedArchive {
                         quarantined_bytes: 0,
                         report: None,
                         error: Some(reason.clone()),
+                        promoted_from: None,
+                        replicas: Vec::new(),
                     });
                     states.push(ShardState::Degraded(reason));
                     continue;
@@ -142,6 +172,8 @@ impl ShardedArchive {
                         quarantined_bytes: report.total_quarantined_bytes(),
                         report: Some(report),
                         error: None,
+                        promoted_from: None,
+                        replicas: Vec::new(),
                     });
                     states.push(ShardState::Live(Box::new(engine)));
                 }
@@ -152,8 +184,78 @@ impl ShardedArchive {
                         quarantined_bytes: 0,
                         report: None,
                         error: Some(reason.clone()),
+                        promoted_from: None,
+                        replicas: Vec::new(),
                     });
                     states.push(ShardState::Degraded(reason));
+                }
+            }
+        }
+        let standbys = (0..states.len()).map(|_| Vec::new()).collect();
+        Ok((
+            ShardedArchive {
+                config,
+                router,
+                states,
+                standbys,
+            },
+            recoveries,
+        ))
+    }
+
+    /// Recover a **replicated** archive: each shard arrives as its
+    /// primary image plus N replica images, and per-shard recovery may
+    /// **promote** a replica over the primary (see
+    /// [`tks_replica::recover_shard`] for the rule: longest verified
+    /// chain prefix wins; a replica is never promoted over a primary
+    /// that recovered more documents).  A shard only degrades when *no*
+    /// candidate — primary or replica — recovers with a verified chain.
+    ///
+    /// Replicas that recover with the chosen engine's exact trust state
+    /// become read-scaling standbys (see
+    /// [`into_service`](Self::into_service)); each shard's
+    /// [`ShardRecovery`] reports the per-replica verdicts and the
+    /// promotion, if one happened.
+    pub fn recover_replicated(
+        shards: Vec<ReplicatedShardParts>,
+        config: EngineConfig,
+    ) -> Result<(Self, Vec<ShardRecovery>), ShardError> {
+        let router = ShardRouter::new(shards.len() as u32)?;
+        let mut states = Vec::with_capacity(shards.len());
+        let mut standbys = Vec::with_capacity(shards.len());
+        let mut recoveries = Vec::with_capacity(shards.len());
+        for (sid, shard_parts) in shards.into_iter().enumerate() {
+            let shard = sid as u32;
+            let outcome =
+                tks_replica::recover_shard(shard_parts.primary, shard_parts.replicas, &config);
+            match outcome.engine {
+                Some(engine) => {
+                    let report = engine.recovery_report().clone();
+                    recoveries.push(ShardRecovery {
+                        shard,
+                        quarantined_bytes: report.total_quarantined_bytes(),
+                        report: Some(report),
+                        error: None,
+                        promoted_from: outcome.promoted_from,
+                        replicas: outcome.replicas,
+                    });
+                    states.push(ShardState::Live(engine));
+                    standbys.push(outcome.standbys);
+                }
+                None => {
+                    let reason = outcome
+                        .degraded_reason
+                        .unwrap_or_else(|| "no recoverable image".to_string());
+                    recoveries.push(ShardRecovery {
+                        shard,
+                        quarantined_bytes: 0,
+                        report: None,
+                        error: Some(reason.clone()),
+                        promoted_from: None,
+                        replicas: outcome.replicas,
+                    });
+                    states.push(ShardState::Degraded(reason));
+                    standbys.push(Vec::new());
                 }
             }
         }
@@ -162,9 +264,24 @@ impl ShardedArchive {
                 config,
                 router,
                 states,
+                standbys,
             },
             recoveries,
         ))
+    }
+
+    /// Take the per-shard standby engines out of the archive (leaving it
+    /// standby-less).  Write-path callers re-seed a live
+    /// [`tks_replica::ReplicaSet`] from these engines' devices instead
+    /// of serving reads from them.
+    pub fn take_standbys(&mut self) -> Vec<Vec<(usize, Box<SearchEngine>)>> {
+        let n = self.states.len();
+        std::mem::replace(&mut self.standbys, (0..n).map(|_| Vec::new()).collect())
+    }
+
+    /// Per-shard standby counts (replica engines that will serve reads).
+    pub fn standby_counts(&self) -> Vec<usize> {
+        self.standbys.iter().map(Vec::len).collect()
     }
 
     /// The archive's per-shard engine configuration.
@@ -217,15 +334,29 @@ impl ShardedArchive {
     /// [`ShardedWriter`] owning one per-shard writer per healthy shard,
     /// and a [`ShardedSearcher`] over the matching snapshots.
     pub fn into_service(self) -> (ShardedWriter, ShardedSearcher) {
+        let mut standbys = self.standbys;
+        standbys.resize_with(self.states.len(), Vec::new);
+        let mut readers = Vec::with_capacity(self.states.len());
         let slots = self
             .states
             .into_iter()
-            .map(|state| match state {
-                ShardState::Live(engine) => WriterSlot::Live(tks_core::service(*engine).0),
-                ShardState::Degraded(reason) => WriterSlot::Degraded(reason),
+            .zip(standbys)
+            .map(|(state, sbs)| match state {
+                ShardState::Live(engine) => {
+                    readers.push(
+                        sbs.into_iter()
+                            .map(|(_, e)| ReplicaReader::from_engine(*e))
+                            .collect(),
+                    );
+                    WriterSlot::Live(tks_core::service(*engine).0)
+                }
+                ShardState::Degraded(reason) => {
+                    readers.push(Vec::new());
+                    WriterSlot::Degraded(reason)
+                }
             })
             .collect();
-        let writer = ShardedWriter::from_slots(self.router, slots);
+        let writer = ShardedWriter::from_slots(self.router, slots).with_replica_readers(readers);
         let searcher = writer.searcher();
         (writer, searcher)
     }
@@ -351,24 +482,28 @@ mod tests {
     }
 
     #[test]
-    fn pinned_searcher_freezes_the_watermark_vector() {
+    fn session_freezes_the_watermark_vector() {
         let (mut writer, searcher) = ShardedArchive::create(config(), 2).unwrap().into_service();
         for &(text, ts) in &CORPUS[..4] {
             writer.commit(text, Timestamp(ts)).unwrap();
         }
-        let pinned = writer.searcher().pin();
-        let vector = pinned.watermarks();
-        let hits_before = pinned.execute(Query::conjunctive("beta")).unwrap().hits;
+        let session = crate::session::QuerySession::open(&writer.searcher());
+        let vector = session.watermarks().to_vec();
+        let hits_before = session.execute(Query::conjunctive("beta")).unwrap().hits;
         for &(text, ts) in &CORPUS[4..] {
             writer.commit(text, Timestamp(ts)).unwrap();
         }
-        assert_eq!(pinned.watermarks(), vector, "pin must freeze every shard");
         assert_eq!(
-            pinned.execute(Query::conjunctive("beta")).unwrap().hits,
-            hits_before,
-            "pinned reads are repeatable"
+            session.watermarks(),
+            vector,
+            "a session must freeze every shard"
         );
-        // The unpinned searcher moved on.
+        assert_eq!(
+            session.execute(Query::conjunctive("beta")).unwrap().hits,
+            hits_before,
+            "session reads are repeatable"
+        );
+        // The live searcher moved on.
         assert_eq!(searcher.visible_docs(), CORPUS.len() as u64);
     }
 

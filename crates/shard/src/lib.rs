@@ -43,11 +43,11 @@ pub mod router;
 pub mod service;
 pub mod session;
 
-pub use archive::{ShardRecovery, ShardedArchive};
+pub use archive::{ReplicatedShardParts, ShardRecovery, ShardedArchive};
 pub use error::ShardError;
 pub use router::{local_of, shard_of, ShardRouter, MAX_SHARDS, SHARD_ID_SHIFT};
 pub use service::{
-    DegradedShard, ShardBatchFailure, ShardStatus, ShardedBatchError, ShardedResponse,
-    ShardedSearcher, ShardedWriter,
+    DegradedShard, ReplicaReader, ShardBatchFailure, ShardStatus, ShardedBatchError,
+    ShardedResponse, ShardedSearcher, ShardedWriter,
 };
 pub use session::QuerySession;

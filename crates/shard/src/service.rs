@@ -23,6 +23,7 @@
 
 use crate::error::ShardError;
 use crate::router::ShardRouter;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use tks_core::engine::SearchHit;
@@ -110,6 +111,37 @@ impl Drop for ScatterPool {
     }
 }
 
+/// A verified standby replica serving reads for one shard.
+///
+/// The reader holds a **pinned** snapshot of a replica engine whose
+/// recovery-time trust state (watermark, chain head, quarantine count)
+/// exactly matched the shard's primary.  It is only consulted while the
+/// primary's visible watermark still equals the replica's — once the
+/// primary commits past the snapshot, the replica silently drops out of
+/// rotation rather than serve a stale (and chain-head-mismatched) view.
+#[derive(Clone)]
+pub struct ReplicaReader {
+    searcher: Searcher,
+    watermark: u64,
+}
+
+impl ReplicaReader {
+    /// Wrap a recovered standby engine in a pinned read snapshot.
+    pub(crate) fn from_engine(engine: SearchEngine) -> ReplicaReader {
+        let (_writer, searcher) = tks_core::service(engine);
+        let pinned = searcher.pin();
+        ReplicaReader {
+            watermark: pinned.visible_docs(),
+            searcher: pinned,
+        }
+    }
+
+    /// The snapshot watermark this replica serves at.
+    pub fn watermark(&self) -> u64 {
+        self.watermark
+    }
+}
+
 /// A shard the archive can no longer serve: recovery refused it.
 #[derive(Debug, Clone)]
 pub struct DegradedShard {
@@ -130,6 +162,7 @@ pub struct ShardedWriter {
     router: ShardRouter,
     slots: Vec<WriterSlot>,
     pool: Arc<ScatterPool>,
+    replicas: Arc<Vec<Vec<ReplicaReader>>>,
 }
 
 /// One shard's contribution to a failed batch commit.
@@ -188,7 +221,15 @@ impl ShardedWriter {
             router,
             slots,
             pool,
+            replicas: Arc::new(Vec::new()),
         }
+    }
+
+    /// Attach per-shard standby readers (indexed by shard id) for
+    /// searchers derived from this writer to round-robin over.
+    pub(crate) fn with_replica_readers(mut self, readers: Vec<Vec<ReplicaReader>>) -> Self {
+        self.replicas = Arc::new(readers);
+        self
     }
 
     /// The router (for callers that need to know a document's shard
@@ -400,6 +441,8 @@ impl ShardedWriter {
                 .collect(),
             degraded: degraded.into(),
             pool: Arc::clone(&self.pool),
+            replicas: Arc::clone(&self.replicas),
+            rr: Arc::new(AtomicUsize::new(0)),
         }
     }
 
@@ -428,6 +471,7 @@ impl ShardedWriter {
         }
         let router = self.router;
         let pool = self.pool;
+        let replicas = self.replicas;
         let mut failed = false;
         let got: Vec<Got> = self
             .slots
@@ -458,6 +502,7 @@ impl ShardedWriter {
                 router,
                 slots,
                 pool,
+                replicas,
             });
         }
         Ok(got
@@ -612,6 +657,12 @@ pub struct ShardedSearcher {
     slots: Vec<Option<Searcher>>,
     degraded: Arc<[DegradedShard]>,
     pool: Arc<ScatterPool>,
+    /// Per-shard verified standby readers (indexed by shard id; empty
+    /// for archives recovered without replicas).
+    replicas: Arc<Vec<Vec<ReplicaReader>>>,
+    /// Round-robin cursor over `primary + eligible replicas`, shared by
+    /// clones so concurrent readers spread across the replica engines.
+    rr: Arc<AtomicUsize>,
 }
 
 impl ShardedSearcher {
@@ -642,6 +693,50 @@ impl ShardedSearcher {
             .map(|d| d.reason.clone())
     }
 
+    /// Standby readers provisioned for one shard (eligible or not).
+    pub fn replica_readers(&self, shard: u32) -> usize {
+        self.replicas.get(shard as usize).map_or(0, Vec::len)
+    }
+
+    /// Standby readers currently eligible to serve one shard's reads:
+    /// their pinned watermark equals the shard's visible watermark, so
+    /// they return byte-identical responses with the same chain head.
+    pub fn eligible_replicas(&self, shard: u32) -> usize {
+        let Some(primary) = self.shard(shard) else {
+            return 0;
+        };
+        let wm = primary.visible_docs();
+        self.replicas
+            .get(shard as usize)
+            .map_or(0, |rs| rs.iter().filter(|r| r.watermark == wm).count())
+    }
+
+    /// Pick the reader serving this shard for one execution: the
+    /// primary, or — round-robin — a verified standby whose snapshot
+    /// watermark equals the primary's current visible watermark.  The
+    /// verified-read invariant: a replica is only ever consulted at a
+    /// watermark where recovery proved its chain head equal to the
+    /// primary's, so substituting it cannot change any response field.
+    fn route_read<'a>(&'a self, sid: usize, primary: &'a Searcher) -> &'a Searcher {
+        let Some(candidates) = self.replicas.get(sid) else {
+            return primary;
+        };
+        if candidates.is_empty() {
+            return primary;
+        }
+        let wm = primary.visible_docs();
+        let eligible: Vec<&ReplicaReader> =
+            candidates.iter().filter(|r| r.watermark == wm).collect();
+        if eligible.is_empty() {
+            return primary;
+        }
+        let k = self.rr.fetch_add(1, Ordering::Relaxed) % (eligible.len() + 1);
+        match k.checked_sub(1).and_then(|i| eligible.get(i)) {
+            Some(r) => &r.searcher,
+            None => primary,
+        }
+    }
+
     /// Scatter `query` across every healthy shard, gather, and merge.
     ///
     /// A typed error from any consulted shard fails the whole query:
@@ -654,7 +749,7 @@ impl ShardedSearcher {
             .slots
             .iter()
             .enumerate()
-            .filter_map(|(sid, slot)| slot.as_ref().map(|s| (sid, s)))
+            .filter_map(|(sid, slot)| slot.as_ref().map(|s| (sid, self.route_read(sid, s))))
             .collect();
         if live.is_empty() {
             return Err(ShardError::NoHealthyShards);
@@ -810,16 +905,14 @@ impl ShardedSearcher {
     /// executions see identical per-shard prefixes even while writers
     /// keep committing.
     ///
-    /// **Deprecated in favour of [`QuerySession`]**: sessions bundle the
-    /// pin, its watermark vector, and batch execution behind one handle
-    /// (and can [`refresh`](crate::session::QuerySession::refresh)
-    /// in place).  Prefer
-    /// [`QuerySession::open`](crate::session::QuerySession::open) in new
-    /// code; `pin` remains for low-level callers that manage snapshot
-    /// lifetimes themselves.
-    ///
-    /// [`QuerySession`]: crate::session::QuerySession
-    pub fn pin(&self) -> ShardedSearcher {
+    /// Crate-internal: the public path is
+    /// [`QuerySession::open`](crate::session::QuerySession::open), which
+    /// bundles the pin, its watermark vector, and batch execution behind
+    /// one handle (and can
+    /// [`refresh`](crate::session::QuerySession::refresh) in place).
+    /// The long-deprecated public `pin()` was removed; sessions are the
+    /// only supported way to hold a repeatable-read snapshot.
+    pub(crate) fn pin(&self) -> ShardedSearcher {
         ShardedSearcher {
             router: self.router,
             slots: self
@@ -829,6 +922,8 @@ impl ShardedSearcher {
                 .collect(),
             degraded: Arc::clone(&self.degraded),
             pool: Arc::clone(&self.pool),
+            replicas: Arc::clone(&self.replicas),
+            rr: Arc::clone(&self.rr),
         }
     }
 

@@ -99,6 +99,18 @@ pub enum WormError {
     /// directory, unreadable archive root); see
     /// [`LayoutError`](crate::LayoutError).
     Layout(crate::LayoutError),
+    /// A replicated append arrived at the wrong offset: the replica's
+    /// committed length does not match where the primary committed these
+    /// bytes, i.e. the replica missed, duplicated, or reordered part of
+    /// the append stream (see [`WormFs::replay`](crate::WormFs::replay)).
+    ReplayMismatch {
+        /// File name.
+        name: String,
+        /// Offset the entry was committed at on the primary.
+        expected: u64,
+        /// Committed length of the file on this replica.
+        actual: u64,
+    },
     /// An armed [`FaultPolicy`](crate::FaultPolicy) killed this append
     /// (crash/fault simulation).  The first `committed` bytes of the
     /// append are durably on the device — a torn write — and the rest
@@ -139,6 +151,10 @@ impl fmt::Display for WormError {
                 write!(f, "read to offset {end} of '{name}' exceeds length {len}")
             }
             WormError::Layout(e) => write!(f, "archive layout: {e}"),
+            WormError::ReplayMismatch { name, expected, actual } => write!(
+                f,
+                "replay of '{name}' at offset {expected} refused: replica committed length is {actual}"
+            ),
             WormError::InjectedFault {
                 block,
                 committed,

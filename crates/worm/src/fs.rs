@@ -14,7 +14,9 @@
 
 use crate::device::{BlockId, TamperAttempt, TamperKind, WormDevice, WormError};
 use crate::persist::PersistError;
+use crate::tap::AppendTap;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Handle to an open append-only file (an index into the fs file table).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -65,6 +67,24 @@ pub struct WormFs {
     device: WormDevice,
     files: Vec<FileMeta>,
     by_name: HashMap<String, FileHandle>,
+    /// Runtime-only replication observer; never persisted (see
+    /// [`tap`](crate::tap)).
+    tap: TapSlot,
+}
+
+/// Holder for the optional [`AppendTap`], so `WormFs` keeps deriving
+/// `Debug` without requiring it of tap implementations.
+#[derive(Default)]
+struct TapSlot(Option<Arc<dyn AppendTap>>);
+
+impl std::fmt::Debug for TapSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.0.is_some() {
+            "TapSlot(attached)"
+        } else {
+            "TapSlot(none)"
+        })
+    }
 }
 
 impl WormFs {
@@ -74,7 +94,29 @@ impl WormFs {
             device,
             files: Vec::new(),
             by_name: HashMap::new(),
+            tap: TapSlot(None),
         }
+    }
+
+    /// Attach a replication tap, replacing any previous one.
+    ///
+    /// The tap is notified after every subsequent successful mutation
+    /// (see [`AppendTap`]); it observes, never vetoes.  Taps are
+    /// runtime-only state: they survive neither
+    /// [`export_file_table`](Self::export_file_table)/[`import`](Self::import)
+    /// nor the image persistence built on them.
+    pub fn set_tap(&mut self, tap: Arc<dyn AppendTap>) {
+        self.tap = TapSlot(Some(tap));
+    }
+
+    /// Detach the replication tap, returning it if one was attached.
+    pub fn clear_tap(&mut self) -> Option<Arc<dyn AppendTap>> {
+        self.tap.0.take()
+    }
+
+    /// Whether a replication tap is currently attached.
+    pub fn has_tap(&self) -> bool {
+        self.tap.0.is_some()
     }
 
     /// The underlying device (read-only access, e.g. for audits).
@@ -110,6 +152,9 @@ impl WormFs {
             deleted: false,
         });
         self.by_name.insert(name.to_string(), handle);
+        if let Some(tap) = self.tap.0.as_ref() {
+            tap.on_create(name, retention_expires_at);
+        }
         Ok(handle)
     }
 
@@ -146,9 +191,11 @@ impl WormFs {
     /// Returns the file offset at which the bytes begin.  Per the WORM
     /// append extension, this is legal on committed files; it can never
     /// disturb previously committed bytes.
-    pub fn append(&mut self, f: FileHandle, mut bytes: &[u8]) -> crate::Result<u64> {
+    pub fn append(&mut self, f: FileHandle, bytes: &[u8]) -> crate::Result<u64> {
         let start = self.files[f.0 as usize].len;
         let block_size = self.device.block_size();
+        let mut bytes = bytes;
+        let whole = bytes;
         while !bytes.is_empty() {
             let meta = &self.files[f.0 as usize];
             let tail = match meta.blocks.last() {
@@ -166,7 +213,37 @@ impl WormFs {
             self.files[f.0 as usize].len += take as u64;
             bytes = &bytes[take..];
         }
+        // Post-commit notification: a fault above returned early, so the
+        // tap only ever observes fully durable appends.
+        if let (Some(tap), Some(meta)) = (self.tap.0.as_ref(), self.files.get(f.0 as usize)) {
+            if !whole.is_empty() {
+                tap.on_append(&meta.name, start, whole);
+            }
+        }
         Ok(start)
+    }
+
+    /// Apply one replicated append at its expected offset — the
+    /// replay-apply half of the replication protocol (see
+    /// [`tap`](crate::tap) and `tks-replica`).
+    ///
+    /// Verifies the file's committed length equals `at` before writing:
+    /// a mismatch means this device missed, duplicated, or reordered
+    /// part of the replicated append stream, and blindly appending
+    /// would silently diverge from the primary.  Refused replays return
+    /// the typed [`WormError::ReplayMismatch`] so the caller can
+    /// quarantine the device instead.
+    pub fn replay(&mut self, file: &str, at: u64, bytes: &[u8]) -> crate::Result<u64> {
+        let f = self.open(file)?;
+        let actual = self.len(f);
+        if actual != at {
+            return Err(WormError::ReplayMismatch {
+                name: file.to_string(),
+                expected: at,
+                actual,
+            });
+        }
+        self.append(f, bytes)
     }
 
     /// Read `len` bytes at `offset`, crossing block boundaries as needed.
@@ -292,6 +369,9 @@ impl WormFs {
         let name = self.files[f.0 as usize].name.clone();
         self.files[f.0 as usize].deleted = true;
         self.by_name.remove(&name);
+        if let Some(tap) = self.tap.0.as_ref() {
+            tap.on_delete(&name, now);
+        }
         Ok(())
     }
 
@@ -375,6 +455,7 @@ impl WormFs {
             device,
             files,
             by_name,
+            tap: TapSlot(None),
         })
     }
 

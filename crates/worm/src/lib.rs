@@ -42,6 +42,7 @@
 //! | [`cache`] | [`StorageCache`]: NV-cache I/O accounting simulator |
 //! | [`stats`] | [`IoStats`]: random-I/O counters |
 //! | [`chain`] | [`CommitChain`]: SHA-256 hash chain over commit points |
+//! | [`tap`] | [`AppendTap`]: post-commit append-stream observation for replication |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -55,6 +56,7 @@ pub mod layout;
 pub mod lru;
 pub mod persist;
 pub mod stats;
+pub mod tap;
 
 pub use cache::{AccessKind, CacheConfig, StorageCache};
 pub use chain::{sha256, ChainError, ChainHead, ChainLink, CommitChain, Sha256};
@@ -65,6 +67,7 @@ pub use layout::{discover_shard_dirs, parse_shard_dir, shard_dir_name, LayoutErr
 pub use lru::LruCore;
 pub use persist::{load_fs, save_fs, PersistError};
 pub use stats::{AtomicIoStats, IoStats};
+pub use tap::AppendTap;
 
 /// Result alias for WORM-device operations.
 pub type Result<T> = std::result::Result<T, WormError>;

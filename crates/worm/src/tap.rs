@@ -1,0 +1,40 @@
+//! Append-stream observation: the replication tap.
+//!
+//! A [`WormFs`](crate::WormFs) optionally carries an [`AppendTap`] — an
+//! observer notified *after* every successful structure-changing
+//! operation (file creation, append, legal deletion).  The tap sees
+//! exactly the bytes the device durably committed, in commit order,
+//! which makes it the natural source for a replication log: a consumer
+//! that replays the observed stream against an empty file system
+//! reconstructs a byte-identical image (see `tks-replica`).
+//!
+//! Two properties matter for crash consistency:
+//!
+//! * **Post-commit only.** The tap fires only once an operation fully
+//!   succeeded.  A torn append (device fault mid-write) leaves residue
+//!   on the *primary* device but is never shipped — replicas only ever
+//!   contain fully acknowledged bytes, so a replica's content is always
+//!   a prefix of the primary's commit stream.
+//! * **In-order.** Notifications happen under the `&mut self` borrow of
+//!   the file system performing the mutation, so observed order is
+//!   commit order; a tap that assigns sequence numbers as it is called
+//!   produces the canonical replication log.
+
+/// Observer of successful [`WormFs`](crate::WormFs) mutations.
+///
+/// Implementations must be cheap and infallible: the tap is invoked on
+/// the commit path and has no way to veto an already-durable operation.
+/// Replication-side failures are the *consumer's* state (e.g. a replica
+/// quarantining itself), never the primary's.
+pub trait AppendTap: Send + Sync {
+    /// A file was created (empty, retained until `retention_expires_at`).
+    fn on_create(&self, file: &str, retention_expires_at: u64);
+
+    /// `bytes` were appended to `file` starting at `offset` and are now
+    /// durably committed on the device.
+    fn on_append(&self, file: &str, offset: u64, bytes: &[u8]);
+
+    /// `file` was legally deleted at logical time `now` (its retention
+    /// period had expired).
+    fn on_delete(&self, file: &str, now: u64);
+}

@@ -64,6 +64,23 @@ const OVERWRITE_APIS: [&str; 7] = [
 /// above it) cannot be bypassed by the orchestration layer.  The opaque
 /// `EngineParts` pass-through is allowed — it carries devices to recovery
 /// without granting access to them.
+/// The replication crate's applier module — the one file that may mutate
+/// a replica's WORM devices (`WormFs::replay` behind chain verification).
+const REPLICA_APPLIER: &str = "crates/replica/src/apply.rs";
+
+/// WORM mutation APIs denied in the replication crate outside the applier:
+/// every byte on a replica device must arrive through the chain-verified
+/// `Applier`.  `crash_recover` is deliberately absent — quarantining torn
+/// residue at replica reboot is recovery, not replication.
+const REPLICA_MUTATION_IDENTS: [&str; 6] = [
+    "append",
+    "replay",
+    "create",
+    "delete",
+    "import",
+    "device_mut",
+];
+
 const SHARD_STORAGE_IDENTS: [&str; 13] = [
     "WormFs",
     "WormDevice",
@@ -221,6 +238,42 @@ pub fn shard_isolation(files: &[SourceFile], sink: &mut Sink) {
                             "`{id}` is a storage-layer API; the shard layer is pure \
                              orchestration and must reach storage only through the \
                              engine/service interface"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Rule `replica-apply-only`: non-test code in `crates/replica` outside
+/// the applier module must not name any WORM mutation API.  The applier
+/// is the single point where replicated bytes land on a backup device,
+/// and it verifies the commit chain before acknowledging every commit
+/// point; a second mutation path (fan-out, catch-up, failover) could
+/// write bytes no chain link vouches for — exactly the divergence
+/// replication exists to detect.
+pub fn replica_apply_only(files: &[SourceFile], sink: &mut Sink) {
+    for file in files
+        .iter()
+        .filter(|f| f.rel.starts_with("crates/replica/src/") && f.rel != REPLICA_APPLIER)
+    {
+        for line in file.lines() {
+            if line.in_test {
+                continue;
+            }
+            for (col, id) in idents(line.code) {
+                if REPLICA_MUTATION_IDENTS.contains(&id) {
+                    sink.emit(
+                        file,
+                        "replica-apply-only",
+                        Severity::Deny,
+                        line.number,
+                        col,
+                        format!(
+                            "`{id}` is a WORM mutation API; replica devices change \
+                             only through the chain-verified applier module \
+                             (`{REPLICA_APPLIER}`)"
                         ),
                     );
                 }
@@ -835,6 +888,45 @@ fn intern(&mut self) -> Result<(), E> {
         let report = run(chain_append_discipline, &[core_fixture(src)]);
         assert!(report.findings.is_empty(), "{:?}", report.findings);
         assert_eq!(report.suppressed, 1);
+    }
+
+    #[test]
+    fn replica_apply_only_denies_mutation_outside_the_applier() {
+        let set = SourceFile::from_source(
+            PathBuf::from("crates/replica/src/set.rs"),
+            "crates/replica/src/set.rs".to_string(),
+            "fn sneak(fs: &mut WormFs, f: FileHandle) {\n    let _ = fs.append(f, b\"x\");\n}\n"
+                .to_string(),
+        );
+        let applier = SourceFile::from_source(
+            PathBuf::from("crates/replica/src/apply.rs"),
+            "crates/replica/src/apply.rs".to_string(),
+            "fn land(fs: &mut WormFs, f: FileHandle) {\n    let _ = fs.replay(f, 0, b\"x\");\n}\n"
+                .to_string(),
+        );
+        let report = run(replica_apply_only, &[set, applier]);
+        assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+        assert_eq!(report.findings[0].rule, "replica-apply-only");
+        assert_eq!(report.findings[0].file, "crates/replica/src/set.rs");
+        assert_eq!(report.findings[0].line, 2);
+    }
+
+    #[test]
+    fn replica_apply_only_skips_tests_and_other_crates() {
+        let set = SourceFile::from_source(
+            PathBuf::from("crates/replica/src/set.rs"),
+            "crates/replica/src/set.rs".to_string(),
+            "#[cfg(test)]\nmod tests {\n    fn t(fs: &mut WormFs, f: FileHandle) { fs.append(f, b\"x\").unwrap(); }\n}\n"
+                .to_string(),
+        );
+        let other = SourceFile::from_source(
+            PathBuf::from("crates/core/src/engine.rs"),
+            "crates/core/src/engine.rs".to_string(),
+            "fn commit(fs: &mut WormFs, f: FileHandle) {\n    let _ = fs.append(f, b\"x\");\n}\n"
+                .to_string(),
+        );
+        let report = run(replica_apply_only, &[set, other]);
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub mod structural;
 pub use coverage::taxonomy_coverage;
 pub use lexical::{
     chain_append_discipline, commit_point_order, error_taxonomy, forbid_unsafe, hot_path_io,
-    no_panic_in_prod, shard_isolation, wire_versioning, worm_append_only,
+    no_panic_in_prod, replica_apply_only, shard_isolation, wire_versioning, worm_append_only,
 };
 pub use structural::{atomic_ordering, guard_across_io, trusted_conjunction};
 
@@ -42,12 +42,13 @@ use std::collections::BTreeSet;
 /// Production crates subject to the panic and taxonomy rules: the storage
 /// and query layers whose failures must surface as typed errors (a crash
 /// during a compliance lookup is indistinguishable from a hidden record).
-pub const PROD_PREFIXES: [&str; 7] = [
+pub const PROD_PREFIXES: [&str; 8] = [
     "crates/core/src/",
     "crates/worm/src/",
     "crates/jump/src/",
     "crates/postings/src/",
     "crates/shard/src/",
+    "crates/replica/src/",
     "crates/server/src/",
     "crates/client/src/",
 ];
@@ -82,7 +83,7 @@ pub struct RuleMeta {
 
 /// Every rule the audit runs, in execution order.  SARIF output indexes
 /// into this table.
-pub const RULES: [RuleMeta; 13] = [
+pub const RULES: [RuleMeta; 14] = [
     RuleMeta {
         id: "no-panic-in-prod",
         summary: "no unwrap/expect or panicking macros in production code; \
@@ -135,6 +136,13 @@ pub const RULES: [RuleMeta; 13] = [
         id: "chain-append-discipline",
         summary: "commit-path WORM appends happen only in functions that feed \
                   the commit-chain hasher",
+        severity: Severity::Deny,
+    },
+    RuleMeta {
+        id: "replica-apply-only",
+        summary: "replica devices mutate only through the verified applier \
+                  module; the rest of the replication crate may not name \
+                  WORM mutation APIs",
         severity: Severity::Deny,
     },
     RuleMeta {
@@ -226,6 +234,7 @@ pub fn run_all(files: &[SourceFile], report: &mut Report) -> BTreeSet<(String, u
     hot_path_io(files, &mut sink);
     commit_point_order(files, &mut sink);
     chain_append_discipline(files, &mut sink);
+    replica_apply_only(files, &mut sink);
     trusted_conjunction(files, &mut sink);
     atomic_ordering(files, &mut sink);
     guard_across_io(files, &mut sink);

@@ -187,6 +187,74 @@ pub fn fixture(engine: &Engine) -> usize {
 }
 
 #[test]
+fn replica_apply_only_denies_mutation_outside_the_applier_module() {
+    let mutating = r##"#![forbid(unsafe_code)]
+pub(crate) fn sneak(fs: &mut WormFs, f: FileHandle) {
+    let _ = fs.append(f, b"x");
+    let _ = fs.replay(f, 0, b"x");
+}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t(fs: &mut WormFs, f: FileHandle) {
+        fs.append(f, b"x").unwrap();
+    }
+}
+"##;
+    let (report, root) = audit_fixture(&[
+        ("crates/replica/src/set.rs", mutating),
+        ("crates/replica/src/apply.rs", mutating),
+        ("crates/core/src/commit.rs", mutating),
+    ]);
+    let hits = rules_of(&report, "replica-apply-only");
+    assert_eq!(
+        hits,
+        vec![
+            "crates/replica/src/set.rs:3 deny",
+            "crates/replica/src/set.rs:4 deny",
+        ],
+        "mutation APIs flag in the replication crate outside apply.rs only; \
+         the applier module, cfg(test) code, and other crates do not"
+    );
+    cleanup(root);
+}
+
+#[test]
+fn replica_apply_only_accepts_recovery_and_read_paths() {
+    let (report, root) = audit_fixture(&[(
+        "crates/replica/src/failover.rs",
+        r##"#![forbid(unsafe_code)]
+pub(crate) fn reboot(parts: &mut EngineParts) -> u64 {
+    let q = parts.store_fs.crash_recover().unwrap_or(0);
+    let _ = parts.store_fs.len();
+    q
+}
+"##,
+    )]);
+    assert!(
+        rules_of(&report, "replica-apply-only").is_empty(),
+        "crash recovery and read accessors are not replication mutations"
+    );
+    cleanup(root);
+}
+
+#[test]
+fn replica_apply_only_honours_inline_allow() {
+    let (report, root) = audit_fixture(&[(
+        "crates/replica/src/set.rs",
+        r##"#![forbid(unsafe_code)]
+pub(crate) fn seed(fs: &mut WormFs) {
+    // audit:allow(replica-apply-only) — fixture exception
+    let _ = fs.create("f", 0);
+}
+"##,
+    )]);
+    assert!(rules_of(&report, "replica-apply-only").is_empty());
+    assert_eq!(report.suppressed, 1);
+    cleanup(root);
+}
+
+#[test]
 fn forbid_unsafe_flags_blocks_and_missing_attr() {
     let (report, root) = audit_fixture(&[(
         "crates/ght/src/lib.rs",

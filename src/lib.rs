@@ -32,7 +32,13 @@
 //! * [`shard`] — the sharded multi-archive engine: hash-partitioned WORM
 //!   shards behind one writer/searcher pair, scatter-gather query
 //!   execution with conservative trust merging, and per-shard fault
-//!   isolation (a dead shard degrades, the archive keeps answering).
+//!   isolation (a dead shard degrades, the archive keeps answering);
+//! * [`replica`] — chain-verified per-shard replication: deterministic
+//!   primary/backup append streams fan each shard's WORM writes to
+//!   backup devices, commit points carry the sealed chain links a
+//!   replica verifies before advancing, and recovery promotes the
+//!   replica with the longest verified chain prefix when the primary is
+//!   lost (surviving verified replicas serve reads round-robin).
 //!
 //! ## Quickstart
 //!
@@ -96,6 +102,7 @@ pub use tks_corpus as corpus;
 pub use tks_ght as ght;
 pub use tks_jump as jump;
 pub use tks_postings as postings;
+pub use tks_replica as replica;
 pub use tks_shard as shard;
 pub use tks_worm as worm;
 

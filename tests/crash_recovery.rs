@@ -537,6 +537,208 @@ fn sharded_interior_damage_degrades_only_the_victim() {
     }
 }
 
+// ---------------------------------------------------------------------
+// Replicated family: chain-verified failover.  The primary's append
+// stream fans out to replica devices *post-commit only*, so a torn
+// primary append never reaches a replica.  Tear the primary at every
+// byte: recovery over primary + replicas must never degrade (a verified
+// replica always exists), must converge to the surviving-document
+// reference bit-for-bit (same hits, same scores, `trusted == true`,
+// same chain head), and must promote a replica whenever it verifiably
+// preserves more than the torn primary.
+// ---------------------------------------------------------------------
+
+const REPLICAS: usize = 2;
+
+/// Commit the corpus with `policy` armed on the primary's `target`
+/// device and `REPLICAS` inline replicas attached, treating the first
+/// commit error as a crash.  Reboots the primary (the replicas' devices
+/// never faulted) and recovers the shard through the failover path.
+fn replicated_crash_and_recover(
+    target: Target,
+    policy: FaultPolicy,
+) -> (u64, tks_replica::FailoverOutcome) {
+    let mut e = SearchEngine::new(config()).expect("config is valid");
+    let set = std::sync::Arc::new(tks_replica::ReplicaSet::new(
+        tks_replica::fresh_images(&e, REPLICAS),
+        tks_replica::ApplyMode::Inline,
+    ));
+    tks_replica::attach(&mut e, &set);
+    match target {
+        Target::Store => e.list_store_mut().fs_mut().arm_faults(policy),
+        Target::Docs => e.doc_fs_mut().arm_faults(policy),
+        Target::Positions => e
+            .positions_fs_mut()
+            .expect("positional config")
+            .arm_faults(policy),
+    }
+    let mut committed = 0u64;
+    for &(text, ts) in CORPUS {
+        match e.add_document(text, Timestamp(ts)) {
+            Ok(_) => committed += 1,
+            Err(_) => break,
+        }
+    }
+    tks_replica::detach(&mut e);
+    let replica_parts: Vec<Result<tks_core::engine::EngineParts, String>> =
+        tks_replica::ReplicaSet::reclaim(set)
+            .expect("taps detached")
+            .into_iter()
+            .map(|(parts, fault)| {
+                assert!(
+                    fault.is_none(),
+                    "a torn primary append must never reach a replica: {fault:?}"
+                );
+                Ok(parts)
+            })
+            .collect();
+    let mut parts = e.into_parts();
+    parts.store_fs.disarm_faults();
+    parts.doc_fs.disarm_faults();
+    parts.store_fs.crash_recover().expect("store crash_recover");
+    parts.doc_fs.crash_recover().expect("doc crash_recover");
+    if let Some(fs) = parts.pos_fs.as_mut() {
+        fs.disarm_faults();
+        fs.crash_recover().expect("positions crash_recover");
+    }
+    let outcome = tks_replica::recover_shard(Ok(parts), replica_parts, &config());
+    (committed, outcome)
+}
+
+/// Convergence + trust for one replicated recovery: never degraded,
+/// bit-identical answers to the surviving-document reference, and the
+/// reference's exact chain head.
+fn assert_replicated_converged(
+    ctx: &str,
+    committed: u64,
+    outcome: &tks_replica::FailoverOutcome,
+    reference_engine: &SearchEngine,
+    refs: &[Vec<(u64, f64)>],
+) {
+    assert!(
+        outcome.degraded_reason.is_none(),
+        "{ctx}: with a verified replica the shard must never degrade ({:?})",
+        outcome.degraded_reason
+    );
+    let engine = outcome
+        .engine
+        .as_deref()
+        .unwrap_or_else(|| panic!("{ctx}: no engine despite no degraded reason"));
+    assert_converged(ctx, committed, engine, refs);
+    assert_eq!(
+        engine.chain_head(),
+        reference_engine.chain_head(),
+        "{ctx}: the recovered chain head must match the clean reference's"
+    );
+    for v in &outcome.replicas {
+        if v.verified {
+            assert_eq!(
+                v.watermark, committed,
+                "{ctx}: a verified replica holds exactly the committed prefix"
+            );
+            assert_eq!(
+                v.chain_head,
+                Some(reference_engine.chain_head()),
+                "{ctx}: replica {} chain head",
+                v.replica
+            );
+        }
+    }
+}
+
+#[test]
+fn replica_failover_every_byte_tear_converges() {
+    let (store_total, doc_total, pos_total) = clean_device_bytes();
+    let refs: Vec<(SearchEngine, Vec<Vec<(u64, f64)>>)> =
+        (0..=CORPUS.len() as u64).map(reference).collect();
+    let mut promotions = 0u64;
+    for (target, total) in [
+        (Target::Store, store_total),
+        (Target::Docs, doc_total),
+        (Target::Positions, pos_total),
+    ] {
+        for offset in 0..=total {
+            let ctx = format!("replicated {target:?} torn at byte {offset}");
+            let (committed, outcome) =
+                replicated_crash_and_recover(target, FaultPolicy::torn_at_offset(offset));
+            let (ref_engine, ref_responses) = &refs[committed as usize];
+            assert_replicated_converged(&ctx, committed, &outcome, ref_engine, ref_responses);
+            if let Some(promoted) = outcome.promoted_from {
+                promotions += 1;
+                // Promotion only ever trades up: the promoted replica
+                // quarantined no more than the torn primary.
+                let v = &outcome.replicas[promoted];
+                assert!(
+                    v.quarantined_bytes <= outcome.primary_quarantined,
+                    "{ctx}: promotion must not increase quarantine"
+                );
+            }
+        }
+    }
+    assert!(
+        promotions > 0,
+        "the byte sweep never exercised replica promotion"
+    );
+}
+
+#[test]
+fn replica_failover_seeded_fault_matrix_converges() {
+    for seed in 0..16u64 {
+        for target in TARGETS {
+            let ctx = format!("replicated {target:?} seed {seed}");
+            let (committed, outcome) =
+                replicated_crash_and_recover(target, FaultPolicy::seeded(seed, 48));
+            let (ref_engine, refs) = reference(committed);
+            assert_replicated_converged(&ctx, committed, &outcome, &ref_engine, &refs);
+        }
+    }
+}
+
+#[test]
+fn replica_failover_total_primary_loss_promotes_longest_verified() {
+    // A clean replicated run, then the primary device is lost outright:
+    // recovery must promote replica 0 (lowest index among the equally
+    // long verified replicas) and serve the full corpus, trusted, with
+    // the surviving replica as a read standby.
+    let mut e = SearchEngine::new(config()).expect("config is valid");
+    let set = std::sync::Arc::new(tks_replica::ReplicaSet::new(
+        tks_replica::fresh_images(&e, REPLICAS),
+        tks_replica::ApplyMode::Inline,
+    ));
+    tks_replica::attach(&mut e, &set);
+    for &(text, ts) in CORPUS {
+        e.add_document(text, Timestamp(ts)).expect("clean commit");
+    }
+    tks_replica::detach(&mut e);
+    let replica_parts: Vec<Result<tks_core::engine::EngineParts, String>> =
+        tks_replica::ReplicaSet::reclaim(set)
+            .expect("taps detached")
+            .into_iter()
+            .map(|(parts, fault)| {
+                assert!(fault.is_none(), "{fault:?}");
+                Ok(parts)
+            })
+            .collect();
+    let outcome = tks_replica::recover_shard(
+        Err("primary device lost".to_string()),
+        replica_parts,
+        &config(),
+    );
+    assert_eq!(outcome.promoted_from, Some(0));
+    assert_eq!(
+        outcome.primary_error.as_deref(),
+        Some("primary device lost")
+    );
+    let n = CORPUS.len() as u64;
+    let (ref_engine, refs) = reference(n);
+    assert_replicated_converged("total primary loss", n, &outcome, &ref_engine, &refs);
+    assert_eq!(
+        outcome.standbys.len(),
+        REPLICAS - 1,
+        "the other verified replica serves reads"
+    );
+}
+
 #[test]
 fn recovered_engine_refuses_commits_that_touch_quarantined_residue() {
     // WORM cannot truncate, so crash residue permanently occupies its

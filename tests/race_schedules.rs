@@ -10,7 +10,8 @@
 use tks_core::sched::{explore, interleave, Step};
 use tks_core::{service, EngineConfig, IndexWriter, Query, SearchEngine, Searcher};
 use tks_postings::types::Timestamp;
-use tks_shard::{shard_of, ShardedArchive, ShardedSearcher, ShardedWriter};
+use tks_replica::{attach, detach, fresh_images, recover_shard, ApplyMode, ReplicaSet};
+use tks_shard::{shard_of, QuerySession, ShardedArchive, ShardedSearcher, ShardedWriter};
 use tks_worm::{AtomicIoStats, ChainHead, FaultPolicy, IoStats};
 
 const SCHEDULES: u64 = 160;
@@ -775,8 +776,8 @@ struct ShardWmState {
     committed: Vec<u64>,
     /// Watermark vector seen by the previous reader op.
     last_seen: Vec<u64>,
-    /// `(vector, handle)` captured by the pinning op.
-    pinned: Option<(Vec<u64>, ShardedSearcher)>,
+    /// `(vector, session)` captured by the snapshot op.
+    pinned: Option<(Vec<u64>, QuerySession)>,
     violations: Vec<String>,
 }
 
@@ -906,24 +907,24 @@ fn sharded_pin_threads() -> (ShardWmState, Vec<Vec<Step<'static, ShardWmState>>>
     // against the commit model at that instant); later ops require every
     // slot of the vector — and the merged answer — unchanged.
     let mut pin_ops: Vec<Step<'static, ShardWmState>> = vec![Box::new(|s: &mut ShardWmState| {
-        let handle = s.searcher.pin();
-        let vector = handle.watermarks();
+        let session = QuerySession::open(&s.searcher);
+        let vector = session.watermarks().to_vec();
         let model = s.committed.clone();
         s.check(
             "pin-vector-exact",
             vector == model,
             format!("pinned vector {vector:?} but {model:?} committed"),
         );
-        s.pinned = Some((vector, handle));
+        s.pinned = Some((vector, session));
     })];
     for _ in 0..4 {
         pin_ops.push(Box::new(|s: &mut ShardWmState| {
-            let Some((at, handle)) = s.pinned.take() else {
+            let Some((at, session)) = s.pinned.take() else {
                 return;
             };
-            let now = handle.watermarks();
+            let now = session.watermarks().to_vec();
             let sum: u64 = at.iter().sum();
-            let hits = match handle.execute(Query::disjunctive("common", usize::MAX)) {
+            let hits = match session.execute(Query::disjunctive("common", usize::MAX)) {
                 Ok(resp) => resp.hits.len() as u64,
                 Err(e) => {
                     s.violations.push(format!("pinned query failed: {e}"));
@@ -935,7 +936,7 @@ fn sharded_pin_threads() -> (ShardWmState, Vec<Vec<Step<'static, ShardWmState>>>
                 now == at && hits == sum,
                 format!("pinned at {at:?} but sees {now:?} / {hits} hits"),
             );
-            s.pinned = Some((at, handle));
+            s.pinned = Some((at, session));
         }));
     }
     (
@@ -961,6 +962,241 @@ fn sharded_pin_freezes_the_vector_under_all_schedules() {
             Ok(())
         } else {
             Err(state.violations.join("; "))
+        }
+    })
+    .unwrap_or_else(|f| panic!("{f}"));
+    assert_eq!(clean, SCHEDULES);
+}
+
+// ---------------------------------------------------------------------------
+// Replication: queued replica appliers racing the primary writer.  A
+// replica's verified chain head must be a pure function of its replicated
+// watermark — byte-for-byte the primary's chain head at that watermark —
+// at every intermediate drain point, under every interleaving and every
+// drain budget; and failover promotion must never observe an unverified
+// prefix (queued-but-unverified entries are crash losses, not data).
+// ---------------------------------------------------------------------------
+
+const REPLICAS: usize = 2;
+
+struct ReplState {
+    writer: IndexWriter,
+    searcher: Searcher,
+    set: std::sync::Arc<ReplicaSet>,
+    committed: u64,
+    /// Watermark last verified by each replica (must be monotone).
+    last_wm: Vec<u64>,
+    violations: Vec<String>,
+}
+
+fn repl_threads(seed: u64) -> (ReplState, Vec<Vec<Step<'static, ReplState>>>) {
+    let (mut writer, searcher) = service(small_engine());
+    let set = writer.with_engine(|e| {
+        let set = std::sync::Arc::new(ReplicaSet::new(
+            fresh_images(e, REPLICAS),
+            ApplyMode::Queued,
+        ));
+        attach(e, &set);
+        set
+    });
+    let state = ReplState {
+        writer,
+        searcher,
+        set,
+        committed: 0,
+        last_wm: vec![0; REPLICAS],
+        violations: Vec::new(),
+    };
+    let writer_ops: Vec<Step<'static, ReplState>> = (0..DOCS)
+        .map(|i| {
+            Box::new(move |s: &mut ReplState| {
+                match s
+                    .writer
+                    .commit(&format!("common record{i}"), Timestamp(7_000 + i))
+                {
+                    Ok(_) => s.committed += 1,
+                    Err(e) => s.violations.push(format!("commit {i} failed: {e}")),
+                }
+            }) as Step<'static, ReplState>
+        })
+        .collect();
+    // One drainer thread per replica with seed-varying budgets, so each
+    // replica advances through arbitrary partial prefixes of the log.
+    let drainer = |replica: usize| -> Vec<Step<'static, ReplState>> {
+        (0..8usize)
+            .map(|i| {
+                let budget = 1 + (seed as usize).wrapping_add(i.wrapping_mul(7) + replica) % 4;
+                Box::new(move |s: &mut ReplState| {
+                    s.set.drain(replica, budget);
+                }) as Step<'static, ReplState>
+            })
+            .collect()
+    };
+    // Checker: at every intermediate point each replica is unquarantined,
+    // monotone, never ahead of the commit model, and its verified chain
+    // head is exactly the primary's head at the replica's watermark.
+    let checker_ops: Vec<Step<'static, ReplState>> = (0..6)
+        .map(|_| {
+            Box::new(|s: &mut ReplState| {
+                for st in s.set.statuses() {
+                    if let Some(q) = st.quarantined {
+                        s.violations
+                            .push(format!("replica {} quarantined: {q}", st.replica));
+                        continue;
+                    }
+                    if st.verified_watermark > s.committed {
+                        s.violations.push(format!(
+                            "replica {} verified {} with only {} committed",
+                            st.replica, st.verified_watermark, s.committed
+                        ));
+                    }
+                    if st.verified_watermark < s.last_wm[st.replica] {
+                        s.violations.push(format!(
+                            "replica {} watermark went backwards: {} after {}",
+                            st.replica, st.verified_watermark, s.last_wm[st.replica]
+                        ));
+                    }
+                    s.last_wm[st.replica] = st.verified_watermark;
+                    let expected = s
+                        .writer
+                        .with_engine(|e| e.chain_head_at(st.verified_watermark));
+                    if expected != Some(st.chain_head) {
+                        s.violations.push(format!(
+                            "replica {} head at watermark {} diverged: {} vs primary {:?}",
+                            st.replica, st.verified_watermark, st.chain_head, expected
+                        ));
+                    }
+                }
+            }) as Step<'static, ReplState>
+        })
+        .collect();
+    (state, vec![writer_ops, drainer(0), drainer(1), checker_ops])
+}
+
+#[test]
+fn replica_chain_heads_track_the_replicated_watermark_under_all_schedules() {
+    let clean = explore(0x5E7A, SCHEDULES, |seed| {
+        let (mut state, mut threads) = repl_threads(seed);
+        interleave(seed, &mut state, &mut threads);
+        // Quiescent: drain everything; every replica converges on the
+        // primary's exact head at the full watermark with an empty queue.
+        state.set.drain_all();
+        let head = state.writer.with_engine(|e| e.chain_head());
+        for st in state.set.statuses() {
+            if st.verified_watermark != state.committed || st.chain_head != head || st.queued != 0 {
+                state.violations.push(format!(
+                    "replica {} quiesced at watermark {} head {} ({} queued); primary at {} \
+                     head {head}",
+                    st.replica, st.verified_watermark, st.chain_head, st.queued, state.committed
+                ));
+            }
+        }
+        if state.violations.is_empty() {
+            Ok(())
+        } else {
+            Err(state.violations.join("; "))
+        }
+    })
+    .unwrap_or_else(|f| panic!("{f}"));
+    assert_eq!(clean, SCHEDULES);
+}
+
+#[test]
+fn promotion_never_observes_an_unverified_prefix_under_all_schedules() {
+    let clean = explore(0x9E0E, SCHEDULES, |seed| {
+        let (mut state, mut threads) = repl_threads(seed);
+        interleave(seed, &mut state, &mut threads);
+        // Deliberately do NOT drain the queues dry: whatever each replica
+        // verified mid-schedule is all a crash leaves it.  Lose the primary
+        // outright and require the promoted replica to serve exactly its
+        // verified prefix — never a byte of the queued remainder.
+        let statuses = state.set.statuses();
+        let ReplState {
+            writer,
+            searcher,
+            set,
+            committed,
+            mut violations,
+            ..
+        } = state;
+        drop(searcher);
+        let mut engine = match writer.try_into_engine() {
+            Ok(e) => e,
+            Err(_) => return Err("searcher handles still pinned the engine".into()),
+        };
+        detach(&mut engine);
+        let expected: Vec<(u64, ChainHead)> = statuses
+            .iter()
+            .map(|st| (st.verified_watermark, st.chain_head))
+            .collect();
+        let replica_parts: Vec<Result<_, String>> = match ReplicaSet::reclaim(set) {
+            Ok(parts) => parts
+                .into_iter()
+                .map(|(parts, fault)| {
+                    if let Some(f) = &fault {
+                        violations.push(format!("replication faulted: {f}"));
+                    }
+                    Ok(parts)
+                })
+                .collect(),
+            Err(_) => return Err("tap handles still pinned the replica set".into()),
+        };
+        let outcome = recover_shard(
+            Err("primary lost".to_string()),
+            replica_parts,
+            &EngineConfig::default(),
+        );
+        let Some(promoted) = outcome.promoted_from else {
+            return Err(format!(
+                "no replica promoted: {:?}",
+                outcome.degraded_reason
+            ));
+        };
+        let (wm, head) = expected[promoted];
+        let best = expected.iter().map(|&(w, _)| w).max().unwrap_or(0);
+        if wm != best {
+            violations.push(format!(
+                "promoted replica {promoted} at watermark {wm}, best verified was {best}"
+            ));
+        }
+        if wm > committed {
+            violations.push(format!(
+                "replica verified {wm} with only {committed} committed"
+            ));
+        }
+        match outcome.engine.as_deref() {
+            Some(engine) => {
+                if engine.num_docs() != wm {
+                    violations.push(format!(
+                        "promoted engine serves {} docs, replica had verified {wm}",
+                        engine.num_docs()
+                    ));
+                }
+                if engine.chain_head() != head {
+                    violations.push(format!(
+                        "promoted head {} != verified head {head}",
+                        engine.chain_head()
+                    ));
+                }
+                match engine.execute(&Query::disjunctive("common", usize::MAX)) {
+                    Ok(resp) => {
+                        if resp.hits.len() as u64 != wm || !resp.trusted {
+                            violations.push(format!(
+                                "promoted engine answered {} hits (trusted {}) at watermark {wm}",
+                                resp.hits.len(),
+                                resp.trusted
+                            ));
+                        }
+                    }
+                    Err(e) => violations.push(format!("promoted query failed: {e}")),
+                }
+            }
+            None => violations.push(format!("degraded: {:?}", outcome.degraded_reason)),
+        }
+        if violations.is_empty() {
+            Ok(())
+        } else {
+            Err(violations.join("; "))
         }
     })
     .unwrap_or_else(|f| panic!("{f}"));
